@@ -1,0 +1,33 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench binary follows the same shape: print the paper artifact it
+// regenerates (table rows / figure series) to stdout, then hand control to
+// google-benchmark for the wall-clock measurements.  The printed part is the
+// reproduction; the timed part characterizes the simulator itself.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace pcs::bench {
+
+/// Print a section header for a reproduced artifact.
+inline void artifact_header(const std::string& id, const std::string& what) {
+  std::printf("\n==== %s: %s ====\n", id.c_str(), what.c_str());
+}
+
+/// Standard main body: print artifacts via `print_artifacts()`, then run the
+/// registered google-benchmark timings.
+#define PCS_BENCH_MAIN(print_artifacts)                      \
+  int main(int argc, char** argv) {                          \
+    print_artifacts();                                       \
+    benchmark::Initialize(&argc, argv);                      \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                     \
+    benchmark::Shutdown();                                   \
+    return 0;                                                \
+  }
+
+}  // namespace pcs::bench

@@ -1,0 +1,105 @@
+// Reproduces the gate-delay claims (experiment D1): a message incurs
+//   2 lg n           through a single hyperconcentrator chip (refs [1][2]),
+//   3 lg n + O(1)    through the Revsort switch (Section 4),
+//   4 beta lg n+O(1) through the Columnsort switch (Section 5).
+//
+// Three columns per design: the paper's closed-form, the resource model's
+// count (formula + pad constants), and the *measured* gate depth of the
+// reconstructed data-path circuits (selection-tree chips composed through
+// the wiring; wiring and hardwired shifters contribute zero logic depth).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "cost/resource_model.hpp"
+#include "hyper/barrel_shifter.hpp"
+#include "hyper/hyper_circuit.hpp"
+#include "switch/columnsort_switch.hpp"
+#include "util/mathutil.hpp"
+
+namespace {
+
+// Measured data-path depth through one w-by-w chip (cached across rows).
+std::size_t measured_chip_depth(std::size_t w) {
+  pcs::hyper::HyperCircuit hc(w);
+  return hc.data_path_depth();
+}
+
+void print_artifacts() {
+  using pcs::cost::DelayModel;
+  const DelayModel dm{};                                  // default pads
+  const DelayModel zero{.pad_delay = 0, .shifter_delay = 0};  // pure logic
+
+  pcs::bench::artifact_header("D1a", "single chip: 2 lg n gate delays");
+  std::printf("%8s %12s %12s %12s\n", "n", "paper 2lg n", "model", "measured");
+  for (std::size_t n : {4u, 16u, 64u, 256u}) {
+    std::printf("%8zu %12zu %12zu %12zu\n", n,
+                pcs::core::hyper_chip_delay_formula(n), zero.chip_delay(n),
+                measured_chip_depth(n));
+  }
+
+  pcs::bench::artifact_header("D1b", "Revsort switch: 3 lg n + O(1)");
+  std::printf("%8s %14s %12s %18s\n", "n", "paper 3lg n+O1", "model",
+              "measured (3 chips)");
+  for (std::size_t side : {4u, 8u, 16u}) {
+    const std::size_t n = side * side;
+    std::size_t chip = measured_chip_depth(side);
+    // Data path: 3 chip crossings; transposes and the hardwired shifter are
+    // pure wiring (depth 0, verified by the barrel-shifter tests).
+    std::size_t measured = 3 * chip + pcs::hyper::HardwiredBarrelShifter(side, 1)
+                                          .data_path_depth();
+    std::printf("%8zu %14zu %12zu %18zu\n", n,
+                pcs::core::revsort_delay_formula(n, 0),
+                pcs::cost::revsort_report(n, n / 2, zero).gate_delays, measured);
+  }
+
+  pcs::bench::artifact_header("D1c", "Columnsort switch: 4 beta lg n + O(1)");
+  std::printf("%8s %6s %6s %8s %16s %12s %18s\n", "n", "r", "s", "beta",
+              "paper 4b lg n", "model", "measured (2 chips)");
+  for (auto [r, s] : {std::pair<std::size_t, std::size_t>{16, 4},
+                      std::pair<std::size_t, std::size_t>{64, 4},
+                      std::pair<std::size_t, std::size_t>{128, 8},
+                      std::pair<std::size_t, std::size_t>{256, 4}}) {
+    const std::size_t n = r * s;
+    pcs::sw::ColumnsortSwitch sw(r, s, n / 2);
+    std::size_t measured = 2 * measured_chip_depth(r);
+    std::printf("%8zu %6zu %6zu %8.3f %16zu %12zu %18zu\n", n, r, s, sw.beta(),
+                pcs::core::columnsort_delay_formula(r, 0),
+                pcs::cost::columnsort_report(r, s, n / 2, zero).gate_delays, measured);
+  }
+
+  pcs::bench::artifact_header(
+      "D1e", "Section 1's clocked foil: prefix + butterfly");
+  std::printf("%8s %14s %16s %14s\n", "n", "data delays", "control steps",
+              "pins/chip");
+  for (std::size_t n : {256u, 4096u, 65536u}) {
+    auto r = pcs::cost::prefix_butterfly_report(n, zero);
+    std::printf("%8zu %14zu %16zu %14zu\n", n, r.gate_delays, r.control_steps,
+                r.pins_per_chip);
+  }
+  std::printf("(4 pins/chip and short data path, but lg n *clocked* control\n"
+              " steps per setup -- the non-combinational design the paper's\n"
+              " multichip switches outclass at setup time.)\n");
+
+  pcs::bench::artifact_header(
+      "D1d", "with I/O pad overhead (default 2/chip + 1/shifter)");
+  std::printf("  revsort n=4096:    %zu gate delays (3 lg n = %zu)\n",
+              pcs::cost::revsort_report(4096, 2048, dm).gate_delays,
+              pcs::core::revsort_delay_formula(4096, 0));
+  std::printf("  columnsort 256x16: %zu gate delays (4 lg r = %zu)\n",
+              pcs::cost::columnsort_report(256, 16, 2048, dm).gate_delays,
+              pcs::core::columnsort_delay_formula(256, 0));
+}
+
+void BM_HyperCircuitBuild(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    pcs::hyper::HyperCircuit hc(n);
+    benchmark::DoNotOptimize(hc.data_path_depth());
+  }
+}
+BENCHMARK(BM_HyperCircuitBuild)->Arg(32)->Arg(128);
+
+}  // namespace
+
+PCS_BENCH_MAIN(print_artifacts)

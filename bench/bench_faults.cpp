@@ -1,0 +1,87 @@
+// Fault-tolerance ablation (extension; the surrounding MIT report's theme):
+// how gracefully does each multichip switch degrade as whole chips die?
+//
+// Tables: delivered fraction and effective (measured) epsilon versus the
+// number of dead chips, per stage, under random half load -- plus the
+// pipelined throughput model applied to the degraded switches, which is the
+// number a machine room actually watches.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/adversary.hpp"
+#include "message/pipeline.hpp"
+#include "sortnet/nearsort.hpp"
+#include "switch/faults.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void print_artifacts() {
+  using namespace pcs;
+  Rng rng(12001);
+  const std::size_t n = 1024;  // side 32
+
+  pcs::bench::artifact_header("faults", "Revsort switch, dead chips per stage");
+  std::printf("%8s %8s %16s %16s %16s\n", "stage", "dead", "delivered frac",
+              "measured eps", "msgs/cycle");
+  msg::PipelineModel pipe{.payload_bits = 32, .gates_per_cycle = 8};
+  for (std::size_t stage = 0; stage < 3; ++stage) {
+    for (std::size_t dead = 0; dead <= 8; dead += 2) {
+      std::vector<sw::ChipFault> faults;
+      for (std::size_t c = 0; c < dead; ++c) {
+        faults.push_back(sw::ChipFault{stage, c * 3 % 32});
+      }
+      sw::FaultyRevsortSwitch sw(n, n, faults);
+      std::size_t delivered = 0, offered = 0, worst_eps = 0;
+      for (int t = 0; t < 30; ++t) {
+        BitVec valid = rng.bernoulli_bits(n, 0.5);
+        offered += valid.count();
+        delivered += sw.route(valid).routed_count();
+        worst_eps = std::max(
+            worst_eps, sortnet::min_nearsort_epsilon(sw.nearsorted_valid_bits(valid)));
+      }
+      double frac = offered ? static_cast<double>(delivered) / offered : 1.0;
+      std::printf("%8zu %8zu %16.4f %16zu %16.2f\n", stage, dead, frac, worst_eps,
+                  pipe.messages_per_cycle(frac * 0.5 * n));
+    }
+  }
+  std::printf("(stage-0 losses are exactly the dead chips' own traffic; later\n"
+              " stages lose concentrated bundles -- place weak chips early.)\n");
+
+  pcs::bench::artifact_header("faults", "Columnsort switch, dead chips");
+  std::printf("%8s %8s %16s %16s\n", "stage", "dead", "delivered frac",
+              "measured eps");
+  for (std::size_t stage = 0; stage < 2; ++stage) {
+    for (std::size_t dead = 0; dead <= 4; ++dead) {
+      std::vector<sw::ChipFault> faults;
+      for (std::size_t c = 0; c < dead; ++c) faults.push_back(sw::ChipFault{stage, c});
+      sw::FaultyColumnsortSwitch sw(128, 8, 1024, faults);
+      std::size_t delivered = 0, offered = 0, worst_eps = 0;
+      for (int t = 0; t < 30; ++t) {
+        BitVec valid = rng.bernoulli_bits(1024, 0.5);
+        offered += valid.count();
+        delivered += sw.route(valid).routed_count();
+        worst_eps = std::max(
+            worst_eps, sortnet::min_nearsort_epsilon(sw.nearsorted_valid_bits(valid)));
+      }
+      std::printf("%8zu %8zu %16.4f %16zu\n", stage, dead,
+                  offered ? static_cast<double>(delivered) / offered : 1.0,
+                  worst_eps);
+    }
+  }
+}
+
+void BM_FaultyRoute(benchmark::State& state) {
+  pcs::sw::FaultyRevsortSwitch sw(1024, 1024,
+                                  {pcs::sw::ChipFault{0, 3}, pcs::sw::ChipFault{1, 7}});
+  pcs::Rng rng(12002);
+  pcs::BitVec valid = rng.bernoulli_bits(1024, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw.route(valid));
+  }
+}
+BENCHMARK(BM_FaultyRoute);
+
+}  // namespace
+
+PCS_BENCH_MAIN(print_artifacts)

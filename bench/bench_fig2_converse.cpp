@@ -1,0 +1,63 @@
+// Reproduces Figure 2 (experiment F2): the converse of Lemma 2 fails.  A
+// switch can satisfy the (n, m, 1 - epsilon/m) partial-concentration
+// contract while arranging its n-wide output so it is *not*
+// epsilon-nearsorted: route m - epsilon of the k messages to the first m
+// outputs and dump the remaining k - m + epsilon at the very end.  Whenever
+// k + epsilon < (n + m)/2 those trailing 1s are more than epsilon positions
+// out of place.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/lemmas.hpp"
+#include "sortnet/nearsort.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void print_artifacts() {
+  using namespace pcs::core;
+  pcs::bench::artifact_header("Figure 2",
+                              "a partial concentrator need not nearsort");
+  struct Case {
+    std::size_t n, m, eps, k;
+  };
+  const Case cases[] = {
+      {64, 32, 4, 30},  {256, 128, 16, 120}, {1024, 512, 64, 500},
+      {64, 32, 4, 44},  // premise fails: k + eps >= (n+m)/2
+  };
+  std::printf("%8s %8s %8s %8s %10s %12s %16s\n", "n", "m", "eps", "k", "premise",
+              "eps-meas", "eps-nearsorted?");
+  for (const Case& c : cases) {
+    pcs::BitVec arr = figure2_arrangement(c.n, c.m, c.eps, c.k);
+    bool premise = figure2_premise(c.n, c.m, c.eps, c.k);
+    std::size_t measured = pcs::sortnet::min_nearsort_epsilon(arr);
+    bool nearsorted = pcs::sortnet::is_nearsorted(arr, c.eps);
+    std::printf("%8zu %8zu %8zu %8zu %10s %12zu %16s\n", c.n, c.m, c.eps, c.k,
+                premise ? "holds" : "fails", measured, nearsorted ? "yes" : "no");
+  }
+  std::printf(
+      "\nWhen the premise holds the arrangement is provably not epsilon-"
+      "nearsorted\n(measured epsilon >> epsilon), yet m - eps of the first m "
+      "outputs carry\nmessages, so the partial-concentration contract is "
+      "satisfied.\n");
+
+  // Small visual, matching the figure: n = 32, m = 16, eps = 2, k = 15.
+  pcs::BitVec small = figure2_arrangement(32, 16, 2, 15);
+  std::printf("\nexample arrangement (n=32, m=16, eps=2, k=15):\n  %s\n",
+              small.to_string().c_str());
+  std::printf("  first m=16 outputs: %s   (>= m - eps = 14 ones)\n",
+              small.to_string().substr(0, 16).c_str());
+}
+
+void BM_Figure2Construction(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto arr = pcs::core::figure2_arrangement(n, n / 2, n / 16, n / 2 - 1);
+    benchmark::DoNotOptimize(arr);
+  }
+}
+BENCHMARK(BM_Figure2Construction)->Arg(1 << 10)->Arg(1 << 16);
+
+}  // namespace
+
+PCS_BENCH_MAIN(print_artifacts)

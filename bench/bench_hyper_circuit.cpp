@@ -1,0 +1,69 @@
+// Gate-level substrate characterization (experiment P1 / D1 support): size,
+// depth, and evaluation throughput of the reconstructed hyperconcentrator
+// chip circuit across widths, plus the control-vs-data depth split that
+// justifies charging messages only 2 lg n.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gates/evaluator.hpp"
+#include "hyper/hyper_circuit.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void print_artifacts() {
+  pcs::bench::artifact_header("gate-level chip", "size and depth vs width");
+  std::printf("%8s %12s %12s %14s %16s\n", "n", "gates", "data depth",
+              "control depth", "gates/n^2");
+  for (std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    pcs::hyper::HyperCircuit hc(n);
+    std::printf("%8zu %12zu %12u %14u %16.2f\n", n, hc.gate_count(),
+                hc.data_path_depth(), hc.control_path_depth(),
+                static_cast<double>(hc.gate_count()) /
+                    (static_cast<double>(n) * static_cast<double>(n)));
+  }
+  std::printf(
+      "(data depth = 2 lg n exactly; control depth is setup-time only;\n"
+      " gates/n^2 bounded -- the Theta(n^2) area of the published design)\n");
+}
+
+void BM_CircuitEvaluateScalar(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  pcs::hyper::HyperCircuit hc(n);
+  pcs::Rng rng(8001);
+  pcs::BitVec valid = rng.bernoulli_bits(n, 0.5);
+  pcs::BitVec data = rng.bernoulli_bits(n, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hc.evaluate(valid, data));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CircuitEvaluateScalar)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_CircuitEvaluateLanes(benchmark::State& state) {
+  // 64 patterns per pass through the word-parallel evaluator.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  pcs::hyper::HyperCircuit hc(n);
+  pcs::gates::Evaluator eval(hc.circuit());
+  pcs::Rng rng(8002);
+  std::vector<std::uint64_t> lanes(2 * n);
+  for (auto& w : lanes) w = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate_lanes(lanes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_CircuitEvaluateLanes)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_CircuitConstruction(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    pcs::hyper::HyperCircuit hc(n);
+    benchmark::DoNotOptimize(hc.gate_count());
+  }
+}
+BENCHMARK(BM_CircuitConstruction)->Arg(64)->Arg(256);
+
+}  // namespace
+
+PCS_BENCH_MAIN(print_artifacts)

@@ -1,0 +1,82 @@
+// Library performance (experiment P1): wall-clock cost of one setup
+// (route()) for each switch design across sizes, the hardware-faithful
+// wiring path vs the mesh fast path, and the nearsortedness analyzer.
+// These are simulator numbers, not hardware claims.
+#include "bench_common.hpp"
+#include "sortnet/nearsort.hpp"
+#include "switch/columnsort_switch.hpp"
+#include "switch/full_sort_hyper.hpp"
+#include "switch/hyper_switch.hpp"
+#include "switch/revsort_switch.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void print_artifacts() {
+  pcs::bench::artifact_header("P1", "simulator throughput (see timings below)");
+}
+
+template <typename Switch>
+void route_loop(benchmark::State& state, const Switch& sw) {
+  pcs::Rng rng(7001);
+  pcs::BitVec valid = rng.bernoulli_bits(sw.inputs(), 0.5);
+  std::size_t routed = 0;
+  for (auto _ : state) {
+    routed += sw.route(valid).routed_count();
+    benchmark::DoNotOptimize(routed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sw.inputs()));
+}
+
+void BM_RouteHyper(benchmark::State& state) {
+  pcs::sw::HyperSwitch sw(static_cast<std::size_t>(state.range(0)),
+                          static_cast<std::size_t>(state.range(0)) / 2);
+  route_loop(state, sw);
+}
+BENCHMARK(BM_RouteHyper)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RouteRevsortMesh(benchmark::State& state) {
+  pcs::sw::RevsortSwitch sw(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(0)) / 2);
+  route_loop(state, sw);
+}
+BENCHMARK(BM_RouteRevsortMesh)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RouteRevsortWiring(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  pcs::sw::RevsortSwitch sw(n, n / 2);
+  pcs::Rng rng(7002);
+  pcs::BitVec valid = rng.bernoulli_bits(n, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw.route_via_wiring(valid));
+  }
+}
+BENCHMARK(BM_RouteRevsortWiring)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_RouteColumnsort(benchmark::State& state) {
+  const std::size_t r = static_cast<std::size_t>(state.range(0));
+  pcs::sw::ColumnsortSwitch sw(r, 16, r * 8);
+  route_loop(state, sw);
+}
+BENCHMARK(BM_RouteColumnsort)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_RouteFullRevsort(benchmark::State& state) {
+  pcs::sw::FullRevsortHyper sw(static_cast<std::size_t>(state.range(0)));
+  route_loop(state, sw);
+}
+BENCHMARK(BM_RouteFullRevsort)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_NearsortAnalysis(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  pcs::Rng rng(7003);
+  pcs::BitVec v = rng.bernoulli_bits(n, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pcs::sortnet::min_nearsort_epsilon(v));
+  }
+}
+BENCHMARK(BM_NearsortAnalysis)->Arg(1 << 14)->Arg(1 << 20);
+
+}  // namespace
+
+PCS_BENCH_MAIN(print_artifacts)

@@ -1,0 +1,169 @@
+// Reproduces the message-routing behaviour (experiment D6): bit-serial
+// messages through the switches under sustained load, with the three
+// congestion disciplines of Section 1 (drop / buffer+retry / misroute), and
+// the two-level concentration hierarchy of the motivating application.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cost/resource_model.hpp"
+#include "message/ack_protocol.hpp"
+#include "message/congestion.hpp"
+#include "message/pipeline.hpp"
+#include "message/stream_engine.hpp"
+#include "message/traffic.hpp"
+#include "network/router_sim.hpp"
+#include "switch/columnsort_switch.hpp"
+#include "switch/hyper_switch.hpp"
+#include "switch/revsort_switch.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void policy_table(const pcs::sw::ConcentratorSwitch& sw, double arrival_p) {
+  std::printf("\n%s at arrival p=%.2f (offered ~%.1f/round, m=%zu):\n",
+              sw.name().c_str(), arrival_p,
+              arrival_p * static_cast<double>(sw.inputs()), sw.outputs());
+  std::printf("%16s %10s %10s %10s %10s %12s\n", "policy", "offered", "delivered",
+              "dropped", "backlog", "mean-latency");
+  for (auto p : {pcs::msg::CongestionPolicy::kDrop,
+                 pcs::msg::CongestionPolicy::kBufferRetry,
+                 pcs::msg::CongestionPolicy::kMisrouteRetry}) {
+    pcs::Rng rng(5001);
+    pcs::msg::RoundStats s = pcs::msg::simulate_rounds(sw, arrival_p, 300, p, rng);
+    std::printf("%16s %10zu %10zu %10zu %10zu %12.2f\n",
+                pcs::msg::policy_name(p).c_str(), s.offered, s.delivered, s.dropped,
+                s.max_backlog, s.mean_latency());
+  }
+}
+
+void print_artifacts() {
+  pcs::bench::artifact_header("D6a", "congestion policies per switch");
+  pcs::sw::HyperSwitch hyper(256, 128);
+  pcs::sw::RevsortSwitch rev(256, 128);
+  pcs::sw::ColumnsortSwitch col(64, 4, 128);
+  for (double p : {0.2, 0.6}) {
+    policy_table(hyper, p);
+    policy_table(rev, p);
+    policy_table(col, p);
+  }
+
+  pcs::bench::artifact_header("D6b", "two-level concentration hierarchy");
+  std::printf("%12s %10s %10s %10s %14s %12s\n", "tree", "arrival", "offered",
+              "delivered", "trunk-util", "mean-lat");
+  for (double p : {0.05, 0.15, 0.4}) {
+    {
+      pcs::Rng rng(5002);
+      auto tree = pcs::net::make_hyper_tree(4, 64, 16, 32);
+      auto s = pcs::net::simulate_tree(tree, p, 200, rng);
+      std::printf("%12s %10.2f %10zu %10zu %14.3f %12.2f\n", "hyper", p, s.offered,
+                  s.delivered, s.trunk_utilization(tree), s.mean_latency());
+    }
+    {
+      pcs::Rng rng(5002);
+      auto tree = pcs::net::make_revsort_tree(4, 64, 16, 32);
+      auto s = pcs::net::simulate_tree(tree, p, 200, rng);
+      std::printf("%12s %10.2f %10zu %10zu %14.3f %12.2f\n", "revsort", p, s.offered,
+                  s.delivered, s.trunk_utilization(tree), s.mean_latency());
+    }
+    {
+      pcs::Rng rng(5002);
+      auto tree = pcs::net::make_columnsort_tree(4, 16, 4, 16, 32);
+      auto s = pcs::net::simulate_tree(tree, p, 200, rng);
+      std::printf("%12s %10.2f %10zu %10zu %14.3f %12.2f\n", "columnsort", p,
+                  s.offered, s.delivered, s.trunk_utilization(tree),
+                  s.mean_latency());
+    }
+  }
+  std::printf(
+      "\n(shape check: at light load the partial-concentrator trees track the\n"
+      " perfect-switch tree; under saturation all are capped by the trunk.)\n");
+
+  pcs::bench::artifact_header(
+      "D6c", "pipelined throughput & latency model (payload 32b, 8 gates/cycle)");
+  pcs::msg::PipelineModel pipe{.payload_bits = 32, .gates_per_cycle = 8};
+  const pcs::cost::DelayModel dm{};
+  std::printf("%-24s %8s %10s %14s %16s\n", "design (n=4096, m=2048)", "delay",
+              "latency", "msgs/cycle", "payload b/cycle");
+  struct Row {
+    const char* label;
+    std::size_t delays;
+  };
+  const Row rows[] = {
+      {"single chip", pcs::cost::hyper_chip_report(4096, 2048, dm).gate_delays},
+      {"revsort", pcs::cost::revsort_report(4096, 2048, dm).gate_delays},
+      {"columnsort b=2/3", pcs::cost::columnsort_report(256, 16, 2048, dm).gate_delays},
+      {"full revsort", pcs::cost::full_revsort_report(4096, dm).gate_delays},
+  };
+  for (const Row& row : rows) {
+    // At capacity every setup fills m outputs.
+    double routed = 2048.0;
+    std::printf("%-24s %8zu %10zu %14.1f %16.1f\n", row.label, row.delays,
+                pipe.message_latency(row.delays), pipe.messages_per_cycle(routed),
+                pipe.payload_bits_per_cycle(routed));
+  }
+  std::printf("(combinational pipelining: depth costs only latency; sustained\n"
+              " throughput is fixed by m and the setup period L + 1.)\n");
+
+  std::printf("\nmeasured stream (200 saturating batches, revsort 1024 -> 512):\n");
+  {
+    pcs::sw::RevsortSwitch sw(1024, 512);
+    pcs::msg::ExactCountTraffic gen(1024, 1024);
+    pcs::Rng rng(5006);
+    pcs::msg::StreamStats s = pcs::msg::run_stream(
+        sw, gen, rng, 200, pipe,
+        pcs::cost::revsort_report(1024, 512, dm).gate_delays);
+    std::printf("  delivered %zu of %zu, %.2f bits/cycle (model %.2f)\n",
+                s.delivered, s.offered, s.bits_per_cycle(),
+                pipe.payload_bits_per_cycle(512.0));
+  }
+
+  pcs::bench::artifact_header(
+      "D6d", "drop-and-resend ack protocol (Section 1's third option)");
+  std::printf("%-24s %8s %10s %12s %10s %12s %10s\n", "switch (arrival 0.4)",
+              "offered", "goodput", "xmissions", "dups", "mean-compl", "gave-up");
+  {
+    pcs::msg::AckConfig cfg;
+    struct Entry {
+      const char* label;
+      const pcs::sw::ConcentratorSwitch* sw;
+    };
+    pcs::sw::HyperSwitch hyper_sw(256, 64);
+    pcs::sw::RevsortSwitch rev_sw(256, 64);
+    for (auto [label, swp] : {Entry{"hyper(256,64)", &hyper_sw},
+                              Entry{"revsort(256,64)", &rev_sw}}) {
+      pcs::Rng rng(5005);
+      pcs::msg::AckStats s = pcs::msg::simulate_ack_protocol(*swp, 0.4, 300, cfg, rng);
+      std::printf("%-24s %8zu %10.4f %12zu %10zu %12.2f %10zu\n", label, s.offered,
+                  s.goodput(), s.transmissions, s.duplicates, s.mean_completion(),
+                  s.gave_up);
+    }
+  }
+  std::printf("(drop-and-resend trades buffering for retransmissions and, with\n"
+              " slow acks, duplicates -- the protocol cost the switch designs\n"
+              " offload to the higher layer.)\n");
+}
+
+void BM_SimulateRounds(benchmark::State& state) {
+  pcs::sw::RevsortSwitch sw(256, 128);
+  for (auto _ : state) {
+    pcs::Rng rng(5003);
+    auto s = pcs::msg::simulate_rounds(sw, 0.4, 50,
+                                       pcs::msg::CongestionPolicy::kBufferRetry, rng);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SimulateRounds);
+
+void BM_SimulateTree(benchmark::State& state) {
+  auto tree = pcs::net::make_revsort_tree(4, 64, 16, 32);
+  for (auto _ : state) {
+    pcs::Rng rng(5004);
+    auto s = pcs::net::simulate_tree(tree, 0.2, 50, rng);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SimulateTree);
+
+}  // namespace
+
+PCS_BENCH_MAIN(print_artifacts)

@@ -1,0 +1,61 @@
+// butterfly_trace: watch Section 1's clocked hyperconcentrator work -- the
+// parallel-prefix ranks, then the stage-by-stage self-routing of messages
+// through the butterfly (LSB-first), which is conflict-free for every
+// concentration pattern.
+//
+//   $ ./butterfly_trace [n] [k] [seed]     (defaults: 16 6 3)
+#include <cstdio>
+#include <cstdlib>
+
+#include "hyper/prefix_butterfly.hpp"
+#include "util/mathutil.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16;
+  std::size_t k = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 6;
+  std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
+  if (!pcs::is_pow2(n) || n < 2 || n > 64 || k > n) {
+    std::fprintf(stderr, "need power-of-two n in [2,64] and k <= n\n");
+    return 1;
+  }
+
+  pcs::Rng rng(seed);
+  pcs::BitVec valid = rng.exact_weight_bits(n, k);
+  pcs::hyper::PrefixButterflySwitch sw(n);
+
+  std::printf("prefix+butterfly hyperconcentrator, n=%zu, k=%zu messages\n", n, k);
+  std::printf("phase 1: %zu sequential prefix steps compute each message's rank\n",
+              sw.prefix_steps());
+  std::printf("  valid bits: %s\n", valid.to_string().c_str());
+  std::printf("  ranks:     ");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (valid.get(i)) {
+      std::printf(" %zu->%zu", i, valid.rank1_before(i));
+    }
+  }
+  std::printf("\n\nphase 2: %zu butterfly stages (destination bits fixed "
+              "LSB-first)\n\n",
+              sw.butterfly_stages());
+
+  auto trace = sw.route_traced(valid);
+  for (std::size_t t = 0; t < trace.rows.size(); ++t) {
+    if (t == 0) {
+      std::printf("%-10s", "inputs");
+    } else {
+      std::printf("stage %-4zu", t);
+    }
+    for (std::int32_t src : trace.rows[t]) {
+      if (src < 0) {
+        std::printf("  ..");
+      } else {
+        std::printf(" %3d", src);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nconflict-free: %s\n", trace.conflict_free ? "yes" : "NO");
+  std::printf("final row r carries the message of rank r: the k messages sit on\n"
+              "outputs 0..k-1, exactly the hyperconcentrator contract.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// chip_planner: the design-space exploration a switch architect would do
+// with this library.  Given a switch size n, output count m, and a per-chip
+// pin budget, enumerate the feasible designs (single-chip, Revsort,
+// Columnsort across beta, and the full-sorting variants), print their
+// bill-of-materials and resource figures, and recommend the cheapest
+// feasible one.
+//
+//   $ ./chip_planner [n] [m] [pin_budget]     (defaults: 65536 32768 1024)
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/resource_model.hpp"
+#include "switch/columnsort_switch.hpp"
+#include "switch/multipass_switch.hpp"
+#include "switch/revsort_switch.hpp"
+#include "util/mathutil.hpp"
+
+namespace {
+
+struct Candidate {
+  pcs::cost::ResourceReport report;
+  bool feasible = false;
+};
+
+void print_candidate(const Candidate& c, std::size_t pin_budget) {
+  const auto& r = c.report;
+  std::printf("%-34s %8zu %8zu %8.4f %8zu %14zu %10s\n", r.design.c_str(),
+              r.pins_per_chip, r.chip_count, r.load_ratio, r.gate_delays,
+              r.volume_3d, r.pins_per_chip <= pin_budget ? "yes" : "no");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (1u << 16);
+  std::size_t m = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : n / 2;
+  std::size_t pin_budget = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1024;
+
+  if (!pcs::is_pow2(n)) {
+    std::fprintf(stderr, "n must be a power of two (got %zu)\n", n);
+    return 1;
+  }
+  if (m == 0 || m > n) {
+    std::fprintf(stderr, "need 1 <= m <= n\n");
+    return 1;
+  }
+
+  std::printf("planning an n=%zu -> m=%zu concentrator, pin budget %zu/chip\n\n", n,
+              m, pin_budget);
+  std::printf("%-34s %8s %8s %8s %8s %14s %10s\n", "design", "pins", "chips",
+              "alpha", "delay", "volume", "fits?");
+
+  std::vector<Candidate> candidates;
+
+  // Single chip: always listed, usually infeasible -- the paper's premise.
+  candidates.push_back({pcs::cost::hyper_chip_report(n, m), false});
+
+  // Revsort, when n is a valid shape.
+  std::size_t side = pcs::isqrt(n);
+  if (side * side == n && pcs::is_pow2(side)) {
+    candidates.push_back({pcs::cost::revsort_report(n, m), false});
+  }
+
+  // Columnsort across the beta grid.
+  for (double beta : {0.5, 0.5625, 0.625, 0.6875, 0.75, 0.875, 1.0}) {
+    auto sw = pcs::sw::ColumnsortSwitch::from_beta(n, beta, m);
+    // Skip duplicate realized shapes.
+    bool dup = false;
+    for (const Candidate& c : candidates) {
+      if (c.report.design.find("columnsort") != std::string::npos &&
+          c.report.pins_per_chip == 2 * sw.r()) {
+        dup = true;
+      }
+    }
+    if (dup) continue;
+    auto rep = pcs::cost::columnsort_report(sw.r(), sw.s(), m);
+    rep.design += " (beta=" + std::to_string(sw.beta()).substr(0, 5) + ")";
+    candidates.push_back({rep, false});
+  }
+
+  // Multipass Columnsort (alternating reshapes): one more chip crossing per
+  // pass, much better worst epsilon (see bench_open_question).
+  {
+    auto base = pcs::sw::ColumnsortSwitch::from_beta(n, 0.625, m);
+    if (base.s() > 1) {
+      pcs::sw::MultipassColumnsortSwitch mp(base.r(), base.s(), 3, m,
+                                            pcs::sw::ReshapeSchedule::kAlternating);
+      auto rep = pcs::cost::columnsort_report(base.r(), base.s(), m);
+      rep.design = "multipass columnsort (d=3, alt)";
+      rep.chip_count = mp.bill_of_materials().total_chips();
+      rep.chip_passes = mp.chip_passes();
+      rep.gate_delays = rep.gate_delays * mp.chip_passes() / 2;
+      // Empirically calibrated epsilon ~ s - 1 at d = 3 (EXPERIMENTS.md D9).
+      rep.epsilon = base.s() - 1;
+      rep.load_ratio = 1.0 - static_cast<double>(rep.epsilon) / static_cast<double>(m);
+      rep.volume_3d = rep.volume_3d * mp.chip_passes() / 2;
+      candidates.push_back({rep, false});
+    }
+  }
+
+  // Full-sorting variants for designers who need a true hyperconcentrator.
+  if (side * side == n && pcs::is_pow2(side)) {
+    candidates.push_back({pcs::cost::full_revsort_report(n), false});
+  }
+
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    Candidate& c = candidates[i];
+    c.feasible = c.report.pins_per_chip <= pin_budget && c.report.load_ratio > 0.0;
+    print_candidate(c, pin_budget);
+    if (c.feasible && (!best || c.report.volume_3d < candidates[*best].report.volume_3d)) {
+      best = i;
+    }
+  }
+
+  if (best) {
+    const auto& r = candidates[*best].report;
+    std::printf("\nrecommended: %s\n", r.design.c_str());
+    std::printf("  %s\n", r.to_string().c_str());
+    std::printf("  guaranteed lossless messages per setup: %zu of %zu outputs\n",
+                r.epsilon >= m ? 0 : m - r.epsilon, m);
+  } else {
+    std::printf("\nno feasible design under a %zu-pin budget: either raise the\n"
+                "budget, lower n, or accept a smaller load ratio (larger s).\n",
+                pin_budget);
+  }
+  return 0;
+}

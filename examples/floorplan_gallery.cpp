@@ -1,0 +1,54 @@
+// floorplan_gallery: draw the paper's physical figures from the geometric
+// models -- the 2D layouts of Figures 3 and 6 and the 3D packagings of
+// Figures 4 and 7 -- for a switch size of your choosing.
+//
+//   $ ./floorplan_gallery [side] [r] [s]     (defaults: 8 8 4)
+#include <cstdio>
+#include <cstdlib>
+
+#include "cost/layout.hpp"
+#include "cost/render.hpp"
+#include "util/mathutil.hpp"
+
+int main(int argc, char** argv) {
+  std::size_t side = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8;
+  std::size_t r = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 8;
+  std::size_t s = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 4;
+  if (!pcs::is_pow2(side) || side < 2 || side > 32) {
+    std::fprintf(stderr, "side must be a power of two in [2, 32]\n");
+    return 1;
+  }
+  if (s == 0 || r % s != 0 || r > 64) {
+    std::fprintf(stderr, "need s | r and r <= 64\n");
+    return 1;
+  }
+
+  const std::size_t cell = std::max<std::size_t>(1, (side * side) / 40 + 1);
+  std::printf("== Figure 3: Revsort switch 2D layout (n = %zu) ==\n\n",
+              side * side);
+  std::fputs(pcs::cost::render_floorplan(pcs::cost::revsort_floorplan(side), cell)
+                 .c_str(),
+             stdout);
+
+  std::printf("\n== Figure 4: Revsort switch 3D packaging ==\n\n");
+  std::fputs(pcs::cost::render_packaging(pcs::cost::revsort_packaging(side)).c_str(),
+             stdout);
+
+  const std::size_t cell2 = std::max<std::size_t>(1, (r * s) / 40 + 1);
+  std::printf("\n== Figure 6: Columnsort switch 2D layout (%zux%zu mesh) ==\n\n", r,
+              s);
+  std::fputs(pcs::cost::render_floorplan(pcs::cost::columnsort_floorplan(r, s), cell2)
+                 .c_str(),
+             stdout);
+
+  std::printf("\n== Figure 7: Columnsort switch 3D packaging ==\n\n");
+  std::fputs(pcs::cost::render_packaging(pcs::cost::columnsort_packaging(r, s))
+                 .c_str(),
+             stdout);
+
+  std::printf("\n== Figure 8: interstack wire transposers ==\n\n");
+  std::printf("each of the %zu connectors turns %zu wires vertical-to-horizontal\n"
+              "in a %zu x %zu volume.\n",
+              s * s, r / s, r / s, r / s);
+  return 0;
+}

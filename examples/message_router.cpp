@@ -1,0 +1,57 @@
+// message_router: the deployment scenario from the paper's introduction --
+// a message-passing parallel computer whose processor channels funnel
+// through a two-level concentration hierarchy onto a trunk.
+//
+// Simulates sustained traffic with buffered retries through three variants
+// of the same hierarchy (perfect single-chip switches, Revsort multichip
+// switches, Columnsort multichip switches) and prints throughput, latency,
+// and where messages get cut.
+//
+//   $ ./message_router [arrival_p] [rounds]    (defaults: 0.08 400)
+#include <cstdio>
+#include <cstdlib>
+
+#include "network/router_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void run_variant(const char* label, const pcs::net::ConcentratorTree& tree,
+                 double arrival_p, std::size_t rounds) {
+  pcs::Rng rng(42);  // same seed for all variants: same arrival pattern
+  pcs::net::TreeSimStats stats = pcs::net::simulate_tree(tree, arrival_p, rounds, rng);
+  std::printf("%-12s %s\n", label, stats.to_string().c_str());
+  std::printf("             trunk utilization %.3f, latency histogram (rounds: count)",
+              stats.trunk_utilization(tree));
+  for (std::size_t w = 0; w < stats.latency_histogram.size() && w < 6; ++w) {
+    std::printf(" %zu:%zu", w, stats.latency_histogram[w]);
+  }
+  std::printf("\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double arrival_p = argc > 1 ? std::strtod(argv[1], nullptr) : 0.08;
+  std::size_t rounds = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 400;
+
+  // 4 groups x 64 processor channels; each group concentrates to 16 wires;
+  // the trunk concentrates 64 wires to 32 network ports.
+  std::printf("hierarchy: 256 channels -> 4 x (64 -> 16) -> trunk (64 -> 32)\n");
+  std::printf("arrival p=%.3f per idle channel per round, %zu rounds\n\n", arrival_p,
+              rounds);
+
+  run_variant("hyper", pcs::net::make_hyper_tree(4, 64, 16, 32), arrival_p, rounds);
+  run_variant("revsort", pcs::net::make_revsort_tree(4, 64, 16, 32), arrival_p,
+              rounds);
+  run_variant("columnsort", pcs::net::make_columnsort_tree(4, 16, 4, 16, 32),
+              arrival_p, rounds);
+
+  std::printf(
+      "reading the results: at light load all three trees deliver nearly\n"
+      "everything; the multichip partial concentrators pay a small extra\n"
+      "rejection rate (their epsilon), which the retry protocol absorbs as a\n"
+      "round or two of added latency -- the substitution argument of\n"
+      "Section 1 in action.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "core/adversary.hpp"
+
+#include <array>
+
+#include "message/traffic.hpp"
+#include "sortnet/nearsort.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::core {
+
+std::size_t measured_epsilon(const pcs::sw::ConcentratorSwitch& sw,
+                             const BitVec& valid) {
+  return sortnet::min_nearsort_epsilon(sw.nearsorted_valid_bits(valid));
+}
+
+WorstCase worst_epsilon_search(const pcs::sw::ConcentratorSwitch& sw,
+                               std::size_t random_trials, std::size_t climb_steps,
+                               Rng& rng) {
+  const std::size_t n = sw.inputs();
+  WorstCase best;
+  best.pattern = BitVec(n);
+
+  auto consider = [&](const BitVec& pattern) {
+    ++best.trials;
+    std::size_t eps = measured_epsilon(sw, pattern);
+    if (eps > best.epsilon) {
+      best.epsilon = eps;
+      best.k = pattern.count();
+      best.pattern = pattern;
+    }
+  };
+
+  // Densities around the interesting band (half-full meshes stress the
+  // dirty region most) plus the extremes.
+  const std::array<double, 7> densities = {0.05, 0.25, 0.4, 0.5, 0.6, 0.75, 0.95};
+  for (double p : densities) {
+    for (std::size_t t = 0; t < random_trials; ++t) {
+      consider(rng.bernoulli_bits(n, p));
+    }
+  }
+
+  // Structured family at a sweep of exact counts.
+  const std::size_t chip_w = isqrt(n) > 0 ? isqrt(n) : 1;
+  for (std::size_t k = 1; k <= n; k = k * 2 + 1) {
+    pcs::msg::AdversarialTraffic adv(n, std::min(k, n), chip_w);
+    for (std::size_t f = 0; f < adv.family_size(); ++f) consider(adv.next(rng));
+  }
+
+  // Greedy hill-climb from the best pattern found so far.
+  BitVec current = best.pattern;
+  std::size_t current_eps = best.epsilon;
+  for (std::size_t step = 0; step < climb_steps; ++step) {
+    std::size_t i = static_cast<std::size_t>(rng.below(n));
+    current.flip(i);
+    std::size_t eps = measured_epsilon(sw, current);
+    ++best.trials;
+    if (eps >= current_eps) {
+      current_eps = eps;
+      if (eps > best.epsilon) {
+        best.epsilon = eps;
+        best.k = current.count();
+        best.pattern = current;
+      }
+    } else {
+      current.flip(i);  // revert
+    }
+  }
+  return best;
+}
+
+}  // namespace pcs::core

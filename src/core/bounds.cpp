@@ -1,0 +1,41 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+
+#include "sortnet/columnsort.hpp"
+#include "sortnet/revsort.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::core {
+
+std::size_t revsort_epsilon_bound(std::size_t side) {
+  return sortnet::algorithm1_dirty_row_bound(side) * side;
+}
+
+std::size_t columnsort_epsilon_bound(std::size_t s) {
+  return sortnet::algorithm2_epsilon_bound(s);
+}
+
+double alpha_from_epsilon(std::size_t epsilon, std::size_t m) {
+  if (m == 0) return 0.0;
+  return std::clamp(1.0 - static_cast<double>(epsilon) / static_cast<double>(m), 0.0,
+                    1.0);
+}
+
+std::size_t capacity_from_epsilon(std::size_t epsilon, std::size_t m) {
+  return epsilon >= m ? 0 : m - epsilon;
+}
+
+std::size_t revsort_delay_formula(std::size_t n, std::size_t o1) {
+  return 3 * (n <= 1 ? 0 : ceil_log2(n)) + o1;
+}
+
+std::size_t columnsort_delay_formula(std::size_t r, std::size_t o1) {
+  return 4 * (r <= 1 ? 0 : ceil_log2(r)) + o1;
+}
+
+std::size_t hyper_chip_delay_formula(std::size_t w) {
+  return 2 * (w <= 1 ? 0 : ceil_log2(w));
+}
+
+}  // namespace pcs::core

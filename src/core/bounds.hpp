@@ -1,0 +1,35 @@
+// Closed-form bounds from the paper, gathered so the benches and EXPERIMENTS
+// reports quote one source of truth.
+#pragma once
+
+#include <cstdint>
+
+namespace pcs::core {
+
+/// Theorem 3: epsilon bound of the Revsort switch on n = side^2 inputs:
+/// (2*ceil(n^{1/4}) - 1) * sqrt(n).
+std::size_t revsort_epsilon_bound(std::size_t side);
+
+/// Theorem 4: epsilon bound of the Columnsort switch: (s - 1)^2.
+std::size_t columnsort_epsilon_bound(std::size_t s);
+
+/// Lemma 2: load ratio alpha = 1 - epsilon / m, clamped to [0, 1].
+double alpha_from_epsilon(std::size_t epsilon, std::size_t m);
+
+/// Guaranteed lossless capacity floor(alpha * m) = m - epsilon (or 0).
+std::size_t capacity_from_epsilon(std::size_t epsilon, std::size_t m);
+
+/// Paper Section 4: message delay through the Revsort switch,
+/// 3 lg n + O(1); the O(1) is pad_overhead (three chip crossings) plus the
+/// hardwired shifter.
+std::size_t revsort_delay_formula(std::size_t n, std::size_t o1);
+
+/// Paper Section 5: message delay through the Columnsort switch,
+/// 4 lg r + O(1) = 4 beta lg n + O(1).
+std::size_t columnsort_delay_formula(std::size_t r, std::size_t o1);
+
+/// Paper Section 1 / refs [1][2]: delay through one w-by-w
+/// hyperconcentrator chip, 2 lg w.
+std::size_t hyper_chip_delay_formula(std::size_t w);
+
+}  // namespace pcs::core

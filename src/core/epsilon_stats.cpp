@@ -1,0 +1,51 @@
+#include "core/epsilon_stats.hpp"
+
+#include <algorithm>
+
+#include "sortnet/nearsort.hpp"
+#include "util/assert.hpp"
+
+namespace pcs::core {
+
+EpsilonStats collect_epsilon_stats(const pcs::sw::ConcentratorSwitch& sw,
+                                   std::size_t trials, double density, Rng& rng) {
+  PCS_REQUIRE(trials > 0, "collect_epsilon_stats trials");
+  std::vector<std::size_t> eps;
+  eps.reserve(trials);
+  double total = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    BitVec valid = rng.bernoulli_bits(sw.inputs(), density);
+    std::size_t e = sortnet::min_nearsort_epsilon(sw.nearsorted_valid_bits(valid));
+    eps.push_back(e);
+    total += static_cast<double>(e);
+  }
+  std::sort(eps.begin(), eps.end());
+  auto pct = [&](double q) {
+    std::size_t idx = static_cast<std::size_t>(q * static_cast<double>(trials - 1));
+    return eps[idx];
+  };
+  EpsilonStats s;
+  s.samples = trials;
+  s.density = density;
+  s.mean = total / static_cast<double>(trials);
+  s.min = eps.front();
+  s.p50 = pct(0.50);
+  s.p90 = pct(0.90);
+  s.p99 = pct(0.99);
+  s.max = eps.back();
+  return s;
+}
+
+std::vector<EpsilonStats> epsilon_stats_sweep(const pcs::sw::ConcentratorSwitch& sw,
+                                              std::size_t trials,
+                                              const std::vector<double>& densities,
+                                              Rng& rng) {
+  std::vector<EpsilonStats> out;
+  out.reserve(densities.size());
+  for (double d : densities) {
+    out.push_back(collect_epsilon_stats(sw, trials, d, rng));
+  }
+  return out;
+}
+
+}  // namespace pcs::core

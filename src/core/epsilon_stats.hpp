@@ -1,0 +1,39 @@
+// Distributional view of nearsortedness: the paper's bounds are worst-case;
+// deployments care about the typical epsilon too (it sets how often the
+// retry protocol actually fires).  collect_epsilon_stats samples a switch's
+// measured epsilon over random valid-bit patterns and reports mean and
+// percentiles, which the load-ratio bench prints next to the worst case and
+// the theorem bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "switch/concentrator.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::core {
+
+struct EpsilonStats {
+  std::size_t samples = 0;
+  double density = 0.0;      ///< Bernoulli parameter of the sampled patterns
+  double mean = 0.0;
+  std::size_t min = 0;
+  std::size_t p50 = 0;
+  std::size_t p90 = 0;
+  std::size_t p99 = 0;
+  std::size_t max = 0;
+};
+
+/// Sample `trials` Bernoulli(density) patterns through the switch and
+/// summarize the measured epsilon of the n-wide output arrangement.
+EpsilonStats collect_epsilon_stats(const pcs::sw::ConcentratorSwitch& sw,
+                                   std::size_t trials, double density, Rng& rng);
+
+/// The same sweep across a grid of densities; one entry per density.
+std::vector<EpsilonStats> epsilon_stats_sweep(const pcs::sw::ConcentratorSwitch& sw,
+                                              std::size_t trials,
+                                              const std::vector<double>& densities,
+                                              Rng& rng);
+
+}  // namespace pcs::core

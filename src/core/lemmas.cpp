@@ -1,0 +1,107 @@
+#include "core/lemmas.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sortnet/nearsort.hpp"
+#include "util/assert.hpp"
+
+namespace pcs::core {
+
+bool lemma1_roundtrip(const BitVec& bits) {
+  using sortnet::dirty_window;
+  using sortnet::lemma1_structure_holds;
+  using sortnet::min_nearsort_epsilon;
+
+  const std::size_t n = bits.size();
+  const std::size_t eps_min = min_nearsort_epsilon(bits);
+
+  // Forward: the structure must hold for every epsilon >= eps_min (checking
+  // eps_min and eps_min + 1 and n suffices; the predicate is monotone).
+  if (!lemma1_structure_holds(bits, eps_min)) return false;
+  if (!lemma1_structure_holds(bits, std::min(eps_min + 1, n))) return false;
+  if (!lemma1_structure_holds(bits, n)) return false;
+
+  // Strictness: when eps_min > 0 the structure must *fail* for eps_min - 1;
+  // otherwise eps_min would not be minimal.
+  if (eps_min > 0 && lemma1_structure_holds(bits, eps_min - 1)) return false;
+
+  // Converse: rebuild the epsilon implied by the dirty window and confirm
+  // it matches the per-element displacement definition.
+  sortnet::DirtyWindow w = dirty_window(bits);
+  const std::size_t k = bits.count();
+  std::size_t eps_from_window = 0;
+  if (w.dirty_length() > 0) {
+    std::size_t last_one = w.dirty_end - 1;
+    std::size_t first_zero = w.dirty_begin;
+    if (last_one + 1 > k) eps_from_window = last_one + 1 - k;
+    if (k > first_zero) eps_from_window = std::max(eps_from_window, k - first_zero);
+  }
+  return eps_from_window == eps_min;
+}
+
+Lemma2Check check_lemma2(const pcs::sw::ConcentratorSwitch& sw, const BitVec& valid) {
+  Lemma2Check out;
+  out.k = valid.count();
+
+  const BitVec arrangement = sw.nearsorted_valid_bits(valid);
+  out.measured_epsilon = sortnet::min_nearsort_epsilon(arrangement);
+
+  const std::size_t m = sw.outputs();
+  const std::size_t eps = out.measured_epsilon;
+  const std::size_t capacity = eps >= m ? 0 : m - eps;  // alpha * m
+
+  pcs::sw::SwitchRouting routing = sw.route(valid);
+  out.routed = routing.routed_count();
+
+  std::ostringstream detail;
+  if (!routing.is_partial_injection()) {
+    out.holds = false;
+    detail << "routing is not a partial injection";
+    out.detail = detail.str();
+    return out;
+  }
+  if (out.k <= capacity) {
+    out.holds = (out.routed == out.k);
+    if (!out.holds) {
+      detail << "k=" << out.k << " <= capacity=" << capacity << " but only "
+             << out.routed << " routed";
+    }
+  } else {
+    out.holds = (out.routed >= std::min(capacity, out.k));
+    if (!out.holds) {
+      detail << "k=" << out.k << " > capacity=" << capacity << " but only "
+             << out.routed << " routed";
+    }
+  }
+  out.detail = detail.str();
+  return out;
+}
+
+BitVec figure2_arrangement(std::size_t n, std::size_t m, std::size_t epsilon,
+                           std::size_t k) {
+  PCS_REQUIRE(m <= n, "figure2_arrangement m <= n");
+  PCS_REQUIRE(epsilon <= m, "figure2_arrangement epsilon <= m");
+  PCS_REQUIRE(k > m - epsilon && k <= n, "figure2_arrangement needs k > m - epsilon");
+  const std::size_t lead = m - epsilon;      // 1s routed to the first outputs
+  const std::size_t trail = k - lead;        // 1s pushed to the very end
+  PCS_REQUIRE(lead + trail <= n, "figure2_arrangement overflow");
+  BitVec out(n);
+  for (std::size_t i = 0; i < lead; ++i) out.set(i, true);
+  for (std::size_t i = 0; i < trail; ++i) out.set(n - 1 - i, true);
+  return out;
+}
+
+bool figure2_premise(std::size_t n, std::size_t m, std::size_t epsilon,
+                     std::size_t k) {
+  // k + epsilon < (n + m) / 2, exactly as in the figure caption.
+  return 2 * (k + epsilon) < n + m;
+}
+
+bool epsilon_bound_respected(const pcs::sw::ConcentratorSwitch& sw,
+                             const BitVec& valid) {
+  const BitVec arrangement = sw.nearsorted_valid_bits(valid);
+  return sortnet::min_nearsort_epsilon(arrangement) <= sw.epsilon_bound();
+}
+
+}  // namespace pcs::core

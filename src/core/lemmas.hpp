@@ -1,0 +1,61 @@
+// Executable statements of the paper's results (Sections 3-5).
+//
+// Lemma 1:   a 0/1 sequence is epsilon-nearsorted iff it is a clean run of
+//            >= k - epsilon 1s, a dirty window of <= 2*epsilon bits, and a
+//            clean run of >= n - k - epsilon 0s.
+// Lemma 2:   a switch that epsilon-nearsorts its valid bits, restricted to
+//            its first m outputs, is an (n, m, 1 - epsilon/m) partial
+//            concentrator.
+// Figure 2:  the converse of Lemma 2 fails -- a valid partial concentrator
+//            can arrange its output so it is not epsilon-nearsorted.
+// Theorem 3: the Revsort switch is an (n, m, 1 - O(n^{3/4}/m)) partial
+//            concentrator (via the dirty-row bound on Algorithm 1).
+// Theorem 4: the Columnsort switch is an (n, m, 1 - (s-1)^2/m) partial
+//            concentrator (via Leighton's nearsort bound on Algorithm 2).
+//
+// Each function checks one concrete instance; the tests and benches sweep
+// them over exhaustive/random/adversarial inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "switch/concentrator.hpp"
+#include "util/bitvec.hpp"
+
+namespace pcs::core {
+
+/// Lemma 1, both directions, on one sequence: for every epsilon in
+/// [min epsilon, n], the structural decomposition holds; and conversely the
+/// structure at the measured dirty window implies the measured epsilon.
+bool lemma1_roundtrip(const BitVec& bits);
+
+/// Lemma 2 on one (switch, input) instance: measure the nearsortedness of
+/// the switch's n-wide output arrangement, derive alpha = 1 - epsilon/m,
+/// and check both partial-concentration bullets against the actual routing.
+struct Lemma2Check {
+  std::size_t measured_epsilon = 0;
+  std::size_t k = 0;
+  std::size_t routed = 0;
+  bool holds = false;
+  std::string detail;
+};
+Lemma2Check check_lemma2(const pcs::sw::ConcentratorSwitch& sw, const BitVec& valid);
+
+/// The Figure 2 construction: the n-wide output arrangement of a
+/// *hypothetical but legal* (n, m, 1 - epsilon/m) partial concentrator with
+/// k > m - epsilon messages: m - epsilon 1s lead, the remaining
+/// k - m + epsilon 1s trail at the very end.  Not epsilon-nearsorted
+/// whenever k + epsilon < (n + m) / 2.
+BitVec figure2_arrangement(std::size_t n, std::size_t m, std::size_t epsilon,
+                           std::size_t k);
+
+/// True iff the Figure 2 premise k + epsilon < (n + m)/2 holds, i.e. the
+/// arrangement is guaranteed not epsilon-nearsorted.
+bool figure2_premise(std::size_t n, std::size_t m, std::size_t epsilon, std::size_t k);
+
+/// Theorem 3 / Theorem 4 instance check: the switch's measured epsilon on
+/// this input does not exceed its advertised epsilon_bound().
+bool epsilon_bound_respected(const pcs::sw::ConcentratorSwitch& sw, const BitVec& valid);
+
+}  // namespace pcs::core

@@ -1,0 +1,120 @@
+#include "core/verification.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/lemmas.hpp"
+#include "message/clocked_sim.hpp"
+#include "message/traffic.hpp"
+#include "sortnet/nearsort.hpp"
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::core {
+
+bool VerifyReport::all_passed() const {
+  for (const CheckResult& c : checks) {
+    if (!c.passed) return false;
+  }
+  return true;
+}
+
+std::string VerifyReport::to_string() const {
+  std::ostringstream os;
+  os << (all_passed() ? "PASS" : "FAIL") << " (" << patterns_tried
+     << " patterns)\n";
+  for (const CheckResult& c : checks) {
+    os << "  [" << (c.passed ? "ok" : "FAIL") << "] " << c.name;
+    if (!c.passed) os << " -- " << c.counterexample;
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void fail(CheckResult& check, const std::string& detail) {
+  if (check.passed) {
+    check.passed = false;
+    check.counterexample = detail;
+  }
+}
+
+std::string describe(const BitVec& valid) {
+  std::ostringstream os;
+  os << "k=" << valid.count();
+  if (valid.size() <= 64) os << " pattern=" << valid.to_string();
+  return os.str();
+}
+
+}  // namespace
+
+VerifyReport verify_switch(const pcs::sw::ConcentratorSwitch& sw, Rng& rng,
+                           const VerifyOptions& options) {
+  const std::size_t n = sw.inputs();
+  VerifyReport report;
+  CheckResult routing_ok{"routing is a partial injection", true, ""};
+  CheckResult conserve_ok{"arrangement conserves the valid count", true, ""};
+  CheckResult contract_ok{"partial-concentration contract", true, ""};
+  CheckResult epsilon_ok{"measured epsilon within epsilon_bound()", true, ""};
+  CheckResult lemma2_ok{"Lemma 2 on measured epsilon", true, ""};
+  CheckResult clocked_ok{"clocked payload integrity", true, ""};
+
+  auto inspect = [&](const BitVec& valid) {
+    ++report.patterns_tried;
+    pcs::sw::SwitchRouting r = sw.route(valid);
+    if (!r.is_partial_injection()) fail(routing_ok, describe(valid));
+    BitVec arr = sw.nearsorted_valid_bits(valid);
+    if (arr.count() != valid.count()) fail(conserve_ok, describe(valid));
+    if (!pcs::sw::concentration_contract_holds(sw, valid, r)) {
+      fail(contract_ok, describe(valid));
+    }
+    if (options.check_epsilon_bound &&
+        sortnet::min_nearsort_epsilon(arr) > sw.epsilon_bound()) {
+      fail(epsilon_ok, describe(valid));
+    }
+    Lemma2Check l2 = check_lemma2(sw, valid);
+    if (!l2.holds) fail(lemma2_ok, describe(valid) + " (" + l2.detail + ")");
+  };
+
+  // Random patterns across densities.
+  for (double density : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (std::size_t t = 0; t < options.random_trials; ++t) {
+      inspect(rng.bernoulli_bits(n, density));
+    }
+  }
+  // Exact-k sweep.
+  const std::size_t step =
+      options.k_step > 0 ? options.k_step : std::max<std::size_t>(1, n / 16);
+  for (std::size_t k = 0; k <= n; k += step) {
+    inspect(rng.exact_weight_bits(n, k));
+  }
+  // Structured adversarial family.
+  const std::size_t chip_w = std::max<std::size_t>(1, isqrt(n));
+  for (std::size_t k : {n / 4, n / 2, (3 * n) / 4}) {
+    if (k == 0) continue;
+    pcs::msg::AdversarialTraffic adv(n, k, chip_w);
+    for (std::size_t f = 0; f < adv.family_size(); ++f) inspect(adv.next(rng));
+  }
+  // Extremes.
+  inspect(BitVec(n));
+  inspect(BitVec(n, true));
+
+  if (options.check_clocked) {
+    BitVec valid = rng.bernoulli_bits(n, 0.5);
+    pcs::msg::MessageBatch batch = pcs::msg::random_batch(valid, 16, 4, rng);
+    pcs::msg::ClockedSimResult result = pcs::msg::run_clocked(sw, batch);
+    if (!result.payloads_intact(batch) ||
+        result.delivered.size() + result.congested.size() != batch.count()) {
+      fail(clocked_ok, describe(valid));
+    }
+  }
+
+  report.checks = {routing_ok, conserve_ok, contract_ok,
+                   epsilon_ok, lemma2_ok,   clocked_ok};
+  if (!options.check_epsilon_bound) report.checks[3].name += " (skipped)";
+  if (!options.check_clocked) report.checks[5].name += " (skipped)";
+  return report;
+}
+
+}  // namespace pcs::core

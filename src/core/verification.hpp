@@ -1,0 +1,48 @@
+// One-call verification harness for ConcentratorSwitch implementations.
+//
+// A downstream user adding a new switch design should be able to ask "does
+// it actually satisfy the paper's contracts?" without reassembling the
+// checks by hand.  verify_switch() runs the full battery -- routing
+// well-formedness, count conservation, the partial-concentration contract
+// across a k-sweep, epsilon-bound respect (random + structured adversarial
+// patterns), Lemma 2 consistency, and clocked payload integrity -- and
+// returns a structured report with the first counterexample when a check
+// fails.  The library's own switches pass it by construction (see
+// tests/test_verification.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "switch/concentrator.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::core {
+
+struct VerifyOptions {
+  std::size_t random_trials = 40;   ///< random patterns per density
+  std::size_t k_step = 0;           ///< 0 = auto (n / 16, at least 1)
+  bool check_epsilon_bound = true;  ///< skip for designs with no guarantee
+  bool check_clocked = true;        ///< run one clocked payload pass
+};
+
+struct CheckResult {
+  std::string name;
+  bool passed = true;
+  std::string counterexample;  ///< empty when passed
+};
+
+struct VerifyReport {
+  std::vector<CheckResult> checks;
+  std::size_t patterns_tried = 0;
+
+  bool all_passed() const;
+  std::string to_string() const;
+};
+
+/// Run the battery against `sw` with the given RNG (deterministic per seed).
+VerifyReport verify_switch(const pcs::sw::ConcentratorSwitch& sw, Rng& rng,
+                           const VerifyOptions& options = {});
+
+}  // namespace pcs::core

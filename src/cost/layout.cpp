@@ -1,0 +1,121 @@
+#include "cost/layout.hpp"
+
+#include <sstream>
+
+#include "sortnet/revsort.hpp"
+#include "util/assert.hpp"
+
+namespace pcs::cost {
+
+std::size_t Floorplan2D::wiring_area() const {
+  std::size_t a = 0;
+  for (const Region& r : regions) {
+    if (r.label.find("crossbar") != std::string::npos) a += r.area();
+  }
+  return a;
+}
+
+std::size_t Floorplan2D::chip_area() const {
+  std::size_t a = 0;
+  for (const Region& r : regions) {
+    if (r.label.find("crossbar") == std::string::npos) a += r.area();
+  }
+  return a;
+}
+
+namespace {
+
+/// Lay out `stages` columns of `chips_per_stage` w-by-w chips, separated by
+/// (stages - 1) full crossbar regions of n = chips_per_stage * w wires.
+Floorplan2D staged_floorplan(std::size_t stages, std::size_t chips_per_stage,
+                             std::size_t chip_width, const std::string& prefix) {
+  const std::size_t n = chips_per_stage * chip_width;
+  Floorplan2D plan;
+  std::size_t x = 0;
+  for (std::size_t st = 0; st < stages; ++st) {
+    for (std::size_t c = 0; c < chips_per_stage; ++c) {
+      std::ostringstream label;
+      label << prefix << " H(" << (st + 1) << "," << c << ")";
+      plan.regions.push_back(
+          Region{label.str(), x, c * chip_width, chip_width, chip_width});
+    }
+    x += chip_width;
+    if (st + 1 < stages) {
+      std::ostringstream label;
+      label << prefix << " crossbar " << (st + 1) << "->" << (st + 2);
+      plan.regions.push_back(Region{label.str(), x, 0, n, n});
+      x += n;
+    }
+  }
+  plan.width = x;
+  plan.height = n;
+  return plan;
+}
+
+}  // namespace
+
+Floorplan2D revsort_floorplan(std::size_t side) {
+  PCS_REQUIRE(side > 0, "revsort_floorplan side");
+  return staged_floorplan(3, side, side, "revsort");
+}
+
+Floorplan2D columnsort_floorplan(std::size_t r, std::size_t s) {
+  PCS_REQUIRE(r > 0 && s > 0, "columnsort_floorplan shape");
+  return staged_floorplan(2, s, r, "columnsort");
+}
+
+std::size_t Packaging3D::stack_volume() const {
+  std::size_t v = 0;
+  for (const Stack& s : stacks) v += s.volume();
+  return v;
+}
+
+Packaging3D revsort_packaging(std::size_t side) {
+  PCS_REQUIRE(side > 0, "revsort_packaging side");
+  const std::size_t n = side * side;
+  Packaging3D p;
+  // Stacks 1 and 3: one sqrt(n)-by-sqrt(n) hyperconcentrator per board.
+  p.stacks.push_back(Stack{"stack 1 (column sort)", side, side, side});
+  // Stack 2 boards carry hyperconcentrator + barrel shifter side by side.
+  p.stacks.push_back(Stack{"stack 2 (row sort + rev shift)", side, 2 * side, side});
+  p.stacks.push_back(Stack{"stack 3 (column sort)", side, side, side});
+  PCS_REQUIRE(p.total_volume() == 4 * side * n, "revsort packaging volume identity");
+  return p;
+}
+
+Packaging3D columnsort_packaging(std::size_t r, std::size_t s) {
+  PCS_REQUIRE(r > 0 && s > 0 && r % s == 0, "columnsort_packaging shape");
+  Packaging3D p;
+  p.stacks.push_back(Stack{"stack 1 (column sort)", s, r, r});
+  p.stacks.push_back(Stack{"stack 2 (column sort)", s, r, r});
+  p.connector_count = s * s;
+  p.connector_volume_each = wire_transposer_volume(r / s);
+  return p;
+}
+
+std::size_t wire_transposer_volume(std::size_t w) { return w * w; }
+
+Packaging3D full_revsort_packaging(std::size_t side) {
+  PCS_REQUIRE(side >= 2, "full_revsort_packaging side");
+  Packaging3D p;
+  const std::size_t reps = pcs::sortnet::full_revsort_repetitions(side);
+  for (std::size_t t = 0; t < reps; ++t) {
+    std::ostringstream a, b;
+    a << "rep " << (t + 1) << " column sort";
+    b << "rep " << (t + 1) << " row sort + rev shift";
+    p.stacks.push_back(Stack{a.str(), side, side, side});
+    p.stacks.push_back(Stack{b.str(), side, 2 * side, side});
+  }
+  p.stacks.push_back(Stack{"post-rep column sort", side, side, side});
+  for (int phase = 1; phase <= 3; ++phase) {
+    std::ostringstream a, b;
+    a << "shearsort " << phase << " row sort";
+    b << "shearsort " << phase << " column sort";
+    p.stacks.push_back(Stack{a.str(), side, side, side});
+    p.stacks.push_back(Stack{b.str(), side, side, side});
+  }
+  p.stacks.push_back(Stack{"final row sort", side, side, side});
+  return p;
+}
+
+}  // namespace pcs::cost

@@ -1,0 +1,82 @@
+// Geometric layout models behind Figures 3, 4, 6, 7, and 8.
+//
+// 2D layouts (Figures 3 and 6): stages of chips stacked vertically, joined
+// by full n-wire crossbar wiring regions.  3D packagings (Figures 4 and 7):
+// one chip (or chip pair) per board, boards grouped into stacks, stacks
+// joined face-to-face; the Columnsort packaging additionally needs s^2
+// interstack wire transposers (Figure 8), each turning a group of r/s wires
+// from vertical to horizontal alignment in Theta((r/s)^2) volume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcs::cost {
+
+/// One rectangular region of a 2D floorplan.
+struct Region {
+  std::string label;
+  std::size_t x = 0, y = 0;       ///< lower-left corner, wire pitches
+  std::size_t width = 0, height = 0;
+
+  std::size_t area() const noexcept { return width * height; }
+};
+
+/// A column-by-column 2D floorplan: alternating chip columns and crossbar
+/// wiring regions, as in Figures 3 and 6.
+struct Floorplan2D {
+  std::vector<Region> regions;
+  std::size_t width = 0;
+  std::size_t height = 0;
+
+  std::size_t area() const noexcept { return width * height; }
+  std::size_t wiring_area() const;
+  std::size_t chip_area() const;
+};
+
+/// Figure 3: the Revsort switch in 2D.  n = side^2.
+Floorplan2D revsort_floorplan(std::size_t side);
+
+/// Figure 6: the Columnsort switch in 2D on an r-by-s mesh.
+Floorplan2D columnsort_floorplan(std::size_t r, std::size_t s);
+
+/// One stack of boards in a 3D packaging.
+struct Stack {
+  std::string label;
+  std::size_t boards = 0;
+  std::size_t board_width = 0;   ///< wire pitches
+  std::size_t board_height = 0;
+
+  std::size_t volume() const noexcept { return boards * board_width * board_height; }
+};
+
+/// A 3D packaging: stacks plus (optionally) interstack wire transposers.
+struct Packaging3D {
+  std::vector<Stack> stacks;
+  std::size_t connector_count = 0;
+  std::size_t connector_volume_each = 0;
+
+  std::size_t stack_volume() const;
+  std::size_t connector_volume() const noexcept {
+    return connector_count * connector_volume_each;
+  }
+  std::size_t total_volume() const { return stack_volume() + connector_volume(); }
+};
+
+/// Figure 4: the Revsort switch in 3D.  n = side^2.
+Packaging3D revsort_packaging(std::size_t side);
+
+/// Figure 7: the Columnsort switch in 3D.
+Packaging3D columnsort_packaging(std::size_t r, std::size_t s);
+
+/// Section 6's full-Revsort hyperconcentrator packaging: ceil(lg lg sqrt(n))
+/// repetitions of the Figure 4 stack pair (column sort; row sort + shifter),
+/// the post-repetition column-sort stack, three Shearsort stack pairs, and
+/// the final row-sort stack.
+Packaging3D full_revsort_packaging(std::size_t side);
+
+/// Figure 8: volume of one w-wire vertical-to-horizontal transposer.
+std::size_t wire_transposer_volume(std::size_t w);
+
+}  // namespace pcs::cost

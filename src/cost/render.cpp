@@ -1,0 +1,73 @@
+#include "cost/render.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pcs::cost {
+
+std::string render_floorplan(const Floorplan2D& plan, std::size_t cell) {
+  PCS_REQUIRE(cell > 0, "render_floorplan cell");
+  const std::size_t cols = (plan.width + cell - 1) / cell;
+  const std::size_t rows = (plan.height + cell - 1) / cell;
+  PCS_REQUIRE(cols <= 400 && rows <= 400, "render_floorplan too large; raise cell");
+  std::vector<std::string> grid(rows, std::string(cols, ' '));
+
+  for (const Region& r : plan.regions) {
+    const bool is_wiring = r.label.find("crossbar") != std::string::npos;
+    // Stage digit: the character after "H(" for chips, '/' hatching for wires.
+    char fill = '/';
+    if (!is_wiring) {
+      auto pos = r.label.find("H(");
+      fill = (pos != std::string::npos && pos + 2 < r.label.size())
+                 ? r.label[pos + 2]
+                 : '#';
+    }
+    std::size_t c0 = r.x / cell;
+    std::size_t c1 = std::max(c0 + 1, (r.x + r.width + cell - 1) / cell);
+    std::size_t r0 = r.y / cell;
+    std::size_t r1 = std::max(r0 + 1, (r.y + r.height + cell - 1) / cell);
+    for (std::size_t y = r0; y < std::min(r1, rows); ++y) {
+      for (std::size_t x = c0; x < std::min(c1, cols); ++x) {
+        grid[y][x] = fill;
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "+" << std::string(cols, '-') << "+\n";
+  // Row 0 of the model is the top of the drawing.
+  for (const std::string& line : grid) {
+    os << "|" << line << "|\n";
+  }
+  os << "+" << std::string(cols, '-') << "+\n";
+  os << "legend: digits = chip stages, / = crossbar wiring; 1 char = " << cell
+     << "x" << cell << " wire pitches\n";
+  return os.str();
+}
+
+std::string render_packaging(const Packaging3D& p) {
+  std::ostringstream os;
+  for (const Stack& s : p.stacks) {
+    os << s.label << ": " << s.boards << " boards of " << s.board_width << "x"
+       << s.board_height << "\n";
+    std::size_t shown = std::min<std::size_t>(s.boards, 6);
+    for (std::size_t b = 0; b < shown; ++b) {
+      os << "  [" << std::string(std::min<std::size_t>(s.board_width / 2, 40), '=')
+         << "]\n";
+    }
+    if (shown < s.boards) {
+      os << "  ... (" << (s.boards - shown) << " more)\n";
+    }
+  }
+  if (p.connector_count > 0) {
+    os << p.connector_count << " interstack wire transposers, volume "
+       << p.connector_volume_each << " each (Figure 8)\n";
+  }
+  os << "total volume: " << p.total_volume() << " wire-pitch^3\n";
+  return os.str();
+}
+
+}  // namespace pcs::cost

@@ -1,0 +1,22 @@
+// ASCII rendering of floorplans and packagings: Figures 3, 4, 6, and 7
+// drawn from the geometric models, at a caller-chosen scale.  Used by the
+// layout benches and the floorplan example so a reader can eyeball the
+// reproduction against the paper's figures.
+#pragma once
+
+#include <string>
+
+#include "cost/layout.hpp"
+
+namespace pcs::cost {
+
+/// Render a 2D floorplan as character art.  `cell` wire pitches map to one
+/// character; chip regions are boxed with their stage digit, crossbar
+/// regions are hatched.  Keep plan.width / cell <= ~160 for sane output.
+std::string render_floorplan(const Floorplan2D& plan, std::size_t cell);
+
+/// Render a 3D packaging as a stack diagram: one row per stack with board
+/// count and board outline, connectors summarized below.
+std::string render_packaging(const Packaging3D& p);
+
+}  // namespace pcs::cost

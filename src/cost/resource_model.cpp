@@ -1,0 +1,221 @@
+#include "cost/resource_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sortnet/columnsort.hpp"
+#include "sortnet/revsort.hpp"
+#include "switch/columnsort_switch.hpp"
+#include "switch/full_sort_hyper.hpp"
+#include "switch/revsort_switch.hpp"
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::cost {
+
+std::size_t DelayModel::chip_delay(std::size_t width) const {
+  const std::size_t lg = width <= 1 ? 0 : ceil_log2(width);
+  return 2 * lg + pad_delay;
+}
+
+std::string ResourceReport::to_string() const {
+  std::ostringstream os;
+  os << design << ": n=" << n << " m=" << m << " pins/chip=" << pins_per_chip
+     << " chips=" << chip_count << " boards=" << board_count << " (" << board_types
+     << " types)";
+  if (connector_count > 0) os << " connectors=" << connector_count;
+  os << " epsilon=" << epsilon << " alpha=" << load_ratio
+     << " delay=" << gate_delays << " area2d=" << area_2d << " vol3d=" << volume_3d;
+  if (!combinational) os << " [clocked, " << control_steps << " control steps]";
+  return os.str();
+}
+
+namespace {
+double clamped_alpha(std::size_t epsilon, std::size_t m) {
+  if (m == 0) return 0.0;
+  return std::clamp(1.0 - static_cast<double>(epsilon) / static_cast<double>(m), 0.0,
+                    1.0);
+}
+}  // namespace
+
+ResourceReport hyper_chip_report(std::size_t n, std::size_t m, const DelayModel& dm) {
+  PCS_REQUIRE(m >= 1 && m <= n, "hyper_chip_report m range");
+  ResourceReport r;
+  r.design = "single-chip hyperconcentrator";
+  r.n = n;
+  r.m = m;
+  r.pins_per_chip = 2 * n;
+  r.chip_count = 1;
+  r.board_count = 1;
+  r.board_types = 1;
+  r.epsilon = 0;
+  r.load_ratio = 1.0;
+  r.chip_passes = 1;
+  r.gate_delays = dm.chip_delay(n);
+  r.area_2d = n * n;    // the chip itself
+  r.volume_3d = n * n;  // one board
+  return r;
+}
+
+ResourceReport revsort_report(std::size_t n, std::size_t m, const DelayModel& dm) {
+  const std::size_t v = isqrt(n);
+  PCS_REQUIRE(v * v == n && is_pow2(v), "revsort_report shape");
+  PCS_REQUIRE(m >= 1 && m <= n, "revsort_report m range");
+  const std::size_t lg_v = v <= 1 ? 0 : ceil_log2(v);
+  ResourceReport r;
+  r.design = "revsort partial concentrator";
+  r.n = n;
+  r.m = m;
+  // Stage-2 boards carry the shifter's hardwired control pins on top of the
+  // 2*sqrt(n) data pins: the paper's 2 sqrt(n) + ceil(lg n / 2).
+  r.pins_per_chip = 2 * v + lg_v;
+  r.chip_count = 3 * v + v;  // 3 sqrt(n) hyper chips + sqrt(n) shifters
+  r.board_count = 3 * v;     // Figure 4: three stacks of sqrt(n) boards
+  r.board_types = 2;         // stages 1/3 identical; stage 2 adds the shifter
+  r.epsilon = sortnet::algorithm1_dirty_row_bound(v) * v;
+  r.load_ratio = clamped_alpha(r.epsilon, m);
+  r.chip_passes = pcs::sw::RevsortSwitch::kChipPasses;
+  r.gate_delays = 3 * dm.chip_delay(v) + dm.shifter_delay;
+  // Figure 3: three chip columns of sqrt(n) chips (area n each) joined by
+  // two n-wire crossbar regions.
+  r.area_2d = 2 * n * n + 3 * v * (v * v);
+  // Figure 4: stacks 1 and 3 have boards of area n; stack 2 boards carry
+  // hyper + shifter (area 2n).
+  r.volume_3d = v * n + v * 2 * n + v * n;
+  return r;
+}
+
+ResourceReport columnsort_report(std::size_t r_rows, std::size_t s_cols, std::size_t m,
+                                 const DelayModel& dm) {
+  PCS_REQUIRE(s_cols > 0 && r_rows % s_cols == 0, "columnsort_report shape");
+  const std::size_t n = r_rows * s_cols;
+  PCS_REQUIRE(m >= 1 && m <= n, "columnsort_report m range");
+  ResourceReport rep;
+  rep.design = "columnsort partial concentrator";
+  rep.n = n;
+  rep.m = m;
+  rep.pins_per_chip = 2 * r_rows;
+  rep.chip_count = 2 * s_cols;
+  rep.board_count = 2 * s_cols;  // Figure 7: two stacks of s boards
+  rep.board_types = 1;
+  rep.epsilon = sortnet::algorithm2_epsilon_bound(s_cols);
+  rep.load_ratio = clamped_alpha(rep.epsilon, m);
+  rep.chip_passes = pcs::sw::ColumnsortSwitch::kChipPasses;
+  rep.gate_delays = 2 * dm.chip_delay(r_rows);
+  // Figure 6: two chip columns of s chips (area r^2 each) joined by one
+  // n-wire crossbar region.
+  rep.area_2d = n * n + 2 * s_cols * (r_rows * r_rows);
+  // Figure 7: two stacks of s boards of area r^2 each, plus s^2 interstack
+  // wire transposers of volume (r/s)^2 each (Figure 8).
+  const std::size_t w = r_rows / s_cols;
+  rep.connector_count = s_cols * s_cols;
+  rep.volume_3d = 2 * s_cols * (r_rows * r_rows) + rep.connector_count * (w * w);
+  return rep;
+}
+
+ResourceReport partitioned_hyper_report(std::size_t n, std::size_t pins,
+                                        const DelayModel& dm) {
+  PCS_REQUIRE(pins >= 8, "partitioned_hyper_report needs at least 8 pins");
+  const std::size_t x = pins / 4;  // tile side supported by the pin budget
+  const std::size_t tiles_per_side = ceil_div(n, x);
+  ResourceReport r;
+  r.design = "partitioned crossbar hyperconcentrator";
+  r.n = n;
+  r.m = n;
+  r.pins_per_chip = 4 * std::min(x, n);
+  r.chip_count = tiles_per_side * tiles_per_side;  // the Omega((n/p)^2) blowup
+  r.board_count = tiles_per_side;                  // one board per tile row
+  r.board_types = 1;
+  r.epsilon = 0;
+  r.load_ratio = 1.0;
+  // A message's data path runs across a row of tiles and down a column:
+  // logic depth is still 2 lg n, but every tile boundary costs pads.
+  r.chip_passes = 2 * tiles_per_side;
+  r.gate_delays = 2 * (n <= 1 ? 0 : ceil_log2(n)) + r.chip_passes * dm.pad_delay;
+  r.area_2d = n * n;
+  r.volume_3d = tiles_per_side * (n * std::min(x, n));  // boards of n-by-x tiles
+  return r;
+}
+
+ResourceReport prefix_butterfly_report(std::size_t n, const DelayModel& dm) {
+  PCS_REQUIRE(is_pow2(n), "prefix_butterfly_report n must be a power of two");
+  const std::size_t lg = n <= 1 ? 0 : exact_log2(n);
+  ResourceReport r;
+  r.design = "prefix+butterfly hyperconcentrator (clocked)";
+  r.n = n;
+  r.m = n;
+  r.pins_per_chip = 4;  // one 2-by-2 butterfly switch per chip
+  // n/2 switches per butterfly stage plus an (n - 1)-node prefix tree.
+  r.chip_count = (n / 2) * lg + (n - 1);
+  r.board_count = lg;  // one board per butterfly stage (plus the prefix tree)
+  r.board_types = 2;
+  r.epsilon = 0;
+  r.load_ratio = 1.0;
+  r.chip_passes = lg;
+  // Data path: one 2-by-2 steering element (2 gate delays) per stage.
+  r.gate_delays = lg * (2 + dm.pad_delay);
+  r.combinational = false;
+  r.control_steps = lg;  // the sequential prefix phase
+  // Paper: buildable in volume Theta(n^{3/2}); carried with constant 1.
+  r.area_2d = n * lg;  // n wires x lg n stages of constant-size elements
+  r.volume_3d = n * isqrt(n);
+  return r;
+}
+
+ResourceReport full_revsort_report(std::size_t n, const DelayModel& dm) {
+  const std::size_t v = isqrt(n);
+  PCS_REQUIRE(v * v == n && is_pow2(v), "full_revsort_report shape");
+  pcs::sw::FullRevsortHyper sw(n);
+  const std::size_t passes = sw.chip_passes();
+  const std::size_t reps = sw.repetitions();
+  ResourceReport r;
+  r.design = "full-revsort hyperconcentrator";
+  r.n = n;
+  r.m = n;
+  const std::size_t lg_v = v <= 1 ? 0 : ceil_log2(v);
+  r.pins_per_chip = 2 * v + lg_v;
+  r.chip_count = passes * v + reps * v;  // hyper chips + shifters
+  r.board_count = passes * v;
+  r.board_types = 2;
+  r.epsilon = 0;
+  r.load_ratio = 1.0;
+  r.chip_passes = passes;
+  r.gate_delays = passes * dm.chip_delay(v) + reps * dm.shifter_delay;
+  r.area_2d = (passes - 1) * n * n + passes * v * (v * v);
+  // Rotation-carrying stacks have double-area boards.
+  r.volume_3d = (passes - reps) * v * n + reps * v * 2 * n;
+  return r;
+}
+
+ResourceReport full_columnsort_report(std::size_t r_rows, std::size_t s_cols,
+                                      const DelayModel& dm) {
+  PCS_REQUIRE(sortnet::columnsort_shape_ok(r_rows, s_cols),
+              "full_columnsort_report shape");
+  const std::size_t n = r_rows * s_cols;
+  ResourceReport rep;
+  rep.design = "full-columnsort hyperconcentrator";
+  rep.n = n;
+  rep.m = n;
+  rep.pins_per_chip = 2 * r_rows;
+  rep.chip_count = 3 * s_cols + (s_cols + 1);
+  rep.board_count = rep.chip_count;
+  rep.board_types = 1;
+  rep.epsilon = 0;
+  rep.load_ratio = 1.0;
+  rep.chip_passes = pcs::sw::FullColumnsortHyper::kChipPasses;
+  rep.gate_delays = 4 * dm.chip_delay(r_rows);
+  rep.area_2d = 3 * n * n + rep.chip_count * (r_rows * r_rows);
+  const std::size_t w = r_rows / s_cols;
+  rep.connector_count = 3 * s_cols * s_cols;
+  rep.volume_3d = rep.chip_count * (r_rows * r_rows) + rep.connector_count * (w * w);
+  return rep;
+}
+
+std::size_t paper_full_revsort_delay_formula(std::size_t n) {
+  PCS_REQUIRE(n >= 4, "paper_full_revsort_delay_formula n");
+  const std::size_t lg = ceil_log2(n);
+  const std::size_t lglg = ceil_log2(lg);
+  return 4 * lg * lglg + 8 * lg;
+}
+
+}  // namespace pcs::cost

@@ -1,0 +1,98 @@
+// Physical resource model: turns a switch design into the five measures of
+// Table 1 (pins per chip, chip count, load ratio, gate delays, volume) plus
+// board/connector counts and 2D area.
+//
+// Units are technology-normalized, as in the paper's Theta-statements:
+//  * one unit of length = one wire pitch;
+//  * a w-by-w hyperconcentrator chip (or w-bit barrel shifter) occupies
+//    w x w = w^2 units^2 of silicon;
+//  * a board is as large as the chips it carries, and one board occupies
+//    one unit of stack height, so a stack of b boards of area A has volume
+//    b * A;
+//  * an n-wire crossbar wiring region in a 2D layout occupies n x n units^2.
+//
+// The delay model follows Section 4: a message incurs 2*ceil(lg w) gate
+// delays inside a w-by-w hyperconcentrator chip plus a constant for I/O pad
+// circuitry, and a constant through a hardwired barrel shifter.  With the
+// default constants the totals reproduce the paper's 2 lg n / 3 lg n + O(1)
+// / 4 beta lg n + O(1) formulas exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pcs::cost {
+
+struct DelayModel {
+  /// O(1) gate delays contributed by I/O pad circuitry per chip crossing.
+  unsigned pad_delay = 2;
+  /// O(1) gate delays through a hardwired barrel shifter (pure wiring plus
+  /// its pads).
+  unsigned shifter_delay = 1;
+
+  /// Message delay through one w-by-w hyperconcentrator chip.
+  std::size_t chip_delay(std::size_t width) const;
+};
+
+/// One design's resource figures.  Every quantity is an exact count under
+/// the normalization above, not just an order of growth.
+struct ResourceReport {
+  std::string design;
+  std::size_t n = 0;                ///< input wires
+  std::size_t m = 0;                ///< output wires
+  std::size_t pins_per_chip = 0;    ///< max data+control pins on any chip
+  std::size_t chip_count = 0;
+  std::size_t board_count = 0;
+  std::size_t board_types = 0;
+  std::size_t connector_count = 0;  ///< interstack wire transposers
+  std::size_t epsilon = 0;          ///< guaranteed nearsortedness
+  double load_ratio = 1.0;          ///< alpha = 1 - epsilon/m (clamped)
+  std::size_t chip_passes = 0;      ///< chips a message traverses
+  std::size_t gate_delays = 0;      ///< message delay through the switch
+  std::size_t area_2d = 0;          ///< Figure 3/6 layout area
+  std::size_t volume_3d = 0;        ///< Figure 4/7 packaging volume
+  bool combinational = true;        ///< false: clocked control (Section 1's foil)
+  std::size_t control_steps = 0;    ///< sequential control steps when clocked
+
+  std::string to_string() const;
+};
+
+/// Single-chip n-by-n hyperconcentrator used as an n-by-m perfect
+/// concentrator (the baseline whose 2n pins force multichip designs).
+ResourceReport hyper_chip_report(std::size_t n, std::size_t m,
+                                 const DelayModel& dm = {});
+
+/// The Revsort-based partial concentrator (Section 4).  n = side^2, side a
+/// power of two.
+ResourceReport revsort_report(std::size_t n, std::size_t m,
+                              const DelayModel& dm = {});
+
+/// The Columnsort-based partial concentrator (Section 5) on an r-by-s mesh.
+ResourceReport columnsort_report(std::size_t r, std::size_t s, std::size_t m,
+                                 const DelayModel& dm = {});
+
+/// Section 1's motivating negative result, made executable: naively
+/// partitioning the Theta(n^2)-area crossbar hyperconcentrator across
+/// p-pin chips.  Tiling the n-by-n selector array into x-by-x tiles needs
+/// 4x pins per tile (x wires in on each of two sides, out on two sides),
+/// so x = p/4 and ceil(n/x)^2 chips -- the Omega((n/p)^2) blowup -- and a
+/// message now crosses ~2 n/x chips of pad delay instead of one.
+ResourceReport partitioned_hyper_report(std::size_t n, std::size_t pins,
+                                        const DelayModel& dm = {});
+
+/// Section 1's non-combinational foil: the parallel-prefix + butterfly
+/// hyperconcentrator (O(n lg n) chips, 4 data pins per chip,
+/// Theta(n^{3/2}) volume, lg n sequential control steps).
+ResourceReport prefix_butterfly_report(std::size_t n, const DelayModel& dm = {});
+
+/// Section 6 full-sorting hyperconcentrator variants.
+ResourceReport full_revsort_report(std::size_t n, const DelayModel& dm = {});
+ResourceReport full_columnsort_report(std::size_t r, std::size_t s,
+                                      const DelayModel& dm = {});
+
+/// The paper's printed delay formula for the full-Revsort hyperconcentrator,
+/// 4 lg n lg lg n + 8 lg n (for comparison with our structural count; see
+/// DESIGN.md section 4 on the factor-of-two discrepancy).
+std::size_t paper_full_revsort_delay_formula(std::size_t n);
+
+}  // namespace pcs::cost

@@ -1,0 +1,37 @@
+#include "cost/scaling.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pcs::cost {
+
+ScalingFit fit_power_law(const std::vector<std::pair<std::size_t, double>>& points) {
+  PCS_REQUIRE(points.size() >= 2, "fit_power_law needs at least two points");
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  const double count = static_cast<double>(points.size());
+  for (const auto& [n, v] : points) {
+    PCS_REQUIRE(n > 0 && v > 0, "fit_power_law positive values");
+    double x = std::log(static_cast<double>(n));
+    double y = std::log(v);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+  }
+  const double denom = count * sxx - sx * sx;
+  PCS_REQUIRE(denom > 0, "fit_power_law degenerate abscissae");
+  ScalingFit fit;
+  fit.exponent = (count * sxy - sx * sy) / denom;
+  const double ss_tot = syy - sy * sy / count;
+  if (ss_tot <= 0) {
+    fit.r_squared = 1.0;  // constant series: a perfect zero-slope fit
+  } else {
+    const double ss_reg = fit.exponent * (sxy - sx * sy / count);
+    fit.r_squared = ss_reg / ss_tot;
+  }
+  return fit;
+}
+
+}  // namespace pcs::cost

@@ -1,0 +1,29 @@
+// Empirical scaling-exponent estimation: turns a series of (n, value)
+// measurements into a log-log slope, so tests and benches can assert the
+// Theta exponents of Table 1 rigorously instead of eyeballing ratios.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pcs::cost {
+
+struct ScalingFit {
+  double exponent = 0.0;   ///< least-squares slope of log(value) vs log(n)
+  double r_squared = 0.0;  ///< goodness of fit in [0, 1]
+};
+
+/// Least-squares fit of value ~ C * n^exponent over the given points.
+/// Precondition: >= 2 points, all n and value strictly positive.
+ScalingFit fit_power_law(const std::vector<std::pair<std::size_t, double>>& points);
+
+/// Convenience: measure a quantity at several n via a callback and fit.
+template <typename F>
+ScalingFit fit_power_law_of(const std::vector<std::size_t>& ns, F&& measure) {
+  std::vector<std::pair<std::size_t, double>> pts;
+  pts.reserve(ns.size());
+  for (std::size_t n : ns) pts.emplace_back(n, static_cast<double>(measure(n)));
+  return fit_power_law(pts);
+}
+
+}  // namespace pcs::cost

@@ -1,0 +1,42 @@
+// Table 1 of the paper: resource measures for the Revsort-based partial
+// concentrator switch and for the Columnsort-based switch at the beta values
+// (1/2, 5/8, 3/4) where the latter matches the former asymptotically.
+//
+// The paper's table is asymptotic; ours is generated twice: once echoing the
+// paper's asymptotic claims, and once as concrete counts from the resource
+// model at a caller-chosen n (and m), so the scaling can be checked
+// numerically (the bench bench_table1 prints both, and the tests verify the
+// exponents by ratio).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/resource_model.hpp"
+
+namespace pcs::cost {
+
+/// The beta values Table 1 tabulates for the Columnsort switch.
+inline constexpr double kTable1Betas[] = {0.5, 0.625, 0.75};
+
+/// One concrete column of Table 1.
+struct Table1Column {
+  std::string header;
+  ResourceReport report;
+};
+
+/// Concrete Table 1 at size n (a power of two that is also a square of a
+/// power of two) and output count m.
+std::vector<Table1Column> table1_columns(std::size_t n, std::size_t m,
+                                         const DelayModel& dm = {});
+
+/// Render the concrete table as fixed-width text (rows = the paper's five
+/// measures plus the supporting counts).
+std::string render_table1(std::size_t n, std::size_t m, const DelayModel& dm = {});
+
+/// Render the paper's asymptotic Table 1 verbatim, for side-by-side
+/// comparison in reports.
+std::string render_table1_asymptotic();
+
+}  // namespace pcs::cost

@@ -1,0 +1,104 @@
+#include "gates/builder.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pcs::gates {
+
+NodeId Builder::or_tree(std::span<const NodeId> xs) {
+  if (xs.empty()) return c_->const_zero();
+  std::vector<NodeId> level(xs.begin(), xs.end());
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(c_->add_or(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+NodeId Builder::and_tree(std::span<const NodeId> xs) {
+  if (xs.empty()) return c_->const_one();
+  std::vector<NodeId> level(xs.begin(), xs.end());
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(c_->add_and(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+NodeId Builder::steer2(NodeId l, NodeId gl, NodeId r, NodeId gr) {
+  return c_->add_or(c_->add_and(l, gl), c_->add_and(r, gr));
+}
+
+NodeId Builder::mux(NodeId sel, NodeId a, NodeId b) {
+  NodeId nsel = c_->add_not(sel);
+  return c_->add_or(c_->add_and(sel, a), c_->add_and(nsel, b));
+}
+
+NodeId Builder::at_least(std::span<const NodeId> thermo, std::size_t t) {
+  if (t == 0) return c_->const_one();
+  if (t > thermo.size()) return c_->const_zero();
+  return thermo[t - 1];
+}
+
+std::vector<NodeId> Builder::thermometer_add(std::span<const NodeId> a,
+                                             std::span<const NodeId> b) {
+  const std::size_t la = a.size();
+  const std::size_t lb = b.size();
+  std::vector<NodeId> out;
+  out.reserve(la + lb);
+  for (std::size_t k = 0; k < la + lb; ++k) {
+    // out[k] = (a + b >= k+1) = OR over splits p + q = k+1 of
+    // (a >= p AND b >= q), with p in [max(0, k+1-lb), min(la, k+1)].
+    std::vector<NodeId> terms;
+    const std::size_t target = k + 1;
+    std::size_t p_lo = target > lb ? target - lb : 0;
+    std::size_t p_hi = target < la ? target : la;
+    for (std::size_t p = p_lo; p <= p_hi; ++p) {
+      std::size_t q = target - p;
+      NodeId ap = at_least(a, p);
+      NodeId bq = at_least(b, q);
+      if (p == 0) {
+        terms.push_back(bq);
+      } else if (q == 0) {
+        terms.push_back(ap);
+      } else {
+        terms.push_back(c_->add_and(ap, bq));
+      }
+    }
+    out.push_back(or_tree(terms));
+  }
+  return out;
+}
+
+std::vector<NodeId> Builder::thermometer_count(std::span<const NodeId> bits) {
+  if (bits.empty()) return {};
+  // Binary merge: each input bit is a length-1 thermometer code; repeatedly
+  // thermometer_add adjacent pairs.
+  std::vector<std::vector<NodeId>> level;
+  level.reserve(bits.size());
+  for (NodeId b : bits) level.push_back({b});
+  while (level.size() > 1) {
+    std::vector<std::vector<NodeId>> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(thermometer_add(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+  PCS_REQUIRE(level[0].size() == bits.size(), "thermometer_count length");
+  return level[0];
+}
+
+}  // namespace pcs::gates

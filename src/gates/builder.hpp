@@ -1,0 +1,59 @@
+// Higher-level construction helpers over Circuit: balanced OR/AND trees,
+// two-gate-deep steered selectors, multiplexers, and thermometer-code adders.
+//
+// These are the idioms the reconstructed hyperconcentrator data and control
+// paths are written in (see hyper/hyper_circuit.*).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gates/circuit.hpp"
+
+namespace pcs::gates {
+
+class Builder {
+ public:
+  explicit Builder(Circuit& c) : c_(&c) {}
+
+  Circuit& circuit() noexcept { return *c_; }
+
+  /// Balanced OR tree over the given nodes; depth = ceil(lg count).
+  /// An empty span yields constant 0.
+  NodeId or_tree(std::span<const NodeId> xs);
+
+  /// Balanced AND tree over the given nodes; depth = ceil(lg count).
+  /// An empty span yields constant 1.
+  NodeId and_tree(std::span<const NodeId> xs);
+
+  /// Steered two-way combine: (l AND gl) OR (r AND gr).  Exactly two gate
+  /// delays from l/r to the output -- the node of the data-path selection
+  /// tree that gives the hyperconcentrator its 2 lg n message delay.
+  NodeId steer2(NodeId l, NodeId gl, NodeId r, NodeId gr);
+
+  /// Classic multiplexer: sel ? a : b.  Three gates, two gate delays from
+  /// a/b, three from sel (through the NOT).
+  NodeId mux(NodeId sel, NodeId a, NodeId b);
+
+  /// Thermometer-code addition.  Inputs a (length la) and b (length lb)
+  /// encode integers in unary (a[i] = 1 iff value > i, nonincreasing).
+  /// Output (length la + lb) encodes their sum: out[k] = OR over p+q=k+1,
+  /// p<=la, q<=lb of (a has >= p ones AND b has >= q ones).
+  /// This is the merge step of the setup-time population counter.
+  std::vector<NodeId> thermometer_add(std::span<const NodeId> a,
+                                      std::span<const NodeId> b);
+
+  /// Thermometer population count of the given bits: out[k] = 1 iff more
+  /// than k of the inputs are 1.  Built by binary merging; the output length
+  /// equals the input length.
+  std::vector<NodeId> thermometer_count(std::span<const NodeId> bits);
+
+ private:
+  /// a-with->= semantics: node meaning "value >= t", where t in [0, len];
+  /// t = 0 is constant one, t = len+... handled by caller.
+  NodeId at_least(std::span<const NodeId> thermo, std::size_t t);
+
+  Circuit* c_;
+};
+
+}  // namespace pcs::gates

@@ -1,0 +1,157 @@
+#include "gates/circuit.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pcs::gates {
+
+NodeId Circuit::add_node(NodeKind kind, NodeId a, NodeId b) {
+  if (kind != NodeKind::kInput && kind != NodeKind::kConstZero &&
+      kind != NodeKind::kConstOne) {
+    PCS_REQUIRE(a < nodes_.size(), "gate operand a out of range");
+    if (kind != NodeKind::kNot) {
+      PCS_REQUIRE(b < nodes_.size(), "gate operand b out of range");
+    }
+  }
+  nodes_.push_back(Node{kind, a, b});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Circuit::add_input() {
+  NodeId id = add_node(NodeKind::kInput, 0, 0);
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Circuit::const_zero() {
+  if (const_zero_ == UINT32_MAX) const_zero_ = add_node(NodeKind::kConstZero, 0, 0);
+  return const_zero_;
+}
+
+NodeId Circuit::const_one() {
+  if (const_one_ == UINT32_MAX) const_one_ = add_node(NodeKind::kConstOne, 0, 0);
+  return const_one_;
+}
+
+NodeId Circuit::add_not(NodeId a) { return add_node(NodeKind::kNot, a, 0); }
+NodeId Circuit::add_and(NodeId a, NodeId b) { return add_node(NodeKind::kAnd, a, b); }
+NodeId Circuit::add_or(NodeId a, NodeId b) { return add_node(NodeKind::kOr, a, b); }
+NodeId Circuit::add_xor(NodeId a, NodeId b) { return add_node(NodeKind::kXor, a, b); }
+
+void Circuit::mark_output(NodeId id) {
+  PCS_REQUIRE(id < nodes_.size(), "output id out of range");
+  outputs_.push_back(id);
+}
+
+std::size_t Circuit::gate_count() const noexcept {
+  std::size_t gates = 0;
+  for (const Node& n : nodes_) {
+    if (n.kind != NodeKind::kInput && n.kind != NodeKind::kConstZero &&
+        n.kind != NodeKind::kConstOne) {
+      ++gates;
+    }
+  }
+  return gates;
+}
+
+std::vector<std::uint32_t> Circuit::node_depths() const {
+  std::vector<std::uint32_t> depth(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    switch (n.kind) {
+      case NodeKind::kInput:
+      case NodeKind::kConstZero:
+      case NodeKind::kConstOne:
+        depth[i] = 0;
+        break;
+      case NodeKind::kNot:
+        depth[i] = depth[n.a] + 1;
+        break;
+      default:
+        depth[i] = std::max(depth[n.a], depth[n.b]) + 1;
+        break;
+    }
+  }
+  return depth;
+}
+
+std::vector<std::uint32_t> Circuit::output_depths() const {
+  std::vector<std::uint32_t> depth = node_depths();
+  std::vector<std::uint32_t> out;
+  out.reserve(outputs_.size());
+  for (NodeId id : outputs_) out.push_back(depth[id]);
+  return out;
+}
+
+std::uint32_t Circuit::depth() const {
+  std::uint32_t best = 0;
+  for (std::uint32_t d : output_depths()) best = std::max(best, d);
+  return best;
+}
+
+std::vector<NodeId> Circuit::instantiate(const Circuit& sub,
+                                         std::span<const NodeId> input_bindings) {
+  PCS_REQUIRE(input_bindings.size() == sub.input_count(),
+              "instantiate binding count");
+  for (NodeId b : input_bindings) {
+    PCS_REQUIRE(b < nodes_.size(), "instantiate binding id");
+  }
+  std::vector<NodeId> map(sub.nodes_.size());
+  std::size_t next_input = 0;
+  for (std::size_t i = 0; i < sub.nodes_.size(); ++i) {
+    const Node& n = sub.nodes_[i];
+    switch (n.kind) {
+      case NodeKind::kInput:
+        map[i] = input_bindings[next_input++];
+        break;
+      case NodeKind::kConstZero:
+        map[i] = const_zero();
+        break;
+      case NodeKind::kConstOne:
+        map[i] = const_one();
+        break;
+      case NodeKind::kNot:
+        map[i] = add_not(map[n.a]);
+        break;
+      case NodeKind::kAnd:
+        map[i] = add_and(map[n.a], map[n.b]);
+        break;
+      case NodeKind::kOr:
+        map[i] = add_or(map[n.a], map[n.b]);
+        break;
+      case NodeKind::kXor:
+        map[i] = add_xor(map[n.a], map[n.b]);
+        break;
+    }
+  }
+  std::vector<NodeId> outs;
+  outs.reserve(sub.outputs_.size());
+  for (NodeId id : sub.outputs_) outs.push_back(map[id]);
+  return outs;
+}
+
+std::vector<std::int64_t> Circuit::output_depths_from(
+    std::span<const NodeId> sources) const {
+  std::vector<std::int64_t> depth(nodes_.size(), -1);
+  for (NodeId s : sources) {
+    PCS_REQUIRE(s < nodes_.size(), "output_depths_from source id");
+    depth[s] = 0;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.kind == NodeKind::kInput || n.kind == NodeKind::kConstZero ||
+        n.kind == NodeKind::kConstOne) {
+      continue;  // keeps 0 if a source, -1 otherwise
+    }
+    std::int64_t longest = depth[n.a];
+    if (n.kind != NodeKind::kNot) longest = std::max(longest, depth[n.b]);
+    if (longest >= 0) depth[i] = std::max(depth[i], longest + 1);
+  }
+  std::vector<std::int64_t> out;
+  out.reserve(outputs_.size());
+  for (NodeId id : outputs_) out.push_back(depth[id]);
+  return out;
+}
+
+}  // namespace pcs::gates

@@ -1,0 +1,109 @@
+// Combinational gate-level netlist.
+//
+// The paper states its delay results in *gate delays*: a message passing
+// through a switch traverses a combinational data path whose depth is the
+// figure of merit (2 lg n through a hyperconcentrator chip, 3 lg n + O(1)
+// through the Revsort switch, ...).  This module gives those statements an
+// executable meaning: circuits are DAGs of fan-in-<=2 gates, depth is the
+// longest input-to-output gate path, and the evaluator checks functional
+// equivalence against the behavioural models.
+//
+// Nodes are created in topological order (every operand id is smaller than
+// the gate's own id), so evaluation and depth analysis are single passes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pcs::gates {
+
+/// Kinds of circuit nodes.  Inputs and constants contribute zero delay;
+/// every logic gate contributes one gate delay.
+enum class NodeKind : std::uint8_t {
+  kInput,
+  kConstZero,
+  kConstOne,
+  kNot,   // one operand
+  kAnd,   // two operands
+  kOr,    // two operands
+  kXor,   // two operands
+};
+
+/// Index of a node within a Circuit.
+using NodeId = std::uint32_t;
+
+struct Node {
+  NodeKind kind;
+  NodeId a = 0;  ///< first operand (unused for inputs/constants)
+  NodeId b = 0;  ///< second operand (unused for NOT)
+};
+
+class Circuit {
+ public:
+  /// Append a primary input; returns its node id.
+  NodeId add_input();
+
+  /// Constant nodes (shared; repeated calls return the same node).
+  NodeId const_zero();
+  NodeId const_one();
+
+  NodeId add_not(NodeId a);
+  NodeId add_and(NodeId a, NodeId b);
+  NodeId add_or(NodeId a, NodeId b);
+  NodeId add_xor(NodeId a, NodeId b);
+
+  /// Declare a node as the i-th primary output (in call order).
+  void mark_output(NodeId id);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t input_count() const noexcept { return inputs_.size(); }
+  std::size_t output_count() const noexcept { return outputs_.size(); }
+
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  const std::vector<NodeId>& inputs() const noexcept { return inputs_; }
+  const std::vector<NodeId>& outputs() const noexcept { return outputs_; }
+
+  /// Number of logic gates (excludes inputs and constants).
+  std::size_t gate_count() const noexcept;
+
+  /// Gate depth of every node (inputs and constants are depth 0).
+  std::vector<std::uint32_t> node_depths() const;
+
+  /// Gate depth of each primary output.
+  std::vector<std::uint32_t> output_depths() const;
+
+  /// Maximum gate depth over all primary outputs -- the circuit's gate-delay
+  /// figure in the paper's sense.
+  std::uint32_t depth() const;
+
+  /// Instantiate another circuit inside this one: every node of `sub` is
+  /// copied, with sub's primary inputs replaced by the given existing nodes
+  /// of *this* circuit (one binding per sub input, in order).  Returns the
+  /// nodes corresponding to sub's primary outputs.  Sub's own output marks
+  /// are NOT propagated; the caller decides what to expose.
+  ///
+  /// This is how multichip switches are assembled at gate level: each chip
+  /// is one instantiation, inter-chip wiring is just the choice of bindings.
+  std::vector<NodeId> instantiate(const Circuit& sub,
+                                  std::span<const NodeId> input_bindings);
+
+  /// Gate depth of each primary output counting only paths that start at one
+  /// of the given source nodes; -1 for outputs unreachable from them.
+  ///
+  /// This separates the *message data path* (what the paper charges a
+  /// message for: 2 lg n through a hyperconcentrator chip) from the *control
+  /// path* computed once at setup: measure with sources = the data inputs.
+  std::vector<std::int64_t> output_depths_from(std::span<const NodeId> sources) const;
+
+ private:
+  NodeId add_node(NodeKind kind, NodeId a, NodeId b);
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  NodeId const_zero_ = UINT32_MAX;
+  NodeId const_one_ = UINT32_MAX;
+};
+
+}  // namespace pcs::gates

@@ -1,0 +1,60 @@
+#include "gates/evaluator.hpp"
+
+#include "util/assert.hpp"
+
+namespace pcs::gates {
+
+std::vector<std::uint64_t> Evaluator::evaluate_lanes(
+    const std::vector<std::uint64_t>& inputs) const {
+  const Circuit& c = *circuit_;
+  PCS_REQUIRE(inputs.size() == c.input_count(), "Evaluator input arity");
+  std::vector<std::uint64_t> value(c.node_count(), 0);
+  std::size_t next_input = 0;
+  const auto& nodes = c.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    switch (n.kind) {
+      case NodeKind::kInput:
+        value[i] = inputs[next_input++];
+        break;
+      case NodeKind::kConstZero:
+        value[i] = 0;
+        break;
+      case NodeKind::kConstOne:
+        value[i] = ~std::uint64_t{0};
+        break;
+      case NodeKind::kNot:
+        value[i] = ~value[n.a];
+        break;
+      case NodeKind::kAnd:
+        value[i] = value[n.a] & value[n.b];
+        break;
+      case NodeKind::kOr:
+        value[i] = value[n.a] | value[n.b];
+        break;
+      case NodeKind::kXor:
+        value[i] = value[n.a] ^ value[n.b];
+        break;
+    }
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(c.output_count());
+  for (NodeId id : c.outputs()) out.push_back(value[id]);
+  return out;
+}
+
+BitVec Evaluator::evaluate(const BitVec& inputs) const {
+  PCS_REQUIRE(inputs.size() == circuit_->input_count(), "Evaluator input arity");
+  std::vector<std::uint64_t> lanes(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    lanes[i] = inputs.get(i) ? 1u : 0u;
+  }
+  std::vector<std::uint64_t> out_lanes = evaluate_lanes(lanes);
+  BitVec out(out_lanes.size());
+  for (std::size_t i = 0; i < out_lanes.size(); ++i) {
+    out.set(i, (out_lanes[i] & 1u) != 0);
+  }
+  return out;
+}
+
+}  // namespace pcs::gates

@@ -1,0 +1,35 @@
+// Circuit evaluation.
+//
+// Two granularities: single-pattern evaluation over BitVec, and word-parallel
+// evaluation that propagates 64 independent input patterns per pass (each
+// bit lane of a 64-bit word is one pattern).  The word-parallel path is how
+// the exhaustive equivalence tests and the gate-level benches stay cheap:
+// one sweep of an n-input hyperconcentrator circuit validates 64 patterns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gates/circuit.hpp"
+#include "util/bitvec.hpp"
+
+namespace pcs::gates {
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Circuit& c) : circuit_(&c) {}
+
+  /// Evaluate one input pattern; returns one bit per primary output.
+  BitVec evaluate(const BitVec& inputs) const;
+
+  /// Evaluate up to 64 patterns at once.  inputs[i] holds the value of
+  /// primary input i across all lanes (lane l = bit l).  Returns one word
+  /// per primary output with the same lane layout.
+  std::vector<std::uint64_t> evaluate_lanes(
+      const std::vector<std::uint64_t>& inputs) const;
+
+ private:
+  const Circuit* circuit_;
+};
+
+}  // namespace pcs::gates

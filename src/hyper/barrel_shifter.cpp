@@ -1,0 +1,94 @@
+#include "hyper/barrel_shifter.hpp"
+
+#include <algorithm>
+
+#include "gates/builder.hpp"
+#include "gates/evaluator.hpp"
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::hyper {
+
+BitVec rotate_right(const BitVec& bits, std::size_t amount) {
+  const std::size_t n = bits.size();
+  if (n == 0) return bits;
+  amount %= n;
+  BitVec out(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.set((j + amount) % n, bits.get(j));
+  }
+  return out;
+}
+
+HardwiredBarrelShifter::HardwiredBarrelShifter(std::size_t n, std::size_t amount)
+    : n_(n), amount_(n > 0 ? amount % n : 0) {
+  PCS_REQUIRE(n > 0, "HardwiredBarrelShifter size");
+  data_inputs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) data_inputs_.push_back(circuit_.add_input());
+  // Output (j + amount) mod n is input j: rotation is pure wiring.
+  for (std::size_t out = 0; out < n; ++out) {
+    std::size_t in = (out + n - amount_) % n;
+    circuit_.mark_output(data_inputs_[in]);
+  }
+}
+
+BitVec HardwiredBarrelShifter::evaluate(const BitVec& bits) const {
+  PCS_REQUIRE(bits.size() == n_, "HardwiredBarrelShifter::evaluate width");
+  gates::Evaluator eval(circuit_);
+  return eval.evaluate(bits);
+}
+
+std::uint32_t HardwiredBarrelShifter::data_path_depth() const {
+  auto depths = circuit_.output_depths_from(data_inputs_);
+  std::int64_t best = 0;
+  for (std::int64_t d : depths) best = std::max(best, d);
+  return static_cast<std::uint32_t>(best);
+}
+
+ProgrammableBarrelShifter::ProgrammableBarrelShifter(std::size_t n) : n_(n) {
+  PCS_REQUIRE(n > 0, "ProgrammableBarrelShifter size");
+  gates::Builder builder(circuit_);
+  data_inputs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) data_inputs_.push_back(circuit_.add_input());
+  const std::size_t stages = (n <= 1) ? 0 : ceil_log2(n);
+  for (std::size_t t = 0; t < stages; ++t) control_inputs_.push_back(circuit_.add_input());
+
+  std::vector<gates::NodeId> wires = data_inputs_;
+  for (std::size_t t = 0; t < stages; ++t) {
+    const std::size_t shift = std::size_t{1} << t;
+    gates::NodeId sel = control_inputs_[t];
+    gates::NodeId nsel = circuit_.add_not(sel);
+    std::vector<gates::NodeId> next(n);
+    for (std::size_t out = 0; out < n; ++out) {
+      gates::NodeId shifted = wires[(out + n - (shift % n)) % n];
+      gates::NodeId straight = wires[out];
+      // 2 gate delays per stage from the data wires (the NOT is on the
+      // control path and does not delay the data).
+      next[out] = circuit_.add_or(circuit_.add_and(sel, shifted),
+                                  circuit_.add_and(nsel, straight));
+    }
+    wires = std::move(next);
+  }
+  for (gates::NodeId w : wires) circuit_.mark_output(w);
+}
+
+BitVec ProgrammableBarrelShifter::evaluate(const BitVec& bits, std::size_t amount) const {
+  PCS_REQUIRE(bits.size() == n_, "ProgrammableBarrelShifter::evaluate width");
+  amount %= n_;
+  BitVec inputs(n_ + control_inputs_.size());
+  for (std::size_t i = 0; i < n_; ++i) inputs.set(i, bits.get(i));
+  for (std::size_t t = 0; t < control_inputs_.size(); ++t) {
+    inputs.set(n_ + t, ((amount >> t) & 1u) != 0);
+  }
+  gates::Evaluator eval(circuit_);
+  return eval.evaluate(inputs);
+}
+
+std::uint32_t ProgrammableBarrelShifter::data_path_depth() const {
+  auto depths = circuit_.output_depths_from(data_inputs_);
+  std::int64_t best = 0;
+  for (std::int64_t d : depths) best = std::max(best, d);
+  return static_cast<std::uint32_t>(best);
+}
+
+}  // namespace pcs::hyper

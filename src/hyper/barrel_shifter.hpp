@@ -1,0 +1,70 @@
+// Barrel shifter: the second chip type of the Revsort switch's stage-2
+// boards (Figure 4).  Board i rotates its row right by rev(i); the paper
+// hardwires the ceil(lg sqrt(n)) control bits after board fabrication, so
+// the shifter adds only a constant number of gate delays to a message.
+//
+// Two models:
+//  * functional rotation (used by the switch simulations), and
+//  * gate-level circuits -- a hardwired variant (pure wiring, zero logic
+//    delay, matching the paper's "only a constant number of gate delays")
+//    and a programmable variant (lg n mux stages, 2 gate delays each) for
+//    the ablation bench that quantifies what hardwiring buys.
+#pragma once
+
+#include <cstdint>
+
+#include "gates/circuit.hpp"
+#include "util/bitvec.hpp"
+
+namespace pcs::hyper {
+
+/// Rotate `bits` right by `amount` places: bit j moves to (j + amount) mod n.
+BitVec rotate_right(const BitVec& bits, std::size_t amount);
+
+/// Gate-level barrel shifter with the rotation amount fixed at construction
+/// (the hardwired control bits of Figure 4).  Outputs are wired straight to
+/// inputs: zero gate depth.
+class HardwiredBarrelShifter {
+ public:
+  HardwiredBarrelShifter(std::size_t n, std::size_t amount);
+
+  std::size_t n() const noexcept { return n_; }
+  std::size_t amount() const noexcept { return amount_; }
+  const gates::Circuit& circuit() const noexcept { return circuit_; }
+
+  BitVec evaluate(const BitVec& bits) const;
+
+  /// Gate depth from data inputs to outputs (0 for the hardwired shifter).
+  std::uint32_t data_path_depth() const;
+
+ private:
+  std::size_t n_;
+  std::size_t amount_;
+  gates::Circuit circuit_;
+  std::vector<gates::NodeId> data_inputs_;
+};
+
+/// Gate-level barrel shifter with ceil(lg n) binary control inputs selecting
+/// the rotation amount at run time; stage t conditionally rotates by 2^t.
+class ProgrammableBarrelShifter {
+ public:
+  explicit ProgrammableBarrelShifter(std::size_t n);
+
+  std::size_t n() const noexcept { return n_; }
+  std::size_t control_bits() const noexcept { return control_inputs_.size(); }
+  const gates::Circuit& circuit() const noexcept { return circuit_; }
+
+  /// Rotate right by `amount` (encoded onto the control inputs).
+  BitVec evaluate(const BitVec& bits, std::size_t amount) const;
+
+  /// Gate depth from data inputs to outputs: 2 per mux stage.
+  std::uint32_t data_path_depth() const;
+
+ private:
+  std::size_t n_;
+  gates::Circuit circuit_;
+  std::vector<gates::NodeId> data_inputs_;
+  std::vector<gates::NodeId> control_inputs_;
+};
+
+}  // namespace pcs::hyper

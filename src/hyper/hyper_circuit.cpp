@@ -1,0 +1,125 @@
+#include "hyper/hyper_circuit.hpp"
+
+#include <algorithm>
+
+#include "gates/builder.hpp"
+#include "gates/evaluator.hpp"
+#include "util/assert.hpp"
+
+namespace pcs::hyper {
+
+namespace {
+
+using gates::Builder;
+using gates::Circuit;
+using gates::NodeId;
+
+/// Shared construction state: prefix thermometer codes and a cache of their
+/// negations, addressed as (prefix length x, threshold j).
+struct ControlPlane {
+  Circuit* c;
+  Builder* b;
+  // thermo[x] = thermometer code of count(valid[0..x)): thermo[x][k] = 1 iff
+  // that count >= k + 1.  thermo[0] is empty.
+  std::vector<std::vector<NodeId>> thermo;
+  // not_cache[x][j] = NOT(count[0,x) > j), built lazily.
+  std::vector<std::vector<NodeId>> not_cache;
+
+  /// Node meaning count(valid[0..x)) > j.
+  NodeId above(std::size_t x, std::size_t j) const {
+    const auto& t = thermo[x];
+    return j < t.size() ? t[j] : c->const_zero();
+  }
+
+  /// Node meaning count(valid[0..x)) <= j (lazily built NOT).
+  NodeId not_above(std::size_t x, std::size_t j) {
+    if (j >= thermo[x].size()) return c->const_one();
+    NodeId& slot = not_cache[x][j];
+    if (slot == UINT32_MAX) slot = c->add_not(thermo[x][j]);
+    return slot;
+  }
+};
+
+/// Build the selection tree for output j over inputs [lo, hi); returns the
+/// node carrying the data bit of the rank-j valid input when it lies in the
+/// interval, and 0 otherwise.
+NodeId build_tree(ControlPlane& cp, const std::vector<NodeId>& data, std::size_t j,
+                  std::size_t lo, std::size_t hi) {
+  if (hi - lo == 1) return data[lo];
+  std::size_t mid = lo + (hi - lo + 1) / 2;
+  NodeId l = build_tree(cp, data, j, lo, mid);
+  NodeId r = build_tree(cp, data, j, mid, hi);
+  // Left steering: rank-j valid input lies in [lo, mid), i.e.
+  // count[0,lo) <= j AND count[0,mid) > j.
+  NodeId gl = cp.c->add_and(cp.not_above(lo, j), cp.above(mid, j));
+  NodeId gr = cp.c->add_and(cp.not_above(mid, j), cp.above(hi, j));
+  return cp.b->steer2(l, gl, r, gr);
+}
+
+}  // namespace
+
+HyperCircuit::HyperCircuit(std::size_t n) : n_(n) {
+  PCS_REQUIRE(n > 0, "HyperCircuit size");
+  Builder builder(circuit_);
+
+  valid_inputs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) valid_inputs_.push_back(circuit_.add_input());
+  data_inputs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) data_inputs_.push_back(circuit_.add_input());
+
+  ControlPlane cp{&circuit_, &builder, {}, {}};
+  cp.thermo.resize(n + 1);
+  cp.not_cache.assign(n + 1, std::vector<NodeId>());
+  for (std::size_t x = 1; x <= n; ++x) {
+    std::vector<NodeId> bit{valid_inputs_[x - 1]};
+    cp.thermo[x] = builder.thermometer_add(cp.thermo[x - 1], bit);
+    cp.not_cache[x].assign(cp.thermo[x].size(), UINT32_MAX);
+  }
+
+  // Data outputs: one selection tree per output wire.
+  std::vector<NodeId> roots;
+  roots.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    roots.push_back(build_tree(cp, data_inputs_, j, 0, n));
+  }
+  for (NodeId root : roots) circuit_.mark_output(root);
+
+  // Sorted valid-bit outputs: output j carries count(valid) > j.
+  for (std::size_t j = 0; j < n; ++j) circuit_.mark_output(cp.above(n, j));
+}
+
+HyperCircuit::Result HyperCircuit::evaluate(const BitVec& valid,
+                                            const BitVec& data) const {
+  PCS_REQUIRE(valid.size() == n_ && data.size() == n_, "HyperCircuit::evaluate width");
+  BitVec inputs(2 * n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    inputs.set(i, valid.get(i));
+    inputs.set(n_ + i, data.get(i));
+  }
+  gates::Evaluator eval(circuit_);
+  BitVec out = eval.evaluate(inputs);
+  Result res;
+  res.data = BitVec(n_);
+  res.valid = BitVec(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    res.data.set(j, out.get(j));
+    res.valid.set(j, out.get(n_ + j));
+  }
+  return res;
+}
+
+std::uint32_t HyperCircuit::data_path_depth() const {
+  auto depths = circuit_.output_depths_from(data_inputs_);
+  std::int64_t best = 0;
+  for (std::size_t j = 0; j < n_; ++j) best = std::max(best, depths[j]);
+  return static_cast<std::uint32_t>(best);
+}
+
+std::uint32_t HyperCircuit::control_path_depth() const {
+  auto depths = circuit_.output_depths_from(valid_inputs_);
+  std::int64_t best = 0;
+  for (std::int64_t d : depths) best = std::max(best, d);
+  return static_cast<std::uint32_t>(best);
+}
+
+}  // namespace pcs::hyper

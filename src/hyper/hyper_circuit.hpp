@@ -1,0 +1,74 @@
+// Gate-level reconstruction of the Cormen–Leiserson n-by-n hyperconcentrator
+// chip (paper refs [1], [2]; the internals are in the author's MEng thesis,
+// so the circuit here is a reconstruction that reproduces the published
+// interface exactly -- see DESIGN.md section 4).
+//
+// Structure:
+//
+//  * Data path.  One binary *selection tree* per output wire, over the n
+//    data inputs.  Each tree node is a steered combine
+//    (l AND gl) OR (r AND gr), two gate delays, so a message bit incurs
+//    exactly 2*ceil(lg n) gate delays from data input to data output -- the
+//    figure the paper quotes for the chip.  n trees of (n - 1) nodes each
+//    give the Theta(n^2) gate count / chip area of the published design.
+//
+//  * Control path.  Computed from the n valid bits once, during setup.
+//    Prefix population counts in thermometer code select, for output j, the
+//    unique input with rank j among the valid inputs: at a tree node
+//    covering [lo, mid) u [mid, hi), gl_j = (count[0,lo) <= j < count[0,mid))
+//    and gr_j likewise for the right half.  Control depth counts toward
+//    setup latency, not message delay, and is reported separately.
+//
+//  * Sorted-valid outputs.  Output j's valid bit is count[0,n) > j -- the
+//    thermometer code itself -- so the chip's outputs carry nonincreasing
+//    valid bits, as Section 2 of the paper requires.
+//
+// The circuit's primary inputs are the n valid bits followed by the n data
+// bits; its primary outputs are the n routed data bits followed by the n
+// sorted valid bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gates/circuit.hpp"
+#include "util/bitvec.hpp"
+
+namespace pcs::hyper {
+
+class HyperCircuit {
+ public:
+  /// Build the circuit for an n-input chip.  Gate count is Theta(n^2);
+  /// keep n modest (<= 1024) in tests and benches.
+  explicit HyperCircuit(std::size_t n);
+
+  std::size_t n() const noexcept { return n_; }
+  const gates::Circuit& circuit() const noexcept { return circuit_; }
+
+  /// Run one setup: returns the routed data bits (outputs 0..n-1) and the
+  /// sorted valid bits (outputs n..2n-1).
+  struct Result {
+    BitVec data;
+    BitVec valid;
+  };
+  Result evaluate(const BitVec& valid, const BitVec& data) const;
+
+  /// Maximum gate depth from a *data* input to a data output: the message
+  /// delay through the chip.  Equals 2*ceil(lg n) by construction.
+  std::uint32_t data_path_depth() const;
+
+  /// Maximum gate depth from a *valid* input to any output: the setup
+  /// (control) latency of the reconstruction.
+  std::uint32_t control_path_depth() const;
+
+  /// Total logic gates (the chip-area proxy; Theta(n^2)).
+  std::size_t gate_count() const { return circuit_.gate_count(); }
+
+ private:
+  std::size_t n_;
+  gates::Circuit circuit_;
+  std::vector<gates::NodeId> valid_inputs_;
+  std::vector<gates::NodeId> data_inputs_;
+};
+
+}  // namespace pcs::hyper

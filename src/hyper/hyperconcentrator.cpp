@@ -1,0 +1,71 @@
+#include "hyper/hyperconcentrator.hpp"
+
+#include "util/assert.hpp"
+
+namespace pcs::hyper {
+
+std::size_t Routing::routed_count() const noexcept {
+  std::size_t k = 0;
+  for (std::int32_t o : output_of_input) {
+    if (o != kIdle) ++k;
+  }
+  return k;
+}
+
+bool Routing::is_consistent() const noexcept {
+  for (std::size_t i = 0; i < output_of_input.size(); ++i) {
+    std::int32_t o = output_of_input[i];
+    if (o == kIdle) continue;
+    if (o < 0 || static_cast<std::size_t>(o) >= input_of_output.size()) return false;
+    if (input_of_output[static_cast<std::size_t>(o)] != static_cast<std::int32_t>(i)) {
+      return false;
+    }
+  }
+  for (std::size_t j = 0; j < input_of_output.size(); ++j) {
+    std::int32_t i = input_of_output[j];
+    if (i == kIdle) continue;
+    if (i < 0 || static_cast<std::size_t>(i) >= output_of_input.size()) return false;
+    if (output_of_input[static_cast<std::size_t>(i)] != static_cast<std::int32_t>(j)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Hyperconcentrator::Hyperconcentrator(std::size_t n) : n_(n) {
+  PCS_REQUIRE(n > 0, "Hyperconcentrator size");
+}
+
+Routing Hyperconcentrator::route(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == n_, "Hyperconcentrator::route input width");
+  Routing r;
+  r.output_of_input.assign(n_, kIdle);
+  r.input_of_output.assign(n_, kIdle);
+  std::size_t rank = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (valid.get(i)) {
+      r.output_of_input[i] = static_cast<std::int32_t>(rank);
+      r.input_of_output[rank] = static_cast<std::int32_t>(i);
+      ++rank;
+    }
+  }
+  return r;
+}
+
+BitVec Hyperconcentrator::output_valid_bits(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == n_, "Hyperconcentrator::output_valid_bits width");
+  BitVec out(n_);
+  std::size_t k = valid.count();
+  for (std::size_t j = 0; j < k; ++j) out.set(j, true);
+  return out;
+}
+
+void stable_concentrate(std::vector<std::int32_t>& slots) {
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < slots.size(); ++read) {
+    if (slots[read] != kIdle) slots[write++] = slots[read];
+  }
+  for (; write < slots.size(); ++write) slots[write] = kIdle;
+}
+
+}  // namespace pcs::hyper

@@ -1,0 +1,62 @@
+// Functional model of the single-chip n-by-n hyperconcentrator switch
+// (Cormen–Leiserson; the paper's basic building block).
+//
+// Interface contract (paper, Section 1): for any set of k valid inputs,
+// 1 <= k <= n, the switch establishes disjoint electrical paths from those
+// inputs to the first k outputs Y_1..Y_k.  Our model is additionally
+// *stable*: the i-th valid input (in input order) is routed to output i.
+// Stability is a free choice the paper leaves open; it makes the multichip
+// simulations deterministic and lets the tests pin down exact routings.
+//
+// The gate-level reconstruction of the same switch lives in hyper_circuit.*.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace pcs::hyper {
+
+/// Index used for "no message" / "no output": -1.
+inline constexpr std::int32_t kIdle = -1;
+
+/// The routing a concentrator establishes during setup.
+struct Routing {
+  /// output_of_input[i] = output wire input i is routed to, or kIdle.
+  std::vector<std::int32_t> output_of_input;
+  /// input_of_output[j] = input wire routed to output j, or kIdle.
+  std::vector<std::int32_t> input_of_output;
+
+  std::size_t routed_count() const noexcept;
+
+  /// True iff the routing is a partial injection consistent in both
+  /// directions (every claimed path appears in both maps, no duplicates).
+  bool is_consistent() const noexcept;
+};
+
+class Hyperconcentrator {
+ public:
+  explicit Hyperconcentrator(std::size_t n);
+
+  std::size_t n() const noexcept { return n_; }
+
+  /// Establish paths for the given valid bits: the j-th valid input (j from
+  /// 0) is routed to output j.  All k valid inputs are routed -- a
+  /// hyperconcentrator never drops messages.
+  Routing route(const BitVec& valid) const;
+
+  /// The valid bits as they appear on the outputs: sorted nonincreasingly.
+  BitVec output_valid_bits(const BitVec& valid) const;
+
+ private:
+  std::size_t n_;
+};
+
+/// The per-chip operation the multichip switch simulations use: stably move
+/// all occupied slots (label >= 0) to the front, back-filling with kIdle.
+/// Applying this to a chip's input slots gives its output slots, because the
+/// chip routes its j-th valid message to its j-th output.
+void stable_concentrate(std::vector<std::int32_t>& slots);
+
+}  // namespace pcs::hyper

@@ -1,0 +1,73 @@
+#include "hyper/prefix_butterfly.hpp"
+
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::hyper {
+
+PrefixButterflySwitch::PrefixButterflySwitch(std::size_t n) : n_(n) {
+  PCS_REQUIRE(is_pow2(n), "PrefixButterflySwitch needs power-of-two n");
+  stages_ = n <= 1 ? 0 : exact_log2(n);
+}
+
+PrefixButterflySwitch::Trace PrefixButterflySwitch::route_traced(
+    const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == n_, "PrefixButterflySwitch width");
+  Trace trace;
+  trace.rows.reserve(stages_ + 1);
+
+  // Phase 1 (the parallel prefix circuit): ranks.  The lg n sequential
+  // steps are modeled by prefix_steps(); functionally this is rank1_before.
+  std::vector<std::int32_t> dest(n_, kIdle);
+  std::vector<std::int32_t> rows(n_, kIdle);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (valid.get(i)) {
+      dest[i] = static_cast<std::int32_t>(valid.rank1_before(i));
+      rows[i] = static_cast<std::int32_t>(i);
+    }
+  }
+  trace.rows.push_back(rows);
+
+  // Phase 2: self-routing through the butterfly, fixing destination bits
+  // LSB-first (the reverse-butterfly orientation).  Monotone compact
+  // destination sequences -- which ranks always are -- never collide; the
+  // MSB-first orientation does collide (e.g. inputs {0,2} at n=16), which
+  // is why the reconstruction pins this ordering down by test.
+  for (std::size_t t = 0; t < stages_; ++t) {
+    const std::size_t bit = t;
+    std::vector<std::int32_t> next(n_, kIdle);
+    for (std::size_t r = 0; r < n_; ++r) {
+      std::int32_t src = trace.rows.back()[r];
+      if (src == kIdle) continue;
+      std::size_t d = static_cast<std::size_t>(dest[static_cast<std::size_t>(src)]);
+      std::size_t target = (r & ~(std::size_t{1} << bit)) |
+                           (((d >> bit) & std::size_t{1}) << bit);
+      if (next[target] != kIdle) {
+        trace.conflict_free = false;
+        return trace;
+      }
+      next[target] = src;
+    }
+    trace.rows.push_back(std::move(next));
+  }
+  return trace;
+}
+
+Routing PrefixButterflySwitch::route(const BitVec& valid) const {
+  Trace trace = route_traced(valid);
+  PCS_REQUIRE(trace.conflict_free,
+              "butterfly self-routing conflicted on a concentration pattern");
+  Routing r;
+  r.output_of_input.assign(n_, kIdle);
+  r.input_of_output.assign(n_, kIdle);
+  const std::vector<std::int32_t>& final_rows = trace.rows.back();
+  for (std::size_t row = 0; row < n_; ++row) {
+    std::int32_t src = final_rows[row];
+    if (src == kIdle) continue;
+    r.input_of_output[row] = src;
+    r.output_of_input[static_cast<std::size_t>(src)] = static_cast<std::int32_t>(row);
+  }
+  return r;
+}
+
+}  // namespace pcs::hyper

@@ -1,0 +1,62 @@
+// The alternative hyperconcentrator of the paper's Section 1: "a parallel
+// prefix circuit and a butterfly network ... volume Theta(n^{3/2}) with
+// O(n lg n) chips and as few as four data pins per chip, but this switch is
+// not combinational."  (Paper ref [1].)
+//
+// Reconstruction:
+//   phase 1 (control, sequential): a parallel-prefix tree computes each
+//     valid input's rank in lg n time steps -- this is the part that makes
+//     the switch clocked rather than combinational;
+//   phase 2 (data): messages self-route through a lg n-stage butterfly,
+//     message at input i heading for output rank_i.  Because the
+//     destination sequence of a concentration pattern is monotone and
+//     compact (ranks 0..k-1 in input order), the butterfly routes it with
+//     no two messages ever contending for a switch port; route() asserts
+//     this and route_traced() exposes the stage-by-stage occupancy so the
+//     tests can check it independently.
+//
+// The paper uses this design as the foil that motivates the multichip
+// *partial* concentrators: cheap pins, but sequential control.  We give it
+// the same Routing interface as the combinational chip and a resource-model
+// entry so the comparison lands in the same tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hyper/hyperconcentrator.hpp"
+#include "util/bitvec.hpp"
+
+namespace pcs::hyper {
+
+class PrefixButterflySwitch {
+ public:
+  /// n must be a power of two.
+  explicit PrefixButterflySwitch(std::size_t n);
+
+  std::size_t n() const noexcept { return n_; }
+
+  /// Sequential control steps of the prefix phase: lg n.
+  std::size_t prefix_steps() const noexcept { return stages_; }
+
+  /// Butterfly data stages: lg n.
+  std::size_t butterfly_stages() const noexcept { return stages_; }
+
+  /// Same contract and stability as Hyperconcentrator::route; internally
+  /// verifies the butterfly self-routing is conflict-free.
+  Routing route(const BitVec& valid) const;
+
+  /// Stage-by-stage butterfly occupancy: trace[t][row] = source input of
+  /// the message on row `row` after stage t (trace[0] is the input side).
+  struct Trace {
+    std::vector<std::vector<std::int32_t>> rows;
+    bool conflict_free = true;
+  };
+  Trace route_traced(const BitVec& valid) const;
+
+ private:
+  std::size_t n_;
+  std::size_t stages_;
+};
+
+}  // namespace pcs::hyper

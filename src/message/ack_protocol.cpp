@@ -1,0 +1,119 @@
+#include "message/ack_protocol.hpp"
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pcs::msg {
+
+double AckStats::goodput() const {
+  return offered == 0 ? 1.0 : static_cast<double>(delivered) / static_cast<double>(offered);
+}
+
+double AckStats::duplicate_rate() const {
+  return transmissions == 0
+             ? 0.0
+             : static_cast<double>(duplicates) / static_cast<double>(transmissions);
+}
+
+double AckStats::mean_completion() const {
+  return delivered == 0 ? 0.0 : total_completion_rounds / static_cast<double>(delivered);
+}
+
+namespace {
+struct SenderState {
+  bool active = false;        ///< a message is outstanding on this wire
+  bool delivered_once = false;
+  bool acked = false;
+  std::size_t born = 0;
+  std::size_t last_send = 0;
+  std::size_t retries = 0;
+  bool want_send = false;  ///< transmit this round
+};
+
+struct PendingAck {
+  std::size_t wire;
+  std::size_t due_round;
+};
+}  // namespace
+
+AckStats simulate_ack_protocol(const pcs::sw::ConcentratorSwitch& sw,
+                               double arrival_p, std::size_t rounds,
+                               const AckConfig& config, Rng& rng) {
+  PCS_REQUIRE(config.timeout >= 1, "AckConfig timeout");
+  const std::size_t n = sw.inputs();
+  std::vector<SenderState> sender(n);
+  std::deque<PendingAck> acks;
+  AckStats stats;
+  stats.rounds = rounds;
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Deliver due acks.
+    while (!acks.empty() && acks.front().due_round <= round) {
+      SenderState& s = sender[acks.front().wire];
+      acks.pop_front();
+      if (s.active) {
+        s.acked = true;
+        s.active = false;  // done; the wire frees up
+      }
+    }
+
+    // Arrivals and resend timers.
+    for (std::size_t w = 0; w < n; ++w) {
+      SenderState& s = sender[w];
+      s.want_send = false;
+      if (!s.active) {
+        if (rng.chance(arrival_p)) {
+          s = SenderState{};
+          s.active = true;
+          s.born = round;
+          s.want_send = true;
+          ++stats.offered;
+        }
+        continue;
+      }
+      // Outstanding and unacked: resend when the timer expires.
+      if (round >= s.last_send + config.timeout) {
+        if (s.retries >= config.max_retries) {
+          ++stats.gave_up;
+          s.active = false;
+          continue;
+        }
+        ++s.retries;
+        s.want_send = true;
+      }
+    }
+
+    // One setup with everyone who transmits this round.
+    BitVec valid(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      if (sender[w].active && sender[w].want_send) {
+        valid.set(w, true);
+        sender[w].last_send = round;
+        ++stats.transmissions;
+      }
+    }
+    if (valid.count() == 0) continue;
+    pcs::sw::SwitchRouting routing = sw.route(valid);
+    for (std::size_t w = 0; w < n; ++w) {
+      if (!valid.get(w)) continue;
+      if (routing.output_of_input[w] >= 0) {
+        SenderState& s = sender[w];
+        if (!s.delivered_once) {
+          s.delivered_once = true;
+          ++stats.delivered;
+          stats.total_completion_rounds += static_cast<double>(round - s.born);
+        } else {
+          ++stats.duplicates;
+        }
+        acks.push_back(PendingAck{w, round + config.ack_delay});
+      }
+      // Losers are dropped silently: the timeout will trigger the resend.
+    }
+  }
+  return stats;
+}
+
+}  // namespace pcs::msg

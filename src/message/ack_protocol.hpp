@@ -1,0 +1,51 @@
+// Higher-level acknowledgment protocol (paper Section 1: unsuccessfully
+// routed messages may simply be dropped, "relying on a higher-level
+// acknowledgment protocol to detect this situation and resend them").
+//
+// The switch drops losers silently; senders learn about delivery only
+// through acks that return after `ack_delay` rounds.  A sender retransmits
+// when no ack has arrived `timeout` rounds after a send, up to
+// `max_retries` times; because an ack may simply be slow, retransmissions
+// can duplicate messages that actually got through -- the simulator tracks
+// goodput, duplicates, and gives-up separately, which is the real cost
+// accounting of the drop-and-resend discipline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "switch/concentrator.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::msg {
+
+struct AckConfig {
+  std::size_t ack_delay = 2;    ///< rounds for an ack to come back
+  std::size_t timeout = 4;      ///< rounds a sender waits before resending
+  std::size_t max_retries = 5;  ///< resends before giving up
+};
+
+struct AckStats {
+  std::size_t rounds = 0;
+  std::size_t offered = 0;        ///< distinct messages generated
+  std::size_t transmissions = 0;  ///< send attempts incl. retransmissions
+  std::size_t delivered = 0;      ///< distinct messages that got through
+  std::size_t duplicates = 0;     ///< extra copies of already-delivered messages
+  std::size_t gave_up = 0;        ///< senders that exhausted max_retries
+  double total_completion_rounds = 0.0;  ///< birth -> first delivery, summed
+
+  double goodput() const;          ///< delivered / offered
+  double duplicate_rate() const;   ///< duplicates / transmissions
+  double mean_completion() const;  ///< rounds from birth to first delivery
+};
+
+/// Run the drop-and-resend protocol over `rounds` rounds: each round every
+/// idle sender starts a new message with probability arrival_p; all senders
+/// with an outstanding unacked message (whose resend timer expired, or
+/// fresh) present valid bits; the switch drops losers; winners' acks arrive
+/// ack_delay rounds later.
+AckStats simulate_ack_protocol(const pcs::sw::ConcentratorSwitch& sw,
+                               double arrival_p, std::size_t rounds,
+                               const AckConfig& config, Rng& rng);
+
+}  // namespace pcs::msg

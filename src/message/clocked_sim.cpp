@@ -1,0 +1,72 @@
+#include "message/clocked_sim.hpp"
+
+#include "util/assert.hpp"
+
+namespace pcs::msg {
+
+bool ClockedSimResult::payloads_intact(const MessageBatch& sent) const {
+  for (const Delivery& d : delivered) {
+    const Message& original = sent.message(d.observed.source);
+    if (original.payload != d.observed.payload) return false;
+  }
+  return true;
+}
+
+ClockedSimResult run_clocked(const pcs::sw::ConcentratorSwitch& sw,
+                             const MessageBatch& batch) {
+  PCS_REQUIRE(batch.n_inputs() == sw.inputs(), "run_clocked batch width");
+  // Determine the (uniform) payload length.
+  std::size_t payload_len = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < batch.n_inputs(); ++i) {
+    if (!batch.has_message(i)) continue;
+    if (!any) {
+      payload_len = batch.message(i).payload.size();
+      any = true;
+    } else {
+      PCS_REQUIRE(batch.message(i).payload.size() == payload_len,
+                  "run_clocked payload lengths must match");
+    }
+  }
+
+  // Cycle 0: setup.
+  pcs::sw::SwitchRouting routing = sw.route(batch.valid_bits());
+  PCS_REQUIRE(routing.is_partial_injection(), "switch produced invalid routing");
+
+  // Cycles 1..payload_len: stream bits along the established paths.
+  const std::size_t m = sw.outputs();
+  std::vector<BitVec> observed(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (routing.input_of_output[j] >= 0) observed[j] = BitVec(payload_len);
+  }
+  for (std::size_t t = 0; t < payload_len; ++t) {
+    for (std::size_t j = 0; j < m; ++j) {
+      std::int32_t src = routing.input_of_output[j];
+      if (src < 0) continue;
+      const Message& msg = batch.message(static_cast<std::size_t>(src));
+      observed[j].set(t, msg.payload.get(t));
+    }
+  }
+
+  ClockedSimResult result;
+  result.cycles = 1 + payload_len;
+  for (std::size_t j = 0; j < m; ++j) {
+    std::int32_t src = routing.input_of_output[j];
+    if (src < 0) continue;
+    const Message& msg = batch.message(static_cast<std::size_t>(src));
+    Delivery d;
+    d.output_wire = static_cast<std::uint32_t>(j);
+    d.observed.source = msg.source;
+    d.observed.dest = msg.dest;
+    d.observed.payload = observed[j];
+    result.delivered.push_back(d);
+  }
+  for (std::size_t i = 0; i < batch.n_inputs(); ++i) {
+    if (batch.has_message(i) && routing.output_of_input[i] < 0) {
+      result.congested.push_back(batch.message(i));
+    }
+  }
+  return result;
+}
+
+}  // namespace pcs::msg

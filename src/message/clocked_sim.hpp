@@ -1,0 +1,42 @@
+// Cycle-accurate bit-serial simulation of one switch setup (Section 2).
+//
+// Cycle 0 ("setup"): each input wire presents its valid bit; the switch
+// establishes electrical paths.  Cycles 1..L: payload bits enter the input
+// wires one per cycle and ride the established paths; output wire j emits,
+// on cycle t, the bit that entered its routed input wire on cycle t.
+//
+// The simulator streams honestly -- bit-by-bit through the routing map --
+// rather than copying payloads wholesale, so a routing inconsistency (two
+// inputs claiming one output, a path that moves mid-message) would corrupt
+// an observable payload and fail the checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "message/message.hpp"
+#include "switch/concentrator.hpp"
+
+namespace pcs::msg {
+
+/// One delivered message: where it came out plus the bits observed there.
+struct Delivery {
+  std::uint32_t output_wire = 0;
+  Message observed;  ///< source/dest copied from the sender, payload as observed
+};
+
+struct ClockedSimResult {
+  std::vector<Delivery> delivered;
+  std::vector<Message> congested;  ///< valid messages that won no output wire
+  std::size_t cycles = 0;          ///< 1 (setup) + payload length
+
+  /// True iff every delivered payload matches what its source sent.
+  bool payloads_intact(const MessageBatch& sent) const;
+};
+
+/// Run one setup + full payload stream of `batch` through `sw`.
+/// All messages in the batch must have equal payload length.
+ClockedSimResult run_clocked(const pcs::sw::ConcentratorSwitch& sw,
+                             const MessageBatch& batch);
+
+}  // namespace pcs::msg

@@ -1,0 +1,116 @@
+#include "message/congestion.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/assert.hpp"
+
+namespace pcs::msg {
+
+std::string policy_name(CongestionPolicy p) {
+  switch (p) {
+    case CongestionPolicy::kDrop:
+      return "drop";
+    case CongestionPolicy::kBufferRetry:
+      return "buffer-retry";
+    case CongestionPolicy::kMisrouteRetry:
+      return "misroute-retry";
+  }
+  return "unknown";
+}
+
+double RoundStats::delivery_rate() const {
+  return offered == 0 ? 1.0 : static_cast<double>(delivered) / static_cast<double>(offered);
+}
+
+double RoundStats::mean_latency() const {
+  return delivered == 0 ? 0.0 : total_latency_rounds / static_cast<double>(delivered);
+}
+
+namespace {
+struct Pending {
+  std::size_t born_round = 0;
+  bool is_retry = false;
+};
+}  // namespace
+
+RoundStats simulate_rounds(const pcs::sw::ConcentratorSwitch& sw, double arrival_p,
+                           std::size_t rounds, CongestionPolicy policy, Rng& rng) {
+  const std::size_t n = sw.inputs();
+  std::vector<std::optional<Pending>> wire(n);
+  std::vector<Pending> roaming;  // misrouted messages looking for a free wire
+  RoundStats stats;
+  stats.rounds = rounds;
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Misrouted losers from previous rounds re-enter on random free wires.
+    if (!roaming.empty()) {
+      for (auto it = roaming.begin(); it != roaming.end();) {
+        std::size_t start = static_cast<std::size_t>(rng.below(n));
+        bool placed = false;
+        for (std::size_t off = 0; off < n; ++off) {
+          std::size_t w = (start + off) % n;
+          if (!wire[w].has_value()) {
+            wire[w] = *it;
+            wire[w]->is_retry = true;
+            placed = true;
+            break;
+          }
+        }
+        if (placed) {
+          ++stats.retries;
+          it = roaming.erase(it);
+        } else {
+          ++it;  // everything busy; roam another round
+        }
+      }
+    }
+
+    // Fresh arrivals on free wires.
+    for (std::size_t w = 0; w < n; ++w) {
+      if (!wire[w].has_value() && rng.chance(arrival_p)) {
+        wire[w] = Pending{round, false};
+        ++stats.offered;
+      } else if (wire[w].has_value() && wire[w]->is_retry) {
+        ++stats.retries;
+        wire[w]->is_retry = false;  // count each retry round once
+      }
+    }
+
+    // One setup.
+    BitVec valid(n);
+    for (std::size_t w = 0; w < n; ++w) valid.set(w, wire[w].has_value());
+    pcs::sw::SwitchRouting routing = sw.route(valid);
+
+    std::size_t backlog = 0;
+    for (std::size_t w = 0; w < n; ++w) {
+      if (!wire[w].has_value()) continue;
+      if (routing.output_of_input[w] >= 0) {
+        ++stats.delivered;
+        stats.total_latency_rounds += static_cast<double>(round - wire[w]->born_round);
+        wire[w].reset();
+      } else {
+        switch (policy) {
+          case CongestionPolicy::kDrop:
+            ++stats.dropped;
+            wire[w].reset();
+            break;
+          case CongestionPolicy::kBufferRetry:
+            wire[w]->is_retry = true;
+            ++backlog;
+            break;
+          case CongestionPolicy::kMisrouteRetry:
+            roaming.push_back(*wire[w]);
+            wire[w].reset();
+            ++backlog;
+            break;
+        }
+      }
+    }
+    backlog += roaming.size();
+    stats.max_backlog = std::max(stats.max_backlog, backlog);
+  }
+  return stats;
+}
+
+}  // namespace pcs::msg

@@ -1,0 +1,47 @@
+// Congestion handling (paper Section 1): when more messages enter than the
+// switch can route, the unsuccessfully routed ones are either buffered and
+// resent, misrouted (sent anyway and re-injected downstream), or dropped and
+// recovered by a higher-level acknowledgment protocol.  The switch designs
+// are compatible with all three; this module implements them as policies
+// over a round-based simulation so their cost can be compared.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "message/message.hpp"
+#include "switch/concentrator.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::msg {
+
+enum class CongestionPolicy : std::uint8_t {
+  kDrop,           ///< losers vanish; the ack protocol regenerates them later
+  kBufferRetry,    ///< losers wait at their input and retry next round
+  kMisrouteRetry,  ///< losers are offered again on a random free input wire
+};
+
+std::string policy_name(CongestionPolicy p);
+
+struct RoundStats {
+  std::size_t rounds = 0;
+  std::size_t offered = 0;      ///< message-arrival events (fresh messages)
+  std::size_t delivered = 0;    ///< messages that won an output wire
+  std::size_t dropped = 0;      ///< messages lost forever (kDrop only)
+  std::size_t retries = 0;      ///< retry transmissions
+  std::size_t max_backlog = 0;  ///< peak queued losers (retry policies)
+  double total_latency_rounds = 0.0;  ///< sum over delivered of rounds waited
+
+  double delivery_rate() const;
+  double mean_latency() const;
+};
+
+/// Round-based congestion simulation: each round, fresh messages arrive on
+/// each free input wire with probability `arrival_p`, join any backlog
+/// (per the policy), the switch routes one setup, winners leave, losers are
+/// handled per the policy.  Runs `rounds` rounds.
+RoundStats simulate_rounds(const pcs::sw::ConcentratorSwitch& sw, double arrival_p,
+                           std::size_t rounds, CongestionPolicy policy, Rng& rng);
+
+}  // namespace pcs::msg

@@ -1,0 +1,57 @@
+#include "message/message.hpp"
+
+#include "util/assert.hpp"
+
+namespace pcs::msg {
+
+MessageBatch::MessageBatch(std::size_t n_inputs) : slots_(n_inputs) {
+  PCS_REQUIRE(n_inputs > 0, "MessageBatch size");
+}
+
+void MessageBatch::add(const Message& m) {
+  PCS_REQUIRE(m.source < slots_.size(), "MessageBatch::add wire range");
+  PCS_REQUIRE(!slots_[m.source].has_value(), "MessageBatch::add wire already used");
+  slots_[m.source] = m;
+}
+
+bool MessageBatch::has_message(std::size_t wire) const {
+  PCS_REQUIRE(wire < slots_.size(), "MessageBatch::has_message range");
+  return slots_[wire].has_value();
+}
+
+const Message& MessageBatch::message(std::size_t wire) const {
+  PCS_REQUIRE(wire < slots_.size(), "MessageBatch::message range");
+  PCS_REQUIRE(slots_[wire].has_value(), "MessageBatch::message empty wire");
+  return *slots_[wire];
+}
+
+std::size_t MessageBatch::count() const noexcept {
+  std::size_t k = 0;
+  for (const auto& s : slots_) {
+    if (s.has_value()) ++k;
+  }
+  return k;
+}
+
+BitVec MessageBatch::valid_bits() const {
+  BitVec v(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) v.set(i, slots_[i].has_value());
+  return v;
+}
+
+MessageBatch random_batch(const BitVec& valid, std::size_t payload_bits,
+                          std::size_t dest_count, Rng& rng) {
+  PCS_REQUIRE(dest_count > 0, "random_batch dest_count");
+  MessageBatch batch(valid.size());
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    if (!valid.get(i)) continue;
+    Message m;
+    m.source = static_cast<std::uint32_t>(i);
+    m.dest = static_cast<std::uint32_t>(rng.below(dest_count));
+    m.payload = rng.bernoulli_bits(payload_bits, 0.5);
+    batch.add(m);
+  }
+  return batch;
+}
+
+}  // namespace pcs::msg

@@ -1,0 +1,55 @@
+// Bit-serial messages (paper Section 2).
+//
+// A message is a stream of bits arriving on a wire at one bit per clock
+// cycle.  The first bit is the valid bit; all valid bits arrive during the
+// same cycle ("setup"), establish the electrical paths through the switch,
+// and the following payload bits ride those paths unchanged.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::msg {
+
+struct Message {
+  std::uint32_t source = 0;  ///< input wire the message enters on
+  std::uint32_t dest = 0;    ///< logical destination (used by the network layer)
+  BitVec payload;            ///< bits following the valid bit
+
+  bool operator==(const Message&) const = default;
+};
+
+/// What one switch sees at setup: at most one message per input wire.
+class MessageBatch {
+ public:
+  explicit MessageBatch(std::size_t n_inputs);
+
+  std::size_t n_inputs() const noexcept { return slots_.size(); }
+
+  /// Place a message on its source wire.  The wire must be free and the
+  /// message's source must match the wire index.
+  void add(const Message& m);
+
+  bool has_message(std::size_t wire) const;
+  const Message& message(std::size_t wire) const;
+
+  /// Number of messages in the batch (the paper's k).
+  std::size_t count() const noexcept;
+
+  /// The valid bits this batch presents at setup.
+  BitVec valid_bits() const;
+
+ private:
+  std::vector<std::optional<Message>> slots_;
+};
+
+/// Build a batch of uniform-length random-payload messages on the wires set
+/// in `valid`, destinations chosen uniformly in [0, dest_count).
+MessageBatch random_batch(const BitVec& valid, std::size_t payload_bits,
+                          std::size_t dest_count, Rng& rng);
+
+}  // namespace pcs::msg

@@ -1,0 +1,25 @@
+#include "message/pipeline.hpp"
+
+#include "util/assert.hpp"
+
+namespace pcs::msg {
+
+std::size_t PipelineModel::flight_cycles(std::size_t gate_delays) const {
+  PCS_REQUIRE(gates_per_cycle > 0, "PipelineModel gates_per_cycle");
+  return (gate_delays + gates_per_cycle - 1) / gates_per_cycle;
+}
+
+std::size_t PipelineModel::message_latency(std::size_t gate_delays) const {
+  return flight_cycles(gate_delays) + setup_period();
+}
+
+double PipelineModel::messages_per_cycle(double routed_per_setup) const {
+  PCS_REQUIRE(routed_per_setup >= 0.0, "PipelineModel routed_per_setup");
+  return routed_per_setup / static_cast<double>(setup_period());
+}
+
+double PipelineModel::payload_bits_per_cycle(double routed_per_setup) const {
+  return messages_per_cycle(routed_per_setup) * static_cast<double>(payload_bits);
+}
+
+}  // namespace pcs::msg

@@ -1,0 +1,40 @@
+// Pipelined-throughput model for combinational concentrator switches.
+//
+// Section 2's message format: a setup cycle carries the valid bits, the next
+// L cycles carry payload.  Because the switch is combinational and the paths
+// persist for a whole message, a new batch can begin every L + 1 cycles, and
+// consecutive batches overlap in the wire pipeline.  Given a clock that
+// accommodates `gates_per_cycle` gate delays, a design with G gate delays of
+// message latency adds ceil(G / gates_per_cycle) cycles of time-of-flight.
+//
+// This converts the paper's gate-delay figures into the numbers a system
+// architect compares: sustained messages/cycle and payload bits/cycle per
+// switch, and end-to-end message latency.
+#pragma once
+
+#include <cstdint>
+
+namespace pcs::msg {
+
+struct PipelineModel {
+  std::size_t payload_bits = 32;   ///< L: payload cycles per message
+  std::size_t gates_per_cycle = 8; ///< gate delays the clock period absorbs
+
+  /// Cycles between consecutive setups: L + 1.
+  std::size_t setup_period() const noexcept { return payload_bits + 1; }
+
+  /// Time-of-flight cycles for a switch with `gate_delays` of logic.
+  std::size_t flight_cycles(std::size_t gate_delays) const;
+
+  /// Total latency of one message: flight + setup + payload drain.
+  std::size_t message_latency(std::size_t gate_delays) const;
+
+  /// Sustained messages per cycle when `routed_per_setup` messages win
+  /// output wires each setup.
+  double messages_per_cycle(double routed_per_setup) const;
+
+  /// Sustained payload bits per cycle.
+  double payload_bits_per_cycle(double routed_per_setup) const;
+};
+
+}  // namespace pcs::msg

@@ -1,0 +1,48 @@
+#include "message/stream_engine.hpp"
+
+#include "util/assert.hpp"
+
+namespace pcs::msg {
+
+double StreamStats::messages_per_cycle() const {
+  return total_cycles == 0
+             ? 0.0
+             : static_cast<double>(delivered) / static_cast<double>(total_cycles);
+}
+
+double StreamStats::bits_per_cycle() const {
+  return total_cycles == 0
+             ? 0.0
+             : static_cast<double>(payload_bits) / static_cast<double>(total_cycles);
+}
+
+double StreamStats::delivery_rate() const {
+  return offered == 0 ? 1.0
+                      : static_cast<double>(delivered) / static_cast<double>(offered);
+}
+
+StreamStats run_stream(const pcs::sw::ConcentratorSwitch& sw, TrafficGen& gen,
+                       Rng& rng, std::size_t batches, const PipelineModel& pipe,
+                       std::size_t switch_gate_delays) {
+  PCS_REQUIRE(gen.width() == sw.inputs(), "run_stream traffic width");
+  PCS_REQUIRE(batches > 0, "run_stream batches");
+  StreamStats stats;
+  stats.batches = batches;
+  stats.flight_cycles = pipe.flight_cycles(switch_gate_delays);
+  for (std::size_t b = 0; b < batches; ++b) {
+    BitVec valid = gen.next(rng);
+    stats.offered += valid.count();
+    pcs::sw::SwitchRouting r = sw.route(valid);
+    PCS_REQUIRE(r.is_partial_injection(), "run_stream invalid routing");
+    std::size_t routed = r.routed_count();
+    stats.delivered += routed;
+    stats.payload_bits += routed * pipe.payload_bits;
+  }
+  // Batches start every setup_period() cycles; the final batch's last bit
+  // emerges flight + setup_period cycles after its setup begins.
+  stats.total_cycles =
+      (batches - 1) * pipe.setup_period() + pipe.setup_period() + stats.flight_cycles;
+  return stats;
+}
+
+}  // namespace pcs::msg

@@ -1,0 +1,42 @@
+// Continuous-stream engine: back-to-back message batches pipelined through
+// a combinational switch.
+//
+// run_clocked() simulates one batch in isolation; real deployments stream:
+// a new setup begins every L + 1 cycles (valid cycle + L payload cycles)
+// while earlier batches are still in flight through the switch's gate
+// pipeline.  This engine drives a traffic generator for a whole campaign,
+// accounts cycles with the PipelineModel, and reports sustained throughput
+// and per-batch delivery -- the numbers behind the D6c table, measured
+// rather than assumed.
+#pragma once
+
+#include <cstdint>
+
+#include "message/pipeline.hpp"
+#include "message/traffic.hpp"
+#include "switch/concentrator.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::msg {
+
+struct StreamStats {
+  std::size_t batches = 0;
+  std::size_t offered = 0;         ///< messages presented across all batches
+  std::size_t delivered = 0;       ///< messages that won output wires
+  std::size_t payload_bits = 0;    ///< payload bits delivered
+  std::size_t total_cycles = 0;    ///< first setup to last bit out
+  std::size_t flight_cycles = 0;   ///< pipeline fill from the delay model
+
+  double messages_per_cycle() const;
+  double bits_per_cycle() const;
+  double delivery_rate() const;
+};
+
+/// Stream `batches` consecutive batches from `gen` through `sw`; each batch
+/// occupies the switch for pipe.setup_period() cycles, with pipe's flight
+/// time added once at the tail (the pipeline fill).
+StreamStats run_stream(const pcs::sw::ConcentratorSwitch& sw, TrafficGen& gen,
+                       Rng& rng, std::size_t batches, const PipelineModel& pipe,
+                       std::size_t switch_gate_delays);
+
+}  // namespace pcs::msg

@@ -1,0 +1,105 @@
+// Valid-bit traffic generators: the synthetic stand-in for the "parallel
+// supercomputer" whose processors feed the switch (DESIGN.md section 4,
+// substitution 3).
+//
+// Each generator produces one valid-bit pattern per call.  Besides the
+// memoryless Bernoulli workload, there are bursty sources (two-state Markov
+// chains, modelling processors that alternate compute and communication
+// phases), hot-spot workloads (a clustered subset of wires is much more
+// active -- the case that stresses a nearsorting switch, since clustered
+// valid bits concentrate into few mesh columns), and structured adversarial
+// patterns used by the load-ratio benches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::msg {
+
+class TrafficGen {
+ public:
+  virtual ~TrafficGen() = default;
+  virtual BitVec next(Rng& rng) = 0;
+  virtual std::string name() const = 0;
+  std::size_t width() const noexcept { return width_; }
+
+ protected:
+  explicit TrafficGen(std::size_t width) : width_(width) {}
+  std::size_t width_;
+};
+
+/// Independent Bernoulli(p) valid bits.
+class BernoulliTraffic : public TrafficGen {
+ public:
+  BernoulliTraffic(std::size_t width, double p);
+  BitVec next(Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  double p_;
+};
+
+/// Exactly k valid bits, uniformly placed.
+class ExactCountTraffic : public TrafficGen {
+ public:
+  ExactCountTraffic(std::size_t width, std::size_t k);
+  BitVec next(Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  std::size_t k_;
+};
+
+/// Per-wire two-state Markov chain: in the ON state a wire is valid with
+/// probability p_on, in OFF with p_off; switches state with the given
+/// transition probabilities.  Produces temporally correlated bursts.
+class BurstyTraffic : public TrafficGen {
+ public:
+  BurstyTraffic(std::size_t width, double p_on, double p_off, double on_to_off,
+                double off_to_on);
+  BitVec next(Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  double p_on_, p_off_, on_to_off_, off_to_on_;
+  std::vector<bool> state_on_;
+};
+
+/// A contiguous block of `hot` wires is valid with probability p_hot, the
+/// rest with p_cold.  Spatially clustered load.
+class HotSpotTraffic : public TrafficGen {
+ public:
+  HotSpotTraffic(std::size_t width, std::size_t hot, double p_hot, double p_cold);
+  BitVec next(Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  std::size_t hot_;
+  double p_hot_, p_cold_;
+};
+
+/// Structured adversarial patterns with exactly k valid bits, cycling
+/// through a family of layouts (prefix block, suffix block, even stride,
+/// per-chip-first-pins, diagonal) that historically maximize measured
+/// nearsortedness epsilon for mesh-based switches of chip width `chip_w`.
+class AdversarialTraffic : public TrafficGen {
+ public:
+  AdversarialTraffic(std::size_t width, std::size_t k, std::size_t chip_w);
+  BitVec next(Rng& rng) override;
+  std::string name() const override;
+
+  /// Number of distinct patterns in the family (next() cycles through them).
+  std::size_t family_size() const noexcept { return 5; }
+
+ private:
+  std::size_t k_;
+  std::size_t chip_w_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace pcs::msg

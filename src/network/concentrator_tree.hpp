@@ -1,0 +1,68 @@
+// The deployment the paper's introduction motivates: a parallel computer
+// whose many processor channels are funneled onto fewer network ports.
+//
+// A ConcentratorTree is a two-level concentration hierarchy: `groups`
+// first-level switches each take n processor channels down to m wires, and
+// one second-level (trunk) switch takes the groups * m survivors down to
+// the trunk width.  route_once() performs one setup of the whole tree;
+// round-based traffic simulation with retries lives in router_sim.*.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "switch/concentrator.hpp"
+#include "util/bitvec.hpp"
+
+namespace pcs::net {
+
+class ConcentratorTree {
+ public:
+  /// level1 switches must all have equal input/output counts; level2 must
+  /// have exactly level1.size() * level1[0]->outputs() inputs.
+  ConcentratorTree(std::vector<std::unique_ptr<pcs::sw::ConcentratorSwitch>> level1,
+                   std::unique_ptr<pcs::sw::ConcentratorSwitch> level2);
+
+  std::size_t groups() const noexcept { return level1_.size(); }
+  std::size_t inputs_per_group() const;
+  std::size_t total_inputs() const;
+  std::size_t trunk_outputs() const;
+
+  const pcs::sw::ConcentratorSwitch& level1(std::size_t g) const;
+  const pcs::sw::ConcentratorSwitch& level2() const { return *level2_; }
+
+  struct ShotResult {
+    /// trunk_output_of_source[i] = trunk output carrying source i, or -1.
+    std::vector<std::int32_t> trunk_output_of_source;
+    std::size_t offered = 0;
+    std::size_t survived_level1 = 0;
+    std::size_t reached_trunk = 0;
+  };
+
+  /// One setup of the whole tree for the given source valid bits
+  /// (size total_inputs(), group g owning the contiguous block
+  /// [g * n, (g+1) * n)).
+  ShotResult route_once(const BitVec& valid) const;
+
+ private:
+  std::vector<std::unique_ptr<pcs::sw::ConcentratorSwitch>> level1_;
+  std::unique_ptr<pcs::sw::ConcentratorSwitch> level2_;
+};
+
+/// Tree with Revsort level-1 switches (n -> m each) and a Revsort trunk.
+/// groups * m must itself be a valid Revsort size (square of a power of 2).
+ConcentratorTree make_revsort_tree(std::size_t groups, std::size_t n, std::size_t m,
+                                   std::size_t trunk_outputs);
+
+/// Tree with Columnsort level-1 switches and a Columnsort trunk.
+ConcentratorTree make_columnsort_tree(std::size_t groups, std::size_t r,
+                                      std::size_t s, std::size_t m,
+                                      std::size_t trunk_outputs);
+
+/// Baseline: single-chip hyperconcentrators at both levels (what you would
+/// build if pin count were no object).
+ConcentratorTree make_hyper_tree(std::size_t groups, std::size_t n, std::size_t m,
+                                 std::size_t trunk_outputs);
+
+}  // namespace pcs::net

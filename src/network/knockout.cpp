@@ -1,0 +1,94 @@
+#include "network/knockout.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pcs::net {
+
+KnockoutSwitch::KnockoutSwitch(
+    std::size_t ports, std::size_t accept,
+    const std::function<std::unique_ptr<pcs::sw::ConcentratorSwitch>(std::size_t,
+                                                                     std::size_t)>&
+        port_factory)
+    : ports_(ports), accept_(accept) {
+  PCS_REQUIRE(ports > 0 && accept > 0 && accept <= ports, "KnockoutSwitch shape");
+  port_concentrators_.reserve(ports);
+  for (std::size_t p = 0; p < ports; ++p) {
+    auto sw = port_factory(ports, accept);
+    PCS_REQUIRE(sw != nullptr && sw->inputs() == ports && sw->outputs() == accept,
+                "KnockoutSwitch port factory mismatch");
+    port_concentrators_.push_back(std::move(sw));
+  }
+}
+
+KnockoutSwitch::SlotResult KnockoutSwitch::route_slot(
+    const std::vector<std::int32_t>& dests) const {
+  PCS_REQUIRE(dests.size() == ports_, "KnockoutSwitch::route_slot width");
+  SlotResult result;
+  // The broadcast fabric presents, at output port p, a valid bit per input
+  // that addressed p; the port concentrator picks up to L of them.
+  for (std::size_t p = 0; p < ports_; ++p) {
+    BitVec valid(ports_);
+    std::size_t here = 0;
+    for (std::size_t i = 0; i < ports_; ++i) {
+      if (dests[i] == static_cast<std::int32_t>(p)) {
+        valid.set(i, true);
+        ++here;
+      }
+    }
+    if (here == 0) continue;
+    result.offered += here;
+    std::size_t accepted = port_concentrators_[p]->route(valid).routed_count();
+    result.accepted += accepted;
+    result.knocked_out += here - accepted;
+  }
+  return result;
+}
+
+double KnockoutSwitch::LoadStats::loss_rate() const {
+  return offered == 0
+             ? 0.0
+             : static_cast<double>(offered - accepted) / static_cast<double>(offered);
+}
+
+KnockoutSwitch::LoadStats KnockoutSwitch::simulate_uniform(double load,
+                                                           std::size_t slots,
+                                                           Rng& rng) const {
+  PCS_REQUIRE(load >= 0.0 && load <= 1.0, "KnockoutSwitch load");
+  LoadStats stats;
+  stats.slots = slots;
+  std::vector<std::int32_t> dests(ports_);
+  for (std::size_t t = 0; t < slots; ++t) {
+    for (std::size_t i = 0; i < ports_; ++i) {
+      dests[i] = rng.chance(load) ? static_cast<std::int32_t>(rng.below(ports_)) : -1;
+    }
+    SlotResult r = route_slot(dests);
+    stats.offered += r.offered;
+    stats.accepted += r.accepted;
+  }
+  return stats;
+}
+
+double KnockoutSwitch::predicted_loss(std::size_t ports, std::size_t accept,
+                                      double load) {
+  PCS_REQUIRE(ports > 0 && accept <= ports, "predicted_loss shape");
+  PCS_REQUIRE(load >= 0.0 && load <= 1.0, "predicted_loss load");
+  // Arrivals at one output ~ Binomial(N, p/N).  Expected excess beyond L,
+  // divided by the expected arrivals p.
+  const double n = static_cast<double>(ports);
+  const double q = load / n;
+  if (load == 0.0) return 0.0;
+  double pk = std::pow(1.0 - q, n);  // P[K = 0]
+  double excess = 0.0;
+  for (std::size_t k = 1; k <= ports; ++k) {
+    // Recurrence: P[K = k] = P[K = k-1] * (n - k + 1)/k * q/(1 - q).
+    pk *= (n - static_cast<double>(k) + 1.0) / static_cast<double>(k) * q / (1.0 - q);
+    if (k > accept) {
+      excess += static_cast<double>(k - accept) * pk;
+    }
+  }
+  return excess / load;
+}
+
+}  // namespace pcs::net

@@ -1,0 +1,71 @@
+// Knockout-style packet switch: the classic deployment of concentrator
+// switches in communication networks (the paper's opening sentence: "The
+// problem of concentrating relatively few signals on many input lines onto
+// a lesser number of output lines must be solved in many kinds of
+// communication networks").
+//
+// An N-input, N-output packet switch broadcasts every input to every output
+// port; each output port then uses an N-to-L *concentrator* to accept up to
+// L simultaneous packets per time slot (L << N), dropping the rest.  Under
+// uniform random traffic the binomial tail makes the loss probability fall
+// steeply in L -- with L = 8, famously below 1e-6 at full load -- so a
+// cheap multichip partial concentrator per port is exactly what the design
+// wants.  This module simulates the fabric with a pluggable per-port
+// concentrator and measures the loss rate, letting the paper's switches be
+// compared against the perfect baseline in their natural habitat.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "switch/concentrator.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::net {
+
+class KnockoutSwitch {
+ public:
+  /// N ports; each output port accepts up to L packets per slot through a
+  /// concentrator produced by `port_factory(N, L)`.
+  KnockoutSwitch(std::size_t ports, std::size_t accept,
+                 const std::function<std::unique_ptr<pcs::sw::ConcentratorSwitch>(
+                     std::size_t, std::size_t)>& port_factory);
+
+  std::size_t ports() const noexcept { return ports_; }
+  std::size_t accept() const noexcept { return accept_; }
+
+  struct SlotResult {
+    std::size_t offered = 0;
+    std::size_t accepted = 0;
+    std::size_t knocked_out = 0;  ///< lost to the per-port concentrators
+  };
+
+  /// One time slot: dests[i] is input i's destination port, or -1 if input
+  /// i has no packet this slot.
+  SlotResult route_slot(const std::vector<std::int32_t>& dests) const;
+
+  struct LoadStats {
+    std::size_t slots = 0;
+    std::size_t offered = 0;
+    std::size_t accepted = 0;
+    double loss_rate() const;
+  };
+
+  /// Simulate `slots` time slots of uniform traffic: each input holds a
+  /// packet with probability `load`, destination uniform over the ports.
+  LoadStats simulate_uniform(double load, std::size_t slots, Rng& rng) const;
+
+  /// The binomial-tail loss probability the Knockout analysis predicts for
+  /// a *perfect* N-to-L concentrator under uniform load p: the expected
+  /// number of packets beyond L at one output, over the expected arrivals.
+  static double predicted_loss(std::size_t ports, std::size_t accept, double load);
+
+ private:
+  std::size_t ports_;
+  std::size_t accept_;
+  std::vector<std::unique_ptr<pcs::sw::ConcentratorSwitch>> port_concentrators_;
+};
+
+}  // namespace pcs::net

@@ -1,0 +1,77 @@
+#include "network/router_sim.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace pcs::net {
+
+double TreeSimStats::delivery_rate() const {
+  return offered == 0 ? 1.0 : static_cast<double>(delivered) / static_cast<double>(offered);
+}
+
+double TreeSimStats::mean_latency() const {
+  return delivered == 0 ? 0.0 : total_latency_rounds / static_cast<double>(delivered);
+}
+
+double TreeSimStats::trunk_utilization(const ConcentratorTree& tree) const {
+  const double capacity =
+      static_cast<double>(rounds) * static_cast<double>(tree.trunk_outputs());
+  return capacity == 0.0 ? 0.0 : static_cast<double>(delivered) / capacity;
+}
+
+std::string TreeSimStats::to_string() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " offered=" << offered << " delivered=" << delivered
+     << " (rate " << delivery_rate() << ") l1-rejects=" << level1_rejections
+     << " trunk-rejects=" << trunk_rejections << " mean-latency=" << mean_latency()
+     << " max-backlog=" << max_backlog;
+  return os.str();
+}
+
+TreeSimStats simulate_tree(const ConcentratorTree& tree, double arrival_p,
+                           std::size_t rounds, Rng& rng) {
+  const std::size_t n = tree.total_inputs();
+  std::vector<std::int64_t> born(n, -1);  // -1 = idle source
+  TreeSimStats stats;
+  stats.rounds = rounds;
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (born[i] < 0 && rng.chance(arrival_p)) {
+        born[i] = static_cast<std::int64_t>(round);
+        ++stats.offered;
+      }
+    }
+    BitVec valid(n);
+    std::size_t backlog = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (born[i] >= 0) {
+        valid.set(i, true);
+        ++backlog;
+      }
+    }
+    stats.max_backlog = std::max(stats.max_backlog, backlog);
+    if (backlog == 0) continue;
+
+    ConcentratorTree::ShotResult shot = tree.route_once(valid);
+    stats.trunk_rejections += shot.survived_level1 - shot.reached_trunk;
+    stats.level1_rejections += backlog - shot.survived_level1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (born[i] >= 0 && shot.trunk_output_of_source[i] >= 0) {
+        const std::size_t waited = round - static_cast<std::size_t>(born[i]);
+        stats.total_latency_rounds += static_cast<double>(waited);
+        if (stats.latency_histogram.size() <= waited) {
+          stats.latency_histogram.resize(waited + 1, 0);
+        }
+        ++stats.latency_histogram[waited];
+        ++stats.delivered;
+        born[i] = -1;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace pcs::net

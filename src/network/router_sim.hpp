@@ -1,0 +1,40 @@
+// Round-based traffic simulation over a ConcentratorTree with buffered
+// retries: the message-routing life of the switches inside a parallel
+// computer, reported as throughput and latency statistics.
+//
+// Each round, every idle source generates a message with probability
+// arrival_p; all waiting messages present valid bits; the tree routes one
+// setup; sources whose messages reach the trunk become idle again, the rest
+// keep their message buffered for the next round (the buffer-and-retry
+// congestion discipline of Section 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "network/concentrator_tree.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::net {
+
+struct TreeSimStats {
+  std::size_t rounds = 0;
+  std::size_t offered = 0;
+  std::size_t delivered = 0;
+  std::size_t level1_rejections = 0;  ///< waiting messages cut at level 1
+  std::size_t trunk_rejections = 0;   ///< survived level 1, cut at the trunk
+  std::size_t max_backlog = 0;
+  double total_latency_rounds = 0.0;
+  std::vector<std::size_t> latency_histogram;  ///< index = rounds waited
+
+  double delivery_rate() const;
+  double mean_latency() const;
+  double trunk_utilization(const ConcentratorTree& tree) const;
+  std::string to_string() const;
+};
+
+TreeSimStats simulate_tree(const ConcentratorTree& tree, double arrival_p,
+                           std::size_t rounds, Rng& rng);
+
+}  // namespace pcs::net

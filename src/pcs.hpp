@@ -1,0 +1,78 @@
+// Umbrella header for the pcs library: multichip partial concentrator
+// switches after Cormen (MIT-LCS-TM-322, 1987), with the mesh-sorting,
+// gate-level, cost-model, and message-routing substrates they rest on.
+//
+// Layering (each layer only depends on the ones above it):
+//   util    -- bit vectors/matrices, integer math, RNG, parallel_for
+//   sortnet -- Revsort / Shearsort / Columnsort on 0/1 meshes, nearsortedness
+//   gates   -- combinational netlists, depth analysis, evaluation
+//   hyper   -- the single-chip hyperconcentrator (functional + gate-level)
+//   switch  -- the paper's multichip constructions (the core contribution)
+//   cost    -- pins / chips / boards / area / volume / delay (Table 1)
+//   message -- bit-serial streaming, congestion policies, traffic
+//   network -- two-level concentration hierarchies and round simulation
+//   core    -- executable lemmas/theorems, bounds, adversarial search
+#pragma once
+
+#include "util/assert.hpp"
+#include "util/bitmatrix.hpp"
+#include "util/bitvec.hpp"
+#include "util/digest.hpp"
+#include "util/mathutil.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+#include "sortnet/columnsort.hpp"
+#include "sortnet/comparator_net.hpp"
+#include "sortnet/displacement.hpp"
+#include "sortnet/mesh_ops.hpp"
+#include "sortnet/nearsort.hpp"
+#include "sortnet/revsort.hpp"
+#include "sortnet/shearsort.hpp"
+
+#include "gates/builder.hpp"
+#include "gates/circuit.hpp"
+#include "gates/evaluator.hpp"
+
+#include "hyper/barrel_shifter.hpp"
+#include "hyper/hyper_circuit.hpp"
+#include "hyper/hyperconcentrator.hpp"
+#include "hyper/prefix_butterfly.hpp"
+
+#include "switch/chip.hpp"
+#include "switch/columnsort_switch.hpp"
+#include "switch/concentrator.hpp"
+#include "switch/faults.hpp"
+#include "switch/full_sort_hyper.hpp"
+#include "switch/gate_level_switch.hpp"
+#include "switch/hyper_switch.hpp"
+#include "switch/comparator_switch.hpp"
+#include "switch/multipass_switch.hpp"
+#include "switch/perfect_from_partial.hpp"
+#include "switch/revsort_switch.hpp"
+#include "switch/wiring.hpp"
+
+#include "cost/layout.hpp"
+#include "cost/resource_model.hpp"
+#include "cost/render.hpp"
+#include "cost/scaling.hpp"
+#include "cost/table1.hpp"
+
+#include "message/ack_protocol.hpp"
+#include "message/clocked_sim.hpp"
+#include "message/congestion.hpp"
+#include "message/message.hpp"
+#include "message/pipeline.hpp"
+#include "message/stream_engine.hpp"
+#include "message/traffic.hpp"
+
+#include "network/concentrator_tree.hpp"
+#include "network/knockout.hpp"
+#include "network/multistage.hpp"
+#include "network/router_sim.hpp"
+
+#include "core/adversary.hpp"
+#include "core/bounds.hpp"
+#include "core/epsilon_stats.hpp"
+#include "core/lemmas.hpp"
+#include "core/verification.hpp"

@@ -1,0 +1,78 @@
+#include "sortnet/columnsort.hpp"
+
+#include "sortnet/mesh_ops.hpp"
+#include "util/assert.hpp"
+
+namespace pcs::sortnet {
+
+BitMatrix cm_to_rm_reshape(const BitMatrix& m) {
+  return BitMatrix::from_row_major(m.to_col_major(), m.rows(), m.cols());
+}
+
+BitMatrix rm_to_cm_reshape(const BitMatrix& m) {
+  // new.to_col_major() must equal m.to_row_major(); build by inverting the
+  // column-major read: entry at column-major position x of the new matrix is
+  // bit x of the old row-major sequence.
+  const std::size_t r = m.rows();
+  const std::size_t s = m.cols();
+  BitVec rm = m.to_row_major();
+  BitMatrix out(r, s);
+  for (std::size_t x = 0; x < r * s; ++x) {
+    out.set(x % r, x / r, rm.get(x));
+  }
+  return out;
+}
+
+void columnsort_algorithm2(BitMatrix& m) {
+  PCS_REQUIRE(m.cols() > 0 && m.rows() % m.cols() == 0,
+              "Columnsort requires s to divide r");
+  sort_columns(m);
+  m = cm_to_rm_reshape(m);
+  sort_columns(m);
+}
+
+std::size_t algorithm2_epsilon_bound(std::size_t cols) {
+  return (cols - 1) * (cols - 1);
+}
+
+void columnsort_shift_sort_unshift(BitMatrix& m) {
+  const std::size_t r = m.rows();
+  const std::size_t s = m.cols();
+  const std::size_t shift = r / 2;
+  // Extended column-major sequence: `shift` ones (elements that sort before
+  // everything in a nonincreasing order), the data, `shift` zeros.  The
+  // widened matrix has s+1 columns; its column c is the slice
+  // [c*r, (c+1)*r) of this sequence.
+  BitVec data = m.to_col_major();
+  BitVec ext(shift + r * s + (r - shift));
+  for (std::size_t i = 0; i < shift; ++i) ext.set(i, true);
+  for (std::size_t i = 0; i < r * s; ++i) ext.set(shift + i, data.get(i));
+  BitMatrix wide(r, s + 1);
+  for (std::size_t x = 0; x < r * (s + 1); ++x) wide.set(x % r, x / r, ext.get(x));
+  sort_columns(wide);
+  BitVec sorted_ext = wide.to_col_major();
+  BitMatrix out(r, s);
+  for (std::size_t x = 0; x < r * s; ++x) {
+    out.set(x % r, x / r, sorted_ext.get(shift + x));
+  }
+  m = out;
+}
+
+void columnsort_full(BitMatrix& m) {
+  PCS_REQUIRE(m.cols() > 0 && m.rows() % m.cols() == 0,
+              "Columnsort requires s to divide r");
+  sort_columns(m);                 // step 1
+  m = cm_to_rm_reshape(m);         // step 2
+  sort_columns(m);                 // step 3
+  m = rm_to_cm_reshape(m);         // step 4
+  sort_columns(m);                 // step 5
+  columnsort_shift_sort_unshift(m);  // steps 6-8
+}
+
+bool columnsort_shape_ok(std::size_t rows, std::size_t cols) {
+  if (cols == 0 || rows % cols != 0) return false;
+  std::size_t d = cols - 1;
+  return rows >= 2 * d * d;
+}
+
+}  // namespace pcs::sortnet

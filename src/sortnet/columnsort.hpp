@@ -1,0 +1,52 @@
+// Columnsort (Leighton) on an r-by-s 0/1 mesh, as used by the paper's second
+// multichip switch (Section 5).
+//
+// Algorithm 2 of the paper is the first three steps of Columnsort:
+//   1. fully sort the columns                     (stage-1 chips)
+//   2. convert column-major order to row-major    (inter-stage wiring)
+//   3. fully sort the columns                     (stage-2 chips)
+// Leighton shows the result is (s-1)^2-nearsorted when read in row-major
+// order (Theorem 4's prerequisite).
+//
+// The full eight-step Columnsort (used for the Section 6 hyperconcentrator
+// variant) adds the inverse conversion, another column sort, and a
+// shift/sort/unshift trio; it fully sorts into column-major order whenever
+// r >= 2(s-1)^2.
+#pragma once
+
+#include <cstddef>
+
+#include "util/bitmatrix.hpp"
+
+namespace pcs::sortnet {
+
+/// Step 2 of Algorithm 2: the element at row i, column j (column-major
+/// position rj + i) moves to row floor((rj+i)/s), column (rj+i) mod s.
+/// Equivalently: read the matrix column-major, rewrite it row-major.
+BitMatrix cm_to_rm_reshape(const BitMatrix& m);
+
+/// Inverse of cm_to_rm_reshape (Columnsort step 4): read the matrix
+/// row-major, rewrite it column-major.
+BitMatrix rm_to_cm_reshape(const BitMatrix& m);
+
+/// Algorithm 2 of the paper (Columnsort steps 1-3).  Preconditions: r = rows
+/// is a multiple of s = cols (the paper's "s evenly divides r").
+void columnsort_algorithm2(BitMatrix& m);
+
+/// The paper's nearsortedness bound for Algorithm 2: epsilon = (s-1)^2.
+std::size_t algorithm2_epsilon_bound(std::size_t cols);
+
+/// Columnsort steps 6-8: shift the column-major sequence down by floor(r/2)
+/// (padding with 1s before and 0s after, the 0/1 analogues of -inf/+inf for
+/// a nonincreasing sort), sort the columns of the widened matrix, unshift.
+void columnsort_shift_sort_unshift(BitMatrix& m);
+
+/// All eight Columnsort steps.  Fully sorts the matrix into *column-major*
+/// order whenever r >= 2(s-1)^2 (and s divides r).
+void columnsort_full(BitMatrix& m);
+
+/// True iff the shape satisfies Columnsort's full-sort requirement
+/// r >= 2(s-1)^2 with s dividing r.
+bool columnsort_shape_ok(std::size_t rows, std::size_t cols);
+
+}  // namespace pcs::sortnet

@@ -1,0 +1,139 @@
+#include "sortnet/comparator_net.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::sortnet {
+
+ComparatorNetwork::ComparatorNetwork(std::size_t n, std::vector<Comparator> comps)
+    : n_(n), stages_(0), comps_(std::move(comps)) {
+  PCS_REQUIRE(n > 0, "ComparatorNetwork size");
+  for (const Comparator& c : comps_) {
+    PCS_REQUIRE(c.lo < n && c.hi < n && c.lo != c.hi, "comparator endpoints");
+    stages_ = std::max<std::size_t>(stages_, c.stage + 1);
+  }
+}
+
+ComparatorNetwork ComparatorNetwork::bitonic_sorter(std::size_t n) {
+  PCS_REQUIRE(is_pow2(n), "bitonic_sorter needs power-of-two n");
+  std::vector<Comparator> comps;
+  std::uint32_t stage = 0;
+  for (std::size_t k = 2; k <= n; k <<= 1) {
+    for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::size_t l = i ^ j;
+        if (l <= i) continue;
+        // Overall *nonincreasing* order: blocks with (i & k) == 0 place the
+        // larger value at the smaller index.
+        bool ones_first_block = (i & k) == 0;
+        Comparator c;
+        c.stage = stage;
+        if (ones_first_block) {
+          c.lo = static_cast<std::uint32_t>(i);
+          c.hi = static_cast<std::uint32_t>(l);
+        } else {
+          c.lo = static_cast<std::uint32_t>(l);
+          c.hi = static_cast<std::uint32_t>(i);
+        }
+        comps.push_back(c);
+      }
+      ++stage;
+    }
+  }
+  return ComparatorNetwork(n, std::move(comps));
+}
+
+ComparatorNetwork ComparatorNetwork::odd_even_mergesort(std::size_t n) {
+  PCS_REQUIRE(is_pow2(n), "odd_even_mergesort needs power-of-two n");
+  std::vector<Comparator> comps;
+  std::uint32_t stage = 0;
+  for (std::size_t p = 1; p < n; p <<= 1) {
+    for (std::size_t k = p; k >= 1; k >>= 1) {
+      for (std::size_t j = k % p; j + k < n; j += 2 * k) {
+        for (std::size_t i = 0; i < std::min(k, n - j - k); ++i) {
+          std::size_t a = i + j;
+          std::size_t b = i + j + k;
+          if (a / (2 * p) == b / (2 * p)) {
+            // Larger value to the smaller index: nonincreasing output.
+            comps.push_back(Comparator{static_cast<std::uint32_t>(a),
+                                       static_cast<std::uint32_t>(b), stage});
+          }
+        }
+      }
+      ++stage;
+      if (k == 1) break;  // k is unsigned; avoid wrap
+    }
+  }
+  return ComparatorNetwork(n, std::move(comps));
+}
+
+ComparatorNetwork ComparatorNetwork::odd_even_transposition(std::size_t n,
+                                                            std::size_t rounds) {
+  std::vector<Comparator> comps;
+  for (std::size_t t = 0; t < rounds; ++t) {
+    for (std::size_t i = t % 2; i + 1 < n; i += 2) {
+      comps.push_back(Comparator{static_cast<std::uint32_t>(i),
+                                 static_cast<std::uint32_t>(i + 1),
+                                 static_cast<std::uint32_t>(t)});
+    }
+  }
+  return ComparatorNetwork(n, std::move(comps));
+}
+
+ComparatorNetwork ComparatorNetwork::truncated(std::size_t stages) const {
+  std::vector<Comparator> comps;
+  for (const Comparator& c : comps_) {
+    if (c.stage < stages) comps.push_back(c);
+  }
+  return ComparatorNetwork(n_, std::move(comps));
+}
+
+BitVec ComparatorNetwork::apply(const BitVec& bits) const {
+  PCS_REQUIRE(bits.size() == n_, "ComparatorNetwork::apply width");
+  BitVec v = bits;
+  for (const Comparator& c : comps_) {
+    bool a = v.get(c.lo);
+    bool b = v.get(c.hi);
+    v.set(c.lo, a || b);
+    v.set(c.hi, a && b);
+  }
+  return v;
+}
+
+void ComparatorNetwork::apply_labels(std::vector<std::int32_t>& slots) const {
+  PCS_REQUIRE(slots.size() == n_, "ComparatorNetwork::apply_labels width");
+  for (const Comparator& c : comps_) {
+    if (slots[c.lo] < 0 && slots[c.hi] >= 0) {
+      std::swap(slots[c.lo], slots[c.hi]);
+    }
+  }
+}
+
+bool ComparatorNetwork::sorts_all_01(bool exhaustive) const {
+  if (exhaustive) {
+    PCS_REQUIRE(n_ <= 20, "exhaustive 0/1 check limited to n <= 20");
+    for (std::uint64_t pattern = 0; pattern < (std::uint64_t{1} << n_); ++pattern) {
+      BitVec in(n_);
+      for (std::size_t i = 0; i < n_; ++i) in.set(i, (pattern >> i) & 1u);
+      if (!apply(in).is_sorted_nonincreasing()) return false;
+    }
+    return true;
+  }
+  Rng rng(0xC0FFEE);
+  for (int t = 0; t < 2000; ++t) {
+    BitVec in = rng.bernoulli_bits(n_, rng.uniform01());
+    if (!apply(in).is_sorted_nonincreasing()) return false;
+  }
+  // Structured block patterns at every weight.
+  for (std::size_t k = 0; k <= n_; ++k) {
+    BitVec tail(n_);
+    for (std::size_t i = 0; i < k; ++i) tail.set(n_ - 1 - i, true);
+    if (!apply(tail).is_sorted_nonincreasing()) return false;
+  }
+  return true;
+}
+
+}  // namespace pcs::sortnet

@@ -1,0 +1,71 @@
+// Comparator networks on 0/1 sequences: the "epsilon-nearsorters based on
+// networks other than the two-dimensional mesh" of the paper's closing
+// question (Section 6).
+//
+// A comparator (lo, hi) oriented ones-first moves the larger bit to the
+// lower index: lo' = lo OR hi, hi' = lo AND hi -- one gate delay per
+// comparator stage on the valid bits, two on a steered payload.  We provide
+// Batcher's bitonic sorter and odd-even merge sort, the odd-even
+// transposition (brick) network, and truncation to a stage prefix, which
+// turns a sorter into a nearsorter that Lemma 2 converts into a partial
+// concentrator (see switch/comparator_switch.*).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace pcs::sortnet {
+
+struct Comparator {
+  std::uint32_t lo;     ///< receives the larger bit (ones-first order)
+  std::uint32_t hi;     ///< receives the smaller bit
+  std::uint32_t stage;  ///< parallel stage index (comparators in a stage are disjoint)
+};
+
+class ComparatorNetwork {
+ public:
+  ComparatorNetwork(std::size_t n, std::vector<Comparator> comps);
+
+  /// Batcher's bitonic sorting network; n must be a power of two.
+  /// Stages: lg n (lg n + 1) / 2.
+  static ComparatorNetwork bitonic_sorter(std::size_t n);
+
+  /// Batcher's odd-even merge sorting network; n must be a power of two.
+  /// Same stage count as bitonic, fewer comparators.
+  static ComparatorNetwork odd_even_mergesort(std::size_t n);
+
+  /// `rounds` rounds of odd-even transposition (the brick network); a full
+  /// sorter needs n rounds, a prefix is a (weak) nearsorter.
+  static ComparatorNetwork odd_even_transposition(std::size_t n, std::size_t rounds);
+
+  /// The prefix of this network consisting of stages [0, stages).
+  ComparatorNetwork truncated(std::size_t stages) const;
+
+  std::size_t n() const noexcept { return n_; }
+  std::size_t comparator_count() const noexcept { return comps_.size(); }
+  std::size_t stage_count() const noexcept { return stages_; }
+  const std::vector<Comparator>& comparators() const noexcept { return comps_; }
+
+  /// Apply to a 0/1 sequence (ones move toward index 0).
+  BitVec apply(const BitVec& bits) const;
+
+  /// Apply to labeled slots: at each comparator an occupied hi slot falls
+  /// through to an idle lo slot; two occupied slots keep their places.
+  /// Projecting to valid bits commutes with apply().
+  void apply_labels(std::vector<std::int32_t>& slots) const;
+
+  /// True iff the network sorts every 0/1 input of every weight (checked
+  /// exhaustively over weights with the canonical worst inputs when
+  /// exhaustive = false, or over all 2^n inputs when exhaustive = true and
+  /// n <= 20).  The 0/1 principle makes the 0/1 check sufficient.
+  bool sorts_all_01(bool exhaustive = false) const;
+
+ private:
+  std::size_t n_;
+  std::size_t stages_;
+  std::vector<Comparator> comps_;
+};
+
+}  // namespace pcs::sortnet

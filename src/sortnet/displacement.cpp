@@ -1,0 +1,38 @@
+#include "sortnet/displacement.hpp"
+
+namespace pcs::sortnet {
+
+std::uint64_t inversion_count(const BitVec& bits) {
+  std::uint64_t zeros_seen = 0;
+  std::uint64_t inversions = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits.get(i)) {
+      inversions += zeros_seen;  // this 1 follows every 0 seen so far
+    } else {
+      ++zeros_seen;
+    }
+  }
+  return inversions;
+}
+
+std::uint64_t displacement_mass(const BitVec& bits) {
+  const std::size_t k = bits.count();
+  std::uint64_t mass = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits.get(i)) {
+      if (i >= k) mass += i - (k - 1);
+    } else {
+      if (i < k) mass += k - i;
+    }
+  }
+  return mass;
+}
+
+std::size_t misplaced_count(const BitVec& bits) {
+  const std::size_t k = bits.count();
+  std::size_t misplaced = 0;
+  for (std::size_t i = k; i < bits.size(); ++i) misplaced += bits.get(i);
+  return misplaced;
+}
+
+}  // namespace pcs::sortnet

@@ -1,0 +1,34 @@
+// Displacement and inversion metrics for 0/1 sequences: companions to the
+// single-number epsilon of nearsort.hpp.
+//
+// epsilon is the *max* displacement; routing quality also depends on how
+// many elements are displaced and by how much in aggregate.  For a 0/1
+// sequence the natural aggregate is the inversion count (pairs 0...1 in
+// that order), which equals the minimum number of adjacent transpositions
+// to sort, and the total displacement mass (sum over misplaced elements of
+// their distance past their block).  These feed the analysis benches and
+// give the odd-even-transposition control in bench_other_nearsorters its
+// quantitative footing (each brick round removes at most n/2 inversions).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitvec.hpp"
+
+namespace pcs::sortnet {
+
+/// Number of inversions: pairs i < j with bits[i] = 0 and bits[j] = 1.
+/// Zero iff sorted nonincreasingly.  O(n).
+std::uint64_t inversion_count(const BitVec& bits);
+
+/// Total displacement mass: sum over the 1s of how far each sits beyond
+/// position k-1, plus sum over the 0s of how far each sits before position
+/// k (k = number of 1s).  Zero iff sorted.  O(n).
+std::uint64_t displacement_mass(const BitVec& bits);
+
+/// Number of elements that are out of place (1s beyond the first k
+/// positions, 0s within them).  Always even counts misplaced 1s = misplaced
+/// 0s; this returns the number of misplaced 1s.
+std::size_t misplaced_count(const BitVec& bits);
+
+}  // namespace pcs::sortnet

@@ -1,0 +1,71 @@
+#include "sortnet/mesh_ops.hpp"
+
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::sortnet {
+
+BitVec sorted_ones_first(const BitVec& bits) {
+  BitVec out(bits.size());
+  std::size_t ones = bits.count();
+  for (std::size_t i = 0; i < ones; ++i) out.set(i, true);
+  return out;
+}
+
+void sort_columns(BitMatrix& m) {
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    std::size_t ones = m.col(j).count();
+    for (std::size_t i = 0; i < m.rows(); ++i) m.set(i, j, i < ones);
+  }
+}
+
+void sort_rows(BitMatrix& m, RowOrder order) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    std::size_t ones = m.row_count(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      bool one_here = (order == RowOrder::kOnesFirst) ? (j < ones) : (j >= m.cols() - ones);
+      m.set(i, j, one_here);
+    }
+  }
+}
+
+void sort_rows_alternating(BitMatrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    std::size_t ones = m.row_count(i);
+    bool ones_first = (i % 2 == 0);
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      bool one_here = ones_first ? (j < ones) : (j >= m.cols() - ones);
+      m.set(i, j, one_here);
+    }
+  }
+}
+
+void rotate_row_right(BitMatrix& m, std::size_t i, std::size_t amount) {
+  PCS_REQUIRE(i < m.rows(), "rotate_row_right row index");
+  const std::size_t s = m.cols();
+  if (s == 0) return;
+  amount %= s;
+  if (amount == 0) return;
+  BitVec old = m.row(i);
+  for (std::size_t j = 0; j < s; ++j) {
+    m.set(i, (amount + j) % s, old.get(j));
+  }
+}
+
+void rotate_rows_bit_reversed(BitMatrix& m) {
+  PCS_REQUIRE(is_pow2(m.rows()), "rotate_rows_bit_reversed needs power-of-two rows");
+  const unsigned q = exact_log2(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    rotate_row_right(m, i, static_cast<std::size_t>(bit_reverse(i, q)));
+  }
+}
+
+bool is_row_major_sorted(const BitMatrix& m) {
+  return m.to_row_major().is_sorted_nonincreasing();
+}
+
+bool is_col_major_sorted(const BitMatrix& m) {
+  return m.to_col_major().is_sorted_nonincreasing();
+}
+
+}  // namespace pcs::sortnet

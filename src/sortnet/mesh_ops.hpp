@@ -1,0 +1,52 @@
+// Primitive operations on 0/1 meshes that the three sorting algorithms
+// (Revsort, Shearsort, Columnsort) are composed from.
+//
+// All sorts order bits *nonincreasingly* (1s first), matching the paper's
+// Section 2 definition of a sorted valid-bit sequence: a hyperconcentrator
+// chip routes its k valid messages to its first k outputs, so a chip applied
+// to a row or column is exactly a 1s-first full sort of that row or column.
+#pragma once
+
+#include <cstddef>
+
+#include "util/bitmatrix.hpp"
+#include "util/bitvec.hpp"
+
+namespace pcs::sortnet {
+
+/// Direction of a row sort.  Ones-first means 1s at the low column indices.
+enum class RowOrder { kOnesFirst, kZerosFirst };
+
+/// Sort one bit sequence nonincreasingly (1s first).  Counting sort; stable
+/// order among equal bits is meaningless for plain bits, but the labeled
+/// switch simulation mirrors this with a stable partition.
+BitVec sorted_ones_first(const BitVec& bits);
+
+/// Sort every column of m so that 1s occupy the smallest row indices.
+/// This is what one stage of column-oriented hyperconcentrator chips does.
+void sort_columns(BitMatrix& m);
+
+/// Sort every row of m in the given direction.
+void sort_rows(BitMatrix& m, RowOrder order = RowOrder::kOnesFirst);
+
+/// Sort rows in alternating directions (even rows 1s-first, odd rows
+/// 0s-first) -- the Shearsort row phase.
+void sort_rows_alternating(BitMatrix& m);
+
+/// Cyclically rotate row i of m by `amount` places to the right: the element
+/// in column j moves to column (amount + j) mod s.  Matches Algorithm 1
+/// step 3 with amount = rev(i).
+void rotate_row_right(BitMatrix& m, std::size_t i, std::size_t amount);
+
+/// Apply the Revsort rotation to every row: row i rotates right by rev(i),
+/// where rev reverses the lg(rows) bits of i.  Precondition: rows is a power
+/// of two.
+void rotate_rows_bit_reversed(BitMatrix& m);
+
+/// True iff the matrix, read in row-major order, is fully sorted (1s first).
+bool is_row_major_sorted(const BitMatrix& m);
+
+/// True iff the matrix, read in column-major order, is fully sorted.
+bool is_col_major_sorted(const BitMatrix& m);
+
+}  // namespace pcs::sortnet

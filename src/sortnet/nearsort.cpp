@@ -1,0 +1,63 @@
+#include "sortnet/nearsort.hpp"
+
+namespace pcs::sortnet {
+
+DirtyWindow dirty_window(const BitVec& bits) {
+  const std::size_t n = bits.size();
+  std::size_t first_zero = n;
+  std::size_t last_one = n;  // n means "no ones"
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bits.get(i)) {
+      last_one = i;
+    } else if (first_zero == n) {
+      first_zero = i;
+    }
+  }
+  DirtyWindow w{};
+  if (last_one == n || first_zero == n || first_zero > last_one) {
+    // Already sorted: all 1s precede all 0s; empty dirty window at the seam.
+    std::size_t k = bits.count();
+    w.clean_ones = k;
+    w.dirty_begin = k;
+    w.dirty_end = k;
+    w.clean_zeros = n - k;
+    return w;
+  }
+  w.clean_ones = first_zero;
+  w.dirty_begin = first_zero;
+  w.dirty_end = last_one + 1;
+  w.clean_zeros = n - (last_one + 1);
+  return w;
+}
+
+std::size_t min_nearsort_epsilon(const BitVec& bits) {
+  const std::size_t n = bits.size();
+  const std::size_t k = bits.count();
+  if (n == 0) return 0;
+  // A 1 belongs in positions [0, k); a 0 belongs in [k, n).  The farthest
+  // out-of-place 1 is the last one; the farthest out-of-place 0 is the first.
+  std::size_t eps = 0;
+  DirtyWindow w = dirty_window(bits);
+  if (w.dirty_length() == 0) return 0;
+  std::size_t last_one = w.dirty_end - 1;
+  std::size_t first_zero = w.dirty_begin;
+  if (last_one + 1 > k) eps = last_one + 1 - k;  // displacement of last 1
+  if (k > first_zero && k - first_zero > eps) eps = k - first_zero;
+  return eps;
+}
+
+bool is_nearsorted(const BitVec& bits, std::size_t epsilon) {
+  return min_nearsort_epsilon(bits) <= epsilon;
+}
+
+bool lemma1_structure_holds(const BitVec& bits, std::size_t epsilon) {
+  const std::size_t n = bits.size();
+  const std::size_t k = bits.count();
+  DirtyWindow w = dirty_window(bits);
+  bool ones_ok = w.clean_ones + epsilon >= k;
+  bool zeros_ok = w.clean_zeros + epsilon + k >= n;
+  bool window_ok = w.dirty_length() <= 2 * epsilon;
+  return ones_ok && zeros_ok && window_ok;
+}
+
+}  // namespace pcs::sortnet

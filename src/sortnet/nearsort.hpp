@@ -1,0 +1,47 @@
+// Nearsortedness analysis of 0/1 sequences (Section 3 of the paper).
+//
+// A sequence is epsilon-nearsorted when every element lies within epsilon
+// positions of where it belongs in the fully (nonincreasingly) sorted
+// sequence.  For 0/1 sequences Lemma 1 characterizes this exactly: a clean
+// run of at least k - epsilon 1s, a dirty window of at most 2*epsilon bits,
+// and a clean run of at least n - k - epsilon 0s.  These functions compute
+// the tight epsilon and the dirty-window decomposition used by the Figure 1
+// bench and by the Lemma 1 / Lemma 2 validators in pcs::core.
+#pragma once
+
+#include <cstddef>
+
+#include "util/bitvec.hpp"
+
+namespace pcs::sortnet {
+
+/// Decomposition of a 0/1 sequence into clean prefix / dirty window / clean
+/// suffix, as drawn in Figure 1.
+struct DirtyWindow {
+  std::size_t clean_ones;   ///< length of the leading all-1s run
+  std::size_t dirty_begin;  ///< first index of the dirty window
+  std::size_t dirty_end;    ///< one past the last index of the dirty window
+  std::size_t clean_zeros;  ///< length of the trailing all-0s run
+
+  std::size_t dirty_length() const noexcept { return dirty_end - dirty_begin; }
+};
+
+/// Compute the dirty-window decomposition.  The dirty window is
+/// [first 0, last 1 + 1), empty when the sequence is already sorted.
+DirtyWindow dirty_window(const BitVec& bits);
+
+/// The minimal epsilon for which the sequence is epsilon-nearsorted:
+/// max over elements of their displacement past the block of equal values in
+/// the sorted sequence.  A sorted sequence has epsilon 0.
+std::size_t min_nearsort_epsilon(const BitVec& bits);
+
+/// True iff the sequence is epsilon-nearsorted.
+bool is_nearsorted(const BitVec& bits, std::size_t epsilon);
+
+/// Lemma 1, forward direction, checked structurally: an epsilon-nearsorted
+/// sequence with k ones has clean_ones >= k - epsilon, dirty window length
+/// <= 2*epsilon, and clean_zeros >= n - k - epsilon.  Returns true when the
+/// structure holds (it must, for any epsilon >= min_nearsort_epsilon).
+bool lemma1_structure_holds(const BitVec& bits, std::size_t epsilon);
+
+}  // namespace pcs::sortnet

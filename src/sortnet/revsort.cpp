@@ -1,0 +1,50 @@
+#include "sortnet/revsort.hpp"
+
+#include "sortnet/mesh_ops.hpp"
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::sortnet {
+
+namespace {
+void require_square_pow2(const BitMatrix& m) {
+  PCS_REQUIRE(m.rows() == m.cols(), "Revsort requires a square matrix");
+  PCS_REQUIRE(is_pow2(m.rows()), "Revsort requires power-of-two side");
+}
+}  // namespace
+
+void revsort_steps123(BitMatrix& m) {
+  require_square_pow2(m);
+  sort_columns(m);
+  sort_rows(m, RowOrder::kOnesFirst);
+  rotate_rows_bit_reversed(m);
+}
+
+void revsort_algorithm1(BitMatrix& m) {
+  revsort_steps123(m);
+  sort_columns(m);
+}
+
+std::size_t algorithm1_dirty_row_bound(std::size_t side) {
+  // n = side^2, so n^(1/4) = sqrt(side); the bound is 2*ceil(sqrt(side)) - 1.
+  std::size_t root = isqrt(side);
+  if (root * root < side) ++root;
+  return 2 * root - 1;
+}
+
+std::size_t full_revsort_repetitions(std::size_t side) {
+  PCS_REQUIRE(side >= 2, "full_revsort_repetitions side");
+  // ceil(lg lg side): side = 2^q, lg side = q, so this is ceil(lg q).
+  unsigned q = ceil_log2(side);
+  unsigned reps = (q <= 1) ? 1 : ceil_log2(q);
+  return reps == 0 ? 1 : reps;
+}
+
+std::size_t revsort_repeated(BitMatrix& m, std::size_t reps) {
+  require_square_pow2(m);
+  for (std::size_t t = 0; t < reps; ++t) revsort_steps123(m);
+  sort_columns(m);
+  return m.dirty_row_count();
+}
+
+}  // namespace pcs::sortnet

@@ -1,0 +1,45 @@
+// Revsort (Schnorr–Shamir) on a sqrt(n)-by-sqrt(n) 0/1 mesh, as used by the
+// paper's first multichip switch (Section 4).
+//
+// Algorithm 1 of the paper is the first 1.5 iterations of Revsort:
+//   1. fully sort the columns          (stage-1 hyperconcentrator chips)
+//   2. fully sort the rows             (stage-2 chips, after a transpose)
+//   3. rotate row i right by rev(i)    (hardwired barrel shifters)
+//   4. fully sort the columns          (stage-3 chips, after a transpose)
+// After Algorithm 1 the matrix has at most 2*ceil(n^(1/4)) - 1 dirty rows
+// (Theorem 3's prerequisite), so its row-major read-out is
+// O(n^(3/4))-nearsorted.
+//
+// Section 6 uses the rest of Revsort: repeating steps 1-3 ceil(lg lg sqrt(n))
+// times leaves at most eight dirty rows, after which a few Shearsort phases
+// complete a full sort (see full_sort_hyper in the switch module).
+#pragma once
+
+#include <cstddef>
+
+#include "util/bitmatrix.hpp"
+
+namespace pcs::sortnet {
+
+/// One repetition of Revsort steps 1-3: sort columns, sort rows (1s first),
+/// rotate row i right by rev(i).  Precondition: square power-of-two matrix.
+void revsort_steps123(BitMatrix& m);
+
+/// Algorithm 1 of the paper: steps 1-3 followed by a final column sort.
+/// Precondition: square power-of-two matrix.
+void revsort_algorithm1(BitMatrix& m);
+
+/// The paper's bound on dirty rows after Algorithm 1: 2*ceil(n^(1/4)) - 1,
+/// where n = side * side is the number of matrix entries.
+std::size_t algorithm1_dirty_row_bound(std::size_t side);
+
+/// Number of repetitions of steps 1-3 Section 6 prescribes before handing
+/// off to Shearsort: ceil(lg lg sqrt(n)), at least 1.
+std::size_t full_revsort_repetitions(std::size_t side);
+
+/// Repeat steps 1-3 `reps` times, then sort columns once.  Section 6 claims
+/// at most eight dirty rows remain when reps = full_revsort_repetitions.
+/// Returns the number of dirty rows in the result.
+std::size_t revsort_repeated(BitMatrix& m, std::size_t reps);
+
+}  // namespace pcs::sortnet

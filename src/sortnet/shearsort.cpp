@@ -1,0 +1,28 @@
+#include "sortnet/shearsort.hpp"
+
+#include "sortnet/mesh_ops.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::sortnet {
+
+void shearsort_phase(BitMatrix& m) {
+  sort_rows_alternating(m);
+  sort_columns(m);
+}
+
+std::size_t shearsort_halved(std::size_t dirty) { return (dirty + 1) / 2; }
+
+void shearsort_finish(BitMatrix& m, std::size_t phases) {
+  for (std::size_t t = 0; t < phases; ++t) shearsort_phase(m);
+  sort_rows(m, RowOrder::kOnesFirst);
+}
+
+std::size_t shearsort_phase_count(std::size_t rows) {
+  return rows <= 1 ? 1 : ceil_log2(rows) + 1;
+}
+
+void shearsort_row_major(BitMatrix& m) {
+  shearsort_finish(m, shearsort_phase_count(m.rows()));
+}
+
+}  // namespace pcs::sortnet

@@ -1,0 +1,35 @@
+// Shearsort (Scherson–Sen–Shamir) on an r-by-s 0/1 mesh.
+//
+// Section 6 of the paper finishes the full-Revsort hyperconcentrator with
+// "three iterations of the Shearsort algorithm": once at most eight dirty
+// rows remain, each phase (alternating-direction row sort, then column sort)
+// at least halves the dirty rows, so three phases leave at most one, and a
+// final 1s-first row sort completes a row-major full sort.
+#pragma once
+
+#include <cstddef>
+
+#include "util/bitmatrix.hpp"
+
+namespace pcs::sortnet {
+
+/// One Shearsort phase: sort rows in alternating directions (even rows
+/// 1s-first, odd rows 0s-first), then sort every column.
+void shearsort_phase(BitMatrix& m);
+
+/// The 0/1 halving bound: dirty rows after a phase, given `dirty` before.
+std::size_t shearsort_halved(std::size_t dirty);
+
+/// Run `phases` Shearsort phases followed by one final 1s-first row sort.
+/// If the input had at most 2^phases dirty rows (and was column-sorted),
+/// the result is fully sorted in row-major order.
+void shearsort_finish(BitMatrix& m, std::size_t phases);
+
+/// Full Shearsort of an arbitrary 0/1 matrix into row-major order:
+/// ceil(lg rows) + 1 phases plus the final row sort.
+void shearsort_row_major(BitMatrix& m);
+
+/// Number of phases full Shearsort uses on an r-row matrix.
+std::size_t shearsort_phase_count(std::size_t rows);
+
+}  // namespace pcs::sortnet

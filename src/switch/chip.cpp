@@ -1,0 +1,47 @@
+#include "switch/chip.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pcs::sw {
+
+std::size_t Bom::total_chips() const noexcept {
+  std::size_t total = 0;
+  for (const ChipSpec& c : items) total += c.count;
+  return total;
+}
+
+std::size_t Bom::max_pins_per_chip() const noexcept {
+  std::size_t best = 0;
+  for (const ChipSpec& c : items) best = std::max(best, c.pins());
+  return best;
+}
+
+std::size_t Bom::total_chip_area() const noexcept {
+  std::size_t area = 0;
+  for (const ChipSpec& c : items) area += c.count * c.width * c.width;
+  return area;
+}
+
+std::string chip_kind_name(ChipKind kind) {
+  switch (kind) {
+    case ChipKind::kHyperconcentrator:
+      return "hyperconcentrator";
+    case ChipKind::kBarrelShifter:
+      return "barrel-shifter";
+  }
+  return "unknown";
+}
+
+std::string Bom::to_string() const {
+  std::ostringstream os;
+  for (const ChipSpec& c : items) {
+    os << c.count << " x " << c.width << "-wide " << chip_kind_name(c.kind) << " ("
+       << c.data_pins << " data pins";
+    if (c.control_pins > 0) os << " + " << c.control_pins << " hardwired control";
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace pcs::sw

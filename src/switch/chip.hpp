@@ -1,0 +1,41 @@
+// Chip and board inventory records: the bill of materials a switch design
+// implies.  The cost module turns these into the pin counts, chip counts,
+// board counts, areas, and volumes of Table 1 and Figures 3, 4, 6, 7.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcs::sw {
+
+enum class ChipKind : std::uint8_t {
+  kHyperconcentrator,  ///< w-by-w hyperconcentrator (Theta(w^2) area)
+  kBarrelShifter,      ///< w-bit barrel shifter (Theta(w^2) area)
+};
+
+/// One line item of a bill of materials.
+struct ChipSpec {
+  ChipKind kind;
+  std::size_t width;         ///< I/O width w (wires in = wires out = w)
+  std::size_t data_pins;     ///< 2w for both chip kinds
+  std::size_t control_pins;  ///< hardwired shift bits on barrel shifters
+  std::size_t count;         ///< how many identical chips of this spec
+
+  std::size_t pins() const noexcept { return data_pins + control_pins; }
+};
+
+struct Bom {
+  std::vector<ChipSpec> items;
+
+  std::size_t total_chips() const noexcept;
+  std::size_t max_pins_per_chip() const noexcept;
+  /// Sum over chips of their Theta(w^2) areas, in wire-pitch^2 units.
+  std::size_t total_chip_area() const noexcept;
+  std::string to_string() const;
+};
+
+/// Human-readable name of a chip kind.
+std::string chip_kind_name(ChipKind kind);
+
+}  // namespace pcs::sw

@@ -1,0 +1,121 @@
+#include "switch/columnsort_switch.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "hyper/hyperconcentrator.hpp"
+#include "sortnet/columnsort.hpp"
+#include "switch/label_mesh.hpp"
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::sw {
+
+ColumnsortSwitch::ColumnsortSwitch(std::size_t r, std::size_t s, std::size_t m)
+    : r_(r), s_(s), n_(r * s), m_(m) {
+  PCS_REQUIRE(r > 0 && s > 0, "ColumnsortSwitch shape");
+  PCS_REQUIRE(r % s == 0, "ColumnsortSwitch requires s to divide r");
+  PCS_REQUIRE(m >= 1 && m <= n_, "ColumnsortSwitch m range");
+}
+
+ColumnsortSwitch ColumnsortSwitch::from_beta(std::size_t n, double beta, std::size_t m) {
+  PCS_REQUIRE(is_pow2(n), "from_beta requires power-of-two n");
+  PCS_REQUIRE(beta >= 0.5 && beta <= 1.0, "from_beta requires 1/2 <= beta <= 1");
+  const unsigned lgn = exact_log2(n);
+  // r = 2^e with e the nearest integer to beta * lg n, clamped so that
+  // s = 2^(lg n - e) divides r, i.e. lg n - e <= e.
+  auto e = static_cast<unsigned>(std::lround(beta * lgn));
+  unsigned e_min = (lgn + 1) / 2;
+  if (e < e_min) e = e_min;
+  if (e > lgn) e = lgn;
+  const std::size_t r = std::size_t{1} << e;
+  const std::size_t s = n / r;
+  return ColumnsortSwitch(r, s, m);
+}
+
+double ColumnsortSwitch::beta() const {
+  if (n_ <= 1) return 1.0;
+  return std::log2(static_cast<double>(r_)) / std::log2(static_cast<double>(n_));
+}
+
+std::size_t ColumnsortSwitch::epsilon_bound() const {
+  return sortnet::algorithm2_epsilon_bound(s_);
+}
+
+SwitchRouting ColumnsortSwitch::finish_row_major(
+    const std::vector<std::int32_t>& row_major) const {
+  SwitchRouting out;
+  out.output_of_input.assign(n_, -1);
+  out.input_of_output.assign(m_, -1);
+  for (std::size_t pos = 0; pos < m_; ++pos) {
+    std::int32_t src = row_major[pos];
+    if (src >= 0) {
+      out.input_of_output[pos] = src;
+      out.output_of_input[static_cast<std::size_t>(src)] =
+          static_cast<std::int32_t>(pos);
+    }
+  }
+  return out;
+}
+
+SwitchRouting ColumnsortSwitch::route(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == n_, "ColumnsortSwitch::route width");
+  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
+  mesh.concentrate_columns();  // stage 1
+  mesh.cm_to_rm_reshape();     // inter-stage wiring
+  mesh.concentrate_columns();  // stage 2
+  return finish_row_major(mesh.to_row_major());
+}
+
+SwitchRouting ColumnsortSwitch::route_via_wiring(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == n_, "ColumnsortSwitch::route_via_wiring width");
+  // Input x drives stage-1 chip x / r, pin x % r: flat wire index x.
+  std::vector<std::int32_t> wires(n_, hyper::kIdle);
+  for (std::size_t x = 0; x < n_; ++x) {
+    if (valid.get(x)) wires[x] = static_cast<std::int32_t>(x);
+  }
+  auto concentrate_chips = [&](std::vector<std::int32_t>& w) {
+    for (std::size_t chip = 0; chip < s_; ++chip) {
+      std::vector<std::int32_t> slice(
+          w.begin() + static_cast<std::ptrdiff_t>(chip * r_),
+          w.begin() + static_cast<std::ptrdiff_t>((chip + 1) * r_));
+      hyper::stable_concentrate(slice);
+      std::copy(slice.begin(), slice.end(),
+                w.begin() + static_cast<std::ptrdiff_t>(chip * r_));
+    }
+  };
+  concentrate_chips(wires);                         // stage 1 chips
+  wires = cm_to_rm_wiring(r_, s_).apply(wires);     // RM^-1 o CM wiring
+  concentrate_chips(wires);                         // stage 2 chips
+  // Output taken row-major: entry (i, j) sits on stage-2 chip j, pin i.
+  std::vector<std::int32_t> row_major(n_, hyper::kIdle);
+  for (std::size_t j = 0; j < s_; ++j) {
+    for (std::size_t i = 0; i < r_; ++i) {
+      row_major[i * s_ + j] = wires[j * r_ + i];
+    }
+  }
+  return finish_row_major(row_major);
+}
+
+BitVec ColumnsortSwitch::nearsorted_valid_bits(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == n_, "ColumnsortSwitch::nearsorted_valid_bits width");
+  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
+  mesh.concentrate_columns();
+  mesh.cm_to_rm_reshape();
+  mesh.concentrate_columns();
+  return mesh.valid_bits().to_row_major();
+}
+
+std::string ColumnsortSwitch::name() const {
+  std::ostringstream os;
+  os << "columnsort(r=" << r_ << ",s=" << s_ << ",m=" << m_ << ")";
+  return os.str();
+}
+
+Bom ColumnsortSwitch::bill_of_materials() const {
+  Bom bom;
+  bom.items.push_back(ChipSpec{ChipKind::kHyperconcentrator, r_, 2 * r_, 0, 2 * s_});
+  return bom;
+}
+
+}  // namespace pcs::sw

@@ -1,0 +1,69 @@
+#include "switch/comparator_switch.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace pcs::sw {
+
+ComparatorSwitch::ComparatorSwitch(sortnet::ComparatorNetwork net, std::size_t m,
+                                   std::size_t declared_epsilon, std::string label)
+    : net_(std::move(net)),
+      m_(m),
+      declared_epsilon_(declared_epsilon),
+      label_(std::move(label)) {
+  PCS_REQUIRE(m >= 1 && m <= net_.n(), "ComparatorSwitch m range");
+  if (declared_epsilon_ == 0) {
+    PCS_REQUIRE(net_.sorts_all_01(net_.n() <= 16),
+                "epsilon 0 declared but the network does not sort");
+  }
+}
+
+ComparatorSwitch ComparatorSwitch::batcher_hyper(std::size_t n, std::size_t m) {
+  return ComparatorSwitch(sortnet::ComparatorNetwork::odd_even_mergesort(n), m, 0,
+                          "batcher-hyper");
+}
+
+ComparatorSwitch ComparatorSwitch::truncated_batcher(std::size_t n, std::size_t m,
+                                                     std::size_t stages,
+                                                     std::size_t declared_epsilon) {
+  return ComparatorSwitch(
+      sortnet::ComparatorNetwork::odd_even_mergesort(n).truncated(stages), m,
+      declared_epsilon, "truncated-batcher");
+}
+
+SwitchRouting ComparatorSwitch::route(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == net_.n(), "ComparatorSwitch::route width");
+  std::vector<std::int32_t> slots(net_.n(), -1);
+  for (std::size_t i = 0; i < net_.n(); ++i) {
+    if (valid.get(i)) slots[i] = static_cast<std::int32_t>(i);
+  }
+  net_.apply_labels(slots);
+  SwitchRouting out;
+  out.output_of_input.assign(net_.n(), -1);
+  out.input_of_output.assign(m_, -1);
+  for (std::size_t pos = 0; pos < m_; ++pos) {
+    std::int32_t src = slots[pos];
+    if (src >= 0) {
+      out.input_of_output[pos] = src;
+      out.output_of_input[static_cast<std::size_t>(src)] =
+          static_cast<std::int32_t>(pos);
+    }
+  }
+  return out;
+}
+
+BitVec ComparatorSwitch::nearsorted_valid_bits(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == net_.n(), "ComparatorSwitch width");
+  return net_.apply(valid);
+}
+
+std::string ComparatorSwitch::name() const {
+  std::ostringstream os;
+  os << label_ << "(n=" << net_.n() << ",m=" << m_
+     << ",stages=" << net_.stage_count() << ")";
+  return os.str();
+}
+
+}  // namespace pcs::sw

@@ -1,0 +1,134 @@
+#include "switch/faults.hpp"
+
+#include <sstream>
+
+#include "switch/label_mesh.hpp"
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::sw {
+
+namespace {
+
+/// Drive every slot of a dead column chip's outputs invalid.
+void kill_column(LabelMesh& mesh, std::size_t col) {
+  for (std::size_t i = 0; i < mesh.rows(); ++i) mesh.set(i, col, kIdle);
+}
+
+/// Drive every slot of a dead row chip's outputs invalid.
+void kill_row(LabelMesh& mesh, std::size_t row) {
+  for (std::size_t j = 0; j < mesh.cols(); ++j) mesh.set(row, j, kIdle);
+}
+
+void apply_faults(LabelMesh& mesh, const std::vector<ChipFault>& faults,
+                  std::size_t stage, bool chips_are_columns) {
+  for (const ChipFault& f : faults) {
+    if (f.stage != stage) continue;
+    if (chips_are_columns) {
+      kill_column(mesh, f.chip);
+    } else {
+      kill_row(mesh, f.chip);
+    }
+  }
+}
+
+SwitchRouting routing_from_row_major(const std::vector<std::int32_t>& row_major,
+                                     std::size_t n, std::size_t m) {
+  SwitchRouting out;
+  out.output_of_input.assign(n, -1);
+  out.input_of_output.assign(m, -1);
+  for (std::size_t pos = 0; pos < m; ++pos) {
+    std::int32_t src = row_major[pos];
+    if (src >= 0) {
+      out.input_of_output[pos] = src;
+      out.output_of_input[static_cast<std::size_t>(src)] =
+          static_cast<std::int32_t>(pos);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultyRevsortSwitch::FaultyRevsortSwitch(std::size_t n, std::size_t m,
+                                         std::vector<ChipFault> faults)
+    : n_(n), m_(m), faults_(std::move(faults)) {
+  side_ = isqrt(n);
+  PCS_REQUIRE(side_ * side_ == n && is_pow2(side_), "FaultyRevsortSwitch shape");
+  PCS_REQUIRE(m >= 1 && m <= n, "FaultyRevsortSwitch m range");
+  for (const ChipFault& f : faults_) {
+    PCS_REQUIRE(f.stage < 3 && f.chip < side_, "FaultyRevsortSwitch fault coords");
+  }
+}
+
+std::vector<std::int32_t> FaultyRevsortSwitch::run_mesh(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == n_, "FaultyRevsortSwitch width");
+  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, side_, side_);
+  mesh.concentrate_columns();
+  apply_faults(mesh, faults_, 0, /*chips_are_columns=*/true);
+  mesh.concentrate_rows();
+  apply_faults(mesh, faults_, 1, /*chips_are_columns=*/false);
+  mesh.rotate_rows_bit_reversed();
+  mesh.concentrate_columns();
+  apply_faults(mesh, faults_, 2, /*chips_are_columns=*/true);
+  return mesh.to_row_major();
+}
+
+SwitchRouting FaultyRevsortSwitch::route(const BitVec& valid) const {
+  return routing_from_row_major(run_mesh(valid), n_, m_);
+}
+
+BitVec FaultyRevsortSwitch::nearsorted_valid_bits(const BitVec& valid) const {
+  std::vector<std::int32_t> rm = run_mesh(valid);
+  BitVec out(n_);
+  for (std::size_t i = 0; i < n_; ++i) out.set(i, rm[i] >= 0);
+  return out;
+}
+
+std::string FaultyRevsortSwitch::name() const {
+  std::ostringstream os;
+  os << "faulty-revsort(" << n_ << "," << m_ << ",dead=" << faults_.size() << ")";
+  return os.str();
+}
+
+FaultyColumnsortSwitch::FaultyColumnsortSwitch(std::size_t r, std::size_t s,
+                                               std::size_t m,
+                                               std::vector<ChipFault> faults)
+    : r_(r), s_(s), n_(r * s), m_(m), faults_(std::move(faults)) {
+  PCS_REQUIRE(s > 0 && r % s == 0, "FaultyColumnsortSwitch shape");
+  PCS_REQUIRE(m >= 1 && m <= n_, "FaultyColumnsortSwitch m range");
+  for (const ChipFault& f : faults_) {
+    PCS_REQUIRE(f.stage < 2 && f.chip < s, "FaultyColumnsortSwitch fault coords");
+  }
+}
+
+std::vector<std::int32_t> FaultyColumnsortSwitch::run_mesh(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == n_, "FaultyColumnsortSwitch width");
+  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
+  mesh.concentrate_columns();
+  apply_faults(mesh, faults_, 0, /*chips_are_columns=*/true);
+  mesh.cm_to_rm_reshape();
+  mesh.concentrate_columns();
+  apply_faults(mesh, faults_, 1, /*chips_are_columns=*/true);
+  return mesh.to_row_major();
+}
+
+SwitchRouting FaultyColumnsortSwitch::route(const BitVec& valid) const {
+  return routing_from_row_major(run_mesh(valid), n_, m_);
+}
+
+BitVec FaultyColumnsortSwitch::nearsorted_valid_bits(const BitVec& valid) const {
+  std::vector<std::int32_t> rm = run_mesh(valid);
+  BitVec out(n_);
+  for (std::size_t i = 0; i < n_; ++i) out.set(i, rm[i] >= 0);
+  return out;
+}
+
+std::string FaultyColumnsortSwitch::name() const {
+  std::ostringstream os;
+  os << "faulty-columnsort(r=" << r_ << ",s=" << s_ << ",dead=" << faults_.size()
+     << ")";
+  return os.str();
+}
+
+}  // namespace pcs::sw

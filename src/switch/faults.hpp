@@ -1,0 +1,90 @@
+// Fault injection for multichip switches: what happens when whole chips die.
+//
+// A multichip switch is 3*sqrt(n) (+shifters) or 2s separate packages; chips
+// fail.  The fault model here is the coarse, pessimistic one relevant to a
+// combinational switch: a *dead chip* drives all of its output pins invalid,
+// so every message inside it at that stage is lost (downstream recovery is
+// the ack/retry protocol's job, Section 1).
+//
+// Faulty switches advertise no nearsorting guarantee (epsilon_bound() = n --
+// Theorems 3/4 assume working hardware); what remains provable, and what the
+// tests pin down, is graceful degradation:
+//   * the routing is still a partial injection;
+//   * a dead stage-1 chip loses exactly the messages that entered it;
+//   * any dead chip loses at most chip-width messages per setup;
+//   * messages that never traverse a dead chip are still concentrated.
+// The bench (bench_faults) measures delivered fraction and effective
+// epsilon as chips die -- the availability story a machine designer needs.
+#pragma once
+
+#include <vector>
+
+#include "switch/concentrator.hpp"
+
+namespace pcs::sw {
+
+/// A dead chip, identified by its stage and position within the stage.
+/// Revsort stages: 0 = column chips, 1 = row chips, 2 = column chips.
+/// Columnsort stages: 0 and 1, both column chips.
+struct ChipFault {
+  std::size_t stage;
+  std::size_t chip;
+
+  bool operator==(const ChipFault&) const = default;
+};
+
+class FaultyRevsortSwitch : public ConcentratorSwitch {
+ public:
+  FaultyRevsortSwitch(std::size_t n, std::size_t m, std::vector<ChipFault> faults);
+
+  std::size_t inputs() const override { return n_; }
+  std::size_t outputs() const override { return m_; }
+  /// No guarantee under faults: Theorem 3 assumes working chips.
+  std::size_t epsilon_bound() const override { return n_; }
+  SwitchRouting route(const BitVec& valid) const override;
+  BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+  std::string name() const override;
+
+  std::size_t side() const noexcept { return side_; }
+  const std::vector<ChipFault>& faults() const noexcept { return faults_; }
+
+  /// Upper bound on messages a setup can lose to the dead chips:
+  /// chip width per fault.
+  std::size_t max_fault_loss() const noexcept { return faults_.size() * side_; }
+
+ private:
+  std::vector<std::int32_t> run_mesh(const BitVec& valid) const;
+
+  std::size_t n_;
+  std::size_t m_;
+  std::size_t side_;
+  std::vector<ChipFault> faults_;
+};
+
+class FaultyColumnsortSwitch : public ConcentratorSwitch {
+ public:
+  FaultyColumnsortSwitch(std::size_t r, std::size_t s, std::size_t m,
+                         std::vector<ChipFault> faults);
+
+  std::size_t inputs() const override { return n_; }
+  std::size_t outputs() const override { return m_; }
+  std::size_t epsilon_bound() const override { return n_; }
+  SwitchRouting route(const BitVec& valid) const override;
+  BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+  std::string name() const override;
+
+  std::size_t r() const noexcept { return r_; }
+  std::size_t s() const noexcept { return s_; }
+  std::size_t max_fault_loss() const noexcept { return faults_.size() * r_; }
+
+ private:
+  std::vector<std::int32_t> run_mesh(const BitVec& valid) const;
+
+  std::size_t r_;
+  std::size_t s_;
+  std::size_t n_;
+  std::size_t m_;
+  std::vector<ChipFault> faults_;
+};
+
+}  // namespace pcs::sw

@@ -1,0 +1,90 @@
+// Multichip *hyper*concentrator switches (paper Section 6): instead of
+// stopping after the nearsorting prefix of Revsort/Columnsort, simulate the
+// full sorting algorithms, at the price of more chips and delay.
+//
+// Full Revsort (n-by-n): repeat Revsort steps 1-3 ceil(lg lg sqrt(n)) times
+// (at most eight dirty rows remain, per Schnorr-Shamir), sort columns, run
+// three Shearsort phases (halving dirty rows to at most one), and finish
+// with a 1s-first row sort.  Output taken row-major.
+//
+// Full Columnsort (r-by-s): all eight Columnsort steps; output taken
+// column-major.  Requires r >= 2(s-1)^2.
+//
+// Both classes expose the structural chip-pass count so the delay model can
+// be checked against the paper's formulas (and the Revsort count documents
+// the factor-of-two discrepancy discussed in DESIGN.md section 4).  As a
+// safety net, if the prescribed stage sequence ever failed to fully sort
+// (it never does in our tests), route() appends extra Shearsort phases and
+// reports them via extra_phases_used().
+#pragma once
+
+#include "switch/chip.hpp"
+#include "switch/concentrator.hpp"
+
+namespace pcs::sw {
+
+class FullRevsortHyper : public ConcentratorSwitch {
+ public:
+  /// n = side^2 with side a power of two; this is an n-by-n switch.
+  explicit FullRevsortHyper(std::size_t n);
+
+  std::size_t inputs() const override { return n_; }
+  std::size_t outputs() const override { return n_; }
+  std::size_t epsilon_bound() const override { return 0; }
+  SwitchRouting route(const BitVec& valid) const override;
+  BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+  std::string name() const override;
+
+  std::size_t side() const noexcept { return side_; }
+
+  /// Revsort repetitions prescribed by Section 6: ceil(lg lg sqrt(n)).
+  std::size_t repetitions() const noexcept { return reps_; }
+
+  /// Hyperconcentrator chips a message passes through in the prescribed
+  /// structure: 2 per repetition + 1 column sort + 2 per Shearsort phase
+  /// (x3) + 1 final row sort = 2*reps + 8.
+  std::size_t chip_passes() const noexcept { return 2 * reps_ + 8; }
+
+  /// Shearsort phases beyond the prescribed three that the last route()
+  /// call needed (0 in every case we have ever observed).
+  std::size_t extra_phases_used() const noexcept { return extra_phases_; }
+
+  Bom bill_of_materials() const;
+
+ private:
+  std::size_t n_;
+  std::size_t side_;
+  std::size_t reps_;
+  mutable std::size_t extra_phases_ = 0;
+};
+
+class FullColumnsortHyper : public ConcentratorSwitch {
+ public:
+  /// r-by-s mesh, s divides r, r >= 2(s-1)^2; this is an (r*s)-by-(r*s)
+  /// switch.
+  FullColumnsortHyper(std::size_t r, std::size_t s);
+
+  std::size_t inputs() const override { return n_; }
+  std::size_t outputs() const override { return n_; }
+  std::size_t epsilon_bound() const override { return 0; }
+  SwitchRouting route(const BitVec& valid) const override;
+  BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+  std::string name() const override;
+
+  std::size_t r() const noexcept { return r_; }
+  std::size_t s() const noexcept { return s_; }
+
+  /// Hyperconcentrator chips a message passes through: the four column
+  /// sorts of the eight-step algorithm (the paper's "a signal passes
+  /// through four chips").
+  static constexpr std::size_t kChipPasses = 4;
+
+  Bom bill_of_materials() const;
+
+ private:
+  std::size_t r_;
+  std::size_t s_;
+  std::size_t n_;
+};
+
+}  // namespace pcs::sw

@@ -1,0 +1,139 @@
+#include "switch/gate_level_switch.hpp"
+
+#include <algorithm>
+
+#include "gates/evaluator.hpp"
+#include "hyper/hyper_circuit.hpp"
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::sw {
+
+namespace {
+
+using gates::NodeId;
+
+/// One inter-stage wire: its valid bit and its data bit, as circuit nodes.
+struct Wire {
+  NodeId valid;
+  NodeId data;
+};
+
+/// Instantiate one stage of `chips` w-wide hyperconcentrator chips over the
+/// wires (chip c owns wires [c*w, (c+1)*w)).
+void instantiate_stage(gates::Circuit& circuit, const gates::Circuit& chip_template,
+                       std::size_t chips, std::size_t w, std::vector<Wire>& wires) {
+  for (std::size_t c = 0; c < chips; ++c) {
+    std::vector<NodeId> bindings;
+    bindings.reserve(2 * w);
+    for (std::size_t i = 0; i < w; ++i) bindings.push_back(wires[c * w + i].valid);
+    for (std::size_t i = 0; i < w; ++i) bindings.push_back(wires[c * w + i].data);
+    std::vector<NodeId> outs = circuit.instantiate(chip_template, bindings);
+    // Chip outputs: data 0..w-1, then sorted valid bits w..2w-1.
+    for (std::size_t i = 0; i < w; ++i) {
+      wires[c * w + i] = Wire{outs[w + i], outs[i]};
+    }
+  }
+}
+
+/// Apply an inter-stage wiring permutation to the wires (pure renaming).
+void apply_wiring(const Permutation& perm, std::vector<Wire>& wires) {
+  std::vector<Wire> next(wires.size(), Wire{0, 0});
+  for (std::size_t x = 0; x < wires.size(); ++x) {
+    next[perm.dest(x)] = wires[x];
+  }
+  wires = std::move(next);
+}
+
+}  // namespace
+
+GateLevelResult GateLevelSwitchBase::evaluate(const BitVec& valid,
+                                              const BitVec& data) const {
+  PCS_REQUIRE(valid.size() == n_ && data.size() == n_, "GateLevelSwitch width");
+  BitVec inputs(2 * n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    inputs.set(i, valid.get(i));
+    inputs.set(n_ + i, data.get(i));
+  }
+  gates::Evaluator eval(circuit_);
+  BitVec out = eval.evaluate(inputs);
+  GateLevelResult res;
+  res.data = BitVec(n_);
+  res.valid = BitVec(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    res.data.set(j, out.get(j));
+    res.valid.set(j, out.get(n_ + j));
+  }
+  return res;
+}
+
+std::uint32_t GateLevelSwitchBase::data_path_depth() const {
+  auto depths = circuit_.output_depths_from(data_inputs_);
+  std::int64_t best = 0;
+  for (std::size_t j = 0; j < n_; ++j) best = std::max(best, depths[j]);
+  return static_cast<std::uint32_t>(best);
+}
+
+std::uint32_t GateLevelSwitchBase::control_path_depth() const {
+  auto depths = circuit_.output_depths_from(valid_inputs_);
+  std::int64_t best = 0;
+  for (std::int64_t d : depths) best = std::max(best, d);
+  return static_cast<std::uint32_t>(best);
+}
+
+GateLevelRevsortSwitch::GateLevelRevsortSwitch(std::size_t n)
+    : GateLevelSwitchBase(n) {
+  side_ = isqrt(n);
+  PCS_REQUIRE(side_ * side_ == n && is_pow2(side_), "GateLevelRevsortSwitch shape");
+  const std::size_t v = side_;
+
+  for (std::size_t i = 0; i < n; ++i) valid_inputs_.push_back(circuit_.add_input());
+  for (std::size_t i = 0; i < n; ++i) data_inputs_.push_back(circuit_.add_input());
+
+  std::vector<Wire> wires(n);
+  for (std::size_t x = 0; x < n; ++x) wires[x] = Wire{valid_inputs_[x], data_inputs_[x]};
+
+  hyper::HyperCircuit chip(v);
+
+  instantiate_stage(circuit_, chip.circuit(), v, v, wires);  // stage 1
+  apply_wiring(transpose_wiring(v), wires);
+  instantiate_stage(circuit_, chip.circuit(), v, v, wires);  // stage 2
+  apply_wiring(rev_rotate_transpose_wiring(v), wires);       // shifters + transpose
+  instantiate_stage(circuit_, chip.circuit(), v, v, wires);  // stage 3
+
+  // Outputs in row-major order: position i*v + j is stage-3 chip j, pin i.
+  for (std::size_t i = 0; i < v; ++i) {
+    for (std::size_t j = 0; j < v; ++j) circuit_.mark_output(wires[j * v + i].data);
+  }
+  for (std::size_t i = 0; i < v; ++i) {
+    for (std::size_t j = 0; j < v; ++j) circuit_.mark_output(wires[j * v + i].valid);
+  }
+}
+
+GateLevelColumnsortSwitch::GateLevelColumnsortSwitch(std::size_t r, std::size_t s)
+    : GateLevelSwitchBase(r * s), r_(r), s_(s) {
+  PCS_REQUIRE(s > 0 && r % s == 0, "GateLevelColumnsortSwitch shape");
+  const std::size_t n = r * s;
+
+  for (std::size_t i = 0; i < n; ++i) valid_inputs_.push_back(circuit_.add_input());
+  for (std::size_t i = 0; i < n; ++i) data_inputs_.push_back(circuit_.add_input());
+
+  std::vector<Wire> wires(n);
+  for (std::size_t x = 0; x < n; ++x) wires[x] = Wire{valid_inputs_[x], data_inputs_[x]};
+
+  hyper::HyperCircuit chip(r);
+
+  instantiate_stage(circuit_, chip.circuit(), s, r, wires);  // stage 1
+  apply_wiring(cm_to_rm_wiring(r, s), wires);
+  instantiate_stage(circuit_, chip.circuit(), s, r, wires);  // stage 2
+
+  // Outputs in row-major order: position i*s + j is stage-2 chip j, pin i.
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < s; ++j) circuit_.mark_output(wires[j * r + i].data);
+  }
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < s; ++j) circuit_.mark_output(wires[j * r + i].valid);
+  }
+}
+
+}  // namespace pcs::sw

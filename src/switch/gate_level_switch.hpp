@@ -1,0 +1,91 @@
+// End-to-end gate-level realizations of the multichip switches: every
+// hyperconcentrator chip is one instantiation of the reconstructed
+// HyperCircuit, inter-stage wiring is pure node renaming, and the hardwired
+// barrel shifters of the Revsort design are wiring too.
+//
+// This is the strongest executable form of the paper's delay theorems: the
+// *measured* longest data-input-to-data-output gate path of the composed
+// circuit equals
+//     3 * 2 lg sqrt(n) = 3 lg n        (Revsort switch),
+//     2 * 2 lg r       = 4 beta lg n   (Columnsort switch),
+// with the O(1) pad terms excluded exactly as the circuits exclude pads.
+// Functional equivalence with the behavioural switches is established by
+// evaluating both on the same inputs (see tests/test_gate_level_switch.cpp).
+//
+// Gate counts grow as (stages * chips_per_stage * w^2); keep n modest
+// (<= 1024 for Revsort, r <= 256 for Columnsort) when instantiating.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gates/circuit.hpp"
+#include "switch/wiring.hpp"
+#include "util/bitvec.hpp"
+
+namespace pcs::sw {
+
+/// Result of pushing one setup + one data bit through a gate-level switch.
+struct GateLevelResult {
+  BitVec data;   ///< data bit observed on each of the n output positions
+  BitVec valid;  ///< valid bit observed on each of the n output positions
+};
+
+class GateLevelSwitchBase {
+ public:
+  virtual ~GateLevelSwitchBase() = default;
+
+  std::size_t n() const noexcept { return n_; }
+  const gates::Circuit& circuit() const noexcept { return circuit_; }
+
+  /// Evaluate one setup: per-input valid bits and one payload bit each.
+  /// Outputs are in the switch's output order (row-major / column-major as
+  /// the design dictates), full width n.
+  GateLevelResult evaluate(const BitVec& valid, const BitVec& data) const;
+
+  /// Longest gate path from any payload (data) input to any data output:
+  /// the message delay of the composed switch, excluding I/O pads.
+  std::uint32_t data_path_depth() const;
+
+  /// Longest gate path from any valid input to any output (setup latency).
+  std::uint32_t control_path_depth() const;
+
+  std::size_t gate_count() const { return circuit_.gate_count(); }
+
+ protected:
+  explicit GateLevelSwitchBase(std::size_t n) : n_(n) {}
+
+  std::size_t n_;
+  gates::Circuit circuit_;
+  std::vector<gates::NodeId> valid_inputs_;
+  std::vector<gates::NodeId> data_inputs_;
+};
+
+/// Gate-level Revsort switch: three stages of side-by-side chips, transpose
+/// and rev-rotate wiring between them, outputs in row-major order.
+class GateLevelRevsortSwitch : public GateLevelSwitchBase {
+ public:
+  /// n = side^2, side a power of two.
+  explicit GateLevelRevsortSwitch(std::size_t n);
+
+  std::size_t side() const noexcept { return side_; }
+
+ private:
+  std::size_t side_;
+};
+
+/// Gate-level Columnsort switch: two stages of r-wide chips with the CM->RM
+/// wiring between them, outputs in row-major order.
+class GateLevelColumnsortSwitch : public GateLevelSwitchBase {
+ public:
+  GateLevelColumnsortSwitch(std::size_t r, std::size_t s);
+
+  std::size_t r() const noexcept { return r_; }
+  std::size_t s() const noexcept { return s_; }
+
+ private:
+  std::size_t r_;
+  std::size_t s_;
+};
+
+}  // namespace pcs::sw

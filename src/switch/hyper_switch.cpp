@@ -1,0 +1,83 @@
+#include "switch/hyper_switch.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace pcs::sw {
+
+HyperSwitch::HyperSwitch(std::size_t n, std::size_t m) : chip_(n), m_(m) {
+  PCS_REQUIRE(m >= 1 && m <= n, "HyperSwitch m range");
+}
+
+SwitchRouting HyperSwitch::route(const BitVec& valid) const {
+  hyper::Routing r = chip_.route(valid);
+  SwitchRouting out;
+  out.output_of_input.assign(chip_.n(), -1);
+  out.input_of_output.assign(m_, -1);
+  for (std::size_t j = 0; j < m_; ++j) {
+    std::int32_t src = r.input_of_output[j];
+    if (src >= 0) {
+      out.input_of_output[j] = src;
+      out.output_of_input[static_cast<std::size_t>(src)] =
+          static_cast<std::int32_t>(j);
+    }
+  }
+  return out;
+}
+
+BitVec HyperSwitch::nearsorted_valid_bits(const BitVec& valid) const {
+  return chip_.output_valid_bits(valid);
+}
+
+std::string HyperSwitch::name() const {
+  std::ostringstream os;
+  os << "hyperconcentrator(" << chip_.n() << "," << m_ << ")";
+  return os.str();
+}
+
+Bom HyperSwitch::bill_of_materials() const {
+  Bom bom;
+  bom.items.push_back(
+      ChipSpec{ChipKind::kHyperconcentrator, chip_.n(), 2 * chip_.n(), 0, 1});
+  return bom;
+}
+
+PrefixButterflyHyperSwitch::PrefixButterflyHyperSwitch(std::size_t n, std::size_t m)
+    : fabric_(n), m_(m) {
+  PCS_REQUIRE(m >= 1 && m <= n, "PrefixButterflyHyperSwitch m range");
+}
+
+std::size_t PrefixButterflyHyperSwitch::inputs() const { return fabric_.n(); }
+
+SwitchRouting PrefixButterflyHyperSwitch::route(const BitVec& valid) const {
+  hyper::Routing r = fabric_.route(valid);
+  SwitchRouting out;
+  out.output_of_input.assign(fabric_.n(), -1);
+  out.input_of_output.assign(m_, -1);
+  for (std::size_t j = 0; j < m_; ++j) {
+    std::int32_t src = r.input_of_output[j];
+    if (src >= 0) {
+      out.input_of_output[j] = src;
+      out.output_of_input[static_cast<std::size_t>(src)] =
+          static_cast<std::int32_t>(j);
+    }
+  }
+  return out;
+}
+
+BitVec PrefixButterflyHyperSwitch::nearsorted_valid_bits(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == fabric_.n(), "PrefixButterflyHyperSwitch width");
+  BitVec out(fabric_.n());
+  std::size_t k = valid.count();
+  for (std::size_t j = 0; j < k; ++j) out.set(j, true);
+  return out;
+}
+
+std::string PrefixButterflyHyperSwitch::name() const {
+  std::ostringstream os;
+  os << "prefix-butterfly(" << fabric_.n() << "," << m_ << ")";
+  return os.str();
+}
+
+}  // namespace pcs::sw

@@ -1,0 +1,59 @@
+// Single-chip hyperconcentrator exposed through the ConcentratorSwitch
+// interface: the n-by-m *perfect* concentrator of Section 1, obtained by
+// keeping the first m outputs of an n-by-n hyperconcentrator.  This is the
+// baseline the multichip partial concentrators are compared against.
+#pragma once
+
+#include "hyper/hyperconcentrator.hpp"
+#include "hyper/prefix_butterfly.hpp"
+#include "switch/chip.hpp"
+#include "switch/concentrator.hpp"
+
+namespace pcs::sw {
+
+class HyperSwitch : public ConcentratorSwitch {
+ public:
+  HyperSwitch(std::size_t n, std::size_t m);
+
+  std::size_t inputs() const override { return chip_.n(); }
+  std::size_t outputs() const override { return m_; }
+  std::size_t epsilon_bound() const override { return 0; }
+  SwitchRouting route(const BitVec& valid) const override;
+  BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+  std::string name() const override;
+
+  /// One n-by-n hyperconcentrator chip (2n data pins -- the pin-count
+  /// problem that motivates the multichip designs).
+  Bom bill_of_materials() const;
+
+  static constexpr std::size_t kChipPasses = 1;
+
+ private:
+  hyper::Hyperconcentrator chip_;
+  std::size_t m_;
+};
+
+/// Section 1's clocked foil behind the ConcentratorSwitch interface: the
+/// parallel-prefix + butterfly hyperconcentrator.  Routing behaviour is
+/// identical to HyperSwitch (both are stable hyperconcentrators); what
+/// differs is the physical story -- 4 pins/chip, O(n lg n) chips, lg n
+/// sequential control steps -- captured by the resource model.
+class PrefixButterflyHyperSwitch : public ConcentratorSwitch {
+ public:
+  PrefixButterflyHyperSwitch(std::size_t n, std::size_t m);
+
+  std::size_t inputs() const override;
+  std::size_t outputs() const override { return m_; }
+  std::size_t epsilon_bound() const override { return 0; }
+  SwitchRouting route(const BitVec& valid) const override;
+  BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+  std::string name() const override;
+
+  const hyper::PrefixButterflySwitch& fabric() const noexcept { return fabric_; }
+
+ private:
+  hyper::PrefixButterflySwitch fabric_;
+  std::size_t m_;
+};
+
+}  // namespace pcs::sw

@@ -1,0 +1,93 @@
+#include "switch/multipass_switch.hpp"
+
+#include <sstream>
+
+#include "sortnet/columnsort.hpp"
+#include "switch/label_mesh.hpp"
+#include "util/assert.hpp"
+
+namespace pcs::sw {
+
+MultipassColumnsortSwitch::MultipassColumnsortSwitch(std::size_t r, std::size_t s,
+                                                     std::size_t passes, std::size_t m,
+                                                     ReshapeSchedule schedule)
+    : r_(r), s_(s), passes_(passes), n_(r * s), m_(m), schedule_(schedule) {
+  PCS_REQUIRE(r > 0 && s > 0 && r % s == 0,
+              "MultipassColumnsortSwitch requires s to divide r");
+  PCS_REQUIRE(passes >= 1, "MultipassColumnsortSwitch needs at least one pass");
+  PCS_REQUIRE(m >= 1 && m <= n_, "MultipassColumnsortSwitch m range");
+}
+
+std::size_t MultipassColumnsortSwitch::epsilon_bound() const {
+  return sortnet::algorithm2_epsilon_bound(s_);
+}
+
+SwitchRouting MultipassColumnsortSwitch::finish_row_major(
+    const std::vector<std::int32_t>& row_major) const {
+  SwitchRouting out;
+  out.output_of_input.assign(n_, -1);
+  out.input_of_output.assign(m_, -1);
+  for (std::size_t pos = 0; pos < m_; ++pos) {
+    std::int32_t src = row_major[pos];
+    if (src >= 0) {
+      out.input_of_output[pos] = src;
+      out.output_of_input[static_cast<std::size_t>(src)] =
+          static_cast<std::int32_t>(pos);
+    }
+  }
+  return out;
+}
+
+namespace {
+void run_passes(LabelMesh& mesh, std::size_t passes, ReshapeSchedule schedule) {
+  for (std::size_t p = 0; p < passes; ++p) {
+    mesh.concentrate_columns();
+    if (schedule == ReshapeSchedule::kAlternating && p % 2 == 1) {
+      mesh.rm_to_cm_reshape();
+    } else {
+      mesh.cm_to_rm_reshape();
+    }
+  }
+  mesh.concentrate_columns();
+}
+}  // namespace
+
+bool MultipassColumnsortSwitch::reads_row_major() const {
+  // With the alternating schedule and an even pass count the last reshape
+  // was RM -> CM, so the nearly-sorted read-out order is column-major
+  // (exactly as in full Columnsort, whose output order is column-major).
+  return !(schedule_ == ReshapeSchedule::kAlternating && passes_ % 2 == 0);
+}
+
+SwitchRouting MultipassColumnsortSwitch::route(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == n_, "MultipassColumnsortSwitch::route width");
+  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
+  run_passes(mesh, passes_, schedule_);
+  return finish_row_major(reads_row_major() ? mesh.to_row_major()
+                                            : mesh.to_col_major());
+}
+
+BitVec MultipassColumnsortSwitch::nearsorted_valid_bits(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == n_, "MultipassColumnsortSwitch width");
+  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
+  run_passes(mesh, passes_, schedule_);
+  BitMatrix bits = mesh.valid_bits();
+  return reads_row_major() ? bits.to_row_major() : bits.to_col_major();
+}
+
+std::string MultipassColumnsortSwitch::name() const {
+  std::ostringstream os;
+  os << "multipass-columnsort(r=" << r_ << ",s=" << s_ << ",d=" << passes_
+     << (schedule_ == ReshapeSchedule::kAlternating ? ",alt" : ",same")
+     << ",m=" << m_ << ")";
+  return os.str();
+}
+
+Bom MultipassColumnsortSwitch::bill_of_materials() const {
+  Bom bom;
+  bom.items.push_back(
+      ChipSpec{ChipKind::kHyperconcentrator, r_, 2 * r_, 0, chip_passes() * s_});
+  return bom;
+}
+
+}  // namespace pcs::sw

@@ -1,0 +1,42 @@
+#include "switch/perfect_from_partial.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pcs::sw {
+
+PerfectFromPartial::PerfectFromPartial(const ConcentratorSwitch& inner, std::size_t n,
+                                       std::size_t m)
+    : inner_(&inner), n_(n), m_(m) {
+  PCS_REQUIRE(n >= 1 && m >= 1 && m <= n, "PerfectFromPartial shape");
+  PCS_REQUIRE(n <= inner.inputs(), "PerfectFromPartial: inner switch too narrow");
+  PCS_REQUIRE(m <= inner.guaranteed_capacity(),
+              "PerfectFromPartial: m exceeds inner guaranteed capacity");
+}
+
+double PerfectFromPartial::input_overhead() const {
+  return static_cast<double>(inner_->inputs()) / static_cast<double>(n_);
+}
+
+SwitchRouting PerfectFromPartial::route(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == n_, "PerfectFromPartial::route width");
+  BitVec wide(inner_->inputs());
+  for (std::size_t i = 0; i < n_; ++i) wide.set(i, valid.get(i));
+  SwitchRouting inner_routing = inner_->route(wide);
+  // Restrict the input side to the caller's n wires; the output side keeps
+  // the inner switch's full width (that is the advertised wire overhead).
+  SwitchRouting out;
+  out.output_of_input.assign(n_, -1);
+  out.input_of_output = inner_routing.input_of_output;
+  for (std::size_t i = 0; i < n_; ++i) {
+    out.output_of_input[i] = inner_routing.output_of_input[i];
+  }
+  return out;
+}
+
+std::size_t PerfectFromPartial::guaranteed_routed(std::size_t k) const {
+  return std::min(k, m_);
+}
+
+}  // namespace pcs::sw

@@ -1,0 +1,42 @@
+// Using a partial concentrator where a perfect concentrator is required
+// (paper Section 1): an (n/alpha, m/alpha, alpha) partial concentrator
+// substitutes for an n-by-m perfect concentrator at the cost of a
+// 1/alpha-factor increase in input and output wires.
+//
+// The wrapper attaches the caller's n sources to the first n inputs of the
+// inner (wider) switch, leaves the rest invalid, and delivers the perfect
+// contract: with k <= m messages, all k are routed; with k > m, at least m
+// outputs carry messages.
+#pragma once
+
+#include "switch/concentrator.hpp"
+
+namespace pcs::sw {
+
+class PerfectFromPartial {
+ public:
+  /// inner must satisfy n <= inner.inputs() and m <= floor(alpha *
+  /// inner.outputs()) = inner.guaranteed_capacity(); the constructor checks.
+  PerfectFromPartial(const ConcentratorSwitch& inner, std::size_t n, std::size_t m);
+
+  std::size_t inputs() const noexcept { return n_; }
+  std::size_t outputs() const noexcept { return m_; }
+  const ConcentratorSwitch& inner() const noexcept { return *inner_; }
+
+  /// Wire-count overhead of the substitution: inner wires / required wires,
+  /// on the input side (the paper's 1/alpha factor).
+  double input_overhead() const;
+
+  /// Route k messages; the perfect contract guarantees min(k, m) routed.
+  SwitchRouting route(const BitVec& valid) const;
+
+  /// Number of routed messages the perfect contract promises for k valid.
+  std::size_t guaranteed_routed(std::size_t k) const;
+
+ private:
+  const ConcentratorSwitch* inner_;
+  std::size_t n_;
+  std::size_t m_;
+};
+
+}  // namespace pcs::sw

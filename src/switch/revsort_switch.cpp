@@ -1,0 +1,115 @@
+#include "switch/revsort_switch.hpp"
+
+#include <sstream>
+
+#include "hyper/hyperconcentrator.hpp"
+#include "sortnet/revsort.hpp"
+#include "switch/label_mesh.hpp"
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::sw {
+
+RevsortSwitch::RevsortSwitch(std::size_t n, std::size_t m) : n_(n), m_(m) {
+  PCS_REQUIRE(n > 0, "RevsortSwitch n");
+  side_ = isqrt(n);
+  PCS_REQUIRE(side_ * side_ == n, "RevsortSwitch n must be a perfect square");
+  PCS_REQUIRE(is_pow2(side_), "RevsortSwitch sqrt(n) must be a power of two");
+  PCS_REQUIRE(m >= 1 && m <= n, "RevsortSwitch m range");
+}
+
+std::size_t RevsortSwitch::epsilon_bound() const {
+  // Dirty rows after Algorithm 1, times the row width.
+  return sortnet::algorithm1_dirty_row_bound(side_) * side_;
+}
+
+SwitchRouting RevsortSwitch::finish_row_major(
+    const std::vector<std::int32_t>& row_major) const {
+  SwitchRouting r;
+  r.output_of_input.assign(n_, -1);
+  r.input_of_output.assign(m_, -1);
+  for (std::size_t pos = 0; pos < m_; ++pos) {
+    std::int32_t src = row_major[pos];
+    if (src >= 0) {
+      r.input_of_output[pos] = src;
+      r.output_of_input[static_cast<std::size_t>(src)] =
+          static_cast<std::int32_t>(pos);
+    }
+  }
+  return r;
+}
+
+SwitchRouting RevsortSwitch::route(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == n_, "RevsortSwitch::route width");
+  // Inputs attach chip-major: input x enters stage-1 chip x / side at pin
+  // x % side, i.e. matrix position (x % side, x / side).
+  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, side_, side_);
+  mesh.concentrate_columns();        // stage 1
+  mesh.concentrate_rows();           // stage 2 (after the transpose wiring)
+  mesh.rotate_rows_bit_reversed();   // on-board barrel shifters
+  mesh.concentrate_columns();        // stage 3 (after the transpose wiring)
+  return finish_row_major(mesh.to_row_major());
+}
+
+SwitchRouting RevsortSwitch::route_via_wiring(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == n_, "RevsortSwitch::route_via_wiring width");
+  const std::size_t v = side_;
+  // Input x drives stage-1 chip x / v, pin x % v: flat wire index x.
+  std::vector<std::int32_t> wires(n_, hyper::kIdle);
+  for (std::size_t x = 0; x < n_; ++x) {
+    if (valid.get(x)) wires[x] = static_cast<std::int32_t>(x);
+  }
+  auto concentrate_chips = [&](std::vector<std::int32_t>& w) {
+    for (std::size_t chip = 0; chip < v; ++chip) {
+      std::vector<std::int32_t> slice(w.begin() + static_cast<std::ptrdiff_t>(chip * v),
+                                      w.begin() + static_cast<std::ptrdiff_t>((chip + 1) * v));
+      hyper::stable_concentrate(slice);
+      std::copy(slice.begin(), slice.end(),
+                w.begin() + static_cast<std::ptrdiff_t>(chip * v));
+    }
+  };
+  concentrate_chips(wires);                               // stage 1 chips
+  wires = transpose_wiring(v).apply(wires);               // stage 1 -> 2 wiring
+  concentrate_chips(wires);                               // stage 2 chips
+  wires = rev_rotate_transpose_wiring(v).apply(wires);    // shifters + wiring
+  concentrate_chips(wires);                               // stage 3 chips
+  // Output wires are taken row-major: matrix entry (i, j) sits on stage-3
+  // chip j, pin i (flat j*v + i) and is output position i*v + j.
+  std::vector<std::int32_t> row_major(n_, hyper::kIdle);
+  for (std::size_t j = 0; j < v; ++j) {
+    for (std::size_t i = 0; i < v; ++i) {
+      row_major[i * v + j] = wires[j * v + i];
+    }
+  }
+  return finish_row_major(row_major);
+}
+
+BitVec RevsortSwitch::nearsorted_valid_bits(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == n_, "RevsortSwitch::nearsorted_valid_bits width");
+  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, side_, side_);
+  mesh.concentrate_columns();
+  mesh.concentrate_rows();
+  mesh.rotate_rows_bit_reversed();
+  mesh.concentrate_columns();
+  return mesh.valid_bits().to_row_major();
+}
+
+std::string RevsortSwitch::name() const {
+  std::ostringstream os;
+  os << "revsort(" << n_ << "," << m_ << ")";
+  return os.str();
+}
+
+Bom RevsortSwitch::bill_of_materials() const {
+  // Figure 4: stacks 1 and 3 carry one sqrt(n)-by-sqrt(n) hyperconcentrator
+  // per board; stack 2 boards add a sqrt(n)-bit barrel shifter with
+  // ceil(lg sqrt(n)) hardwired control bits.
+  const std::size_t v = side_;
+  const std::size_t lg_v = v <= 1 ? 0 : ceil_log2(v);
+  Bom bom;
+  bom.items.push_back(ChipSpec{ChipKind::kHyperconcentrator, v, 2 * v, 0, 3 * v});
+  bom.items.push_back(ChipSpec{ChipKind::kBarrelShifter, v, 2 * v, lg_v, v});
+  return bom;
+}
+
+}  // namespace pcs::sw

@@ -1,0 +1,64 @@
+// The Revsort-based multichip partial concentrator switch (paper Section 4).
+//
+// Construction: three stages of sqrt(n)-by-sqrt(n) hyperconcentrator chips
+// over an underlying sqrt(n) x sqrt(n) matrix of valid bits:
+//   stage 1: chips = columns, fully sorting each column;
+//   wiring:  transpose;
+//   stage 2: chips = rows, fully sorting each row, followed on each board by
+//            a barrel shifter hardwired to rotate row i right by rev(i);
+//   wiring:  transpose (the rotation happened on-board);
+//   stage 3: chips = columns again.
+// The output wires are the first m matrix positions in row-major order.
+//
+// By Theorem 3 this is an (n, m, 1 - O(n^{3/4}/m)) partial concentrator:
+// Algorithm 1 leaves at most 2*ceil(n^{1/4}) - 1 dirty rows, so the n-wide
+// output is epsilon-nearsorted with
+//   epsilon = (2*ceil(n^{1/4}) - 1) * sqrt(n),
+// and Lemma 2 turns that into the load ratio 1 - epsilon/m.
+//
+// route() simulates the switch on a labeled mesh (fast path);
+// route_via_wiring() simulates the hardware literally -- per-chip stable
+// concentrations joined by the explicit wiring permutations -- and is proven
+// equal to route() by the tests.
+#pragma once
+
+#include "switch/chip.hpp"
+#include "switch/concentrator.hpp"
+#include "switch/wiring.hpp"
+
+namespace pcs::sw {
+
+class RevsortSwitch : public ConcentratorSwitch {
+ public:
+  /// n must be a fourth power of two in the sense side = sqrt(n) = 2^q;
+  /// m <= n.
+  RevsortSwitch(std::size_t n, std::size_t m);
+
+  std::size_t inputs() const override { return n_; }
+  std::size_t outputs() const override { return m_; }
+  std::size_t epsilon_bound() const override;
+  SwitchRouting route(const BitVec& valid) const override;
+  BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+  std::string name() const override;
+
+  std::size_t side() const noexcept { return side_; }
+
+  /// Hardware-faithful simulation: per-chip concentrations joined by the
+  /// explicit inter-stage wiring permutations of wiring.hpp.
+  SwitchRouting route_via_wiring(const BitVec& valid) const;
+
+  /// Number of hyperconcentrator chips a message passes through (3).
+  static constexpr std::size_t kChipPasses = 3;
+
+  /// Chip inventory: 3*sqrt(n) hyperconcentrators + sqrt(n) barrel shifters.
+  Bom bill_of_materials() const;
+
+ private:
+  SwitchRouting finish_row_major(const std::vector<std::int32_t>& row_major) const;
+
+  std::size_t n_;
+  std::size_t m_;
+  std::size_t side_;
+};
+
+}  // namespace pcs::sw

@@ -1,0 +1,101 @@
+#include "switch/wiring.hpp"
+
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::sw {
+
+Permutation::Permutation(std::vector<std::uint32_t> dest) : dest_(std::move(dest)) {
+  PCS_REQUIRE(is_bijection(), "Permutation must be a bijection");
+}
+
+Permutation Permutation::identity(std::size_t n) {
+  std::vector<std::uint32_t> d(n);
+  std::iota(d.begin(), d.end(), 0u);
+  return Permutation(std::move(d));
+}
+
+std::uint32_t Permutation::dest(std::size_t i) const {
+  PCS_REQUIRE(i < dest_.size(), "Permutation::dest range");
+  return dest_[i];
+}
+
+bool Permutation::is_bijection() const {
+  std::vector<bool> seen(dest_.size(), false);
+  for (std::uint32_t d : dest_) {
+    if (d >= dest_.size() || seen[d]) return false;
+    seen[d] = true;
+  }
+  return true;
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<std::uint32_t> inv(dest_.size());
+  for (std::size_t i = 0; i < dest_.size(); ++i) {
+    inv[dest_[i]] = static_cast<std::uint32_t>(i);
+  }
+  return Permutation(std::move(inv));
+}
+
+Permutation Permutation::then(const Permutation& next) const {
+  PCS_REQUIRE(size() == next.size(), "Permutation::then size mismatch");
+  std::vector<std::uint32_t> d(size());
+  for (std::size_t i = 0; i < size(); ++i) d[i] = next.dest_[dest_[i]];
+  return Permutation(std::move(d));
+}
+
+std::vector<std::int32_t> Permutation::apply(const std::vector<std::int32_t>& in) const {
+  PCS_REQUIRE(in.size() == size(), "Permutation::apply size mismatch");
+  std::vector<std::int32_t> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[dest_[i]] = in[i];
+  return out;
+}
+
+BitVec Permutation::apply_bits(const BitVec& in) const {
+  PCS_REQUIRE(in.size() == size(), "Permutation::apply_bits size mismatch");
+  BitVec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out.set(dest_[i], in.get(i));
+  return out;
+}
+
+std::uint32_t wire_index(std::size_t chip, std::size_t pin, std::size_t width) {
+  return static_cast<std::uint32_t>(chip * width + pin);
+}
+
+Permutation transpose_wiring(std::size_t side) {
+  std::vector<std::uint32_t> dest(side * side);
+  for (std::size_t chip = 0; chip < side; ++chip) {    // stage-1 chip j (column j)
+    for (std::size_t pin = 0; pin < side; ++pin) {     // pin i (row i)
+      dest[wire_index(chip, pin, side)] = wire_index(pin, chip, side);
+    }
+  }
+  return Permutation(std::move(dest));
+}
+
+Permutation rev_rotate_transpose_wiring(std::size_t side) {
+  PCS_REQUIRE(is_pow2(side), "rev_rotate_transpose_wiring side must be 2^q");
+  const unsigned q = exact_log2(side);
+  std::vector<std::uint32_t> dest(side * side);
+  for (std::size_t chip = 0; chip < side; ++chip) {    // stage-2 chip i (row i)
+    for (std::size_t pin = 0; pin < side; ++pin) {     // pin j (column j)
+      std::size_t new_col = (static_cast<std::size_t>(bit_reverse(chip, q)) + pin) % side;
+      dest[wire_index(chip, pin, side)] = wire_index(new_col, chip, side);
+    }
+  }
+  return Permutation(std::move(dest));
+}
+
+Permutation cm_to_rm_wiring(std::size_t r, std::size_t s) {
+  std::vector<std::uint32_t> dest(r * s);
+  for (std::size_t chip = 0; chip < s; ++chip) {       // stage-1 chip j (column j)
+    for (std::size_t pin = 0; pin < r; ++pin) {        // pin i (row i)
+      std::size_t x = r * chip + pin;                  // column-major position
+      dest[wire_index(chip, pin, r)] = wire_index(x % s, x / s, r);
+    }
+  }
+  return Permutation(std::move(dest));
+}
+
+}  // namespace pcs::sw

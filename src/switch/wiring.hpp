@@ -1,0 +1,73 @@
+// Inter-stage wiring permutations (the passive part of the multichip
+// switches) and the flat wire-numbering conventions that connect chips.
+//
+// Between two stages of chips there are n wires.  A wire is identified
+// either by its flat index or by (chip, pin): stage-l chip c, pin w is flat
+// index c * width + w, where width is the chip's I/O width.  The paper's
+// wiring rules (Sections 4 and 5):
+//
+//   Revsort stage 1 -> 2:   Y_{1,j,i} -> X_{2,i,j}                (transpose)
+//   Revsort stage 2 -> 3:   Y_{2,i,j} -> X_{3,(rev(i)+j) mod v, i}
+//                               (rotate row i right by rev(i), then transpose;
+//                                v = sqrt(n))
+//   Columnsort stage 1 -> 2: Y_{1,j,i} -> X_{2,(rj+i) mod s, floor((rj+i)/s)}
+//                               (column-major -> row-major conversion)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace pcs::sw {
+
+/// A permutation of n wires: dest()[i] is where wire i's signal goes.
+class Permutation {
+ public:
+  Permutation() = default;
+  explicit Permutation(std::vector<std::uint32_t> dest);
+
+  /// The identity on n wires.
+  static Permutation identity(std::size_t n);
+
+  std::size_t size() const noexcept { return dest_.size(); }
+  std::uint32_t dest(std::size_t i) const;
+  const std::vector<std::uint32_t>& dests() const noexcept { return dest_; }
+
+  /// True iff dest is a bijection on [0, n).
+  bool is_bijection() const;
+
+  Permutation inverse() const;
+
+  /// Composition: (this then next), i.e. result.dest(i) = next.dest(this->dest(i)).
+  Permutation then(const Permutation& next) const;
+
+  /// Apply to a vector of slot labels: out[dest(i)] = in[i].
+  std::vector<std::int32_t> apply(const std::vector<std::int32_t>& in) const;
+
+  /// Apply to a bit vector: out[dest(i)] = in[i].
+  BitVec apply_bits(const BitVec& in) const;
+
+  bool operator==(const Permutation& other) const noexcept = default;
+
+ private:
+  std::vector<std::uint32_t> dest_;
+};
+
+/// Flat wire index of (chip, pin) with chips of the given width.
+std::uint32_t wire_index(std::size_t chip, std::size_t pin, std::size_t width);
+
+/// Revsort stages 1 -> 2: matrix transpose on a side-by-side mesh.
+/// Chip j pin i (matrix entry row i, col j) goes to chip i pin j.
+Permutation transpose_wiring(std::size_t side);
+
+/// Revsort stages 2 -> 3: rotate row i right by rev(i), then transpose.
+/// Chip i pin j goes to chip (rev(i)+j) mod side, pin i.
+/// Precondition: side is a power of two.
+Permutation rev_rotate_transpose_wiring(std::size_t side);
+
+/// Columnsort stages 1 -> 2 on an r-by-s mesh: the wire at column-major
+/// position x = r*chip + pin goes to chip (x mod s), pin floor(x / s).
+Permutation cm_to_rm_wiring(std::size_t r, std::size_t s);
+
+}  // namespace pcs::sw

@@ -1,0 +1,109 @@
+#include "util/bitmatrix.hpp"
+
+#include "util/assert.hpp"
+
+namespace pcs {
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
+    : bits_(rows * cols), rows_(rows), cols_(cols) {}
+
+BitMatrix BitMatrix::from_row_major(const BitVec& bits, std::size_t rows, std::size_t cols) {
+  PCS_REQUIRE(bits.size() == rows * cols, "BitMatrix::from_row_major size mismatch");
+  BitMatrix m(rows, cols);
+  m.bits_ = bits;
+  return m;
+}
+
+bool BitMatrix::get(std::size_t i, std::size_t j) const {
+  PCS_REQUIRE(i < rows_ && j < cols_, "BitMatrix::get out of range");
+  return bits_.get(index(i, j));
+}
+
+void BitMatrix::set(std::size_t i, std::size_t j, bool value) {
+  PCS_REQUIRE(i < rows_ && j < cols_, "BitMatrix::set out of range");
+  bits_.set(index(i, j), value);
+}
+
+BitVec BitMatrix::to_row_major() const { return bits_; }
+
+BitVec BitMatrix::to_col_major() const {
+  BitVec out(size());
+  std::size_t pos = 0;
+  for (std::size_t j = 0; j < cols_; ++j) {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      out.set(pos++, bits_.get(index(i, j)));
+    }
+  }
+  return out;
+}
+
+BitVec BitMatrix::row(std::size_t i) const {
+  PCS_REQUIRE(i < rows_, "BitMatrix::row out of range");
+  BitVec out(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) out.set(j, bits_.get(index(i, j)));
+  return out;
+}
+
+BitVec BitMatrix::col(std::size_t j) const {
+  PCS_REQUIRE(j < cols_, "BitMatrix::col out of range");
+  BitVec out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out.set(i, bits_.get(index(i, j)));
+  return out;
+}
+
+void BitMatrix::set_row(std::size_t i, const BitVec& bits) {
+  PCS_REQUIRE(i < rows_, "BitMatrix::set_row out of range");
+  PCS_REQUIRE(bits.size() == cols_, "BitMatrix::set_row size mismatch");
+  for (std::size_t j = 0; j < cols_; ++j) bits_.set(index(i, j), bits.get(j));
+}
+
+void BitMatrix::set_col(std::size_t j, const BitVec& bits) {
+  PCS_REQUIRE(j < cols_, "BitMatrix::set_col out of range");
+  PCS_REQUIRE(bits.size() == rows_, "BitMatrix::set_col size mismatch");
+  for (std::size_t i = 0; i < rows_; ++i) bits_.set(index(i, j), bits.get(i));
+}
+
+std::size_t BitMatrix::count() const noexcept { return bits_.count(); }
+
+std::size_t BitMatrix::row_count(std::size_t i) const { return row(i).count(); }
+
+bool BitMatrix::row_is_dirty(std::size_t i) const {
+  std::size_t ones = row_count(i);
+  return ones != 0 && ones != cols_;
+}
+
+std::size_t BitMatrix::dirty_row_count() const {
+  std::size_t dirty = 0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (row_is_dirty(i)) ++dirty;
+  }
+  return dirty;
+}
+
+BitMatrix BitMatrix::transposed() const {
+  BitMatrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.set(j, i, bits_.get(index(i, j)));
+    }
+  }
+  return out;
+}
+
+bool BitMatrix::operator==(const BitMatrix& other) const noexcept {
+  return rows_ == other.rows_ && cols_ == other.cols_ && bits_ == other.bits_;
+}
+
+std::string BitMatrix::to_string() const {
+  std::string out;
+  out.reserve(rows_ * (cols_ + 1));
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out += bits_.get(index(i, j)) ? '1' : '0';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pcs

@@ -1,0 +1,77 @@
+// r-by-s matrix of bits, stored row-major, with the row/column access and
+// reordering primitives the mesh sorting algorithms (Revsort, Shearsort,
+// Columnsort) are written against.
+//
+// Rows are numbered 0..r-1, columns 0..s-1, exactly as in the paper
+// (Sections 4 and 5).  The "sequence order" of a matrix -- the order in which
+// a switch's output wires read the entries -- is row-major unless a function
+// says otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bitvec.hpp"
+
+namespace pcs {
+
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+
+  /// An r-by-s matrix of zero bits.
+  BitMatrix(std::size_t rows, std::size_t cols);
+
+  /// Reinterpret a flat row-major bit sequence as an r-by-s matrix.
+  /// Precondition: bits.size() == rows * cols.
+  static BitMatrix from_row_major(const BitVec& bits, std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return rows_ * cols_; }
+
+  bool get(std::size_t i, std::size_t j) const;
+  void set(std::size_t i, std::size_t j, bool value);
+
+  /// The whole matrix read in row-major order (how switch outputs are taken).
+  BitVec to_row_major() const;
+
+  /// The whole matrix read in column-major order.
+  BitVec to_col_major() const;
+
+  /// Copy of row i / column j as a standalone bit vector.
+  BitVec row(std::size_t i) const;
+  BitVec col(std::size_t j) const;
+
+  /// Overwrite row i / column j.  Sizes must match.
+  void set_row(std::size_t i, const BitVec& bits);
+  void set_col(std::size_t j, const BitVec& bits);
+
+  /// Number of 1 bits in the whole matrix / in one row.
+  std::size_t count() const noexcept;
+  std::size_t row_count(std::size_t i) const;
+
+  /// True iff row i contains both a 0 and a 1 (the paper's *dirty* row).
+  bool row_is_dirty(std::size_t i) const;
+
+  /// Number of dirty rows (the quantity Theorem 3 bounds for Revsort).
+  std::size_t dirty_row_count() const;
+
+  /// s-by-r transpose (the wiring between Revsort switch stages 1 and 2).
+  BitMatrix transposed() const;
+
+  bool operator==(const BitMatrix& other) const noexcept;
+  bool operator!=(const BitMatrix& other) const noexcept { return !(*this == other); }
+
+  /// Multi-line string of '0'/'1' rows, for diagnostics and the visualizer.
+  std::string to_string() const;
+
+ private:
+  std::size_t index(std::size_t i, std::size_t j) const noexcept { return i * cols_ + j; }
+
+  BitVec bits_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+}  // namespace pcs

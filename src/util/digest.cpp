@@ -1,0 +1,56 @@
+#include "util/digest.hpp"
+
+namespace pcs {
+
+namespace {
+constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+}
+
+void Digest::mix_byte(std::uint8_t b) noexcept {
+  state_ ^= b;
+  state_ *= kPrime;
+}
+
+void Digest::mix_u64(std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Digest::mix_i32(std::int32_t v) noexcept {
+  mix_u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+}
+
+void Digest::mix_bits(const BitVec& bits) {
+  mix_u64(bits.size());
+  std::uint8_t acc = 0;
+  int fill = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    acc = static_cast<std::uint8_t>((acc << 1) | (bits.get(i) ? 1 : 0));
+    if (++fill == 8) {
+      mix_byte(acc);
+      acc = 0;
+      fill = 0;
+    }
+  }
+  if (fill > 0) mix_byte(acc);
+}
+
+void Digest::mix_slots(const std::vector<std::int32_t>& slots) {
+  mix_u64(slots.size());
+  for (std::int32_t s : slots) mix_i32(s);
+}
+
+std::uint64_t digest_bits(const BitVec& bits) {
+  Digest d;
+  d.mix_bits(bits);
+  return d.value();
+}
+
+std::uint64_t digest_slots(const std::vector<std::int32_t>& slots) {
+  Digest d;
+  d.mix_slots(slots);
+  return d.value();
+}
+
+}  // namespace pcs

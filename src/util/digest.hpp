@@ -1,0 +1,36 @@
+// FNV-1a digests over the library's value types: cheap fingerprints for
+// determinism tests (same seed => bit-identical behaviour across runs and
+// platforms) and for golden values in the regression suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace pcs {
+
+class Digest {
+ public:
+  Digest() = default;
+
+  void mix_byte(std::uint8_t b) noexcept;
+  void mix_u64(std::uint64_t v) noexcept;
+  void mix_i32(std::int32_t v) noexcept;
+  void mix_bits(const BitVec& bits);
+  void mix_slots(const std::vector<std::int32_t>& slots);
+
+  std::uint64_t value() const noexcept { return state_; }
+
+ private:
+  // FNV-1a 64-bit offset basis / prime.
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+/// One-shot digest of a bit vector.
+std::uint64_t digest_bits(const BitVec& bits);
+
+/// One-shot digest of a slot/label vector (routings, mesh read-outs).
+std::uint64_t digest_slots(const std::vector<std::int32_t>& slots);
+
+}  // namespace pcs

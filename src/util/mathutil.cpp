@@ -1,0 +1,69 @@
+#include "util/mathutil.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace pcs {
+
+bool is_pow2(std::uint64_t x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+unsigned floor_log2(std::uint64_t x) {
+  PCS_REQUIRE(x > 0, "floor_log2 of zero");
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+unsigned ceil_log2(std::uint64_t x) {
+  PCS_REQUIRE(x > 0, "ceil_log2 of zero");
+  unsigned f = floor_log2(x);
+  return is_pow2(x) ? f : f + 1;
+}
+
+unsigned exact_log2(std::uint64_t x) {
+  PCS_REQUIRE(is_pow2(x), "exact_log2 requires a power of two");
+  return floor_log2(x);
+}
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  PCS_REQUIRE(b > 0, "ceil_div by zero");
+  return (a + b - 1) / b;
+}
+
+std::uint64_t bit_reverse(std::uint64_t v, unsigned bits) {
+  PCS_REQUIRE(bits <= 64, "bit_reverse width");
+  std::uint64_t out = 0;
+  for (unsigned k = 0; k < bits; ++k) {
+    out = (out << 1) | ((v >> k) & 1u);
+  }
+  return out;
+}
+
+std::uint64_t isqrt(std::uint64_t x) noexcept {
+  if (x == 0) return 0;
+  // Newton iteration seeded from the bit length; converges in a few steps.
+  std::uint64_t r = std::uint64_t{1} << ((64 - std::countl_zero(x)) / 2 + 1);
+  while (true) {
+    std::uint64_t next = (r + x / r) / 2;
+    if (next >= r) break;
+    r = next;
+  }
+  return r;
+}
+
+std::uint64_t row_major(std::uint64_t i, std::uint64_t j, std::uint64_t s) noexcept {
+  return s * i + j;
+}
+
+std::uint64_t col_major(std::uint64_t i, std::uint64_t j, std::uint64_t r) noexcept {
+  return r * j + i;
+}
+
+RowCol row_major_inv(std::uint64_t x, std::uint64_t s) noexcept {
+  return RowCol{x / s, x % s};
+}
+
+RowCol col_major_inv(std::uint64_t x, std::uint64_t r) noexcept {
+  return RowCol{x % r, x / r};
+}
+
+}  // namespace pcs

@@ -1,0 +1,57 @@
+// Integer math helpers used throughout the library.
+//
+// The paper works with power-of-two mesh side lengths (√n = 2^q), bit-reversed
+// row indices (Revsort's rev(i)), and row-major/column-major index algebra
+// (Figure 5).  Everything here is exact integer arithmetic; no floating point.
+#pragma once
+
+#include <cstdint>
+
+namespace pcs {
+
+/// True iff x is a power of two (x = 2^k, k >= 0).  is_pow2(0) == false.
+bool is_pow2(std::uint64_t x) noexcept;
+
+/// Floor of log base 2.  Precondition: x > 0.
+unsigned floor_log2(std::uint64_t x);
+
+/// Ceiling of log base 2 (number of butterfly levels covering x slots).
+/// ceil_log2(1) == 0.  Precondition: x > 0.
+unsigned ceil_log2(std::uint64_t x);
+
+/// lg n as the paper writes it: exact log2 of a power of two.
+/// Precondition: is_pow2(x).
+unsigned exact_log2(std::uint64_t x);
+
+/// ceil(a / b).  Precondition: b > 0.
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b);
+
+/// Reverse the low `bits` bits of v (Revsort's rev(i) with q = bits).
+/// Example from the paper: with sqrt(n)=16 (bits=4), bit_reverse(3,4) == 12.
+std::uint64_t bit_reverse(std::uint64_t v, unsigned bits);
+
+/// Exact integer square root: largest r with r*r <= x.
+std::uint64_t isqrt(std::uint64_t x) noexcept;
+
+/// Row-major position of matrix entry (i, j) in an r-by-s matrix: si + j.
+/// Matches the paper's RM(i, j) (Section 5; Figure 5).
+std::uint64_t row_major(std::uint64_t i, std::uint64_t j, std::uint64_t s) noexcept;
+
+/// Column-major position of matrix entry (i, j) in an r-by-s matrix: rj + i.
+/// Matches the paper's CM(i, j) (Section 5; Figure 5).
+std::uint64_t col_major(std::uint64_t i, std::uint64_t j, std::uint64_t r) noexcept;
+
+/// Row/column pair decoded from a row-major position: RM^-1(x) = (x/s, x%s).
+struct RowCol {
+  std::uint64_t row;
+  std::uint64_t col;
+  bool operator==(const RowCol&) const = default;
+};
+
+/// Inverse row-major mapping for an r-by-s matrix.
+RowCol row_major_inv(std::uint64_t x, std::uint64_t s) noexcept;
+
+/// Inverse column-major mapping for an r-by-s matrix.
+RowCol col_major_inv(std::uint64_t x, std::uint64_t r) noexcept;
+
+}  // namespace pcs

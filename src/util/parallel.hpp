@@ -1,0 +1,28 @@
+// Minimal shared-memory parallel-for over std::thread.
+//
+// The simulator is embarrassingly parallel at two grains: independent chips
+// within one switch stage, and independent trials in Monte-Carlo sweeps.
+// parallel_for covers both without dragging in OpenMP: it splits [begin, end)
+// into contiguous chunks, runs each chunk on its own thread, and joins.
+// Exceptions thrown by the body are captured and rethrown on the caller.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace pcs {
+
+/// Number of worker threads parallel_for will use by default
+/// (hardware_concurrency, at least 1).
+std::size_t default_thread_count() noexcept;
+
+/// Run body(i) for every i in [begin, end), distributing contiguous chunks
+/// across up to `threads` std::threads.  With threads <= 1, or a range
+/// smaller than 2, runs inline on the caller.  The body must be safe to call
+/// concurrently for distinct i.  The first exception thrown by any body is
+/// rethrown on the calling thread after all threads join.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads = default_thread_count());
+
+}  // namespace pcs

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generator (xoshiro256**) plus the
+// distributions the traffic generators and property tests need.
+//
+// We own the generator rather than using std::mt19937 so that test vectors
+// are reproducible across standard libraries and platforms; seeds printed in
+// failure messages always replay.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitvec.hpp"
+
+namespace pcs {
+
+class Rng {
+ public:
+  /// Seeded construction; the same seed always produces the same stream.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound).  Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi].  Precondition: lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli trial with probability p of true.  Precondition: 0 <= p <= 1.
+  bool chance(double p);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// A vector of n independent Bernoulli(p) bits (random valid-bit pattern).
+  BitVec bernoulli_bits(std::size_t n, double p);
+
+  /// A vector of n bits with exactly k ones placed uniformly at random
+  /// (the paper's "k messages entering the switch" with k fixed).
+  BitVec exact_weight_bits(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pcs

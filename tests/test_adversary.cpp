@@ -1,0 +1,53 @@
+#include "core/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "switch/columnsort_switch.hpp"
+#include "switch/hyper_switch.hpp"
+#include "switch/revsort_switch.hpp"
+
+namespace pcs::core {
+namespace {
+
+TEST(Adversary, MeasuredEpsilonZeroForHyper) {
+  pcs::sw::HyperSwitch sw(32, 32);
+  Rng rng(250);
+  WorstCase wc = worst_epsilon_search(sw, 20, 50, rng);
+  EXPECT_EQ(wc.epsilon, 0u);
+  EXPECT_GT(wc.trials, 0u);
+}
+
+TEST(Adversary, WorstCaseRespectsTheoremBounds) {
+  Rng rng(251);
+  pcs::sw::RevsortSwitch rev(256, 256);
+  WorstCase wrev = worst_epsilon_search(rev, 30, 100, rng);
+  EXPECT_LE(wrev.epsilon, rev.epsilon_bound());
+
+  pcs::sw::ColumnsortSwitch col(64, 8, 512);
+  WorstCase wcol = worst_epsilon_search(col, 30, 100, rng);
+  EXPECT_LE(wcol.epsilon, col.epsilon_bound());
+}
+
+TEST(Adversary, FindsNonTrivialEpsilonOnPartialConcentrators) {
+  // The search should exhibit *some* nonsortedness for the Columnsort
+  // switch with s > 1 (epsilon bound (s-1)^2 > 0 is achievable in spirit).
+  Rng rng(252);
+  pcs::sw::ColumnsortSwitch col(64, 8, 512);
+  WorstCase wc = worst_epsilon_search(col, 40, 200, rng);
+  EXPECT_GT(wc.epsilon, 0u);
+  // The recorded pattern reproduces the recorded epsilon.
+  EXPECT_EQ(measured_epsilon(col, wc.pattern), wc.epsilon);
+  EXPECT_EQ(wc.pattern.count(), wc.k);
+}
+
+TEST(Adversary, DeterministicUnderSeed) {
+  pcs::sw::RevsortSwitch sw(64, 64);
+  Rng a(253), b(253);
+  WorstCase wa = worst_epsilon_search(sw, 10, 30, a);
+  WorstCase wb = worst_epsilon_search(sw, 10, 30, b);
+  EXPECT_EQ(wa.epsilon, wb.epsilon);
+  EXPECT_EQ(wa.pattern, wb.pattern);
+}
+
+}  // namespace
+}  // namespace pcs::core

@@ -1,0 +1,52 @@
+#include "util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pcs {
+namespace {
+
+TEST(Assert, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(PCS_REQUIRE(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Assert, FailureThrowsWithContext) {
+  try {
+    PCS_REQUIRE(false, "the reason");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("test_assert.cpp"), std::string::npos);
+    EXPECT_NE(what.find("the reason"), std::string::npos);
+  }
+}
+
+TEST(Assert, EmptyMessageOmitsParens) {
+  try {
+    PCS_REQUIRE(false, "");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    std::string what = e.what();
+    EXPECT_EQ(what.find("()"), std::string::npos);
+  }
+}
+
+TEST(Assert, IsLogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(PCS_REQUIRE(false, "x"), std::logic_error);
+}
+
+TEST(Assert, ConditionEvaluatedOnce) {
+  int count = 0;
+  auto bump = [&]() {
+    ++count;
+    return true;
+  };
+  PCS_REQUIRE(bump(), "side effects");
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace pcs

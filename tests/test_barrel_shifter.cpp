@@ -1,0 +1,75 @@
+#include "hyper/barrel_shifter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/mathutil.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::hyper {
+namespace {
+
+TEST(RotateRight, Semantics) {
+  BitVec v = BitVec::from_string("1100");
+  EXPECT_EQ(rotate_right(v, 0).to_string(), "1100");
+  EXPECT_EQ(rotate_right(v, 1).to_string(), "0110");
+  EXPECT_EQ(rotate_right(v, 3).to_string(), "1001");
+  EXPECT_EQ(rotate_right(v, 4).to_string(), "1100");
+  EXPECT_EQ(rotate_right(v, 7).to_string(), "1001");
+}
+
+TEST(RotateRight, EmptyVector) {
+  BitVec v;
+  EXPECT_EQ(rotate_right(v, 3), v);
+}
+
+TEST(HardwiredBarrelShifter, MatchesFunctionalRotation) {
+  Rng rng(100);
+  for (std::size_t n : {4u, 8u, 16u}) {
+    for (std::size_t amount = 0; amount < n; amount += 3) {
+      HardwiredBarrelShifter shifter(n, amount);
+      for (int trial = 0; trial < 5; ++trial) {
+        BitVec in = rng.bernoulli_bits(n, 0.5);
+        EXPECT_EQ(shifter.evaluate(in), rotate_right(in, amount))
+            << "n=" << n << " amount=" << amount;
+      }
+    }
+  }
+}
+
+TEST(HardwiredBarrelShifter, ZeroGateDepth) {
+  // Figure 4: the hardwired shifter is pure wiring -- zero logic depth, the
+  // "only a constant number of gate delays" of Section 4.
+  HardwiredBarrelShifter shifter(16, 5);
+  EXPECT_EQ(shifter.data_path_depth(), 0u);
+  EXPECT_EQ(shifter.circuit().gate_count(), 0u);
+}
+
+TEST(ProgrammableBarrelShifter, MatchesFunctionalRotation) {
+  Rng rng(101);
+  for (std::size_t n : {4u, 8u, 13u}) {
+    ProgrammableBarrelShifter shifter(n);
+    for (std::size_t amount = 0; amount < n; ++amount) {
+      BitVec in = rng.bernoulli_bits(n, 0.5);
+      EXPECT_EQ(shifter.evaluate(in, amount), rotate_right(in, amount))
+          << "n=" << n << " amount=" << amount;
+    }
+  }
+}
+
+TEST(ProgrammableBarrelShifter, ControlBitsAndDepth) {
+  ProgrammableBarrelShifter shifter(16);
+  EXPECT_EQ(shifter.control_bits(), 4u);  // ceil(lg 16)
+  // 2 gate delays per stage on the data path.
+  EXPECT_EQ(shifter.data_path_depth(), 2 * pcs::ceil_log2(16));
+}
+
+TEST(ProgrammableBarrelShifter, HardwiredIsStrictlyShallower) {
+  // The ablation the paper implies: hardwiring removes all data-path logic.
+  const std::size_t n = 32;
+  ProgrammableBarrelShifter prog(n);
+  HardwiredBarrelShifter hard(n, 11);
+  EXPECT_GT(prog.data_path_depth(), hard.data_path_depth());
+}
+
+}  // namespace
+}  // namespace pcs::hyper

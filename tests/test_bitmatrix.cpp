@@ -1,0 +1,93 @@
+#include "util/bitmatrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pcs {
+namespace {
+
+TEST(BitMatrix, ShapeAndAccess) {
+  BitMatrix m(4, 3);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 12u);
+  m.set(2, 1, true);
+  EXPECT_TRUE(m.get(2, 1));
+  EXPECT_FALSE(m.get(1, 2));
+  EXPECT_THROW(m.get(4, 0), ContractViolation);
+  EXPECT_THROW(m.set(0, 3, true), ContractViolation);
+}
+
+TEST(BitMatrix, RowMajorRoundtrip) {
+  Rng rng(1);
+  BitVec bits = rng.bernoulli_bits(20, 0.5);
+  BitMatrix m = BitMatrix::from_row_major(bits, 5, 4);
+  EXPECT_EQ(m.to_row_major(), bits);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(m.get(i, j), bits.get(i * 4 + j));
+    }
+  }
+}
+
+TEST(BitMatrix, ColMajorOrder) {
+  // 2x3 matrix [[a b c], [d e f]] reads column-major as a d b e c f.
+  BitMatrix m = BitMatrix::from_row_major(BitVec{1, 0, 1, 0, 1, 0}, 2, 3);
+  EXPECT_EQ(m.to_col_major().to_string(), "100110");
+}
+
+TEST(BitMatrix, RowColViews) {
+  BitMatrix m = BitMatrix::from_row_major(BitVec{1, 0, 1, 0, 1, 0}, 2, 3);
+  EXPECT_EQ(m.row(0).to_string(), "101");
+  EXPECT_EQ(m.row(1).to_string(), "010");
+  EXPECT_EQ(m.col(0).to_string(), "10");
+  EXPECT_EQ(m.col(1).to_string(), "01");
+  EXPECT_EQ(m.col(2).to_string(), "10");
+}
+
+TEST(BitMatrix, SetRowCol) {
+  BitMatrix m(3, 3);
+  m.set_row(1, BitVec{1, 1, 0});
+  m.set_col(2, BitVec{1, 0, 1});
+  EXPECT_EQ(m.row(1).to_string(), "110");
+  EXPECT_EQ(m.col(2).to_string(), "101");
+  EXPECT_THROW(m.set_row(1, BitVec{1, 1}), ContractViolation);
+}
+
+TEST(BitMatrix, CountsAndDirtyRows) {
+  BitMatrix m = BitMatrix::from_row_major(BitVec{1, 1, 1, 1, 0, 1, 0, 0, 0}, 3, 3);
+  EXPECT_EQ(m.count(), 5u);
+  EXPECT_EQ(m.row_count(0), 3u);
+  EXPECT_FALSE(m.row_is_dirty(0));  // clean 1s
+  EXPECT_TRUE(m.row_is_dirty(1));   // 101 mixed
+  EXPECT_FALSE(m.row_is_dirty(2));  // clean 0s
+  EXPECT_EQ(m.dirty_row_count(), 1u);
+}
+
+TEST(BitMatrix, TransposeTwiceIsIdentity) {
+  Rng rng(3);
+  BitMatrix m = BitMatrix::from_row_major(rng.bernoulli_bits(35, 0.4), 5, 7);
+  BitMatrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 7u);
+  EXPECT_EQ(t.cols(), 5u);
+  EXPECT_EQ(t.transposed(), m);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) EXPECT_EQ(m.get(i, j), t.get(j, i));
+  }
+}
+
+TEST(BitMatrix, TransposeSwapsMajorOrders) {
+  Rng rng(4);
+  BitMatrix m = BitMatrix::from_row_major(rng.bernoulli_bits(24, 0.5), 4, 6);
+  EXPECT_EQ(m.transposed().to_row_major(), m.to_col_major());
+}
+
+TEST(BitMatrix, ToStringRendersRows) {
+  BitMatrix m = BitMatrix::from_row_major(BitVec{1, 0, 0, 1}, 2, 2);
+  EXPECT_EQ(m.to_string(), "10\n01\n");
+}
+
+}  // namespace
+}  // namespace pcs

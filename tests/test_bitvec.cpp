@@ -1,0 +1,133 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pcs {
+namespace {
+
+TEST(BitVec, DefaultEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.is_clean());
+  EXPECT_TRUE(v.is_sorted_nonincreasing());
+}
+
+TEST(BitVec, ConstructFill) {
+  BitVec zeros(100);
+  EXPECT_EQ(zeros.count(), 0u);
+  BitVec ones(100, true);
+  EXPECT_EQ(ones.count(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_TRUE(ones.get(i));
+}
+
+TEST(BitVec, InitializerList) {
+  BitVec v{1, 0, 1, 1, 0};
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_TRUE(v.get(2));
+  EXPECT_TRUE(v.get(3));
+  EXPECT_FALSE(v.get(4));
+}
+
+TEST(BitVec, FromToString) {
+  BitVec v = BitVec::from_string("10110");
+  EXPECT_EQ(v.to_string(), "10110");
+  EXPECT_THROW(BitVec::from_string("10x"), ContractViolation);
+}
+
+TEST(BitVec, SetGetFlipBounds) {
+  BitVec v(10);
+  v.set(3, true);
+  EXPECT_TRUE(v.get(3));
+  v.flip(3);
+  EXPECT_FALSE(v.get(3));
+  v.flip(9);
+  EXPECT_TRUE(v.get(9));
+  EXPECT_THROW(v.get(10), ContractViolation);
+  EXPECT_THROW(v.set(10, true), ContractViolation);
+}
+
+TEST(BitVec, CountAcrossWordBoundaries) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(127, true);
+  v.set(129, true);
+  EXPECT_EQ(v.count(), 5u);
+}
+
+TEST(BitVec, RankSelectAgree) {
+  Rng rng(42);
+  BitVec v = rng.bernoulli_bits(200, 0.3);
+  std::size_t k = v.count();
+  for (std::size_t j = 0; j < k; ++j) {
+    std::size_t pos = v.select1(j);
+    ASSERT_LT(pos, v.size());
+    EXPECT_TRUE(v.get(pos));
+    EXPECT_EQ(v.rank1_before(pos), j);
+  }
+  EXPECT_EQ(v.select1(k), v.size());
+  EXPECT_EQ(v.rank1_before(v.size()), k);
+}
+
+TEST(BitVec, RankPrefixMonotone) {
+  BitVec v = BitVec::from_string("1101001");
+  EXPECT_EQ(v.rank1_before(0), 0u);
+  EXPECT_EQ(v.rank1_before(1), 1u);
+  EXPECT_EQ(v.rank1_before(2), 2u);
+  EXPECT_EQ(v.rank1_before(3), 2u);
+  EXPECT_EQ(v.rank1_before(7), 4u);
+}
+
+TEST(BitVec, SortedNonincreasing) {
+  EXPECT_TRUE(BitVec::from_string("111000").is_sorted_nonincreasing());
+  EXPECT_TRUE(BitVec::from_string("000000").is_sorted_nonincreasing());
+  EXPECT_TRUE(BitVec::from_string("111111").is_sorted_nonincreasing());
+  EXPECT_FALSE(BitVec::from_string("110100").is_sorted_nonincreasing());
+  EXPECT_FALSE(BitVec::from_string("011").is_sorted_nonincreasing());
+}
+
+TEST(BitVec, CleanDirty) {
+  EXPECT_TRUE(BitVec(5).is_clean());
+  EXPECT_TRUE(BitVec(5, true).is_clean());
+  EXPECT_FALSE(BitVec::from_string("10").is_clean());
+}
+
+TEST(BitVec, FillAndTailMasking) {
+  BitVec v(70);
+  v.fill(true);
+  EXPECT_EQ(v.count(), 70u);
+  v.fill(false);
+  EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVec, PushBack) {
+  BitVec v;
+  for (int i = 0; i < 100; ++i) v.push_back(i % 3 == 0);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.count(), 34u);
+  EXPECT_TRUE(v.get(99));
+}
+
+TEST(BitVec, EqualityIncludesSize) {
+  BitVec a(10), b(10), c(11);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  b.set(5, true);
+  EXPECT_NE(a, b);
+}
+
+TEST(BitVec, BoolsRoundtrip) {
+  Rng rng(7);
+  BitVec v = rng.bernoulli_bits(97, 0.5);
+  EXPECT_EQ(BitVec::from_bools(v.to_bools()), v);
+}
+
+}  // namespace
+}  // namespace pcs

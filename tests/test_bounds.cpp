@@ -1,0 +1,46 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cost/resource_model.hpp"
+
+namespace pcs::core {
+namespace {
+
+TEST(Bounds, RevsortEpsilon) {
+  EXPECT_EQ(revsort_epsilon_bound(16), 7u * 16u);
+  EXPECT_EQ(revsort_epsilon_bound(64), 15u * 64u);
+}
+
+TEST(Bounds, ColumnsortEpsilon) {
+  EXPECT_EQ(columnsort_epsilon_bound(4), 9u);
+  EXPECT_EQ(columnsort_epsilon_bound(1), 0u);
+}
+
+TEST(Bounds, AlphaAndCapacity) {
+  EXPECT_DOUBLE_EQ(alpha_from_epsilon(0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(alpha_from_epsilon(25, 100), 0.75);
+  EXPECT_DOUBLE_EQ(alpha_from_epsilon(150, 100), 0.0);
+  EXPECT_EQ(capacity_from_epsilon(25, 100), 75u);
+  EXPECT_EQ(capacity_from_epsilon(150, 100), 0u);
+  EXPECT_DOUBLE_EQ(alpha_from_epsilon(5, 0), 0.0);
+}
+
+TEST(Bounds, DelayFormulasMatchResourceModelAtZeroOverhead) {
+  pcs::cost::DelayModel zero{.pad_delay = 0, .shifter_delay = 0};
+  for (std::size_t n : {256u, 4096u}) {
+    EXPECT_EQ(pcs::cost::revsort_report(n, n / 2, zero).gate_delays,
+              revsort_delay_formula(n, 0));
+  }
+  EXPECT_EQ(pcs::cost::columnsort_report(256, 16, 2048, zero).gate_delays,
+            columnsort_delay_formula(256, 0));
+  EXPECT_EQ(hyper_chip_delay_formula(1024), 20u);
+}
+
+TEST(Bounds, ColumnsortDelayIsFourBetaLgN) {
+  // r = n^beta => 4 lg r = 4 beta lg n.  Check at beta = 3/4, n = 2^12.
+  EXPECT_EQ(columnsort_delay_formula(512, 0), 36u);  // 4 * 9 = 4 * 0.75 * 12
+}
+
+}  // namespace
+}  // namespace pcs::core

@@ -1,0 +1,145 @@
+#include "gates/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gates/evaluator.hpp"
+#include "util/mathutil.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::gates {
+namespace {
+
+TEST(Builder, OrTreeSemanticsAndDepth) {
+  for (std::size_t n : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    Circuit c;
+    Builder b(c);
+    std::vector<NodeId> ins;
+    for (std::size_t i = 0; i < n; ++i) ins.push_back(c.add_input());
+    c.mark_output(b.or_tree(ins));
+    EXPECT_LE(c.depth(), ceil_log2(n) + (n == 1 ? 0 : 0)) << "n=" << n;
+    Evaluator eval(c);
+    // All-zero -> 0; single one anywhere -> 1.
+    EXPECT_FALSE(eval.evaluate(BitVec(n)).get(0));
+    for (std::size_t i = 0; i < n; ++i) {
+      BitVec in(n);
+      in.set(i, true);
+      EXPECT_TRUE(eval.evaluate(in).get(0));
+    }
+  }
+}
+
+TEST(Builder, AndTreeSemantics) {
+  const std::size_t n = 6;
+  Circuit c;
+  Builder b(c);
+  std::vector<NodeId> ins;
+  for (std::size_t i = 0; i < n; ++i) ins.push_back(c.add_input());
+  c.mark_output(b.and_tree(ins));
+  Evaluator eval(c);
+  EXPECT_TRUE(eval.evaluate(BitVec(n, true)).get(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    BitVec in(n, true);
+    in.set(i, false);
+    EXPECT_FALSE(eval.evaluate(in).get(0));
+  }
+}
+
+TEST(Builder, EmptyTreesAreConstants) {
+  Circuit c;
+  Builder b(c);
+  c.mark_output(b.or_tree({}));
+  c.mark_output(b.and_tree({}));
+  Evaluator eval(c);
+  BitVec out = eval.evaluate(BitVec(0));
+  EXPECT_FALSE(out.get(0));
+  EXPECT_TRUE(out.get(1));
+}
+
+TEST(Builder, Steer2TwoGateDepthAndSemantics) {
+  Circuit c;
+  Builder b(c);
+  NodeId l = c.add_input();
+  NodeId gl = c.add_input();
+  NodeId r = c.add_input();
+  NodeId gr = c.add_input();
+  NodeId out = b.steer2(l, gl, r, gr);
+  c.mark_output(out);
+  std::vector<NodeId> data{l, r};
+  EXPECT_EQ(c.output_depths_from(data)[0], 2);
+  Evaluator eval(c);
+  // gl selects l, gr selects r, neither -> 0, both -> OR.
+  EXPECT_TRUE(eval.evaluate(BitVec{1, 1, 0, 0}).get(0));
+  EXPECT_FALSE(eval.evaluate(BitVec{1, 0, 0, 0}).get(0));
+  EXPECT_TRUE(eval.evaluate(BitVec{0, 0, 1, 1}).get(0));
+  EXPECT_FALSE(eval.evaluate(BitVec{0, 1, 0, 0}).get(0));
+}
+
+TEST(Builder, MuxSemantics) {
+  Circuit c;
+  Builder b(c);
+  NodeId sel = c.add_input();
+  NodeId a = c.add_input();
+  NodeId x = c.add_input();
+  c.mark_output(b.mux(sel, a, x));
+  Evaluator eval(c);
+  EXPECT_TRUE(eval.evaluate(BitVec{1, 1, 0}).get(0));   // sel -> a
+  EXPECT_FALSE(eval.evaluate(BitVec{1, 0, 1}).get(0));  // sel -> a
+  EXPECT_TRUE(eval.evaluate(BitVec{0, 0, 1}).get(0));   // !sel -> b
+  EXPECT_FALSE(eval.evaluate(BitVec{0, 1, 0}).get(0));
+}
+
+TEST(Builder, ThermometerCountCorrectOnAllPatterns) {
+  const std::size_t n = 6;
+  Circuit c;
+  Builder b(c);
+  std::vector<NodeId> ins;
+  for (std::size_t i = 0; i < n; ++i) ins.push_back(c.add_input());
+  auto thermo = b.thermometer_count(ins);
+  ASSERT_EQ(thermo.size(), n);
+  for (NodeId t : thermo) c.mark_output(t);
+  Evaluator eval(c);
+  for (std::uint32_t pattern = 0; pattern < (1u << n); ++pattern) {
+    BitVec in(n);
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      bool bit = (pattern >> i) & 1u;
+      in.set(i, bit);
+      ones += bit;
+    }
+    BitVec out = eval.evaluate(in);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(out.get(k), ones > k) << "pattern=" << pattern << " k=" << k;
+    }
+  }
+}
+
+TEST(Builder, ThermometerAddRandomized) {
+  Rng rng(70);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t la = 1 + rng.below(5);
+    const std::size_t lb = 1 + rng.below(5);
+    Circuit c;
+    Builder b(c);
+    std::vector<NodeId> a_in, b_in;
+    for (std::size_t i = 0; i < la; ++i) a_in.push_back(c.add_input());
+    for (std::size_t i = 0; i < lb; ++i) b_in.push_back(c.add_input());
+    auto sum = b.thermometer_add(a_in, b_in);
+    ASSERT_EQ(sum.size(), la + lb);
+    for (NodeId s : sum) c.mark_output(s);
+    Evaluator eval(c);
+    for (std::size_t va = 0; va <= la; ++va) {
+      for (std::size_t vb = 0; vb <= lb; ++vb) {
+        BitVec in(la + lb);
+        for (std::size_t i = 0; i < va; ++i) in.set(i, true);
+        for (std::size_t i = 0; i < vb; ++i) in.set(la + i, true);
+        BitVec out = eval.evaluate(in);
+        for (std::size_t k = 0; k < la + lb; ++k) {
+          EXPECT_EQ(out.get(k), va + vb > k) << "va=" << va << " vb=" << vb;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcs::gates

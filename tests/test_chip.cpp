@@ -1,0 +1,44 @@
+#include "switch/chip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcs::sw {
+namespace {
+
+TEST(Chip, BomTotals) {
+  Bom bom;
+  bom.items.push_back(ChipSpec{ChipKind::kHyperconcentrator, 16, 32, 0, 48});
+  bom.items.push_back(ChipSpec{ChipKind::kBarrelShifter, 16, 32, 4, 16});
+  EXPECT_EQ(bom.total_chips(), 64u);
+  EXPECT_EQ(bom.max_pins_per_chip(), 36u);  // shifter: 32 data + 4 control
+  EXPECT_EQ(bom.total_chip_area(), 64u * 256u);
+}
+
+TEST(Chip, EmptyBom) {
+  Bom bom;
+  EXPECT_EQ(bom.total_chips(), 0u);
+  EXPECT_EQ(bom.max_pins_per_chip(), 0u);
+  EXPECT_EQ(bom.total_chip_area(), 0u);
+  EXPECT_EQ(bom.to_string(), "");
+}
+
+TEST(Chip, KindNames) {
+  EXPECT_EQ(chip_kind_name(ChipKind::kHyperconcentrator), "hyperconcentrator");
+  EXPECT_EQ(chip_kind_name(ChipKind::kBarrelShifter), "barrel-shifter");
+}
+
+TEST(Chip, ToStringListsControlPins) {
+  Bom bom;
+  bom.items.push_back(ChipSpec{ChipKind::kBarrelShifter, 8, 16, 3, 8});
+  std::string s = bom.to_string();
+  EXPECT_NE(s.find("8 x 8-wide barrel-shifter"), std::string::npos);
+  EXPECT_NE(s.find("hardwired control"), std::string::npos);
+}
+
+TEST(Chip, PinsSumsDataAndControl) {
+  ChipSpec c{ChipKind::kBarrelShifter, 8, 16, 3, 1};
+  EXPECT_EQ(c.pins(), 19u);
+}
+
+}  // namespace
+}  // namespace pcs::sw

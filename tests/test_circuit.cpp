@@ -1,0 +1,123 @@
+#include "gates/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gates/evaluator.hpp"
+#include "util/assert.hpp"
+
+namespace pcs::gates {
+namespace {
+
+TEST(Circuit, BasicGatesTruthTables) {
+  Circuit c;
+  NodeId a = c.add_input();
+  NodeId b = c.add_input();
+  c.mark_output(c.add_and(a, b));
+  c.mark_output(c.add_or(a, b));
+  c.mark_output(c.add_xor(a, b));
+  c.mark_output(c.add_not(a));
+  Evaluator eval(c);
+  struct Case {
+    int a, b, and_, or_, xor_, not_;
+  };
+  const Case cases[] = {{0, 0, 0, 0, 0, 1}, {0, 1, 0, 1, 1, 1},
+                        {1, 0, 0, 1, 1, 0}, {1, 1, 1, 1, 0, 0}};
+  for (const Case& tc : cases) {
+    BitVec in{tc.a, tc.b};
+    BitVec out = eval.evaluate(in);
+    EXPECT_EQ(out.get(0), tc.and_ == 1);
+    EXPECT_EQ(out.get(1), tc.or_ == 1);
+    EXPECT_EQ(out.get(2), tc.xor_ == 1);
+    EXPECT_EQ(out.get(3), tc.not_ == 1);
+  }
+}
+
+TEST(Circuit, ConstantsShared) {
+  Circuit c;
+  EXPECT_EQ(c.const_zero(), c.const_zero());
+  EXPECT_EQ(c.const_one(), c.const_one());
+  c.mark_output(c.const_zero());
+  c.mark_output(c.const_one());
+  Evaluator eval(c);
+  BitVec out = eval.evaluate(BitVec(0));
+  EXPECT_FALSE(out.get(0));
+  EXPECT_TRUE(out.get(1));
+}
+
+TEST(Circuit, OperandValidation) {
+  Circuit c;
+  NodeId a = c.add_input();
+  EXPECT_THROW(c.add_and(a, 99), pcs::ContractViolation);
+  EXPECT_THROW(c.add_not(99), pcs::ContractViolation);
+  EXPECT_THROW(c.mark_output(99), pcs::ContractViolation);
+}
+
+TEST(Circuit, DepthCounting) {
+  Circuit c;
+  NodeId a = c.add_input();
+  NodeId b = c.add_input();
+  NodeId g1 = c.add_and(a, b);      // depth 1
+  NodeId g2 = c.add_or(g1, a);      // depth 2
+  NodeId g3 = c.add_not(g2);        // depth 3
+  c.mark_output(a);                 // depth 0
+  c.mark_output(g3);                // depth 3
+  auto depths = c.output_depths();
+  EXPECT_EQ(depths[0], 0u);
+  EXPECT_EQ(depths[1], 3u);
+  EXPECT_EQ(c.depth(), 3u);
+  EXPECT_EQ(c.gate_count(), 3u);
+}
+
+TEST(Circuit, DepthsFromSubsetOfSources) {
+  // d = (a AND ctrl); only paths from `a` should count when a is the source.
+  Circuit c;
+  NodeId a = c.add_input();
+  NodeId ctrl = c.add_input();
+  NodeId deep_ctrl = c.add_not(c.add_not(c.add_not(ctrl)));  // control depth 3
+  NodeId out = c.add_and(a, deep_ctrl);
+  c.mark_output(out);
+  std::vector<NodeId> data_sources{a};
+  auto from_data = c.output_depths_from(data_sources);
+  EXPECT_EQ(from_data[0], 1);  // one AND between a and the output
+  std::vector<NodeId> ctrl_sources{ctrl};
+  auto from_ctrl = c.output_depths_from(ctrl_sources);
+  EXPECT_EQ(from_ctrl[0], 4);  // three NOTs plus the AND
+}
+
+TEST(Circuit, DepthsFromUnreachableIsMinusOne) {
+  Circuit c;
+  NodeId a = c.add_input();
+  NodeId b = c.add_input();
+  c.mark_output(c.add_not(b));
+  std::vector<NodeId> sources{a};
+  EXPECT_EQ(c.output_depths_from(sources)[0], -1);
+}
+
+TEST(Circuit, LaneParallelEvaluationMatchesScalar) {
+  Circuit c;
+  NodeId a = c.add_input();
+  NodeId b = c.add_input();
+  NodeId x = c.add_xor(c.add_and(a, b), c.add_or(a, c.add_not(b)));
+  c.mark_output(x);
+  Evaluator eval(c);
+  // All four input combinations packed into lanes 0..3.
+  std::vector<std::uint64_t> lanes = {0b0101, 0b0011};
+  auto out = eval.evaluate_lanes(lanes);
+  for (int lane = 0; lane < 4; ++lane) {
+    BitVec in{static_cast<int>((lanes[0] >> lane) & 1u),
+              static_cast<int>((lanes[1] >> lane) & 1u)};
+    BitVec scalar = eval.evaluate(in);
+    EXPECT_EQ((out[0] >> lane) & 1u, scalar.get(0) ? 1u : 0u) << "lane " << lane;
+  }
+}
+
+TEST(Circuit, EvaluatorArityChecked) {
+  Circuit c;
+  c.add_input();
+  c.mark_output(c.const_one());
+  Evaluator eval(c);
+  EXPECT_THROW(eval.evaluate(BitVec(2)), pcs::ContractViolation);
+}
+
+}  // namespace
+}  // namespace pcs::gates

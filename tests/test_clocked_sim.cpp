@@ -1,0 +1,91 @@
+#include "message/clocked_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "switch/columnsort_switch.hpp"
+#include "switch/hyper_switch.hpp"
+#include "switch/revsort_switch.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::msg {
+namespace {
+
+TEST(ClockedSim, PayloadsRideEstablishedPaths) {
+  pcs::sw::HyperSwitch sw(8, 8);
+  Rng rng(190);
+  MessageBatch batch = random_batch(BitVec::from_string("01100101"), 12, 2, rng);
+  ClockedSimResult result = run_clocked(sw, batch);
+  EXPECT_EQ(result.cycles, 13u);  // setup + 12 payload cycles
+  EXPECT_EQ(result.delivered.size(), 4u);
+  EXPECT_TRUE(result.congested.empty());
+  EXPECT_TRUE(result.payloads_intact(batch));
+  // Stable hyperconcentration: sources appear on outputs in input order.
+  EXPECT_EQ(result.delivered[0].observed.source, 1u);
+  EXPECT_EQ(result.delivered[0].output_wire, 0u);
+  EXPECT_EQ(result.delivered[3].observed.source, 7u);
+}
+
+TEST(ClockedSim, CongestedMessagesReported) {
+  pcs::sw::HyperSwitch sw(8, 2);
+  Rng rng(191);
+  MessageBatch batch = random_batch(BitVec(8, true), 4, 2, rng);
+  ClockedSimResult result = run_clocked(sw, batch);
+  EXPECT_EQ(result.delivered.size(), 2u);
+  EXPECT_EQ(result.congested.size(), 6u);
+  EXPECT_TRUE(result.payloads_intact(batch));
+}
+
+TEST(ClockedSim, ThroughMultichipSwitches) {
+  Rng rng(192);
+  pcs::sw::RevsortSwitch rev(64, 48);
+  pcs::sw::ColumnsortSwitch col(16, 4, 48);
+  for (pcs::sw::ConcentratorSwitch* sw :
+       std::initializer_list<pcs::sw::ConcentratorSwitch*>{&rev, &col}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      BitVec valid = rng.bernoulli_bits(64, 0.4);
+      MessageBatch batch = random_batch(valid, 20, 8, rng);
+      ClockedSimResult result = run_clocked(*sw, batch);
+      EXPECT_TRUE(result.payloads_intact(batch)) << sw->name();
+      EXPECT_EQ(result.delivered.size() + result.congested.size(), valid.count());
+      // Delivered messages occupy distinct outputs.
+      std::vector<bool> used(sw->outputs(), false);
+      for (const Delivery& d : result.delivered) {
+        EXPECT_FALSE(used[d.output_wire]);
+        used[d.output_wire] = true;
+      }
+    }
+  }
+}
+
+TEST(ClockedSim, EmptyBatchIsFine) {
+  pcs::sw::HyperSwitch sw(4, 4);
+  MessageBatch batch(4);
+  ClockedSimResult result = run_clocked(sw, batch);
+  EXPECT_TRUE(result.delivered.empty());
+  EXPECT_TRUE(result.congested.empty());
+  EXPECT_EQ(result.cycles, 1u);  // setup only
+}
+
+TEST(ClockedSim, MixedPayloadLengthsRejected) {
+  pcs::sw::HyperSwitch sw(4, 4);
+  MessageBatch batch(4);
+  Message a;
+  a.source = 0;
+  a.payload = BitVec(4);
+  Message b;
+  b.source = 1;
+  b.payload = BitVec(5);
+  batch.add(a);
+  batch.add(b);
+  EXPECT_THROW(run_clocked(sw, batch), pcs::ContractViolation);
+}
+
+TEST(ClockedSim, WidthMismatchRejected) {
+  pcs::sw::HyperSwitch sw(4, 4);
+  MessageBatch batch(5);
+  EXPECT_THROW(run_clocked(sw, batch), pcs::ContractViolation);
+}
+
+}  // namespace
+}  // namespace pcs::msg

@@ -1,0 +1,149 @@
+#include "switch/columnsort_switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sortnet/columnsort.hpp"
+#include "sortnet/nearsort.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::sw {
+namespace {
+
+TEST(ColumnsortSwitch, ShapeValidation) {
+  EXPECT_NO_THROW(ColumnsortSwitch(16, 4, 32));
+  EXPECT_THROW(ColumnsortSwitch(10, 4, 20), pcs::ContractViolation);  // 4 !| 10
+  EXPECT_THROW(ColumnsortSwitch(16, 4, 0), pcs::ContractViolation);
+  EXPECT_THROW(ColumnsortSwitch(16, 4, 65), pcs::ContractViolation);
+}
+
+TEST(ColumnsortSwitch, FromBetaShapes) {
+  // n = 4096, lg n = 12.
+  auto half = ColumnsortSwitch::from_beta(4096, 0.5, 2048);
+  EXPECT_EQ(half.r(), 64u);
+  EXPECT_EQ(half.s(), 64u);
+  auto five8 = ColumnsortSwitch::from_beta(4096, 0.625, 2048);
+  EXPECT_EQ(five8.r(), 256u);  // e = lround(0.625 * 12) = 8
+  auto three4 = ColumnsortSwitch::from_beta(4096, 0.75, 2048);
+  EXPECT_EQ(three4.r(), 512u);  // e = 9
+  auto one = ColumnsortSwitch::from_beta(4096, 1.0, 2048);
+  EXPECT_EQ(one.r(), 4096u);
+  EXPECT_EQ(one.s(), 1u);
+  EXPECT_THROW(ColumnsortSwitch::from_beta(4096, 0.3, 10), pcs::ContractViolation);
+  EXPECT_THROW(ColumnsortSwitch::from_beta(100, 0.5, 10), pcs::ContractViolation);
+}
+
+TEST(ColumnsortSwitch, BetaAccessorConsistent) {
+  auto sw = ColumnsortSwitch::from_beta(4096, 0.75, 100);
+  EXPECT_NEAR(sw.beta(), 0.75, 0.05);
+}
+
+TEST(ColumnsortSwitch, EpsilonBoundMatchesTheorem4) {
+  ColumnsortSwitch sw(16, 4, 32);
+  EXPECT_EQ(sw.epsilon_bound(), 9u);  // (4-1)^2
+  ColumnsortSwitch sw2(64, 8, 256);
+  EXPECT_EQ(sw2.epsilon_bound(), 49u);
+}
+
+class ColumnsortWiringEquivalence
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ColumnsortWiringEquivalence, RouteEqualsRouteViaWiring) {
+  auto [r, s] = GetParam();
+  ColumnsortSwitch sw(r, s, (r * s) / 2);
+  Rng rng(150 + r + s);
+  for (int trial = 0; trial < 25; ++trial) {
+    BitVec valid = rng.bernoulli_bits(r * s, rng.uniform01());
+    SwitchRouting a = sw.route(valid);
+    SwitchRouting b = sw.route_via_wiring(valid);
+    EXPECT_EQ(a.output_of_input, b.output_of_input) << "trial " << trial;
+    EXPECT_EQ(a.input_of_output, b.input_of_output) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ColumnsortWiringEquivalence,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{4, 2},
+                      std::pair<std::size_t, std::size_t>{16, 4},
+                      std::pair<std::size_t, std::size_t>{64, 8},
+                      std::pair<std::size_t, std::size_t>{256, 16},
+                      std::pair<std::size_t, std::size_t>{64, 2}));
+
+class ColumnsortEpsilon
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ColumnsortEpsilon, MeasuredWithinBound) {
+  auto [r, s] = GetParam();
+  const std::size_t n = r * s;
+  ColumnsortSwitch sw(r, s, n);
+  Rng rng(151 + r + s);
+  for (int trial = 0; trial < 40; ++trial) {
+    BitVec valid = rng.bernoulli_bits(n, rng.uniform01());
+    BitVec arrangement = sw.nearsorted_valid_bits(valid);
+    EXPECT_EQ(arrangement.count(), valid.count());
+    EXPECT_LE(sortnet::min_nearsort_epsilon(arrangement), sw.epsilon_bound())
+        << "r=" << r << " s=" << s << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ColumnsortEpsilon,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{8, 4},
+                      std::pair<std::size_t, std::size_t>{16, 4},
+                      std::pair<std::size_t, std::size_t>{64, 8},
+                      std::pair<std::size_t, std::size_t>{128, 16},
+                      std::pair<std::size_t, std::size_t>{512, 8}));
+
+TEST(ColumnsortSwitch, ConcentrationContractAcrossLoads) {
+  const std::size_t r = 64, s = 8, n = r * s;
+  for (std::size_t m : {128u, 256u, 400u, 512u}) {
+    ColumnsortSwitch sw(r, s, m);
+    Rng rng(152 + m);
+    for (std::size_t k = 0; k <= n; k += 29) {
+      BitVec valid = rng.exact_weight_bits(n, k);
+      SwitchRouting routing = sw.route(valid);
+      EXPECT_TRUE(concentration_contract_holds(sw, valid, routing))
+          << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST(ColumnsortSwitch, MeshAgreesWithSortnetAlgorithm2) {
+  const std::size_t r = 16, s = 4, n = r * s;
+  ColumnsortSwitch sw(r, s, n);
+  Rng rng(153);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitVec valid = rng.bernoulli_bits(n, 0.5);
+    BitMatrix m(r, s);
+    for (std::size_t x = 0; x < n; ++x) {
+      m.set(x % r, x / r, valid.get(x));
+    }
+    sortnet::columnsort_algorithm2(m);
+    EXPECT_EQ(sw.nearsorted_valid_bits(valid), m.to_row_major());
+  }
+}
+
+TEST(ColumnsortSwitch, BetaOneIsAlmostSingleChip) {
+  // beta = 1: one column (s = 1), epsilon = 0 -- it degenerates to a pair of
+  // full-width hyperconcentrators and routes perfectly.
+  const std::size_t n = 64;
+  ColumnsortSwitch sw(n, 1, n / 2);
+  EXPECT_EQ(sw.epsilon_bound(), 0u);
+  Rng rng(154);
+  for (std::size_t k = 0; k <= n; k += 7) {
+    BitVec valid = rng.exact_weight_bits(n, k);
+    SwitchRouting routing = sw.route(valid);
+    EXPECT_EQ(routing.routed_count(), std::min<std::size_t>(k, n / 2));
+  }
+}
+
+TEST(ColumnsortSwitch, BillOfMaterials) {
+  ColumnsortSwitch sw(64, 8, 256);
+  Bom bom = sw.bill_of_materials();
+  EXPECT_EQ(bom.total_chips(), 16u);           // 2s
+  EXPECT_EQ(bom.max_pins_per_chip(), 128u);    // 2r
+  EXPECT_EQ(ColumnsortSwitch::kChipPasses, 2u);
+}
+
+}  // namespace
+}  // namespace pcs::sw

@@ -1,0 +1,138 @@
+#include "sortnet/comparator_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::sortnet {
+namespace {
+
+TEST(ComparatorNet, ConstructionValidation) {
+  EXPECT_THROW(ComparatorNetwork(4, {Comparator{0, 4, 0}}), pcs::ContractViolation);
+  EXPECT_THROW(ComparatorNetwork(4, {Comparator{2, 2, 0}}), pcs::ContractViolation);
+  EXPECT_THROW(ComparatorNetwork(0, {}), pcs::ContractViolation);
+}
+
+TEST(ComparatorNet, SingleComparatorSemantics) {
+  ComparatorNetwork net(2, {Comparator{0, 1, 0}});
+  EXPECT_EQ(net.apply(BitVec{0, 1}).to_string(), "10");
+  EXPECT_EQ(net.apply(BitVec{1, 0}).to_string(), "10");
+  EXPECT_EQ(net.apply(BitVec{1, 1}).to_string(), "11");
+  EXPECT_EQ(net.apply(BitVec{0, 0}).to_string(), "00");
+}
+
+class BatcherSorts : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatcherSorts, BitonicSortsExhaustively) {
+  const std::size_t n = GetParam();
+  ComparatorNetwork net = ComparatorNetwork::bitonic_sorter(n);
+  EXPECT_TRUE(net.sorts_all_01(n <= 16));
+}
+
+TEST_P(BatcherSorts, OddEvenMergesortSortsExhaustively) {
+  const std::size_t n = GetParam();
+  ComparatorNetwork net = ComparatorNetwork::odd_even_mergesort(n);
+  EXPECT_TRUE(net.sorts_all_01(n <= 16));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatcherSorts, ::testing::Values(2, 4, 8, 16, 32, 64));
+
+TEST(ComparatorNet, StageCounts) {
+  // Both Batcher constructions use lg n (lg n + 1) / 2 stages.
+  for (std::size_t n : {4u, 16u, 64u}) {
+    const std::size_t lg = pcs::exact_log2(n);
+    EXPECT_EQ(ComparatorNetwork::bitonic_sorter(n).stage_count(), lg * (lg + 1) / 2);
+    EXPECT_EQ(ComparatorNetwork::odd_even_mergesort(n).stage_count(),
+              lg * (lg + 1) / 2);
+  }
+}
+
+TEST(ComparatorNet, OddEvenMergesortSmallerThanBitonic) {
+  for (std::size_t n : {16u, 64u, 256u}) {
+    EXPECT_LT(ComparatorNetwork::odd_even_mergesort(n).comparator_count(),
+              ComparatorNetwork::bitonic_sorter(n).comparator_count());
+  }
+}
+
+TEST(ComparatorNet, OddEvenTranspositionFullSorts) {
+  const std::size_t n = 9;  // works for any n, not just powers of two
+  ComparatorNetwork net = ComparatorNetwork::odd_even_transposition(n, n);
+  Rng rng(280);
+  for (int t = 0; t < 100; ++t) {
+    BitVec in = rng.bernoulli_bits(n, rng.uniform01());
+    EXPECT_TRUE(net.apply(in).is_sorted_nonincreasing()) << in.to_string();
+  }
+}
+
+TEST(ComparatorNet, TruncationKeepsPrefixStages) {
+  ComparatorNetwork full = ComparatorNetwork::odd_even_mergesort(16);
+  ComparatorNetwork half = full.truncated(full.stage_count() / 2);
+  EXPECT_LT(half.comparator_count(), full.comparator_count());
+  EXPECT_EQ(half.stage_count(), full.stage_count() / 2);
+  for (const Comparator& c : half.comparators()) {
+    EXPECT_LT(c.stage, full.stage_count() / 2);
+  }
+}
+
+TEST(ComparatorNet, TruncationNearsortednessImprovesWithStages) {
+  // Monotone-on-average: deeper prefixes are never worse on the same input.
+  ComparatorNetwork full = ComparatorNetwork::odd_even_mergesort(64);
+  Rng rng(281);
+  BitVec in = rng.bernoulli_bits(64, 0.5);
+  std::size_t prev = 64;
+  for (std::size_t st = 0; st <= full.stage_count(); st += 3) {
+    BitVec out = full.truncated(st).apply(in);
+    // Count inversions proxy: number of 1s outside the first k positions.
+    std::size_t k = out.count();
+    std::size_t misplaced = 0;
+    for (std::size_t i = k; i < 64; ++i) misplaced += out.get(i);
+    EXPECT_LE(misplaced, prev);
+    prev = misplaced;
+  }
+}
+
+TEST(ComparatorNet, ApplyLabelsProjectsToApply) {
+  ComparatorNetwork net = ComparatorNetwork::odd_even_mergesort(32);
+  Rng rng(282);
+  for (int t = 0; t < 30; ++t) {
+    BitVec valid = rng.bernoulli_bits(32, rng.uniform01());
+    std::vector<std::int32_t> slots(32, -1);
+    for (std::size_t i = 0; i < 32; ++i) {
+      if (valid.get(i)) slots[i] = static_cast<std::int32_t>(i);
+    }
+    net.apply_labels(slots);
+    BitVec projected(32);
+    for (std::size_t i = 0; i < 32; ++i) projected.set(i, slots[i] >= 0);
+    EXPECT_EQ(projected, net.apply(valid));
+  }
+}
+
+TEST(ComparatorNet, ApplyLabelsPreservesLabelSet) {
+  ComparatorNetwork net = ComparatorNetwork::bitonic_sorter(16);
+  std::vector<std::int32_t> slots = {-1, 3, -1, 7, 1, -1, -1, 9,
+                                     -1, -1, 2, -1, 5, -1, -1, 11};
+  std::vector<std::int32_t> sorted_labels;
+  for (std::int32_t s : slots) {
+    if (s >= 0) sorted_labels.push_back(s);
+  }
+  std::sort(sorted_labels.begin(), sorted_labels.end());
+  net.apply_labels(slots);
+  std::vector<std::int32_t> after;
+  for (std::int32_t s : slots) {
+    if (s >= 0) after.push_back(s);
+  }
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(after, sorted_labels);
+}
+
+TEST(ComparatorNet, NonPow2Rejected) {
+  EXPECT_THROW(ComparatorNetwork::bitonic_sorter(12), pcs::ContractViolation);
+  EXPECT_THROW(ComparatorNetwork::odd_even_mergesort(12), pcs::ContractViolation);
+}
+
+}  // namespace
+}  // namespace pcs::sortnet

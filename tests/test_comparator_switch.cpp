@@ -1,0 +1,78 @@
+#include "switch/comparator_switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversary.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::sw {
+namespace {
+
+TEST(ComparatorSwitch, BatcherHyperConcentrates) {
+  ComparatorSwitch sw = ComparatorSwitch::batcher_hyper(32, 32);
+  Rng rng(290);
+  for (int t = 0; t < 50; ++t) {
+    BitVec valid = rng.bernoulli_bits(32, rng.uniform01());
+    SwitchRouting r = sw.route(valid);
+    const std::size_t k = valid.count();
+    EXPECT_TRUE(r.is_partial_injection());
+    EXPECT_EQ(r.routed_count(), k);
+    for (std::size_t j = 0; j < 32; ++j) {
+      EXPECT_EQ(r.input_of_output[j] >= 0, j < k);
+    }
+  }
+}
+
+TEST(ComparatorSwitch, EpsilonZeroRequiresASorter) {
+  // Declaring epsilon 0 on a truncated (non-sorting) network must throw.
+  auto full = sortnet::ComparatorNetwork::odd_even_mergesort(16);
+  auto half = full.truncated(full.stage_count() / 2);
+  EXPECT_THROW(ComparatorSwitch(half, 16, 0, "bogus"), pcs::ContractViolation);
+}
+
+TEST(ComparatorSwitch, TruncatedBatcherWithinDeclaredEpsilon) {
+  // Calibrate via adversarial search, then declare that epsilon and verify
+  // the concentration contract holds everywhere.
+  const std::size_t n = 64;
+  auto full = sortnet::ComparatorNetwork::odd_even_mergesort(n);
+  const std::size_t stages = full.stage_count() - 4;
+  // First pass: measure.
+  ComparatorSwitch probe =
+      ComparatorSwitch::truncated_batcher(n, n, stages, n);  // permissive
+  Rng rng(291);
+  pcs::core::WorstCase wc = pcs::core::worst_epsilon_search(probe, 30, 150, rng);
+  ASSERT_GT(wc.epsilon, 0u);
+  // Second pass: declare the calibrated epsilon; the contract must hold.
+  ComparatorSwitch sw =
+      ComparatorSwitch::truncated_batcher(n, n, stages, wc.epsilon);
+  for (std::size_t k = 0; k <= n; k += 7) {
+    BitVec valid = rng.exact_weight_bits(n, k);
+    SwitchRouting r = sw.route(valid);
+    EXPECT_TRUE(concentration_contract_holds(sw, valid, r)) << "k=" << k;
+  }
+}
+
+TEST(ComparatorSwitch, DelayModelVsMeshDesigns) {
+  // Batcher hyperconcentrator: lg n (lg n + 1)/2 stages x 2 gate delays --
+  // deeper than the crossbar chip's 2 lg n but far fewer "gates".
+  ComparatorSwitch sw = ComparatorSwitch::batcher_hyper(64, 64);
+  EXPECT_EQ(sw.gate_delay_model(), 2u * (6u * 7u / 2u));
+  EXPECT_EQ(sw.network().stage_count(), 21u);
+}
+
+TEST(ComparatorSwitch, RestrictedOutputsCongestProperly) {
+  ComparatorSwitch sw = ComparatorSwitch::batcher_hyper(16, 4);
+  BitVec valid(16, true);
+  SwitchRouting r = sw.route(valid);
+  EXPECT_EQ(r.routed_count(), 4u);
+  EXPECT_TRUE(concentration_contract_holds(sw, valid, r));
+}
+
+TEST(ComparatorSwitch, NameMentionsStages) {
+  ComparatorSwitch sw = ComparatorSwitch::batcher_hyper(16, 8);
+  EXPECT_NE(sw.name().find("stages="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcs::sw

@@ -1,0 +1,86 @@
+#include "message/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "switch/hyper_switch.hpp"
+#include "switch/revsort_switch.hpp"
+
+namespace pcs::msg {
+namespace {
+
+TEST(Congestion, PolicyNames) {
+  EXPECT_EQ(policy_name(CongestionPolicy::kDrop), "drop");
+  EXPECT_EQ(policy_name(CongestionPolicy::kBufferRetry), "buffer-retry");
+  EXPECT_EQ(policy_name(CongestionPolicy::kMisrouteRetry), "misroute-retry");
+}
+
+TEST(Congestion, LightLoadDeliversEverything) {
+  // Offered load well under the switch capacity: all policies deliver all.
+  pcs::sw::HyperSwitch sw(64, 32);
+  for (CongestionPolicy p : {CongestionPolicy::kDrop, CongestionPolicy::kBufferRetry,
+                             CongestionPolicy::kMisrouteRetry}) {
+    Rng rng(200);
+    RoundStats stats = simulate_rounds(sw, 0.1, 200, p, rng);
+    EXPECT_GT(stats.offered, 500u);
+    EXPECT_EQ(stats.dropped, 0u) << policy_name(p);
+    EXPECT_DOUBLE_EQ(stats.delivery_rate(), 1.0) << policy_name(p);
+  }
+}
+
+TEST(Congestion, OverloadDropsOnlyUnderDropPolicy) {
+  pcs::sw::HyperSwitch sw(64, 8);  // heavy overload: 64 wires, 8 outputs
+  Rng rng_drop(201);
+  RoundStats drop = simulate_rounds(sw, 0.9, 100, CongestionPolicy::kDrop, rng_drop);
+  EXPECT_GT(drop.dropped, 0u);
+  EXPECT_LT(drop.delivery_rate(), 1.0);
+
+  Rng rng_retry(201);
+  RoundStats retry =
+      simulate_rounds(sw, 0.9, 100, CongestionPolicy::kBufferRetry, rng_retry);
+  EXPECT_EQ(retry.dropped, 0u);
+  EXPECT_GT(retry.max_backlog, 0u);
+  EXPECT_GT(retry.mean_latency(), 0.0);
+}
+
+TEST(Congestion, ThroughputCappedByOutputs) {
+  // Delivered messages per round cannot exceed the output count.
+  pcs::sw::HyperSwitch sw(32, 4);
+  Rng rng(202);
+  RoundStats stats = simulate_rounds(sw, 1.0, 50, CongestionPolicy::kBufferRetry, rng);
+  EXPECT_LE(stats.delivered, 50u * 4u);
+  // Under saturation we should be close to the cap.
+  EXPECT_GE(stats.delivered, 45u * 4u);
+}
+
+TEST(Congestion, PartialConcentratorLosesOnlyBeyondCapacity) {
+  pcs::sw::RevsortSwitch sw(64, 64);  // capacity 64 - 40 = 24
+  Rng rng(203);
+  RoundStats stats = simulate_rounds(sw, 0.2, 200, CongestionPolicy::kBufferRetry, rng);
+  // 0.2 * 64 = ~13 arrivals/round < capacity 24: queue stays small and
+  // everything eventually flows.
+  EXPECT_GT(stats.delivered, stats.offered * 9 / 10);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(Congestion, MisrouteKeepsMessagesAlive) {
+  pcs::sw::HyperSwitch sw(16, 2);
+  Rng rng(204);
+  RoundStats stats =
+      simulate_rounds(sw, 0.8, 150, CongestionPolicy::kMisrouteRetry, rng);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  // Conservation: delivered <= offered, and what's missing is backlog.
+  EXPECT_LE(stats.delivered, stats.offered);
+}
+
+TEST(Congestion, ZeroArrivalsProduceNoTraffic) {
+  pcs::sw::HyperSwitch sw(16, 8);
+  Rng rng(205);
+  RoundStats stats = simulate_rounds(sw, 0.0, 50, CongestionPolicy::kDrop, rng);
+  EXPECT_EQ(stats.offered, 0u);
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_DOUBLE_EQ(stats.delivery_rate(), 1.0);  // vacuous
+}
+
+}  // namespace
+}  // namespace pcs::msg

@@ -1,0 +1,60 @@
+// Remaining cost-model surfaces: Table 1 beta grid, custom delay models,
+// the clocked flag, and report/string plumbing.
+#include <gtest/gtest.h>
+
+#include "cost/resource_model.hpp"
+#include "cost/table1.hpp"
+
+namespace pcs::cost {
+namespace {
+
+TEST(CostMisc, Table1BetaGridMatchesPaper) {
+  ASSERT_EQ(std::size(kTable1Betas), 3u);
+  EXPECT_DOUBLE_EQ(kTable1Betas[0], 0.5);
+  EXPECT_DOUBLE_EQ(kTable1Betas[1], 0.625);
+  EXPECT_DOUBLE_EQ(kTable1Betas[2], 0.75);
+}
+
+TEST(CostMisc, CustomDelayModelPropagates) {
+  DelayModel heavy{.pad_delay = 10, .shifter_delay = 5};
+  // Revsort: 3 chips x (2 lg 16 + 10) + 5 shifter = 3*18 + 5.
+  EXPECT_EQ(revsort_report(256, 128, heavy).gate_delays, 59u);
+  // Columnsort: 2 chips x (2 lg 64 + 10).
+  EXPECT_EQ(columnsort_report(64, 4, 128, heavy).gate_delays, 44u);
+}
+
+TEST(CostMisc, CombinationalFlagDefaultsTrue) {
+  EXPECT_TRUE(hyper_chip_report(64, 32).combinational);
+  EXPECT_TRUE(revsort_report(256, 128).combinational);
+  EXPECT_FALSE(prefix_butterfly_report(64).combinational);
+  EXPECT_EQ(prefix_butterfly_report(64).control_steps, 6u);
+}
+
+TEST(CostMisc, ClockedReportStringMentionsControlSteps) {
+  std::string s = prefix_butterfly_report(256).to_string();
+  EXPECT_NE(s.find("clocked"), std::string::npos);
+  EXPECT_NE(s.find("8 control steps"), std::string::npos);
+}
+
+TEST(CostMisc, PartitionedDelayGrowsWithTiling) {
+  // More tiles -> more pad crossings on the data path.
+  DelayModel dm{};
+  ResourceReport coarse = partitioned_hyper_report(4096, 2048);
+  ResourceReport fine = partitioned_hyper_report(4096, 128);
+  EXPECT_GT(fine.gate_delays, coarse.gate_delays);
+  EXPECT_GT(fine.chip_count, coarse.chip_count);
+  (void)dm;
+}
+
+TEST(CostMisc, Table1LoadRatioUsesCallerM) {
+  // Same shapes, different m: alpha scales as 1 - eps/m.
+  auto big = table1_columns(1 << 12, 1 << 11);
+  auto small = table1_columns(1 << 12, 1 << 9);
+  for (std::size_t c = 0; c < big.size(); ++c) {
+    EXPECT_GE(big[c].report.load_ratio, small[c].report.load_ratio)
+        << big[c].header;
+  }
+}
+
+}  // namespace
+}  // namespace pcs::cost

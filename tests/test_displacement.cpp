@@ -1,0 +1,78 @@
+#include "sortnet/displacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sortnet/mesh_ops.hpp"
+#include "sortnet/nearsort.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::sortnet {
+namespace {
+
+TEST(Displacement, SortedSequencesAreZero) {
+  for (const char* s : {"111000", "000", "111", ""}) {
+    BitVec v = BitVec::from_string(s);
+    EXPECT_EQ(inversion_count(v), 0u) << s;
+    EXPECT_EQ(displacement_mass(v), 0u) << s;
+    EXPECT_EQ(misplaced_count(v), 0u) << s;
+  }
+}
+
+TEST(Displacement, HandComputedCases) {
+  // "0101": inversions: (0,1),(0,3),(2,3) -> 3.
+  BitVec v = BitVec::from_string("0101");
+  EXPECT_EQ(inversion_count(v), 3u);
+  // k = 2; 1s at 1 and 3: displacements 0 and 2; 0s at 0 and 2: 2 and 0.
+  EXPECT_EQ(displacement_mass(v), 4u);
+  EXPECT_EQ(misplaced_count(v), 1u);  // the 1 at position 3
+}
+
+TEST(Displacement, FullyReversedIsWorstCase) {
+  // k ones at the very end: inversions = k * (n - k).
+  const std::size_t n = 12, k = 5;
+  BitVec v(n);
+  for (std::size_t i = 0; i < k; ++i) v.set(n - 1 - i, true);
+  EXPECT_EQ(inversion_count(v), static_cast<std::uint64_t>(k * (n - k)));
+  EXPECT_EQ(misplaced_count(v), k);
+}
+
+TEST(Displacement, InversionCountAgainstQuadraticReference) {
+  Rng rng(390);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVec v = rng.bernoulli_bits(60, rng.uniform01());
+    std::uint64_t ref = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      for (std::size_t j = i + 1; j < v.size(); ++j) {
+        ref += (!v.get(i) && v.get(j)) ? 1 : 0;
+      }
+    }
+    EXPECT_EQ(inversion_count(v), ref);
+  }
+}
+
+TEST(Displacement, EpsilonBoundsMaxTermOfMass) {
+  // Each misplaced element contributes at most epsilon to the mass, so
+  // mass <= (misplaced 1s + misplaced 0s) * epsilon = 2 * misplaced * eps.
+  Rng rng(391);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitVec v = rng.bernoulli_bits(64, rng.uniform01());
+    std::size_t eps = min_nearsort_epsilon(v);
+    EXPECT_LE(displacement_mass(v),
+              2 * static_cast<std::uint64_t>(misplaced_count(v)) * (eps == 0 ? 1 : eps));
+  }
+}
+
+TEST(Displacement, SortingMonotonicallyRemovesInversions) {
+  Rng rng(392);
+  BitMatrix m = BitMatrix::from_row_major(rng.bernoulli_bits(64, 0.5), 8, 8);
+  std::uint64_t before = inversion_count(m.to_row_major());
+  sort_columns(m);
+  std::uint64_t mid = inversion_count(m.to_row_major());
+  sort_rows(m);
+  std::uint64_t after = inversion_count(m.to_row_major());
+  EXPECT_LE(mid, before);
+  EXPECT_LE(after, mid);
+}
+
+}  // namespace
+}  // namespace pcs::sortnet

@@ -1,0 +1,122 @@
+#include "switch/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "switch/revsort_switch.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::sw {
+namespace {
+
+TEST(Faults, NoFaultsEqualsHealthySwitch) {
+  const std::size_t n = 256;
+  FaultyRevsortSwitch faulty(n, n, {});
+  RevsortSwitch healthy(n, n);
+  Rng rng(310);
+  for (int t = 0; t < 20; ++t) {
+    BitVec valid = rng.bernoulli_bits(n, rng.uniform01());
+    EXPECT_EQ(faulty.route(valid).output_of_input,
+              healthy.route(valid).output_of_input);
+  }
+}
+
+TEST(Faults, FaultCoordinatesValidated) {
+  EXPECT_THROW(FaultyRevsortSwitch(64, 64, {ChipFault{3, 0}}),
+               pcs::ContractViolation);
+  EXPECT_THROW(FaultyRevsortSwitch(64, 64, {ChipFault{0, 8}}),
+               pcs::ContractViolation);
+  EXPECT_THROW(FaultyColumnsortSwitch(16, 4, 64, {ChipFault{2, 0}}),
+               pcs::ContractViolation);
+}
+
+TEST(Faults, DeadStage0ChipLosesExactlyItsMessages) {
+  // Stage-0 chip c handles the inputs attached chip-major to column c:
+  // input wires [c*side, (c+1)*side).
+  const std::size_t n = 64, side = 8, dead = 3;
+  FaultyRevsortSwitch sw(n, n, {ChipFault{0, dead}});
+  Rng rng(311);
+  for (int t = 0; t < 25; ++t) {
+    BitVec valid = rng.bernoulli_bits(n, 0.5);
+    SwitchRouting r = sw.route(valid);
+    EXPECT_TRUE(r.is_partial_injection());
+    std::size_t k = valid.count();
+    std::size_t on_dead_chip = 0;
+    for (std::size_t i = dead * side; i < (dead + 1) * side; ++i) {
+      on_dead_chip += valid.get(i);
+    }
+    EXPECT_EQ(r.routed_count(), k - on_dead_chip) << "t=" << t;
+    // Every lost message came from the dead chip.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (valid.get(i) && r.output_of_input[i] < 0) {
+        EXPECT_GE(i, dead * side);
+        EXPECT_LT(i, (dead + 1) * side);
+      }
+    }
+  }
+}
+
+TEST(Faults, LossBoundedByChipWidthPerFault) {
+  const std::size_t n = 256;
+  Rng rng(312);
+  for (std::size_t stage = 0; stage < 3; ++stage) {
+    FaultyRevsortSwitch sw(n, n, {ChipFault{stage, 5}, ChipFault{stage, 9}});
+    for (int t = 0; t < 15; ++t) {
+      BitVec valid = rng.bernoulli_bits(n, rng.uniform01());
+      SwitchRouting r = sw.route(valid);
+      EXPECT_TRUE(r.is_partial_injection());
+      EXPECT_GE(r.routed_count() + sw.max_fault_loss(), valid.count())
+          << "stage=" << stage << " t=" << t;
+    }
+  }
+}
+
+TEST(Faults, ColumnsortDeadChipsDegradeGracefully) {
+  const std::size_t r = 64, s = 8, n = r * s;
+  Rng rng(313);
+  FaultyColumnsortSwitch sw(r, s, n, {ChipFault{0, 2}, ChipFault{1, 6}});
+  for (int t = 0; t < 20; ++t) {
+    BitVec valid = rng.bernoulli_bits(n, 0.5);
+    SwitchRouting routing = sw.route(valid);
+    EXPECT_TRUE(routing.is_partial_injection());
+    EXPECT_GE(routing.routed_count() + sw.max_fault_loss(), valid.count());
+  }
+}
+
+TEST(Faults, FaultySwitchStillFeedsClockedSimSafely) {
+  // Downstream machinery must keep working: lost messages surface as
+  // congestion, not corruption.
+  FaultyRevsortSwitch sw(64, 48, {ChipFault{1, 2}});
+  Rng rng(314);
+  BitVec valid = rng.bernoulli_bits(64, 0.4);
+  SwitchRouting routing = sw.route(valid);
+  EXPECT_TRUE(routing.is_partial_injection());
+  std::size_t delivered = routing.routed_count();
+  std::size_t lost = valid.count() - delivered;
+  EXPECT_LE(lost, valid.count());
+}
+
+TEST(Faults, MoreDeadChipsNeverDeliverMore) {
+  const std::size_t n = 256;
+  Rng rng(315);
+  BitVec valid = rng.bernoulli_bits(n, 0.6);
+  std::size_t prev = n + 1;
+  std::vector<ChipFault> faults;
+  for (std::size_t c = 0; c < 6; ++c) {
+    FaultyRevsortSwitch sw(n, n, faults);
+    std::size_t routed = sw.route(valid).routed_count();
+    EXPECT_LE(routed, prev);
+    prev = routed;
+    faults.push_back(ChipFault{0, c});
+  }
+}
+
+TEST(Faults, NamesReportDeadCount) {
+  FaultyRevsortSwitch sw(64, 64, {ChipFault{0, 1}, ChipFault{2, 3}});
+  EXPECT_NE(sw.name().find("dead=2"), std::string::npos);
+  FaultyColumnsortSwitch cw(16, 4, 64, {ChipFault{1, 0}});
+  EXPECT_NE(cw.name().find("dead=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcs::sw

@@ -1,0 +1,145 @@
+// Differential fuzzing: randomly generated structures checked against
+// independent reference implementations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gates/circuit.hpp"
+#include "gates/evaluator.hpp"
+#include "sortnet/mesh_ops.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace pcs {
+namespace {
+
+// --- BitVec vs std::vector<bool> reference ------------------------------
+
+TEST(FuzzDifferential, BitVecAgainstReference) {
+  Rng rng(380);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::size_t n = 1 + rng.below(300);
+    BitVec v(n);
+    std::vector<bool> ref(n, false);
+    for (int op = 0; op < 200; ++op) {
+      std::size_t i = rng.below(n);
+      switch (rng.below(3)) {
+        case 0: {
+          bool b = rng.chance(0.5);
+          v.set(i, b);
+          ref[i] = b;
+          break;
+        }
+        case 1:
+          v.flip(i);
+          ref[i] = !ref[i];
+          break;
+        case 2:
+          ASSERT_EQ(v.get(i), ref[i]);
+          break;
+      }
+    }
+    // Aggregate queries against the reference.
+    std::size_t ones = 0;
+    for (bool b : ref) ones += b;
+    ASSERT_EQ(v.count(), ones);
+    std::size_t prefix = rng.below(n + 1);
+    std::size_t rank = 0;
+    for (std::size_t i = 0; i < prefix; ++i) rank += ref[i];
+    ASSERT_EQ(v.rank1_before(prefix), rank);
+    bool sorted = true, seen_zero = false;
+    for (bool b : ref) {
+      if (!b) {
+        seen_zero = true;
+      } else if (seen_zero) {
+        sorted = false;
+      }
+    }
+    ASSERT_EQ(v.is_sorted_nonincreasing(), sorted);
+  }
+}
+
+// --- random circuits: scalar evaluation vs 64-lane evaluation ------------
+
+gates::Circuit random_circuit(std::size_t inputs, std::size_t gate_budget, Rng& rng,
+                              std::vector<gates::NodeId>* input_ids) {
+  gates::Circuit c;
+  std::vector<gates::NodeId> pool;
+  for (std::size_t i = 0; i < inputs; ++i) {
+    gates::NodeId id = c.add_input();
+    pool.push_back(id);
+    input_ids->push_back(id);
+  }
+  pool.push_back(c.const_zero());
+  pool.push_back(c.const_one());
+  for (std::size_t g = 0; g < gate_budget; ++g) {
+    gates::NodeId a = pool[rng.below(pool.size())];
+    gates::NodeId b = pool[rng.below(pool.size())];
+    gates::NodeId out = 0;
+    switch (rng.below(4)) {
+      case 0:
+        out = c.add_and(a, b);
+        break;
+      case 1:
+        out = c.add_or(a, b);
+        break;
+      case 2:
+        out = c.add_xor(a, b);
+        break;
+      case 3:
+        out = c.add_not(a);
+        break;
+    }
+    pool.push_back(out);
+  }
+  // Expose a handful of random nodes as outputs.
+  for (int o = 0; o < 8; ++o) c.mark_output(pool[rng.below(pool.size())]);
+  return c;
+}
+
+TEST(FuzzDifferential, LaneEvaluationMatchesScalarOnRandomCircuits) {
+  Rng rng(381);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<gates::NodeId> input_ids;
+    gates::Circuit c = random_circuit(6 + rng.below(6), 60, rng, &input_ids);
+    gates::Evaluator eval(c);
+    // 64 random patterns packed into lanes.
+    std::vector<std::uint64_t> lanes(c.input_count());
+    for (auto& w : lanes) w = rng.next();
+    auto lane_out = eval.evaluate_lanes(lanes);
+    for (int lane = 0; lane < 64; lane += 7) {
+      BitVec in(c.input_count());
+      for (std::size_t i = 0; i < c.input_count(); ++i) {
+        in.set(i, (lanes[i] >> lane) & 1u);
+      }
+      BitVec scalar = eval.evaluate(in);
+      for (std::size_t o = 0; o < c.output_count(); ++o) {
+        ASSERT_EQ(scalar.get(o), ((lane_out[o] >> lane) & 1u) != 0)
+            << "trial " << trial << " lane " << lane << " output " << o;
+      }
+    }
+  }
+}
+
+// --- mesh sorts vs std::sort reference -----------------------------------
+
+TEST(FuzzDifferential, ColumnSortAgainstStdSort) {
+  Rng rng(382);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::size_t rows = 2 + rng.below(12);
+    std::size_t cols = 2 + rng.below(12);
+    BitMatrix m = BitMatrix::from_row_major(
+        rng.bernoulli_bits(rows * cols, rng.uniform01()), rows, cols);
+    BitMatrix sorted = m;
+    sortnet::sort_columns(sorted);
+    for (std::size_t j = 0; j < cols; ++j) {
+      std::vector<bool> ref = m.col(j).to_bools();
+      std::sort(ref.begin(), ref.end(), std::greater<bool>());
+      ASSERT_EQ(sorted.col(j).to_bools(), ref) << "col " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,80 @@
+// End-to-end bit-serial streaming through the composed gate-level switch:
+// the Section 2 message discipline executed on actual gates.  The valid
+// bits establish the control state; each payload cycle re-evaluates the
+// combinational network with the same valid bits and the next payload bit
+// per wire, and the reassembled output payloads must match the senders'.
+#include <gtest/gtest.h>
+
+#include "switch/gate_level_switch.hpp"
+#include "switch/revsort_switch.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::sw {
+namespace {
+
+TEST(GateLevelStreaming, PayloadsReassembleIntact) {
+  const std::size_t n = 16;
+  const std::size_t payload_len = 12;
+  GateLevelRevsortSwitch gate(n);
+  RevsortSwitch model(n, n);
+  Rng rng(340);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    BitVec valid = rng.bernoulli_bits(n, 0.5);
+    std::vector<BitVec> payloads(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      payloads[i] = rng.bernoulli_bits(payload_len, 0.5);
+    }
+
+    // Stream cycle by cycle: the valid bits stay asserted for the whole
+    // message (they hold the electrical paths), payload bits advance.
+    std::vector<BitVec> observed(n, BitVec(payload_len));
+    for (std::size_t t = 0; t < payload_len; ++t) {
+      BitVec data(n);
+      for (std::size_t i = 0; i < n; ++i) data.set(i, payloads[i].get(t));
+      GateLevelResult res = gate.evaluate(valid, data);
+      for (std::size_t p = 0; p < n; ++p) observed[p].set(t, res.data.get(p));
+    }
+
+    // Each output position must have received its routed input's payload.
+    SwitchRouting routing = model.route(valid);
+    for (std::size_t p = 0; p < n; ++p) {
+      std::int32_t src = routing.input_of_output[p];
+      if (src >= 0) {
+        EXPECT_EQ(observed[p], payloads[static_cast<std::size_t>(src)])
+            << "trial " << trial << " output " << p;
+      } else {
+        EXPECT_EQ(observed[p].count(), 0u) << "idle output carried bits";
+      }
+    }
+  }
+}
+
+TEST(GateLevelStreaming, PathsStableAcrossCycles) {
+  // The same valid pattern must produce identical steering on every cycle:
+  // inject a distinctive one-hot payload per cycle and confirm each output
+  // tracks a single input wire throughout.
+  const std::size_t n = 16;
+  GateLevelRevsortSwitch gate(n);
+  Rng rng(341);
+  BitVec valid = rng.bernoulli_bits(n, 0.6);
+  std::vector<std::int32_t> owner(n, -2);  // -2 = unset, -1 = idle
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    BitVec data(n);
+    data.set(probe, true);  // one-hot: only input `probe` sends a 1
+    GateLevelResult res = gate.evaluate(valid, data);
+    for (std::size_t p = 0; p < n; ++p) {
+      if (res.data.get(p)) {
+        if (owner[p] == -2) {
+          owner[p] = static_cast<std::int32_t>(probe);
+        } else {
+          EXPECT_EQ(owner[p], static_cast<std::int32_t>(probe))
+              << "output " << p << " switched sources mid-message";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcs::sw

@@ -1,0 +1,97 @@
+#include "hyper/hyper_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyper/hyperconcentrator.hpp"
+#include "util/mathutil.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::hyper {
+namespace {
+
+// The gate-level reconstruction must agree with the functional model: for
+// every valid pattern and payload, output j carries the payload bit of the
+// rank-j valid input, and the sorted valid bits match.
+void expect_equivalent(const HyperCircuit& hc, const BitVec& valid,
+                       const BitVec& data) {
+  Hyperconcentrator model(hc.n());
+  Routing r = model.route(valid);
+  HyperCircuit::Result res = hc.evaluate(valid, data);
+  EXPECT_EQ(res.valid, model.output_valid_bits(valid));
+  for (std::size_t j = 0; j < hc.n(); ++j) {
+    std::int32_t src = r.input_of_output[j];
+    bool expected = (src >= 0) && data.get(static_cast<std::size_t>(src));
+    EXPECT_EQ(res.data.get(j), expected) << "output " << j;
+  }
+}
+
+TEST(HyperCircuit, ExhaustiveSmall) {
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 8u}) {
+    HyperCircuit hc(n);
+    for (std::uint32_t vp = 0; vp < (1u << n); ++vp) {
+      BitVec valid(n), data(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        valid.set(i, (vp >> i) & 1u);
+        data.set(i, valid.get(i));  // payload = valid for a quick sweep
+      }
+      expect_equivalent(hc, valid, data);
+    }
+  }
+}
+
+TEST(HyperCircuit, RandomizedMedium) {
+  Rng rng(90);
+  for (std::size_t n : {16u, 24u, 32u}) {
+    HyperCircuit hc(n);
+    for (int trial = 0; trial < 20; ++trial) {
+      BitVec valid = rng.bernoulli_bits(n, rng.uniform01());
+      BitVec data = rng.bernoulli_bits(n, 0.5);
+      expect_equivalent(hc, valid, data);
+    }
+  }
+}
+
+class HyperCircuitDepth : public ::testing::TestWithParam<std::size_t> {};
+
+// The paper's headline chip figure: a message incurs exactly 2 lg n gate
+// delays through the data path.
+TEST_P(HyperCircuitDepth, DataPathDepthIsTwoLgN) {
+  const std::size_t n = GetParam();
+  HyperCircuit hc(n);
+  EXPECT_EQ(hc.data_path_depth(), 2 * pcs::ceil_log2(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HyperCircuitDepth,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128));
+
+TEST(HyperCircuit, GateCountQuadratic) {
+  // Theta(n^2): quadrupling when n doubles, within a loose factor band.
+  HyperCircuit h16(16), h32(32), h64(64);
+  double r1 = static_cast<double>(h32.gate_count()) / static_cast<double>(h16.gate_count());
+  double r2 = static_cast<double>(h64.gate_count()) / static_cast<double>(h32.gate_count());
+  EXPECT_GT(r1, 2.5);
+  EXPECT_LT(r1, 6.0);
+  EXPECT_GT(r2, 2.5);
+  EXPECT_LT(r2, 6.0);
+}
+
+TEST(HyperCircuit, ControlDepthSeparateFromDataDepth) {
+  HyperCircuit hc(32);
+  // Control (setup) depth is larger than the data-path depth in our
+  // reconstruction and charged to setup latency, not the message.
+  EXPECT_GT(hc.control_path_depth(), hc.data_path_depth());
+}
+
+TEST(HyperCircuit, NonPowerOfTwoWidths) {
+  Rng rng(91);
+  for (std::size_t n : {3u, 6u, 12u}) {
+    HyperCircuit hc(n);
+    EXPECT_EQ(hc.data_path_depth(), 2 * pcs::ceil_log2(n));
+    for (int trial = 0; trial < 10; ++trial) {
+      expect_equivalent(hc, rng.bernoulli_bits(n, 0.5), rng.bernoulli_bits(n, 0.5));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcs::hyper

@@ -1,0 +1,105 @@
+#include "hyper/hyperconcentrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::hyper {
+namespace {
+
+TEST(Hyperconcentrator, RoutesValidToFirstOutputs) {
+  Hyperconcentrator h(8);
+  BitVec valid = BitVec::from_string("01100101");
+  Routing r = h.route(valid);
+  // Valid inputs 1, 2, 5, 7 go to outputs 0, 1, 2, 3 (stable order).
+  EXPECT_EQ(r.output_of_input[1], 0);
+  EXPECT_EQ(r.output_of_input[2], 1);
+  EXPECT_EQ(r.output_of_input[5], 2);
+  EXPECT_EQ(r.output_of_input[7], 3);
+  EXPECT_EQ(r.output_of_input[0], kIdle);
+  EXPECT_EQ(r.input_of_output[0], 1);
+  EXPECT_EQ(r.input_of_output[3], 7);
+  EXPECT_EQ(r.input_of_output[4], kIdle);
+  EXPECT_TRUE(r.is_consistent());
+  EXPECT_EQ(r.routed_count(), 4u);
+}
+
+TEST(Hyperconcentrator, ContractForAllK) {
+  const std::size_t n = 16;
+  Hyperconcentrator h(n);
+  Rng rng(80);
+  for (std::size_t k = 0; k <= n; ++k) {
+    BitVec valid = rng.exact_weight_bits(n, k);
+    Routing r = h.route(valid);
+    EXPECT_EQ(r.routed_count(), k);
+    // First k outputs busy, rest idle.
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(r.input_of_output[j] != kIdle, j < k) << "k=" << k << " j=" << j;
+    }
+    EXPECT_TRUE(r.is_consistent());
+  }
+}
+
+TEST(Hyperconcentrator, OutputValidBitsSorted) {
+  Hyperconcentrator h(10);
+  Rng rng(81);
+  for (int t = 0; t < 50; ++t) {
+    BitVec valid = rng.bernoulli_bits(10, rng.uniform01());
+    BitVec out = h.output_valid_bits(valid);
+    EXPECT_TRUE(out.is_sorted_nonincreasing());
+    EXPECT_EQ(out.count(), valid.count());
+  }
+}
+
+TEST(Hyperconcentrator, WidthChecked) {
+  Hyperconcentrator h(4);
+  EXPECT_THROW(h.route(BitVec(5)), pcs::ContractViolation);
+  EXPECT_THROW(Hyperconcentrator(0), pcs::ContractViolation);
+}
+
+TEST(Hyperconcentrator, RoutingConsistencyDetectsCorruption) {
+  Hyperconcentrator h(4);
+  Routing r = h.route(BitVec::from_string("1010"));
+  ASSERT_TRUE(r.is_consistent());
+  r.input_of_output[0] = 3;  // now inconsistent with output_of_input
+  EXPECT_FALSE(r.is_consistent());
+}
+
+TEST(StableConcentrate, MovesOccupiedToFrontInOrder) {
+  std::vector<std::int32_t> slots = {kIdle, 5, kIdle, 2, 9, kIdle};
+  stable_concentrate(slots);
+  EXPECT_EQ(slots, (std::vector<std::int32_t>{5, 2, 9, kIdle, kIdle, kIdle}));
+}
+
+TEST(StableConcentrate, AllIdleAndAllBusy) {
+  std::vector<std::int32_t> idle(4, kIdle);
+  stable_concentrate(idle);
+  EXPECT_EQ(idle, std::vector<std::int32_t>(4, kIdle));
+  std::vector<std::int32_t> busy = {3, 1, 4, 1};
+  auto copy = busy;
+  stable_concentrate(busy);
+  EXPECT_EQ(busy, copy);
+}
+
+TEST(StableConcentrate, MatchesRouteProjection) {
+  // stable_concentrate on labels must agree with Hyperconcentrator::route.
+  const std::size_t n = 12;
+  Hyperconcentrator h(n);
+  Rng rng(82);
+  for (int t = 0; t < 30; ++t) {
+    BitVec valid = rng.bernoulli_bits(n, 0.5);
+    std::vector<std::int32_t> slots(n, kIdle);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (valid.get(i)) slots[i] = static_cast<std::int32_t>(i);
+    }
+    stable_concentrate(slots);
+    Routing r = h.route(valid);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(slots[j], r.input_of_output[j]) << "t=" << t << " j=" << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcs::hyper

@@ -1,0 +1,129 @@
+// Direct tests of Circuit::instantiate, the facility the composed gate-level
+// switches are built on.
+#include <gtest/gtest.h>
+
+#include "gates/builder.hpp"
+#include "gates/circuit.hpp"
+#include "gates/evaluator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::gates {
+namespace {
+
+// A little reusable subcircuit: full adder (sum, carry).
+Circuit make_full_adder() {
+  Circuit c;
+  NodeId a = c.add_input();
+  NodeId b = c.add_input();
+  NodeId cin = c.add_input();
+  NodeId ab = c.add_xor(a, b);
+  c.mark_output(c.add_xor(ab, cin));                                  // sum
+  c.mark_output(c.add_or(c.add_and(a, b), c.add_and(ab, cin)));       // carry
+  return c;
+}
+
+TEST(Instantiate, SingleCopyBehaves) {
+  Circuit fa = make_full_adder();
+  Circuit top;
+  NodeId x = top.add_input();
+  NodeId y = top.add_input();
+  NodeId z = top.add_input();
+  std::vector<NodeId> bind{x, y, z};
+  auto outs = top.instantiate(fa, bind);
+  ASSERT_EQ(outs.size(), 2u);
+  top.mark_output(outs[0]);
+  top.mark_output(outs[1]);
+  Evaluator eval(top);
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    BitVec in{static_cast<int>(p & 1), static_cast<int>((p >> 1) & 1),
+              static_cast<int>((p >> 2) & 1)};
+    BitVec out = eval.evaluate(in);
+    unsigned total = (p & 1) + ((p >> 1) & 1) + ((p >> 2) & 1);
+    EXPECT_EQ(out.get(0), (total & 1) != 0) << p;
+    EXPECT_EQ(out.get(1), total >= 2) << p;
+  }
+}
+
+TEST(Instantiate, ChainedCopiesFormRippleAdder) {
+  // 3-bit ripple-carry adder from three instantiations.
+  Circuit fa = make_full_adder();
+  Circuit top;
+  std::vector<NodeId> a_in, b_in;
+  for (int i = 0; i < 3; ++i) a_in.push_back(top.add_input());
+  for (int i = 0; i < 3; ++i) b_in.push_back(top.add_input());
+  NodeId carry = top.const_zero();
+  std::vector<NodeId> sums;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<NodeId> bind{a_in[i], b_in[i], carry};
+    auto outs = top.instantiate(fa, bind);
+    sums.push_back(outs[0]);
+    carry = outs[1];
+  }
+  for (NodeId s : sums) top.mark_output(s);
+  top.mark_output(carry);
+  Evaluator eval(top);
+  for (unsigned a = 0; a < 8; ++a) {
+    for (unsigned b = 0; b < 8; ++b) {
+      BitVec in(6);
+      for (int i = 0; i < 3; ++i) {
+        in.set(i, (a >> i) & 1u);
+        in.set(3 + i, (b >> i) & 1u);
+      }
+      BitVec out = eval.evaluate(in);
+      unsigned got = 0;
+      for (int i = 0; i < 4; ++i) got |= (out.get(i) ? 1u : 0u) << i;
+      EXPECT_EQ(got, a + b) << a << "+" << b;
+    }
+  }
+}
+
+TEST(Instantiate, BindingArityChecked) {
+  Circuit fa = make_full_adder();
+  Circuit top;
+  NodeId x = top.add_input();
+  std::vector<NodeId> too_few{x};
+  EXPECT_THROW(top.instantiate(fa, too_few), pcs::ContractViolation);
+  std::vector<NodeId> bad_id{x, x, 999};
+  EXPECT_THROW(top.instantiate(fa, bad_id), pcs::ContractViolation);
+}
+
+TEST(Instantiate, ConstantsAreShared) {
+  Circuit sub;
+  sub.mark_output(sub.const_one());
+  Circuit top;
+  std::vector<NodeId> empty;
+  auto o1 = top.instantiate(sub, empty);
+  auto o2 = top.instantiate(sub, empty);
+  EXPECT_EQ(o1[0], o2[0]);  // both map to top's shared const-one node
+}
+
+TEST(Instantiate, SubOutputsNotAutomaticallyExposed) {
+  Circuit sub;
+  NodeId i = sub.add_input();
+  sub.mark_output(sub.add_not(i));
+  Circuit top;
+  NodeId x = top.add_input();
+  std::vector<NodeId> bind{x};
+  top.instantiate(sub, bind);
+  EXPECT_EQ(top.output_count(), 0u);
+}
+
+TEST(Instantiate, DepthComposes) {
+  // Chaining k copies of a depth-d block yields depth k*d.
+  Circuit sub;
+  NodeId i = sub.add_input();
+  sub.mark_output(sub.add_not(sub.add_not(i)));  // depth 2
+  Circuit top;
+  NodeId x = top.add_input();
+  NodeId cur = x;
+  for (int k = 0; k < 5; ++k) {
+    std::vector<NodeId> bind{cur};
+    cur = top.instantiate(sub, bind)[0];
+  }
+  top.mark_output(cur);
+  EXPECT_EQ(top.depth(), 10u);
+}
+
+}  // namespace
+}  // namespace pcs::gates

@@ -1,0 +1,118 @@
+#include "cost/layout.hpp"
+
+#include "cost/resource_model.hpp"
+#include "sortnet/revsort.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcs::cost {
+namespace {
+
+TEST(Layout, RevsortFloorplanArea) {
+  // Figure 3 at side = 8 (n = 64): three chip columns of 8 chips plus two
+  // 64-wire crossbars; width = 3*8 + 2*64, height = 64.
+  Floorplan2D plan = revsort_floorplan(8);
+  EXPECT_EQ(plan.height, 64u);
+  EXPECT_EQ(plan.width, 3u * 8u + 2u * 64u);
+  EXPECT_EQ(plan.wiring_area(), 2u * 64u * 64u);
+  EXPECT_EQ(plan.chip_area(), 3u * 8u * 64u);
+  EXPECT_EQ(plan.regions.size(), 3u * 8u + 2u);
+}
+
+TEST(Layout, RevsortWiringDominatesChips) {
+  // The Theta(n^2) claim: crossbar wiring dominates total chip area.
+  for (std::size_t side : {8u, 16u, 32u, 64u}) {
+    Floorplan2D plan = revsort_floorplan(side);
+    EXPECT_GT(plan.wiring_area(), plan.chip_area()) << "side " << side;
+  }
+}
+
+TEST(Layout, ColumnsortFloorplan) {
+  // Figure 6 at r = 8, s = 4 (n = 32).
+  Floorplan2D plan = columnsort_floorplan(8, 4);
+  EXPECT_EQ(plan.height, 32u);
+  EXPECT_EQ(plan.width, 2u * 8u + 32u);
+  EXPECT_EQ(plan.wiring_area(), 32u * 32u);
+  EXPECT_EQ(plan.regions.size(), 2u * 4u + 1u);
+}
+
+TEST(Layout, RevsortPackagingVolumeIdentity) {
+  // Figure 4: total volume = 4 * side * n = 4 n^{3/2}.
+  for (std::size_t side : {8u, 16u, 64u}) {
+    Packaging3D p = revsort_packaging(side);
+    EXPECT_EQ(p.total_volume(), 4u * side * side * side);
+    EXPECT_EQ(p.stacks.size(), 3u);
+    EXPECT_EQ(p.stacks[0].boards, side);
+    EXPECT_EQ(p.stacks[1].board_width, 2u * side);  // hyper + shifter
+    EXPECT_EQ(p.connector_count, 0u);
+  }
+}
+
+TEST(Layout, ColumnsortPackaging) {
+  // Figure 7 at r = 8, s = 4: two stacks of 4 boards of area 64, plus 16
+  // transposers of volume (8/4)^2 = 4 each (Figure 8).
+  Packaging3D p = columnsort_packaging(8, 4);
+  EXPECT_EQ(p.stacks.size(), 2u);
+  EXPECT_EQ(p.stack_volume(), 2u * 4u * 64u);
+  EXPECT_EQ(p.connector_count, 16u);
+  EXPECT_EQ(p.connector_volume_each, 4u);
+  EXPECT_EQ(p.total_volume(), 512u + 64u);
+}
+
+TEST(Layout, ConnectorVolumeSubdominant) {
+  // Total interstack volume O(r^2) = O(n^{2 beta}) <= O(n^{1+beta}).
+  for (auto [r, s] : {std::pair<std::size_t, std::size_t>{64, 8},
+                      std::pair<std::size_t, std::size_t>{256, 16}}) {
+    Packaging3D p = columnsort_packaging(r, s);
+    EXPECT_LE(p.connector_volume(), p.stack_volume()) << r << "x" << s;
+  }
+}
+
+TEST(Layout, WireTransposerQuadratic) {
+  EXPECT_EQ(wire_transposer_volume(4), 16u);  // Figure 8's w = 4 example
+  EXPECT_EQ(wire_transposer_volume(1), 1u);
+  EXPECT_EQ(wire_transposer_volume(16), 256u);
+}
+
+TEST(Layout, FloorplanRegionsDisjointAndInBounds) {
+  for (auto plan : {revsort_floorplan(8), columnsort_floorplan(16, 4)}) {
+    for (std::size_t a = 0; a < plan.regions.size(); ++a) {
+      const Region& ra = plan.regions[a];
+      EXPECT_LE(ra.x + ra.width, plan.width) << ra.label;
+      EXPECT_LE(ra.y + ra.height, plan.height) << ra.label;
+      for (std::size_t b = a + 1; b < plan.regions.size(); ++b) {
+        const Region& rb = plan.regions[b];
+        bool overlap_x = ra.x < rb.x + rb.width && rb.x < ra.x + ra.width;
+        bool overlap_y = ra.y < rb.y + rb.height && rb.y < ra.y + ra.height;
+        EXPECT_FALSE(overlap_x && overlap_y) << ra.label << " vs " << rb.label;
+      }
+    }
+  }
+}
+
+TEST(Layout, FloorplanMatchesResourceModelOrder) {
+  // The floorplan's area and the resource model's area_2d agree on the
+  // dominant term (2 n^2 wiring for Revsort).
+  Floorplan2D plan = revsort_floorplan(32);  // n = 1024
+  EXPECT_EQ(plan.wiring_area(), 2u * 1024u * 1024u);
+}
+
+
+TEST(Layout, FullRevsortPackagingMatchesReport) {
+  // Stack count = chip passes; volume matches the resource model exactly.
+  for (std::size_t side : {16u, 64u}) {
+    Packaging3D p = full_revsort_packaging(side);
+    ResourceReport r = full_revsort_report(side * side);
+    EXPECT_EQ(p.stacks.size(), r.chip_passes);
+    EXPECT_EQ(p.total_volume(), r.volume_3d);
+    // Repetition row-sort stacks carry double-width boards (shifters).
+    std::size_t wide = 0;
+    for (const Stack& st : p.stacks) {
+      if (st.board_width == 2 * side) ++wide;
+    }
+    EXPECT_EQ(wide, pcs::sortnet::full_revsort_repetitions(side));
+  }
+}
+
+}  // namespace
+}  // namespace pcs::cost

@@ -1,0 +1,108 @@
+#include "util/mathutil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace pcs {
+namespace {
+
+TEST(MathUtil, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(4));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_TRUE(is_pow2(std::uint64_t{1} << 63));
+  EXPECT_FALSE(is_pow2((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(MathUtil, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_THROW(floor_log2(0), ContractViolation);
+}
+
+TEST(MathUtil, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(MathUtil, ExactLog2) {
+  EXPECT_EQ(exact_log2(16), 4u);
+  EXPECT_THROW(exact_log2(24), ContractViolation);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+  EXPECT_THROW(ceil_div(1, 0), ContractViolation);
+}
+
+TEST(MathUtil, BitReversePaperExample) {
+  // Paper Section 4: with sqrt(n) = 16 (q = 4 bits), rev(3) = 12.
+  EXPECT_EQ(bit_reverse(3, 4), 12u);
+}
+
+TEST(MathUtil, BitReverseInvolution) {
+  for (unsigned bits = 1; bits <= 10; ++bits) {
+    for (std::uint64_t v = 0; v < (std::uint64_t{1} << bits); v += 7) {
+      EXPECT_EQ(bit_reverse(bit_reverse(v, bits), bits), v);
+    }
+  }
+}
+
+TEST(MathUtil, BitReverseZeroBits) { EXPECT_EQ(bit_reverse(123, 0), 0u); }
+
+TEST(MathUtil, Isqrt) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(3), 1u);
+  EXPECT_EQ(isqrt(4), 2u);
+  EXPECT_EQ(isqrt(15), 3u);
+  EXPECT_EQ(isqrt(16), 4u);
+  EXPECT_EQ(isqrt(1u << 20), 1024u);
+  EXPECT_EQ(isqrt((1u << 20) - 1), 1023u);
+}
+
+TEST(MathUtil, IsqrtLargeValues) {
+  std::uint64_t big = std::uint64_t{3037000499};  // floor(sqrt(2^63 - 1)) ballpark
+  std::uint64_t r = isqrt(big * big);
+  EXPECT_EQ(r, big);
+  EXPECT_EQ(isqrt(big * big - 1), big - 1);
+}
+
+TEST(MathUtil, RowColMajorFigure5) {
+  // Figure 5: 6x3 matrix; entry (1, 2) has RM position 5 and CM position 13.
+  const std::size_t r = 6, s = 3;
+  EXPECT_EQ(row_major(1, 2, s), 5u);
+  EXPECT_EQ(col_major(1, 2, r), 13u);
+  EXPECT_EQ(row_major(0, 0, s), 0u);
+  EXPECT_EQ(col_major(5, 2, r), 17u);
+  EXPECT_EQ(row_major(5, 2, s), 17u);
+}
+
+TEST(MathUtil, RowColMajorInversesEverywhere) {
+  const std::size_t r = 6, s = 3;
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < s; ++j) {
+      EXPECT_EQ(row_major_inv(row_major(i, j, s), s), (RowCol{i, j}));
+      EXPECT_EQ(col_major_inv(col_major(i, j, r), r), (RowCol{i, j}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcs

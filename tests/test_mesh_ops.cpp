@@ -1,0 +1,97 @@
+#include "sortnet/mesh_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::sortnet {
+namespace {
+
+TEST(MeshOps, SortedOnesFirst) {
+  EXPECT_EQ(sorted_ones_first(BitVec::from_string("010110")).to_string(), "111000");
+  EXPECT_EQ(sorted_ones_first(BitVec::from_string("000")).to_string(), "000");
+  EXPECT_EQ(sorted_ones_first(BitVec::from_string("111")).to_string(), "111");
+}
+
+TEST(MeshOps, SortColumnsPreservesColumnCounts) {
+  Rng rng(20);
+  BitMatrix m = BitMatrix::from_row_major(rng.bernoulli_bits(64, 0.5), 8, 8);
+  std::vector<std::size_t> before(8);
+  for (std::size_t j = 0; j < 8; ++j) before[j] = m.col(j).count();
+  sort_columns(m);
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(m.col(j).count(), before[j]);
+    EXPECT_TRUE(m.col(j).is_sorted_nonincreasing());
+  }
+}
+
+TEST(MeshOps, SortRowsBothDirections) {
+  BitMatrix m = BitMatrix::from_row_major(BitVec::from_string("0110" "1001"), 2, 4);
+  BitMatrix ones_first = m;
+  sort_rows(ones_first, RowOrder::kOnesFirst);
+  EXPECT_EQ(ones_first.row(0).to_string(), "1100");
+  EXPECT_EQ(ones_first.row(1).to_string(), "1100");
+  BitMatrix zeros_first = m;
+  sort_rows(zeros_first, RowOrder::kZerosFirst);
+  EXPECT_EQ(zeros_first.row(0).to_string(), "0011");
+  EXPECT_EQ(zeros_first.row(1).to_string(), "0011");
+}
+
+TEST(MeshOps, SortRowsAlternating) {
+  BitMatrix m = BitMatrix::from_row_major(BitVec::from_string("0110" "1001" "0010"), 3, 4);
+  sort_rows_alternating(m);
+  EXPECT_EQ(m.row(0).to_string(), "1100");  // even row: ones first
+  EXPECT_EQ(m.row(1).to_string(), "0011");  // odd row: zeros first
+  EXPECT_EQ(m.row(2).to_string(), "1000");
+}
+
+TEST(MeshOps, RotateRowRight) {
+  BitMatrix m = BitMatrix::from_row_major(BitVec::from_string("1100"), 1, 4);
+  rotate_row_right(m, 0, 1);
+  EXPECT_EQ(m.row(0).to_string(), "0110");
+  rotate_row_right(m, 0, 4);  // full rotation is identity
+  EXPECT_EQ(m.row(0).to_string(), "0110");
+  rotate_row_right(m, 0, 6);  // amount mod cols
+  EXPECT_EQ(m.row(0).to_string(), "1001");
+}
+
+TEST(MeshOps, RotateRowsBitReversedAmounts) {
+  // side 4, q = 2: rev(0)=0, rev(1)=2, rev(2)=1, rev(3)=3.
+  BitMatrix m(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) m.set(i, 0, true);  // mark column 0
+  rotate_rows_bit_reversed(m);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(1, 2));
+  EXPECT_TRUE(m.get(2, 1));
+  EXPECT_TRUE(m.get(3, 3));
+}
+
+TEST(MeshOps, RotateRowsBitReversedRequiresPow2) {
+  BitMatrix m(3, 3);
+  EXPECT_THROW(rotate_rows_bit_reversed(m), ContractViolation);
+}
+
+TEST(MeshOps, SortednessPredicates) {
+  BitMatrix sorted_rm = BitMatrix::from_row_major(BitVec::from_string("111100"), 2, 3);
+  EXPECT_TRUE(is_row_major_sorted(sorted_rm));
+  EXPECT_FALSE(is_col_major_sorted(sorted_rm));  // col-major reads 101101 -> no
+  BitMatrix sorted_cm = BitMatrix::from_row_major(BitVec::from_string("110" "100"), 2, 3);
+  EXPECT_TRUE(is_col_major_sorted(sorted_cm));  // col-major: 1 1 1 0 0 0
+}
+
+TEST(MeshOps, SortPreservesTotalCount) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitMatrix m = BitMatrix::from_row_major(rng.bernoulli_bits(48, rng.uniform01()), 6, 8);
+    std::size_t before = m.count();
+    sort_columns(m);
+    sort_rows(m);
+    sort_rows_alternating(m);
+    EXPECT_EQ(m.count(), before);
+  }
+}
+
+}  // namespace
+}  // namespace pcs::sortnet

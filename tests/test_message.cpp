@@ -1,0 +1,56 @@
+#include "message/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace pcs::msg {
+namespace {
+
+TEST(MessageBatch, AddAndQuery) {
+  MessageBatch batch(8);
+  Message m;
+  m.source = 3;
+  m.dest = 1;
+  m.payload = BitVec::from_string("1010");
+  batch.add(m);
+  EXPECT_TRUE(batch.has_message(3));
+  EXPECT_FALSE(batch.has_message(2));
+  EXPECT_EQ(batch.message(3).payload.to_string(), "1010");
+  EXPECT_EQ(batch.count(), 1u);
+  EXPECT_EQ(batch.valid_bits().to_string(), "00010000");
+}
+
+TEST(MessageBatch, RejectsDoubleOccupancy) {
+  MessageBatch batch(4);
+  Message m;
+  m.source = 1;
+  batch.add(m);
+  EXPECT_THROW(batch.add(m), pcs::ContractViolation);
+}
+
+TEST(MessageBatch, RejectsOutOfRange) {
+  MessageBatch batch(4);
+  Message m;
+  m.source = 4;
+  EXPECT_THROW(batch.add(m), pcs::ContractViolation);
+  EXPECT_THROW(batch.message(0), pcs::ContractViolation);  // empty wire
+}
+
+TEST(RandomBatch, MatchesValidPattern) {
+  Rng rng(180);
+  BitVec valid = BitVec::from_string("0110100101");
+  MessageBatch batch = random_batch(valid, 16, 4, rng);
+  EXPECT_EQ(batch.valid_bits(), valid);
+  EXPECT_EQ(batch.count(), valid.count());
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    if (valid.get(i)) {
+      EXPECT_EQ(batch.message(i).source, i);
+      EXPECT_EQ(batch.message(i).payload.size(), 16u);
+      EXPECT_LT(batch.message(i).dest, 4u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcs::msg

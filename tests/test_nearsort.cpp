@@ -1,0 +1,115 @@
+#include "sortnet/nearsort.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sortnet/mesh_ops.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::sortnet {
+namespace {
+
+TEST(Nearsort, PaperExampleIntuition) {
+  // The sorted sequence has epsilon 0 and an empty dirty window.
+  BitVec sorted = BitVec::from_string("1111000");
+  EXPECT_EQ(min_nearsort_epsilon(sorted), 0u);
+  DirtyWindow w = dirty_window(sorted);
+  EXPECT_EQ(w.dirty_length(), 0u);
+  EXPECT_EQ(w.clean_ones, 4u);
+  EXPECT_EQ(w.clean_zeros, 3u);
+}
+
+TEST(Nearsort, SingleSwap) {
+  // "1011": k=3.  The last 1 (index 3) is displaced by 1; the 0 at index 1
+  // belongs in [3,4) and is displaced by 2 -> epsilon = 2.
+  BitVec v = BitVec::from_string("1011");
+  EXPECT_EQ(min_nearsort_epsilon(v), 2u);
+  DirtyWindow w = dirty_window(v);
+  EXPECT_EQ(w.clean_ones, 1u);
+  EXPECT_EQ(w.dirty_begin, 1u);
+  EXPECT_EQ(w.dirty_end, 4u);
+  EXPECT_EQ(w.clean_zeros, 0u);
+}
+
+TEST(Nearsort, DisplacementOfZeros) {
+  // "0111": k=3; the 0 at position 0 belongs in [3,4): displacement 3.
+  BitVec v = BitVec::from_string("0111");
+  EXPECT_EQ(min_nearsort_epsilon(v), 3u);
+}
+
+TEST(Nearsort, AllSameValueIsSorted) {
+  EXPECT_EQ(min_nearsort_epsilon(BitVec(10, true)), 0u);
+  EXPECT_EQ(min_nearsort_epsilon(BitVec(10, false)), 0u);
+  EXPECT_EQ(min_nearsort_epsilon(BitVec()), 0u);
+}
+
+TEST(Nearsort, IsNearsortedMonotone) {
+  Rng rng(60);
+  BitVec v = rng.bernoulli_bits(100, 0.5);
+  std::size_t eps = min_nearsort_epsilon(v);
+  if (eps > 0) {
+    EXPECT_FALSE(is_nearsorted(v, eps - 1));
+  }
+  EXPECT_TRUE(is_nearsorted(v, eps));
+  EXPECT_TRUE(is_nearsorted(v, eps + 1));
+  EXPECT_TRUE(is_nearsorted(v, v.size()));
+}
+
+TEST(Nearsort, Lemma1StructureAtMinimum) {
+  Rng rng(61);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVec v = rng.bernoulli_bits(64, rng.uniform01());
+    std::size_t eps = min_nearsort_epsilon(v);
+    EXPECT_TRUE(lemma1_structure_holds(v, eps)) << v.to_string();
+    if (eps > 0) {
+      EXPECT_FALSE(lemma1_structure_holds(v, eps - 1)) << v.to_string();
+    }
+  }
+}
+
+TEST(Nearsort, DirtyWindowPartitions) {
+  Rng rng(62);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitVec v = rng.bernoulli_bits(40, rng.uniform01());
+    DirtyWindow w = dirty_window(v);
+    EXPECT_EQ(w.clean_ones + w.dirty_length() + w.clean_zeros, v.size());
+    // Prefix is clean 1s, suffix clean 0s.
+    for (std::size_t i = 0; i < w.clean_ones; ++i) EXPECT_TRUE(v.get(i));
+    for (std::size_t i = w.dirty_end; i < v.size(); ++i) EXPECT_FALSE(v.get(i));
+    // The window is tight: its boundary bits are a 0 and a 1 when nonempty.
+    if (w.dirty_length() > 0) {
+      EXPECT_FALSE(v.get(w.dirty_begin));
+      EXPECT_TRUE(v.get(w.dirty_end - 1));
+    }
+  }
+}
+
+TEST(Nearsort, WindowAtMostTwiceEpsilon) {
+  // Lemma 1 forward direction on random sequences.
+  Rng rng(63);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVec v = rng.bernoulli_bits(80, rng.uniform01());
+    std::size_t eps = min_nearsort_epsilon(v);
+    EXPECT_LE(dirty_window(v).dirty_length(), 2 * eps);
+  }
+}
+
+TEST(Nearsort, FullySortingReducesEpsilonToZero) {
+  Rng rng(64);
+  BitVec v = rng.bernoulli_bits(50, 0.5);
+  EXPECT_EQ(min_nearsort_epsilon(sorted_ones_first(v)), 0u);
+}
+
+TEST(Nearsort, WorstCaseReversed) {
+  // "0...01...1" with k ones: the first 0 is displaced by k, the last 1 by
+  // n - k; epsilon = max of the two.
+  for (std::size_t n : {8u, 13u, 32u}) {
+    for (std::size_t k = 1; k < n; ++k) {
+      BitVec v(n);
+      for (std::size_t i = 0; i < k; ++i) v.set(n - 1 - i, true);
+      EXPECT_EQ(min_nearsort_epsilon(v), std::max(k, n - k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcs::sortnet

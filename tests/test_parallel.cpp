@@ -1,0 +1,67 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pcs {
+namespace {
+
+TEST(Parallel, CoversEveryIndexOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool ran = false;
+  parallel_for(5, 5, [&](std::size_t) { ran = true; }, 4);
+  parallel_for(7, 3, [&](std::size_t) { ran = true; }, 4);
+  EXPECT_FALSE(ran);
+}
+
+TEST(Parallel, NonzeroBegin) {
+  std::atomic<std::size_t> sum{0};
+  parallel_for(10, 20, [&](std::size_t i) { sum.fetch_add(i); }, 3);
+  EXPECT_EQ(sum.load(), std::size_t{145});  // 10 + 11 + ... + 19
+}
+
+TEST(Parallel, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(0, 5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Parallel, ZeroThreadsTreatedAsOne) {
+  std::atomic<int> count{0};
+  parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); }, 0);
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(Parallel, ExceptionPropagates) {
+  EXPECT_THROW(
+      parallel_for(
+          0, 100,
+          [](std::size_t i) {
+            if (i == 57) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(Parallel, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(0, 3, [&](std::size_t i) { hits[i].fetch_add(1); }, 16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, DefaultThreadCountPositive) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace pcs

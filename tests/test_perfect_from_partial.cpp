@@ -1,0 +1,62 @@
+#include "switch/perfect_from_partial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "switch/columnsort_switch.hpp"
+#include "switch/revsort_switch.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::sw {
+namespace {
+
+TEST(PerfectFromPartial, ConstructorEnforcesCapacity) {
+  RevsortSwitch inner(256, 200);  // epsilon = 7*16 = 112, capacity = 88
+  ASSERT_EQ(inner.guaranteed_capacity(), 88u);
+  EXPECT_NO_THROW(PerfectFromPartial(inner, 128, 88));
+  EXPECT_THROW(PerfectFromPartial(inner, 128, 89), pcs::ContractViolation);
+  EXPECT_THROW(PerfectFromPartial(inner, 300, 50), pcs::ContractViolation);  // n too big
+}
+
+TEST(PerfectFromPartial, DeliversPerfectContract) {
+  // Inner: Columnsort r=64, s=8 -> epsilon 49; with m_inner = 512,
+  // capacity = 463.  Wrap as a 256-by-200 "perfect" concentrator.
+  ColumnsortSwitch inner(64, 8, 512);
+  PerfectFromPartial perfect(inner, 256, 200);
+  Rng rng(170);
+  for (std::size_t k = 0; k <= 256; k += 16) {
+    BitVec valid = rng.exact_weight_bits(256, k);
+    SwitchRouting r = perfect.route(valid);
+    EXPECT_TRUE(r.is_partial_injection());
+    EXPECT_GE(r.routed_count(), perfect.guaranteed_routed(k)) << "k=" << k;
+  }
+}
+
+TEST(PerfectFromPartial, GuaranteeFormula) {
+  ColumnsortSwitch inner(64, 8, 512);
+  PerfectFromPartial perfect(inner, 256, 200);
+  EXPECT_EQ(perfect.guaranteed_routed(0), 0u);
+  EXPECT_EQ(perfect.guaranteed_routed(150), 150u);
+  EXPECT_EQ(perfect.guaranteed_routed(201), 200u);
+  EXPECT_EQ(perfect.guaranteed_routed(256), 200u);
+}
+
+TEST(PerfectFromPartial, OverheadFactor) {
+  // The paper's 1/alpha wire overhead: inner inputs / wrapper inputs.
+  ColumnsortSwitch inner(64, 8, 512);
+  PerfectFromPartial perfect(inner, 256, 200);
+  EXPECT_DOUBLE_EQ(perfect.input_overhead(), 2.0);
+}
+
+TEST(PerfectFromPartial, UnusedInnerInputsStayInvalid) {
+  RevsortSwitch inner(64, 64);  // epsilon = 5*8=40 -> capacity 24
+  PerfectFromPartial perfect(inner, 32, 24);
+  BitVec valid(32, true);
+  SwitchRouting r = perfect.route(valid);
+  EXPECT_EQ(r.output_of_input.size(), 32u);
+  // All 32 offered; at least 24 must be routed.
+  EXPECT_GE(r.routed_count(), 24u);
+}
+
+}  // namespace
+}  // namespace pcs::sw

@@ -1,0 +1,56 @@
+#include "message/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "util/assert.hpp"
+
+namespace pcs::msg {
+namespace {
+
+TEST(Pipeline, SetupPeriod) {
+  PipelineModel m{.payload_bits = 32, .gates_per_cycle = 8};
+  EXPECT_EQ(m.setup_period(), 33u);
+}
+
+TEST(Pipeline, FlightCyclesRoundsUp) {
+  PipelineModel m{.payload_bits = 32, .gates_per_cycle = 8};
+  EXPECT_EQ(m.flight_cycles(0), 0u);
+  EXPECT_EQ(m.flight_cycles(8), 1u);
+  EXPECT_EQ(m.flight_cycles(9), 2u);
+  EXPECT_EQ(m.flight_cycles(24), 3u);
+}
+
+TEST(Pipeline, LatencyComposition) {
+  PipelineModel m{.payload_bits = 16, .gates_per_cycle = 4};
+  // Revsort at n = 4096: 3 lg n = 36 gate delays -> 9 flight cycles + 17.
+  std::size_t delays = pcs::core::revsort_delay_formula(4096, 0);
+  EXPECT_EQ(m.message_latency(delays), 9u + 17u);
+}
+
+TEST(Pipeline, ThroughputScalesWithRouted) {
+  PipelineModel m{.payload_bits = 31, .gates_per_cycle = 8};
+  EXPECT_DOUBLE_EQ(m.messages_per_cycle(64.0), 2.0);
+  EXPECT_DOUBLE_EQ(m.payload_bits_per_cycle(64.0), 62.0);
+  EXPECT_DOUBLE_EQ(m.messages_per_cycle(0.0), 0.0);
+}
+
+TEST(Pipeline, DelayOnlyAffectsLatencyNotThroughput) {
+  // The combinational pipeline's key property: a deeper switch adds flight
+  // time but does not reduce messages per cycle.
+  PipelineModel m{.payload_bits = 32, .gates_per_cycle = 8};
+  double fast = m.messages_per_cycle(100.0);
+  double slow = m.messages_per_cycle(100.0);
+  EXPECT_DOUBLE_EQ(fast, slow);
+  EXPECT_LT(m.message_latency(24), m.message_latency(52));
+}
+
+TEST(Pipeline, Validation) {
+  PipelineModel m{.payload_bits = 8, .gates_per_cycle = 0};
+  EXPECT_THROW(m.flight_cycles(10), pcs::ContractViolation);
+  PipelineModel ok{.payload_bits = 8, .gates_per_cycle = 4};
+  EXPECT_THROW(ok.messages_per_cycle(-1.0), pcs::ContractViolation);
+}
+
+}  // namespace
+}  // namespace pcs::msg

@@ -1,0 +1,84 @@
+#include "hyper/prefix_butterfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyper/hyperconcentrator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::hyper {
+namespace {
+
+TEST(PrefixButterfly, RequiresPowerOfTwo) {
+  EXPECT_THROW(PrefixButterflySwitch(12), pcs::ContractViolation);
+  EXPECT_NO_THROW(PrefixButterflySwitch(16));
+}
+
+TEST(PrefixButterfly, MatchesStableHyperconcentrator) {
+  // Same contract AND the same stable routing as the combinational chip:
+  // the j-th valid input lands on output j.
+  Rng rng(330);
+  for (std::size_t n : {4u, 16u, 64u, 256u}) {
+    PrefixButterflySwitch pb(n);
+    Hyperconcentrator model(n);
+    for (int t = 0; t < 30; ++t) {
+      BitVec valid = rng.bernoulli_bits(n, rng.uniform01());
+      Routing a = pb.route(valid);
+      Routing b = model.route(valid);
+      EXPECT_EQ(a.output_of_input, b.output_of_input) << "n=" << n;
+      EXPECT_EQ(a.input_of_output, b.input_of_output) << "n=" << n;
+    }
+  }
+}
+
+TEST(PrefixButterfly, ConflictFreeExhaustively) {
+  // The load-bearing claim: butterfly self-routing of every concentration
+  // pattern is conflict-free.  Checked over all 2^16 patterns at n = 16.
+  const std::size_t n = 16;
+  PrefixButterflySwitch pb(n);
+  for (std::uint32_t p = 0; p < (1u << n); ++p) {
+    BitVec valid(n);
+    for (std::size_t i = 0; i < n; ++i) valid.set(i, (p >> i) & 1u);
+    ASSERT_TRUE(pb.route_traced(valid).conflict_free) << "pattern " << p;
+  }
+}
+
+TEST(PrefixButterfly, ConflictFreeRandomLarge) {
+  PrefixButterflySwitch pb(1024);
+  Rng rng(331);
+  for (int t = 0; t < 100; ++t) {
+    BitVec valid = rng.bernoulli_bits(1024, rng.uniform01());
+    EXPECT_TRUE(pb.route_traced(valid).conflict_free) << "t=" << t;
+  }
+}
+
+TEST(PrefixButterfly, TraceShapeAndConservation) {
+  PrefixButterflySwitch pb(64);
+  Rng rng(332);
+  BitVec valid = rng.bernoulli_bits(64, 0.5);
+  auto trace = pb.route_traced(valid);
+  ASSERT_EQ(trace.rows.size(), pb.butterfly_stages() + 1);
+  // Every stage carries exactly the valid messages, no duplicates.
+  for (const auto& stage : trace.rows) {
+    std::size_t count = 0;
+    std::vector<bool> seen(64, false);
+    for (std::int32_t src : stage) {
+      if (src == kIdle) continue;
+      ++count;
+      ASSERT_FALSE(seen[static_cast<std::size_t>(src)]);
+      seen[static_cast<std::size_t>(src)] = true;
+    }
+    EXPECT_EQ(count, valid.count());
+  }
+}
+
+TEST(PrefixButterfly, StageCountsAreLgN) {
+  PrefixButterflySwitch pb(256);
+  EXPECT_EQ(pb.prefix_steps(), 8u);
+  EXPECT_EQ(pb.butterfly_stages(), 8u);
+  PrefixButterflySwitch tiny(1);
+  EXPECT_EQ(tiny.prefix_steps(), 0u);
+}
+
+}  // namespace
+}  // namespace pcs::hyper

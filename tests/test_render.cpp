@@ -1,0 +1,48 @@
+#include "cost/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace pcs::cost {
+namespace {
+
+TEST(Render, FloorplanContainsStagesAndWiring) {
+  Floorplan2D plan = revsort_floorplan(8);
+  std::string art = render_floorplan(plan, 4);
+  EXPECT_NE(art.find('1'), std::string::npos);  // stage-1 chips
+  EXPECT_NE(art.find('2'), std::string::npos);
+  EXPECT_NE(art.find('3'), std::string::npos);
+  EXPECT_NE(art.find('/'), std::string::npos);  // crossbar hatching
+  EXPECT_NE(art.find("legend"), std::string::npos);
+}
+
+TEST(Render, FloorplanDimensionsScale) {
+  Floorplan2D plan = columnsort_floorplan(8, 4);
+  std::string coarse = render_floorplan(plan, 8);
+  std::string fine = render_floorplan(plan, 2);
+  EXPECT_LT(coarse.size(), fine.size());
+}
+
+TEST(Render, FloorplanGuards) {
+  Floorplan2D plan = revsort_floorplan(64);  // width 8384
+  EXPECT_THROW(render_floorplan(plan, 1), pcs::ContractViolation);
+  EXPECT_THROW(render_floorplan(plan, 0), pcs::ContractViolation);
+  EXPECT_NO_THROW(render_floorplan(plan, 64));
+}
+
+TEST(Render, PackagingListsStacksAndConnectors) {
+  std::string art = render_packaging(columnsort_packaging(64, 8));
+  EXPECT_NE(art.find("stack 1"), std::string::npos);
+  EXPECT_NE(art.find("stack 2"), std::string::npos);
+  EXPECT_NE(art.find("transposers"), std::string::npos);
+  EXPECT_NE(art.find("total volume"), std::string::npos);
+}
+
+TEST(Render, PackagingTruncatesLongStacks) {
+  std::string art = render_packaging(revsort_packaging(64));
+  EXPECT_NE(art.find("more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcs::cost

@@ -1,0 +1,146 @@
+#include "cost/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::cost {
+namespace {
+
+TEST(DelayModel, ChipDelayFormula) {
+  DelayModel dm;  // pad_delay = 2
+  EXPECT_EQ(dm.chip_delay(16), 2u * 4u + 2u);
+  EXPECT_EQ(dm.chip_delay(1), 2u);
+  DelayModel zero{.pad_delay = 0, .shifter_delay = 0};
+  EXPECT_EQ(zero.chip_delay(64), 12u);  // exactly 2 lg n
+}
+
+TEST(ResourceModel, HyperChipBaseline) {
+  ResourceReport r = hyper_chip_report(1024, 512);
+  EXPECT_EQ(r.pins_per_chip, 2048u);  // the pin wall the paper motivates
+  EXPECT_EQ(r.chip_count, 1u);
+  EXPECT_EQ(r.gate_delays, 2u * 10u + 2u);
+  EXPECT_DOUBLE_EQ(r.load_ratio, 1.0);
+}
+
+TEST(ResourceModel, RevsortPaperFormulas) {
+  // n = 4096, sqrt(n) = 64: pins <= 2 sqrt(n) + ceil(lg n / 2) = 128 + 6.
+  ResourceReport r = revsort_report(4096, 2048);
+  EXPECT_EQ(r.pins_per_chip, 2u * 64u + 6u);
+  EXPECT_EQ(r.chip_count, 4u * 64u);  // 3 sqrt(n) hypers + sqrt(n) shifters
+  EXPECT_EQ(r.board_count, 3u * 64u);
+  EXPECT_EQ(r.board_types, 2u);
+  EXPECT_EQ(r.chip_passes, 3u);
+  // Delay = 3 * (2 lg 64 + pad) + shifter = 3 * 14 + 1 with defaults.
+  EXPECT_EQ(r.gate_delays, 43u);
+  // Volume = 4 n^{3/2}: stacks of side boards, stack 2 doubled.
+  EXPECT_EQ(r.volume_3d, 4u * 64u * 4096u);
+  EXPECT_EQ(r.epsilon, (2u * 8u - 1u) * 64u);
+}
+
+TEST(ResourceModel, RevsortDelayIsThreeLgNPlusO1) {
+  DelayModel zero{.pad_delay = 0, .shifter_delay = 0};
+  for (std::size_t n : {16u, 256u, 4096u, 65536u}) {
+    ResourceReport r = revsort_report(n, n / 2, zero);
+    EXPECT_EQ(r.gate_delays, 3u * ceil_log2(n) / 1u) << n;  // 3 * 2 * lg sqrt(n)
+  }
+}
+
+TEST(ResourceModel, ColumnsortPaperFormulas) {
+  // r = 256, s = 16 (n = 4096, beta = 2/3): pins 2r, chips 2s.
+  ResourceReport r = columnsort_report(256, 16, 2048);
+  EXPECT_EQ(r.pins_per_chip, 512u);
+  EXPECT_EQ(r.chip_count, 32u);
+  EXPECT_EQ(r.board_count, 32u);
+  EXPECT_EQ(r.connector_count, 256u);  // s^2
+  EXPECT_EQ(r.epsilon, 225u);          // (16-1)^2
+  EXPECT_EQ(r.chip_passes, 2u);
+  DelayModel zero{.pad_delay = 0, .shifter_delay = 0};
+  EXPECT_EQ(columnsort_report(256, 16, 2048, zero).gate_delays, 4u * 8u);  // 4 lg r
+  // Volume: 2 s r^2 + s^2 (r/s)^2 = 2*16*65536 + 256*256.
+  EXPECT_EQ(r.volume_3d, 2u * 16u * 65536u + 256u * 256u);
+}
+
+TEST(ResourceModel, VolumeScalingExponents) {
+  // Revsort: volume ~ n^{3/2} -> quadrupling n multiplies volume by 8.
+  ResourceReport a = revsort_report(256, 128);
+  ResourceReport b = revsort_report(4096, 2048);  // n x16 -> volume x64
+  EXPECT_EQ(b.volume_3d / a.volume_3d, 64u);
+  // Columnsort at beta = 1/2 (r = s = sqrt(n)): same n^{3/2} law dominates.
+  ResourceReport c = columnsort_report(16, 16, 128);
+  ResourceReport d = columnsort_report(64, 64, 2048);
+  double ratio = static_cast<double>(d.volume_3d) / static_cast<double>(c.volume_3d);
+  EXPECT_NEAR(ratio, 64.0, 8.0);
+}
+
+TEST(ResourceModel, PinVsChipTradeoffAcrossBeta) {
+  // Table 1's tradeoff: raising beta raises pins and lowers chip count.
+  const std::size_t n = 4096, m = 2048;
+  ResourceReport b12 = columnsort_report(64, 64, m);    // beta = 1/2
+  ResourceReport b34 = columnsort_report(512, 8, m);    // beta = 3/4
+  EXPECT_LT(b12.pins_per_chip, b34.pins_per_chip);
+  EXPECT_GT(b12.chip_count, b34.chip_count);
+  EXPECT_LT(b12.gate_delays, b34.gate_delays);
+  EXPECT_LT(b12.volume_3d, b34.volume_3d);
+  EXPECT_LT(b12.load_ratio, b34.load_ratio);  // fewer columns -> better alpha
+  (void)n;
+}
+
+TEST(ResourceModel, FullRevsortReport) {
+  ResourceReport r = full_revsort_report(4096);  // side 64, reps 3, passes 14
+  EXPECT_EQ(r.chip_passes, 14u);
+  EXPECT_EQ(r.chip_count, 14u * 64u + 3u * 64u);
+  EXPECT_DOUBLE_EQ(r.load_ratio, 1.0);
+  EXPECT_EQ(r.epsilon, 0u);
+  // Our structural delay vs the paper's printed formula (documented x2 gap).
+  DelayModel zero{.pad_delay = 0, .shifter_delay = 0};
+  ResourceReport rz = full_revsort_report(4096, zero);
+  EXPECT_EQ(rz.gate_delays, 14u * 12u);  // passes * 2 lg 64
+  EXPECT_EQ(paper_full_revsort_delay_formula(4096), 4u * 12u * 4u + 8u * 12u);
+}
+
+TEST(ResourceModel, FullColumnsortReport) {
+  ResourceReport r = full_columnsort_report(128, 8);
+  EXPECT_EQ(r.chip_passes, 4u);
+  EXPECT_EQ(r.chip_count, 3u * 8u + 9u);
+  DelayModel zero{.pad_delay = 0, .shifter_delay = 0};
+  EXPECT_EQ(full_columnsort_report(128, 8, zero).gate_delays, 4u * 2u * 7u);
+}
+
+TEST(ResourceModel, ShapeValidation) {
+  EXPECT_THROW(revsort_report(32, 16), pcs::ContractViolation);
+  EXPECT_THROW(columnsort_report(10, 4, 20), pcs::ContractViolation);
+  EXPECT_THROW(full_columnsort_report(16, 4), pcs::ContractViolation);
+}
+
+TEST(ResourceModel, ReportToStringMentionsDesign) {
+  ResourceReport r = revsort_report(256, 128);
+  EXPECT_NE(r.to_string().find("revsort"), std::string::npos);
+}
+
+
+TEST(ResourceModel, PartitionedHyperBlowup) {
+  // Section 1: Omega((n/p)^2) chips when tiling the crossbar chip.
+  ResourceReport r = partitioned_hyper_report(4096, 512);  // x = 128
+  EXPECT_EQ(r.chip_count, 32u * 32u);
+  EXPECT_EQ(r.pins_per_chip, 512u);
+  EXPECT_EQ(r.chip_passes, 64u);
+  // Quadratic in 1/pins: halving the pin budget quadruples the chips.
+  ResourceReport half = partitioned_hyper_report(4096, 256);
+  EXPECT_EQ(half.chip_count, 4u * r.chip_count);
+  // And vastly more chips than the Revsort design at the same pin class.
+  ResourceReport rev = revsort_report(4096, 2048);
+  EXPECT_GT(r.chip_count, 3u * rev.chip_count);
+  EXPECT_THROW(partitioned_hyper_report(4096, 4), pcs::ContractViolation);
+}
+
+TEST(ResourceModel, PartitionedHyperDegeneratesToSingleChip) {
+  // With a pin budget covering the whole chip, one tile suffices.
+  ResourceReport r = partitioned_hyper_report(64, 1024);
+  EXPECT_EQ(r.chip_count, 1u);
+  EXPECT_EQ(r.pins_per_chip, 4u * 64u);
+}
+
+}  // namespace
+}  // namespace pcs::cost

@@ -1,0 +1,136 @@
+#include "sortnet/revsort.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sortnet/mesh_ops.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::sortnet {
+namespace {
+
+BitMatrix random_square(std::size_t side, double p, Rng& rng) {
+  return BitMatrix::from_row_major(rng.bernoulli_bits(side * side, p), side, side);
+}
+
+TEST(Revsort, RequiresSquarePow2) {
+  BitMatrix bad1(4, 8);
+  EXPECT_THROW(revsort_algorithm1(bad1), pcs::ContractViolation);
+  BitMatrix bad2(6, 6);
+  EXPECT_THROW(revsort_algorithm1(bad2), pcs::ContractViolation);
+}
+
+TEST(Revsort, Algorithm1EndsColumnSorted) {
+  Rng rng(30);
+  BitMatrix m = random_square(8, 0.5, rng);
+  revsort_algorithm1(m);
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_TRUE(m.col(j).is_sorted_nonincreasing());
+  }
+}
+
+TEST(Revsort, Algorithm1PreservesCount) {
+  Rng rng(31);
+  for (double p : {0.1, 0.5, 0.9}) {
+    BitMatrix m = random_square(16, p, rng);
+    std::size_t before = m.count();
+    revsort_algorithm1(m);
+    EXPECT_EQ(m.count(), before);
+  }
+}
+
+TEST(Revsort, DirtyRowBoundFormula) {
+  // side = 16 -> n = 256, n^{1/4} = 4, bound = 2*4 - 1 = 7.
+  EXPECT_EQ(algorithm1_dirty_row_bound(16), 7u);
+  // side = 64 -> n^{1/4} = 8, bound = 15.
+  EXPECT_EQ(algorithm1_dirty_row_bound(64), 15u);
+  // Non-square side rounds the root up: side = 8 -> ceil(sqrt 8) = 3 -> 5.
+  EXPECT_EQ(algorithm1_dirty_row_bound(8), 5u);
+}
+
+// Theorem 3's prerequisite: dirty rows after Algorithm 1 stay within
+// 2*ceil(n^{1/4}) - 1, over many random densities.
+class RevsortDirtyRows : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RevsortDirtyRows, WithinPaperBound) {
+  const std::size_t side = GetParam();
+  const std::size_t bound = algorithm1_dirty_row_bound(side);
+  Rng rng(32 + side);
+  for (int trial = 0; trial < 60; ++trial) {
+    double p = rng.uniform01();
+    BitMatrix m = random_square(side, p, rng);
+    revsort_algorithm1(m);
+    EXPECT_LE(m.dirty_row_count(), bound)
+        << "side=" << side << " trial=" << trial << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sides, RevsortDirtyRows,
+                         ::testing::Values(4, 8, 16, 32, 64, 128));
+
+TEST(Revsort, DirtyRowsAreContiguousBand) {
+  // After the final column sort, clean-1 rows precede the dirty band which
+  // precedes clean-0 rows (needed for Lemma 1 to apply to the row-major
+  // read-out).
+  Rng rng(33);
+  for (int trial = 0; trial < 30; ++trial) {
+    BitMatrix m = random_square(16, rng.uniform01(), rng);
+    revsort_algorithm1(m);
+    enum { kOnes, kDirty, kZeros } phase = kOnes;
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      std::size_t ones = m.row_count(i);
+      if (ones == m.cols()) {
+        EXPECT_EQ(phase, kOnes) << "clean-1 row after the band, trial " << trial;
+      } else if (ones == 0) {
+        phase = kZeros;
+      } else {
+        EXPECT_NE(phase, kZeros) << "dirty row after clean-0 rows, trial " << trial;
+        phase = kDirty;
+      }
+    }
+  }
+}
+
+TEST(Revsort, FullRepetitionsFormula) {
+  // side = 2^q: reps = ceil(lg q), at least 1.
+  EXPECT_EQ(full_revsort_repetitions(2), 1u);    // q=1
+  EXPECT_EQ(full_revsort_repetitions(4), 1u);    // q=2
+  EXPECT_EQ(full_revsort_repetitions(8), 2u);    // q=3
+  EXPECT_EQ(full_revsort_repetitions(16), 2u);   // q=4
+  EXPECT_EQ(full_revsort_repetitions(32), 3u);   // q=5
+  EXPECT_EQ(full_revsort_repetitions(256), 3u);  // q=8
+  EXPECT_EQ(full_revsort_repetitions(512), 4u);  // q=9
+}
+
+// Section 6's claim: after ceil(lg lg sqrt(n)) repetitions (plus a column
+// sort) at most eight dirty rows remain.
+class RevsortRepeated : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RevsortRepeated, AtMostEightDirtyRows) {
+  const std::size_t side = GetParam();
+  const std::size_t reps = full_revsort_repetitions(side);
+  Rng rng(34 + side);
+  for (int trial = 0; trial < 40; ++trial) {
+    BitMatrix m = random_square(side, rng.uniform01(), rng);
+    std::size_t dirty = revsort_repeated(m, reps);
+    EXPECT_LE(dirty, 8u) << "side=" << side << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sides, RevsortRepeated,
+                         ::testing::Values(4, 8, 16, 32, 64, 128));
+
+TEST(Revsort, MoreRepetitionsNeverHurt) {
+  Rng rng(35);
+  for (int trial = 0; trial < 10; ++trial) {
+    BitMatrix m0 = random_square(32, 0.5, rng);
+    BitMatrix m1 = m0;
+    BitMatrix m2 = m0;
+    std::size_t d1 = revsort_repeated(m1, full_revsort_repetitions(32));
+    std::size_t d2 = revsort_repeated(m2, full_revsort_repetitions(32) + 2);
+    EXPECT_LE(d2, std::max<std::size_t>(d1, 8));
+  }
+}
+
+}  // namespace
+}  // namespace pcs::sortnet

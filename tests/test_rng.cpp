@@ -1,0 +1,98 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace pcs {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.next() != b.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t v = rng.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+  EXPECT_THROW(rng.chance(1.5), ContractViolation);
+}
+
+TEST(Rng, BernoulliDensityReasonable) {
+  Rng rng(13);
+  BitVec bits = rng.bernoulli_bits(20000, 0.3);
+  double density = static_cast<double>(bits.count()) / 20000.0;
+  EXPECT_NEAR(density, 0.3, 0.02);
+}
+
+TEST(Rng, ExactWeightExact) {
+  Rng rng(14);
+  for (std::size_t k : {0u, 1u, 17u, 64u, 100u}) {
+    BitVec bits = rng.exact_weight_bits(100, k);
+    EXPECT_EQ(bits.count(), k) << "k=" << k;
+  }
+  EXPECT_THROW(rng.exact_weight_bits(4, 5), ContractViolation);
+}
+
+TEST(Rng, ExactWeightUniformish) {
+  // Every position should receive roughly k/n of the mass.
+  Rng rng(15);
+  const std::size_t n = 50, k = 10, trials = 5000;
+  std::vector<std::size_t> hits(n, 0);
+  for (std::size_t t = 0; t < trials; ++t) {
+    BitVec bits = rng.exact_weight_bits(n, k);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (bits.get(i)) ++hits[i];
+    }
+  }
+  const double expected = static_cast<double>(trials) * k / n;  // 1000
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(static_cast<double>(hits[i]), expected, expected * 0.15) << "pos " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pcs

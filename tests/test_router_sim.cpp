@@ -1,0 +1,63 @@
+#include "network/router_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcs::net {
+namespace {
+
+TEST(RouterSim, LightLoadFlowsFreely) {
+  ConcentratorTree tree = make_hyper_tree(4, 16, 8, 16);
+  Rng rng(230);
+  TreeSimStats stats = simulate_tree(tree, 0.05, 300, rng);
+  EXPECT_GT(stats.offered, 300u);
+  EXPECT_GT(stats.delivery_rate(), 0.98);
+  EXPECT_LT(stats.mean_latency(), 0.5);
+}
+
+TEST(RouterSim, SaturationBoundedByTrunk) {
+  ConcentratorTree tree = make_hyper_tree(4, 16, 8, 8);
+  Rng rng(231);
+  TreeSimStats stats = simulate_tree(tree, 0.9, 200, rng);
+  // Trunk has 8 outputs: at most 8 deliveries per round.
+  EXPECT_LE(stats.delivered, 200u * 8u);
+  EXPECT_GE(stats.delivered, 190u * 8u);  // saturated
+  // The stable hyperconcentrator favors low-numbered wires, so the winners
+  // repeat (head-of-line starvation): latency stays low for them while the
+  // backlog of starved sources grows to nearly every other source.
+  EXPECT_GT(stats.max_backlog, 40u);
+  EXPECT_NEAR(stats.trunk_utilization(tree), 1.0, 0.05);
+}
+
+TEST(RouterSim, LatencyHistogramAccounts) {
+  ConcentratorTree tree = make_hyper_tree(2, 16, 8, 16);
+  Rng rng(232);
+  TreeSimStats stats = simulate_tree(tree, 0.5, 100, rng);
+  std::size_t histo_total = 0;
+  for (std::size_t c : stats.latency_histogram) histo_total += c;
+  EXPECT_EQ(histo_total, stats.delivered);
+}
+
+TEST(RouterSim, StatsStringMentionsFields) {
+  ConcentratorTree tree = make_hyper_tree(2, 16, 8, 16);
+  Rng rng(233);
+  TreeSimStats stats = simulate_tree(tree, 0.2, 50, rng);
+  std::string s = stats.to_string();
+  EXPECT_NE(s.find("delivered"), std::string::npos);
+  EXPECT_NE(s.find("mean-latency"), std::string::npos);
+}
+
+TEST(RouterSim, PartialVsPerfectTreeThroughputComparable) {
+  // The paper's pitch: partial concentrators substitute for perfect ones at
+  // light load.  Same offered traffic through a Revsort tree and a hyper
+  // tree should deliver similar volume when under capacity.
+  ConcentratorTree perfect = make_hyper_tree(4, 64, 16, 32);
+  ConcentratorTree partial = make_revsort_tree(4, 64, 16, 32);
+  Rng rng_a(234), rng_b(234);
+  TreeSimStats sp = simulate_tree(perfect, 0.1, 200, rng_a);
+  TreeSimStats sq = simulate_tree(partial, 0.1, 200, rng_b);
+  EXPECT_GT(sp.delivery_rate(), 0.95);
+  EXPECT_GT(sq.delivery_rate(), 0.90);
+}
+
+}  // namespace
+}  // namespace pcs::net

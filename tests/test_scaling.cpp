@@ -1,0 +1,98 @@
+#include "cost/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/resource_model.hpp"
+#include "util/assert.hpp"
+
+namespace pcs::cost {
+namespace {
+
+TEST(Scaling, ExactPowerLawRecovered) {
+  std::vector<std::pair<std::size_t, double>> pts;
+  for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+    pts.emplace_back(n, 3.5 * std::pow(static_cast<double>(n), 1.5));
+  }
+  ScalingFit fit = fit_power_law(pts);
+  EXPECT_NEAR(fit.exponent, 1.5, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Scaling, Validation) {
+  EXPECT_THROW(fit_power_law({{4, 1.0}}), pcs::ContractViolation);
+  EXPECT_THROW(fit_power_law({{4, 1.0}, {8, 0.0}}), pcs::ContractViolation);
+  EXPECT_THROW(fit_power_law({{4, 1.0}, {4, 2.0}}), pcs::ContractViolation);
+}
+
+// Table 1's Theta-claims, asserted as fitted exponents over four octaves.
+TEST(Scaling, Table1ExponentsRevsort) {
+  std::vector<std::size_t> ns = {1u << 8, 1u << 12, 1u << 16, 1u << 20};
+  auto pins = fit_power_law_of(ns, [](std::size_t n) {
+    return revsort_report(n, n / 2).pins_per_chip;
+  });
+  EXPECT_NEAR(pins.exponent, 0.5, 0.05);
+  auto chips = fit_power_law_of(ns, [](std::size_t n) {
+    return revsort_report(n, n / 2).chip_count;
+  });
+  EXPECT_NEAR(chips.exponent, 0.5, 0.01);
+  auto volume = fit_power_law_of(ns, [](std::size_t n) {
+    return revsort_report(n, n / 2).volume_3d;
+  });
+  EXPECT_NEAR(volume.exponent, 1.5, 0.01);
+  auto epsilon = fit_power_law_of(ns, [](std::size_t n) {
+    return revsort_report(n, n / 2).epsilon;
+  });
+  EXPECT_NEAR(epsilon.exponent, 0.75, 0.05);  // O(n^{3/4})
+}
+
+TEST(Scaling, Table1ExponentsColumnsort) {
+  // beta = 3/4 shapes: r = n^{3/4}, s = n^{1/4}.
+  std::vector<std::size_t> ns = {1u << 8, 1u << 12, 1u << 16, 1u << 20};
+  auto shape = [](std::size_t n) {
+    std::size_t lg = 0;
+    while ((std::size_t{1} << lg) < n) ++lg;
+    std::size_t r = std::size_t{1} << (3 * lg / 4);
+    return std::pair<std::size_t, std::size_t>{r, n / r};
+  };
+  auto pins = fit_power_law_of(ns, [&](std::size_t n) {
+    auto [r, s] = shape(n);
+    return columnsort_report(r, s, n / 2).pins_per_chip;
+  });
+  EXPECT_NEAR(pins.exponent, 0.75, 0.02);
+  auto chips = fit_power_law_of(ns, [&](std::size_t n) {
+    auto [r, s] = shape(n);
+    return columnsort_report(r, s, n / 2).chip_count;
+  });
+  EXPECT_NEAR(chips.exponent, 0.25, 0.02);
+  auto volume = fit_power_law_of(ns, [&](std::size_t n) {
+    auto [r, s] = shape(n);
+    return columnsort_report(r, s, n / 2).volume_3d;
+  });
+  EXPECT_NEAR(volume.exponent, 1.75, 0.02);
+}
+
+TEST(Scaling, PrefixButterflyChipsNLogN) {
+  std::vector<std::size_t> ns = {1u << 8, 1u << 12, 1u << 16, 1u << 20};
+  auto chips = fit_power_law_of(ns, [](std::size_t n) {
+    return prefix_butterfly_report(n).chip_count;
+  });
+  // n lg n fits a power law with exponent slightly above 1.
+  EXPECT_GT(chips.exponent, 1.0);
+  EXPECT_LT(chips.exponent, 1.2);
+  // Pins stay constant at 4.
+  EXPECT_EQ(prefix_butterfly_report(1 << 8).pins_per_chip, 4u);
+  EXPECT_EQ(prefix_butterfly_report(1 << 20).pins_per_chip, 4u);
+}
+
+TEST(Scaling, GateDelaysAreLogarithmicNotPolynomial) {
+  std::vector<std::size_t> ns = {1u << 8, 1u << 12, 1u << 16, 1u << 20};
+  auto delay = fit_power_law_of(ns, [](std::size_t n) {
+    return revsort_report(n, n / 2).gate_delays;
+  });
+  EXPECT_LT(delay.exponent, 0.2);  // lg n: tiny power-law exponent
+}
+
+}  // namespace
+}  // namespace pcs::cost

@@ -1,0 +1,98 @@
+#include "sortnet/shearsort.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sortnet/mesh_ops.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::sortnet {
+namespace {
+
+TEST(Shearsort, HalvingFormula) {
+  EXPECT_EQ(shearsort_halved(8), 4u);
+  EXPECT_EQ(shearsort_halved(7), 4u);
+  EXPECT_EQ(shearsort_halved(1), 1u);
+  EXPECT_EQ(shearsort_halved(0), 0u);
+}
+
+TEST(Shearsort, PhaseCountFormula) {
+  EXPECT_EQ(shearsort_phase_count(1), 1u);
+  EXPECT_EQ(shearsort_phase_count(8), 4u);
+  EXPECT_EQ(shearsort_phase_count(9), 5u);
+}
+
+// The 0/1 halving lemma: one phase at least halves the dirty-row count of a
+// column-sorted matrix.
+TEST(Shearsort, PhaseHalvesDirtyRows) {
+  Rng rng(40);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitMatrix m =
+        BitMatrix::from_row_major(rng.bernoulli_bits(16 * 16, rng.uniform01()), 16, 16);
+    sort_columns(m);
+    std::size_t before = m.dirty_row_count();
+    shearsort_phase(m);
+    EXPECT_LE(m.dirty_row_count(), shearsort_halved(before)) << "trial " << trial;
+  }
+}
+
+class ShearsortFull : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ShearsortFull, SortsRowMajor) {
+  auto [rows, cols] = GetParam();
+  Rng rng(41 + rows * 31 + cols);
+  for (int trial = 0; trial < 25; ++trial) {
+    BitMatrix m = BitMatrix::from_row_major(
+        rng.bernoulli_bits(rows * cols, rng.uniform01()), rows, cols);
+    std::size_t count = m.count();
+    shearsort_row_major(m);
+    EXPECT_TRUE(is_row_major_sorted(m)) << "shape " << rows << "x" << cols;
+    EXPECT_EQ(m.count(), count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShearsortFull,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{8, 8},
+                      std::pair<std::size_t, std::size_t>{16, 16},
+                      std::pair<std::size_t, std::size_t>{8, 16},
+                      std::pair<std::size_t, std::size_t>{16, 4},
+                      std::pair<std::size_t, std::size_t>{32, 32},
+                      std::pair<std::size_t, std::size_t>{1, 8},
+                      std::pair<std::size_t, std::size_t>{8, 1}));
+
+TEST(Shearsort, FinishAfterFewDirtyRows) {
+  // Three phases plus a row sort complete the job whenever at most eight
+  // dirty rows remain -- the hand-off contract of the full-Revsort
+  // hyperconcentrator (Section 6).
+  Rng rng(42);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Construct a column-sorted matrix with <= 8 dirty rows: clean 1-rows,
+    // then <= 8 random rows, then clean 0-rows, then sort columns.
+    const std::size_t side = 16;
+    BitMatrix m(side, side);
+    std::size_t clean_ones = rng.below(side - 8);
+    for (std::size_t i = 0; i < clean_ones; ++i) {
+      for (std::size_t j = 0; j < side; ++j) m.set(i, j, true);
+    }
+    for (std::size_t i = clean_ones; i < clean_ones + 8; ++i) {
+      for (std::size_t j = 0; j < side; ++j) m.set(i, j, rng.chance(0.5));
+    }
+    sort_columns(m);
+    ASSERT_LE(m.dirty_row_count(), 8u);
+    shearsort_finish(m, 3);
+    EXPECT_TRUE(is_row_major_sorted(m)) << "trial " << trial;
+  }
+}
+
+TEST(Shearsort, AlreadySortedStaysSorted) {
+  BitMatrix m(8, 8);
+  for (std::size_t x = 0; x < 20; ++x) m.set(x / 8, x % 8, true);
+  ASSERT_TRUE(is_row_major_sorted(m));
+  shearsort_row_major(m);
+  EXPECT_TRUE(is_row_major_sorted(m));
+  EXPECT_EQ(m.count(), 20u);
+}
+
+}  // namespace
+}  // namespace pcs::sortnet

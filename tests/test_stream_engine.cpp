@@ -1,0 +1,71 @@
+#include "message/stream_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "switch/hyper_switch.hpp"
+#include "switch/revsort_switch.hpp"
+#include "util/assert.hpp"
+
+namespace pcs::msg {
+namespace {
+
+TEST(StreamEngine, CycleAccounting) {
+  pcs::sw::HyperSwitch sw(32, 16);
+  ExactCountTraffic gen(32, 8);
+  Rng rng(450);
+  PipelineModel pipe{.payload_bits = 15, .gates_per_cycle = 4};
+  StreamStats stats = run_stream(sw, gen, rng, 10, pipe, 12);
+  EXPECT_EQ(stats.flight_cycles, 3u);
+  EXPECT_EQ(stats.total_cycles, 10u * 16u + 3u);
+  EXPECT_EQ(stats.offered, 80u);
+  EXPECT_EQ(stats.delivered, 80u);  // 8 <= m = 16 every batch
+  EXPECT_EQ(stats.payload_bits, 80u * 15u);
+  EXPECT_DOUBLE_EQ(stats.delivery_rate(), 1.0);
+}
+
+TEST(StreamEngine, ThroughputApproachesModel) {
+  // At saturation the measured bits/cycle approaches the PipelineModel's
+  // prediction m * L / (L + 1) as the flight amortizes out.
+  pcs::sw::HyperSwitch sw(64, 16);
+  ExactCountTraffic gen(64, 64);  // saturating: every wire offers
+  Rng rng(451);
+  PipelineModel pipe{.payload_bits = 31, .gates_per_cycle = 8};
+  StreamStats stats = run_stream(sw, gen, rng, 200, pipe, 16);
+  double predicted = pipe.payload_bits_per_cycle(16.0);
+  EXPECT_NEAR(stats.bits_per_cycle(), predicted, predicted * 0.02);
+}
+
+TEST(StreamEngine, PartialConcentratorUnderCapacityLossless) {
+  pcs::sw::RevsortSwitch sw(256, 256);  // capacity 256 - 112 = 144
+  ExactCountTraffic gen(256, 100);
+  Rng rng(452);
+  PipelineModel pipe{};
+  StreamStats stats =
+      run_stream(sw, gen, rng, 50, pipe, pcs::core::revsort_delay_formula(256, 7));
+  EXPECT_DOUBLE_EQ(stats.delivery_rate(), 1.0);
+}
+
+TEST(StreamEngine, WidthMismatchRejected) {
+  pcs::sw::HyperSwitch sw(32, 16);
+  BernoulliTraffic gen(16, 0.5);
+  Rng rng(453);
+  PipelineModel pipe{};
+  EXPECT_THROW(run_stream(sw, gen, rng, 5, pipe, 10), pcs::ContractViolation);
+}
+
+TEST(StreamEngine, DeeperSwitchOnlyAddsTailCycles) {
+  pcs::sw::HyperSwitch sw(32, 16);
+  ExactCountTraffic gen(32, 8);
+  PipelineModel pipe{.payload_bits = 16, .gates_per_cycle = 8};
+  Rng ra(454), rb(454);
+  StreamStats shallow = run_stream(sw, gen, ra, 100, pipe, 8);
+  ExactCountTraffic gen2(32, 8);
+  StreamStats deep = run_stream(sw, gen2, rb, 100, pipe, 80);
+  EXPECT_EQ(deep.delivered, shallow.delivered);
+  EXPECT_EQ(deep.total_cycles - shallow.total_cycles,
+            deep.flight_cycles - shallow.flight_cycles);
+}
+
+}  // namespace
+}  // namespace pcs::msg

@@ -1,0 +1,87 @@
+#include "cost/table1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace pcs::cost {
+namespace {
+
+TEST(Table1, ColumnsPresent) {
+  auto cols = table1_columns(4096, 2048);
+  ASSERT_EQ(cols.size(), 4u);
+  EXPECT_EQ(cols[0].header, "Revsort");
+  EXPECT_NE(cols[1].header.find("0.5"), std::string::npos);
+  EXPECT_NE(cols[2].header.find("0.625"), std::string::npos);
+  EXPECT_NE(cols[3].header.find("0.75"), std::string::npos);
+}
+
+TEST(Table1, RevsortAndHalfBetaMatchAsymptotically) {
+  // The paper's point: Columnsort at beta = 1/2 matches Revsort's pins,
+  // chips, and volume up to constants, with *better* delay but *worse*
+  // load ratio.
+  auto cols = table1_columns(4096, 2048);
+  const ResourceReport& rev = cols[0].report;
+  const ResourceReport& half = cols[1].report;
+  EXPECT_NEAR(static_cast<double>(half.pins_per_chip) /
+                  static_cast<double>(rev.pins_per_chip),
+              1.0, 0.25);
+  EXPECT_NEAR(static_cast<double>(half.chip_count) /
+                  static_cast<double>(rev.chip_count),
+              0.5, 0.3);  // 2 sqrt(n) vs 4 sqrt(n) incl. shifters
+  EXPECT_LT(half.gate_delays, rev.gate_delays);
+  EXPECT_LT(half.load_ratio, rev.load_ratio);
+}
+
+TEST(Table1, DelayOrderingAcrossBetas) {
+  auto cols = table1_columns(4096, 2048);
+  // 2 lg n < 5/2 lg n < 3 lg n: beta = 1/2 fastest, 3/4 slowest.
+  EXPECT_LT(cols[1].report.gate_delays, cols[2].report.gate_delays);
+  EXPECT_LT(cols[2].report.gate_delays, cols[3].report.gate_delays);
+  // Revsort ties Columnsort beta = 3/4 at 3 lg n (up to the O(1)).
+  EXPECT_NEAR(static_cast<double>(cols[0].report.gate_delays),
+              static_cast<double>(cols[3].report.gate_delays), 8.0);
+}
+
+TEST(Table1, ScalingExponentsAcrossN) {
+  // Check the Theta exponents by ratio between n = 2^12 and n = 2^16.
+  auto small = table1_columns(1u << 12, 1u << 11);
+  auto large = table1_columns(1u << 16, 1u << 15);
+  // Revsort pins ~ n^{1/2}: ratio 4 (x16 in n).
+  double pin_ratio = static_cast<double>(large[0].report.pins_per_chip) /
+                     static_cast<double>(small[0].report.pins_per_chip);
+  EXPECT_NEAR(pin_ratio, 4.0, 0.5);
+  // Columnsort beta = 3/4 pins ~ n^{3/4}: ratio 8.
+  double pin_ratio34 = static_cast<double>(large[3].report.pins_per_chip) /
+                       static_cast<double>(small[3].report.pins_per_chip);
+  EXPECT_NEAR(pin_ratio34, 8.0, 1.0);
+  // Revsort volume ~ n^{3/2}: ratio 64.
+  double vol_ratio = static_cast<double>(large[0].report.volume_3d) /
+                     static_cast<double>(small[0].report.volume_3d);
+  EXPECT_NEAR(vol_ratio, 64.0, 4.0);
+  // Columnsort beta = 3/4 volume ~ n^{7/4}: ratio 128.
+  double vol_ratio34 = static_cast<double>(large[3].report.volume_3d) /
+                       static_cast<double>(small[3].report.volume_3d);
+  EXPECT_NEAR(vol_ratio34, 128.0, 20.0);
+  // Chip counts: Revsort ~ n^{1/2} (x4), beta = 3/4 ~ n^{1/4} (x2).
+  EXPECT_EQ(large[0].report.chip_count / small[0].report.chip_count, 4u);
+  EXPECT_EQ(large[3].report.chip_count / small[3].report.chip_count, 2u);
+}
+
+TEST(Table1, RenderedTablesContainRows) {
+  std::string concrete = render_table1(4096, 2048);
+  for (const char* needle : {"pins per chip", "chip count", "load ratio",
+                             "gate delays", "volume"}) {
+    EXPECT_NE(concrete.find(needle), std::string::npos) << needle;
+  }
+  std::string asym = render_table1_asymptotic();
+  EXPECT_NE(asym.find("Revsort"), std::string::npos);
+  EXPECT_NE(asym.find("3 lg n + O(1)"), std::string::npos);
+}
+
+TEST(Table1, RequiresPowerOfTwo) {
+  EXPECT_THROW(table1_columns(1000, 500), pcs::ContractViolation);
+}
+
+}  // namespace
+}  // namespace pcs::cost

@@ -1,0 +1,115 @@
+#include "switch/wiring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::sw {
+namespace {
+
+TEST(Permutation, IdentityAndValidation) {
+  Permutation id = Permutation::identity(5);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(id.dest(i), i);
+  EXPECT_THROW(Permutation({0, 0, 1}), pcs::ContractViolation);  // not injective
+  EXPECT_THROW(Permutation({0, 3}), pcs::ContractViolation);     // out of range
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  Rng rng(110);
+  std::vector<std::uint32_t> d(16);
+  for (std::size_t i = 0; i < 16; ++i) d[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = 15; i > 0; --i) std::swap(d[i], d[rng.below(i + 1)]);
+  Permutation p(d);
+  EXPECT_EQ(p.then(p.inverse()), Permutation::identity(16));
+  EXPECT_EQ(p.inverse().then(p), Permutation::identity(16));
+}
+
+TEST(Permutation, ApplyMovesSlots) {
+  Permutation p({2, 0, 1});
+  std::vector<std::int32_t> in = {10, 11, 12};
+  EXPECT_EQ(p.apply(in), (std::vector<std::int32_t>{11, 12, 10}));
+  BitVec bits = BitVec::from_string("110");
+  EXPECT_EQ(p.apply_bits(bits).to_string(), "101");
+}
+
+TEST(Wiring, TransposeIsSelfInverse) {
+  for (std::size_t side : {2u, 4u, 8u}) {
+    Permutation t = transpose_wiring(side);
+    EXPECT_TRUE(t.is_bijection());
+    EXPECT_EQ(t.then(t), Permutation::identity(side * side));
+  }
+}
+
+TEST(Wiring, TransposeMatchesPaperIndexing) {
+  // Y_{1,j,i} -> X_{2,i,j}: flat j*side + i -> i*side + j.
+  const std::size_t side = 4;
+  Permutation t = transpose_wiring(side);
+  for (std::size_t j = 0; j < side; ++j) {
+    for (std::size_t i = 0; i < side; ++i) {
+      EXPECT_EQ(t.dest(j * side + i), i * side + j);
+    }
+  }
+}
+
+TEST(Wiring, RevRotateTransposeMatchesPaperIndexing) {
+  // Y_{2,i,j} -> X_{3,(rev(i)+j) mod v, i}.
+  const std::size_t v = 8;
+  const unsigned q = pcs::exact_log2(v);
+  Permutation w = rev_rotate_transpose_wiring(v);
+  for (std::size_t i = 0; i < v; ++i) {
+    for (std::size_t j = 0; j < v; ++j) {
+      std::size_t target_chip = (pcs::bit_reverse(i, q) + j) % v;
+      EXPECT_EQ(w.dest(i * v + j), target_chip * v + i);
+    }
+  }
+}
+
+TEST(Wiring, RevRotateTransposeEqualsRotationThenTranspose) {
+  // The combined wiring must equal: rotate row i right by rev(i), then
+  // transpose -- the decomposition Figure 4 realizes with barrel shifters.
+  const std::size_t v = 8;
+  const unsigned q = pcs::exact_log2(v);
+  std::vector<std::uint32_t> rotate(v * v);
+  for (std::size_t i = 0; i < v; ++i) {
+    for (std::size_t j = 0; j < v; ++j) {
+      std::size_t new_col = (pcs::bit_reverse(i, q) + j) % v;
+      rotate[i * v + j] = static_cast<std::uint32_t>(i * v + new_col);
+    }
+  }
+  Permutation rot(rotate);
+  EXPECT_EQ(rot.then(transpose_wiring(v)), rev_rotate_transpose_wiring(v));
+}
+
+TEST(Wiring, RevRotateRequiresPow2) {
+  EXPECT_THROW(rev_rotate_transpose_wiring(6), pcs::ContractViolation);
+}
+
+TEST(Wiring, CmToRmMatchesPaperIndexing) {
+  // Y_{1,j,i} -> X_{2,(rj+i) mod s, floor((rj+i)/s)}.
+  const std::size_t r = 8, s = 4;
+  Permutation w = cm_to_rm_wiring(r, s);
+  for (std::size_t j = 0; j < s; ++j) {
+    for (std::size_t i = 0; i < r; ++i) {
+      std::size_t x = r * j + i;
+      EXPECT_EQ(w.dest(j * r + i), (x % s) * r + (x / s));
+    }
+  }
+}
+
+TEST(Wiring, CmToRmIsBijection) {
+  for (auto [r, s] : {std::pair<std::size_t, std::size_t>{8, 4},
+                      std::pair<std::size_t, std::size_t>{16, 2},
+                      std::pair<std::size_t, std::size_t>{6, 3}}) {
+    EXPECT_TRUE(cm_to_rm_wiring(r, s).is_bijection());
+  }
+}
+
+TEST(Wiring, WireIndexConvention) {
+  EXPECT_EQ(wire_index(0, 0, 8), 0u);
+  EXPECT_EQ(wire_index(2, 3, 8), 19u);
+}
+
+}  // namespace
+}  // namespace pcs::sw
