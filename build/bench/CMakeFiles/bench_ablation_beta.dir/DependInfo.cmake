@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_beta.cpp" "bench/CMakeFiles/bench_ablation_beta.dir/bench_ablation_beta.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_beta.dir/bench_ablation_beta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_sortnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dirty_rows.dir/bench_dirty_rows.cpp.o"
+  "CMakeFiles/bench_dirty_rows.dir/bench_dirty_rows.cpp.o.d"
+  "bench_dirty_rows"
+  "bench_dirty_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dirty_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_converse.dir/bench_fig2_converse.cpp.o"
+  "CMakeFiles/bench_fig2_converse.dir/bench_fig2_converse.cpp.o.d"
+  "bench_fig2_converse"
+  "bench_fig2_converse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_converse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fig4_revsort_layout.dir/bench_fig3_fig4_revsort_layout.cpp.o"
+  "CMakeFiles/bench_fig3_fig4_revsort_layout.dir/bench_fig3_fig4_revsort_layout.cpp.o.d"
+  "bench_fig3_fig4_revsort_layout"
+  "bench_fig3_fig4_revsort_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fig4_revsort_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

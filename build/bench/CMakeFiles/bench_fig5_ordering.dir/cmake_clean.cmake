@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_ordering.dir/bench_fig5_ordering.cpp.o"
+  "CMakeFiles/bench_fig5_ordering.dir/bench_fig5_ordering.cpp.o.d"
+  "bench_fig5_ordering"
+  "bench_fig5_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_full_hyper.dir/bench_full_hyper.cpp.o"
+  "CMakeFiles/bench_full_hyper.dir/bench_full_hyper.cpp.o.d"
+  "bench_full_hyper"
+  "bench_full_hyper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_full_hyper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

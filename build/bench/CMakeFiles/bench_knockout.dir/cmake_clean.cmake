@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_knockout.dir/bench_knockout.cpp.o"
+  "CMakeFiles/bench_knockout.dir/bench_knockout.cpp.o.d"
+  "bench_knockout"
+  "bench_knockout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_knockout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_load_ratio.dir/bench_load_ratio.cpp.o"
+  "CMakeFiles/bench_load_ratio.dir/bench_load_ratio.cpp.o.d"
+  "bench_load_ratio"
+  "bench_load_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_load_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multistage.dir/bench_multistage.cpp.o"
+  "CMakeFiles/bench_multistage.dir/bench_multistage.cpp.o.d"
+  "bench_multistage"
+  "bench_multistage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multistage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

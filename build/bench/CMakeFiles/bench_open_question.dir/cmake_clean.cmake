@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_open_question.dir/bench_open_question.cpp.o"
+  "CMakeFiles/bench_open_question.dir/bench_open_question.cpp.o.d"
+  "bench_open_question"
+  "bench_open_question.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_open_question.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

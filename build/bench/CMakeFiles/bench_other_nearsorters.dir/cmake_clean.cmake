@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_other_nearsorters.dir/bench_other_nearsorters.cpp.o"
+  "CMakeFiles/bench_other_nearsorters.dir/bench_other_nearsorters.cpp.o.d"
+  "bench_other_nearsorters"
+  "bench_other_nearsorters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_other_nearsorters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/butterfly_trace.dir/butterfly_trace.cpp.o"
+  "CMakeFiles/butterfly_trace.dir/butterfly_trace.cpp.o.d"
+  "butterfly_trace"
+  "butterfly_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/butterfly_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

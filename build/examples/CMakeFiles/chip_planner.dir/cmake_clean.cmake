@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_planner.dir/chip_planner.cpp.o"
+  "CMakeFiles/chip_planner.dir/chip_planner.cpp.o.d"
+  "chip_planner"
+  "chip_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

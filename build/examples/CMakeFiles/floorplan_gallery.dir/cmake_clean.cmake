@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan_gallery.dir/floorplan_gallery.cpp.o"
+  "CMakeFiles/floorplan_gallery.dir/floorplan_gallery.cpp.o.d"
+  "floorplan_gallery"
+  "floorplan_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

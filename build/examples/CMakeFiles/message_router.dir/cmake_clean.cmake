@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_router.dir/message_router.cpp.o"
+  "CMakeFiles/message_router.dir/message_router.cpp.o.d"
+  "message_router"
+  "message_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorting_visualizer.dir/sorting_visualizer.cpp.o"
+  "CMakeFiles/sorting_visualizer.dir/sorting_visualizer.cpp.o.d"
+  "sorting_visualizer"
+  "sorting_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorting_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_new_switch.dir/verify_new_switch.cpp.o"
+  "CMakeFiles/verify_new_switch.dir/verify_new_switch.cpp.o.d"
+  "verify_new_switch"
+  "verify_new_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_new_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

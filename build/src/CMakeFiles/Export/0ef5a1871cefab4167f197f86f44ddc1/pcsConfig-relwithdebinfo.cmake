@@ -1,0 +1,99 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "pcs::pcs_util" for configuration "RelWithDebInfo"
+set_property(TARGET pcs::pcs_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pcs::pcs_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpcs_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets pcs::pcs_util )
+list(APPEND _cmake_import_check_files_for_pcs::pcs_util "${_IMPORT_PREFIX}/lib/libpcs_util.a" )
+
+# Import target "pcs::pcs_sortnet" for configuration "RelWithDebInfo"
+set_property(TARGET pcs::pcs_sortnet APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pcs::pcs_sortnet PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpcs_sortnet.a"
+  )
+
+list(APPEND _cmake_import_check_targets pcs::pcs_sortnet )
+list(APPEND _cmake_import_check_files_for_pcs::pcs_sortnet "${_IMPORT_PREFIX}/lib/libpcs_sortnet.a" )
+
+# Import target "pcs::pcs_gates" for configuration "RelWithDebInfo"
+set_property(TARGET pcs::pcs_gates APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pcs::pcs_gates PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpcs_gates.a"
+  )
+
+list(APPEND _cmake_import_check_targets pcs::pcs_gates )
+list(APPEND _cmake_import_check_files_for_pcs::pcs_gates "${_IMPORT_PREFIX}/lib/libpcs_gates.a" )
+
+# Import target "pcs::pcs_hyper" for configuration "RelWithDebInfo"
+set_property(TARGET pcs::pcs_hyper APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pcs::pcs_hyper PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpcs_hyper.a"
+  )
+
+list(APPEND _cmake_import_check_targets pcs::pcs_hyper )
+list(APPEND _cmake_import_check_files_for_pcs::pcs_hyper "${_IMPORT_PREFIX}/lib/libpcs_hyper.a" )
+
+# Import target "pcs::pcs_switch" for configuration "RelWithDebInfo"
+set_property(TARGET pcs::pcs_switch APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pcs::pcs_switch PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpcs_switch.a"
+  )
+
+list(APPEND _cmake_import_check_targets pcs::pcs_switch )
+list(APPEND _cmake_import_check_files_for_pcs::pcs_switch "${_IMPORT_PREFIX}/lib/libpcs_switch.a" )
+
+# Import target "pcs::pcs_cost" for configuration "RelWithDebInfo"
+set_property(TARGET pcs::pcs_cost APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pcs::pcs_cost PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpcs_cost.a"
+  )
+
+list(APPEND _cmake_import_check_targets pcs::pcs_cost )
+list(APPEND _cmake_import_check_files_for_pcs::pcs_cost "${_IMPORT_PREFIX}/lib/libpcs_cost.a" )
+
+# Import target "pcs::pcs_message" for configuration "RelWithDebInfo"
+set_property(TARGET pcs::pcs_message APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pcs::pcs_message PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpcs_message.a"
+  )
+
+list(APPEND _cmake_import_check_targets pcs::pcs_message )
+list(APPEND _cmake_import_check_files_for_pcs::pcs_message "${_IMPORT_PREFIX}/lib/libpcs_message.a" )
+
+# Import target "pcs::pcs_network" for configuration "RelWithDebInfo"
+set_property(TARGET pcs::pcs_network APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pcs::pcs_network PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpcs_network.a"
+  )
+
+list(APPEND _cmake_import_check_targets pcs::pcs_network )
+list(APPEND _cmake_import_check_files_for_pcs::pcs_network "${_IMPORT_PREFIX}/lib/libpcs_network.a" )
+
+# Import target "pcs::pcs_core" for configuration "RelWithDebInfo"
+set_property(TARGET pcs::pcs_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pcs::pcs_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpcs_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets pcs::pcs_core )
+list(APPEND _cmake_import_check_files_for_pcs::pcs_core "${_IMPORT_PREFIX}/lib/libpcs_core.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

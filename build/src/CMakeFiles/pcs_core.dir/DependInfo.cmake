@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversary.cpp" "src/CMakeFiles/pcs_core.dir/core/adversary.cpp.o" "gcc" "src/CMakeFiles/pcs_core.dir/core/adversary.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/CMakeFiles/pcs_core.dir/core/bounds.cpp.o" "gcc" "src/CMakeFiles/pcs_core.dir/core/bounds.cpp.o.d"
+  "/root/repo/src/core/epsilon_stats.cpp" "src/CMakeFiles/pcs_core.dir/core/epsilon_stats.cpp.o" "gcc" "src/CMakeFiles/pcs_core.dir/core/epsilon_stats.cpp.o.d"
+  "/root/repo/src/core/lemmas.cpp" "src/CMakeFiles/pcs_core.dir/core/lemmas.cpp.o" "gcc" "src/CMakeFiles/pcs_core.dir/core/lemmas.cpp.o.d"
+  "/root/repo/src/core/verification.cpp" "src/CMakeFiles/pcs_core.dir/core/verification.cpp.o" "gcc" "src/CMakeFiles/pcs_core.dir/core/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_sortnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

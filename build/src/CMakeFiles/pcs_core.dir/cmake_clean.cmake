@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_core.dir/core/adversary.cpp.o"
+  "CMakeFiles/pcs_core.dir/core/adversary.cpp.o.d"
+  "CMakeFiles/pcs_core.dir/core/bounds.cpp.o"
+  "CMakeFiles/pcs_core.dir/core/bounds.cpp.o.d"
+  "CMakeFiles/pcs_core.dir/core/epsilon_stats.cpp.o"
+  "CMakeFiles/pcs_core.dir/core/epsilon_stats.cpp.o.d"
+  "CMakeFiles/pcs_core.dir/core/lemmas.cpp.o"
+  "CMakeFiles/pcs_core.dir/core/lemmas.cpp.o.d"
+  "CMakeFiles/pcs_core.dir/core/verification.cpp.o"
+  "CMakeFiles/pcs_core.dir/core/verification.cpp.o.d"
+  "libpcs_core.a"
+  "libpcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

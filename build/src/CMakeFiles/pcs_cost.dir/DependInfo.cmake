@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/layout.cpp" "src/CMakeFiles/pcs_cost.dir/cost/layout.cpp.o" "gcc" "src/CMakeFiles/pcs_cost.dir/cost/layout.cpp.o.d"
+  "/root/repo/src/cost/render.cpp" "src/CMakeFiles/pcs_cost.dir/cost/render.cpp.o" "gcc" "src/CMakeFiles/pcs_cost.dir/cost/render.cpp.o.d"
+  "/root/repo/src/cost/resource_model.cpp" "src/CMakeFiles/pcs_cost.dir/cost/resource_model.cpp.o" "gcc" "src/CMakeFiles/pcs_cost.dir/cost/resource_model.cpp.o.d"
+  "/root/repo/src/cost/scaling.cpp" "src/CMakeFiles/pcs_cost.dir/cost/scaling.cpp.o" "gcc" "src/CMakeFiles/pcs_cost.dir/cost/scaling.cpp.o.d"
+  "/root/repo/src/cost/table1.cpp" "src/CMakeFiles/pcs_cost.dir/cost/table1.cpp.o" "gcc" "src/CMakeFiles/pcs_cost.dir/cost/table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_sortnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_cost.dir/cost/layout.cpp.o"
+  "CMakeFiles/pcs_cost.dir/cost/layout.cpp.o.d"
+  "CMakeFiles/pcs_cost.dir/cost/render.cpp.o"
+  "CMakeFiles/pcs_cost.dir/cost/render.cpp.o.d"
+  "CMakeFiles/pcs_cost.dir/cost/resource_model.cpp.o"
+  "CMakeFiles/pcs_cost.dir/cost/resource_model.cpp.o.d"
+  "CMakeFiles/pcs_cost.dir/cost/scaling.cpp.o"
+  "CMakeFiles/pcs_cost.dir/cost/scaling.cpp.o.d"
+  "CMakeFiles/pcs_cost.dir/cost/table1.cpp.o"
+  "CMakeFiles/pcs_cost.dir/cost/table1.cpp.o.d"
+  "libpcs_cost.a"
+  "libpcs_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

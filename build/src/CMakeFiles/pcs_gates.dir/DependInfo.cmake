@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gates/builder.cpp" "src/CMakeFiles/pcs_gates.dir/gates/builder.cpp.o" "gcc" "src/CMakeFiles/pcs_gates.dir/gates/builder.cpp.o.d"
+  "/root/repo/src/gates/circuit.cpp" "src/CMakeFiles/pcs_gates.dir/gates/circuit.cpp.o" "gcc" "src/CMakeFiles/pcs_gates.dir/gates/circuit.cpp.o.d"
+  "/root/repo/src/gates/evaluator.cpp" "src/CMakeFiles/pcs_gates.dir/gates/evaluator.cpp.o" "gcc" "src/CMakeFiles/pcs_gates.dir/gates/evaluator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_gates.dir/gates/builder.cpp.o"
+  "CMakeFiles/pcs_gates.dir/gates/builder.cpp.o.d"
+  "CMakeFiles/pcs_gates.dir/gates/circuit.cpp.o"
+  "CMakeFiles/pcs_gates.dir/gates/circuit.cpp.o.d"
+  "CMakeFiles/pcs_gates.dir/gates/evaluator.cpp.o"
+  "CMakeFiles/pcs_gates.dir/gates/evaluator.cpp.o.d"
+  "libpcs_gates.a"
+  "libpcs_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

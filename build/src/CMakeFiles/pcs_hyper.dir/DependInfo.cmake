@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hyper/barrel_shifter.cpp" "src/CMakeFiles/pcs_hyper.dir/hyper/barrel_shifter.cpp.o" "gcc" "src/CMakeFiles/pcs_hyper.dir/hyper/barrel_shifter.cpp.o.d"
+  "/root/repo/src/hyper/hyper_circuit.cpp" "src/CMakeFiles/pcs_hyper.dir/hyper/hyper_circuit.cpp.o" "gcc" "src/CMakeFiles/pcs_hyper.dir/hyper/hyper_circuit.cpp.o.d"
+  "/root/repo/src/hyper/hyperconcentrator.cpp" "src/CMakeFiles/pcs_hyper.dir/hyper/hyperconcentrator.cpp.o" "gcc" "src/CMakeFiles/pcs_hyper.dir/hyper/hyperconcentrator.cpp.o.d"
+  "/root/repo/src/hyper/prefix_butterfly.cpp" "src/CMakeFiles/pcs_hyper.dir/hyper/prefix_butterfly.cpp.o" "gcc" "src/CMakeFiles/pcs_hyper.dir/hyper/prefix_butterfly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_hyper.dir/hyper/barrel_shifter.cpp.o"
+  "CMakeFiles/pcs_hyper.dir/hyper/barrel_shifter.cpp.o.d"
+  "CMakeFiles/pcs_hyper.dir/hyper/hyper_circuit.cpp.o"
+  "CMakeFiles/pcs_hyper.dir/hyper/hyper_circuit.cpp.o.d"
+  "CMakeFiles/pcs_hyper.dir/hyper/hyperconcentrator.cpp.o"
+  "CMakeFiles/pcs_hyper.dir/hyper/hyperconcentrator.cpp.o.d"
+  "CMakeFiles/pcs_hyper.dir/hyper/prefix_butterfly.cpp.o"
+  "CMakeFiles/pcs_hyper.dir/hyper/prefix_butterfly.cpp.o.d"
+  "libpcs_hyper.a"
+  "libpcs_hyper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_hyper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/message/ack_protocol.cpp" "src/CMakeFiles/pcs_message.dir/message/ack_protocol.cpp.o" "gcc" "src/CMakeFiles/pcs_message.dir/message/ack_protocol.cpp.o.d"
+  "/root/repo/src/message/clocked_sim.cpp" "src/CMakeFiles/pcs_message.dir/message/clocked_sim.cpp.o" "gcc" "src/CMakeFiles/pcs_message.dir/message/clocked_sim.cpp.o.d"
+  "/root/repo/src/message/congestion.cpp" "src/CMakeFiles/pcs_message.dir/message/congestion.cpp.o" "gcc" "src/CMakeFiles/pcs_message.dir/message/congestion.cpp.o.d"
+  "/root/repo/src/message/message.cpp" "src/CMakeFiles/pcs_message.dir/message/message.cpp.o" "gcc" "src/CMakeFiles/pcs_message.dir/message/message.cpp.o.d"
+  "/root/repo/src/message/pipeline.cpp" "src/CMakeFiles/pcs_message.dir/message/pipeline.cpp.o" "gcc" "src/CMakeFiles/pcs_message.dir/message/pipeline.cpp.o.d"
+  "/root/repo/src/message/stream_engine.cpp" "src/CMakeFiles/pcs_message.dir/message/stream_engine.cpp.o" "gcc" "src/CMakeFiles/pcs_message.dir/message/stream_engine.cpp.o.d"
+  "/root/repo/src/message/traffic.cpp" "src/CMakeFiles/pcs_message.dir/message/traffic.cpp.o" "gcc" "src/CMakeFiles/pcs_message.dir/message/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_sortnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

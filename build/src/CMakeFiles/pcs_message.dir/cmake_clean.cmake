@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_message.dir/message/ack_protocol.cpp.o"
+  "CMakeFiles/pcs_message.dir/message/ack_protocol.cpp.o.d"
+  "CMakeFiles/pcs_message.dir/message/clocked_sim.cpp.o"
+  "CMakeFiles/pcs_message.dir/message/clocked_sim.cpp.o.d"
+  "CMakeFiles/pcs_message.dir/message/congestion.cpp.o"
+  "CMakeFiles/pcs_message.dir/message/congestion.cpp.o.d"
+  "CMakeFiles/pcs_message.dir/message/message.cpp.o"
+  "CMakeFiles/pcs_message.dir/message/message.cpp.o.d"
+  "CMakeFiles/pcs_message.dir/message/pipeline.cpp.o"
+  "CMakeFiles/pcs_message.dir/message/pipeline.cpp.o.d"
+  "CMakeFiles/pcs_message.dir/message/stream_engine.cpp.o"
+  "CMakeFiles/pcs_message.dir/message/stream_engine.cpp.o.d"
+  "CMakeFiles/pcs_message.dir/message/traffic.cpp.o"
+  "CMakeFiles/pcs_message.dir/message/traffic.cpp.o.d"
+  "libpcs_message.a"
+  "libpcs_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/concentrator_tree.cpp" "src/CMakeFiles/pcs_network.dir/network/concentrator_tree.cpp.o" "gcc" "src/CMakeFiles/pcs_network.dir/network/concentrator_tree.cpp.o.d"
+  "/root/repo/src/network/knockout.cpp" "src/CMakeFiles/pcs_network.dir/network/knockout.cpp.o" "gcc" "src/CMakeFiles/pcs_network.dir/network/knockout.cpp.o.d"
+  "/root/repo/src/network/multistage.cpp" "src/CMakeFiles/pcs_network.dir/network/multistage.cpp.o" "gcc" "src/CMakeFiles/pcs_network.dir/network/multistage.cpp.o.d"
+  "/root/repo/src/network/router_sim.cpp" "src/CMakeFiles/pcs_network.dir/network/router_sim.cpp.o" "gcc" "src/CMakeFiles/pcs_network.dir/network/router_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_sortnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

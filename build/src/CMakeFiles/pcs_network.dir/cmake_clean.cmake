@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_network.dir/network/concentrator_tree.cpp.o"
+  "CMakeFiles/pcs_network.dir/network/concentrator_tree.cpp.o.d"
+  "CMakeFiles/pcs_network.dir/network/knockout.cpp.o"
+  "CMakeFiles/pcs_network.dir/network/knockout.cpp.o.d"
+  "CMakeFiles/pcs_network.dir/network/multistage.cpp.o"
+  "CMakeFiles/pcs_network.dir/network/multistage.cpp.o.d"
+  "CMakeFiles/pcs_network.dir/network/router_sim.cpp.o"
+  "CMakeFiles/pcs_network.dir/network/router_sim.cpp.o.d"
+  "libpcs_network.a"
+  "libpcs_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sortnet/columnsort.cpp" "src/CMakeFiles/pcs_sortnet.dir/sortnet/columnsort.cpp.o" "gcc" "src/CMakeFiles/pcs_sortnet.dir/sortnet/columnsort.cpp.o.d"
+  "/root/repo/src/sortnet/comparator_net.cpp" "src/CMakeFiles/pcs_sortnet.dir/sortnet/comparator_net.cpp.o" "gcc" "src/CMakeFiles/pcs_sortnet.dir/sortnet/comparator_net.cpp.o.d"
+  "/root/repo/src/sortnet/displacement.cpp" "src/CMakeFiles/pcs_sortnet.dir/sortnet/displacement.cpp.o" "gcc" "src/CMakeFiles/pcs_sortnet.dir/sortnet/displacement.cpp.o.d"
+  "/root/repo/src/sortnet/mesh_ops.cpp" "src/CMakeFiles/pcs_sortnet.dir/sortnet/mesh_ops.cpp.o" "gcc" "src/CMakeFiles/pcs_sortnet.dir/sortnet/mesh_ops.cpp.o.d"
+  "/root/repo/src/sortnet/nearsort.cpp" "src/CMakeFiles/pcs_sortnet.dir/sortnet/nearsort.cpp.o" "gcc" "src/CMakeFiles/pcs_sortnet.dir/sortnet/nearsort.cpp.o.d"
+  "/root/repo/src/sortnet/revsort.cpp" "src/CMakeFiles/pcs_sortnet.dir/sortnet/revsort.cpp.o" "gcc" "src/CMakeFiles/pcs_sortnet.dir/sortnet/revsort.cpp.o.d"
+  "/root/repo/src/sortnet/shearsort.cpp" "src/CMakeFiles/pcs_sortnet.dir/sortnet/shearsort.cpp.o" "gcc" "src/CMakeFiles/pcs_sortnet.dir/sortnet/shearsort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_sortnet.dir/sortnet/columnsort.cpp.o"
+  "CMakeFiles/pcs_sortnet.dir/sortnet/columnsort.cpp.o.d"
+  "CMakeFiles/pcs_sortnet.dir/sortnet/comparator_net.cpp.o"
+  "CMakeFiles/pcs_sortnet.dir/sortnet/comparator_net.cpp.o.d"
+  "CMakeFiles/pcs_sortnet.dir/sortnet/displacement.cpp.o"
+  "CMakeFiles/pcs_sortnet.dir/sortnet/displacement.cpp.o.d"
+  "CMakeFiles/pcs_sortnet.dir/sortnet/mesh_ops.cpp.o"
+  "CMakeFiles/pcs_sortnet.dir/sortnet/mesh_ops.cpp.o.d"
+  "CMakeFiles/pcs_sortnet.dir/sortnet/nearsort.cpp.o"
+  "CMakeFiles/pcs_sortnet.dir/sortnet/nearsort.cpp.o.d"
+  "CMakeFiles/pcs_sortnet.dir/sortnet/revsort.cpp.o"
+  "CMakeFiles/pcs_sortnet.dir/sortnet/revsort.cpp.o.d"
+  "CMakeFiles/pcs_sortnet.dir/sortnet/shearsort.cpp.o"
+  "CMakeFiles/pcs_sortnet.dir/sortnet/shearsort.cpp.o.d"
+  "libpcs_sortnet.a"
+  "libpcs_sortnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_sortnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switch/chip.cpp" "src/CMakeFiles/pcs_switch.dir/switch/chip.cpp.o" "gcc" "src/CMakeFiles/pcs_switch.dir/switch/chip.cpp.o.d"
+  "/root/repo/src/switch/columnsort_switch.cpp" "src/CMakeFiles/pcs_switch.dir/switch/columnsort_switch.cpp.o" "gcc" "src/CMakeFiles/pcs_switch.dir/switch/columnsort_switch.cpp.o.d"
+  "/root/repo/src/switch/comparator_switch.cpp" "src/CMakeFiles/pcs_switch.dir/switch/comparator_switch.cpp.o" "gcc" "src/CMakeFiles/pcs_switch.dir/switch/comparator_switch.cpp.o.d"
+  "/root/repo/src/switch/concentrator.cpp" "src/CMakeFiles/pcs_switch.dir/switch/concentrator.cpp.o" "gcc" "src/CMakeFiles/pcs_switch.dir/switch/concentrator.cpp.o.d"
+  "/root/repo/src/switch/faults.cpp" "src/CMakeFiles/pcs_switch.dir/switch/faults.cpp.o" "gcc" "src/CMakeFiles/pcs_switch.dir/switch/faults.cpp.o.d"
+  "/root/repo/src/switch/full_sort_hyper.cpp" "src/CMakeFiles/pcs_switch.dir/switch/full_sort_hyper.cpp.o" "gcc" "src/CMakeFiles/pcs_switch.dir/switch/full_sort_hyper.cpp.o.d"
+  "/root/repo/src/switch/gate_level_switch.cpp" "src/CMakeFiles/pcs_switch.dir/switch/gate_level_switch.cpp.o" "gcc" "src/CMakeFiles/pcs_switch.dir/switch/gate_level_switch.cpp.o.d"
+  "/root/repo/src/switch/hyper_switch.cpp" "src/CMakeFiles/pcs_switch.dir/switch/hyper_switch.cpp.o" "gcc" "src/CMakeFiles/pcs_switch.dir/switch/hyper_switch.cpp.o.d"
+  "/root/repo/src/switch/label_mesh.cpp" "src/CMakeFiles/pcs_switch.dir/switch/label_mesh.cpp.o" "gcc" "src/CMakeFiles/pcs_switch.dir/switch/label_mesh.cpp.o.d"
+  "/root/repo/src/switch/multipass_switch.cpp" "src/CMakeFiles/pcs_switch.dir/switch/multipass_switch.cpp.o" "gcc" "src/CMakeFiles/pcs_switch.dir/switch/multipass_switch.cpp.o.d"
+  "/root/repo/src/switch/perfect_from_partial.cpp" "src/CMakeFiles/pcs_switch.dir/switch/perfect_from_partial.cpp.o" "gcc" "src/CMakeFiles/pcs_switch.dir/switch/perfect_from_partial.cpp.o.d"
+  "/root/repo/src/switch/revsort_switch.cpp" "src/CMakeFiles/pcs_switch.dir/switch/revsort_switch.cpp.o" "gcc" "src/CMakeFiles/pcs_switch.dir/switch/revsort_switch.cpp.o.d"
+  "/root/repo/src/switch/wiring.cpp" "src/CMakeFiles/pcs_switch.dir/switch/wiring.cpp.o" "gcc" "src/CMakeFiles/pcs_switch.dir/switch/wiring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_sortnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

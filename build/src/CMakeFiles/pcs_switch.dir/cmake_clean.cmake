@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_switch.dir/switch/chip.cpp.o"
+  "CMakeFiles/pcs_switch.dir/switch/chip.cpp.o.d"
+  "CMakeFiles/pcs_switch.dir/switch/columnsort_switch.cpp.o"
+  "CMakeFiles/pcs_switch.dir/switch/columnsort_switch.cpp.o.d"
+  "CMakeFiles/pcs_switch.dir/switch/comparator_switch.cpp.o"
+  "CMakeFiles/pcs_switch.dir/switch/comparator_switch.cpp.o.d"
+  "CMakeFiles/pcs_switch.dir/switch/concentrator.cpp.o"
+  "CMakeFiles/pcs_switch.dir/switch/concentrator.cpp.o.d"
+  "CMakeFiles/pcs_switch.dir/switch/faults.cpp.o"
+  "CMakeFiles/pcs_switch.dir/switch/faults.cpp.o.d"
+  "CMakeFiles/pcs_switch.dir/switch/full_sort_hyper.cpp.o"
+  "CMakeFiles/pcs_switch.dir/switch/full_sort_hyper.cpp.o.d"
+  "CMakeFiles/pcs_switch.dir/switch/gate_level_switch.cpp.o"
+  "CMakeFiles/pcs_switch.dir/switch/gate_level_switch.cpp.o.d"
+  "CMakeFiles/pcs_switch.dir/switch/hyper_switch.cpp.o"
+  "CMakeFiles/pcs_switch.dir/switch/hyper_switch.cpp.o.d"
+  "CMakeFiles/pcs_switch.dir/switch/label_mesh.cpp.o"
+  "CMakeFiles/pcs_switch.dir/switch/label_mesh.cpp.o.d"
+  "CMakeFiles/pcs_switch.dir/switch/multipass_switch.cpp.o"
+  "CMakeFiles/pcs_switch.dir/switch/multipass_switch.cpp.o.d"
+  "CMakeFiles/pcs_switch.dir/switch/perfect_from_partial.cpp.o"
+  "CMakeFiles/pcs_switch.dir/switch/perfect_from_partial.cpp.o.d"
+  "CMakeFiles/pcs_switch.dir/switch/revsort_switch.cpp.o"
+  "CMakeFiles/pcs_switch.dir/switch/revsort_switch.cpp.o.d"
+  "CMakeFiles/pcs_switch.dir/switch/wiring.cpp.o"
+  "CMakeFiles/pcs_switch.dir/switch/wiring.cpp.o.d"
+  "libpcs_switch.a"
+  "libpcs_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

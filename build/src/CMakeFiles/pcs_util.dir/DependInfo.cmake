@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bitmatrix.cpp" "src/CMakeFiles/pcs_util.dir/util/bitmatrix.cpp.o" "gcc" "src/CMakeFiles/pcs_util.dir/util/bitmatrix.cpp.o.d"
+  "/root/repo/src/util/bitvec.cpp" "src/CMakeFiles/pcs_util.dir/util/bitvec.cpp.o" "gcc" "src/CMakeFiles/pcs_util.dir/util/bitvec.cpp.o.d"
+  "/root/repo/src/util/digest.cpp" "src/CMakeFiles/pcs_util.dir/util/digest.cpp.o" "gcc" "src/CMakeFiles/pcs_util.dir/util/digest.cpp.o.d"
+  "/root/repo/src/util/mathutil.cpp" "src/CMakeFiles/pcs_util.dir/util/mathutil.cpp.o" "gcc" "src/CMakeFiles/pcs_util.dir/util/mathutil.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "src/CMakeFiles/pcs_util.dir/util/parallel.cpp.o" "gcc" "src/CMakeFiles/pcs_util.dir/util/parallel.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/pcs_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/pcs_util.dir/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_util.dir/util/bitmatrix.cpp.o"
+  "CMakeFiles/pcs_util.dir/util/bitmatrix.cpp.o.d"
+  "CMakeFiles/pcs_util.dir/util/bitvec.cpp.o"
+  "CMakeFiles/pcs_util.dir/util/bitvec.cpp.o.d"
+  "CMakeFiles/pcs_util.dir/util/digest.cpp.o"
+  "CMakeFiles/pcs_util.dir/util/digest.cpp.o.d"
+  "CMakeFiles/pcs_util.dir/util/mathutil.cpp.o"
+  "CMakeFiles/pcs_util.dir/util/mathutil.cpp.o.d"
+  "CMakeFiles/pcs_util.dir/util/parallel.cpp.o"
+  "CMakeFiles/pcs_util.dir/util/parallel.cpp.o.d"
+  "CMakeFiles/pcs_util.dir/util/rng.cpp.o"
+  "CMakeFiles/pcs_util.dir/util/rng.cpp.o.d"
+  "libpcs_util.a"
+  "libpcs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

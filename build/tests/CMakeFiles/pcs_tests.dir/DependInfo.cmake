@@ -1,0 +1,88 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ack_protocol.cpp" "tests/CMakeFiles/pcs_tests.dir/test_ack_protocol.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_ack_protocol.cpp.o.d"
+  "/root/repo/tests/test_adversary.cpp" "tests/CMakeFiles/pcs_tests.dir/test_adversary.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_adversary.cpp.o.d"
+  "/root/repo/tests/test_assert.cpp" "tests/CMakeFiles/pcs_tests.dir/test_assert.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_assert.cpp.o.d"
+  "/root/repo/tests/test_barrel_shifter.cpp" "tests/CMakeFiles/pcs_tests.dir/test_barrel_shifter.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_barrel_shifter.cpp.o.d"
+  "/root/repo/tests/test_bitmatrix.cpp" "tests/CMakeFiles/pcs_tests.dir/test_bitmatrix.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_bitmatrix.cpp.o.d"
+  "/root/repo/tests/test_bitvec.cpp" "tests/CMakeFiles/pcs_tests.dir/test_bitvec.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_bitvec.cpp.o.d"
+  "/root/repo/tests/test_bounds.cpp" "tests/CMakeFiles/pcs_tests.dir/test_bounds.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_bounds.cpp.o.d"
+  "/root/repo/tests/test_builder.cpp" "tests/CMakeFiles/pcs_tests.dir/test_builder.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_builder.cpp.o.d"
+  "/root/repo/tests/test_chip.cpp" "tests/CMakeFiles/pcs_tests.dir/test_chip.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_chip.cpp.o.d"
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/pcs_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_clocked_sim.cpp" "tests/CMakeFiles/pcs_tests.dir/test_clocked_sim.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_clocked_sim.cpp.o.d"
+  "/root/repo/tests/test_columnsort.cpp" "tests/CMakeFiles/pcs_tests.dir/test_columnsort.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_columnsort.cpp.o.d"
+  "/root/repo/tests/test_columnsort_switch.cpp" "tests/CMakeFiles/pcs_tests.dir/test_columnsort_switch.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_columnsort_switch.cpp.o.d"
+  "/root/repo/tests/test_comparator_net.cpp" "tests/CMakeFiles/pcs_tests.dir/test_comparator_net.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_comparator_net.cpp.o.d"
+  "/root/repo/tests/test_comparator_switch.cpp" "tests/CMakeFiles/pcs_tests.dir/test_comparator_switch.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_comparator_switch.cpp.o.d"
+  "/root/repo/tests/test_concentrator.cpp" "tests/CMakeFiles/pcs_tests.dir/test_concentrator.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_concentrator.cpp.o.d"
+  "/root/repo/tests/test_concentrator_tree.cpp" "tests/CMakeFiles/pcs_tests.dir/test_concentrator_tree.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_concentrator_tree.cpp.o.d"
+  "/root/repo/tests/test_congestion.cpp" "tests/CMakeFiles/pcs_tests.dir/test_congestion.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_congestion.cpp.o.d"
+  "/root/repo/tests/test_cost_misc.cpp" "tests/CMakeFiles/pcs_tests.dir/test_cost_misc.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_cost_misc.cpp.o.d"
+  "/root/repo/tests/test_digest.cpp" "tests/CMakeFiles/pcs_tests.dir/test_digest.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_digest.cpp.o.d"
+  "/root/repo/tests/test_displacement.cpp" "tests/CMakeFiles/pcs_tests.dir/test_displacement.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_displacement.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/pcs_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_epsilon_stats.cpp" "tests/CMakeFiles/pcs_tests.dir/test_epsilon_stats.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_epsilon_stats.cpp.o.d"
+  "/root/repo/tests/test_exhaustive_small.cpp" "tests/CMakeFiles/pcs_tests.dir/test_exhaustive_small.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_exhaustive_small.cpp.o.d"
+  "/root/repo/tests/test_faults.cpp" "tests/CMakeFiles/pcs_tests.dir/test_faults.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_faults.cpp.o.d"
+  "/root/repo/tests/test_full_sort_hyper.cpp" "tests/CMakeFiles/pcs_tests.dir/test_full_sort_hyper.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_full_sort_hyper.cpp.o.d"
+  "/root/repo/tests/test_fuzz_differential.cpp" "tests/CMakeFiles/pcs_tests.dir/test_fuzz_differential.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_fuzz_differential.cpp.o.d"
+  "/root/repo/tests/test_gate_level_streaming.cpp" "tests/CMakeFiles/pcs_tests.dir/test_gate_level_streaming.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_gate_level_streaming.cpp.o.d"
+  "/root/repo/tests/test_gate_level_switch.cpp" "tests/CMakeFiles/pcs_tests.dir/test_gate_level_switch.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_gate_level_switch.cpp.o.d"
+  "/root/repo/tests/test_hyper_circuit.cpp" "tests/CMakeFiles/pcs_tests.dir/test_hyper_circuit.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_hyper_circuit.cpp.o.d"
+  "/root/repo/tests/test_hyperconcentrator.cpp" "tests/CMakeFiles/pcs_tests.dir/test_hyperconcentrator.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_hyperconcentrator.cpp.o.d"
+  "/root/repo/tests/test_instantiate.cpp" "tests/CMakeFiles/pcs_tests.dir/test_instantiate.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_instantiate.cpp.o.d"
+  "/root/repo/tests/test_knockout.cpp" "tests/CMakeFiles/pcs_tests.dir/test_knockout.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_knockout.cpp.o.d"
+  "/root/repo/tests/test_label_mesh.cpp" "tests/CMakeFiles/pcs_tests.dir/test_label_mesh.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_label_mesh.cpp.o.d"
+  "/root/repo/tests/test_layout.cpp" "tests/CMakeFiles/pcs_tests.dir/test_layout.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_layout.cpp.o.d"
+  "/root/repo/tests/test_lemmas.cpp" "tests/CMakeFiles/pcs_tests.dir/test_lemmas.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_lemmas.cpp.o.d"
+  "/root/repo/tests/test_mathutil.cpp" "tests/CMakeFiles/pcs_tests.dir/test_mathutil.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_mathutil.cpp.o.d"
+  "/root/repo/tests/test_mesh_ops.cpp" "tests/CMakeFiles/pcs_tests.dir/test_mesh_ops.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_mesh_ops.cpp.o.d"
+  "/root/repo/tests/test_message.cpp" "tests/CMakeFiles/pcs_tests.dir/test_message.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_message.cpp.o.d"
+  "/root/repo/tests/test_multipass_switch.cpp" "tests/CMakeFiles/pcs_tests.dir/test_multipass_switch.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_multipass_switch.cpp.o.d"
+  "/root/repo/tests/test_multistage.cpp" "tests/CMakeFiles/pcs_tests.dir/test_multistage.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_multistage.cpp.o.d"
+  "/root/repo/tests/test_nearsort.cpp" "tests/CMakeFiles/pcs_tests.dir/test_nearsort.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_nearsort.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/pcs_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_param_batteries.cpp" "tests/CMakeFiles/pcs_tests.dir/test_param_batteries.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_param_batteries.cpp.o.d"
+  "/root/repo/tests/test_perfect_from_partial.cpp" "tests/CMakeFiles/pcs_tests.dir/test_perfect_from_partial.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_perfect_from_partial.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/pcs_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_polymorphic_sweep.cpp" "tests/CMakeFiles/pcs_tests.dir/test_polymorphic_sweep.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_polymorphic_sweep.cpp.o.d"
+  "/root/repo/tests/test_prefix_butterfly.cpp" "tests/CMakeFiles/pcs_tests.dir/test_prefix_butterfly.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_prefix_butterfly.cpp.o.d"
+  "/root/repo/tests/test_render.cpp" "tests/CMakeFiles/pcs_tests.dir/test_render.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_render.cpp.o.d"
+  "/root/repo/tests/test_resource_model.cpp" "tests/CMakeFiles/pcs_tests.dir/test_resource_model.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_resource_model.cpp.o.d"
+  "/root/repo/tests/test_revsort.cpp" "tests/CMakeFiles/pcs_tests.dir/test_revsort.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_revsort.cpp.o.d"
+  "/root/repo/tests/test_revsort_switch.cpp" "tests/CMakeFiles/pcs_tests.dir/test_revsort_switch.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_revsort_switch.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/pcs_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_router_sim.cpp" "tests/CMakeFiles/pcs_tests.dir/test_router_sim.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_router_sim.cpp.o.d"
+  "/root/repo/tests/test_scaling.cpp" "tests/CMakeFiles/pcs_tests.dir/test_scaling.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_scaling.cpp.o.d"
+  "/root/repo/tests/test_shearsort.cpp" "tests/CMakeFiles/pcs_tests.dir/test_shearsort.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_shearsort.cpp.o.d"
+  "/root/repo/tests/test_stream_engine.cpp" "tests/CMakeFiles/pcs_tests.dir/test_stream_engine.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_stream_engine.cpp.o.d"
+  "/root/repo/tests/test_table1.cpp" "tests/CMakeFiles/pcs_tests.dir/test_table1.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_table1.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/pcs_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_verification.cpp" "tests/CMakeFiles/pcs_tests.dir/test_verification.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_verification.cpp.o.d"
+  "/root/repo/tests/test_wiring.cpp" "tests/CMakeFiles/pcs_tests.dir/test_wiring.cpp.o" "gcc" "tests/CMakeFiles/pcs_tests.dir/test_wiring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_sortnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
