@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <string>
 
+#include "util/heap.hpp"
+
 namespace pcs::bench {
 
 /// Print a section header for a reproduced artifact.
@@ -19,9 +21,12 @@ inline void artifact_header(const std::string& id, const std::string& what) {
 }
 
 /// Standard main body: print artifacts via `print_artifacts()`, then run the
-/// registered google-benchmark timings.
+/// registered google-benchmark timings.  Heap pages are retained across
+/// frees so the timings measure the simulator, not soft page faults from
+/// the allocator returning every freed result buffer to the OS.
 #define PCS_BENCH_MAIN(print_artifacts)                      \
   int main(int argc, char** argv) {                          \
+    pcs::retain_freed_heap_pages();                          \
     print_artifacts();                                       \
     benchmark::Initialize(&argc, argv);                      \
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \

@@ -67,6 +67,82 @@ void BM_RouteFullRevsort(benchmark::State& state) {
 }
 BENCHMARK(BM_RouteFullRevsort)->Arg(1 << 10)->Arg(1 << 14);
 
+// Batched setups: 64 valid-bit patterns per call through the word-parallel
+// routing engine.  items/sec counts pattern-bits, directly comparable with
+// the single-pattern loops above.
+template <typename Switch>
+void route_batch_loop(benchmark::State& state, const Switch& sw,
+                      std::size_t batch) {
+  pcs::Rng rng(7001);
+  std::vector<pcs::BitVec> valids;
+  valids.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    valids.push_back(rng.bernoulli_bits(sw.inputs(), 0.5));
+  }
+  std::size_t routed = 0;
+  for (auto _ : state) {
+    for (const auto& r : sw.route_batch(valids)) routed += r.routed_count();
+    benchmark::DoNotOptimize(routed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch) *
+                          static_cast<std::int64_t>(sw.inputs()));
+}
+
+template <typename Switch>
+void nearsort_batch_loop(benchmark::State& state, const Switch& sw,
+                         std::size_t batch) {
+  pcs::Rng rng(7001);
+  std::vector<pcs::BitVec> valids;
+  valids.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    valids.push_back(rng.bernoulli_bits(sw.inputs(), 0.5));
+  }
+  std::size_t ones = 0;
+  for (auto _ : state) {
+    for (const auto& arr : sw.nearsorted_batch(valids)) ones += arr.count();
+    benchmark::DoNotOptimize(ones);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch) *
+                          static_cast<std::int64_t>(sw.inputs()));
+}
+
+void BM_RouteBatchHyper(benchmark::State& state) {
+  pcs::sw::HyperSwitch sw(static_cast<std::size_t>(state.range(0)),
+                          static_cast<std::size_t>(state.range(0)) / 2);
+  route_batch_loop(state, sw, 64);
+}
+BENCHMARK(BM_RouteBatchHyper)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RouteBatchRevsort(benchmark::State& state) {
+  pcs::sw::RevsortSwitch sw(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(0)) / 2);
+  route_batch_loop(state, sw, 64);
+}
+BENCHMARK(BM_RouteBatchRevsort)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RouteBatchColumnsort(benchmark::State& state) {
+  const std::size_t r = static_cast<std::size_t>(state.range(0));
+  pcs::sw::ColumnsortSwitch sw(r, 16, r * 8);
+  route_batch_loop(state, sw, 64);
+}
+BENCHMARK(BM_RouteBatchColumnsort)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_NearsortBatchRevsort(benchmark::State& state) {
+  pcs::sw::RevsortSwitch sw(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(0)) / 2);
+  nearsort_batch_loop(state, sw, 64);
+}
+BENCHMARK(BM_NearsortBatchRevsort)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_NearsortBatchColumnsort(benchmark::State& state) {
+  const std::size_t r = static_cast<std::size_t>(state.range(0));
+  pcs::sw::ColumnsortSwitch sw(r, 16, r * 8);
+  nearsort_batch_loop(state, sw, 64);
+}
+BENCHMARK(BM_NearsortBatchColumnsort)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 14);
+
 void BM_NearsortAnalysis(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   pcs::Rng rng(7003);

@@ -154,6 +154,29 @@ void BM_SimulateRounds(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateRounds);
 
+// Setup throughput of the word-parallel routing engine: how many complete
+// switch setups per second the simulator sustains when rounds are batched
+// (64 rounds of valid bits per route_batch call).  items/sec = setups/sec.
+void BM_BatchedSetupThroughput(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  pcs::sw::RevsortSwitch sw(n, n / 2);
+  pcs::Rng rng(5007);
+  constexpr std::size_t kBatch = 64;
+  std::vector<pcs::BitVec> rounds;
+  rounds.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    rounds.push_back(rng.bernoulli_bits(n, 0.4));
+  }
+  std::size_t delivered = 0;
+  for (auto _ : state) {
+    for (const auto& r : sw.route_batch(rounds)) delivered += r.routed_count();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_BatchedSetupThroughput)->Arg(1 << 10)->Arg(1 << 14);
+
 void BM_SimulateTree(benchmark::State& state) {
   auto tree = pcs::net::make_revsort_tree(4, 64, 16, 32);
   for (auto _ : state) {

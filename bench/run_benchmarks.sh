@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Run the simulator-performance benchmarks and leave machine-readable JSON
+# at the repo root (BENCH_sim_speed.json, BENCH_throughput.json).
+#
+# Usage: bench/run_benchmarks.sh [build-dir]
+# Builds the benchmarks if the build directory is missing or stale.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [ ! -x "$build_dir/bench/bench_sim_speed" ] || \
+   [ ! -x "$build_dir/bench/bench_throughput" ]; then
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j --target bench_sim_speed bench_throughput
+fi
+
+"$build_dir/bench/bench_sim_speed" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_sim_speed.json" \
+  --benchmark_out_format=json
+
+"$build_dir/bench/bench_throughput" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_throughput.json" \
+  --benchmark_out_format=json
+
+echo "wrote $repo_root/BENCH_sim_speed.json"
+echo "wrote $repo_root/BENCH_throughput.json"

@@ -5,6 +5,7 @@
 #include "message/traffic.hpp"
 #include "sortnet/nearsort.hpp"
 #include "util/mathutil.hpp"
+#include "util/parallel.hpp"
 
 namespace pcs::core {
 
@@ -20,30 +21,50 @@ WorstCase worst_epsilon_search(const pcs::sw::ConcentratorSwitch& sw,
   WorstCase best;
   best.pattern = BitVec(n);
 
-  auto consider = [&](const BitVec& pattern) {
-    ++best.trials;
-    std::size_t eps = measured_epsilon(sw, pattern);
-    if (eps > best.epsilon) {
-      best.epsilon = eps;
-      best.k = pattern.count();
-      best.pattern = pattern;
+  // Batch evaluation keeps the answer identical to the old one-pattern loop:
+  // patterns are drawn in the same RNG order, epsilons are reduced in that
+  // order, and only a strictly greater epsilon replaces the incumbent.
+  auto consider_batch = [&](const std::vector<BitVec>& patterns) {
+    std::vector<BitVec> outs = sw.nearsorted_batch(patterns);
+    std::vector<std::size_t> eps(patterns.size(), 0);
+    parallel_for(std::size_t{0}, patterns.size(), [&](std::size_t i) {
+      eps[i] = sortnet::min_nearsort_epsilon(outs[i]);
+    });
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      ++best.trials;
+      if (eps[i] > best.epsilon) {
+        best.epsilon = eps[i];
+        best.k = patterns[i].count();
+        best.pattern = patterns[i];
+      }
     }
   };
 
   // Densities around the interesting band (half-full meshes stress the
   // dirty region most) plus the extremes.
   const std::array<double, 7> densities = {0.05, 0.25, 0.4, 0.5, 0.6, 0.75, 0.95};
-  for (double p : densities) {
-    for (std::size_t t = 0; t < random_trials; ++t) {
-      consider(rng.bernoulli_bits(n, p));
+  {
+    std::vector<BitVec> patterns;
+    patterns.reserve(densities.size() * random_trials);
+    for (double p : densities) {
+      for (std::size_t t = 0; t < random_trials; ++t) {
+        patterns.push_back(rng.bernoulli_bits(n, p));
+      }
     }
+    consider_batch(patterns);
   }
 
   // Structured family at a sweep of exact counts.
   const std::size_t chip_w = isqrt(n) > 0 ? isqrt(n) : 1;
-  for (std::size_t k = 1; k <= n; k = k * 2 + 1) {
-    pcs::msg::AdversarialTraffic adv(n, std::min(k, n), chip_w);
-    for (std::size_t f = 0; f < adv.family_size(); ++f) consider(adv.next(rng));
+  {
+    std::vector<BitVec> patterns;
+    for (std::size_t k = 1; k <= n; k = k * 2 + 1) {
+      pcs::msg::AdversarialTraffic adv(n, std::min(k, n), chip_w);
+      for (std::size_t f = 0; f < adv.family_size(); ++f) {
+        patterns.push_back(adv.next(rng));
+      }
+    }
+    consider_batch(patterns);
   }
 
   // Greedy hill-climb from the best pattern found so far.

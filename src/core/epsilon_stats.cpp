@@ -4,21 +4,28 @@
 
 #include "sortnet/nearsort.hpp"
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 
 namespace pcs::core {
 
 EpsilonStats collect_epsilon_stats(const pcs::sw::ConcentratorSwitch& sw,
                                    std::size_t trials, double density, Rng& rng) {
   PCS_REQUIRE(trials > 0, "collect_epsilon_stats trials");
-  std::vector<std::size_t> eps;
-  eps.reserve(trials);
-  double total = 0.0;
+  // Draw every pattern up front (keeping the RNG stream identical to the old
+  // one-at-a-time loop), then push the whole batch through the word-parallel
+  // sorting substrate and reduce the outputs in parallel.
+  std::vector<BitVec> patterns;
+  patterns.reserve(trials);
   for (std::size_t t = 0; t < trials; ++t) {
-    BitVec valid = rng.bernoulli_bits(sw.inputs(), density);
-    std::size_t e = sortnet::min_nearsort_epsilon(sw.nearsorted_valid_bits(valid));
-    eps.push_back(e);
-    total += static_cast<double>(e);
+    patterns.push_back(rng.bernoulli_bits(sw.inputs(), density));
   }
+  std::vector<BitVec> outputs = sw.nearsorted_batch(patterns);
+  std::vector<std::size_t> eps(trials, 0);
+  parallel_for(std::size_t{0}, trials, [&](std::size_t t) {
+    eps[t] = sortnet::min_nearsort_epsilon(outputs[t]);
+  });
+  double total = 0.0;
+  for (std::size_t e : eps) total += static_cast<double>(e);
   std::sort(eps.begin(), eps.end());
   auto pct = [&](double q) {
     std::size_t idx = static_cast<std::size_t>(q * static_cast<double>(trials - 1));

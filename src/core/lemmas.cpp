@@ -41,17 +41,20 @@ bool lemma1_roundtrip(const BitVec& bits) {
 }
 
 Lemma2Check check_lemma2(const pcs::sw::ConcentratorSwitch& sw, const BitVec& valid) {
+  return check_lemma2(sw, valid, sw.nearsorted_valid_bits(valid), sw.route(valid));
+}
+
+Lemma2Check check_lemma2(const pcs::sw::ConcentratorSwitch& sw, const BitVec& valid,
+                         const BitVec& arrangement,
+                         const pcs::sw::SwitchRouting& routing) {
   Lemma2Check out;
   out.k = valid.count();
-
-  const BitVec arrangement = sw.nearsorted_valid_bits(valid);
   out.measured_epsilon = sortnet::min_nearsort_epsilon(arrangement);
 
   const std::size_t m = sw.outputs();
   const std::size_t eps = out.measured_epsilon;
   const std::size_t capacity = eps >= m ? 0 : m - eps;  // alpha * m
 
-  pcs::sw::SwitchRouting routing = sw.route(valid);
   out.routed = routing.routed_count();
 
   std::ostringstream detail;

@@ -42,6 +42,12 @@ struct Lemma2Check {
 };
 Lemma2Check check_lemma2(const pcs::sw::ConcentratorSwitch& sw, const BitVec& valid);
 
+/// Same check against a routing and arrangement the caller already computed
+/// (e.g. out of route_batch / nearsorted_batch), avoiding the re-route.
+Lemma2Check check_lemma2(const pcs::sw::ConcentratorSwitch& sw, const BitVec& valid,
+                         const BitVec& arrangement,
+                         const pcs::sw::SwitchRouting& routing);
+
 /// The Figure 2 construction: the n-wide output arrangement of a
 /// *hypothetical but legal* (n, m, 1 - epsilon/m) partial concentrator with
 /// k > m - epsilon messages: m - epsilon 1s lead, the remaining

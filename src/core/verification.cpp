@@ -9,6 +9,7 @@
 #include "sortnet/nearsort.hpp"
 #include "util/assert.hpp"
 #include "util/mathutil.hpp"
+#include "util/parallel.hpp"
 
 namespace pcs::core {
 
@@ -60,45 +61,72 @@ VerifyReport verify_switch(const pcs::sw::ConcentratorSwitch& sw, Rng& rng,
   CheckResult lemma2_ok{"Lemma 2 on measured epsilon", true, ""};
   CheckResult clocked_ok{"clocked payload integrity", true, ""};
 
-  auto inspect = [&](const BitVec& valid) {
-    ++report.patterns_tried;
-    pcs::sw::SwitchRouting r = sw.route(valid);
-    if (!r.is_partial_injection()) fail(routing_ok, describe(valid));
-    BitVec arr = sw.nearsorted_valid_bits(valid);
-    if (arr.count() != valid.count()) fail(conserve_ok, describe(valid));
-    if (!pcs::sw::concentration_contract_holds(sw, valid, r)) {
-      fail(contract_ok, describe(valid));
-    }
-    if (options.check_epsilon_bound &&
-        sortnet::min_nearsort_epsilon(arr) > sw.epsilon_bound()) {
-      fail(epsilon_ok, describe(valid));
-    }
-    Lemma2Check l2 = check_lemma2(sw, valid);
-    if (!l2.holds) fail(lemma2_ok, describe(valid) + " (" + l2.detail + ")");
-  };
+  // Gather every pattern first, in the same RNG order as the old
+  // one-at-a-time loop, then check the whole batch.
+  std::vector<BitVec> patterns;
 
   // Random patterns across densities.
   for (double density : {0.1, 0.3, 0.5, 0.7, 0.9}) {
     for (std::size_t t = 0; t < options.random_trials; ++t) {
-      inspect(rng.bernoulli_bits(n, density));
+      patterns.push_back(rng.bernoulli_bits(n, density));
     }
   }
   // Exact-k sweep.
   const std::size_t step =
       options.k_step > 0 ? options.k_step : std::max<std::size_t>(1, n / 16);
   for (std::size_t k = 0; k <= n; k += step) {
-    inspect(rng.exact_weight_bits(n, k));
+    patterns.push_back(rng.exact_weight_bits(n, k));
   }
   // Structured adversarial family.
   const std::size_t chip_w = std::max<std::size_t>(1, isqrt(n));
   for (std::size_t k : {n / 4, n / 2, (3 * n) / 4}) {
     if (k == 0) continue;
     pcs::msg::AdversarialTraffic adv(n, k, chip_w);
-    for (std::size_t f = 0; f < adv.family_size(); ++f) inspect(adv.next(rng));
+    for (std::size_t f = 0; f < adv.family_size(); ++f) {
+      patterns.push_back(adv.next(rng));
+    }
   }
   // Extremes.
-  inspect(BitVec(n));
-  inspect(BitVec(n, true));
+  patterns.push_back(BitVec(n));
+  patterns.push_back(BitVec(n, true));
+
+  const std::size_t total = patterns.size();
+  std::vector<pcs::sw::SwitchRouting> routings = sw.route_batch(patterns);
+  std::vector<BitVec> arrangements = sw.nearsorted_batch(patterns);
+
+  // Per-pattern verdicts, filled in parallel; the sequential reduction below
+  // keeps the reported counterexample the *first* failing pattern, exactly
+  // as the old loop did.
+  std::vector<std::uint8_t> bad_routing(total, 0), bad_conserve(total, 0),
+      bad_contract(total, 0), bad_epsilon(total, 0), bad_lemma2(total, 0);
+  std::vector<std::string> lemma2_detail(total);
+  parallel_for(std::size_t{0}, total, [&](std::size_t i) {
+    const BitVec& valid = patterns[i];
+    const pcs::sw::SwitchRouting& r = routings[i];
+    const BitVec& arr = arrangements[i];
+    if (!r.is_partial_injection()) bad_routing[i] = 1;
+    if (arr.count() != valid.count()) bad_conserve[i] = 1;
+    if (!pcs::sw::concentration_contract_holds(sw, valid, r)) bad_contract[i] = 1;
+    if (options.check_epsilon_bound &&
+        sortnet::min_nearsort_epsilon(arr) > sw.epsilon_bound()) {
+      bad_epsilon[i] = 1;
+    }
+    Lemma2Check l2 = check_lemma2(sw, valid, arr, r);
+    if (!l2.holds) {
+      bad_lemma2[i] = 1;
+      lemma2_detail[i] = l2.detail;
+    }
+  });
+  for (std::size_t i = 0; i < total; ++i) {
+    ++report.patterns_tried;
+    if (bad_routing[i]) fail(routing_ok, describe(patterns[i]));
+    if (bad_conserve[i]) fail(conserve_ok, describe(patterns[i]));
+    if (bad_contract[i]) fail(contract_ok, describe(patterns[i]));
+    if (bad_epsilon[i]) fail(epsilon_ok, describe(patterns[i]));
+    if (bad_lemma2[i]) {
+      fail(lemma2_ok, describe(patterns[i]) + " (" + lemma2_detail[i] + ")");
+    }
+  }
 
   if (options.check_clocked) {
     BitVec valid = rng.bernoulli_bits(n, 0.5);

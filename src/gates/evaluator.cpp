@@ -4,11 +4,14 @@
 
 namespace pcs::gates {
 
-std::vector<std::uint64_t> Evaluator::evaluate_lanes(
-    const std::vector<std::uint64_t>& inputs) const {
+const std::vector<std::uint64_t>& Evaluator::evaluate_lanes(
+    const std::vector<std::uint64_t>& inputs, EvalScratch& scratch) const {
   const Circuit& c = *circuit_;
   PCS_REQUIRE(inputs.size() == c.input_count(), "Evaluator input arity");
-  std::vector<std::uint64_t> value(c.node_count(), 0);
+  // Every node is written before it is read (topological order), so the
+  // value array only needs the right size, not zeroing.
+  scratch.value.resize(c.node_count());
+  std::vector<std::uint64_t>& value = scratch.value;
   std::size_t next_input = 0;
   const auto& nodes = c.nodes();
   for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -37,23 +40,41 @@ std::vector<std::uint64_t> Evaluator::evaluate_lanes(
         break;
     }
   }
-  std::vector<std::uint64_t> out;
-  out.reserve(c.output_count());
-  for (NodeId id : c.outputs()) out.push_back(value[id]);
-  return out;
+  scratch.out.resize(c.output_count());
+  std::size_t pos = 0;
+  for (NodeId id : c.outputs()) scratch.out[pos++] = value[id];
+  return scratch.out;
+}
+
+std::vector<std::uint64_t> Evaluator::evaluate_lanes(
+    const std::vector<std::uint64_t>& inputs) const {
+  EvalScratch scratch;
+  evaluate_lanes(inputs, scratch);
+  return std::move(scratch.out);
+}
+
+void Evaluator::evaluate(const BitVec& inputs, EvalScratch& scratch,
+                         BitVec& out) const {
+  PCS_REQUIRE(inputs.size() == circuit_->input_count(), "Evaluator input arity");
+  scratch.lanes.resize(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    scratch.lanes[i] = inputs.get(i) ? 1u : 0u;
+  }
+  const std::vector<std::uint64_t>& out_lanes = evaluate_lanes(scratch.lanes, scratch);
+  if (out.size() != out_lanes.size()) {
+    out = BitVec(out_lanes.size());
+  } else {
+    out.fill(false);
+  }
+  for (std::size_t i = 0; i < out_lanes.size(); ++i) {
+    if ((out_lanes[i] & 1u) != 0) out.set(i, true);
+  }
 }
 
 BitVec Evaluator::evaluate(const BitVec& inputs) const {
-  PCS_REQUIRE(inputs.size() == circuit_->input_count(), "Evaluator input arity");
-  std::vector<std::uint64_t> lanes(inputs.size());
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    lanes[i] = inputs.get(i) ? 1u : 0u;
-  }
-  std::vector<std::uint64_t> out_lanes = evaluate_lanes(lanes);
-  BitVec out(out_lanes.size());
-  for (std::size_t i = 0; i < out_lanes.size(); ++i) {
-    out.set(i, (out_lanes[i] & 1u) != 0);
-  }
+  EvalScratch scratch;
+  BitVec out;
+  evaluate(inputs, scratch, out);
   return out;
 }
 

@@ -15,6 +15,16 @@
 
 namespace pcs::gates {
 
+/// Reusable evaluation buffers.  The exhaustive tests and the gate-level
+/// switches call evaluate() in tight loops; passing one of these keeps the
+/// per-node value array (and the lane staging buffers) alive across calls
+/// instead of allocating three vectors per evaluation.
+struct EvalScratch {
+  std::vector<std::uint64_t> lanes;  ///< staged input lanes
+  std::vector<std::uint64_t> value;  ///< per-node values
+  std::vector<std::uint64_t> out;    ///< output lanes
+};
+
 class Evaluator {
  public:
   explicit Evaluator(const Circuit& c) : circuit_(&c) {}
@@ -22,11 +32,19 @@ class Evaluator {
   /// Evaluate one input pattern; returns one bit per primary output.
   BitVec evaluate(const BitVec& inputs) const;
 
+  /// Same, reusing caller scratch; `out` is resized/overwritten in place.
+  void evaluate(const BitVec& inputs, EvalScratch& scratch, BitVec& out) const;
+
   /// Evaluate up to 64 patterns at once.  inputs[i] holds the value of
   /// primary input i across all lanes (lane l = bit l).  Returns one word
   /// per primary output with the same lane layout.
   std::vector<std::uint64_t> evaluate_lanes(
       const std::vector<std::uint64_t>& inputs) const;
+
+  /// Same, reusing caller scratch; the result lives in scratch.out until the
+  /// next call with the same scratch.
+  const std::vector<std::uint64_t>& evaluate_lanes(
+      const std::vector<std::uint64_t>& inputs, EvalScratch& scratch) const;
 
  private:
   const Circuit* circuit_;

@@ -90,22 +90,30 @@ HyperCircuit::HyperCircuit(std::size_t n) : n_(n) {
 
 HyperCircuit::Result HyperCircuit::evaluate(const BitVec& valid,
                                             const BitVec& data) const {
+  gates::EvalScratch scratch;
+  Result res;
+  evaluate(valid, data, scratch, res);
+  return res;
+}
+
+void HyperCircuit::evaluate(const BitVec& valid, const BitVec& data,
+                            gates::EvalScratch& scratch, Result& res) const {
   PCS_REQUIRE(valid.size() == n_ && data.size() == n_, "HyperCircuit::evaluate width");
-  BitVec inputs(2 * n_);
+  // Stage the inputs straight into the lane buffer (lane 0 only) instead of
+  // round-tripping through a BitVec.
+  scratch.lanes.resize(2 * n_);
   for (std::size_t i = 0; i < n_; ++i) {
-    inputs.set(i, valid.get(i));
-    inputs.set(n_ + i, data.get(i));
+    scratch.lanes[i] = valid.get(i) ? 1u : 0u;
+    scratch.lanes[n_ + i] = data.get(i) ? 1u : 0u;
   }
   gates::Evaluator eval(circuit_);
-  BitVec out = eval.evaluate(inputs);
-  Result res;
-  res.data = BitVec(n_);
-  res.valid = BitVec(n_);
+  const std::vector<std::uint64_t>& out = eval.evaluate_lanes(scratch.lanes, scratch);
+  if (res.data.size() != n_) res.data = BitVec(n_); else res.data.fill(false);
+  if (res.valid.size() != n_) res.valid = BitVec(n_); else res.valid.fill(false);
   for (std::size_t j = 0; j < n_; ++j) {
-    res.data.set(j, out.get(j));
-    res.valid.set(j, out.get(n_ + j));
+    if ((out[j] & 1u) != 0) res.data.set(j, true);
+    if ((out[n_ + j] & 1u) != 0) res.valid.set(j, true);
   }
-  return res;
 }
 
 std::uint32_t HyperCircuit::data_path_depth() const {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "gates/circuit.hpp"
+#include "gates/evaluator.hpp"
 #include "util/bitvec.hpp"
 
 namespace pcs::hyper {
@@ -52,6 +53,10 @@ class HyperCircuit {
     BitVec valid;
   };
   Result evaluate(const BitVec& valid, const BitVec& data) const;
+
+  /// Same, reusing caller buffers across calls (for evaluation loops).
+  void evaluate(const BitVec& valid, const BitVec& data,
+                gates::EvalScratch& scratch, Result& out) const;
 
   /// Maximum gate depth from a *data* input to a data output: the message
   /// delay through the chip.  Equals 2*ceil(lg n) by construction.

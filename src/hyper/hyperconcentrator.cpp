@@ -54,10 +54,7 @@ Routing Hyperconcentrator::route(const BitVec& valid) const {
 
 BitVec Hyperconcentrator::output_valid_bits(const BitVec& valid) const {
   PCS_REQUIRE(valid.size() == n_, "Hyperconcentrator::output_valid_bits width");
-  BitVec out(n_);
-  std::size_t k = valid.count();
-  for (std::size_t j = 0; j < k; ++j) out.set(j, true);
-  return out;
+  return BitVec::prefix_ones(n_, valid.count());
 }
 
 void stable_concentrate(std::vector<std::int32_t>& slots) {

@@ -21,10 +21,12 @@
 #include "util/mathutil.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 #include "sortnet/columnsort.hpp"
 #include "sortnet/comparator_net.hpp"
 #include "sortnet/displacement.hpp"
+#include "sortnet/lane_batch.hpp"
 #include "sortnet/mesh_ops.hpp"
 #include "sortnet/nearsort.hpp"
 #include "sortnet/revsort.hpp"

@@ -1,16 +1,33 @@
 #include "sortnet/nearsort.hpp"
 
+#include <bit>
+
 namespace pcs::sortnet {
 
 DirtyWindow dirty_window(const BitVec& bits) {
   const std::size_t n = bits.size();
+  const auto& words = bits.words();
+  const std::size_t rem = n % BitVec::word_bits();
+  // First zero: the first word that is not all-ones over its valid bits
+  // (the last word's valid bits are its low rem bits).
   std::size_t first_zero = n;
+  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    const bool partial = rem != 0 && wi + 1 == words.size();
+    const std::uint64_t ones =
+        partial ? (std::uint64_t{1} << rem) - 1 : ~std::uint64_t{0};
+    if (words[wi] != ones) {
+      first_zero = wi * BitVec::word_bits() +
+                   static_cast<std::size_t>(std::countr_one(words[wi]));
+      break;
+    }
+  }
+  // Last one: the highest set bit of the last nonzero word.
   std::size_t last_one = n;  // n means "no ones"
-  for (std::size_t i = 0; i < n; ++i) {
-    if (bits.get(i)) {
-      last_one = i;
-    } else if (first_zero == n) {
-      first_zero = i;
+  for (std::size_t wi = words.size(); wi-- > 0;) {
+    if (words[wi] != 0) {
+      last_one = wi * BitVec::word_bits() + 63 -
+                 static_cast<std::size_t>(std::countl_zero(words[wi]));
+      break;
     }
   }
   DirtyWindow w{};

@@ -1,13 +1,17 @@
 #include "switch/columnsort_switch.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
 #include "hyper/hyperconcentrator.hpp"
 #include "sortnet/columnsort.hpp"
+#include "sortnet/lane_batch.hpp"
 #include "switch/label_mesh.hpp"
 #include "util/assert.hpp"
 #include "util/mathutil.hpp"
+#include "util/parallel.hpp"
 
 namespace pcs::sw {
 
@@ -16,6 +20,8 @@ ColumnsortSwitch::ColumnsortSwitch(std::size_t r, std::size_t s, std::size_t m)
   PCS_REQUIRE(r > 0 && s > 0, "ColumnsortSwitch shape");
   PCS_REQUIRE(r % s == 0, "ColumnsortSwitch requires s to divide r");
   PCS_REQUIRE(m >= 1 && m <= n_, "ColumnsortSwitch m range");
+  stage1_to_2_ = cm_to_rm_wiring(r_, s_);
+  readout_ = row_major_readout_wiring(r_, s_);
 }
 
 ColumnsortSwitch ColumnsortSwitch::from_beta(std::size_t n, double beta, std::size_t m) {
@@ -84,9 +90,9 @@ SwitchRouting ColumnsortSwitch::route_via_wiring(const BitVec& valid) const {
                 w.begin() + static_cast<std::ptrdiff_t>(chip * r_));
     }
   };
-  concentrate_chips(wires);                         // stage 1 chips
-  wires = cm_to_rm_wiring(r_, s_).apply(wires);     // RM^-1 o CM wiring
-  concentrate_chips(wires);                         // stage 2 chips
+  concentrate_chips(wires);                 // stage 1 chips
+  wires = stage1_to_2_.apply(wires);        // RM^-1 o CM wiring
+  concentrate_chips(wires);                 // stage 2 chips
   // Output taken row-major: entry (i, j) sits on stage-2 chip j, pin i.
   std::vector<std::int32_t> row_major(n_, hyper::kIdle);
   for (std::size_t j = 0; j < s_; ++j) {
@@ -95,6 +101,67 @@ SwitchRouting ColumnsortSwitch::route_via_wiring(const BitVec& valid) const {
     }
   }
   return finish_row_major(row_major);
+}
+
+std::vector<SwitchRouting> ColumnsortSwitch::route_batch(
+    const std::vector<BitVec>& valids) const {
+  std::vector<SwitchRouting> out(valids.size());
+  parallel_for_chunks(0, valids.size(), [&](std::size_t lo, std::size_t hi) {
+    // Single ascending pass over the set bits.  Stage 1 sends the t-th valid
+    // of column c to column-major position y = c*r + t; the CM -> RM wiring
+    // lands it on stage-2 chip y mod s = t mod s (s divides r), and because
+    // y ascends along the pass, so does the stage-2 pin y / s within each
+    // chip -- the stable stage-2 rank is just the chip's fill counter.  With
+    // read-out position rank*s + chip, the next position a chip emits is a
+    // running value bumped by s per message.
+    std::vector<std::uint32_t> col_fill(s_);
+    std::vector<std::size_t> next_pos(s_);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const BitVec& valid = valids[i];
+      PCS_REQUIRE(valid.size() == n_, "ColumnsortSwitch::route_batch width");
+      std::fill(col_fill.begin(), col_fill.end(), 0u);
+      for (std::size_t j = 0; j < s_; ++j) next_pos[j] = j;
+      SwitchRouting& out_i = out[i];
+      out_i.output_of_input.assign(n_, -1);
+      out_i.input_of_output.assign(m_, -1);
+      const auto& words = valid.words();
+      for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        std::uint64_t w = words[wi];
+        while (w != 0) {
+          const std::size_t x =
+              wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+          w &= w - 1;
+          const std::size_t j2 = col_fill[x / r_]++ % s_;
+          const std::size_t pos = next_pos[j2];
+          next_pos[j2] += s_;
+          if (pos < m_) {
+            out_i.input_of_output[pos] = static_cast<std::int32_t>(x);
+            out_i.output_of_input[x] = static_cast<std::int32_t>(pos);
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<BitVec> ColumnsortSwitch::nearsorted_batch(
+    const std::vector<BitVec>& valids) const {
+  std::vector<BitVec> out(valids.size());
+  const std::size_t blocks = ceil_div(valids.size(), sortnet::LaneBatch::kLanes);
+  parallel_for(0, blocks, [&](std::size_t b) {
+    const std::size_t first = b * sortnet::LaneBatch::kLanes;
+    const std::size_t count =
+        std::min(sortnet::LaneBatch::kLanes, valids.size() - first);
+    sortnet::LaneBatch lanes(n_);
+    lanes.load(valids, first, count);
+    lanes.concentrate_segments(r_);        // stage 1
+    lanes.permute(stage1_to_2_.dests());   // RM^-1 o CM wiring
+    lanes.concentrate_segments(r_);        // stage 2
+    lanes.permute(readout_.dests());       // row-major read-out
+    lanes.store(out, first);
+  });
+  return out;
 }
 
 BitVec ColumnsortSwitch::nearsorted_valid_bits(const BitVec& valid) const {

@@ -37,6 +37,15 @@ class ColumnsortSwitch : public ConcentratorSwitch {
   std::size_t epsilon_bound() const override;
   SwitchRouting route(const BitVec& valid) const override;
   BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+
+  /// Word-parallel batch fast paths (see RevsortSwitch): a single-pass
+  /// counting kernel per pattern for routings, LaneBatch lanes for the
+  /// nearsorted bits.  Bit-identical to the per-pattern methods.
+  std::vector<SwitchRouting> route_batch(
+      const std::vector<BitVec>& valids) const override;
+  std::vector<BitVec> nearsorted_batch(
+      const std::vector<BitVec>& valids) const override;
+
   std::string name() const override;
 
   std::size_t r() const noexcept { return r_; }
@@ -61,6 +70,9 @@ class ColumnsortSwitch : public ConcentratorSwitch {
   std::size_t s_;
   std::size_t n_;
   std::size_t m_;
+  // Cached route plan: both wirings are fixed by the (r, s) shape.
+  Permutation stage1_to_2_;
+  Permutation readout_;
 };
 
 }  // namespace pcs::sw

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/parallel.hpp"
+
 namespace pcs::sw {
 
 std::size_t SwitchRouting::routed_count() const noexcept {
@@ -30,6 +32,21 @@ bool SwitchRouting::is_partial_injection() const noexcept {
     }
   }
   return true;
+}
+
+std::vector<SwitchRouting> ConcentratorSwitch::route_batch(
+    const std::vector<BitVec>& valids) const {
+  std::vector<SwitchRouting> out(valids.size());
+  parallel_for(0, valids.size(), [&](std::size_t i) { out[i] = route(valids[i]); });
+  return out;
+}
+
+std::vector<BitVec> ConcentratorSwitch::nearsorted_batch(
+    const std::vector<BitVec>& valids) const {
+  std::vector<BitVec> out(valids.size());
+  parallel_for(0, valids.size(),
+               [&](std::size_t i) { out[i] = nearsorted_valid_bits(valids[i]); });
+  return out;
 }
 
 double ConcentratorSwitch::load_ratio_bound() const {

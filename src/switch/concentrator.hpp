@@ -55,6 +55,18 @@ class ConcentratorSwitch {
   /// before restriction to the first m outputs (what Lemma 2 inspects).
   virtual BitVec nearsorted_valid_bits(const BitVec& valid) const = 0;
 
+  /// Route a batch of independent setups.  Bit-for-bit identical to calling
+  /// route() per pattern; concrete switches override with batched fast paths
+  /// (word-parallel counting kernels, cached route plans).  The base
+  /// implementation fans the patterns out over the persistent thread pool.
+  virtual std::vector<SwitchRouting> route_batch(
+      const std::vector<BitVec>& valids) const;
+
+  /// nearsorted_valid_bits() for a batch of patterns.  Overrides carry 64
+  /// patterns per machine word through the sorting substrates (LaneBatch).
+  virtual std::vector<BitVec> nearsorted_batch(
+      const std::vector<BitVec>& valids) const;
+
   /// Human-readable design name for reports.
   virtual std::string name() const = 0;
 

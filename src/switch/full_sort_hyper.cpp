@@ -7,6 +7,7 @@
 #include "switch/label_mesh.hpp"
 #include "util/assert.hpp"
 #include "util/mathutil.hpp"
+#include "util/parallel.hpp"
 
 namespace pcs::sw {
 
@@ -66,16 +67,17 @@ SwitchRouting FullRevsortHyper::route(const BitVec& valid) const {
   mesh.concentrate_rows();
   // Safety net: the prescribed structure always fully sorts in practice;
   // if it ever did not, finish with additional Shearsort phases.
-  extra_phases_ = 0;
+  std::size_t extra = 0;
   std::vector<std::int32_t> seq = mesh.to_row_major();
   while (!sequence_concentrated(seq)) {
     mesh.concentrate_rows_alternating();
     mesh.concentrate_columns();
     mesh.concentrate_rows();
-    ++extra_phases_;
-    PCS_REQUIRE(extra_phases_ <= side_, "FullRevsortHyper failed to converge");
+    ++extra;
+    PCS_REQUIRE(extra <= side_, "FullRevsortHyper failed to converge");
     seq = mesh.to_row_major();
   }
+  extra_phases_.store(extra);
   return routing_from_sequence(seq, n_);
 }
 
@@ -83,6 +85,16 @@ BitVec FullRevsortHyper::nearsorted_valid_bits(const BitVec& valid) const {
   SwitchRouting r = route(valid);
   BitVec out(n_);
   for (std::size_t j = 0; j < n_; ++j) out.set(j, r.input_of_output[j] >= 0);
+  return out;
+}
+
+std::vector<BitVec> FullRevsortHyper::nearsorted_batch(
+    const std::vector<BitVec>& valids) const {
+  std::vector<BitVec> out(valids.size());
+  parallel_for(0, valids.size(), [&](std::size_t i) {
+    PCS_REQUIRE(valids[i].size() == n_, "FullRevsortHyper::nearsorted_batch width");
+    out[i] = BitVec::prefix_ones(n_, valids[i].count());
+  });
   return out;
 }
 
@@ -131,6 +143,17 @@ BitVec FullColumnsortHyper::nearsorted_valid_bits(const BitVec& valid) const {
   SwitchRouting r = route(valid);
   BitVec out(n_);
   for (std::size_t j = 0; j < n_; ++j) out.set(j, r.input_of_output[j] >= 0);
+  return out;
+}
+
+std::vector<BitVec> FullColumnsortHyper::nearsorted_batch(
+    const std::vector<BitVec>& valids) const {
+  std::vector<BitVec> out(valids.size());
+  parallel_for(0, valids.size(), [&](std::size_t i) {
+    PCS_REQUIRE(valids[i].size() == n_,
+                "FullColumnsortHyper::nearsorted_batch width");
+    out[i] = BitVec::prefix_ones(n_, valids[i].count());
+  });
   return out;
 }
 

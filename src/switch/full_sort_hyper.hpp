@@ -18,6 +18,8 @@
 // reports them via extra_phases_used().
 #pragma once
 
+#include <atomic>
+
 #include "switch/chip.hpp"
 #include "switch/concentrator.hpp"
 
@@ -33,6 +35,12 @@ class FullRevsortHyper : public ConcentratorSwitch {
   std::size_t epsilon_bound() const override { return 0; }
   SwitchRouting route(const BitVec& valid) const override;
   BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+
+  /// A full sorter always leaves the valid bits fully concentrated, so the
+  /// batch nearsorted bits are prefix_ones(n, count) without simulating.
+  std::vector<BitVec> nearsorted_batch(
+      const std::vector<BitVec>& valids) const override;
+
   std::string name() const override;
 
   std::size_t side() const noexcept { return side_; }
@@ -46,8 +54,9 @@ class FullRevsortHyper : public ConcentratorSwitch {
   std::size_t chip_passes() const noexcept { return 2 * reps_ + 8; }
 
   /// Shearsort phases beyond the prescribed three that the last route()
-  /// call needed (0 in every case we have ever observed).
-  std::size_t extra_phases_used() const noexcept { return extra_phases_; }
+  /// call needed (0 in every case we have ever observed).  Atomic so
+  /// route_batch may run route() concurrently.
+  std::size_t extra_phases_used() const noexcept { return extra_phases_.load(); }
 
   Bom bill_of_materials() const;
 
@@ -55,7 +64,7 @@ class FullRevsortHyper : public ConcentratorSwitch {
   std::size_t n_;
   std::size_t side_;
   std::size_t reps_;
-  mutable std::size_t extra_phases_ = 0;
+  mutable std::atomic<std::size_t> extra_phases_{0};
 };
 
 class FullColumnsortHyper : public ConcentratorSwitch {
@@ -69,6 +78,11 @@ class FullColumnsortHyper : public ConcentratorSwitch {
   std::size_t epsilon_bound() const override { return 0; }
   SwitchRouting route(const BitVec& valid) const override;
   BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+
+  /// See FullRevsortHyper::nearsorted_batch.
+  std::vector<BitVec> nearsorted_batch(
+      const std::vector<BitVec>& valids) const override;
+
   std::string name() const override;
 
   std::size_t r() const noexcept { return r_; }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "gates/circuit.hpp"
+#include "gates/evaluator.hpp"
 #include "switch/wiring.hpp"
 #include "util/bitvec.hpp"
 
@@ -42,6 +43,10 @@ class GateLevelSwitchBase {
   /// Outputs are in the switch's output order (row-major / column-major as
   /// the design dictates), full width n.
   GateLevelResult evaluate(const BitVec& valid, const BitVec& data) const;
+
+  /// Same, reusing caller buffers across calls (for evaluation loops).
+  void evaluate(const BitVec& valid, const BitVec& data,
+                gates::EvalScratch& scratch, GateLevelResult& out) const;
 
   /// Longest gate path from any payload (data) input to any data output:
   /// the message delay of the composed switch, excluding I/O pads.

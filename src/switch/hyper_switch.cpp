@@ -1,8 +1,10 @@
 #include "switch/hyper_switch.hpp"
 
+#include <bit>
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 
 namespace pcs::sw {
 
@@ -28,6 +30,46 @@ SwitchRouting HyperSwitch::route(const BitVec& valid) const {
 
 BitVec HyperSwitch::nearsorted_valid_bits(const BitVec& valid) const {
   return chip_.output_valid_bits(valid);
+}
+
+std::vector<SwitchRouting> HyperSwitch::route_batch(
+    const std::vector<BitVec>& valids) const {
+  const std::size_t n = chip_.n();
+  std::vector<SwitchRouting> out(valids.size());
+  parallel_for_chunks(0, valids.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const BitVec& valid = valids[i];
+      PCS_REQUIRE(valid.size() == n, "HyperSwitch::route_batch width");
+      SwitchRouting& out_i = out[i];
+      out_i.output_of_input.assign(n, -1);
+      out_i.input_of_output.assign(m_, -1);
+      std::size_t j = 0;
+      const auto& words = valid.words();
+      for (std::size_t wi = 0; wi < words.size() && j < m_; ++wi) {
+        std::uint64_t w = words[wi];
+        while (w != 0 && j < m_) {
+          const std::size_t x =
+              wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+          w &= w - 1;
+          out_i.input_of_output[j] = static_cast<std::int32_t>(x);
+          out_i.output_of_input[x] = static_cast<std::int32_t>(j);
+          ++j;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<BitVec> HyperSwitch::nearsorted_batch(
+    const std::vector<BitVec>& valids) const {
+  const std::size_t n = chip_.n();
+  std::vector<BitVec> out(valids.size());
+  parallel_for(0, valids.size(), [&](std::size_t i) {
+    PCS_REQUIRE(valids[i].size() == n, "HyperSwitch::nearsorted_batch width");
+    out[i] = BitVec::prefix_ones(n, valids[i].count());
+  });
+  return out;
 }
 
 std::string HyperSwitch::name() const {
@@ -68,10 +110,7 @@ SwitchRouting PrefixButterflyHyperSwitch::route(const BitVec& valid) const {
 
 BitVec PrefixButterflyHyperSwitch::nearsorted_valid_bits(const BitVec& valid) const {
   PCS_REQUIRE(valid.size() == fabric_.n(), "PrefixButterflyHyperSwitch width");
-  BitVec out(fabric_.n());
-  std::size_t k = valid.count();
-  for (std::size_t j = 0; j < k; ++j) out.set(j, true);
-  return out;
+  return BitVec::prefix_ones(fabric_.n(), valid.count());
 }
 
 std::string PrefixButterflyHyperSwitch::name() const {

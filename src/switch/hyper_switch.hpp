@@ -20,6 +20,15 @@ class HyperSwitch : public ConcentratorSwitch {
   std::size_t epsilon_bound() const override { return 0; }
   SwitchRouting route(const BitVec& valid) const override;
   BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+
+  /// Batch fast paths.  The chip is stable -- the j-th valid input goes to
+  /// output j -- so a routing is one word-scan over the set bits and the
+  /// nearsorted bits are a prefix of valid.count() ones.
+  std::vector<SwitchRouting> route_batch(
+      const std::vector<BitVec>& valids) const override;
+  std::vector<BitVec> nearsorted_batch(
+      const std::vector<BitVec>& valids) const override;
+
   std::string name() const override;
 
   /// One n-by-n hyperconcentrator chip (2n data pins -- the pin-count

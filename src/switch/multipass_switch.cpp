@@ -1,10 +1,14 @@
 #include "switch/multipass_switch.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "sortnet/columnsort.hpp"
+#include "sortnet/lane_batch.hpp"
 #include "switch/label_mesh.hpp"
 #include "util/assert.hpp"
+#include "util/mathutil.hpp"
+#include "util/parallel.hpp"
 
 namespace pcs::sw {
 
@@ -16,6 +20,9 @@ MultipassColumnsortSwitch::MultipassColumnsortSwitch(std::size_t r, std::size_t 
               "MultipassColumnsortSwitch requires s to divide r");
   PCS_REQUIRE(passes >= 1, "MultipassColumnsortSwitch needs at least one pass");
   PCS_REQUIRE(m >= 1 && m <= n_, "MultipassColumnsortSwitch m range");
+  cm_to_rm_ = cm_to_rm_wiring(r_, s_);
+  rm_to_cm_ = cm_to_rm_.inverse();
+  readout_ = row_major_readout_wiring(r_, s_);
 }
 
 std::size_t MultipassColumnsortSwitch::epsilon_bound() const {
@@ -73,6 +80,33 @@ BitVec MultipassColumnsortSwitch::nearsorted_valid_bits(const BitVec& valid) con
   run_passes(mesh, passes_, schedule_);
   BitMatrix bits = mesh.valid_bits();
   return reads_row_major() ? bits.to_row_major() : bits.to_col_major();
+}
+
+std::vector<BitVec> MultipassColumnsortSwitch::nearsorted_batch(
+    const std::vector<BitVec>& valids) const {
+  std::vector<BitVec> out(valids.size());
+  const std::size_t blocks = ceil_div(valids.size(), sortnet::LaneBatch::kLanes);
+  parallel_for(0, blocks, [&](std::size_t b) {
+    const std::size_t first = b * sortnet::LaneBatch::kLanes;
+    const std::size_t count =
+        std::min(sortnet::LaneBatch::kLanes, valids.size() - first);
+    sortnet::LaneBatch lanes(n_);
+    lanes.load(valids, first, count);
+    for (std::size_t p = 0; p < passes_; ++p) {
+      lanes.concentrate_segments(r_);
+      if (schedule_ == ReshapeSchedule::kAlternating && p % 2 == 1) {
+        lanes.permute(rm_to_cm_.dests());
+      } else {
+        lanes.permute(cm_to_rm_.dests());
+      }
+    }
+    lanes.concentrate_segments(r_);
+    // Column-major read-out is the engine's native order; row-major needs
+    // the final wiring.
+    if (reads_row_major()) lanes.permute(readout_.dests());
+    lanes.store(out, first);
+  });
+  return out;
 }
 
 std::string MultipassColumnsortSwitch::name() const {

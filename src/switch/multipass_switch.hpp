@@ -28,6 +28,7 @@
 
 #include "switch/chip.hpp"
 #include "switch/concentrator.hpp"
+#include "switch/wiring.hpp"
 
 namespace pcs::sw {
 
@@ -54,6 +55,12 @@ class MultipassColumnsortSwitch : public ConcentratorSwitch {
 
   SwitchRouting route(const BitVec& valid) const override;
   BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+
+  /// LaneBatch fast path: 64 patterns per word through every pass, against
+  /// the wirings cached at construction.
+  std::vector<BitVec> nearsorted_batch(
+      const std::vector<BitVec>& valids) const override;
+
   std::string name() const override;
 
   std::size_t r() const noexcept { return r_; }
@@ -81,6 +88,10 @@ class MultipassColumnsortSwitch : public ConcentratorSwitch {
   std::size_t n_;
   std::size_t m_;
   ReshapeSchedule schedule_;
+  // Cached route plan: the per-pass reshape wirings and the read-out order.
+  Permutation cm_to_rm_;
+  Permutation rm_to_cm_;
+  Permutation readout_;
 };
 
 }  // namespace pcs::sw

@@ -98,4 +98,14 @@ Permutation cm_to_rm_wiring(std::size_t r, std::size_t s) {
   return Permutation(std::move(dest));
 }
 
+Permutation row_major_readout_wiring(std::size_t r, std::size_t s) {
+  std::vector<std::uint32_t> dest(r * s);
+  for (std::size_t chip = 0; chip < s; ++chip) {       // last-stage chip j (column j)
+    for (std::size_t pin = 0; pin < r; ++pin) {        // pin i (row i)
+      dest[wire_index(chip, pin, r)] = static_cast<std::uint32_t>(pin * s + chip);
+    }
+  }
+  return Permutation(std::move(dest));
+}
+
 }  // namespace pcs::sw

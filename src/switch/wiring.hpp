@@ -70,4 +70,9 @@ Permutation rev_rotate_transpose_wiring(std::size_t side);
 /// position x = r*chip + pin goes to chip (x mod s), pin floor(x / s).
 Permutation cm_to_rm_wiring(std::size_t r, std::size_t s);
 
+/// Final-stage read-out of an r-by-s mesh in row-major order: last-stage
+/// chip j (column j) pin i (row i) feeds output position i*s + j.  With
+/// r == s this is transpose_wiring(r).
+Permutation row_major_readout_wiring(std::size_t r, std::size_t s);
+
 }  // namespace pcs::sw

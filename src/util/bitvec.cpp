@@ -26,6 +26,16 @@ BitVec BitVec::from_string(const std::string& s) {
   return v;
 }
 
+BitVec BitVec::prefix_ones(std::size_t n, std::size_t k) {
+  PCS_REQUIRE(k <= n, "BitVec::prefix_ones k out of range");
+  BitVec v(n);
+  std::size_t full = k / kWordBits;
+  for (std::size_t w = 0; w < full; ++w) v.words_[w] = ~std::uint64_t{0};
+  std::size_t rem = k % kWordBits;
+  if (rem != 0) v.words_[full] = (std::uint64_t{1} << rem) - 1;
+  return v;
+}
+
 bool BitVec::get(std::size_t i) const {
   PCS_REQUIRE(i < size_, "BitVec::get out of range");
   return (words_[word_index(i)] & bit_mask(i)) != 0;
@@ -111,6 +121,15 @@ bool BitVec::operator==(const BitVec& other) const noexcept {
   return size_ == other.size_ && words_ == other.words_;
 }
 
+std::size_t BitVec::count_diff(const BitVec& other) const {
+  PCS_REQUIRE(size_ == other.size_, "BitVec::count_diff size mismatch");
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    total += static_cast<std::size_t>(std::popcount(words_[w] ^ other.words_[w]));
+  }
+  return total;
+}
+
 std::string BitVec::to_string() const {
   std::string s(size_, '0');
   for (std::size_t i = 0; i < size_; ++i) {
@@ -128,6 +147,16 @@ std::vector<bool> BitVec::to_bools() const {
 BitVec BitVec::from_bools(const std::vector<bool>& v) {
   BitVec out(v.size());
   for (std::size_t i = 0; i < v.size(); ++i) out.set(i, v[i]);
+  return out;
+}
+
+BitVec BitVec::from_words(std::vector<std::uint64_t> words, std::size_t n) {
+  PCS_REQUIRE(words.size() >= ceil_div(n, kWordBits), "BitVec::from_words size");
+  BitVec out;
+  out.words_ = std::move(words);
+  out.words_.resize(ceil_div(n, kWordBits));
+  out.size_ = n;
+  out.clear_tail();
   return out;
 }
 

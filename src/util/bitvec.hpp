@@ -27,6 +27,9 @@ class BitVec {
   /// Parse from a string of '0'/'1' characters; anything else throws.
   static BitVec from_string(const std::string& s);
 
+  /// n bits with the first k set -- a concentrated (sorted) valid pattern.
+  static BitVec prefix_ones(std::size_t n, std::size_t k);
+
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
 
@@ -60,10 +63,26 @@ class BitVec {
   bool operator==(const BitVec& other) const noexcept;
   bool operator!=(const BitVec& other) const noexcept { return !(*this == other); }
 
+  /// Number of positions where the two vectors disagree (popcount of the
+  /// XOR).  Precondition: equal sizes.
+  std::size_t count_diff(const BitVec& other) const;
+
+  /// Read-only view of the packed 64-bit words (bit i lives at word i/64,
+  /// bit i%64; tail bits past size() are zero).  This is the interface the
+  /// lane-transposed batch engine and word-at-a-time scans build on.
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+  /// Bits per storage word (64).
+  static constexpr std::size_t word_bits() noexcept { return kWordBits; }
+
   std::string to_string() const;
 
   std::vector<bool> to_bools() const;
   static BitVec from_bools(const std::vector<bool>& v);
+
+  /// Adopt packed words directly (words.size() must cover n bits); tail bits
+  /// past n are cleared.  Fast path for word-level producers.
+  static BitVec from_words(std::vector<std::uint64_t> words, std::size_t n);
 
  private:
   static constexpr std::size_t kWordBits = 64;

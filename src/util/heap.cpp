@@ -1,0 +1,21 @@
+#include "util/heap.hpp"
+
+#include <cstdlib>  // defines __GLIBC__ on glibc before the guard below
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace pcs {
+
+void retain_freed_heap_pages() {
+#if defined(__GLIBC__)
+  // Keep freed memory in the arena: never shrink the heap top back to the
+  // OS, and serve large requests from the arena instead of one-shot mmaps
+  // (an mmap'd chunk is unmapped on free, so the next round faults anew).
+  mallopt(M_TRIM_THRESHOLD, 1 << 30);
+  mallopt(M_MMAP_THRESHOLD, 1 << 30);
+#endif
+}
+
+}  // namespace pcs

@@ -1,0 +1,17 @@
+// Process-wide heap tuning for allocation-heavy measurement loops.
+#pragma once
+
+namespace pcs {
+
+/// Ask the allocator to retain freed pages instead of returning them to the
+/// OS.  Workloads that allocate and free large result buffers every
+/// iteration (e.g. repeated route_batch calls) otherwise re-fault every page
+/// of every buffer on each round: glibc trims the heap top and unmaps large
+/// chunks as soon as they are freed, and the soft page faults then dominate
+/// the measurement.  On this repo's batch-routing benchmark the fault storm
+/// more than doubled the per-pattern cost (~24us kernel vs ~40us of faults).
+///
+/// Call once at process start.  No-op on allocators without mallopt.
+void retain_freed_heap_pages();
+
+}  // namespace pcs

@@ -1,49 +1,19 @@
 #include "util/parallel.hpp"
 
-#include <algorithm>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
-
 namespace pcs {
 
-std::size_t default_thread_count() noexcept {
-  unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body, std::size_t threads,
+                  std::size_t grain) {
+  ThreadPool::global().for_range(begin, end, body, threads == 0 ? 1 : threads,
+                                 grain);
 }
 
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body, std::size_t threads) {
-  if (begin >= end) return;
-  const std::size_t n = end - begin;
-  const std::size_t workers = std::min(threads == 0 ? 1 : threads, n);
-  if (workers <= 1 || n < 2) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
-    return;
-  }
-
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-
-  const std::size_t chunk = (n + workers - 1) / workers;
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t lo = begin + w * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    pool.emplace_back([&, lo, hi] {
-      try {
-        for (std::size_t i = lo; i < hi; ++i) body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t threads, std::size_t grain) {
+  ThreadPool::global().for_chunks(begin, end, body, threads == 0 ? 1 : threads,
+                                  grain);
 }
 
 }  // namespace pcs

@@ -1,28 +1,36 @@
-// Minimal shared-memory parallel-for over std::thread.
+// Shared-memory parallel-for on the persistent global ThreadPool.
 //
 // The simulator is embarrassingly parallel at two grains: independent chips
 // within one switch stage, and independent trials in Monte-Carlo sweeps.
-// parallel_for covers both without dragging in OpenMP: it splits [begin, end)
-// into contiguous chunks, runs each chunk on its own thread, and joins.
-// Exceptions thrown by the body are captured and rethrown on the caller.
+// parallel_for covers both without dragging in OpenMP.  Calls run on
+// ThreadPool::global() — workers are started once per process and reused, so
+// thread creation is no longer priced into every sweep.  Exceptions thrown by
+// the body are captured and rethrown on the caller after the range finishes.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 
+#include "util/thread_pool.hpp"
+
 namespace pcs {
 
-/// Number of worker threads parallel_for will use by default
-/// (hardware_concurrency, at least 1).
-std::size_t default_thread_count() noexcept;
-
-/// Run body(i) for every i in [begin, end), distributing contiguous chunks
-/// across up to `threads` std::threads.  With threads <= 1, or a range
-/// smaller than 2, runs inline on the caller.  The body must be safe to call
+/// Run body(i) for every i in [begin, end), with up to `threads` threads
+/// (caller included) claiming chunks of `grain` indices from the global pool.
+/// With threads <= 1, or a range smaller than 2, runs inline on the caller.
+/// grain == 0 picks a heuristic chunk size.  The body must be safe to call
 /// concurrently for distinct i.  The first exception thrown by any body is
-/// rethrown on the calling thread after all threads join.
+/// rethrown on the calling thread after the whole range has run.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
-                  std::size_t threads = default_thread_count());
+                  std::size_t threads = default_thread_count(),
+                  std::size_t grain = 0);
+
+/// Chunked variant: body receives whole [lo, hi) ranges, so per-thread
+/// scratch (lane buffers, RNGs) is set up once per chunk instead of per index.
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t threads = default_thread_count(),
+                         std::size_t grain = 0);
 
 }  // namespace pcs

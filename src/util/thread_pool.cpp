@@ -1,0 +1,195 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcs {
+
+std::size_t default_thread_count() noexcept {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+namespace {
+// Which pool (if any) owns the current thread; set for the lifetime of a
+// worker loop so nested for_range calls can detect re-entrancy.
+thread_local const ThreadPool* tls_owner_pool = nullptr;
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::deque<std::function<void()>> queue;
+  std::mutex mu;
+  std::condition_variable task_ready;
+  std::condition_variable idle;
+  std::size_t busy = 0;
+  bool stopping = false;
+
+  void worker_loop(const ThreadPool* self) {
+    tls_owner_pool = self;
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      task_ready.wait(lock, [&] { return stopping || !queue.empty(); });
+      if (queue.empty()) {
+        if (stopping) return;
+        continue;
+      }
+      std::function<void()> task = std::move(queue.front());
+      queue.pop_front();
+      ++busy;
+      lock.unlock();
+      task();  // tasks must not throw; an escaping exception terminates
+      lock.lock();
+      --busy;
+      if (queue.empty() && busy == 0) idle.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t workers) : impl_(new Impl) {
+  const std::size_t count = std::max<std::size_t>(1, workers);
+  impl_->workers.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(this); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->task_ready.notify_all();
+  for (auto& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::worker_count() const noexcept {
+  return impl_->workers.size();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return tls_owner_pool == this;
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->task_ready.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->idle.wait(lock, [&] { return impl_->queue.empty() && impl_->busy == 0; });
+}
+
+namespace {
+
+// One parallel range: chunks are claimed off `cursor` by the caller and by
+// helper tasks until the range is exhausted or a body throws.
+struct RangeJob {
+  std::atomic<std::size_t> cursor;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  // Helpers still enqueued or running; the caller waits for this to hit 0 so
+  // no body is still executing when for_chunks returns.
+  std::size_t helpers_pending = 0;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  void drain() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      std::size_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) return;
+      std::size_t hi = std::min(end, lo + grain);
+      try {
+        (*body)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  void helper_done() {
+    std::lock_guard<std::mutex> lock(done_mu);
+    if (--helpers_pending == 0) done_cv.notify_all();
+  }
+};
+
+}  // namespace
+
+void ThreadPool::for_chunks(std::size_t begin, std::size_t end,
+                            const std::function<void(std::size_t, std::size_t)>& body,
+                            std::size_t max_parallelism, std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t want = std::max<std::size_t>(1, max_parallelism);
+  // Caller + helpers; a nested call from one of our own workers runs inline
+  // (enqueueing helpers from inside a worker can deadlock a saturated pool).
+  std::size_t participants = std::min(want, worker_count() + 1);
+  if (on_worker_thread()) participants = 1;
+  if (participants <= 1 || n < 2) {
+    body(begin, end);
+    return;
+  }
+  if (grain == 0) {
+    // Heuristic: ~8 chunks per participant balances load without hammering
+    // the cursor; cheap bodies can pass an explicit larger grain.
+    grain = std::max<std::size_t>(1, n / (participants * 8));
+  }
+
+  auto job = std::make_shared<RangeJob>();
+  job->cursor.store(begin);
+  job->end = end;
+  job->grain = grain;
+  job->body = &body;
+  const std::size_t helpers =
+      std::min(participants - 1, (n + grain - 1) / grain - 1);
+  job->helpers_pending = helpers;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([job] {
+      job->drain();
+      job->helper_done();
+    });
+  }
+  job->drain();
+  if (helpers > 0) {
+    std::unique_lock<std::mutex> lock(job->done_mu);
+    job->done_cv.wait(lock, [&] { return job->helpers_pending == 0; });
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::for_range(std::size_t begin, std::size_t end,
+                           const std::function<void(std::size_t)>& body,
+                           std::size_t max_parallelism, std::size_t grain) {
+  for_chunks(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      max_parallelism, grain);
+}
+
+}  // namespace pcs

@@ -1,0 +1,81 @@
+// Persistent worker pool behind parallel_for and the batch routing engine.
+//
+// The old parallel_for spawned and joined a std::thread per chunk on every
+// call, which priced thread creation into every Monte-Carlo sweep.  The pool
+// starts its workers once and reuses them: a parallel range is a single
+// shared job whose chunks are claimed off an atomic cursor (work stealing at
+// chunk granularity -- an idle worker grabs the next chunk regardless of
+// which worker "owned" it), with the calling thread participating so no core
+// idles while the caller blocks.
+//
+// Contracts kept from the old parallel_for:
+//   * the first exception thrown by any body is rethrown on the caller after
+//     the range finishes (chunks not yet claimed when the exception lands
+//     are abandoned -- the range is already failed);
+//   * with parallelism <= 1 or a range smaller than 2, the body runs inline
+//     on the caller, in order.
+// New: a grain-size knob (indices per claimed chunk) so cheap bodies are not
+// dominated by cursor traffic, and re-entrancy -- a body that itself calls
+// into the pool runs the nested range inline instead of deadlocking.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace pcs {
+
+/// Number of worker threads the global pool starts (hardware_concurrency,
+/// at least 1).
+std::size_t default_thread_count() noexcept;
+
+class ThreadPool {
+ public:
+  /// Start `workers` persistent worker threads (at least 1).
+  explicit ThreadPool(std::size_t workers = default_thread_count());
+
+  /// Joins all workers.  Pending submitted tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept;
+
+  /// The process-wide pool every parallel_for runs on.  Constructed on first
+  /// use with default_thread_count() workers.
+  static ThreadPool& global();
+
+  /// True when the calling thread is a worker of *this* pool (used to run
+  /// nested ranges inline instead of deadlocking on our own queue).
+  bool on_worker_thread() const noexcept;
+
+  /// Fire-and-forget task.  Tasks may submit further tasks (nested
+  /// submission); they must not throw -- an escaping exception terminates.
+  /// Use wait_idle() to rendezvous with everything submitted so far.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  /// Run body(i) for i in [begin, end).  Up to `max_parallelism` threads
+  /// participate (the caller plus at most max_parallelism - 1 workers);
+  /// chunks of `grain` indices are claimed from a shared cursor.  grain == 0
+  /// picks a heuristic chunk size.  Blocks until the whole range ran; the
+  /// first exception from any body is rethrown here.
+  void for_range(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t max_parallelism, std::size_t grain = 0);
+
+  /// Same scheduling, but the body receives whole chunks [lo, hi) -- the
+  /// shape batch kernels want, so per-thread scratch is set up once per
+  /// chunk instead of once per index.
+  void for_chunks(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& chunk_body,
+                  std::size_t max_parallelism, std::size_t grain = 0);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace pcs

@@ -7,7 +7,13 @@
 
 #include "gates/circuit.hpp"
 #include "gates/evaluator.hpp"
+#include "sortnet/lane_batch.hpp"
 #include "sortnet/mesh_ops.hpp"
+#include "switch/columnsort_switch.hpp"
+#include "switch/full_sort_hyper.hpp"
+#include "switch/hyper_switch.hpp"
+#include "switch/multipass_switch.hpp"
+#include "switch/revsort_switch.hpp"
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
 
@@ -119,6 +125,175 @@ TEST(FuzzDifferential, LaneEvaluationMatchesScalarOnRandomCircuits) {
             << "trial " << trial << " lane " << lane << " output " << o;
       }
     }
+  }
+}
+
+// --- batch routing engine vs per-pattern reference -----------------------
+
+// Batch sizes straddling the 64-lane word width: a lone pattern, a partial
+// word, exactly one word, and two words plus a tail.
+constexpr std::size_t kBatchSizes[] = {1, 3, 64, 130};
+
+std::vector<BitVec> make_patterns(std::size_t n, std::size_t count, Rng& rng) {
+  // Mixed densities including the degenerate all-zero / all-one patterns.
+  const double densities[] = {0.0, 0.13, 0.5, 0.9, 1.0};
+  std::vector<BitVec> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    double d = densities[i % (sizeof(densities) / sizeof(densities[0]))];
+    out.push_back(rng.bernoulli_bits(n, d));
+  }
+  return out;
+}
+
+void expect_batch_matches_sequential(const sw::ConcentratorSwitch& s, Rng& rng) {
+  for (std::size_t batch : kBatchSizes) {
+    std::vector<BitVec> patterns = make_patterns(s.inputs(), batch, rng);
+    std::vector<sw::SwitchRouting> routes = s.route_batch(patterns);
+    std::vector<BitVec> arrangements = s.nearsorted_batch(patterns);
+    ASSERT_EQ(routes.size(), batch);
+    ASSERT_EQ(arrangements.size(), batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      sw::SwitchRouting ref = s.route(patterns[i]);
+      ASSERT_EQ(routes[i].output_of_input, ref.output_of_input)
+          << s.name() << " batch " << batch << " pattern " << i;
+      ASSERT_EQ(routes[i].input_of_output, ref.input_of_output)
+          << s.name() << " batch " << batch << " pattern " << i;
+      BitVec arr_ref = s.nearsorted_valid_bits(patterns[i]);
+      ASSERT_EQ(arrangements[i].size(), arr_ref.size());
+      ASSERT_EQ(arrangements[i].count_diff(arr_ref), 0u)
+          << s.name() << " batch " << batch << " pattern " << i;
+    }
+  }
+}
+
+TEST(FuzzDifferential, HyperSwitchBatchMatchesSequential) {
+  Rng rng(383);
+  sw::HyperSwitch s(64, 32);
+  expect_batch_matches_sequential(s, rng);
+}
+
+TEST(FuzzDifferential, RevsortSwitchBatchMatchesSequential) {
+  Rng rng(384);
+  sw::RevsortSwitch s(256, 128);
+  expect_batch_matches_sequential(s, rng);
+}
+
+TEST(FuzzDifferential, RevsortSwitchVectorKernelMatchesSequential) {
+  // side >= 64 makes each matrix column a whole number of valid-words, the
+  // shape where route_batch may take the AVX-512 kernel: side 64 (one word
+  // per column, m not a multiple of side) and side 128 (two words).
+  Rng rng(388);
+  sw::RevsortSwitch s64(4096, 1900);
+  expect_batch_matches_sequential(s64, rng);
+  sw::RevsortSwitch s128(16384, 5000);
+  std::vector<BitVec> patterns = make_patterns(16384, 8, rng);
+  std::vector<sw::SwitchRouting> routes = s128.route_batch(patterns);
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    sw::SwitchRouting ref = s128.route(patterns[i]);
+    ASSERT_EQ(routes[i].output_of_input, ref.output_of_input) << i;
+    ASSERT_EQ(routes[i].input_of_output, ref.input_of_output) << i;
+  }
+}
+
+TEST(FuzzDifferential, ColumnsortSwitchBatchMatchesSequential) {
+  Rng rng(385);
+  sw::ColumnsortSwitch s(32, 4, 64);
+  expect_batch_matches_sequential(s, rng);
+}
+
+TEST(FuzzDifferential, FullSortHyperBatchMatchesSequential) {
+  Rng rng(386);
+  sw::FullRevsortHyper rev(256);
+  expect_batch_matches_sequential(rev, rng);
+  sw::FullColumnsortHyper col(32, 4);
+  expect_batch_matches_sequential(col, rng);
+}
+
+TEST(FuzzDifferential, MultipassSwitchBatchMatchesSequential) {
+  Rng rng(387);
+  sw::MultipassColumnsortSwitch same(32, 4, 2, 64, sw::ReshapeSchedule::kSame);
+  expect_batch_matches_sequential(same, rng);
+  sw::MultipassColumnsortSwitch alt(32, 4, 3, 64,
+                                    sw::ReshapeSchedule::kAlternating);
+  expect_batch_matches_sequential(alt, rng);
+}
+
+// --- LaneBatch primitives vs scalar reference ----------------------------
+
+TEST(FuzzDifferential, LaneBatchConcentrateMatchesScalar) {
+  Rng rng(388);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t seg = 1 + rng.below(16);
+    const std::size_t segs = 1 + rng.below(8);
+    const std::size_t n = seg * segs;
+    const std::size_t count = 1 + rng.below(sortnet::LaneBatch::kLanes);
+    std::vector<BitVec> patterns = make_patterns(n, count, rng);
+    sortnet::LaneBatch lanes(n);
+    lanes.load(patterns, 0, count);
+    lanes.concentrate_segments(seg);
+    for (std::size_t l = 0; l < count; ++l) {
+      // Reference: per segment, ones sink to the low positions.
+      BitVec expect(n);
+      for (std::size_t g = 0; g < segs; ++g) {
+        std::size_t ones = 0;
+        for (std::size_t p = 0; p < seg; ++p) {
+          ones += patterns[l].get(g * seg + p) ? 1 : 0;
+        }
+        for (std::size_t p = 0; p < ones; ++p) expect.set(g * seg + p, true);
+      }
+      ASSERT_EQ(lanes.extract(l).count_diff(expect), 0u)
+          << "trial " << trial << " lane " << l;
+    }
+  }
+}
+
+TEST(FuzzDifferential, LaneBatchPermuteMatchesScalar) {
+  Rng rng(389);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + rng.below(200);
+    std::vector<std::uint32_t> dest(n);
+    for (std::size_t i = 0; i < n; ++i) dest[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(dest[i - 1], dest[rng.below(i)]);
+    }
+    const std::size_t count = 1 + rng.below(sortnet::LaneBatch::kLanes);
+    std::vector<BitVec> patterns = make_patterns(n, count, rng);
+    sortnet::LaneBatch lanes(n);
+    lanes.load(patterns, 0, count);
+    lanes.permute(dest);
+    for (std::size_t l = 0; l < count; ++l) {
+      BitVec expect(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (patterns[l].get(i)) expect.set(dest[i], true);
+      }
+      ASSERT_EQ(lanes.extract(l).count_diff(expect), 0u)
+          << "trial " << trial << " lane " << l;
+    }
+  }
+}
+
+// --- BitVec word-level helpers vs bit-level reference --------------------
+
+TEST(FuzzDifferential, BitVecWordHelpersAgainstReference) {
+  Rng rng(390);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.below(300);
+    BitVec a = rng.bernoulli_bits(n, rng.uniform01());
+    BitVec b = rng.bernoulli_bits(n, rng.uniform01());
+    // count_diff == Hamming distance.
+    std::size_t dist = 0;
+    for (std::size_t i = 0; i < n; ++i) dist += a.get(i) != b.get(i);
+    ASSERT_EQ(a.count_diff(b), dist);
+    // prefix_ones: k ones then zeros.
+    const std::size_t k = rng.below(n + 1);
+    BitVec p = BitVec::prefix_ones(n, k);
+    ASSERT_EQ(p.size(), n);
+    ASSERT_EQ(p.count(), k);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(p.get(i), i < k);
+    // from_words(words()) round-trips.
+    BitVec round = BitVec::from_words(a.words(), n);
+    ASSERT_EQ(round.count_diff(a), 0u);
   }
 }
 

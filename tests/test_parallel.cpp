@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace pcs {
 namespace {
@@ -61,6 +65,111 @@ TEST(Parallel, MoreThreadsThanWork) {
 
 TEST(Parallel, DefaultThreadCountPositive) {
   EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(Parallel, GrainVariantsCoverEveryIndexOnce) {
+  const std::size_t n = 1000;
+  for (std::size_t grain : {std::size_t{1}, std::size_t{3}, std::size_t{64},
+                            std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); }, 4, grain);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(Parallel, ChunksAreDisjointAndComplete) {
+  const std::size_t n = 1237;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_chunks(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LT(lo, hi);
+        ASSERT_LE(hi, n);
+        for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      },
+      4, 10);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Parallel, ChunksEmptyRangeIsNoop) {
+  bool ran = false;
+  parallel_for_chunks(3, 3, [&](std::size_t, std::size_t) { ran = true; }, 4);
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, GlobalSingletonIsStable) {
+  EXPECT_GE(ThreadPool::global().worker_count(), 1u);
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int t = 0; t < 100; ++t) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, OnWorkerThreadDetection) {
+  ThreadPool pool(1);
+  EXPECT_FALSE(pool.on_worker_thread());
+  std::atomic<bool> on_worker{false};
+  pool.submit([&] { on_worker.store(pool.on_worker_thread()); });
+  pool.wait_idle();
+  EXPECT_TRUE(on_worker.load());
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.for_range(
+          0, 1000,
+          [](std::size_t i) {
+            if (i == 500) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+  // The pool must stay usable after a failed range.
+  std::vector<std::atomic<int>> hits(100);
+  pool.for_range(0, 100, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedRangesDoNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  pool.for_range(
+      0, 8,
+      [&](std::size_t) {
+        pool.for_range(0, 50, [&](std::size_t) { total.fetch_add(1); }, 4);
+      },
+      4);
+  EXPECT_EQ(total.load(), std::size_t{400});
+}
+
+TEST(ThreadPool, OversubscribedConcurrentRanges) {
+  // Several caller threads share the global pool at once; every range must
+  // still cover its indices exactly once.
+  constexpr int kCallers = 4;
+  constexpr std::size_t kPer = 2000;
+  std::array<std::atomic<std::size_t>, kCallers> sums{};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&sums, c] {
+      parallel_for(0, kPer, [&sums, c](std::size_t i) {
+        sums[static_cast<std::size_t>(c)].fetch_add(i + 1);
+      }, 8);
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(c)].load(), kPer * (kPer + 1) / 2);
+  }
 }
 
 }  // namespace
