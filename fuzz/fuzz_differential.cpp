@@ -1,0 +1,468 @@
+// Deterministic differential fuzzer for the concentrator switches.
+//
+// Sweeps every switch family x degenerate output counts (m in {1, 2, n-1, n}
+// plus a random m) x structured and random valid-bit patterns (empty, full,
+// single-bit, prefix/suffix, alternating, block, three densities) x batch
+// sizes straddling the 64-lane word width (1, 63, 64, 65, 128), and
+// cross-checks three independent routing paths against the shared invariant
+// library (core/invariants.hpp):
+//   scalar      route() / nearsorted_valid_bits() on the label mesh,
+//   batch       route_batch() / nearsorted_batch() (counting kernels,
+//               LaneBatch lanes, the AVX-512 stage split, the thread pool),
+//   gate-level  the composed HyperCircuit realization, on small shapes.
+// Faulty switches are swept too, against the fault-loss accounting invariant.
+//
+// Every case is derived deterministically from (seed, case index), so a
+// failure report's case index replays alone:
+//   pcs_fuzz --seed 1987 --start 4242 --cases 1
+// Exit code 0 = clean sweep, 1 = invariant violation (first one reported),
+// 2 = usage error.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/invariants.hpp"
+#include "switch/columnsort_switch.hpp"
+#include "switch/faults.hpp"
+#include "switch/full_sort_hyper.hpp"
+#include "switch/gate_level_switch.hpp"
+#include "switch/hyper_switch.hpp"
+#include "switch/multipass_switch.hpp"
+#include "switch/revsort_switch.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using pcs::BitVec;
+using pcs::Rng;
+namespace core = pcs::core;
+namespace sw = pcs::sw;
+
+struct Options {
+  std::size_t cases = 1000;
+  std::size_t start = 0;
+  std::uint64_t seed = 1987;
+  bool verbose = false;
+};
+
+/// splitmix64 step: decorrelates the per-case seed from the case index.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// --- pattern zoo ----------------------------------------------------------
+
+constexpr std::size_t kPatternKinds = 10;
+
+BitVec make_pattern(std::size_t kind, std::size_t n, Rng& rng) {
+  BitVec v(n);
+  switch (kind % kPatternKinds) {
+    case 0:  // empty
+      return v;
+    case 1:  // full
+      for (std::size_t i = 0; i < n; ++i) v.set(i, true);
+      return v;
+    case 2:  // single bit
+      v.set(rng.below(n), true);
+      return v;
+    case 3:  // all but one
+      for (std::size_t i = 0; i < n; ++i) v.set(i, true);
+      v.set(rng.below(n), false);
+      return v;
+    case 4:  // prefix of ones (already concentrated)
+      return BitVec::prefix_ones(n, rng.below(n + 1));
+    case 5: {  // suffix of ones (maximally displaced)
+      const std::size_t k = rng.below(n + 1);
+      for (std::size_t i = n - k; i < n; ++i) v.set(i, true);
+      return v;
+    }
+    case 6:  // alternating, random phase
+      for (std::size_t i = rng.below(2); i < n; i += 2) v.set(i, true);
+      return v;
+    case 7: {  // one solid block at a random offset
+      const std::size_t len = rng.below(n + 1);
+      const std::size_t at = len == n ? 0 : rng.below(n - len + 1);
+      for (std::size_t i = at; i < at + len; ++i) v.set(i, true);
+      return v;
+    }
+    case 8:  // sparse / dense random
+      return rng.bernoulli_bits(n, rng.chance(0.5) ? 0.1 : 0.9);
+    default:  // balanced random
+      return rng.bernoulli_bits(n, 0.5);
+  }
+}
+
+std::vector<BitVec> make_batch(std::size_t n, std::size_t count, Rng& rng) {
+  std::vector<BitVec> out;
+  out.reserve(count);
+  // Rotate through the pattern zoo from a random phase so every kind shows
+  // up at every batch size, including size 1.
+  const std::size_t phase = rng.below(kPatternKinds);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(make_pattern(phase + i, n, rng));
+  }
+  return out;
+}
+
+/// Batch sizes straddling the 64-lane word width, trimmed on big shapes so a
+/// 10k-case sweep stays fast under the sanitizers.
+std::size_t pick_batch_size(std::size_t n, Rng& rng) {
+  static constexpr std::size_t kSizes[] = {1, 63, 64, 65, 128};
+  const std::size_t span = n > 512 ? 2 : (n > 128 ? 3 : 5);
+  return kSizes[rng.below(span)];
+}
+
+/// Degenerate-first m selection: 1, 2, n-1, n, then random interior.
+std::size_t pick_m(std::size_t n, Rng& rng) {
+  switch (rng.below(5)) {
+    case 0: return 1;
+    case 1: return n >= 2 ? 2 : 1;
+    case 2: return n >= 2 ? n - 1 : 1;
+    case 3: return n;
+    default: return 1 + rng.below(n);
+  }
+}
+
+// --- switch construction (cached; shapes repeat across cases) -------------
+
+struct SwitchCache {
+  std::map<std::string, std::unique_ptr<sw::ConcentratorSwitch>> switches;
+  std::map<std::string, std::unique_ptr<sw::GateLevelSwitchBase>> gates;
+
+  sw::ConcentratorSwitch* get(const std::string& key,
+                              std::unique_ptr<sw::ConcentratorSwitch> (*build)(
+                                  std::size_t, std::size_t, std::size_t),
+                              std::size_t a, std::size_t b, std::size_t c) {
+    auto it = switches.find(key);
+    if (it == switches.end()) {
+      it = switches.emplace(key, build(a, b, c)).first;
+    }
+    return it->second.get();
+  }
+};
+
+std::unique_ptr<sw::ConcentratorSwitch> build_hyper(std::size_t n, std::size_t m,
+                                                    std::size_t) {
+  return std::make_unique<sw::HyperSwitch>(n, m);
+}
+std::unique_ptr<sw::ConcentratorSwitch> build_revsort(std::size_t n, std::size_t m,
+                                                      std::size_t) {
+  return std::make_unique<sw::RevsortSwitch>(n, m);
+}
+std::unique_ptr<sw::ConcentratorSwitch> build_columnsort(std::size_t r, std::size_t s,
+                                                         std::size_t m) {
+  return std::make_unique<sw::ColumnsortSwitch>(r, s, m);
+}
+std::unique_ptr<sw::ConcentratorSwitch> build_full_revsort(std::size_t n, std::size_t,
+                                                           std::size_t) {
+  return std::make_unique<sw::FullRevsortHyper>(n);
+}
+std::unique_ptr<sw::ConcentratorSwitch> build_full_columnsort(std::size_t r,
+                                                              std::size_t s,
+                                                              std::size_t) {
+  return std::make_unique<sw::FullColumnsortHyper>(r, s);
+}
+std::unique_ptr<sw::ConcentratorSwitch> build_multipass(std::size_t r, std::size_t s,
+                                                        std::size_t code) {
+  // code packs (passes, schedule, m): built by the caller below.
+  const std::size_t passes = code >> 33;
+  const bool alternating = (code >> 32) & 1;
+  const std::size_t m = code & 0xffffffffull;
+  return std::make_unique<sw::MultipassColumnsortSwitch>(
+      r, s, passes, m,
+      alternating ? sw::ReshapeSchedule::kAlternating : sw::ReshapeSchedule::kSame);
+}
+
+// --- per-family case drivers ----------------------------------------------
+
+struct CaseContext {
+  std::string description;  ///< shape summary for the failure report
+  sw::ConcentratorSwitch* sw = nullptr;
+  sw::ConcentratorSwitch* baseline = nullptr;  ///< fault-free twin (faulty cases)
+  std::size_t max_fault_loss = 0;              ///< nonzero marks a faulty switch
+};
+
+CaseContext pick_case(std::size_t family, Rng& rng, SwitchCache& cache) {
+  CaseContext ctx;
+  std::ostringstream key;
+  switch (family % 6) {
+    case 0: {  // single-chip hyperconcentrator
+      static constexpr std::size_t kN[] = {1, 2, 7, 33, 64, 100, 256};
+      const std::size_t n = kN[rng.below(std::size(kN))];
+      const std::size_t m = pick_m(n, rng);
+      key << "hyper/" << n << "/" << m;
+      ctx.sw = cache.get(key.str(), build_hyper, n, m, 0);
+      break;
+    }
+    case 1: {  // Revsort partial concentrator
+      static constexpr std::size_t kN[] = {1, 4, 16, 64, 256, 1024};
+      const std::size_t n = kN[rng.below(std::size(kN))];
+      const std::size_t m = pick_m(n, rng);
+      key << "revsort/" << n << "/" << m;
+      ctx.sw = cache.get(key.str(), build_revsort, n, m, 0);
+      break;
+    }
+    case 2: {  // Columnsort partial concentrator
+      static constexpr std::size_t kRS[][2] = {{1, 1}, {2, 1}, {4, 2},  {8, 2},
+                                               {16, 4}, {32, 4}, {64, 8}};
+      const auto& rs = kRS[rng.below(std::size(kRS))];
+      const std::size_t m = pick_m(rs[0] * rs[1], rng);
+      key << "columnsort/" << rs[0] << "x" << rs[1] << "/" << m;
+      ctx.sw = cache.get(key.str(), build_columnsort, rs[0], rs[1], m);
+      break;
+    }
+    case 3: {  // full-sorting multichip hyperconcentrators (m = n by class)
+      if (rng.chance(0.5)) {
+        static constexpr std::size_t kN[] = {4, 16, 64, 256};
+        const std::size_t n = kN[rng.below(std::size(kN))];
+        key << "fullrevsort/" << n;
+        ctx.sw = cache.get(key.str(), build_full_revsort, n, 0, 0);
+      } else {
+        static constexpr std::size_t kRS[][2] = {{2, 1}, {8, 2}, {32, 4}};
+        const auto& rs = kRS[rng.below(std::size(kRS))];
+        key << "fullcolumnsort/" << rs[0] << "x" << rs[1];
+        ctx.sw = cache.get(key.str(), build_full_columnsort, rs[0], rs[1], 0);
+      }
+      break;
+    }
+    case 4: {  // multipass Columnsort (the open-question switch)
+      static constexpr std::size_t kRS[][2] = {{16, 4}, {32, 4}, {64, 8}};
+      const auto& rs = kRS[rng.below(std::size(kRS))];
+      const std::size_t passes = 1 + rng.below(3);
+      const bool alternating = rng.chance(0.5);
+      const std::size_t m = pick_m(rs[0] * rs[1], rng);
+      key << "multipass/" << rs[0] << "x" << rs[1] << "/" << passes << "/"
+          << alternating << "/" << m;
+      ctx.sw = cache.get(key.str(), build_multipass, rs[0], rs[1],
+                         (passes << 33) | (std::size_t{alternating} << 32) | m);
+      break;
+    }
+    default: {  // faulty switches: graceful-degradation accounting
+      if (rng.chance(0.5)) {
+        static constexpr std::size_t kN[] = {16, 64, 256};
+        const std::size_t n = kN[rng.below(std::size(kN))];
+        const std::size_t side = n == 16 ? 4 : (n == 64 ? 8 : 16);
+        const std::size_t m = pick_m(n, rng);
+        std::vector<sw::ChipFault> faults;
+        const std::size_t count = 1 + rng.below(3);
+        for (std::size_t f = 0; f < count; ++f) {
+          faults.push_back(sw::ChipFault{rng.below(3), rng.below(side)});
+        }
+        auto faulty = std::make_unique<sw::FaultyRevsortSwitch>(n, m,
+                                                               std::move(faults));
+        ctx.max_fault_loss = faulty->max_fault_loss();
+        ctx.description = faulty->name();
+        // Not cached under a shape key: fault sets vary per case.
+        cache.switches["faulty-scratch"] = std::move(faulty);
+        ctx.sw = cache.switches["faulty-scratch"].get();
+        key << "revsort/" << n << "/" << m;
+        ctx.baseline = cache.get(key.str(), build_revsort, n, m, 0);
+      } else {
+        static constexpr std::size_t kRS[][2] = {{8, 2}, {16, 4}, {64, 8}};
+        const auto& rs = kRS[rng.below(std::size(kRS))];
+        const std::size_t m = pick_m(rs[0] * rs[1], rng);
+        std::vector<sw::ChipFault> faults;
+        const std::size_t count = 1 + rng.below(3);
+        for (std::size_t f = 0; f < count; ++f) {
+          faults.push_back(sw::ChipFault{rng.below(2), rng.below(rs[1])});
+        }
+        auto faulty = std::make_unique<sw::FaultyColumnsortSwitch>(
+            rs[0], rs[1], m, std::move(faults));
+        ctx.max_fault_loss = faulty->max_fault_loss();
+        ctx.description = faulty->name();
+        cache.switches["faulty-scratch"] = std::move(faulty);
+        ctx.sw = cache.switches["faulty-scratch"].get();
+        key << "columnsort/" << rs[0] << "x" << rs[1] << "/" << m;
+        ctx.baseline = cache.get(key.str(), build_columnsort, rs[0], rs[1], m);
+      }
+      break;
+    }
+  }
+  if (ctx.description.empty()) ctx.description = ctx.sw->name();
+  return ctx;
+}
+
+// --- gate-level cross-check ------------------------------------------------
+
+/// Compare the composed gate-level circuit against the behavioural m = n
+/// switch on one (valid, data) pair: identical valid arrangement, and every
+/// occupied output position carries its routed input's payload bit.
+bool check_gate_level(const sw::GateLevelSwitchBase& gate,
+                      const sw::ConcentratorSwitch& model, const BitVec& valid,
+                      const BitVec& data, core::InvariantReport& report) {
+  ++report.checks_run;
+  const sw::GateLevelResult res = gate.evaluate(valid, data);
+  const BitVec arrangement = model.nearsorted_valid_bits(valid);
+  if (res.valid.size() != arrangement.size() ||
+      res.valid.count_diff(arrangement) != 0) {
+    report.add("gate-level",
+               model.name() + " valid bits diverge from the gate-level circuit on " +
+                   core::describe_pattern(valid));
+    return false;
+  }
+  const sw::SwitchRouting routing = model.route(valid);
+  for (std::size_t p = 0; p < gate.n(); ++p) {
+    const std::int32_t src = routing.input_of_output[p];
+    const bool expect = src >= 0 && data.get(static_cast<std::size_t>(src));
+    if (res.data.get(p) != expect) {
+      std::ostringstream os;
+      os << model.name() << " gate-level data bit at output " << p << " is "
+         << res.data.get(p) << ", behavioural routing expects " << expect << " on "
+         << core::describe_pattern(valid);
+      report.add("gate-level", os.str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool run_gate_level_case(std::size_t idx, Rng& rng, SwitchCache& cache,
+                         core::InvariantReport& report) {
+  // Alternate between the two gate-level designs; shapes stay small because
+  // gate counts grow as stages * chips * w^2.
+  const bool revsort = idx % 2 == 0;
+  std::string key;
+  sw::GateLevelSwitchBase* gate = nullptr;
+  sw::ConcentratorSwitch* model = nullptr;
+  if (revsort) {
+    static constexpr std::size_t kN[] = {16, 64};
+    const std::size_t n = kN[rng.below(std::size(kN))];
+    key = "gate-revsort/" + std::to_string(n);
+    auto it = cache.gates.find(key);
+    if (it == cache.gates.end()) {
+      it = cache.gates.emplace(key, std::make_unique<sw::GateLevelRevsortSwitch>(n))
+               .first;
+    }
+    gate = it->second.get();
+    model = cache.get("revsort/" + std::to_string(n) + "/" + std::to_string(n),
+                      build_revsort, n, n, 0);
+  } else {
+    static constexpr std::size_t kRS[][2] = {{8, 2}, {16, 4}};
+    const auto& rs = kRS[rng.below(std::size(kRS))];
+    key = "gate-columnsort/" + std::to_string(rs[0]) + "x" + std::to_string(rs[1]);
+    auto it = cache.gates.find(key);
+    if (it == cache.gates.end()) {
+      it = cache.gates
+               .emplace(key, std::make_unique<sw::GateLevelColumnsortSwitch>(rs[0],
+                                                                             rs[1]))
+               .first;
+    }
+    gate = it->second.get();
+    const std::size_t n = rs[0] * rs[1];
+    model = cache.get("columnsort/" + std::to_string(rs[0]) + "x" +
+                          std::to_string(rs[1]) + "/" + std::to_string(n),
+                      build_columnsort, rs[0], rs[1], n);
+  }
+  bool ok = true;
+  for (int t = 0; t < 4 && ok; ++t) {
+    const BitVec valid = make_pattern(rng.below(kPatternKinds), gate->n(), rng);
+    const BitVec data = rng.bernoulli_bits(gate->n(), 0.5);
+    ok = check_gate_level(*gate, *model, valid, data, report);
+  }
+  return ok;
+}
+
+// --- driver ----------------------------------------------------------------
+
+bool run_case(std::size_t idx, const Options& opt, SwitchCache& cache,
+              core::InvariantReport& report) {
+  Rng rng(mix(opt.seed ^ idx));
+  // Every 8th case exercises the gate-level path instead of a batch sweep.
+  if (idx % 8 == 7) return run_gate_level_case(idx, rng, cache, report);
+
+  const CaseContext ctx = pick_case(idx % 6, rng, cache);
+  const std::size_t n = ctx.sw->inputs();
+  const std::size_t batch = pick_batch_size(n, rng);
+  const std::vector<BitVec> patterns = make_batch(n, batch, rng);
+
+  if (opt.verbose) {
+    std::cerr << "case " << idx << ": " << ctx.description << " batch=" << batch
+              << "\n";
+  }
+
+  bool ok = core::check_batch_identity(*ctx.sw, patterns, report);
+  for (const BitVec& valid : patterns) {
+    if (!ok) break;
+    if (ctx.max_fault_loss > 0) {
+      const sw::SwitchRouting routing = ctx.sw->route(valid);
+      const std::size_t baseline = ctx.baseline->route(valid).routed_count();
+      ok = core::check_partial_injection(*ctx.sw, valid, routing, report) &&
+           core::check_fault_loss(*ctx.sw, valid, routing, baseline,
+                                  ctx.max_fault_loss, report);
+    } else {
+      ok = core::check_pattern(*ctx.sw, valid, report);
+    }
+  }
+  if (!ok) {
+    std::cerr << "FAIL at case " << idx << ": " << ctx.description
+              << " batch=" << batch << "\n";
+  }
+  return ok;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--cases N] [--seed S] [--start K] [--verbose]\n"
+               "Deterministic differential fuzz sweep; replay one case with\n"
+               "--start <case> --cases 1 and the same --seed.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* { return a + 1 < argc ? argv[++a] : nullptr; };
+    if (arg == "--cases") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opt.cases = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--start") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opt.start = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  SwitchCache cache;
+  core::InvariantReport report;
+  for (std::size_t idx = opt.start; idx < opt.start + opt.cases; ++idx) {
+    bool ok = false;
+    try {
+      ok = run_case(idx, opt, cache, report);
+    } catch (const std::exception& e) {
+      std::cerr << "FAIL at case " << idx << ": unexpected exception: " << e.what()
+                << "\n";
+      return 1;
+    }
+    if (!ok) {
+      std::cerr << report.to_string() << "\n"
+                << "replay: --seed " << opt.seed << " --start " << idx
+                << " --cases 1\n";
+      return 1;
+    }
+  }
+  std::cout << "fuzz sweep clean: " << opt.cases << " cases, " << report.checks_run
+            << " invariant checks, seed " << opt.seed << "\n";
+  return 0;
+}

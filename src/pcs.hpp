@@ -76,5 +76,6 @@
 #include "core/adversary.hpp"
 #include "core/bounds.hpp"
 #include "core/epsilon_stats.hpp"
+#include "core/invariants.hpp"
 #include "core/lemmas.hpp"
 #include "core/verification.hpp"

@@ -43,8 +43,11 @@ LaneBatch::LaneBatch(std::size_t n) : n_(n) {
 
 void LaneBatch::load(const std::vector<BitVec>& patterns, std::size_t first,
                      std::size_t count) {
-  PCS_REQUIRE(count >= 1 && count <= kLanes, "LaneBatch::load lane count");
-  PCS_REQUIRE(first + count <= patterns.size(), "LaneBatch::load range");
+  PCS_REQUIRE(count >= 1 && count <= kLanes,
+              "LaneBatch::load lane count: count=" << count << " kLanes=" << kLanes);
+  PCS_REQUIRE(first + count <= patterns.size(),
+              "LaneBatch::load range: first=" << first << " count=" << count
+              << " patterns=" << patterns.size());
   lanes_ = count;
   const std::size_t blocks = pos_.size() / kLanes;
   std::uint64_t block[64];
@@ -52,7 +55,8 @@ void LaneBatch::load(const std::vector<BitVec>& patterns, std::size_t first,
     for (std::size_t l = 0; l < kLanes; ++l) {
       if (l < count) {
         const BitVec& p = patterns[first + l];
-        PCS_REQUIRE(p.size() == n_, "LaneBatch::load pattern width");
+        PCS_REQUIRE(p.size() == n_, "LaneBatch::load pattern width: pattern has "
+                                        << p.size() << " bits, batch is n=" << n_);
         const auto& w = p.words();
         block[l] = b < w.size() ? w[b] : 0;
       } else {

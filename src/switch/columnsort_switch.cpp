@@ -17,9 +17,12 @@ namespace pcs::sw {
 
 ColumnsortSwitch::ColumnsortSwitch(std::size_t r, std::size_t s, std::size_t m)
     : r_(r), s_(s), n_(r * s), m_(m) {
-  PCS_REQUIRE(r > 0 && s > 0, "ColumnsortSwitch shape");
-  PCS_REQUIRE(r % s == 0, "ColumnsortSwitch requires s to divide r");
-  PCS_REQUIRE(m >= 1 && m <= n_, "ColumnsortSwitch m range");
+  PCS_REQUIRE(r > 0 && s > 0, "ColumnsortSwitch shape: r=" << r << " s=" << s);
+  PCS_REQUIRE(r % s == 0,
+              "ColumnsortSwitch requires s to divide r: r=" << r << " s=" << s);
+  PCS_REQUIRE(m >= 1 && m <= n_,
+              "ColumnsortSwitch m range: m=" << m << " n=" << n_ << " (r=" << r
+              << " s=" << s << ")");
   stage1_to_2_ = cm_to_rm_wiring(r_, s_);
   readout_ = row_major_readout_wiring(r_, s_);
 }
@@ -65,7 +68,8 @@ SwitchRouting ColumnsortSwitch::finish_row_major(
 }
 
 SwitchRouting ColumnsortSwitch::route(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_, "ColumnsortSwitch::route width");
+  PCS_REQUIRE(valid.size() == n_, "ColumnsortSwitch::route width: pattern has "
+                                      << valid.size() << " bits, switch has n=" << n_);
   LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
   mesh.concentrate_columns();  // stage 1
   mesh.cm_to_rm_reshape();     // inter-stage wiring
@@ -118,7 +122,10 @@ std::vector<SwitchRouting> ColumnsortSwitch::route_batch(
     std::vector<std::size_t> next_pos(s_);
     for (std::size_t i = lo; i < hi; ++i) {
       const BitVec& valid = valids[i];
-      PCS_REQUIRE(valid.size() == n_, "ColumnsortSwitch::route_batch width");
+      PCS_REQUIRE(valid.size() == n_,
+                  "ColumnsortSwitch::route_batch width: pattern " << i << " of "
+                  << valids.size() << " has " << valid.size()
+                  << " bits, switch has n=" << n_);
       std::fill(col_fill.begin(), col_fill.end(), 0u);
       for (std::size_t j = 0; j < s_; ++j) next_pos[j] = j;
       SwitchRouting& out_i = out[i];
@@ -165,7 +172,9 @@ std::vector<BitVec> ColumnsortSwitch::nearsorted_batch(
 }
 
 BitVec ColumnsortSwitch::nearsorted_valid_bits(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_, "ColumnsortSwitch::nearsorted_valid_bits width");
+  PCS_REQUIRE(valid.size() == n_,
+              "ColumnsortSwitch::nearsorted_valid_bits width: pattern has "
+                  << valid.size() << " bits, switch has n=" << n_);
   LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
   mesh.concentrate_columns();
   mesh.cm_to_rm_reshape();

@@ -1,6 +1,8 @@
 #include "switch/faults.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 #include "switch/label_mesh.hpp"
 #include "util/assert.hpp"
@@ -9,6 +11,15 @@
 namespace pcs::sw {
 
 namespace {
+
+/// A chip is either dead or alive: repeated entries describe the same dead
+/// chip and must not count twice in max_fault_loss().
+void dedupe_faults(std::vector<ChipFault>& faults) {
+  std::sort(faults.begin(), faults.end(), [](const ChipFault& a, const ChipFault& b) {
+    return std::tie(a.stage, a.chip) < std::tie(b.stage, b.chip);
+  });
+  faults.erase(std::unique(faults.begin(), faults.end()), faults.end());
+}
 
 /// Drive every slot of a dead column chip's outputs invalid.
 void kill_column(LabelMesh& mesh, std::size_t col) {
@@ -54,15 +65,22 @@ FaultyRevsortSwitch::FaultyRevsortSwitch(std::size_t n, std::size_t m,
                                          std::vector<ChipFault> faults)
     : n_(n), m_(m), faults_(std::move(faults)) {
   side_ = isqrt(n);
-  PCS_REQUIRE(side_ * side_ == n && is_pow2(side_), "FaultyRevsortSwitch shape");
-  PCS_REQUIRE(m >= 1 && m <= n, "FaultyRevsortSwitch m range");
+  PCS_REQUIRE(side_ * side_ == n && is_pow2(side_),
+              "FaultyRevsortSwitch shape: n=" << n << " must have a power-of-two "
+              "integer square root, got side=" << side_);
+  PCS_REQUIRE(m >= 1 && m <= n,
+              "FaultyRevsortSwitch m range: m=" << m << " n=" << n);
   for (const ChipFault& f : faults_) {
-    PCS_REQUIRE(f.stage < 3 && f.chip < side_, "FaultyRevsortSwitch fault coords");
+    PCS_REQUIRE(f.stage < 3 && f.chip < side_,
+                "FaultyRevsortSwitch fault coords: stage=" << f.stage << " chip="
+                << f.chip << " (stages 0..2, chips 0.." << side_ - 1 << ")");
   }
+  dedupe_faults(faults_);
 }
 
 std::vector<std::int32_t> FaultyRevsortSwitch::run_mesh(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_, "FaultyRevsortSwitch width");
+  PCS_REQUIRE(valid.size() == n_, "FaultyRevsortSwitch width: pattern has "
+                                      << valid.size() << " bits, switch has n=" << n_);
   LabelMesh mesh = LabelMesh::from_col_major_valid(valid, side_, side_);
   mesh.concentrate_columns();
   apply_faults(mesh, faults_, 0, /*chips_are_columns=*/true);
@@ -95,15 +113,22 @@ FaultyColumnsortSwitch::FaultyColumnsortSwitch(std::size_t r, std::size_t s,
                                                std::size_t m,
                                                std::vector<ChipFault> faults)
     : r_(r), s_(s), n_(r * s), m_(m), faults_(std::move(faults)) {
-  PCS_REQUIRE(s > 0 && r % s == 0, "FaultyColumnsortSwitch shape");
-  PCS_REQUIRE(m >= 1 && m <= n_, "FaultyColumnsortSwitch m range");
+  PCS_REQUIRE(s > 0 && r % s == 0,
+              "FaultyColumnsortSwitch shape: r=" << r << " s=" << s
+              << " (s must divide r)");
+  PCS_REQUIRE(m >= 1 && m <= n_,
+              "FaultyColumnsortSwitch m range: m=" << m << " n=" << n_);
   for (const ChipFault& f : faults_) {
-    PCS_REQUIRE(f.stage < 2 && f.chip < s, "FaultyColumnsortSwitch fault coords");
+    PCS_REQUIRE(f.stage < 2 && f.chip < s,
+                "FaultyColumnsortSwitch fault coords: stage=" << f.stage << " chip="
+                << f.chip << " (stages 0..1, chips 0.." << s - 1 << ")");
   }
+  dedupe_faults(faults_);
 }
 
 std::vector<std::int32_t> FaultyColumnsortSwitch::run_mesh(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_, "FaultyColumnsortSwitch width");
+  PCS_REQUIRE(valid.size() == n_, "FaultyColumnsortSwitch width: pattern has "
+                                      << valid.size() << " bits, switch has n=" << n_);
   LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
   mesh.concentrate_columns();
   apply_faults(mesh, faults_, 0, /*chips_are_columns=*/true);

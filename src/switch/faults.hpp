@@ -35,6 +35,8 @@ struct ChipFault {
 
 class FaultyRevsortSwitch : public ConcentratorSwitch {
  public:
+  /// Duplicate entries in `faults` are collapsed: a chip is either dead or
+  /// not, so repeating it must not inflate max_fault_loss().
   FaultyRevsortSwitch(std::size_t n, std::size_t m, std::vector<ChipFault> faults);
 
   std::size_t inputs() const override { return n_; }
@@ -63,6 +65,7 @@ class FaultyRevsortSwitch : public ConcentratorSwitch {
 
 class FaultyColumnsortSwitch : public ConcentratorSwitch {
  public:
+  /// Duplicate entries in `faults` are collapsed, as in FaultyRevsortSwitch.
   FaultyColumnsortSwitch(std::size_t r, std::size_t s, std::size_t m,
                          std::vector<ChipFault> faults);
 
@@ -75,6 +78,7 @@ class FaultyColumnsortSwitch : public ConcentratorSwitch {
 
   std::size_t r() const noexcept { return r_; }
   std::size_t s() const noexcept { return s_; }
+  const std::vector<ChipFault>& faults() const noexcept { return faults_; }
   std::size_t max_fault_loss() const noexcept { return faults_.size() * r_; }
 
  private:

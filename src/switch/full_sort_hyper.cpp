@@ -44,15 +44,19 @@ bool sequence_concentrated(const std::vector<std::int32_t>& seq) {
 }  // namespace
 
 FullRevsortHyper::FullRevsortHyper(std::size_t n) : n_(n) {
-  PCS_REQUIRE(n > 0, "FullRevsortHyper n");
+  PCS_REQUIRE(n > 0, "FullRevsortHyper n must be positive");
   side_ = isqrt(n);
-  PCS_REQUIRE(side_ * side_ == n, "FullRevsortHyper n must be a perfect square");
-  PCS_REQUIRE(is_pow2(side_), "FullRevsortHyper sqrt(n) must be a power of two");
+  PCS_REQUIRE(side_ * side_ == n,
+              "FullRevsortHyper n must be a perfect square: n=" << n);
+  PCS_REQUIRE(is_pow2(side_),
+              "FullRevsortHyper sqrt(n) must be a power of two: n=" << n
+              << " side=" << side_);
   reps_ = sortnet::full_revsort_repetitions(side_);
 }
 
 SwitchRouting FullRevsortHyper::route(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_, "FullRevsortHyper::route width");
+  PCS_REQUIRE(valid.size() == n_, "FullRevsortHyper::route width: pattern has "
+                                      << valid.size() << " bits, switch has n=" << n_);
   LabelMesh mesh = LabelMesh::from_col_major_valid(valid, side_, side_);
   for (std::size_t t = 0; t < reps_; ++t) {
     mesh.concentrate_columns();
@@ -92,7 +96,10 @@ std::vector<BitVec> FullRevsortHyper::nearsorted_batch(
     const std::vector<BitVec>& valids) const {
   std::vector<BitVec> out(valids.size());
   parallel_for(0, valids.size(), [&](std::size_t i) {
-    PCS_REQUIRE(valids[i].size() == n_, "FullRevsortHyper::nearsorted_batch width");
+    PCS_REQUIRE(valids[i].size() == n_,
+                "FullRevsortHyper::nearsorted_batch width: pattern " << i << " of "
+                << valids.size() << " has " << valids[i].size()
+                << " bits, switch has n=" << n_);
     out[i] = BitVec::prefix_ones(n_, valids[i].count());
   });
   return out;
@@ -121,11 +128,13 @@ Bom FullRevsortHyper::bill_of_materials() const {
 FullColumnsortHyper::FullColumnsortHyper(std::size_t r, std::size_t s)
     : r_(r), s_(s), n_(r * s) {
   PCS_REQUIRE(sortnet::columnsort_shape_ok(r, s),
-              "FullColumnsortHyper requires s | r and r >= 2(s-1)^2");
+              "FullColumnsortHyper requires s | r and r >= 2(s-1)^2: r=" << r
+              << " s=" << s);
 }
 
 SwitchRouting FullColumnsortHyper::route(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_, "FullColumnsortHyper::route width");
+  PCS_REQUIRE(valid.size() == n_, "FullColumnsortHyper::route width: pattern has "
+                                      << valid.size() << " bits, switch has n=" << n_);
   LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
   mesh.concentrate_columns();        // step 1
   mesh.cm_to_rm_reshape();           // step 2
@@ -151,7 +160,9 @@ std::vector<BitVec> FullColumnsortHyper::nearsorted_batch(
   std::vector<BitVec> out(valids.size());
   parallel_for(0, valids.size(), [&](std::size_t i) {
     PCS_REQUIRE(valids[i].size() == n_,
-                "FullColumnsortHyper::nearsorted_batch width");
+                "FullColumnsortHyper::nearsorted_batch width: pattern " << i
+                << " of " << valids.size() << " has " << valids[i].size()
+                << " bits, switch has n=" << n_);
     out[i] = BitVec::prefix_ones(n_, valids[i].count());
   });
   return out;

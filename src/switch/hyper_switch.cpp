@@ -9,7 +9,7 @@
 namespace pcs::sw {
 
 HyperSwitch::HyperSwitch(std::size_t n, std::size_t m) : chip_(n), m_(m) {
-  PCS_REQUIRE(m >= 1 && m <= n, "HyperSwitch m range");
+  PCS_REQUIRE(m >= 1 && m <= n, "HyperSwitch m range: m=" << m << " n=" << n);
 }
 
 SwitchRouting HyperSwitch::route(const BitVec& valid) const {
@@ -39,7 +39,10 @@ std::vector<SwitchRouting> HyperSwitch::route_batch(
   parallel_for_chunks(0, valids.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       const BitVec& valid = valids[i];
-      PCS_REQUIRE(valid.size() == n, "HyperSwitch::route_batch width");
+      PCS_REQUIRE(valid.size() == n,
+                  "HyperSwitch::route_batch width: pattern " << i << " of "
+                  << valids.size() << " has " << valid.size()
+                  << " bits, switch has n=" << n);
       SwitchRouting& out_i = out[i];
       out_i.output_of_input.assign(n, -1);
       out_i.input_of_output.assign(m_, -1);
@@ -66,7 +69,10 @@ std::vector<BitVec> HyperSwitch::nearsorted_batch(
   const std::size_t n = chip_.n();
   std::vector<BitVec> out(valids.size());
   parallel_for(0, valids.size(), [&](std::size_t i) {
-    PCS_REQUIRE(valids[i].size() == n, "HyperSwitch::nearsorted_batch width");
+    PCS_REQUIRE(valids[i].size() == n,
+                "HyperSwitch::nearsorted_batch width: pattern " << i << " of "
+                << valids.size() << " has " << valids[i].size()
+                << " bits, switch has n=" << n);
     out[i] = BitVec::prefix_ones(n, valids[i].count());
   });
   return out;
@@ -87,7 +93,8 @@ Bom HyperSwitch::bill_of_materials() const {
 
 PrefixButterflyHyperSwitch::PrefixButterflyHyperSwitch(std::size_t n, std::size_t m)
     : fabric_(n), m_(m) {
-  PCS_REQUIRE(m >= 1 && m <= n, "PrefixButterflyHyperSwitch m range");
+  PCS_REQUIRE(m >= 1 && m <= n,
+              "PrefixButterflyHyperSwitch m range: m=" << m << " n=" << n);
 }
 
 std::size_t PrefixButterflyHyperSwitch::inputs() const { return fabric_.n(); }
@@ -109,7 +116,9 @@ SwitchRouting PrefixButterflyHyperSwitch::route(const BitVec& valid) const {
 }
 
 BitVec PrefixButterflyHyperSwitch::nearsorted_valid_bits(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == fabric_.n(), "PrefixButterflyHyperSwitch width");
+  PCS_REQUIRE(valid.size() == fabric_.n(),
+              "PrefixButterflyHyperSwitch width: pattern has " << valid.size()
+              << " bits, switch has n=" << fabric_.n());
   return BitVec::prefix_ones(fabric_.n(), valid.count());
 }
 

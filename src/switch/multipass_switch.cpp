@@ -17,9 +17,12 @@ MultipassColumnsortSwitch::MultipassColumnsortSwitch(std::size_t r, std::size_t 
                                                      ReshapeSchedule schedule)
     : r_(r), s_(s), passes_(passes), n_(r * s), m_(m), schedule_(schedule) {
   PCS_REQUIRE(r > 0 && s > 0 && r % s == 0,
-              "MultipassColumnsortSwitch requires s to divide r");
-  PCS_REQUIRE(passes >= 1, "MultipassColumnsortSwitch needs at least one pass");
-  PCS_REQUIRE(m >= 1 && m <= n_, "MultipassColumnsortSwitch m range");
+              "MultipassColumnsortSwitch requires s to divide r: r=" << r
+              << " s=" << s);
+  PCS_REQUIRE(passes >= 1, "MultipassColumnsortSwitch needs at least one pass, got "
+                               << passes);
+  PCS_REQUIRE(m >= 1 && m <= n_,
+              "MultipassColumnsortSwitch m range: m=" << m << " n=" << n_);
   cm_to_rm_ = cm_to_rm_wiring(r_, s_);
   rm_to_cm_ = cm_to_rm_.inverse();
   readout_ = row_major_readout_wiring(r_, s_);
@@ -67,7 +70,9 @@ bool MultipassColumnsortSwitch::reads_row_major() const {
 }
 
 SwitchRouting MultipassColumnsortSwitch::route(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_, "MultipassColumnsortSwitch::route width");
+  PCS_REQUIRE(valid.size() == n_,
+              "MultipassColumnsortSwitch::route width: pattern has " << valid.size()
+                  << " bits, switch has n=" << n_);
   LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
   run_passes(mesh, passes_, schedule_);
   return finish_row_major(reads_row_major() ? mesh.to_row_major()
@@ -75,7 +80,9 @@ SwitchRouting MultipassColumnsortSwitch::route(const BitVec& valid) const {
 }
 
 BitVec MultipassColumnsortSwitch::nearsorted_valid_bits(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_, "MultipassColumnsortSwitch width");
+  PCS_REQUIRE(valid.size() == n_,
+              "MultipassColumnsortSwitch width: pattern has " << valid.size()
+                  << " bits, switch has n=" << n_);
   LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
   run_passes(mesh, passes_, schedule_);
   BitMatrix bits = mesh.valid_bits();

@@ -21,11 +21,14 @@
 namespace pcs::sw {
 
 RevsortSwitch::RevsortSwitch(std::size_t n, std::size_t m) : n_(n), m_(m) {
-  PCS_REQUIRE(n > 0, "RevsortSwitch n");
+  PCS_REQUIRE(n > 0, "RevsortSwitch n must be positive");
   side_ = isqrt(n);
-  PCS_REQUIRE(side_ * side_ == n, "RevsortSwitch n must be a perfect square");
-  PCS_REQUIRE(is_pow2(side_), "RevsortSwitch sqrt(n) must be a power of two");
-  PCS_REQUIRE(m >= 1 && m <= n, "RevsortSwitch m range");
+  PCS_REQUIRE(side_ * side_ == n,
+              "RevsortSwitch n must be a perfect square: n=" << n);
+  PCS_REQUIRE(is_pow2(side_),
+              "RevsortSwitch sqrt(n) must be a power of two: n=" << n
+              << " side=" << side_);
+  PCS_REQUIRE(m >= 1 && m <= n, "RevsortSwitch m range: m=" << m << " n=" << n);
   stage1_to_2_ = transpose_wiring(side_);
   stage2_to_3_ = rev_rotate_transpose_wiring(side_);
   const unsigned q = exact_log2(side_);
@@ -57,7 +60,8 @@ SwitchRouting RevsortSwitch::finish_row_major(
 }
 
 SwitchRouting RevsortSwitch::route(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_, "RevsortSwitch::route width");
+  PCS_REQUIRE(valid.size() == n_, "RevsortSwitch::route width: pattern has "
+                                      << valid.size() << " bits, switch has n=" << n_);
   // Inputs attach chip-major: input x enters stage-1 chip x / side at pin
   // x % side, i.e. matrix position (x % side, x / side).
   LabelMesh mesh = LabelMesh::from_col_major_valid(valid, side_, side_);
@@ -361,7 +365,10 @@ std::vector<SwitchRouting> RevsortSwitch::route_batch(
   parallel_for_chunks(0, valids.size(), [&](std::size_t lo, std::size_t hi) {
     RevsortScratch scratch(side_, n_);
     for (std::size_t i = lo; i < hi; ++i) {
-      PCS_REQUIRE(valids[i].size() == n_, "RevsortSwitch::route_batch width");
+      PCS_REQUIRE(valids[i].size() == n_,
+                  "RevsortSwitch::route_batch width: pattern " << i << " of "
+                  << valids.size() << " has " << valids[i].size()
+                  << " bits, switch has n=" << n_);
 #ifdef PCS_REVSORT_AVX512
       if (vectorize) {
         out[i] = revsort_route_kernel_avx512(valids[i], m_, side_, q, rev_, scratch);
@@ -398,7 +405,9 @@ std::vector<BitVec> RevsortSwitch::nearsorted_batch(
 }
 
 BitVec RevsortSwitch::nearsorted_valid_bits(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_, "RevsortSwitch::nearsorted_valid_bits width");
+  PCS_REQUIRE(valid.size() == n_,
+              "RevsortSwitch::nearsorted_valid_bits width: pattern has "
+                  << valid.size() << " bits, switch has n=" << n_);
   LabelMesh mesh = LabelMesh::from_col_major_valid(valid, side_, side_);
   mesh.concentrate_columns();
   mesh.concentrate_rows();

@@ -5,8 +5,14 @@
 // so we never silently accept malformed dimensions or indices.  Violations
 // throw pcs::ContractViolation with file/line context so tests can assert on
 // them and applications can recover.
+//
+// The message argument is a stream expression, built only on failure, so
+// call sites can (and should) include the offending values:
+//   PCS_REQUIRE(m >= 1 && m <= n, "RevsortSwitch m range: m=" << m << " n=" << n);
+// A plain string literal still works unchanged.
 #pragma once
 
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -30,7 +36,12 @@ namespace detail {
 
 }  // namespace pcs
 
-#define PCS_REQUIRE(expr, msg)                                             \
-  do {                                                                     \
-    if (!(expr)) ::pcs::detail::contract_fail(#expr, __FILE__, __LINE__, (msg)); \
+#define PCS_REQUIRE(expr, msg)                                                \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::std::ostringstream pcs_require_msg_;                                  \
+      pcs_require_msg_ << msg;                                                \
+      ::pcs::detail::contract_fail(#expr, __FILE__, __LINE__,                 \
+                                   pcs_require_msg_.str());                   \
+    }                                                                         \
   } while (0)

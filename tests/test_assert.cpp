@@ -48,5 +48,38 @@ TEST(Assert, ConditionEvaluatedOnce) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(Assert, MessageStreamsValues) {
+  // Contract failures must name the offending values, not just a label.
+  const std::size_t n = 17;
+  const std::size_t m = 33;
+  try {
+    PCS_REQUIRE(m <= n, "m=" << m << " exceeds n=" << n << " (side=" << 4 << ")");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("m=33"), std::string::npos) << what;
+    EXPECT_NE(what.find("n=17"), std::string::npos) << what;
+    EXPECT_NE(what.find("side=4"), std::string::npos) << what;
+  }
+}
+
+TEST(Assert, MessageIsLazy) {
+  // The stream expression must not be evaluated on the passing path.
+  int builds = 0;
+  auto expensive = [&]() {
+    ++builds;
+    return 42;
+  };
+  PCS_REQUIRE(true, "value=" << expensive());
+  EXPECT_EQ(builds, 0);
+  try {
+    PCS_REQUIRE(false, "value=" << expensive());
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(builds, 1);
+    EXPECT_NE(std::string(e.what()).find("value=42"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace pcs

@@ -111,6 +111,38 @@ TEST(Faults, MoreDeadChipsNeverDeliverMore) {
   }
 }
 
+TEST(Faults, DuplicateFaultsCollapse) {
+  // Regression: a chip is either dead or not.  Listing it three times must
+  // not triple max_fault_loss() or change the routing.
+  const std::vector<ChipFault> dup = {ChipFault{1, 2}, ChipFault{1, 2},
+                                      ChipFault{1, 2}};
+  FaultyRevsortSwitch repeated(64, 64, dup);
+  FaultyRevsortSwitch once(64, 64, {ChipFault{1, 2}});
+  EXPECT_EQ(repeated.faults().size(), 1u);
+  EXPECT_EQ(repeated.max_fault_loss(), once.max_fault_loss());
+  EXPECT_EQ(repeated.max_fault_loss(), repeated.side());
+  Rng rng(316);
+  for (int t = 0; t < 10; ++t) {
+    BitVec valid = rng.bernoulli_bits(64, rng.uniform01());
+    EXPECT_EQ(repeated.route(valid).output_of_input,
+              once.route(valid).output_of_input);
+  }
+
+  FaultyColumnsortSwitch crep(16, 4, 64, {ChipFault{0, 3}, ChipFault{0, 3}});
+  EXPECT_EQ(crep.faults().size(), 1u);
+  EXPECT_EQ(crep.max_fault_loss(), crep.r());
+  EXPECT_NE(crep.name().find("dead=1"), std::string::npos);
+}
+
+TEST(Faults, DistinctFaultsAreKept) {
+  // Dedupe must only collapse exact (stage, chip) repeats.
+  FaultyRevsortSwitch sw(64, 64,
+                         {ChipFault{1, 2}, ChipFault{0, 2}, ChipFault{1, 3},
+                          ChipFault{1, 2}});
+  EXPECT_EQ(sw.faults().size(), 3u);
+  EXPECT_EQ(sw.max_fault_loss(), 3 * sw.side());
+}
+
 TEST(Faults, NamesReportDeadCount) {
   FaultyRevsortSwitch sw(64, 64, {ChipFault{0, 1}, ChipFault{2, 3}});
   EXPECT_NE(sw.name().find("dead=2"), std::string::npos);

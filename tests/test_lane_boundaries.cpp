@@ -1,0 +1,111 @@
+// Batch/sequential equivalence exactly at the 64-lane word boundaries.
+//
+// The batch engine packs 64 patterns per LaneBatch word; sizes 63, 64, 65
+// exercise a partial final word, an exact word, and a one-lane spill into a
+// second word, while 1 and 128 cover the degenerate and two-full-word cases.
+// Every switch family is swept at every size, including the m = 1 and m = n
+// output edges, and cross-checked bit-for-bit against the scalar path
+// through the shared invariant library.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/invariants.hpp"
+#include "switch/columnsort_switch.hpp"
+#include "switch/full_sort_hyper.hpp"
+#include "switch/hyper_switch.hpp"
+#include "switch/multipass_switch.hpp"
+#include "switch/revsort_switch.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace pcs {
+namespace {
+
+constexpr std::size_t kBatchSizes[] = {1, 63, 64, 65, 128};
+
+/// A mix of structured and random patterns: empty, full, single-bit, prefix,
+/// suffix, then Bernoulli at varied densities.
+std::vector<BitVec> make_batch(std::size_t n, std::size_t count, Rng& rng) {
+  std::vector<BitVec> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (i % 6) {
+      case 0: out.emplace_back(n); break;
+      case 1: out.push_back(BitVec::prefix_ones(n, n)); break;
+      case 2: {
+        BitVec v(n);
+        v.set(rng.below(n), true);
+        out.push_back(std::move(v));
+        break;
+      }
+      case 3: out.push_back(BitVec::prefix_ones(n, rng.below(n + 1))); break;
+      case 4: {
+        BitVec v(n);
+        const std::size_t k = rng.below(n + 1);
+        for (std::size_t j = n - k; j < n; ++j) v.set(j, true);
+        out.push_back(std::move(v));
+        break;
+      }
+      default: out.push_back(rng.bernoulli_bits(n, rng.uniform01())); break;
+    }
+  }
+  return out;
+}
+
+void sweep(const sw::ConcentratorSwitch& sw, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t batch : kBatchSizes) {
+    core::InvariantReport report;
+    const std::vector<BitVec> valids = make_batch(sw.inputs(), batch, rng);
+    EXPECT_TRUE(core::check_batch_identity(sw, valids, report))
+        << sw.name() << " batch=" << batch << ": " << report.to_string();
+  }
+}
+
+TEST(LaneBoundaries, HyperSwitch) {
+  sweep(sw::HyperSwitch(64, 48), 900);
+  sweep(sw::HyperSwitch(64, 1), 901);   // m = 1 edge
+  sweep(sw::HyperSwitch(64, 64), 902);  // m = n edge
+  sweep(sw::HyperSwitch(100, 37), 903);  // non-power-of-two n
+}
+
+TEST(LaneBoundaries, RevsortSwitch) {
+  sweep(sw::RevsortSwitch(64, 48), 910);
+  sweep(sw::RevsortSwitch(64, 1), 911);
+  sweep(sw::RevsortSwitch(64, 64), 912);
+  sweep(sw::RevsortSwitch(256, 200), 913);
+}
+
+TEST(LaneBoundaries, ColumnsortSwitch) {
+  sweep(sw::ColumnsortSwitch(16, 4, 48), 920);
+  sweep(sw::ColumnsortSwitch(16, 4, 1), 921);
+  sweep(sw::ColumnsortSwitch(16, 4, 64), 922);
+  sweep(sw::ColumnsortSwitch(8, 2, 11), 923);
+}
+
+TEST(LaneBoundaries, FullSortHyper) {
+  sweep(sw::FullRevsortHyper(64), 930);      // m = n by construction
+  sweep(sw::FullColumnsortHyper(8, 2), 931);
+}
+
+TEST(LaneBoundaries, MultipassColumnsort) {
+  sweep(sw::MultipassColumnsortSwitch(16, 4, 2, 48, sw::ReshapeSchedule::kSame),
+        940);
+  sweep(sw::MultipassColumnsortSwitch(16, 4, 2, 1,
+                                      sw::ReshapeSchedule::kAlternating),
+        941);
+  sweep(sw::MultipassColumnsortSwitch(16, 4, 3, 64,
+                                      sw::ReshapeSchedule::kAlternating),
+        942);
+}
+
+TEST(LaneBoundaries, TrivialOneInputSwitch) {
+  // n = 1 collapses every lane-boundary case to single bits; still must agree.
+  sweep(sw::RevsortSwitch(1, 1), 950);
+  sweep(sw::HyperSwitch(1, 1), 951);
+}
+
+}  // namespace
+}  // namespace pcs

@@ -1,0 +1,162 @@
+// Failure-mode tests for the persistent ThreadPool: exceptions landing while
+// other workers are mid-chunk, nested ranges, and pool reuse after a failed
+// range.  These complement test_parallel.cpp's happy paths; everything here
+// runs on explicit multi-worker pools so the behavior is exercised even on
+// single-core machines.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace pcs {
+namespace {
+
+TEST(ThreadPoolFailures, ExceptionWhileOtherWorkersActive) {
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  std::atomic<int> finished{0};
+  auto run = [&]() {
+    pool.for_range(
+        0, 64,
+        [&](std::size_t i) {
+          started.fetch_add(1, std::memory_order_relaxed);
+          if (i == 13) throw std::runtime_error("chunk 13 died");
+          // Keep other workers busy so the throw lands mid-range, not after.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          finished.fetch_add(1, std::memory_order_relaxed);
+        },
+        /*max_parallelism=*/4, /*grain=*/1);
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  // Bodies that already started still finished; nothing ran twice.
+  EXPECT_LE(finished.load(), 63);
+  EXPECT_LE(started.load(), 64);
+}
+
+TEST(ThreadPoolFailures, FirstExceptionWinsWhenManyThrow) {
+  ThreadPool pool(4);
+  try {
+    pool.for_range(
+        0, 32, [&](std::size_t i) { throw std::runtime_error("body " + std::to_string(i)); },
+        /*max_parallelism=*/4, /*grain=*/1);
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    // Exactly one of the thrown exceptions is rethrown, unchanged.
+    EXPECT_EQ(std::string(e.what()).rfind("body ", 0), 0u) << e.what();
+  }
+}
+
+TEST(ThreadPoolFailures, PoolSurvivesExceptionAndRunsCleanRanges) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.for_range(
+            0, 16, [](std::size_t i) { if (i == 7) throw std::logic_error("x"); },
+            3, 1),
+        std::logic_error);
+    std::vector<std::atomic<int>> hits(100);
+    pool.for_range(
+        0, 100, [&](std::size_t i) { hits[i].fetch_add(1); }, 3, 1);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " after round " << round;
+    }
+  }
+  // submit/wait_idle also still work after failed ranges.
+  std::atomic<int> tasks{0};
+  for (int t = 0; t < 8; ++t) pool.submit([&] { tasks.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(tasks.load(), 8);
+}
+
+TEST(ThreadPoolFailures, NestedRangeRunsEveryPairOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.for_range(
+      0, kOuter,
+      [&](std::size_t i) {
+        // A body that re-enters the pool must run its range inline instead of
+        // deadlocking on the queue it is currently servicing.
+        pool.for_range(
+            0, kInner, [&](std::size_t j) { hits[i * kInner + j].fetch_add(1); },
+            4, 1);
+      },
+      4, 1);
+  for (std::size_t p = 0; p < hits.size(); ++p) {
+    EXPECT_EQ(hits[p].load(), 1) << "pair " << p;
+  }
+}
+
+TEST(ThreadPoolFailures, NestedExceptionPropagatesToOutermostCaller) {
+  ThreadPool pool(4);
+  auto run = [&]() {
+    pool.for_range(
+        0, 4,
+        [&](std::size_t i) {
+          pool.for_range(
+              0, 8,
+              [&](std::size_t j) {
+                if (i == 2 && j == 5) throw std::runtime_error("nested failure");
+              },
+              4, 1);
+        },
+        4, 1);
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  // And the pool is still healthy afterwards.
+  std::atomic<int> ran{0};
+  pool.for_range(0, 10, [&](std::size_t) { ran.fetch_add(1); }, 4, 1);
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolFailures, ChunkedVariantRethrowsAndSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.for_chunks(
+          0, 256,
+          [](std::size_t lo, std::size_t) {
+            if (lo >= 64) throw std::runtime_error("chunk failed");
+          },
+          4, 32),
+      std::runtime_error);
+  std::atomic<std::size_t> covered{0};
+  pool.for_chunks(
+      0, 256, [&](std::size_t lo, std::size_t hi) { covered.fetch_add(hi - lo); }, 4,
+      32);
+  EXPECT_EQ(covered.load(), 256u);
+}
+
+TEST(ThreadPoolFailures, GlobalParallelForSurvivesException) {
+  // The process-wide pool backs every route_batch; a failed sweep must not
+  // poison later ones.
+  EXPECT_THROW(
+      parallel_for(
+          0, 32, [](std::size_t i) { if (i == 3) throw std::runtime_error("boom"); },
+          4, 1),
+      std::runtime_error);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(0, 64, [&](std::size_t i) { hits[i].fetch_add(1); }, 4, 1);
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolFailures, NonStdExceptionIsStillDelivered) {
+  ThreadPool pool(2);
+  struct Custom {};
+  EXPECT_THROW(
+      pool.for_range(0, 8, [](std::size_t i) { if (i == 1) throw Custom{}; }, 2, 1),
+      Custom);
+  std::atomic<int> ran{0};
+  pool.for_range(0, 8, [&](std::size_t) { ran.fetch_add(1); }, 2, 1);
+  EXPECT_EQ(ran.load(), 8);
+}
+
+}  // namespace
+}  // namespace pcs
