@@ -3,17 +3,19 @@
 # at the repo root (BENCH_sim_speed.json, BENCH_throughput.json).
 #
 # Usage: bench/run_benchmarks.sh [build-dir]
-# Builds the benchmarks if the build directory is missing or stale.
+# Always builds the benchmarks before running them: configuring only happens
+# on a fresh build directory, but `cmake --build` runs unconditionally (a
+# cheap no-op when everything is fresh), so edited benches are never
+# silently run stale.
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
-if [ ! -x "$build_dir/bench/bench_sim_speed" ] || \
-   [ ! -x "$build_dir/bench/bench_throughput" ]; then
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$build_dir" -j --target bench_sim_speed bench_throughput
 fi
+cmake --build "$build_dir" -j --target bench_sim_speed bench_throughput
 
 "$build_dir/bench/bench_sim_speed" \
   --benchmark_format=json \

@@ -1,0 +1,166 @@
+// pcs_serve: operate a partial concentrator switch as a service.
+//
+// Reads a key=value config (see examples/serve_smoke.cfg), builds one fabric
+// per family in the config's `family` list, and runs a warmup ->
+// measurement -> drain campaign at every offered load in `loads` (or the
+// single `arrival_p` point).  Each campaign wraps the switch in the fabric
+// runtime: bounded per-input injection queues, the configured congestion
+// policy for routing losers, and one route_batch() thread-pool dispatch per
+// epoch across all lanes.
+//
+// Results go to stdout as a summary table and to the `out` file (default
+// runtime_metrics.json) as a deterministic JSON document -- identical seeds
+// produce byte-identical files, so CI diffs them.
+//
+//   $ ./pcs_serve --config serve.cfg [key=value ...]
+//   $ ./pcs_serve n=256 m=128 family=revsort,columnsort loads=0.1,0.3,0.5
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/config.hpp"
+#include "runtime/fabric_runtime.hpp"
+#include "runtime/metrics.hpp"
+
+namespace {
+
+using pcs::rt::FabricRuntime;
+using pcs::rt::MetricsRegistry;
+using pcs::rt::RuntimeConfig;
+using pcs::rt::RuntimeOptions;
+using pcs::rt::RuntimeReport;
+
+struct Campaign {
+  std::string family;
+  std::string switch_name;
+  double load = 0.0;
+  RuntimeReport report;
+  std::string metrics_json;
+  double delivery_rate = 0.0;
+  double mean_latency = 0.0;
+};
+
+RuntimeOptions options_from(const RuntimeConfig& cfg) {
+  RuntimeOptions opts;
+  opts.queue_depth = cfg.queue_depth;
+  opts.policy = pcs::rt::policy_from_string(cfg.policy);
+  opts.lanes = cfg.lanes;
+  opts.seed = cfg.seed;
+  opts.warmup_epochs = cfg.warmup_epochs;
+  opts.measure_epochs = cfg.measure_epochs;
+  opts.drain_epochs_max = cfg.drain_epochs_max;
+  opts.check_invariants = cfg.check_invariants;
+  return opts;
+}
+
+Campaign run_campaign(const std::string& family, const RuntimeConfig& base,
+                      double load) {
+  RuntimeConfig cfg = base;
+  cfg.arrival_p = load;
+  auto sw = pcs::rt::make_switch(family, cfg);
+
+  FabricRuntime runtime(*sw, options_from(cfg),
+                        [&cfg](std::size_t) { return pcs::rt::make_traffic(cfg, cfg.n); });
+  MetricsRegistry metrics;
+  metrics.gauge("epsilon_bound").set(static_cast<double>(sw->epsilon_bound()));
+  metrics.gauge("guaranteed_capacity")
+      .set(static_cast<double>(sw->guaranteed_capacity()));
+  metrics.gauge("load_ratio_bound").set(sw->load_ratio_bound());
+
+  Campaign c;
+  c.family = family;
+  c.switch_name = sw->name();
+  c.load = load;
+  c.report = runtime.run(metrics);
+  c.metrics_json = metrics.to_json(6);
+  c.delivery_rate = metrics.gauge("delivery_rate").value();
+  c.mean_latency = metrics.gauge("mean_latency_epochs").value();
+  return c;
+}
+
+std::string document_json(const RuntimeConfig& cfg,
+                          const std::vector<Campaign>& campaigns) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"pcs.runtime.v1\",\n";
+  os << "  \"config\":\n" << pcs::rt::config_to_json(cfg, 2) << ",\n";
+  os << "  \"campaigns\": [";
+  for (std::size_t i = 0; i < campaigns.size(); ++i) {
+    const Campaign& c = campaigns[i];
+    os << (i ? ",\n" : "\n");
+    os << "    {\n";
+    os << "      \"family\": " << pcs::rt::json_escape(c.family) << ",\n";
+    os << "      \"switch\": " << pcs::rt::json_escape(c.switch_name) << ",\n";
+    os << "      \"load\": " << pcs::rt::format_json_double(c.load) << ",\n";
+    os << "      \"drained\": " << (c.report.drained ? "true" : "false") << ",\n";
+    os << "      \"saturated\": " << (c.report.saturated ? "true" : "false") << ",\n";
+    os << "      \"drain_epochs\": " << c.report.drain_epochs_used << ",\n";
+    os << "      \"residual_backlog\": " << c.report.residual_backlog << ",\n";
+    os << "      \"metrics\":\n" << c.metrics_json << "\n";
+    os << "    }";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RuntimeConfig cfg;
+  try {
+    std::vector<std::string> overrides;
+    for (int a = 1; a < argc; ++a) {
+      const std::string arg = argv[a];
+      if (arg == "--config") {
+        if (a + 1 >= argc) {
+          std::fprintf(stderr, "--config needs a file argument\n");
+          return 2;
+        }
+        cfg = pcs::rt::load_config_file(argv[++a]);
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf("usage: pcs_serve [--config FILE] [key=value ...]\n");
+        return 0;
+      } else {
+        overrides.push_back(arg);
+      }
+    }
+    for (const std::string& o : overrides) pcs::rt::apply_override(cfg, o);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "config error: %s\n", e.what());
+    return 2;
+  }
+
+  const std::vector<double> loads =
+      cfg.loads.empty() ? std::vector<double>{cfg.arrival_p} : cfg.loads;
+
+  std::vector<Campaign> campaigns;
+  try {
+    for (const std::string& family : pcs::rt::split_csv(cfg.family)) {
+      for (double load : loads) {
+        Campaign c = run_campaign(family, cfg, load);
+        std::printf(
+            "%-11s load=%.3f  delivery=%.4f  mean-latency=%.2f epochs  %s"
+            " (drain %zu epochs, residual %zu)\n",
+            c.family.c_str(), c.load, c.delivery_rate, c.mean_latency,
+            c.report.saturated ? "SATURATED" : "drained", c.report.drain_epochs_used,
+            c.report.residual_backlog);
+        campaigns.push_back(std::move(c));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 1;
+  }
+
+  std::ofstream out(cfg.out);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot write %s\n", cfg.out.c_str());
+    return 1;
+  }
+  out << document_json(cfg, campaigns);
+  out.close();
+  std::printf("wrote %s (%zu campaigns)\n", cfg.out.c_str(), campaigns.size());
+  return 0;
+}

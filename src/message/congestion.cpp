@@ -87,7 +87,12 @@ RoundStats simulate_rounds(const pcs::sw::ConcentratorSwitch& sw, double arrival
       if (!wire[w].has_value()) continue;
       if (routing.output_of_input[w] >= 0) {
         ++stats.delivered;
-        stats.total_latency_rounds += static_cast<double>(round - wire[w]->born_round);
+        const std::size_t waited = round - wire[w]->born_round;
+        stats.total_latency_rounds += static_cast<double>(waited);
+        if (stats.latency_histogram.size() <= waited) {
+          stats.latency_histogram.resize(waited + 1, 0);
+        }
+        ++stats.latency_histogram[waited];
         wire[w].reset();
       } else {
         switch (policy) {
@@ -110,6 +115,10 @@ RoundStats simulate_rounds(const pcs::sw::ConcentratorSwitch& sw, double arrival
     backlog += roaming.size();
     stats.max_backlog = std::max(stats.max_backlog, backlog);
   }
+  for (std::size_t w = 0; w < n; ++w) {
+    if (wire[w].has_value()) ++stats.final_backlog;
+  }
+  stats.final_backlog += roaming.size();
   return stats;
 }
 

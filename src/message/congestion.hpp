@@ -31,7 +31,13 @@ struct RoundStats {
   std::size_t dropped = 0;      ///< messages lost forever (kDrop only)
   std::size_t retries = 0;      ///< retry transmissions
   std::size_t max_backlog = 0;  ///< peak queued losers (retry policies)
+  std::size_t final_backlog = 0;  ///< messages still waiting after the last round
   double total_latency_rounds = 0.0;  ///< sum over delivered of rounds waited
+  /// latency_histogram[w] = deliveries that waited exactly w rounds (same
+  /// shape as net::TreeSimStats), so retry policies expose their latency
+  /// tail, not just the mean.  Conservation always holds exactly:
+  /// offered == delivered + dropped + final_backlog.
+  std::vector<std::size_t> latency_histogram;
 
   double delivery_rate() const;
   double mean_latency() const;

@@ -12,6 +12,8 @@
 //   message -- bit-serial streaming, congestion policies, traffic
 //   network -- two-level concentration hierarchies and round simulation
 //   core    -- executable lemmas/theorems, bounds, adversarial search
+//   runtime -- closed-loop serving layer: queues, admission, epoch-batched
+//              routing, phased campaigns, metrics export
 #pragma once
 
 #include "util/assert.hpp"
@@ -79,3 +81,8 @@
 #include "core/invariants.hpp"
 #include "core/lemmas.hpp"
 #include "core/verification.hpp"
+
+#include "runtime/config.hpp"
+#include "runtime/fabric_runtime.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/stats_bridge.hpp"

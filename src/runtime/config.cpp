@@ -1,0 +1,248 @@
+#include "runtime/config.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "runtime/metrics.hpp"
+#include "switch/columnsort_switch.hpp"
+#include "switch/hyper_switch.hpp"
+#include "switch/revsort_switch.hpp"
+#include "util/assert.hpp"
+
+namespace pcs::rt {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::size_t parse_size(const std::string& key, const std::string& v) {
+  std::size_t pos = 0;
+  unsigned long long out = 0;
+  try {
+    out = std::stoull(v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  PCS_REQUIRE(pos == v.size() && !v.empty(), "config key " << key
+                                                           << " expects an integer, got '"
+                                                           << v << "'");
+  return static_cast<std::size_t>(out);
+}
+
+double parse_double(const std::string& key, const std::string& v) {
+  std::size_t pos = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  PCS_REQUIRE(pos == v.size() && !v.empty(),
+              "config key " << key << " expects a number, got '" << v << "'");
+  return out;
+}
+
+bool parse_bool(const std::string& key, const std::string& v) {
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  PCS_REQUIRE(false, "config key " << key << " expects a boolean, got '" << v << "'");
+  return false;  // unreachable
+}
+
+void set_key(RuntimeConfig& cfg, const std::string& key, const std::string& value) {
+  if (key == "family") {
+    cfg.family = value;
+  } else if (key == "n") {
+    cfg.n = parse_size(key, value);
+  } else if (key == "m") {
+    cfg.m = parse_size(key, value);
+  } else if (key == "beta") {
+    cfg.beta = parse_double(key, value);
+  } else if (key == "arrival") {
+    cfg.arrival = value;
+  } else if (key == "arrival_p") {
+    cfg.arrival_p = parse_double(key, value);
+  } else if (key == "loads") {
+    cfg.loads.clear();
+    for (const std::string& item : split_csv(value)) {
+      cfg.loads.push_back(parse_double(key, item));
+    }
+  } else if (key == "queue_depth") {
+    cfg.queue_depth = parse_size(key, value);
+  } else if (key == "policy") {
+    cfg.policy = value;
+  } else if (key == "seed") {
+    cfg.seed = static_cast<std::uint64_t>(parse_size(key, value));
+  } else if (key == "lanes") {
+    cfg.lanes = parse_size(key, value);
+  } else if (key == "warmup_epochs") {
+    cfg.warmup_epochs = parse_size(key, value);
+  } else if (key == "measure_epochs") {
+    cfg.measure_epochs = parse_size(key, value);
+  } else if (key == "drain_epochs_max") {
+    cfg.drain_epochs_max = parse_size(key, value);
+  } else if (key == "check_invariants") {
+    cfg.check_invariants = parse_bool(key, value);
+  } else if (key == "out") {
+    cfg.out = value;
+  } else {
+    PCS_REQUIRE(false, "unknown config key '" << key << "'");
+  }
+}
+
+void validate(const RuntimeConfig& cfg) {
+  PCS_REQUIRE(!split_csv(cfg.family).empty(), "family list is empty");
+  for (const std::string& f : split_csv(cfg.family)) {
+    PCS_REQUIRE(f == "revsort" || f == "columnsort" || f == "hyper",
+                "unknown switch family '" << f << "'");
+  }
+  PCS_REQUIRE(cfg.arrival == "bernoulli" || cfg.arrival == "exact" ||
+                  cfg.arrival == "bursty" || cfg.arrival == "hotspot",
+              "unknown arrival process '" << cfg.arrival << "'");
+  policy_from_string(cfg.policy);  // throws on unknown
+  PCS_REQUIRE(cfg.n >= 1 && cfg.m >= 1 && cfg.m <= cfg.n,
+              "switch shape: n=" << cfg.n << " m=" << cfg.m);
+  PCS_REQUIRE(cfg.arrival_p >= 0.0 && cfg.arrival_p <= 1.0,
+              "arrival_p out of [0,1]: " << cfg.arrival_p);
+  for (double load : cfg.loads) {
+    PCS_REQUIRE(load >= 0.0 && load <= 1.0, "load out of [0,1]: " << load);
+  }
+  PCS_REQUIRE(cfg.queue_depth >= 1, "queue_depth must be >= 1");
+  PCS_REQUIRE(cfg.lanes >= 1, "lanes must be >= 1");
+  PCS_REQUIRE(cfg.measure_epochs >= 1, "measure_epochs must be >= 1");
+}
+
+}  // namespace
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(s);
+  while (std::getline(is, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+RuntimeConfig parse_config_text(const std::string& text) {
+  RuntimeConfig cfg;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    PCS_REQUIRE(eq != std::string::npos,
+                "config line " << lineno << " is not key=value: '" << line << "'");
+    set_key(cfg, trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+  }
+  validate(cfg);
+  return cfg;
+}
+
+RuntimeConfig load_config_file(const std::string& path) {
+  std::ifstream in(path);
+  PCS_REQUIRE(in.good(), "cannot read config file '" << path << "'");
+  std::ostringstream body;
+  body << in.rdbuf();
+  return parse_config_text(body.str());
+}
+
+void apply_override(RuntimeConfig& cfg, const std::string& assignment) {
+  const auto eq = assignment.find('=');
+  PCS_REQUIRE(eq != std::string::npos,
+              "override is not key=value: '" << assignment << "'");
+  set_key(cfg, trim(assignment.substr(0, eq)), trim(assignment.substr(eq + 1)));
+  validate(cfg);
+}
+
+std::string config_to_json(const RuntimeConfig& cfg, std::size_t indent) {
+  const std::string pad(indent, ' ');
+  std::ostringstream os;
+  os << pad << "{\n";
+  os << pad << "  \"arrival\": " << json_escape(cfg.arrival) << ",\n";
+  os << pad << "  \"arrival_p\": " << format_json_double(cfg.arrival_p) << ",\n";
+  os << pad << "  \"beta\": " << format_json_double(cfg.beta) << ",\n";
+  os << pad << "  \"check_invariants\": " << (cfg.check_invariants ? "true" : "false")
+     << ",\n";
+  os << pad << "  \"drain_epochs_max\": " << cfg.drain_epochs_max << ",\n";
+  os << pad << "  \"family\": " << json_escape(cfg.family) << ",\n";
+  os << pad << "  \"lanes\": " << cfg.lanes << ",\n";
+  os << pad << "  \"loads\": [";
+  for (std::size_t i = 0; i < cfg.loads.size(); ++i) {
+    if (i) os << ", ";
+    os << format_json_double(cfg.loads[i]);
+  }
+  os << "],\n";
+  os << pad << "  \"m\": " << cfg.m << ",\n";
+  os << pad << "  \"measure_epochs\": " << cfg.measure_epochs << ",\n";
+  os << pad << "  \"n\": " << cfg.n << ",\n";
+  os << pad << "  \"policy\": " << json_escape(cfg.policy) << ",\n";
+  os << pad << "  \"queue_depth\": " << cfg.queue_depth << ",\n";
+  os << pad << "  \"seed\": " << cfg.seed << ",\n";
+  os << pad << "  \"warmup_epochs\": " << cfg.warmup_epochs << "\n";
+  os << pad << "}";
+  return os.str();
+}
+
+msg::CongestionPolicy policy_from_string(const std::string& s) {
+  if (s == "drop") return msg::CongestionPolicy::kDrop;
+  if (s == "buffer-retry") return msg::CongestionPolicy::kBufferRetry;
+  if (s == "misroute-retry") return msg::CongestionPolicy::kMisrouteRetry;
+  PCS_REQUIRE(false, "unknown congestion policy '" << s << "'");
+  return msg::CongestionPolicy::kDrop;  // unreachable
+}
+
+std::unique_ptr<sw::ConcentratorSwitch> make_switch(const std::string& family,
+                                                    const RuntimeConfig& cfg) {
+  if (family == "revsort") {
+    return std::make_unique<sw::RevsortSwitch>(cfg.n, cfg.m);
+  }
+  if (family == "columnsort") {
+    return std::make_unique<sw::ColumnsortSwitch>(
+        sw::ColumnsortSwitch::from_beta(cfg.n, cfg.beta, cfg.m));
+  }
+  if (family == "hyper") {
+    return std::make_unique<sw::HyperSwitch>(cfg.n, cfg.m);
+  }
+  PCS_REQUIRE(false, "unknown switch family '" << family << "'");
+  return nullptr;  // unreachable
+}
+
+std::unique_ptr<msg::TrafficGen> make_traffic(const RuntimeConfig& cfg,
+                                              std::size_t width) {
+  const double p = cfg.arrival_p;
+  if (cfg.arrival == "bernoulli") {
+    return std::make_unique<msg::BernoulliTraffic>(width, p);
+  }
+  if (cfg.arrival == "exact") {
+    const auto k = static_cast<std::size_t>(
+        std::llround(p * static_cast<double>(width)));
+    return std::make_unique<msg::ExactCountTraffic>(width, std::min(k, width));
+  }
+  if (cfg.arrival == "bursty") {
+    return std::make_unique<msg::BurstyTraffic>(width, std::min(1.0, 3.0 * p), p / 3.0,
+                                                0.05, 0.05);
+  }
+  if (cfg.arrival == "hotspot") {
+    const std::size_t hot = std::max<std::size_t>(1, width / 8);
+    return std::make_unique<msg::HotSpotTraffic>(width, hot, std::min(1.0, 4.0 * p),
+                                                 p / 2.0);
+  }
+  PCS_REQUIRE(false, "unknown arrival process '" << cfg.arrival << "'");
+  return nullptr;  // unreachable
+}
+
+}  // namespace pcs::rt

@@ -1,0 +1,85 @@
+// Config-driven construction for the fabric runtime: a small key=value file
+// format (one `key = value` per line, `#` comments) describing the switch
+// family, shape, traffic, queueing discipline, and campaign phases, plus
+// factories that turn a parsed config into the concrete switch and traffic
+// generators.  pcs_serve (examples/pcs_serve.cpp) is the CLI face; tests
+// drive the same parser so a config that passes them runs everywhere.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "message/congestion.hpp"
+#include "message/traffic.hpp"
+#include "switch/concentrator.hpp"
+
+namespace pcs::rt {
+
+struct RuntimeConfig {
+  /// Switch family: comma-separated list of revsort | columnsort | hyper.
+  std::string family = "revsort";
+  std::size_t n = 256;   ///< input wires
+  std::size_t m = 128;   ///< output wires
+  double beta = 0.75;    ///< Columnsort shape parameter (Table 1 continuum)
+
+  /// Arrival process: bernoulli | exact | bursty | hotspot.  All derive
+  /// their intensity from arrival_p (see make_traffic); exact presents
+  /// round(arrival_p * n) messages per epoch.
+  std::string arrival = "bernoulli";
+  double arrival_p = 0.25;
+
+  /// Offered-load sweep: arrival_p values to campaign over; when empty the
+  /// single point `arrival_p` is run.
+  std::vector<double> loads;
+
+  std::size_t queue_depth = 4;  ///< per-input injection queue bound
+  std::string policy = "buffer-retry";  ///< drop | buffer-retry | misroute-retry
+  std::uint64_t seed = 1;
+  std::size_t lanes = 4;  ///< independent closed-loop replicas batched per epoch
+
+  std::size_t warmup_epochs = 32;
+  std::size_t measure_epochs = 256;
+  std::size_t drain_epochs_max = 1024;
+
+  bool check_invariants = false;  ///< run core/invariants on every setup
+  std::string out = "runtime_metrics.json";
+};
+
+/// Parse a whole config file body.  Unknown keys, malformed values, and
+/// out-of-range settings throw pcs::ContractViolation naming the line.
+RuntimeConfig parse_config_text(const std::string& text);
+
+/// parse_config_text over a file's contents; throws if unreadable.
+RuntimeConfig load_config_file(const std::string& path);
+
+/// Apply one `key=value` override (the CLI's trailing arguments).
+void apply_override(RuntimeConfig& cfg, const std::string& assignment);
+
+/// The parsed config echoed as a JSON object (sorted keys, deterministic),
+/// every line prefixed by `indent` spaces, for embedding in reports.
+std::string config_to_json(const RuntimeConfig& cfg, std::size_t indent = 0);
+
+/// Split a comma-separated list, trimming blanks; "a,b" -> {"a", "b"}.
+std::vector<std::string> split_csv(const std::string& s);
+
+/// Congestion policy from its policy_name() slug; throws on unknown names.
+msg::CongestionPolicy policy_from_string(const std::string& s);
+
+/// Build one switch of `family` (a single name, not a list) with the
+/// config's shape: revsort -> RevsortSwitch(n, m), columnsort ->
+/// ColumnsortSwitch::from_beta(n, beta, m), hyper -> HyperSwitch(n, m).
+std::unique_ptr<sw::ConcentratorSwitch> make_switch(const std::string& family,
+                                                    const RuntimeConfig& cfg);
+
+/// Build a traffic generator for the config's arrival process at intensity
+/// `arrival_p` over `width` wires.  Derived shapes: bursty uses a two-state
+/// Markov chain with p_on = min(1, 3p), p_off = p/3 and 0.05 transition
+/// probabilities; hotspot concentrates on width/8 wires with p_hot =
+/// min(1, 4p), p_cold = p/2.  Each lane gets its own generator so bursty
+/// state never couples lanes.
+std::unique_ptr<msg::TrafficGen> make_traffic(const RuntimeConfig& cfg,
+                                              std::size_t width);
+
+}  // namespace pcs::rt

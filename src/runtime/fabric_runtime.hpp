@@ -1,0 +1,83 @@
+// Closed-loop serving layer around a ConcentratorSwitch: the operational
+// counterpart to the one-shot simulators.  Messages arrive into bounded
+// per-input injection queues, an admission/overload policy (the Section 1
+// congestion disciplines, reused from message/congestion.hpp) decides what
+// happens to routing losers, and the campaign runs booksim-style phases:
+// warmup (queues fill, nothing recorded) -> measurement (every event
+// attributed) -> drain (arrivals stop; either the backlog empties or the
+// drain cap trips and the run is declared saturated).
+//
+// The runtime serves `lanes` independent closed-loop replicas of the same
+// switch.  Each epoch, every lane contributes one valid-bit setup (the heads
+// of its non-empty queues) and all of them are resolved by a single
+// route_batch() call -- one thread-pool dispatch through PR 1's word-parallel
+// batch engine per epoch, rather than one route() per replica.  Lanes model
+// independent fabric cells behind a load balancer; batching across them is
+// what makes a sweep of long campaigns cheap.
+//
+// Everything is deterministic per seed: lane RNGs are split from the master
+// seed, route_batch is bit-identical to route(), and metrics export is
+// byte-stable, so two runs of the same config produce identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "message/congestion.hpp"
+#include "message/traffic.hpp"
+#include "runtime/metrics.hpp"
+#include "switch/concentrator.hpp"
+
+namespace pcs::rt {
+
+struct RuntimeOptions {
+  std::size_t queue_depth = 4;  ///< per-input injection queue bound (>= 1)
+  msg::CongestionPolicy policy = msg::CongestionPolicy::kBufferRetry;
+  std::size_t lanes = 4;        ///< independent replicas batched per epoch
+  std::uint64_t seed = 1;
+  std::size_t warmup_epochs = 32;
+  std::size_t measure_epochs = 256;
+  std::size_t drain_epochs_max = 1024;  ///< drain cap; exceeding it = saturated
+  bool check_invariants = false;  ///< core/invariants on every (setup, routing)
+};
+
+struct RuntimeReport {
+  bool drained = false;     ///< backlog emptied within drain_epochs_max
+  bool saturated = false;   ///< !drained: offered load exceeded service rate
+  std::size_t drain_epochs_used = 0;
+  std::size_t residual_backlog = 0;  ///< messages still queued at exit
+};
+
+class FabricRuntime {
+ public:
+  /// Per-lane traffic construction; called once per lane at start of run()
+  /// so stateful generators (bursty Markov chains) never couple lanes.
+  using TrafficFactory =
+      std::function<std::unique_ptr<msg::TrafficGen>(std::size_t lane)>;
+
+  /// `sw` must outlive the runtime.  The factory must produce generators of
+  /// width sw.inputs().
+  FabricRuntime(const sw::ConcentratorSwitch& sw, RuntimeOptions opts,
+                TrafficFactory traffic_factory);
+
+  /// Run one warmup -> measurement -> drain campaign, reporting into
+  /// `metrics` (see DESIGN.md section 9 for the schema).  Counters without a
+  /// prefix cover messages born in the measurement window (except `retries`,
+  /// which counts retry events occurring during measurement); "total.*"
+  /// counters cover the whole campaign and satisfy exact conservation:
+  ///   total.offered == total.delivered + total.dropped + residual_backlog.
+  /// Throws pcs::ContractViolation if conservation or (when enabled) a
+  /// routing invariant fails.
+  RuntimeReport run(MetricsRegistry& metrics);
+
+  const sw::ConcentratorSwitch& fabric() const noexcept { return sw_; }
+  const RuntimeOptions& options() const noexcept { return opts_; }
+
+ private:
+  const sw::ConcentratorSwitch& sw_;
+  RuntimeOptions opts_;
+  TrafficFactory traffic_factory_;
+};
+
+}  // namespace pcs::rt

@@ -1,0 +1,113 @@
+#include "runtime/metrics.hpp"
+
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace pcs::rt {
+
+void Histogram::record_n(std::uint64_t value, std::uint64_t weight) {
+  if (weight == 0) return;
+  const std::size_t b = value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+  if (buckets_.size() <= b) buckets_.resize(b + 1, 0);
+  buckets_[b] += weight;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += weight;
+  sum_ += value * weight;
+}
+
+double Histogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t b) noexcept {
+  if (b == 0) return 0;
+  if (b >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+std::string format_json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  PCS_REQUIRE(ec == std::errc{}, "double formatting failed");
+  std::string s(buf, ptr);
+  // "1" -> "1.0" so the token reads as a real; exponent forms already do.
+  if (s.find_first_of(".eEn") == std::string::npos) s += ".0";
+  return s;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+std::string spaces(std::size_t n) { return std::string(n, ' '); }
+
+template <typename Map, typename Emit>
+void emit_map(std::ostringstream& os, const std::string& key, const Map& map,
+              std::size_t indent, bool trailing_comma, Emit emit_value) {
+  os << spaces(indent + 2) << json_escape(key) << ": {";
+  bool first = true;
+  for (const auto& [name, metric] : map) {
+    os << (first ? "\n" : ",\n") << spaces(indent + 4) << json_escape(name) << ": ";
+    emit_value(os, metric, indent + 4);
+    first = false;
+  }
+  if (!first) os << "\n" << spaces(indent + 2);
+  os << "}" << (trailing_comma ? "," : "") << "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json(std::size_t indent) const {
+  std::ostringstream os;
+  os << spaces(indent) << "{\n";
+  emit_map(os, "counters", counters_, indent, true,
+           [](std::ostringstream& o, const Counter& c, std::size_t) { o << c.value(); });
+  emit_map(os, "gauges", gauges_, indent, true,
+           [](std::ostringstream& o, const Gauge& g, std::size_t) {
+             o << format_json_double(g.value());
+           });
+  emit_map(os, "histograms", histograms_, indent, false,
+           [](std::ostringstream& o, const Histogram& h, std::size_t ind) {
+             o << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
+               << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+               << ", \"mean\": " << format_json_double(h.mean()) << ",\n"
+               << spaces(ind + 1) << "\"buckets\": [";
+             for (std::size_t b = 0; b < h.buckets().size(); ++b) {
+               if (b) o << ", ";
+               o << "[" << Histogram::bucket_upper_bound(b) << ", " << h.buckets()[b]
+                 << "]";
+             }
+             o << "]}";
+           });
+  os << spaces(indent) << "}";
+  return os.str();
+}
+
+}  // namespace pcs::rt

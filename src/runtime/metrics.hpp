@@ -1,0 +1,107 @@
+// Telemetry for the fabric runtime and the round simulators: named counters,
+// gauges, and log2-bucketed histograms collected in a registry and exported
+// as deterministic JSON.
+//
+// The three traffic-facing simulators (runtime/fabric_runtime, the
+// message-layer congestion/stream engines, network/router_sim) used to each
+// carry an ad-hoc stats struct with incompatible fields; this is the one
+// schema they all report through (see stats_bridge.hpp for the adapters).
+// Export is byte-deterministic for identical measurements: names are emitted
+// in sorted order (std::map) and doubles are printed with std::to_chars
+// shortest round-trip form, so a fixed-seed campaign can be diffed in CI.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pcs::rt {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Histogram over nonnegative integer samples with logarithmic buckets:
+/// bucket 0 holds the value 0, bucket b >= 1 holds [2^(b-1), 2^b - 1], so a
+/// latency or occupancy distribution of any range fits in ~64 buckets while
+/// keeping exact count, sum, min, and max.
+class Histogram {
+ public:
+  void record(std::uint64_t value) { record_n(value, 1); }
+  /// Record `weight` samples of `value` at once (bulk import of a
+  /// per-value histogram vector).
+  void record_n(std::uint64_t value, std::uint64_t weight);
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept;
+
+  /// Bucket occupancy; buckets().size() grows to fit the largest sample.
+  const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }
+
+  /// Largest value bucket b admits: 0 for b = 0, 2^b - 1 otherwise.
+  static std::uint64_t bucket_upper_bound(std::size_t b) noexcept;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Named metrics, created on first access and exported in sorted-name order.
+/// References returned by counter()/gauge()/histogram() stay valid for the
+/// registry's lifetime (node-based map storage).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const noexcept { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const noexcept { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const noexcept {
+    return histograms_;
+  }
+
+  /// Pretty-printed JSON object {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}, every line prefixed by `indent` spaces (the
+  /// opening brace included), so it can be embedded in a larger document.
+  std::string to_json(std::size_t indent = 0) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// `v` rendered for JSON: shortest round-trip decimal via std::to_chars,
+/// with a trailing ".0" added to integral values so the token stays a JSON
+/// number that parses back to double.  Non-finite values render as 0 (JSON
+/// has no NaN/Inf); producers are expected to guard.
+std::string format_json_double(double v);
+
+/// `s` as a JSON string literal, quotes included.
+std::string json_escape(const std::string& s);
+
+}  // namespace pcs::rt

@@ -1,0 +1,54 @@
+#include "runtime/stats_bridge.hpp"
+
+namespace pcs::rt {
+
+namespace {
+
+void record_latency_histogram(MetricsRegistry& metrics,
+                              const std::vector<std::size_t>& per_round) {
+  Histogram& h = metrics.histogram("latency_epochs");
+  for (std::size_t waited = 0; waited < per_round.size(); ++waited) {
+    h.record_n(waited, per_round[waited]);
+  }
+}
+
+}  // namespace
+
+void record_stats(MetricsRegistry& metrics, const msg::RoundStats& stats) {
+  metrics.counter("epochs.measure").add(stats.rounds);
+  metrics.counter("offered").add(stats.offered);
+  metrics.counter("delivered").add(stats.delivered);
+  metrics.counter("dropped").add(stats.dropped);
+  metrics.counter("retries").add(stats.retries);
+  metrics.gauge("delivery_rate").set(stats.delivery_rate());
+  metrics.gauge("mean_latency_epochs").set(stats.mean_latency());
+  metrics.gauge("backlog.max").set(static_cast<double>(stats.max_backlog));
+  metrics.gauge("backlog.residual").set(static_cast<double>(stats.final_backlog));
+  record_latency_histogram(metrics, stats.latency_histogram);
+}
+
+void record_stats(MetricsRegistry& metrics, const msg::StreamStats& stats) {
+  metrics.counter("epochs.measure").add(stats.batches);
+  metrics.counter("offered").add(stats.offered);
+  metrics.counter("delivered").add(stats.delivered);
+  metrics.counter("payload_bits").add(stats.payload_bits);
+  metrics.counter("cycles.total").add(stats.total_cycles);
+  metrics.counter("cycles.flight").add(stats.flight_cycles);
+  metrics.gauge("delivery_rate").set(stats.delivery_rate());
+  metrics.gauge("messages_per_cycle").set(stats.messages_per_cycle());
+  metrics.gauge("bits_per_cycle").set(stats.bits_per_cycle());
+}
+
+void record_stats(MetricsRegistry& metrics, const net::TreeSimStats& stats) {
+  metrics.counter("epochs.measure").add(stats.rounds);
+  metrics.counter("offered").add(stats.offered);
+  metrics.counter("delivered").add(stats.delivered);
+  metrics.counter("rejected.level1").add(stats.level1_rejections);
+  metrics.counter("rejected.trunk").add(stats.trunk_rejections);
+  metrics.gauge("delivery_rate").set(stats.delivery_rate());
+  metrics.gauge("mean_latency_epochs").set(stats.mean_latency());
+  metrics.gauge("backlog.max").set(static_cast<double>(stats.max_backlog));
+  record_latency_histogram(metrics, stats.latency_histogram);
+}
+
+}  // namespace pcs::rt

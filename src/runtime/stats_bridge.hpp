@@ -1,0 +1,34 @@
+// Adapters exporting the legacy simulator stats structs through the shared
+// metrics schema, so `msg::simulate_rounds`, `msg::run_stream`,
+// `net::simulate_tree`, and the fabric runtime all emit the same counter /
+// gauge / histogram names (DESIGN.md section 9) and one JSON consumer can
+// read any of them.
+//
+// Name mapping (per producer, where the field exists):
+//   offered / delivered / dropped / retries  -> counters of the same name
+//   rounds or batches                        -> counter epochs.measure
+//   delivery rate                            -> gauge delivery_rate
+//   mean latency (rounds)                    -> gauge mean_latency_epochs
+//   per-round latency histogram              -> histogram latency_epochs
+//   peak backlog                             -> gauge backlog.max
+#pragma once
+
+#include "message/congestion.hpp"
+#include "message/stream_engine.hpp"
+#include "network/router_sim.hpp"
+#include "runtime/metrics.hpp"
+
+namespace pcs::rt {
+
+/// Congestion-round simulation (message layer).
+void record_stats(MetricsRegistry& metrics, const msg::RoundStats& stats);
+
+/// Continuous-stream engine; cycle-denominated gauges keep their own names
+/// (messages_per_cycle, bits_per_cycle) since no round clock exists.
+void record_stats(MetricsRegistry& metrics, const msg::StreamStats& stats);
+
+/// Two-level tree round simulation (network layer); level-1/trunk rejection
+/// splits export as rejected.level1 / rejected.trunk.
+void record_stats(MetricsRegistry& metrics, const net::TreeSimStats& stats);
+
+}  // namespace pcs::rt

@@ -73,6 +73,81 @@ TEST(Congestion, MisrouteKeepsMessagesAlive) {
   EXPECT_LE(stats.delivered, stats.offered);
 }
 
+TEST(Congestion, LatencyHistogramAgreesWithScalarAggregates) {
+  pcs::sw::HyperSwitch sw(64, 8);
+  for (CongestionPolicy p : {CongestionPolicy::kDrop, CongestionPolicy::kBufferRetry,
+                             CongestionPolicy::kMisrouteRetry}) {
+    Rng rng(206);
+    RoundStats stats = simulate_rounds(sw, 0.6, 120, p, rng);
+    std::size_t hist_count = 0;
+    double hist_latency = 0.0;
+    for (std::size_t w = 0; w < stats.latency_histogram.size(); ++w) {
+      hist_count += stats.latency_histogram[w];
+      hist_latency += static_cast<double>(w * stats.latency_histogram[w]);
+    }
+    EXPECT_EQ(hist_count, stats.delivered) << policy_name(p);
+    EXPECT_DOUBLE_EQ(hist_latency, stats.total_latency_rounds) << policy_name(p);
+  }
+}
+
+TEST(Congestion, RetryPoliciesHaveALatencyTailUnderOverload) {
+  // The satellite motivation: under retry policies mean latency is not the
+  // whole story -- the histogram exposes the tail the mean hides.
+  pcs::sw::HyperSwitch sw(64, 4);
+  Rng rng(207);
+  RoundStats stats =
+      simulate_rounds(sw, 0.8, 150, CongestionPolicy::kBufferRetry, rng);
+  ASSERT_GT(stats.latency_histogram.size(), 2u);  // some message waited > 1 round
+  EXPECT_GT(stats.latency_histogram[0], 0u);
+  // Deliveries beyond the mean exist (a genuine tail).
+  const auto mean = static_cast<std::size_t>(stats.mean_latency());
+  std::size_t beyond_mean = 0;
+  for (std::size_t w = mean + 1; w < stats.latency_histogram.size(); ++w) {
+    beyond_mean += stats.latency_histogram[w];
+  }
+  EXPECT_GT(beyond_mean, 0u);
+}
+
+// Satellite: sustained overload at arrival_p = 1.0 with k > m.  Every free
+// wire refills every round, so each round presents more messages than the
+// switch has outputs; exact conservation (nothing created or destroyed
+// except by explicit drop) must hold for every policy.
+TEST(Congestion, SustainedOverloadConservationAllPolicies) {
+  pcs::sw::HyperSwitch sw(32, 8);  // k = 32 presented > m = 8 every round
+  for (CongestionPolicy p : {CongestionPolicy::kDrop, CongestionPolicy::kBufferRetry,
+                             CongestionPolicy::kMisrouteRetry}) {
+    Rng rng(208);
+    RoundStats stats = simulate_rounds(sw, 1.0, 100, p, rng);
+    EXPECT_EQ(stats.offered, stats.delivered + stats.dropped + stats.final_backlog)
+        << policy_name(p);
+    // Throughput is output-bound: exactly m winners per saturated round.
+    EXPECT_EQ(stats.delivered, 100u * 8u) << policy_name(p);
+    if (p == CongestionPolicy::kDrop) {
+      EXPECT_EQ(stats.final_backlog, 0u);
+      EXPECT_EQ(stats.dropped, stats.offered - stats.delivered);
+    } else {
+      EXPECT_EQ(stats.dropped, 0u);
+      EXPECT_GT(stats.final_backlog, 0u);
+      EXPECT_LE(stats.final_backlog, stats.max_backlog);
+    }
+  }
+}
+
+TEST(Congestion, SustainedOverloadPartialConcentratorConservation) {
+  // Same sustained overload through a real multichip partial concentrator
+  // (epsilon > 0), where routed count per round can drop below m.
+  pcs::sw::RevsortSwitch sw(256, 64);  // epsilon 112 > m: no guarantee at all
+  for (CongestionPolicy p : {CongestionPolicy::kDrop, CongestionPolicy::kBufferRetry,
+                             CongestionPolicy::kMisrouteRetry}) {
+    Rng rng(209);
+    RoundStats stats = simulate_rounds(sw, 1.0, 40, p, rng);
+    EXPECT_EQ(stats.offered, stats.delivered + stats.dropped + stats.final_backlog)
+        << policy_name(p);
+    EXPECT_LE(stats.delivered, 40u * 64u) << policy_name(p);
+    EXPECT_GT(stats.delivered, 0u) << policy_name(p);
+  }
+}
+
 TEST(Congestion, ZeroArrivalsProduceNoTraffic) {
   pcs::sw::HyperSwitch sw(16, 8);
   Rng rng(205);

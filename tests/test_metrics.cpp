@@ -1,0 +1,129 @@
+#include "runtime/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace pcs::rt {
+namespace {
+
+TEST(Metrics, CounterAndGauge) {
+  MetricsRegistry reg;
+  reg.counter("events").add();
+  reg.counter("events").add(41);
+  EXPECT_EQ(reg.counter("events").value(), 42u);
+
+  reg.gauge("level").set(0.5);
+  reg.gauge("level").set(0.25);  // last write wins
+  EXPECT_DOUBLE_EQ(reg.gauge("level").value(), 0.25);
+}
+
+TEST(Metrics, HistogramLog2Buckets) {
+  Histogram h;
+  h.record(0);  // bucket 0: exactly {0}
+  h.record(1);  // bucket 1: [1, 1]
+  h.record(2);  // bucket 2: [2, 3]
+  h.record(3);
+  h.record(1000);  // bucket 10: [512, 1023]
+
+  ASSERT_EQ(h.buckets().size(), 11u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 2u);
+  EXPECT_EQ(h.buckets()[10], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1006u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1006.0 / 5.0);
+
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(10), 1023u);
+}
+
+TEST(Metrics, HistogramWeightedRecord) {
+  Histogram h;
+  h.record_n(4, 10);
+  h.record_n(7, 0);  // zero weight is a no-op
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.sum(), 40u);
+  EXPECT_EQ(h.min(), 4u);
+  EXPECT_EQ(h.max(), 4u);
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[3], 10u);
+}
+
+TEST(Metrics, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(Metrics, FormatJsonDouble) {
+  EXPECT_EQ(format_json_double(1.0), "1.0");
+  EXPECT_EQ(format_json_double(0.0), "0.0");
+  EXPECT_EQ(format_json_double(-3.0), "-3.0");
+  EXPECT_EQ(format_json_double(0.6), "0.6");  // shortest round trip, not 0.59999...
+  // Non-finite values degrade to 0 rather than emitting invalid JSON.
+  EXPECT_EQ(format_json_double(std::numeric_limits<double>::infinity()), "0");
+}
+
+TEST(Metrics, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "\"plain\"");
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+MetricsRegistry populate() {
+  MetricsRegistry reg;
+  reg.counter("zeta").add(3);
+  reg.counter("alpha").add(1);
+  reg.gauge("rate").set(0.375);
+  reg.histogram("lat").record(5);
+  reg.histogram("lat").record(0);
+  return reg;
+}
+
+TEST(Metrics, JsonIsDeterministicAndSorted) {
+  const std::string a = populate().to_json();
+  const std::string b = populate().to_json();
+  EXPECT_EQ(a, b);
+
+  // Names inside each section are emitted in sorted order regardless of
+  // insertion order.
+  const auto alpha = a.find("\"alpha\"");
+  const auto zeta = a.find("\"zeta\"");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  EXPECT_LT(alpha, zeta);
+
+  EXPECT_NE(a.find("\"counters\""), std::string::npos);
+  EXPECT_NE(a.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(a.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(a.find("\"rate\": 0.375"), std::string::npos);
+  EXPECT_NE(a.find("\"buckets\": [[0, 1], [1, 0], [3, 0], [7, 1]]"),
+            std::string::npos);
+}
+
+TEST(Metrics, JsonIndentPrefixesEveryLine) {
+  MetricsRegistry reg;
+  reg.counter("c").add();
+  const std::string s = reg.to_json(4);
+  EXPECT_EQ(s.substr(0, 5), "    {");
+  // Every line of the rendered block starts with at least the base indent.
+  std::size_t pos = 0;
+  while ((pos = s.find('\n', pos)) != std::string::npos) {
+    ++pos;
+    if (pos < s.size()) {
+      EXPECT_EQ(s.substr(pos, 4), "    ") << "at offset " << pos;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcs::rt

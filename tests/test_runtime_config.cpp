@@ -1,0 +1,143 @@
+#include "runtime/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "message/traffic.hpp"
+#include "util/assert.hpp"
+
+namespace pcs::rt {
+namespace {
+
+TEST(RuntimeConfig, EmptyTextYieldsDefaults) {
+  RuntimeConfig cfg = parse_config_text("");
+  EXPECT_EQ(cfg.family, "revsort");
+  EXPECT_EQ(cfg.n, 256u);
+  EXPECT_EQ(cfg.m, 128u);
+  EXPECT_EQ(cfg.policy, "buffer-retry");
+  EXPECT_TRUE(cfg.loads.empty());
+}
+
+TEST(RuntimeConfig, ParsesEveryKeyWithCommentsAndBlanks) {
+  RuntimeConfig cfg = parse_config_text(R"(
+# campaign shape
+family = revsort , columnsort
+n = 1024
+m = 512          # trailing comment
+beta = 0.875
+arrival = hotspot
+arrival_p = 0.125
+loads = 0.1, 0.2 ,0.3
+queue_depth = 8
+policy = misroute-retry
+seed = 99
+lanes = 2
+warmup_epochs = 5
+measure_epochs = 50
+drain_epochs_max = 500
+check_invariants = true
+out = custom.json
+)");
+  EXPECT_EQ(split_csv(cfg.family), (std::vector<std::string>{"revsort", "columnsort"}));
+  EXPECT_EQ(cfg.n, 1024u);
+  EXPECT_EQ(cfg.m, 512u);
+  EXPECT_DOUBLE_EQ(cfg.beta, 0.875);
+  EXPECT_EQ(cfg.arrival, "hotspot");
+  EXPECT_DOUBLE_EQ(cfg.arrival_p, 0.125);
+  ASSERT_EQ(cfg.loads.size(), 3u);
+  EXPECT_DOUBLE_EQ(cfg.loads[1], 0.2);
+  EXPECT_EQ(cfg.queue_depth, 8u);
+  EXPECT_EQ(cfg.policy, "misroute-retry");
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.lanes, 2u);
+  EXPECT_EQ(cfg.warmup_epochs, 5u);
+  EXPECT_EQ(cfg.measure_epochs, 50u);
+  EXPECT_EQ(cfg.drain_epochs_max, 500u);
+  EXPECT_TRUE(cfg.check_invariants);
+  EXPECT_EQ(cfg.out, "custom.json");
+}
+
+TEST(RuntimeConfig, RejectsMalformedInput) {
+  EXPECT_THROW(parse_config_text("mystery_key = 1"), ContractViolation);
+  EXPECT_THROW(parse_config_text("just a line"), ContractViolation);
+  EXPECT_THROW(parse_config_text("n = twelve"), ContractViolation);
+  EXPECT_THROW(parse_config_text("arrival_p = lots"), ContractViolation);
+  EXPECT_THROW(parse_config_text("check_invariants = maybe"), ContractViolation);
+}
+
+TEST(RuntimeConfig, ValidatesRanges) {
+  EXPECT_THROW(parse_config_text("n = 64\nm = 128"), ContractViolation);   // m > n
+  EXPECT_THROW(parse_config_text("arrival_p = 1.5"), ContractViolation);
+  EXPECT_THROW(parse_config_text("loads = 0.5,2.0"), ContractViolation);
+  EXPECT_THROW(parse_config_text("queue_depth = 0"), ContractViolation);
+  EXPECT_THROW(parse_config_text("lanes = 0"), ContractViolation);
+  EXPECT_THROW(parse_config_text("measure_epochs = 0"), ContractViolation);
+  EXPECT_THROW(parse_config_text("policy = punt"), ContractViolation);
+  EXPECT_THROW(parse_config_text("family = clos"), ContractViolation);
+  EXPECT_THROW(parse_config_text("arrival = psychic"), ContractViolation);
+}
+
+TEST(RuntimeConfig, OverridesApplyAndRevalidate) {
+  RuntimeConfig cfg = parse_config_text("n = 256\nm = 64");
+  apply_override(cfg, "m=128");
+  EXPECT_EQ(cfg.m, 128u);
+  EXPECT_THROW(apply_override(cfg, "m=512"), ContractViolation);  // m > n
+  EXPECT_THROW(apply_override(cfg, "no-equals-sign"), ContractViolation);
+}
+
+TEST(RuntimeConfig, SplitCsvTrimsAndDropsEmpties) {
+  EXPECT_EQ(split_csv(" a, b ,,c "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_csv("").empty());
+  EXPECT_TRUE(split_csv(" , ,").empty());
+}
+
+TEST(RuntimeConfig, PolicyFromString) {
+  EXPECT_EQ(policy_from_string("drop"), msg::CongestionPolicy::kDrop);
+  EXPECT_EQ(policy_from_string("buffer-retry"), msg::CongestionPolicy::kBufferRetry);
+  EXPECT_EQ(policy_from_string("misroute-retry"),
+            msg::CongestionPolicy::kMisrouteRetry);
+  EXPECT_THROW(policy_from_string("yolo"), ContractViolation);
+}
+
+TEST(RuntimeConfig, MakeSwitchBuildsEveryFamily) {
+  RuntimeConfig cfg;
+  cfg.n = 256;
+  cfg.m = 128;
+  cfg.beta = 0.75;
+  for (const char* family : {"revsort", "columnsort", "hyper"}) {
+    auto sw = make_switch(family, cfg);
+    ASSERT_NE(sw, nullptr) << family;
+    EXPECT_EQ(sw->inputs(), 256u) << family;
+    EXPECT_EQ(sw->outputs(), 128u) << family;
+  }
+  EXPECT_THROW(make_switch("banyan", cfg), ContractViolation);
+}
+
+TEST(RuntimeConfig, MakeTrafficBuildsEveryArrival) {
+  RuntimeConfig cfg;
+  cfg.n = 64;
+  cfg.arrival_p = 0.25;
+  Rng rng(17);
+  for (const char* arrival : {"bernoulli", "exact", "bursty", "hotspot"}) {
+    cfg.arrival = arrival;
+    auto gen = make_traffic(cfg, cfg.n);
+    ASSERT_NE(gen, nullptr) << arrival;
+    EXPECT_EQ(gen->width(), 64u) << arrival;
+    EXPECT_EQ(gen->next(rng).size(), 64u) << arrival;
+  }
+  // exact presents round(p * n) messages every call.
+  cfg.arrival = "exact";
+  auto gen = make_traffic(cfg, cfg.n);
+  EXPECT_EQ(gen->next(rng).count(), 16u);
+}
+
+TEST(RuntimeConfig, JsonEchoIsDeterministic) {
+  RuntimeConfig cfg = parse_config_text("loads = 0.1,0.9\nseed = 5");
+  const std::string a = config_to_json(cfg, 2);
+  EXPECT_EQ(a, config_to_json(cfg, 2));
+  EXPECT_NE(a.find("\"loads\": [0.1, 0.9]"), std::string::npos);
+  EXPECT_NE(a.find("\"seed\": 5"), std::string::npos);
+  EXPECT_EQ(a.substr(0, 3), "  {");
+}
+
+}  // namespace
+}  // namespace pcs::rt
