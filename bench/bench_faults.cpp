@@ -11,7 +11,8 @@
 #include "core/adversary.hpp"
 #include "message/pipeline.hpp"
 #include "sortnet/nearsort.hpp"
-#include "switch/faults.hpp"
+#include "plan/compile.hpp"
+#include "plan/plan_switch.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -27,11 +28,13 @@ void print_artifacts() {
   msg::PipelineModel pipe{.payload_bits = 32, .gates_per_cycle = 8};
   for (std::size_t stage = 0; stage < 3; ++stage) {
     for (std::size_t dead = 0; dead <= 8; dead += 2) {
-      std::vector<sw::ChipFault> faults;
+      std::vector<plan::ChipFault> faults;
       for (std::size_t c = 0; c < dead; ++c) {
-        faults.push_back(sw::ChipFault{stage, c * 3 % 32});
+        faults.push_back(plan::ChipFault{stage, c * 3 % 32});
       }
-      sw::FaultyRevsortSwitch sw(n, n, faults);
+      plan::SwitchPlan p = plan::compile_revsort_plan(n, n);
+      plan::apply_chip_faults(p, faults);
+      plan::PlanSwitch sw(std::move(p));
       std::size_t delivered = 0, offered = 0, worst_eps = 0;
       for (int t = 0; t < 30; ++t) {
         BitVec valid = rng.bernoulli_bits(n, 0.5);
@@ -53,9 +56,11 @@ void print_artifacts() {
               "measured eps");
   for (std::size_t stage = 0; stage < 2; ++stage) {
     for (std::size_t dead = 0; dead <= 4; ++dead) {
-      std::vector<sw::ChipFault> faults;
-      for (std::size_t c = 0; c < dead; ++c) faults.push_back(sw::ChipFault{stage, c});
-      sw::FaultyColumnsortSwitch sw(128, 8, 1024, faults);
+      std::vector<plan::ChipFault> faults;
+      for (std::size_t c = 0; c < dead; ++c) faults.push_back(plan::ChipFault{stage, c});
+      plan::SwitchPlan p = plan::compile_columnsort_plan(128, 8, 1024);
+      plan::apply_chip_faults(p, faults);
+      plan::PlanSwitch sw(std::move(p));
       std::size_t delivered = 0, offered = 0, worst_eps = 0;
       for (int t = 0; t < 30; ++t) {
         BitVec valid = rng.bernoulli_bits(1024, 0.5);
@@ -72,8 +77,9 @@ void print_artifacts() {
 }
 
 void BM_FaultyRoute(benchmark::State& state) {
-  pcs::sw::FaultyRevsortSwitch sw(1024, 1024,
-                                  {pcs::sw::ChipFault{0, 3}, pcs::sw::ChipFault{1, 7}});
+  pcs::plan::SwitchPlan p = pcs::plan::compile_revsort_plan(1024, 1024);
+  pcs::plan::apply_chip_faults(p, {pcs::plan::ChipFault{0, 3}, pcs::plan::ChipFault{1, 7}});
+  pcs::plan::PlanSwitch sw(std::move(p));
   pcs::Rng rng(12002);
   pcs::BitVec valid = rng.bernoulli_bits(1024, 0.5);
   for (auto _ : state) {

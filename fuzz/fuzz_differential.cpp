@@ -6,10 +6,12 @@
 // sizes straddling the 64-lane word width (1, 63, 64, 65, 128), and
 // cross-checks three independent routing paths against the shared invariant
 // library (core/invariants.hpp):
-//   scalar      route() / nearsorted_valid_bits() on the label mesh,
+//   scalar      route() / nearsorted_valid_bits() through the PlanExecutor,
 //   batch       route_batch() / nearsorted_batch() (counting kernels,
 //               LaneBatch lanes, the AVX-512 stage split, the thread pool),
-//   gate-level  the composed HyperCircuit realization, on small shapes.
+//   gate-level  the composed HyperCircuit realization, on small shapes,
+//   legacy      the pre-plan LabelMesh recipes (tests/legacy_reference.hpp),
+//               cross-checked against every family including faulty plans.
 // Faulty switches are swept too, against the fault-loss accounting invariant.
 //
 // Every case is derived deterministically from (seed, case index), so a
@@ -20,6 +22,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -28,8 +31,10 @@
 #include <vector>
 
 #include "core/invariants.hpp"
+#include "legacy_reference.hpp"
+#include "plan/compile.hpp"
+#include "plan/plan_switch.hpp"
 #include "switch/columnsort_switch.hpp"
-#include "switch/faults.hpp"
 #include "switch/full_sort_hyper.hpp"
 #include "switch/gate_level_switch.hpp"
 #include "switch/hyper_switch.hpp"
@@ -253,13 +258,14 @@ CaseContext pick_case(std::size_t family, Rng& rng, SwitchCache& cache) {
         const std::size_t n = kN[rng.below(std::size(kN))];
         const std::size_t side = n == 16 ? 4 : (n == 64 ? 8 : 16);
         const std::size_t m = pick_m(n, rng);
-        std::vector<sw::ChipFault> faults;
+        std::vector<pcs::plan::ChipFault> faults;
         const std::size_t count = 1 + rng.below(3);
         for (std::size_t f = 0; f < count; ++f) {
-          faults.push_back(sw::ChipFault{rng.below(3), rng.below(side)});
+          faults.push_back(pcs::plan::ChipFault{rng.below(3), rng.below(side)});
         }
-        auto faulty = std::make_unique<sw::FaultyRevsortSwitch>(n, m,
-                                                               std::move(faults));
+        pcs::plan::SwitchPlan p = pcs::plan::compile_revsort_plan(n, m);
+        pcs::plan::apply_chip_faults(p, std::move(faults));
+        auto faulty = std::make_unique<pcs::plan::PlanSwitch>(std::move(p));
         ctx.max_fault_loss = faulty->max_fault_loss();
         ctx.description = faulty->name();
         // Not cached under a shape key: fault sets vary per case.
@@ -271,13 +277,15 @@ CaseContext pick_case(std::size_t family, Rng& rng, SwitchCache& cache) {
         static constexpr std::size_t kRS[][2] = {{8, 2}, {16, 4}, {64, 8}};
         const auto& rs = kRS[rng.below(std::size(kRS))];
         const std::size_t m = pick_m(rs[0] * rs[1], rng);
-        std::vector<sw::ChipFault> faults;
+        std::vector<pcs::plan::ChipFault> faults;
         const std::size_t count = 1 + rng.below(3);
         for (std::size_t f = 0; f < count; ++f) {
-          faults.push_back(sw::ChipFault{rng.below(2), rng.below(rs[1])});
+          faults.push_back(pcs::plan::ChipFault{rng.below(2), rng.below(rs[1])});
         }
-        auto faulty = std::make_unique<sw::FaultyColumnsortSwitch>(
-            rs[0], rs[1], m, std::move(faults));
+        pcs::plan::SwitchPlan p =
+            pcs::plan::compile_columnsort_plan(rs[0], rs[1], m);
+        pcs::plan::apply_chip_faults(p, std::move(faults));
+        auto faulty = std::make_unique<pcs::plan::PlanSwitch>(std::move(p));
         ctx.max_fault_loss = faulty->max_fault_loss();
         ctx.description = faulty->name();
         cache.switches["faulty-scratch"] = std::move(faulty);
@@ -372,13 +380,149 @@ bool run_gate_level_case(std::size_t idx, Rng& rng, SwitchCache& cache,
   return ok;
 }
 
+// --- plan-vs-legacy cross-check --------------------------------------------
+
+/// Compare one switch (now a compiled plan behind the shared executor)
+/// against the family's pre-plan LabelMesh recipe on one pattern: identical
+/// routing in both directions and identical nearsorted occupancy.
+bool check_against_legacy(const sw::ConcentratorSwitch& model, const BitVec& valid,
+                          const pcs::legacy::Reference& ref,
+                          core::InvariantReport& report) {
+  ++report.checks_run;
+  const sw::SwitchRouting got = model.route(valid);
+  if (got.output_of_input != ref.routing.output_of_input ||
+      got.input_of_output != ref.routing.input_of_output) {
+    report.add("plan-vs-legacy",
+               model.name() + " route diverges from the LabelMesh reference on " +
+                   core::describe_pattern(valid));
+    return false;
+  }
+  if (model.nearsorted_valid_bits(valid) != ref.nearsorted) {
+    report.add("plan-vs-legacy",
+               model.name() +
+                   " nearsorted bits diverge from the LabelMesh reference on " +
+                   core::describe_pattern(valid));
+    return false;
+  }
+  return true;
+}
+
+bool run_legacy_oracle_case(Rng& rng, SwitchCache& cache,
+                            core::InvariantReport& report) {
+  namespace plan = pcs::plan;
+  std::function<pcs::legacy::Reference(const BitVec&)> oracle;
+  sw::ConcentratorSwitch* model = nullptr;
+  std::ostringstream key;
+  switch (rng.below(6)) {
+    case 0: {
+      static constexpr std::size_t kN[] = {4, 16, 64, 256};
+      const std::size_t n = kN[rng.below(std::size(kN))];
+      const std::size_t m = pick_m(n, rng);
+      key << "revsort/" << n << "/" << m;
+      model = cache.get(key.str(), build_revsort, n, m, 0);
+      oracle = [m](const BitVec& v) { return pcs::legacy::revsort(v, m); };
+      break;
+    }
+    case 1: {
+      static constexpr std::size_t kRS[][2] = {{4, 2}, {16, 4}, {64, 8}};
+      const auto& rs = kRS[rng.below(std::size(kRS))];
+      const std::size_t m = pick_m(rs[0] * rs[1], rng);
+      key << "columnsort/" << rs[0] << "x" << rs[1] << "/" << m;
+      model = cache.get(key.str(), build_columnsort, rs[0], rs[1], m);
+      oracle = [r = rs[0], s = rs[1], m](const BitVec& v) {
+        return pcs::legacy::columnsort(v, r, s, m);
+      };
+      break;
+    }
+    case 2: {
+      static constexpr std::size_t kRS[][2] = {{16, 4}, {64, 8}};
+      const auto& rs = kRS[rng.below(std::size(kRS))];
+      const std::size_t passes = 1 + rng.below(3);
+      const bool alternating = rng.chance(0.5);
+      const std::size_t m = pick_m(rs[0] * rs[1], rng);
+      key << "multipass/" << rs[0] << "x" << rs[1] << "/" << passes << "/"
+          << alternating << "/" << m;
+      model = cache.get(key.str(), build_multipass, rs[0], rs[1],
+                        (passes << 33) | (std::size_t{alternating} << 32) | m);
+      oracle = [r = rs[0], s = rs[1], passes, m, alternating](const BitVec& v) {
+        return pcs::legacy::multipass(v, r, s, passes, m,
+                                      alternating
+                                          ? sw::ReshapeSchedule::kAlternating
+                                          : sw::ReshapeSchedule::kSame);
+      };
+      break;
+    }
+    case 3: {
+      static constexpr std::size_t kN[] = {4, 16, 64};
+      const std::size_t n = kN[rng.below(std::size(kN))];
+      key << "fullrevsort/" << n;
+      model = cache.get(key.str(), build_full_revsort, n, 0, 0);
+      oracle = [](const BitVec& v) { return pcs::legacy::full_revsort(v); };
+      break;
+    }
+    case 4: {
+      static constexpr std::size_t kRS[][2] = {{2, 1}, {8, 2}, {32, 4}};
+      const auto& rs = kRS[rng.below(std::size(kRS))];
+      key << "fullcolumnsort/" << rs[0] << "x" << rs[1];
+      model = cache.get(key.str(), build_full_columnsort, rs[0], rs[1], 0);
+      oracle = [r = rs[0], s = rs[1]](const BitVec& v) {
+        return pcs::legacy::full_columnsort(v, r, s);
+      };
+      break;
+    }
+    default: {  // faulty plans against the legacy kill-after-stage recipe
+      const bool rev = rng.chance(0.5);
+      std::vector<plan::ChipFault> faults;
+      const std::size_t count = 1 + rng.below(3);
+      if (rev) {
+        const std::size_t n = 64, side = 8;
+        const std::size_t m = pick_m(n, rng);
+        for (std::size_t f = 0; f < count; ++f) {
+          faults.push_back(plan::ChipFault{rng.below(3), rng.below(side)});
+        }
+        plan::SwitchPlan p = plan::compile_revsort_plan(n, m);
+        plan::apply_chip_faults(p, faults);
+        cache.switches["legacy-faulty-scratch"] =
+            std::make_unique<plan::PlanSwitch>(std::move(p));
+        oracle = [m, faults](const BitVec& v) {
+          return pcs::legacy::revsort(v, m, faults);
+        };
+      } else {
+        const std::size_t r = 16, cs = 4;
+        const std::size_t m = pick_m(r * cs, rng);
+        for (std::size_t f = 0; f < count; ++f) {
+          faults.push_back(plan::ChipFault{rng.below(2), rng.below(cs)});
+        }
+        plan::SwitchPlan p = plan::compile_columnsort_plan(r, cs, m);
+        plan::apply_chip_faults(p, faults);
+        cache.switches["legacy-faulty-scratch"] =
+            std::make_unique<plan::PlanSwitch>(std::move(p));
+        oracle = [r, cs, m, faults](const BitVec& v) {
+          return pcs::legacy::columnsort(v, r, cs, m, faults);
+        };
+      }
+      model = cache.switches["legacy-faulty-scratch"].get();
+      break;
+    }
+  }
+  bool ok = true;
+  for (int t = 0; t < 6 && ok; ++t) {
+    const BitVec valid = make_pattern(rng.below(kPatternKinds), model->inputs(), rng);
+    ok = check_against_legacy(*model, valid, oracle(valid), report);
+  }
+  if (!ok) std::cerr << "FAIL plan-vs-legacy: " << model->name() << "\n";
+  return ok;
+}
+
 // --- driver ----------------------------------------------------------------
 
 bool run_case(std::size_t idx, const Options& opt, SwitchCache& cache,
               core::InvariantReport& report) {
   Rng rng(mix(opt.seed ^ idx));
-  // Every 8th case exercises the gate-level path instead of a batch sweep.
+  // Every 8th case exercises the gate-level path instead of a batch sweep,
+  // and another 8th cross-checks compiled plans against the legacy recipes.
   if (idx % 8 == 7) return run_gate_level_case(idx, rng, cache, report);
+  if (idx % 8 == 3) return run_legacy_oracle_case(rng, cache, report);
 
   const CaseContext ctx = pick_case(idx % 6, rng, cache);
   const std::size_t n = ctx.sw->inputs();

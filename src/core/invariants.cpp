@@ -135,10 +135,14 @@ bool check_epsilon_bound(const ConcentratorSwitch& sw, const BitVec& valid,
     report.add("epsilon-bound", os.str());
     return false;
   }
-  if (arrangement.count() != valid.count()) {
+  const std::size_t k = valid.count();
+  const std::size_t carried = arrangement.count();
+  const std::size_t max_loss = sw.max_fault_loss();
+  if (carried > k || carried + max_loss < k) {
     std::ostringstream os;
-    os << context(sw, valid) << ": arrangement carries " << arrangement.count()
-       << " ones, input had k=" << valid.count() << " (messages created or lost)";
+    os << context(sw, valid) << ": arrangement carries " << carried
+       << " ones, input had k=" << k << " (messages created or lost beyond"
+       << " max_fault_loss=" << max_loss << ")";
     report.add("epsilon-bound", os.str());
     return false;
   }

@@ -67,8 +67,10 @@ bool check_concentration(const pcs::sw::ConcentratorSwitch& sw, const BitVec& va
                          const pcs::sw::SwitchRouting& routing,
                          InvariantReport& report);
 
-/// The n-wide arrangement conserves count and is epsilon_bound()-nearsorted
-/// (skipped when the switch advertises no bound, epsilon_bound() >= n).
+/// The n-wide arrangement conserves count -- up to the switch's
+/// max_fault_loss() messages may vanish into dead chips, never appear --
+/// and is epsilon_bound()-nearsorted (skipped when the switch advertises
+/// no bound, epsilon_bound() >= n).
 bool check_epsilon_bound(const pcs::sw::ConcentratorSwitch& sw, const BitVec& valid,
                          const BitVec& arrangement, InvariantReport& report);
 

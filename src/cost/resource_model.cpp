@@ -3,11 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "sortnet/columnsort.hpp"
-#include "sortnet/revsort.hpp"
-#include "switch/columnsort_switch.hpp"
-#include "switch/full_sort_hyper.hpp"
-#include "switch/revsort_switch.hpp"
+#include "plan/compile.hpp"
 #include "util/assert.hpp"
 #include "util/mathutil.hpp"
 
@@ -38,6 +34,29 @@ double clamped_alpha(std::size_t epsilon, std::size_t m) {
 }
 }  // namespace
 
+ResourceReport plan_report(const plan::SwitchPlan& plan, const DelayModel& dm) {
+  ResourceReport r;
+  r.design = plan.name;
+  r.n = plan.n;
+  r.m = plan.m;
+  r.pins_per_chip = plan.max_pins_per_chip();
+  r.chip_count = plan.chip_count();
+  r.board_count = plan.board_count();
+  r.board_types = plan.board_types();
+  r.connector_count = plan.connector_count();
+  r.epsilon = plan.fully_sorting ? 0 : plan.epsilon;
+  r.load_ratio = plan.fully_sorting ? 1.0 : clamped_alpha(plan.epsilon, plan.m);
+  r.chip_passes = plan.chip_passes();
+  r.gate_delays = 0;
+  for (const plan::PlanStage& st : plan.stages) {
+    r.gate_delays += dm.chip_delay(st.width);
+    if (st.has_shifter) r.gate_delays += dm.shifter_delay;
+  }
+  r.area_2d = plan.area_2d();
+  r.volume_3d = plan.volume_3d();
+  return r;
+}
+
 ResourceReport hyper_chip_report(std::size_t n, std::size_t m, const DelayModel& dm) {
   PCS_REQUIRE(m >= 1 && m <= n, "hyper_chip_report m range");
   ResourceReport r;
@@ -58,58 +77,20 @@ ResourceReport hyper_chip_report(std::size_t n, std::size_t m, const DelayModel&
 }
 
 ResourceReport revsort_report(std::size_t n, std::size_t m, const DelayModel& dm) {
-  const std::size_t v = isqrt(n);
-  PCS_REQUIRE(v * v == n && is_pow2(v), "revsort_report shape");
-  PCS_REQUIRE(m >= 1 && m <= n, "revsort_report m range");
-  const std::size_t lg_v = v <= 1 ? 0 : ceil_log2(v);
-  ResourceReport r;
+  // Figures 3 and 4 (two crossbar regions, three stacks, shifter boards of
+  // double area) all fall out of the compiled plan's structure.
+  ResourceReport r = plan_report(plan::compile_revsort_plan(n, m), dm);
   r.design = "revsort partial concentrator";
-  r.n = n;
-  r.m = m;
-  // Stage-2 boards carry the shifter's hardwired control pins on top of the
-  // 2*sqrt(n) data pins: the paper's 2 sqrt(n) + ceil(lg n / 2).
-  r.pins_per_chip = 2 * v + lg_v;
-  r.chip_count = 3 * v + v;  // 3 sqrt(n) hyper chips + sqrt(n) shifters
-  r.board_count = 3 * v;     // Figure 4: three stacks of sqrt(n) boards
-  r.board_types = 2;         // stages 1/3 identical; stage 2 adds the shifter
-  r.epsilon = sortnet::algorithm1_dirty_row_bound(v) * v;
-  r.load_ratio = clamped_alpha(r.epsilon, m);
-  r.chip_passes = pcs::sw::RevsortSwitch::kChipPasses;
-  r.gate_delays = 3 * dm.chip_delay(v) + dm.shifter_delay;
-  // Figure 3: three chip columns of sqrt(n) chips (area n each) joined by
-  // two n-wire crossbar regions.
-  r.area_2d = 2 * n * n + 3 * v * (v * v);
-  // Figure 4: stacks 1 and 3 have boards of area n; stack 2 boards carry
-  // hyper + shifter (area 2n).
-  r.volume_3d = v * n + v * 2 * n + v * n;
   return r;
 }
 
 ResourceReport columnsort_report(std::size_t r_rows, std::size_t s_cols, std::size_t m,
                                  const DelayModel& dm) {
-  PCS_REQUIRE(s_cols > 0 && r_rows % s_cols == 0, "columnsort_report shape");
-  const std::size_t n = r_rows * s_cols;
-  PCS_REQUIRE(m >= 1 && m <= n, "columnsort_report m range");
-  ResourceReport rep;
+  // Figures 6, 7 and 8 (one crossbar region, two stacks, s^2 interstack
+  // wire transposers of volume (r/s)^2) from the compiled plan's structure.
+  ResourceReport rep =
+      plan_report(plan::compile_columnsort_plan(r_rows, s_cols, m), dm);
   rep.design = "columnsort partial concentrator";
-  rep.n = n;
-  rep.m = m;
-  rep.pins_per_chip = 2 * r_rows;
-  rep.chip_count = 2 * s_cols;
-  rep.board_count = 2 * s_cols;  // Figure 7: two stacks of s boards
-  rep.board_types = 1;
-  rep.epsilon = sortnet::algorithm2_epsilon_bound(s_cols);
-  rep.load_ratio = clamped_alpha(rep.epsilon, m);
-  rep.chip_passes = pcs::sw::ColumnsortSwitch::kChipPasses;
-  rep.gate_delays = 2 * dm.chip_delay(r_rows);
-  // Figure 6: two chip columns of s chips (area r^2 each) joined by one
-  // n-wire crossbar region.
-  rep.area_2d = n * n + 2 * s_cols * (r_rows * r_rows);
-  // Figure 7: two stacks of s boards of area r^2 each, plus s^2 interstack
-  // wire transposers of volume (r/s)^2 each (Figure 8).
-  const std::size_t w = r_rows / s_cols;
-  rep.connector_count = s_cols * s_cols;
-  rep.volume_3d = 2 * s_cols * (r_rows * r_rows) + rep.connector_count * (w * w);
   return rep;
 }
 
@@ -163,51 +144,18 @@ ResourceReport prefix_butterfly_report(std::size_t n, const DelayModel& dm) {
 }
 
 ResourceReport full_revsort_report(std::size_t n, const DelayModel& dm) {
-  const std::size_t v = isqrt(n);
-  PCS_REQUIRE(v * v == n && is_pow2(v), "full_revsort_report shape");
-  pcs::sw::FullRevsortHyper sw(n);
-  const std::size_t passes = sw.chip_passes();
-  const std::size_t reps = sw.repetitions();
-  ResourceReport r;
+  // Rotation-carrying stacks (double-area boards, shifter delay per
+  // repetition) are has_shifter stages of the compiled plan.
+  ResourceReport r = plan_report(plan::compile_full_revsort_plan(n), dm);
   r.design = "full-revsort hyperconcentrator";
-  r.n = n;
-  r.m = n;
-  const std::size_t lg_v = v <= 1 ? 0 : ceil_log2(v);
-  r.pins_per_chip = 2 * v + lg_v;
-  r.chip_count = passes * v + reps * v;  // hyper chips + shifters
-  r.board_count = passes * v;
-  r.board_types = 2;
-  r.epsilon = 0;
-  r.load_ratio = 1.0;
-  r.chip_passes = passes;
-  r.gate_delays = passes * dm.chip_delay(v) + reps * dm.shifter_delay;
-  r.area_2d = (passes - 1) * n * n + passes * v * (v * v);
-  // Rotation-carrying stacks have double-area boards.
-  r.volume_3d = (passes - reps) * v * n + reps * v * 2 * n;
   return r;
 }
 
 ResourceReport full_columnsort_report(std::size_t r_rows, std::size_t s_cols,
                                       const DelayModel& dm) {
-  PCS_REQUIRE(sortnet::columnsort_shape_ok(r_rows, s_cols),
-              "full_columnsort_report shape");
-  const std::size_t n = r_rows * s_cols;
-  ResourceReport rep;
+  ResourceReport rep =
+      plan_report(plan::compile_full_columnsort_plan(r_rows, s_cols), dm);
   rep.design = "full-columnsort hyperconcentrator";
-  rep.n = n;
-  rep.m = n;
-  rep.pins_per_chip = 2 * r_rows;
-  rep.chip_count = 3 * s_cols + (s_cols + 1);
-  rep.board_count = rep.chip_count;
-  rep.board_types = 1;
-  rep.epsilon = 0;
-  rep.load_ratio = 1.0;
-  rep.chip_passes = pcs::sw::FullColumnsortHyper::kChipPasses;
-  rep.gate_delays = 4 * dm.chip_delay(r_rows);
-  rep.area_2d = 3 * n * n + rep.chip_count * (r_rows * r_rows);
-  const std::size_t w = r_rows / s_cols;
-  rep.connector_count = 3 * s_cols * s_cols;
-  rep.volume_3d = rep.chip_count * (r_rows * r_rows) + rep.connector_count * (w * w);
   return rep;
 }
 

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <string>
 
+#include "plan/switch_plan.hpp"
+
 namespace pcs::cost {
 
 struct DelayModel {
@@ -56,6 +58,15 @@ struct ResourceReport {
 
   std::string to_string() const;
 };
+
+/// Resource figures derived from a compiled SwitchPlan: every count walks
+/// the exact stage/wiring structure the executor simulates, so the report
+/// stays honest under fault rewrites and for any future family.  The
+/// family-specific reports below compile the corresponding plan and
+/// delegate here (only the design string is their own), which is what pins
+/// them to the simulated structure.
+ResourceReport plan_report(const plan::SwitchPlan& plan,
+                           const DelayModel& dm = {});
 
 /// Single-chip n-by-n hyperconcentrator used as an n-by-m perfect
 /// concentrator (the baseline whose 2n pins force multichip designs).

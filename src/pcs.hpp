@@ -7,6 +7,8 @@
 //   sortnet -- Revsort / Shearsort / Columnsort on 0/1 meshes, nearsortedness
 //   gates   -- combinational netlists, depth analysis, evaluation
 //   hyper   -- the single-chip hyperconcentrator (functional + gate-level)
+//   plan    -- the staged-plan IR every switch family compiles to, plus the
+//              one executor (scalar, batch, fault-rewritten) that runs it
 //   switch  -- the paper's multichip constructions (the core contribution)
 //   cost    -- pins / chips / boards / area / volume / delay (Table 1)
 //   message -- bit-serial streaming, congestion policies, traffic
@@ -43,10 +45,14 @@
 #include "hyper/hyperconcentrator.hpp"
 #include "hyper/prefix_butterfly.hpp"
 
+#include "plan/compile.hpp"
+#include "plan/plan_executor.hpp"
+#include "plan/plan_switch.hpp"
+#include "plan/switch_plan.hpp"
+
 #include "switch/chip.hpp"
 #include "switch/columnsort_switch.hpp"
 #include "switch/concentrator.hpp"
-#include "switch/faults.hpp"
 #include "switch/full_sort_hyper.hpp"
 #include "switch/gate_level_switch.hpp"
 #include "switch/hyper_switch.hpp"

@@ -1,0 +1,586 @@
+#include "plan/plan_executor.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define PCS_REVSORT_AVX512 1
+#include <immintrin.h>
+#endif
+
+#include "sortnet/lane_batch.hpp"
+#include "util/assert.hpp"
+#include "util/mathutil.hpp"
+#include "util/parallel.hpp"
+
+namespace pcs::plan {
+
+namespace {
+
+/// Stable concentration of one chip segment: occupied slots (anything that
+/// is not idle, pads included) sink to the low pins in order.
+void concentrate_front(std::int32_t* seg, std::size_t width) {
+  std::size_t fill = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::int32_t v = seg[i];
+    if (v != kIdleLabel) seg[fill++] = v;
+  }
+  for (; fill < width; ++fill) seg[fill] = kIdleLabel;
+}
+
+/// One stage: gather the inbound link out of `prev`, concentrate every
+/// chip, then silence dead chips (after their concentrate, before the
+/// outbound link -- matching the legacy fault simulations exactly).
+void exec_stage(const PlanStage& st, const std::vector<std::int32_t>& prev,
+                std::vector<std::int32_t>& next) {
+  next.resize(st.wires());
+  const std::int32_t* in = prev.data();
+  std::int32_t* out = next.data();
+  for (std::size_t w = 0; w < st.in_src.size(); ++w) {
+    const std::int32_t src = st.in_src[w];
+    out[w] = src >= 0 ? in[src] : (src == kFeedPad ? kPadLabel : kIdleLabel);
+  }
+  for (std::size_t c = 0; c < st.chips; ++c) {
+    concentrate_front(out + c * st.width, st.width);
+  }
+  if (!st.dead.empty()) {
+    for (std::size_t c = 0; c < st.chips; ++c) {
+      if (st.dead[c]) {
+        std::fill(out + c * st.width, out + (c + 1) * st.width, kIdleLabel);
+      }
+    }
+  }
+}
+
+bool sequence_concentrated(const std::vector<std::int32_t>& seq) {
+  bool seen_idle = false;
+  for (std::int32_t s : seq) {
+    if (s < 0) {
+      seen_idle = true;
+    } else if (seen_idle) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Revsort counting kernel (moved verbatim from the pre-plan RevsortSwitch).
+// ---------------------------------------------------------------------------
+
+// Per-thread scratch for the counting kernel, reused across a chunk of
+// patterns so the batch path allocates once per chunk, not per route.
+struct RevsortScratch {
+  std::vector<std::uint32_t> col_count;   // stage-1 fill per column
+  std::vector<std::uint32_t> row_count;   // stage-2 fill per row
+  std::vector<std::uint32_t> row_start;   // CSR offsets of the row buckets
+  std::vector<std::uint32_t> cursor;      // CSR insertion cursors
+  std::vector<std::uint32_t> col3_count;  // stage-3 fill per column
+  std::vector<std::uint32_t> pos_buf;     // staged stage-3 positions of a row
+  std::vector<std::uint32_t> t_of;        // stage-1 row of the idx-th set bit
+  std::vector<std::uint32_t> x_of;        // input label of the idx-th set bit
+  std::vector<std::uint32_t> row_x;       // labels bucketed by stage-2 row
+
+  // cursor carries 16 lanes of slack: the vector kernel loads a full
+  // 16-lane block at cursor[fill] even when fewer lanes are live.
+  RevsortScratch(std::size_t v, std::size_t n)
+      : col_count(v + 1),
+        row_count(v),
+        row_start(v + 2),
+        cursor(v + 16),
+        col3_count(v),
+        pos_buf(v + 16),
+        row_x(n) {}
+
+  // The label staging arrays are only used by the scalar kernel; keeping
+  // them out of the vector path trims its working set.
+  void reserve_staging(std::size_t n) {
+    if (t_of.size() < n) {
+      t_of.resize(n);
+      x_of.resize(n);
+    }
+  }
+};
+
+// Replays the staged route as pure rank arithmetic on the set bits.  Stage 1
+// sends the t-th valid of column c to row t; the transpose hands row t its
+// labels in ascending column order, so a stable counting sort by t reproduces
+// the stage-2 pin order; the barrel shifter adds rev(t) to the stage-2 rank;
+// and stage 3 ranks each destination column by ascending row, which is
+// exactly the t-ascending CSR walk.  O(n/64 + k) per pattern.
+sw::SwitchRouting revsort_route_kernel(const BitVec& valid, std::size_t m,
+                                       std::size_t v, unsigned q,
+                                       const std::vector<std::uint32_t>& rev,
+                                       RevsortScratch& s) {
+  const std::size_t n = valid.size();
+  s.reserve_staging(n);
+  std::fill(s.col_count.begin(), s.col_count.end(), 0u);
+  std::fill(s.row_count.begin(), s.row_count.end(), 0u);
+  std::fill(s.col3_count.begin(), s.col3_count.end(), 0u);
+
+  // Stage 1: rank each set bit within its column (= its stage-1 output row).
+  std::size_t k = 0;
+  const auto& words = valid.words();
+  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    std::uint64_t w = words[wi];
+    while (w != 0) {
+      const std::uint32_t x = static_cast<std::uint32_t>(
+          wi * 64 + static_cast<std::size_t>(std::countr_zero(w)));
+      w &= w - 1;
+      const std::uint32_t t = s.col_count[x >> q]++;
+      s.t_of[k] = t;
+      s.x_of[k] = x;
+      ++s.row_count[t];
+      ++k;
+    }
+  }
+
+  // Stable counting sort by row: within a row, labels keep ascending-column
+  // order (ascending x), matching the stage-2 chip's pin order.
+  s.row_start[0] = 0;
+  for (std::size_t t = 0; t < v; ++t) {
+    s.row_start[t + 1] = s.row_start[t] + s.row_count[t];
+    s.cursor[t] = s.row_start[t];
+  }
+  for (std::size_t idx = 0; idx < k; ++idx) {
+    s.row_x[s.cursor[s.t_of[idx]]++] = s.x_of[idx];
+  }
+
+  // Stages 2 + 3: stage-2 rank j2 is the bucket offset; the shifter moves it
+  // to column (rev(t) + j2) mod v; stage 3 ranks that column by ascending t.
+  sw::SwitchRouting out;
+  out.output_of_input.assign(n, -1);
+  out.input_of_output.assign(m, -1);
+  for (std::size_t t = 0; t < v; ++t) {
+    for (std::uint32_t idx = s.row_start[t]; idx < s.row_start[t + 1]; ++idx) {
+      const std::uint32_t j2 = idx - s.row_start[t];
+      const std::uint32_t j3 = (rev[t] + j2) & static_cast<std::uint32_t>(v - 1);
+      const std::size_t pos = static_cast<std::size_t>(s.col3_count[j3]++) * v + j3;
+      if (pos < m) {
+        const std::uint32_t x = s.row_x[idx];
+        out.input_of_output[pos] = static_cast<std::int32_t>(x);
+        out.output_of_input[x] = static_cast<std::int32_t>(pos);
+      }
+    }
+  }
+  return out;
+}
+
+#ifdef PCS_REVSORT_AVX512
+
+bool cpu_has_avx512f_impl() {
+  static const bool ok = __builtin_cpu_supports("avx512f");
+  return ok;
+}
+
+// AVX-512 lane-parallel variant of the counting kernel, used when each
+// matrix column is a whole number of 64-bit words (v >= 64).  Three ideas:
+//  - within a column the t-th set bit goes to row t, so the CSR cursors a
+//    column consumes form one contiguous block: compress the set-bit labels
+//    straight out of the mask word and scatter them in 16-lane groups;
+//  - rows are walked in two wrap-free segments, so the stage-3 column fills
+//    sit at consecutive addresses and need plain loads/stores, not gathers;
+//  - only the two routing-table writes are true scatters, and both are
+//    conflict-free within a row (distinct outputs, distinct inputs).
+__attribute__((target("avx512f")))
+sw::SwitchRouting revsort_route_kernel_avx512(
+    const BitVec& valid, std::size_t m, std::size_t v, unsigned q,
+    const std::vector<std::uint32_t>& rev, RevsortScratch& s) {
+  const std::size_t n = valid.size();
+  const auto& words = valid.words();
+  const std::size_t wpc = v / 64;  // words per column; exact since v >= 64
+  // Column populations feed a histogram; row t of the sorted matrix has one
+  // slot per column with more than t valids, so suffix sums of the histogram
+  // give the row lengths and a prefix scan the CSR offsets.
+  std::uint32_t* histo = s.col_count.data();
+  std::memset(histo, 0, (v + 1) * sizeof(std::uint32_t));
+  std::size_t maxc = 0;
+  for (std::size_t c = 0; c < v; ++c) {
+    std::uint32_t cnt = 0;
+    for (std::size_t j = 0; j < wpc; ++j) {
+      cnt += static_cast<std::uint32_t>(std::popcount(words[c * wpc + j]));
+    }
+    ++histo[cnt];
+    if (cnt > maxc) maxc = cnt;
+  }
+  {
+    std::uint32_t acc = 0;
+    for (std::size_t t = maxc; t-- > 0;) {
+      acc += histo[t + 1];
+      s.row_start[t] = acc;  // row length, rewritten to the offset below
+    }
+    std::uint32_t start = 0;
+    for (std::size_t t = 0; t < maxc; ++t) {
+      const std::uint32_t len = s.row_start[t];
+      s.row_start[t] = start;
+      s.cursor[t] = start;
+      start += len;
+    }
+    s.row_start[maxc] = start;
+  }
+  const __m512i iota =
+      _mm512_set_epi32(15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0);
+  const __m512i one = _mm512_set1_epi32(1);
+  // Counting sort without the label staging pass: compress each column's
+  // set-bit labels out of the valid words and scatter them to cursor[t]
+  // (t = in-column rank, so the cursor block is a contiguous load).
+  std::uint32_t* row_x = s.row_x.data();
+  std::uint32_t* cursor = s.cursor.data();
+  for (std::size_t c = 0; c < v; ++c) {
+    std::uint32_t fill = 0;
+    const std::uint32_t base = static_cast<std::uint32_t>(c * v);
+    for (std::size_t j = 0; j < wpc; ++j) {
+      const std::uint64_t w = words[c * wpc + j];
+      if (w == 0) continue;
+      const std::uint32_t wb = base + static_cast<std::uint32_t>(j * 64);
+      for (unsigned h = 0; h < 4; ++h) {
+        const __mmask16 mk = static_cast<__mmask16>((w >> (16 * h)) & 0xFFFF);
+        if (!mk) continue;
+        const unsigned pc = static_cast<unsigned>(std::popcount(
+            static_cast<std::uint32_t>(mk)));
+        const __m512i xv = _mm512_maskz_compress_epi32(
+            mk, _mm512_add_epi32(
+                    _mm512_set1_epi32(static_cast<int>(wb + 16 * h)), iota));
+        const __m512i idx = _mm512_loadu_si512(cursor + fill);
+        const __mmask16 lanes = static_cast<__mmask16>((1u << pc) - 1);
+        _mm512_mask_i32scatter_epi32(row_x, lanes, idx, xv, 4);
+        fill += pc;
+      }
+    }
+    // Advance the one cursor slot per row this column consumed.
+    for (std::uint32_t t = 0; t < fill; t += 16) {
+      const __mmask16 mt =
+          static_cast<__mmask16>((1u << std::min(16u, fill - t)) - 1);
+      _mm512_mask_storeu_epi32(
+          cursor + t, mt,
+          _mm512_add_epi32(_mm512_maskz_loadu_epi32(mt, cursor + t), one));
+    }
+  }
+  // Stages 2+3: the shifter maps stage-2 rank j2 to column (rev(t)+j2) mod v.
+  // Splitting each row at the wrap point keeps j3 consecutive, so the stage-3
+  // fills are contiguous loads/stores and only the routing tables scatter.
+  // Each row runs as two passes: first compute every position into pos_buf
+  // (scratch-only traffic), then scatter from sequential reads.  Interleaving
+  // the col3 loads with the table scatters instead makes the kernel hostage
+  // to 4K store-to-load aliasing against the caller-controlled output
+  // addresses, which more than doubled its time for unlucky heap layouts.
+  sw::SwitchRouting out;
+  out.output_of_input.assign(n, -1);
+  out.input_of_output.assign(m, -1);
+  std::uint32_t* col3 = s.col3_count.data();
+  std::uint32_t* pos_buf = s.pos_buf.data();
+  std::memset(col3, 0, v * sizeof(std::uint32_t));
+  std::int32_t* in_out = out.input_of_output.data();
+  std::int32_t* out_in = out.output_of_input.data();
+  const __m512i vm = _mm512_set1_epi32(static_cast<int>(m));
+  for (std::size_t t = 0; t < maxc; ++t) {
+    const std::uint32_t rt = rev[t];
+    const std::uint32_t len = s.row_start[t + 1] - s.row_start[t];
+    const std::uint32_t* row = row_x + s.row_start[t];
+    const std::uint32_t seg0 = std::min(len, static_cast<std::uint32_t>(v) - rt);
+    for (unsigned seg = 0; seg < 2; ++seg) {
+      const std::uint32_t j2lo = seg == 0 ? 0 : seg0;
+      const std::uint32_t j2hi = seg == 0 ? seg0 : len;
+      const std::uint32_t j3base = seg == 0 ? rt : 0;
+      for (std::uint32_t j2 = j2lo; j2 < j2hi; j2 += 16) {
+        const std::uint32_t live = std::min(16u, j2hi - j2);
+        const __mmask16 mt = static_cast<__mmask16>((1u << live) - 1);
+        const std::uint32_t j3c = j3base + (j2 - j2lo);
+        const __m512i fillv = _mm512_maskz_loadu_epi32(mt, col3 + j3c);
+        const __m512i j3v =
+            _mm512_add_epi32(_mm512_set1_epi32(static_cast<int>(j3c)), iota);
+        const __m512i posv = _mm512_add_epi32(
+            _mm512_slli_epi32(fillv, static_cast<int>(q)), j3v);
+        _mm512_mask_storeu_epi32(pos_buf + j2, mt, posv);
+        _mm512_mask_storeu_epi32(col3 + j3c, mt, _mm512_add_epi32(fillv, one));
+      }
+    }
+    for (std::uint32_t j2 = 0; j2 < len; j2 += 16) {
+      const std::uint32_t live = std::min(16u, len - j2);
+      const __mmask16 mt = static_cast<__mmask16>((1u << live) - 1);
+      const __m512i xv = _mm512_maskz_loadu_epi32(mt, row + j2);
+      const __m512i posv = _mm512_maskz_loadu_epi32(mt, pos_buf + j2);
+      const __mmask16 ok = _mm512_mask_cmplt_epu32_mask(mt, posv, vm);
+      _mm512_mask_i32scatter_epi32(in_out, ok, posv, xv, 4);
+      _mm512_mask_i32scatter_epi32(out_in, ok, xv, posv, 4);
+    }
+  }
+  return out;
+}
+
+#else
+
+bool cpu_has_avx512f_impl() { return false; }
+
+#endif  // PCS_REVSORT_AVX512
+
+}  // namespace
+
+bool cpu_has_avx512f() { return cpu_has_avx512f_impl(); }
+
+PlanExecutor::PlanExecutor(SwitchPlan plan) : plan_(std::move(plan)) {
+  plan_.validate();
+  if (plan_.fast_path == FastPathKind::kRevsortCount) {
+    PCS_REQUIRE(plan_.fp_side > 0 && is_pow2(plan_.fp_side) &&
+                    plan_.fp_rev.size() == plan_.fp_side,
+                "Revsort fast path parameters: side=" << plan_.fp_side
+                                                      << " rev=" << plan_.fp_rev.size());
+    fp_q_ = exact_log2(plan_.fp_side);
+    // The vector kernel needs whole valid-words per matrix column.
+    fp_vectorize_ = cpu_has_avx512f() && plan_.fp_side >= 64;
+  }
+  if (plan_.fast_path == FastPathKind::kColumnsortCount) {
+    PCS_REQUIRE(plan_.fp_r > 0 && plan_.fp_s > 0 &&
+                    plan_.fp_r * plan_.fp_s == plan_.n && plan_.fp_r % plan_.fp_s == 0,
+                "Columnsort fast path parameters: r=" << plan_.fp_r
+                                                      << " s=" << plan_.fp_s);
+  }
+
+  // Precompute the generic LaneBatch pipeline: eligible when every stage
+  // spans exactly n wires and every link (and the readout) is a bijection,
+  // and the plan has no safety net to iterate (faulty plans skip it anyway).
+  lanes_eligible_ = plan_.safety_stages.empty() || !plan_.faults.empty();
+  for (const PlanStage& st : plan_.stages) {
+    if (st.wires() != plan_.n) lanes_eligible_ = false;
+  }
+  if (lanes_eligible_) {
+    const std::size_t n = plan_.n;
+    std::vector<std::uint8_t> seen(n);
+    for (const PlanStage& st : plan_.stages) {
+      std::fill(seen.begin(), seen.end(), 0);
+      bool identity = true;
+      for (std::size_t w = 0; w < n && lanes_eligible_; ++w) {
+        const std::int32_t src = st.in_src[w];
+        if (src < 0 || seen[static_cast<std::size_t>(src)]) {
+          lanes_eligible_ = false;
+          break;
+        }
+        seen[static_cast<std::size_t>(src)] = 1;
+        if (static_cast<std::size_t>(src) != w) identity = false;
+      }
+      if (!lanes_eligible_) break;
+      std::vector<std::uint32_t> dest;
+      if (!identity) {
+        dest.resize(n);
+        for (std::size_t w = 0; w < n; ++w) {
+          dest[static_cast<std::size_t>(st.in_src[w])] =
+              static_cast<std::uint32_t>(w);
+        }
+      }
+      lane_link_dest_.push_back(std::move(dest));
+    }
+    if (lanes_eligible_) {
+      std::fill(seen.begin(), seen.end(), 0);
+      lane_readout_identity_ = true;
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        const std::uint32_t w = plan_.readout[pos];
+        if (seen[w]) {
+          lanes_eligible_ = false;
+          break;
+        }
+        seen[w] = 1;
+        if (w != pos) lane_readout_identity_ = false;
+      }
+      if (lanes_eligible_ && !lane_readout_identity_) {
+        lane_readout_dest_.resize(n);
+        for (std::size_t pos = 0; pos < n; ++pos) {
+          lane_readout_dest_[plan_.readout[pos]] = static_cast<std::uint32_t>(pos);
+        }
+      }
+    }
+  }
+  if (!lanes_eligible_) {
+    lane_link_dest_.clear();
+    lane_readout_dest_.clear();
+  }
+}
+
+std::vector<std::int32_t> PlanExecutor::run_stages(const BitVec& valid) const {
+  PCS_REQUIRE(valid.size() == plan_.n, plan_.name << " width: pattern has "
+                                                  << valid.size()
+                                                  << " bits, switch has n=" << plan_.n);
+  std::vector<std::int32_t> state(plan_.n), next;
+  for (std::size_t x = 0; x < plan_.n; ++x) {
+    state[x] = valid.get(x) ? static_cast<std::int32_t>(x) : kIdleLabel;
+  }
+  for (const PlanStage& st : plan_.stages) {
+    exec_stage(st, state, next);
+    state.swap(next);
+  }
+  auto read_out = [&] {
+    std::vector<std::int32_t> seq(plan_.n);
+    for (std::size_t pos = 0; pos < plan_.n; ++pos) {
+      const std::int32_t v = state[plan_.readout[pos]];
+      PCS_REQUIRE(v != kPadLabel,
+                  plan_.name << ": pad escaped the shift window at pos=" << pos);
+      seq[pos] = v;
+    }
+    return seq;
+  };
+  std::vector<std::int32_t> seq = read_out();
+  if (!plan_.safety_stages.empty() && plan_.faults.empty()) {
+    // Safety net: the prescribed structure always fully sorts in practice;
+    // if it ever did not, finish with additional sorting phases.
+    std::size_t extra = 0;
+    while (!sequence_concentrated(seq)) {
+      for (const PlanStage& st : plan_.safety_stages) {
+        exec_stage(st, state, next);
+        state.swap(next);
+      }
+      ++extra;
+      PCS_REQUIRE(extra <= plan_.safety_limit,
+                  plan_.name << " failed to converge");
+      seq = read_out();
+    }
+    extra_phases_.store(extra);
+  } else if (plan_.fully_sorting && plan_.faults.empty()) {
+    PCS_REQUIRE(sequence_concentrated(seq),
+                plan_.name << " output not concentrated");
+  }
+  return seq;
+}
+
+sw::SwitchRouting PlanExecutor::route(const BitVec& valid) const {
+  const std::vector<std::int32_t> seq = run_stages(valid);
+  sw::SwitchRouting out;
+  out.output_of_input.assign(plan_.n, -1);
+  out.input_of_output.assign(plan_.m, -1);
+  for (std::size_t pos = 0; pos < plan_.m; ++pos) {
+    const std::int32_t src = seq[pos];
+    if (src >= 0) {
+      out.input_of_output[pos] = src;
+      out.output_of_input[static_cast<std::size_t>(src)] =
+          static_cast<std::int32_t>(pos);
+    }
+  }
+  return out;
+}
+
+BitVec PlanExecutor::nearsorted_valid_bits(const BitVec& valid) const {
+  const std::vector<std::int32_t> seq = run_stages(valid);
+  BitVec out(plan_.n);
+  for (std::size_t pos = 0; pos < plan_.n; ++pos) out.set(pos, seq[pos] >= 0);
+  return out;
+}
+
+std::vector<sw::SwitchRouting> PlanExecutor::route_batch(
+    const std::vector<BitVec>& valids) const {
+  std::vector<sw::SwitchRouting> out(valids.size());
+  switch (plan_.fast_path) {
+    case FastPathKind::kRevsortCount: {
+      parallel_for_chunks(0, valids.size(), [&](std::size_t lo, std::size_t hi) {
+        RevsortScratch scratch(plan_.fp_side, plan_.n);
+        for (std::size_t i = lo; i < hi; ++i) {
+          PCS_REQUIRE(valids[i].size() == plan_.n,
+                      plan_.name << " route_batch width: pattern " << i << " of "
+                                 << valids.size() << " has " << valids[i].size()
+                                 << " bits, switch has n=" << plan_.n);
+#ifdef PCS_REVSORT_AVX512
+          if (fp_vectorize_) {
+            out[i] = revsort_route_kernel_avx512(valids[i], plan_.m, plan_.fp_side,
+                                                 fp_q_, plan_.fp_rev, scratch);
+            continue;
+          }
+#endif
+          out[i] = revsort_route_kernel(valids[i], plan_.m, plan_.fp_side, fp_q_,
+                                        plan_.fp_rev, scratch);
+        }
+      });
+      return out;
+    }
+    case FastPathKind::kColumnsortCount: {
+      const std::size_t r = plan_.fp_r, s = plan_.fp_s, n = plan_.n, m = plan_.m;
+      parallel_for_chunks(0, valids.size(), [&](std::size_t lo, std::size_t hi) {
+        // Single ascending pass over the set bits.  Stage 1 sends the t-th
+        // valid of column c to column-major position y = c*r + t; the
+        // CM -> RM wiring lands it on stage-2 chip y mod s = t mod s (s
+        // divides r), and because y ascends along the pass, so does the
+        // stage-2 pin y / s within each chip -- the stable stage-2 rank is
+        // just the chip's fill counter.  With read-out position rank*s +
+        // chip, the next position a chip emits is a running value bumped by
+        // s per message.
+        std::vector<std::uint32_t> col_fill(s);
+        std::vector<std::size_t> next_pos(s);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const BitVec& valid = valids[i];
+          PCS_REQUIRE(valid.size() == n,
+                      plan_.name << " route_batch width: pattern " << i << " of "
+                                 << valids.size() << " has " << valid.size()
+                                 << " bits, switch has n=" << n);
+          std::fill(col_fill.begin(), col_fill.end(), 0u);
+          for (std::size_t j = 0; j < s; ++j) next_pos[j] = j;
+          sw::SwitchRouting& out_i = out[i];
+          out_i.output_of_input.assign(n, -1);
+          out_i.input_of_output.assign(m, -1);
+          const auto& words = valid.words();
+          for (std::size_t wi = 0; wi < words.size(); ++wi) {
+            std::uint64_t w = words[wi];
+            while (w != 0) {
+              const std::size_t x =
+                  wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+              w &= w - 1;
+              const std::size_t j2 = col_fill[x / r]++ % s;
+              const std::size_t pos = next_pos[j2];
+              next_pos[j2] += s;
+              if (pos < m) {
+                out_i.input_of_output[pos] = static_cast<std::int32_t>(x);
+                out_i.output_of_input[x] = static_cast<std::int32_t>(pos);
+              }
+            }
+          }
+        }
+      });
+      return out;
+    }
+    case FastPathKind::kNone:
+      break;
+  }
+  parallel_for(0, valids.size(), [&](std::size_t i) { out[i] = route(valids[i]); });
+  return out;
+}
+
+std::vector<BitVec> PlanExecutor::nearsorted_batch(
+    const std::vector<BitVec>& valids) const {
+  std::vector<BitVec> out(valids.size());
+  if (plan_.fully_sorting && plan_.faults.empty()) {
+    // A full sorter always leaves the valid bits fully concentrated, so the
+    // batch nearsorted bits are prefix_ones(n, count) without simulating.
+    parallel_for(0, valids.size(), [&](std::size_t i) {
+      PCS_REQUIRE(valids[i].size() == plan_.n,
+                  plan_.name << " nearsorted_batch width: pattern " << i << " of "
+                             << valids.size() << " has " << valids[i].size()
+                             << " bits, switch has n=" << plan_.n);
+      out[i] = BitVec::prefix_ones(plan_.n, valids[i].count());
+    });
+    return out;
+  }
+  if (lanes_eligible_) {
+    const std::size_t blocks = ceil_div(valids.size(), sortnet::LaneBatch::kLanes);
+    parallel_for(0, blocks, [&](std::size_t b) {
+      const std::size_t first = b * sortnet::LaneBatch::kLanes;
+      const std::size_t count =
+          std::min(sortnet::LaneBatch::kLanes, valids.size() - first);
+      sortnet::LaneBatch lanes(plan_.n);
+      lanes.load(valids, first, count);
+      for (std::size_t k = 0; k < plan_.stages.size(); ++k) {
+        const PlanStage& st = plan_.stages[k];
+        if (!lane_link_dest_[k].empty()) lanes.permute(lane_link_dest_[k]);
+        lanes.concentrate_segments(st.width);
+        if (!st.dead.empty()) {
+          for (std::size_t c = 0; c < st.chips; ++c) {
+            if (st.dead[c]) lanes.clear_positions(c * st.width, (c + 1) * st.width);
+          }
+        }
+      }
+      if (!lane_readout_identity_) lanes.permute(lane_readout_dest_);
+      lanes.store(out, first);
+    });
+    return out;
+  }
+  parallel_for(0, valids.size(),
+               [&](std::size_t i) { out[i] = nearsorted_valid_bits(valids[i]); });
+  return out;
+}
+
+}  // namespace pcs::plan

@@ -1,0 +1,101 @@
+// The one executor behind every multichip switch: interprets a SwitchPlan.
+//
+// Scalar route() walks the stages on a flat label vector (gather the
+// inbound link, stable-concentrate each chip's segment, silence dead
+// chips), then reads the output positions through the plan's readout
+// gather.  nearsorted_valid_bits() is the same walk projected to
+// occupancy.  The batch entry points dispatch on the plan:
+//
+//   route_batch       -> the family counting kernels (Revsort's three-stage
+//                        rank-arithmetic kernel with its AVX-512 variant,
+//                        Columnsort's single-pass kernel) when the plan
+//                        carries a FastPathKind, else parallel scalar walks;
+//   nearsorted_batch  -> prefix_ones for fault-free fully-sorting plans,
+//                        a generic word-parallel LaneBatch pipeline when
+//                        every link is a bijection on n wires, else
+//                        parallel scalar walks.
+//
+// All paths are bit-for-bit identical to the scalar walk (differential
+// tests + fuzz cross-check), which is itself bit-for-bit identical to the
+// pre-plan per-family switch simulations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "plan/switch_plan.hpp"
+#include "switch/concentrator.hpp"
+#include "util/bitvec.hpp"
+
+namespace pcs::plan {
+
+/// True when this CPU can run the AVX-512 Revsort kernel.
+bool cpu_has_avx512f();
+
+class PlanExecutor {
+ public:
+  /// Takes ownership of the plan (it is fixed hardware; executors never
+  /// mutate it).  Validates the plan's structure up front.
+  explicit PlanExecutor(SwitchPlan plan);
+
+  // Movable so the switch classes embedding an executor stay movable (the
+  // atomic phase counter forces these to be spelled out).
+  PlanExecutor(PlanExecutor&& other) noexcept
+      : plan_(std::move(other.plan_)),
+        fp_q_(other.fp_q_),
+        fp_vectorize_(other.fp_vectorize_),
+        lanes_eligible_(other.lanes_eligible_),
+        lane_link_dest_(std::move(other.lane_link_dest_)),
+        lane_readout_dest_(std::move(other.lane_readout_dest_)),
+        lane_readout_identity_(other.lane_readout_identity_),
+        extra_phases_(other.extra_phases_.load()) {}
+  PlanExecutor& operator=(PlanExecutor&& other) noexcept {
+    plan_ = std::move(other.plan_);
+    fp_q_ = other.fp_q_;
+    fp_vectorize_ = other.fp_vectorize_;
+    lanes_eligible_ = other.lanes_eligible_;
+    lane_link_dest_ = std::move(other.lane_link_dest_);
+    lane_readout_dest_ = std::move(other.lane_readout_dest_);
+    lane_readout_identity_ = other.lane_readout_identity_;
+    extra_phases_.store(other.extra_phases_.load());
+    return *this;
+  }
+  PlanExecutor(const PlanExecutor&) = delete;
+  PlanExecutor& operator=(const PlanExecutor&) = delete;
+
+  const SwitchPlan& plan() const noexcept { return plan_; }
+  std::size_t inputs() const noexcept { return plan_.n; }
+  std::size_t outputs() const noexcept { return plan_.m; }
+
+  sw::SwitchRouting route(const BitVec& valid) const;
+  BitVec nearsorted_valid_bits(const BitVec& valid) const;
+  std::vector<sw::SwitchRouting> route_batch(
+      const std::vector<BitVec>& valids) const;
+  std::vector<BitVec> nearsorted_batch(const std::vector<BitVec>& valids) const;
+
+  /// Safety-net iterations the last route() needed (always 0 in practice;
+  /// atomic so route_batch may run routes concurrently).
+  std::size_t extra_phases_used() const noexcept { return extra_phases_.load(); }
+
+ private:
+  /// Runs the staged pipeline (including the safety net on fault-free
+  /// plans) and returns the n labels at the readout positions.
+  std::vector<std::int32_t> run_stages(const BitVec& valid) const;
+
+  SwitchPlan plan_;
+  unsigned fp_q_ = 0;        // exact_log2(fp_side) for the Revsort kernel
+  bool fp_vectorize_ = false;
+  // Generic LaneBatch pipeline, precomputed when every stage spans n wires
+  // and every link (and the readout) is a bijection: per-stage permute dest
+  // arrays (empty = identity, skipped), the readout dest, and the dead-chip
+  // segments to clear after each stage's concentrate.
+  bool lanes_eligible_ = false;
+  std::vector<std::vector<std::uint32_t>> lane_link_dest_;
+  std::vector<std::uint32_t> lane_readout_dest_;
+  bool lane_readout_identity_ = false;
+  mutable std::atomic<std::size_t> extra_phases_{0};
+};
+
+}  // namespace pcs::plan

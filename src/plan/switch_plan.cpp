@@ -1,0 +1,243 @@
+#include "plan/switch_plan.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/digest.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::plan {
+
+bool PlanStage::any_dead() const noexcept {
+  return std::find(dead.begin(), dead.end(), std::uint8_t{1}) != dead.end();
+}
+
+std::size_t SwitchPlan::shifter_count() const noexcept {
+  std::size_t total = 0;
+  for (const PlanStage& st : stages)
+    if (st.has_shifter) total += st.chips;
+  return total;
+}
+
+std::size_t SwitchPlan::chip_count() const noexcept {
+  return board_count() + shifter_count();
+}
+
+std::size_t SwitchPlan::board_count() const noexcept {
+  std::size_t total = 0;
+  for (const PlanStage& st : stages) total += st.chips;
+  return total;
+}
+
+std::size_t SwitchPlan::board_types() const noexcept {
+  std::set<std::pair<std::size_t, bool>> types;
+  for (const PlanStage& st : stages) types.emplace(st.width, st.has_shifter);
+  return types.size();
+}
+
+std::size_t SwitchPlan::max_pins_per_chip() const noexcept {
+  std::size_t pins = 0;
+  for (const PlanStage& st : stages) {
+    std::size_t p = 2 * st.width;
+    if (st.has_shifter) p += ceil_log2(st.width);
+    pins = std::max(pins, p);
+  }
+  return pins;
+}
+
+std::size_t SwitchPlan::connector_count() const noexcept {
+  std::size_t total = 0;
+  for (const PlanStage& st : stages) total += st.link_connectors;
+  return total;
+}
+
+std::size_t SwitchPlan::area_2d() const noexcept {
+  // One n-wire crossbar region per inter-stage link, plus w^2 of silicon
+  // per chip (the chips themselves are laid out as squares).
+  std::size_t area = 0;
+  if (!stages.empty()) area += (stages.size() - 1) * n * n;
+  for (const PlanStage& st : stages) area += st.chips * st.width * st.width;
+  return area;
+}
+
+std::size_t SwitchPlan::volume_3d() const noexcept {
+  // Stacked-board packaging: each chip contributes one board of area w^2,
+  // doubled when the board also carries a barrel shifter, plus the
+  // interstack connector volumes.
+  std::size_t vol = 0;
+  for (const PlanStage& st : stages) {
+    std::size_t board = st.width * st.width * (st.has_shifter ? 2 : 1);
+    vol += st.chips * board;
+    vol += st.link_connectors * st.connector_volume;
+  }
+  return vol;
+}
+
+std::uint64_t SwitchPlan::digest() const {
+  Digest d;
+  d.mix_byte(static_cast<std::uint8_t>(family));
+  d.mix_u64(n);
+  d.mix_u64(m);
+  d.mix_u64(epsilon);
+  d.mix_byte(fully_sorting ? 1 : 0);
+  auto mix_stage = [&d](const PlanStage& st) {
+    d.mix_u64(st.chips);
+    d.mix_u64(st.width);
+    d.mix_byte(st.has_shifter ? 1 : 0);
+    d.mix_u64(st.link_connectors);
+    d.mix_u64(st.connector_volume);
+    for (std::int32_t src : st.in_src) d.mix_i32(src);
+    for (std::uint8_t dd : st.dead) d.mix_byte(dd);
+  };
+  d.mix_u64(stages.size());
+  for (const PlanStage& st : stages) mix_stage(st);
+  d.mix_u64(readout.size());
+  for (std::uint32_t r : readout) d.mix_u64(r);
+  d.mix_u64(safety_stages.size());
+  for (const PlanStage& st : safety_stages) mix_stage(st);
+  d.mix_u64(safety_limit);
+  d.mix_u64(faults.size());
+  for (const ChipFault& f : faults) {
+    d.mix_u64(f.stage);
+    d.mix_u64(f.chip);
+  }
+  return d.value();
+}
+
+std::string SwitchPlan::summary() const {
+  std::ostringstream out;
+  out << name << ": n=" << n << " m=" << m << " epsilon=" << epsilon
+      << (fully_sorting ? " fully-sorting" : "") << "\n";
+  std::size_t idx = 0;
+  for (const PlanStage& st : stages) {
+    out << "  stage " << idx++ << ": " << st.chips << " x " << st.width
+        << "-wire hyper" << (st.has_shifter ? " + shifter" : "");
+    if (st.link_connectors > 0)
+      out << ", link " << st.link_connectors << " connectors";
+    std::size_t dead_count =
+        static_cast<std::size_t>(std::count(st.dead.begin(), st.dead.end(), 1));
+    if (dead_count > 0) out << ", " << dead_count << " dead";
+    out << "\n";
+  }
+  if (!safety_stages.empty())
+    out << "  safety net: " << safety_stages.size() << " stages, limit "
+        << safety_limit << "\n";
+  out << "  chips=" << chip_count() << " boards=" << board_count()
+      << " board-types=" << board_types() << " pins<=" << max_pins_per_chip()
+      << " passes=" << chip_passes() << "\n";
+  out << "  area=" << area_2d() << " volume=" << volume_3d()
+      << " connectors=" << connector_count() << "\n";
+  return out.str();
+}
+
+namespace {
+
+void validate_stage(const PlanStage& st, std::size_t prev_wires,
+                    std::size_t index, bool allow_pads) {
+  PCS_REQUIRE(st.chips > 0 && st.width > 0,
+              "plan stage " << index << " shape: chips=" << st.chips
+                            << " width=" << st.width);
+  PCS_REQUIRE(st.in_src.size() == st.wires(),
+              "plan stage " << index << " in_src size: " << st.in_src.size()
+                            << " wires=" << st.wires());
+  PCS_REQUIRE(st.dead.empty() || st.dead.size() == st.chips,
+              "plan stage " << index << " dead size: " << st.dead.size()
+                            << " chips=" << st.chips);
+  for (std::int32_t src : st.in_src) {
+    if (src == kFeedIdle) continue;
+    if (src == kFeedPad) {
+      PCS_REQUIRE(allow_pads, "plan stage " << index << " feeds a pad but the "
+                                            << "plan family does not use pads");
+      continue;
+    }
+    PCS_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < prev_wires,
+                "plan stage " << index << " in_src out of range: src=" << src
+                              << " prev_wires=" << prev_wires);
+  }
+}
+
+}  // namespace
+
+void SwitchPlan::validate() const {
+  PCS_REQUIRE(n > 0, "plan n=" << n);
+  PCS_REQUIRE(m >= 1 && m <= n, "plan m range: m=" << m << " n=" << n);
+  PCS_REQUIRE(!stages.empty(), "plan has no stages");
+  const bool allow_pads = family == PlanFamily::kFullColumnsort;
+  std::size_t prev = n;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    validate_stage(stages[i], prev, i, allow_pads);
+    prev = stages[i].wires();
+  }
+  PCS_REQUIRE(readout.size() == n,
+              "plan readout size: " << readout.size() << " n=" << n);
+  for (std::uint32_t r : readout)
+    PCS_REQUIRE(r < prev, "plan readout wire out of range: wire="
+                              << r << " last_stage_wires=" << prev);
+  // Safety stages cycle back onto the final stage's wire space: each must
+  // preserve that wire count so the loop can iterate.
+  for (std::size_t i = 0; i < safety_stages.size(); ++i) {
+    validate_stage(safety_stages[i], prev, stages.size() + i, false);
+    PCS_REQUIRE(safety_stages[i].wires() == prev,
+                "safety stage " << i << " changes wire count: "
+                                << safety_stages[i].wires() << " vs " << prev);
+    prev = safety_stages[i].wires();
+  }
+  PCS_REQUIRE(safety_stages.empty() == (safety_limit == 0),
+              "safety_limit=" << safety_limit << " with "
+                              << safety_stages.size() << " safety stages");
+}
+
+void apply_chip_faults(SwitchPlan& plan, std::vector<ChipFault> faults) {
+  for (const ChipFault& f : faults) {
+    PCS_REQUIRE(f.stage < plan.stages.size(),
+                "fault stage out of range: stage=" << f.stage << " stages="
+                                                   << plan.stages.size());
+    PCS_REQUIRE(f.chip < plan.stages[f.stage].chips,
+                "fault chip out of range: stage=" << f.stage
+                                                  << " chip=" << f.chip
+                                                  << " chips="
+                                                  << plan.stages[f.stage].chips);
+  }
+  // A chip is either dead or not: repeating a coordinate must not inflate
+  // the loss bound.
+  std::sort(faults.begin(), faults.end(), [](const ChipFault& a, const ChipFault& b) {
+    return std::tie(a.stage, a.chip) < std::tie(b.stage, b.chip);
+  });
+  faults.erase(std::unique(faults.begin(), faults.end()), faults.end());
+
+  for (const ChipFault& f : faults) {
+    PlanStage& st = plan.stages[f.stage];
+    if (st.dead.empty()) st.dead.assign(st.chips, 0);
+    if (st.dead[f.chip]) continue;  // already dead from an earlier rewrite
+    st.dead[f.chip] = 1;
+    plan.max_fault_loss += st.width;
+    plan.faults.push_back(f);
+  }
+
+  if (!plan.faults.empty()) {
+    // Dead chips void every routing guarantee: no nearsorting bound, no
+    // fully-sorted output, and the counting fast paths (which assume every
+    // chip concentrates) no longer replay the staged execution.
+    plan.epsilon = plan.n;
+    plan.fully_sorting = false;
+    plan.fast_path = FastPathKind::kNone;
+    std::string base = plan.name;
+    if (base.rfind("faulty-", 0) == 0) {
+      // Re-applying faults: strip the previous dead-count decoration.
+      base = base.substr(7, base.rfind(",dead=") - 7);
+      base += ')';
+    }
+    PCS_REQUIRE(!base.empty() && base.back() == ')',
+                "plan name not decoratable: " << base);
+    std::ostringstream renamed;
+    renamed << "faulty-" << base.substr(0, base.size() - 1)
+            << ",dead=" << plan.faults.size() << ")";
+    plan.name = renamed.str();
+  }
+}
+
+}  // namespace pcs::plan

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "plan/compile.hpp"
+#include "plan/plan_switch.hpp"
 #include "runtime/metrics.hpp"
 #include "switch/columnsort_switch.hpp"
 #include "switch/hyper_switch.hpp"
@@ -88,6 +90,17 @@ void set_key(RuntimeConfig& cfg, const std::string& key, const std::string& valu
     cfg.measure_epochs = parse_size(key, value);
   } else if (key == "drain_epochs_max") {
     cfg.drain_epochs_max = parse_size(key, value);
+  } else if (key == "faults") {
+    cfg.faults.clear();
+    for (const std::string& item : split_csv(value)) {
+      const auto colon = item.find(':');
+      PCS_REQUIRE(colon != std::string::npos,
+                  "config key faults expects stage:chip entries, got '" << item
+                  << "'");
+      cfg.faults.push_back(
+          plan::ChipFault{parse_size(key, item.substr(0, colon)),
+                          parse_size(key, item.substr(colon + 1))});
+    }
   } else if (key == "check_invariants") {
     cfg.check_invariants = parse_bool(key, value);
   } else if (key == "out") {
@@ -102,6 +115,8 @@ void validate(const RuntimeConfig& cfg) {
   for (const std::string& f : split_csv(cfg.family)) {
     PCS_REQUIRE(f == "revsort" || f == "columnsort" || f == "hyper",
                 "unknown switch family '" << f << "'");
+    PCS_REQUIRE(cfg.faults.empty() || f != "hyper",
+                "faults require a plan-compiled family; 'hyper' has no plan");
   }
   PCS_REQUIRE(cfg.arrival == "bernoulli" || cfg.arrival == "exact" ||
                   cfg.arrival == "bursty" || cfg.arrival == "hotspot",
@@ -179,6 +194,12 @@ std::string config_to_json(const RuntimeConfig& cfg, std::size_t indent) {
      << ",\n";
   os << pad << "  \"drain_epochs_max\": " << cfg.drain_epochs_max << ",\n";
   os << pad << "  \"family\": " << json_escape(cfg.family) << ",\n";
+  os << pad << "  \"faults\": [";
+  for (std::size_t i = 0; i < cfg.faults.size(); ++i) {
+    if (i) os << ", ";
+    os << "[" << cfg.faults[i].stage << ", " << cfg.faults[i].chip << "]";
+  }
+  os << "],\n";
   os << pad << "  \"lanes\": " << cfg.lanes << ",\n";
   os << pad << "  \"loads\": [";
   for (std::size_t i = 0; i < cfg.loads.size(); ++i) {
@@ -207,6 +228,16 @@ msg::CongestionPolicy policy_from_string(const std::string& s) {
 
 std::unique_ptr<sw::ConcentratorSwitch> make_switch(const std::string& family,
                                                     const RuntimeConfig& cfg) {
+  // With faults configured, compile the family's plan, rewrite it, and run
+  // it behind the family-agnostic PlanSwitch.
+  if (!cfg.faults.empty() && (family == "revsort" || family == "columnsort")) {
+    plan::SwitchPlan p =
+        family == "revsort"
+            ? plan::compile_revsort_plan(cfg.n, cfg.m)
+            : plan::compile_columnsort_plan_beta(cfg.n, cfg.beta, cfg.m);
+    plan::apply_chip_faults(p, cfg.faults);
+    return std::make_unique<plan::PlanSwitch>(std::move(p));
+  }
   if (family == "revsort") {
     return std::make_unique<sw::RevsortSwitch>(cfg.n, cfg.m);
   }

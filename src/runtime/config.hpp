@@ -13,6 +13,7 @@
 
 #include "message/congestion.hpp"
 #include "message/traffic.hpp"
+#include "plan/switch_plan.hpp"
 #include "switch/concentrator.hpp"
 
 namespace pcs::rt {
@@ -23,6 +24,11 @@ struct RuntimeConfig {
   std::size_t n = 256;   ///< input wires
   std::size_t m = 128;   ///< output wires
   double beta = 0.75;    ///< Columnsort shape parameter (Table 1 continuum)
+
+  /// Dead chips to inject: `faults = stage:chip,stage:chip,...`.  Applied
+  /// to the compiled plan via plan::apply_chip_faults, so it works for any
+  /// plan-compiled family (not "hyper").
+  std::vector<plan::ChipFault> faults;
 
   /// Arrival process: bernoulli | exact | bursty | hotspot.  All derive
   /// their intensity from arrival_p (see make_traffic); exact presents
@@ -70,6 +76,8 @@ msg::CongestionPolicy policy_from_string(const std::string& s);
 /// Build one switch of `family` (a single name, not a list) with the
 /// config's shape: revsort -> RevsortSwitch(n, m), columnsort ->
 /// ColumnsortSwitch::from_beta(n, beta, m), hyper -> HyperSwitch(n, m).
+/// With cfg.faults set, revsort/columnsort compile their plan, apply the
+/// faults, and return the fault-rewritten plan behind plan::PlanSwitch.
 std::unique_ptr<sw::ConcentratorSwitch> make_switch(const std::string& family,
                                                     const RuntimeConfig& cfg);
 

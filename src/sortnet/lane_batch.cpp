@@ -136,6 +136,14 @@ void LaneBatch::concentrate_segments(std::size_t seg_len) {
   }
 }
 
+void LaneBatch::clear_positions(std::size_t lo, std::size_t hi) {
+  PCS_REQUIRE(lo <= hi && hi <= n_,
+              "LaneBatch::clear_positions range: lo=" << lo << " hi=" << hi
+                                                      << " n=" << n_);
+  std::fill(pos_.begin() + static_cast<std::ptrdiff_t>(lo),
+            pos_.begin() + static_cast<std::ptrdiff_t>(hi), 0);
+}
+
 void LaneBatch::permute(const std::vector<std::uint32_t>& dest) {
   PCS_REQUIRE(dest.size() == n_, "LaneBatch::permute size mismatch");
   for (std::size_t i = 0; i < n_; ++i) scratch_[dest[i]] = pos_[i];

@@ -63,6 +63,10 @@ class LaneBatch {
   /// position dest[i].  dest must be a bijection on [0, n).
   void permute(const std::vector<std::uint32_t>& dest);
 
+  /// Zero positions [lo, hi) in every lane: the bit projection of a dead
+  /// chip driving its output pins invalid (plan fault execution).
+  void clear_positions(std::size_t lo, std::size_t hi);
+
  private:
   std::size_t n_;
   std::size_t lanes_ = 0;

@@ -1,30 +1,18 @@
 #include "switch/columnsort_switch.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
-#include <sstream>
 
 #include "hyper/hyperconcentrator.hpp"
-#include "sortnet/columnsort.hpp"
-#include "sortnet/lane_batch.hpp"
-#include "switch/label_mesh.hpp"
 #include "util/assert.hpp"
 #include "util/mathutil.hpp"
-#include "util/parallel.hpp"
 
 namespace pcs::sw {
 
 ColumnsortSwitch::ColumnsortSwitch(std::size_t r, std::size_t s, std::size_t m)
-    : r_(r), s_(s), n_(r * s), m_(m) {
-  PCS_REQUIRE(r > 0 && s > 0, "ColumnsortSwitch shape: r=" << r << " s=" << s);
-  PCS_REQUIRE(r % s == 0,
-              "ColumnsortSwitch requires s to divide r: r=" << r << " s=" << s);
-  PCS_REQUIRE(m >= 1 && m <= n_,
-              "ColumnsortSwitch m range: m=" << m << " n=" << n_ << " (r=" << r
-              << " s=" << s << ")");
+    : r_(r), s_(s), n_(r * s), m_(m),
+      exec_(plan::compile_columnsort_plan(r, s, m)) {
   stage1_to_2_ = cm_to_rm_wiring(r_, s_);
-  readout_ = row_major_readout_wiring(r_, s_);
 }
 
 ColumnsortSwitch ColumnsortSwitch::from_beta(std::size_t n, double beta, std::size_t m) {
@@ -47,10 +35,6 @@ double ColumnsortSwitch::beta() const {
   return std::log2(static_cast<double>(r_)) / std::log2(static_cast<double>(n_));
 }
 
-std::size_t ColumnsortSwitch::epsilon_bound() const {
-  return sortnet::algorithm2_epsilon_bound(s_);
-}
-
 SwitchRouting ColumnsortSwitch::finish_row_major(
     const std::vector<std::int32_t>& row_major) const {
   SwitchRouting out;
@@ -65,16 +49,6 @@ SwitchRouting ColumnsortSwitch::finish_row_major(
     }
   }
   return out;
-}
-
-SwitchRouting ColumnsortSwitch::route(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_, "ColumnsortSwitch::route width: pattern has "
-                                      << valid.size() << " bits, switch has n=" << n_);
-  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
-  mesh.concentrate_columns();  // stage 1
-  mesh.cm_to_rm_reshape();     // inter-stage wiring
-  mesh.concentrate_columns();  // stage 2
-  return finish_row_major(mesh.to_row_major());
 }
 
 SwitchRouting ColumnsortSwitch::route_via_wiring(const BitVec& valid) const {
@@ -105,87 +79,6 @@ SwitchRouting ColumnsortSwitch::route_via_wiring(const BitVec& valid) const {
     }
   }
   return finish_row_major(row_major);
-}
-
-std::vector<SwitchRouting> ColumnsortSwitch::route_batch(
-    const std::vector<BitVec>& valids) const {
-  std::vector<SwitchRouting> out(valids.size());
-  parallel_for_chunks(0, valids.size(), [&](std::size_t lo, std::size_t hi) {
-    // Single ascending pass over the set bits.  Stage 1 sends the t-th valid
-    // of column c to column-major position y = c*r + t; the CM -> RM wiring
-    // lands it on stage-2 chip y mod s = t mod s (s divides r), and because
-    // y ascends along the pass, so does the stage-2 pin y / s within each
-    // chip -- the stable stage-2 rank is just the chip's fill counter.  With
-    // read-out position rank*s + chip, the next position a chip emits is a
-    // running value bumped by s per message.
-    std::vector<std::uint32_t> col_fill(s_);
-    std::vector<std::size_t> next_pos(s_);
-    for (std::size_t i = lo; i < hi; ++i) {
-      const BitVec& valid = valids[i];
-      PCS_REQUIRE(valid.size() == n_,
-                  "ColumnsortSwitch::route_batch width: pattern " << i << " of "
-                  << valids.size() << " has " << valid.size()
-                  << " bits, switch has n=" << n_);
-      std::fill(col_fill.begin(), col_fill.end(), 0u);
-      for (std::size_t j = 0; j < s_; ++j) next_pos[j] = j;
-      SwitchRouting& out_i = out[i];
-      out_i.output_of_input.assign(n_, -1);
-      out_i.input_of_output.assign(m_, -1);
-      const auto& words = valid.words();
-      for (std::size_t wi = 0; wi < words.size(); ++wi) {
-        std::uint64_t w = words[wi];
-        while (w != 0) {
-          const std::size_t x =
-              wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
-          w &= w - 1;
-          const std::size_t j2 = col_fill[x / r_]++ % s_;
-          const std::size_t pos = next_pos[j2];
-          next_pos[j2] += s_;
-          if (pos < m_) {
-            out_i.input_of_output[pos] = static_cast<std::int32_t>(x);
-            out_i.output_of_input[x] = static_cast<std::int32_t>(pos);
-          }
-        }
-      }
-    }
-  });
-  return out;
-}
-
-std::vector<BitVec> ColumnsortSwitch::nearsorted_batch(
-    const std::vector<BitVec>& valids) const {
-  std::vector<BitVec> out(valids.size());
-  const std::size_t blocks = ceil_div(valids.size(), sortnet::LaneBatch::kLanes);
-  parallel_for(0, blocks, [&](std::size_t b) {
-    const std::size_t first = b * sortnet::LaneBatch::kLanes;
-    const std::size_t count =
-        std::min(sortnet::LaneBatch::kLanes, valids.size() - first);
-    sortnet::LaneBatch lanes(n_);
-    lanes.load(valids, first, count);
-    lanes.concentrate_segments(r_);        // stage 1
-    lanes.permute(stage1_to_2_.dests());   // RM^-1 o CM wiring
-    lanes.concentrate_segments(r_);        // stage 2
-    lanes.permute(readout_.dests());       // row-major read-out
-    lanes.store(out, first);
-  });
-  return out;
-}
-
-BitVec ColumnsortSwitch::nearsorted_valid_bits(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_,
-              "ColumnsortSwitch::nearsorted_valid_bits width: pattern has "
-                  << valid.size() << " bits, switch has n=" << n_);
-  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
-  mesh.concentrate_columns();
-  mesh.cm_to_rm_reshape();
-  mesh.concentrate_columns();
-  return mesh.valid_bits().to_row_major();
-}
-
-std::string ColumnsortSwitch::name() const {
-  std::ostringstream os;
-  os << "columnsort(r=" << r_ << ",s=" << s_ << ",m=" << m_ << ")";
-  return os.str();
 }
 
 Bom ColumnsortSwitch::bill_of_materials() const {

@@ -14,8 +14,14 @@
 // s = Theta(n^{1-beta}), 1/2 <= beta <= 1, trading pins per chip (2r)
 // against chip count (2s), load ratio, delay (4 beta lg n + O(1)), and
 // volume (Theta(n^{1+beta})) -- the tradeoff continuum of Table 1.
+//
+// Thin wrapper over plan::compile_columnsort_plan: all ConcentratorSwitch
+// virtuals delegate to the shared PlanExecutor.  route_via_wiring() remains
+// an independent hardware-literal simulation the tests compare against.
 #pragma once
 
+#include "plan/compile.hpp"
+#include "plan/plan_executor.hpp"
 #include "switch/chip.hpp"
 #include "switch/concentrator.hpp"
 #include "switch/wiring.hpp"
@@ -34,19 +40,28 @@ class ColumnsortSwitch : public ConcentratorSwitch {
 
   std::size_t inputs() const override { return n_; }
   std::size_t outputs() const override { return m_; }
-  std::size_t epsilon_bound() const override;
-  SwitchRouting route(const BitVec& valid) const override;
-  BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+  std::size_t epsilon_bound() const override { return exec_.plan().epsilon; }
+  SwitchRouting route(const BitVec& valid) const override {
+    return exec_.route(valid);
+  }
+  BitVec nearsorted_valid_bits(const BitVec& valid) const override {
+    return exec_.nearsorted_valid_bits(valid);
+  }
 
-  /// Word-parallel batch fast paths (see RevsortSwitch): a single-pass
-  /// counting kernel per pattern for routings, LaneBatch lanes for the
-  /// nearsorted bits.  Bit-identical to the per-pattern methods.
+  /// Word-parallel batch fast paths, provided by the plan executor (see
+  /// RevsortSwitch): a single-pass counting kernel per pattern for
+  /// routings, LaneBatch lanes for the nearsorted bits.  Bit-identical to
+  /// the per-pattern methods.
   std::vector<SwitchRouting> route_batch(
-      const std::vector<BitVec>& valids) const override;
+      const std::vector<BitVec>& valids) const override {
+    return exec_.route_batch(valids);
+  }
   std::vector<BitVec> nearsorted_batch(
-      const std::vector<BitVec>& valids) const override;
+      const std::vector<BitVec>& valids) const override {
+    return exec_.nearsorted_batch(valids);
+  }
 
-  std::string name() const override;
+  std::string name() const override { return exec_.plan().name; }
 
   std::size_t r() const noexcept { return r_; }
   std::size_t s() const noexcept { return s_; }
@@ -54,7 +69,11 @@ class ColumnsortSwitch : public ConcentratorSwitch {
   /// Effective beta = lg r / lg n of the realized shape.
   double beta() const;
 
+  /// The compiled plan this switch executes.
+  const plan::SwitchPlan& plan() const noexcept { return exec_.plan(); }
+
   /// Hardware-faithful simulation through the explicit CM->RM wiring.
+  /// Independent of the plan executor; the tests prove the two agree.
   SwitchRouting route_via_wiring(const BitVec& valid) const;
 
   /// Number of hyperconcentrator chips a message passes through (2).
@@ -70,9 +89,9 @@ class ColumnsortSwitch : public ConcentratorSwitch {
   std::size_t s_;
   std::size_t n_;
   std::size_t m_;
-  // Cached route plan: both wirings are fixed by the (r, s) shape.
+  plan::PlanExecutor exec_;
+  // Wiring for the independent route_via_wiring simulation.
   Permutation stage1_to_2_;
-  Permutation readout_;
 };
 
 }  // namespace pcs::sw

@@ -70,6 +70,11 @@ class ConcentratorSwitch {
   /// Human-readable design name for reports.
   virtual std::string name() const = 0;
 
+  /// Upper bound on messages one setup can lose to dead chips.  0 for a
+  /// healthy switch (every message is conserved); fault-rewritten plans
+  /// override with the sum of dead-chip widths.
+  virtual std::size_t max_fault_loss() const { return 0; }
+
   /// The load ratio alpha = 1 - epsilon_bound / m (Lemma 2), clamped to
   /// [0, 1].  With k <= alpha * m valid inputs, all k are routed.
   double load_ratio_bound() const;

@@ -1,114 +1,17 @@
 #include "switch/full_sort_hyper.hpp"
 
-#include <sstream>
-
-#include "sortnet/columnsort.hpp"
 #include "sortnet/revsort.hpp"
-#include "switch/label_mesh.hpp"
 #include "util/assert.hpp"
 #include "util/mathutil.hpp"
-#include "util/parallel.hpp"
 
 namespace pcs::sw {
 
-namespace {
-
-SwitchRouting routing_from_sequence(const std::vector<std::int32_t>& seq,
-                                    std::size_t n) {
-  SwitchRouting out;
-  out.output_of_input.assign(n, -1);
-  out.input_of_output.assign(n, -1);
-  for (std::size_t pos = 0; pos < n; ++pos) {
-    std::int32_t src = seq[pos];
-    if (src >= 0) {
-      out.input_of_output[pos] = src;
-      out.output_of_input[static_cast<std::size_t>(src)] =
-          static_cast<std::int32_t>(pos);
-    }
-  }
-  return out;
-}
-
-bool sequence_concentrated(const std::vector<std::int32_t>& seq) {
-  bool seen_idle = false;
-  for (std::int32_t s : seq) {
-    if (s < 0) {
-      seen_idle = true;
-    } else if (seen_idle) {
-      return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
-
-FullRevsortHyper::FullRevsortHyper(std::size_t n) : n_(n) {
-  PCS_REQUIRE(n > 0, "FullRevsortHyper n must be positive");
-  side_ = isqrt(n);
-  PCS_REQUIRE(side_ * side_ == n,
-              "FullRevsortHyper n must be a perfect square: n=" << n);
-  PCS_REQUIRE(is_pow2(side_),
-              "FullRevsortHyper sqrt(n) must be a power of two: n=" << n
-              << " side=" << side_);
+FullRevsortHyper::FullRevsortHyper(std::size_t n)
+    : n_(n),
+      side_(isqrt(n)),
+      reps_(0),
+      exec_(plan::compile_full_revsort_plan(n)) {
   reps_ = sortnet::full_revsort_repetitions(side_);
-}
-
-SwitchRouting FullRevsortHyper::route(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_, "FullRevsortHyper::route width: pattern has "
-                                      << valid.size() << " bits, switch has n=" << n_);
-  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, side_, side_);
-  for (std::size_t t = 0; t < reps_; ++t) {
-    mesh.concentrate_columns();
-    mesh.concentrate_rows();
-    mesh.rotate_rows_bit_reversed();
-  }
-  mesh.concentrate_columns();
-  for (int phase = 0; phase < 3; ++phase) {
-    mesh.concentrate_rows_alternating();
-    mesh.concentrate_columns();
-  }
-  mesh.concentrate_rows();
-  // Safety net: the prescribed structure always fully sorts in practice;
-  // if it ever did not, finish with additional Shearsort phases.
-  std::size_t extra = 0;
-  std::vector<std::int32_t> seq = mesh.to_row_major();
-  while (!sequence_concentrated(seq)) {
-    mesh.concentrate_rows_alternating();
-    mesh.concentrate_columns();
-    mesh.concentrate_rows();
-    ++extra;
-    PCS_REQUIRE(extra <= side_, "FullRevsortHyper failed to converge");
-    seq = mesh.to_row_major();
-  }
-  extra_phases_.store(extra);
-  return routing_from_sequence(seq, n_);
-}
-
-BitVec FullRevsortHyper::nearsorted_valid_bits(const BitVec& valid) const {
-  SwitchRouting r = route(valid);
-  BitVec out(n_);
-  for (std::size_t j = 0; j < n_; ++j) out.set(j, r.input_of_output[j] >= 0);
-  return out;
-}
-
-std::vector<BitVec> FullRevsortHyper::nearsorted_batch(
-    const std::vector<BitVec>& valids) const {
-  std::vector<BitVec> out(valids.size());
-  parallel_for(0, valids.size(), [&](std::size_t i) {
-    PCS_REQUIRE(valids[i].size() == n_,
-                "FullRevsortHyper::nearsorted_batch width: pattern " << i << " of "
-                << valids.size() << " has " << valids[i].size()
-                << " bits, switch has n=" << n_);
-    out[i] = BitVec::prefix_ones(n_, valids[i].count());
-  });
-  return out;
-}
-
-std::string FullRevsortHyper::name() const {
-  std::ostringstream os;
-  os << "full-revsort-hyper(" << n_ << ")";
-  return os.str();
 }
 
 Bom FullRevsortHyper::bill_of_materials() const {
@@ -126,53 +29,7 @@ Bom FullRevsortHyper::bill_of_materials() const {
 }
 
 FullColumnsortHyper::FullColumnsortHyper(std::size_t r, std::size_t s)
-    : r_(r), s_(s), n_(r * s) {
-  PCS_REQUIRE(sortnet::columnsort_shape_ok(r, s),
-              "FullColumnsortHyper requires s | r and r >= 2(s-1)^2: r=" << r
-              << " s=" << s);
-}
-
-SwitchRouting FullColumnsortHyper::route(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_, "FullColumnsortHyper::route width: pattern has "
-                                      << valid.size() << " bits, switch has n=" << n_);
-  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
-  mesh.concentrate_columns();        // step 1
-  mesh.cm_to_rm_reshape();           // step 2
-  mesh.concentrate_columns();        // step 3
-  mesh.rm_to_cm_reshape();           // step 4
-  mesh.concentrate_columns();        // step 5
-  mesh.shift_concentrate_unshift();  // steps 6-8
-  std::vector<std::int32_t> seq = mesh.to_col_major();
-  PCS_REQUIRE(sequence_concentrated(seq),
-              "FullColumnsortHyper output not concentrated");
-  return routing_from_sequence(seq, n_);
-}
-
-BitVec FullColumnsortHyper::nearsorted_valid_bits(const BitVec& valid) const {
-  SwitchRouting r = route(valid);
-  BitVec out(n_);
-  for (std::size_t j = 0; j < n_; ++j) out.set(j, r.input_of_output[j] >= 0);
-  return out;
-}
-
-std::vector<BitVec> FullColumnsortHyper::nearsorted_batch(
-    const std::vector<BitVec>& valids) const {
-  std::vector<BitVec> out(valids.size());
-  parallel_for(0, valids.size(), [&](std::size_t i) {
-    PCS_REQUIRE(valids[i].size() == n_,
-                "FullColumnsortHyper::nearsorted_batch width: pattern " << i
-                << " of " << valids.size() << " has " << valids[i].size()
-                << " bits, switch has n=" << n_);
-    out[i] = BitVec::prefix_ones(n_, valids[i].count());
-  });
-  return out;
-}
-
-std::string FullColumnsortHyper::name() const {
-  std::ostringstream os;
-  os << "full-columnsort-hyper(r=" << r_ << ",s=" << s_ << ")";
-  return os.str();
-}
+    : r_(r), s_(s), n_(r * s), exec_(plan::compile_full_columnsort_plan(r, s)) {}
 
 Bom FullColumnsortHyper::bill_of_materials() const {
   // Steps 1, 3, 5 use s chips each; the shifted sort of step 7 spans the

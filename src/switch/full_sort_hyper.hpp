@@ -14,12 +14,16 @@
 // be checked against the paper's formulas (and the Revsort count documents
 // the factor-of-two discrepancy discussed in DESIGN.md section 4).  As a
 // safety net, if the prescribed stage sequence ever failed to fully sort
-// (it never does in our tests), route() appends extra Shearsort phases and
-// reports them via extra_phases_used().
+// (it never does in our tests), the executor appends extra Shearsort phases
+// and reports them via extra_phases_used().
+//
+// Thin wrappers over plan::compile_full_revsort_plan /
+// plan::compile_full_columnsort_plan; all ConcentratorSwitch virtuals
+// delegate to the shared PlanExecutor.
 #pragma once
 
-#include <atomic>
-
+#include "plan/compile.hpp"
+#include "plan/plan_executor.hpp"
 #include "switch/chip.hpp"
 #include "switch/concentrator.hpp"
 
@@ -33,15 +37,21 @@ class FullRevsortHyper : public ConcentratorSwitch {
   std::size_t inputs() const override { return n_; }
   std::size_t outputs() const override { return n_; }
   std::size_t epsilon_bound() const override { return 0; }
-  SwitchRouting route(const BitVec& valid) const override;
-  BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+  SwitchRouting route(const BitVec& valid) const override {
+    return exec_.route(valid);
+  }
+  BitVec nearsorted_valid_bits(const BitVec& valid) const override {
+    return exec_.nearsorted_valid_bits(valid);
+  }
 
   /// A full sorter always leaves the valid bits fully concentrated, so the
   /// batch nearsorted bits are prefix_ones(n, count) without simulating.
   std::vector<BitVec> nearsorted_batch(
-      const std::vector<BitVec>& valids) const override;
+      const std::vector<BitVec>& valids) const override {
+    return exec_.nearsorted_batch(valids);
+  }
 
-  std::string name() const override;
+  std::string name() const override { return exec_.plan().name; }
 
   std::size_t side() const noexcept { return side_; }
 
@@ -54,9 +64,13 @@ class FullRevsortHyper : public ConcentratorSwitch {
   std::size_t chip_passes() const noexcept { return 2 * reps_ + 8; }
 
   /// Shearsort phases beyond the prescribed three that the last route()
-  /// call needed (0 in every case we have ever observed).  Atomic so
-  /// route_batch may run route() concurrently.
-  std::size_t extra_phases_used() const noexcept { return extra_phases_.load(); }
+  /// call needed (0 in every case we have ever observed).
+  std::size_t extra_phases_used() const noexcept {
+    return exec_.extra_phases_used();
+  }
+
+  /// The compiled plan this switch executes.
+  const plan::SwitchPlan& plan() const noexcept { return exec_.plan(); }
 
   Bom bill_of_materials() const;
 
@@ -64,7 +78,7 @@ class FullRevsortHyper : public ConcentratorSwitch {
   std::size_t n_;
   std::size_t side_;
   std::size_t reps_;
-  mutable std::atomic<std::size_t> extra_phases_{0};
+  plan::PlanExecutor exec_;
 };
 
 class FullColumnsortHyper : public ConcentratorSwitch {
@@ -76,14 +90,20 @@ class FullColumnsortHyper : public ConcentratorSwitch {
   std::size_t inputs() const override { return n_; }
   std::size_t outputs() const override { return n_; }
   std::size_t epsilon_bound() const override { return 0; }
-  SwitchRouting route(const BitVec& valid) const override;
-  BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+  SwitchRouting route(const BitVec& valid) const override {
+    return exec_.route(valid);
+  }
+  BitVec nearsorted_valid_bits(const BitVec& valid) const override {
+    return exec_.nearsorted_valid_bits(valid);
+  }
 
   /// See FullRevsortHyper::nearsorted_batch.
   std::vector<BitVec> nearsorted_batch(
-      const std::vector<BitVec>& valids) const override;
+      const std::vector<BitVec>& valids) const override {
+    return exec_.nearsorted_batch(valids);
+  }
 
-  std::string name() const override;
+  std::string name() const override { return exec_.plan().name; }
 
   std::size_t r() const noexcept { return r_; }
   std::size_t s() const noexcept { return s_; }
@@ -93,12 +113,16 @@ class FullColumnsortHyper : public ConcentratorSwitch {
   /// through four chips").
   static constexpr std::size_t kChipPasses = 4;
 
+  /// The compiled plan this switch executes.
+  const plan::SwitchPlan& plan() const noexcept { return exec_.plan(); }
+
   Bom bill_of_materials() const;
 
  private:
   std::size_t r_;
   std::size_t s_;
   std::size_t n_;
+  plan::PlanExecutor exec_;
 };
 
 }  // namespace pcs::sw

@@ -4,6 +4,7 @@
 
 #include "gates/evaluator.hpp"
 #include "hyper/hyper_circuit.hpp"
+#include "plan/compile.hpp"
 #include "util/assert.hpp"
 #include "util/mathutil.hpp"
 
@@ -36,16 +37,51 @@ void instantiate_stage(gates::Circuit& circuit, const gates::Circuit& chip_templ
   }
 }
 
-/// Apply an inter-stage wiring permutation to the wires (pure renaming).
-void apply_wiring(const Permutation& perm, std::vector<Wire>& wires) {
-  std::vector<Wire> next(wires.size(), Wire{0, 0});
-  for (std::size_t x = 0; x < wires.size(); ++x) {
-    next[perm.dest(x)] = wires[x];
-  }
-  wires = std::move(next);
-}
-
 }  // namespace
+
+void GateLevelSwitchBase::build_from_plan(const plan::SwitchPlan& plan) {
+  plan.validate();
+  const std::size_t n = plan.n;
+  PCS_REQUIRE(n == n_, "build_from_plan width");
+  for (const plan::PlanStage& st : plan.stages) {
+    PCS_REQUIRE(!st.any_dead(),
+                "build_from_plan: " << plan.name << " has dead chips; the "
+                "gate-level builder realizes fault-free plans only");
+  }
+
+  for (std::size_t i = 0; i < n; ++i) valid_inputs_.push_back(circuit_.add_input());
+  for (std::size_t i = 0; i < n; ++i) data_inputs_.push_back(circuit_.add_input());
+
+  std::vector<Wire> wires(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    wires[x] = Wire{valid_inputs_[x], data_inputs_[x]};
+  }
+
+  for (const plan::PlanStage& st : plan.stages) {
+    PCS_REQUIRE(st.wires() == n,
+                "build_from_plan: " << plan.name << " stage feeds "
+                << st.wires() << " wires (plan has n=" << n << "); plans with "
+                "pad-widened stages have no gate-level realization here");
+    // The inbound link: wire w of this stage is upstream wire in_src[w].
+    std::vector<Wire> next(n, Wire{0, 0});
+    for (std::size_t w = 0; w < n; ++w) {
+      const std::int32_t src = st.in_src[w];
+      PCS_REQUIRE(src >= 0, "build_from_plan: " << plan.name
+                  << " link feeds a constant; not realizable as renaming");
+      next[w] = wires[static_cast<std::size_t>(src)];
+    }
+    wires = std::move(next);
+    hyper::HyperCircuit chip(st.width);
+    instantiate_stage(circuit_, chip.circuit(), st.chips, st.width, wires);
+  }
+
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    circuit_.mark_output(wires[plan.readout[pos]].data);
+  }
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    circuit_.mark_output(wires[plan.readout[pos]].valid);
+  }
+}
 
 GateLevelResult GateLevelSwitchBase::evaluate(const BitVec& valid,
                                               const BitVec& data) const {
@@ -94,55 +130,13 @@ GateLevelRevsortSwitch::GateLevelRevsortSwitch(std::size_t n)
     : GateLevelSwitchBase(n) {
   side_ = isqrt(n);
   PCS_REQUIRE(side_ * side_ == n && is_pow2(side_), "GateLevelRevsortSwitch shape");
-  const std::size_t v = side_;
-
-  for (std::size_t i = 0; i < n; ++i) valid_inputs_.push_back(circuit_.add_input());
-  for (std::size_t i = 0; i < n; ++i) data_inputs_.push_back(circuit_.add_input());
-
-  std::vector<Wire> wires(n);
-  for (std::size_t x = 0; x < n; ++x) wires[x] = Wire{valid_inputs_[x], data_inputs_[x]};
-
-  hyper::HyperCircuit chip(v);
-
-  instantiate_stage(circuit_, chip.circuit(), v, v, wires);  // stage 1
-  apply_wiring(transpose_wiring(v), wires);
-  instantiate_stage(circuit_, chip.circuit(), v, v, wires);  // stage 2
-  apply_wiring(rev_rotate_transpose_wiring(v), wires);       // shifters + transpose
-  instantiate_stage(circuit_, chip.circuit(), v, v, wires);  // stage 3
-
-  // Outputs in row-major order: position i*v + j is stage-3 chip j, pin i.
-  for (std::size_t i = 0; i < v; ++i) {
-    for (std::size_t j = 0; j < v; ++j) circuit_.mark_output(wires[j * v + i].data);
-  }
-  for (std::size_t i = 0; i < v; ++i) {
-    for (std::size_t j = 0; j < v; ++j) circuit_.mark_output(wires[j * v + i].valid);
-  }
+  build_from_plan(plan::compile_revsort_plan(n, n));
 }
 
 GateLevelColumnsortSwitch::GateLevelColumnsortSwitch(std::size_t r, std::size_t s)
     : GateLevelSwitchBase(r * s), r_(r), s_(s) {
   PCS_REQUIRE(s > 0 && r % s == 0, "GateLevelColumnsortSwitch shape");
-  const std::size_t n = r * s;
-
-  for (std::size_t i = 0; i < n; ++i) valid_inputs_.push_back(circuit_.add_input());
-  for (std::size_t i = 0; i < n; ++i) data_inputs_.push_back(circuit_.add_input());
-
-  std::vector<Wire> wires(n);
-  for (std::size_t x = 0; x < n; ++x) wires[x] = Wire{valid_inputs_[x], data_inputs_[x]};
-
-  hyper::HyperCircuit chip(r);
-
-  instantiate_stage(circuit_, chip.circuit(), s, r, wires);  // stage 1
-  apply_wiring(cm_to_rm_wiring(r, s), wires);
-  instantiate_stage(circuit_, chip.circuit(), s, r, wires);  // stage 2
-
-  // Outputs in row-major order: position i*s + j is stage-2 chip j, pin i.
-  for (std::size_t i = 0; i < r; ++i) {
-    for (std::size_t j = 0; j < s; ++j) circuit_.mark_output(wires[j * r + i].data);
-  }
-  for (std::size_t i = 0; i < r; ++i) {
-    for (std::size_t j = 0; j < s; ++j) circuit_.mark_output(wires[j * r + i].valid);
-  }
+  build_from_plan(plan::compile_columnsort_plan(r, s, r * s));
 }
 
 }  // namespace pcs::sw

@@ -21,6 +21,7 @@
 
 #include "gates/circuit.hpp"
 #include "gates/evaluator.hpp"
+#include "plan/switch_plan.hpp"
 #include "switch/wiring.hpp"
 #include "util/bitvec.hpp"
 
@@ -60,10 +61,28 @@ class GateLevelSwitchBase {
  protected:
   explicit GateLevelSwitchBase(std::size_t n) : n_(n) {}
 
+  /// Instantiate the plan's stage sequence: one HyperCircuit per chip per
+  /// stage, each inter-stage link as pure node renaming (the in_src
+  /// gather), outputs in readout order.  Requires a fault-free plan whose
+  /// links feed every wire from a real upstream wire (every family except
+  /// full Columnsort's widened pad stage).
+  void build_from_plan(const plan::SwitchPlan& plan);
+
   std::size_t n_;
   gates::Circuit circuit_;
   std::vector<gates::NodeId> valid_inputs_;
   std::vector<gates::NodeId> data_inputs_;
+};
+
+/// Gate-level realization of any compiled plan with purely permutational
+/// links: Revsort, Columnsort, and every multipass shape all build through
+/// this one walk of the plan's stages.
+class GateLevelPlanSwitch : public GateLevelSwitchBase {
+ public:
+  explicit GateLevelPlanSwitch(const plan::SwitchPlan& plan)
+      : GateLevelSwitchBase(plan.n) {
+    build_from_plan(plan);
+  }
 };
 
 /// Gate-level Revsort switch: three stages of side-by-side chips, transpose

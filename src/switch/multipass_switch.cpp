@@ -1,127 +1,18 @@
 #include "switch/multipass_switch.hpp"
 
-#include <algorithm>
-#include <sstream>
-
-#include "sortnet/columnsort.hpp"
-#include "sortnet/lane_batch.hpp"
-#include "switch/label_mesh.hpp"
-#include "util/assert.hpp"
-#include "util/mathutil.hpp"
-#include "util/parallel.hpp"
-
 namespace pcs::sw {
 
 MultipassColumnsortSwitch::MultipassColumnsortSwitch(std::size_t r, std::size_t s,
                                                      std::size_t passes, std::size_t m,
                                                      ReshapeSchedule schedule)
-    : r_(r), s_(s), passes_(passes), n_(r * s), m_(m), schedule_(schedule) {
-  PCS_REQUIRE(r > 0 && s > 0 && r % s == 0,
-              "MultipassColumnsortSwitch requires s to divide r: r=" << r
-              << " s=" << s);
-  PCS_REQUIRE(passes >= 1, "MultipassColumnsortSwitch needs at least one pass, got "
-                               << passes);
-  PCS_REQUIRE(m >= 1 && m <= n_,
-              "MultipassColumnsortSwitch m range: m=" << m << " n=" << n_);
-  cm_to_rm_ = cm_to_rm_wiring(r_, s_);
-  rm_to_cm_ = cm_to_rm_.inverse();
-  readout_ = row_major_readout_wiring(r_, s_);
-}
-
-std::size_t MultipassColumnsortSwitch::epsilon_bound() const {
-  return sortnet::algorithm2_epsilon_bound(s_);
-}
-
-SwitchRouting MultipassColumnsortSwitch::finish_row_major(
-    const std::vector<std::int32_t>& row_major) const {
-  SwitchRouting out;
-  out.output_of_input.assign(n_, -1);
-  out.input_of_output.assign(m_, -1);
-  for (std::size_t pos = 0; pos < m_; ++pos) {
-    std::int32_t src = row_major[pos];
-    if (src >= 0) {
-      out.input_of_output[pos] = src;
-      out.output_of_input[static_cast<std::size_t>(src)] =
-          static_cast<std::int32_t>(pos);
-    }
-  }
-  return out;
-}
-
-namespace {
-void run_passes(LabelMesh& mesh, std::size_t passes, ReshapeSchedule schedule) {
-  for (std::size_t p = 0; p < passes; ++p) {
-    mesh.concentrate_columns();
-    if (schedule == ReshapeSchedule::kAlternating && p % 2 == 1) {
-      mesh.rm_to_cm_reshape();
-    } else {
-      mesh.cm_to_rm_reshape();
-    }
-  }
-  mesh.concentrate_columns();
-}
-}  // namespace
+    : r_(r), s_(s), passes_(passes), n_(r * s), m_(m), schedule_(schedule),
+      exec_(plan::compile_multipass_plan(r, s, passes, m, schedule)) {}
 
 bool MultipassColumnsortSwitch::reads_row_major() const {
   // With the alternating schedule and an even pass count the last reshape
   // was RM -> CM, so the nearly-sorted read-out order is column-major
   // (exactly as in full Columnsort, whose output order is column-major).
   return !(schedule_ == ReshapeSchedule::kAlternating && passes_ % 2 == 0);
-}
-
-SwitchRouting MultipassColumnsortSwitch::route(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_,
-              "MultipassColumnsortSwitch::route width: pattern has " << valid.size()
-                  << " bits, switch has n=" << n_);
-  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
-  run_passes(mesh, passes_, schedule_);
-  return finish_row_major(reads_row_major() ? mesh.to_row_major()
-                                            : mesh.to_col_major());
-}
-
-BitVec MultipassColumnsortSwitch::nearsorted_valid_bits(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_,
-              "MultipassColumnsortSwitch width: pattern has " << valid.size()
-                  << " bits, switch has n=" << n_);
-  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, r_, s_);
-  run_passes(mesh, passes_, schedule_);
-  BitMatrix bits = mesh.valid_bits();
-  return reads_row_major() ? bits.to_row_major() : bits.to_col_major();
-}
-
-std::vector<BitVec> MultipassColumnsortSwitch::nearsorted_batch(
-    const std::vector<BitVec>& valids) const {
-  std::vector<BitVec> out(valids.size());
-  const std::size_t blocks = ceil_div(valids.size(), sortnet::LaneBatch::kLanes);
-  parallel_for(0, blocks, [&](std::size_t b) {
-    const std::size_t first = b * sortnet::LaneBatch::kLanes;
-    const std::size_t count =
-        std::min(sortnet::LaneBatch::kLanes, valids.size() - first);
-    sortnet::LaneBatch lanes(n_);
-    lanes.load(valids, first, count);
-    for (std::size_t p = 0; p < passes_; ++p) {
-      lanes.concentrate_segments(r_);
-      if (schedule_ == ReshapeSchedule::kAlternating && p % 2 == 1) {
-        lanes.permute(rm_to_cm_.dests());
-      } else {
-        lanes.permute(cm_to_rm_.dests());
-      }
-    }
-    lanes.concentrate_segments(r_);
-    // Column-major read-out is the engine's native order; row-major needs
-    // the final wiring.
-    if (reads_row_major()) lanes.permute(readout_.dests());
-    lanes.store(out, first);
-  });
-  return out;
-}
-
-std::string MultipassColumnsortSwitch::name() const {
-  std::ostringstream os;
-  os << "multipass-columnsort(r=" << r_ << ",s=" << s_ << ",d=" << passes_
-     << (schedule_ == ReshapeSchedule::kAlternating ? ",alt" : ",same")
-     << ",m=" << m_ << ")";
-  return os.str();
 }
 
 Bom MultipassColumnsortSwitch::bill_of_materials() const {

@@ -24,18 +24,21 @@
 // Both carry the d = 1 bound (s-1)^2 as the advertised epsilon_bound(); for
 // kAlternating it is proven only at d = 1 and validated adversarially for
 // d >= 2 by the tests.
+//
+// Thin wrapper over plan::compile_multipass_plan; every ConcentratorSwitch
+// virtual delegates to the shared PlanExecutor.
 #pragma once
 
+#include "plan/compile.hpp"
+#include "plan/plan_executor.hpp"
 #include "switch/chip.hpp"
 #include "switch/concentrator.hpp"
-#include "switch/wiring.hpp"
 
 namespace pcs::sw {
 
-enum class ReshapeSchedule : unsigned char {
-  kSame,         ///< every pass converts column-major -> row-major
-  kAlternating,  ///< odd passes CM -> RM, even passes RM -> CM
-};
+/// The pass schedule is part of the plan IR; sw re-exports it so existing
+/// call sites (tests, benches, runtime config) keep compiling unchanged.
+using ReshapeSchedule = plan::ReshapeSchedule;
 
 class MultipassColumnsortSwitch : public ConcentratorSwitch {
  public:
@@ -51,17 +54,23 @@ class MultipassColumnsortSwitch : public ConcentratorSwitch {
   /// (s-1)^2: proven for passes == 1 (Theorem 4), conjectured and
   /// empirically validated for passes >= 2 (see tests and
   /// bench_open_question).
-  std::size_t epsilon_bound() const override;
+  std::size_t epsilon_bound() const override { return exec_.plan().epsilon; }
 
-  SwitchRouting route(const BitVec& valid) const override;
-  BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+  SwitchRouting route(const BitVec& valid) const override {
+    return exec_.route(valid);
+  }
+  BitVec nearsorted_valid_bits(const BitVec& valid) const override {
+    return exec_.nearsorted_valid_bits(valid);
+  }
 
   /// LaneBatch fast path: 64 patterns per word through every pass, against
-  /// the wirings cached at construction.
+  /// the wirings compiled into the plan.
   std::vector<BitVec> nearsorted_batch(
-      const std::vector<BitVec>& valids) const override;
+      const std::vector<BitVec>& valids) const override {
+    return exec_.nearsorted_batch(valids);
+  }
 
-  std::string name() const override;
+  std::string name() const override { return exec_.plan().name; }
 
   std::size_t r() const noexcept { return r_; }
   std::size_t s() const noexcept { return s_; }
@@ -76,22 +85,20 @@ class MultipassColumnsortSwitch : public ConcentratorSwitch {
   /// Columnsort) is column-major.
   bool reads_row_major() const;
 
+  /// The compiled plan this switch executes.
+  const plan::SwitchPlan& plan() const noexcept { return exec_.plan(); }
+
   /// (passes + 1) stages of s chips of width r.
   Bom bill_of_materials() const;
 
  private:
-  SwitchRouting finish_row_major(const std::vector<std::int32_t>& row_major) const;
-
   std::size_t r_;
   std::size_t s_;
   std::size_t passes_;
   std::size_t n_;
   std::size_t m_;
   ReshapeSchedule schedule_;
-  // Cached route plan: the per-pass reshape wirings and the read-out order.
-  Permutation cm_to_rm_;
-  Permutation rm_to_cm_;
-  Permutation readout_;
+  plan::PlanExecutor exec_;
 };
 
 }  // namespace pcs::sw

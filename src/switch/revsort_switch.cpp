@@ -1,46 +1,18 @@
 #include "switch/revsort_switch.hpp"
 
 #include <algorithm>
-#include <bit>
-#include <cstring>
-#include <sstream>
-
-#if defined(__x86_64__) && defined(__GNUC__)
-#define PCS_REVSORT_AVX512 1
-#include <immintrin.h>
-#endif
 
 #include "hyper/hyperconcentrator.hpp"
-#include "sortnet/lane_batch.hpp"
-#include "sortnet/revsort.hpp"
-#include "switch/label_mesh.hpp"
 #include "util/assert.hpp"
 #include "util/mathutil.hpp"
-#include "util/parallel.hpp"
 
 namespace pcs::sw {
 
-RevsortSwitch::RevsortSwitch(std::size_t n, std::size_t m) : n_(n), m_(m) {
-  PCS_REQUIRE(n > 0, "RevsortSwitch n must be positive");
-  side_ = isqrt(n);
-  PCS_REQUIRE(side_ * side_ == n,
-              "RevsortSwitch n must be a perfect square: n=" << n);
-  PCS_REQUIRE(is_pow2(side_),
-              "RevsortSwitch sqrt(n) must be a power of two: n=" << n
-              << " side=" << side_);
-  PCS_REQUIRE(m >= 1 && m <= n, "RevsortSwitch m range: m=" << m << " n=" << n);
+RevsortSwitch::RevsortSwitch(std::size_t n, std::size_t m)
+    : n_(n), m_(m), exec_(plan::compile_revsort_plan(n, m)) {
+  side_ = exec_.plan().fp_side;
   stage1_to_2_ = transpose_wiring(side_);
   stage2_to_3_ = rev_rotate_transpose_wiring(side_);
-  const unsigned q = exact_log2(side_);
-  rev_.resize(side_);
-  for (std::size_t i = 0; i < side_; ++i) {
-    rev_[i] = static_cast<std::uint32_t>(bit_reverse(i, q));
-  }
-}
-
-std::size_t RevsortSwitch::epsilon_bound() const {
-  // Dirty rows after Algorithm 1, times the row width.
-  return sortnet::algorithm1_dirty_row_bound(side_) * side_;
 }
 
 SwitchRouting RevsortSwitch::finish_row_major(
@@ -57,19 +29,6 @@ SwitchRouting RevsortSwitch::finish_row_major(
     }
   }
   return r;
-}
-
-SwitchRouting RevsortSwitch::route(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_, "RevsortSwitch::route width: pattern has "
-                                      << valid.size() << " bits, switch has n=" << n_);
-  // Inputs attach chip-major: input x enters stage-1 chip x / side at pin
-  // x % side, i.e. matrix position (x % side, x / side).
-  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, side_, side_);
-  mesh.concentrate_columns();        // stage 1
-  mesh.concentrate_rows();           // stage 2 (after the transpose wiring)
-  mesh.rotate_rows_bit_reversed();   // on-board barrel shifters
-  mesh.concentrate_columns();        // stage 3 (after the transpose wiring)
-  return finish_row_major(mesh.to_row_major());
 }
 
 SwitchRouting RevsortSwitch::route_via_wiring(const BitVec& valid) const {
@@ -103,323 +62,6 @@ SwitchRouting RevsortSwitch::route_via_wiring(const BitVec& valid) const {
     }
   }
   return finish_row_major(row_major);
-}
-
-namespace {
-
-// Per-thread scratch for the counting kernel, reused across a chunk of
-// patterns so the batch path allocates once per chunk, not per route.
-struct RevsortScratch {
-  std::vector<std::uint32_t> col_count;   // stage-1 fill per column
-  std::vector<std::uint32_t> row_count;   // stage-2 fill per row
-  std::vector<std::uint32_t> row_start;   // CSR offsets of the row buckets
-  std::vector<std::uint32_t> cursor;      // CSR insertion cursors
-  std::vector<std::uint32_t> col3_count;  // stage-3 fill per column
-  std::vector<std::uint32_t> pos_buf;     // staged stage-3 positions of a row
-  std::vector<std::uint32_t> t_of;        // stage-1 row of the idx-th set bit
-  std::vector<std::uint32_t> x_of;        // input label of the idx-th set bit
-  std::vector<std::uint32_t> row_x;       // labels bucketed by stage-2 row
-
-  // cursor carries 16 lanes of slack: the vector kernel loads a full
-  // 16-lane block at cursor[fill] even when fewer lanes are live.
-  RevsortScratch(std::size_t v, std::size_t n)
-      : col_count(v + 1),
-        row_count(v),
-        row_start(v + 2),
-        cursor(v + 16),
-        col3_count(v),
-        pos_buf(v + 16),
-        row_x(n) {}
-
-  // The label staging arrays are only used by the scalar kernel; keeping
-  // them out of the vector path trims its working set.
-  void reserve_staging(std::size_t n) {
-    if (t_of.size() < n) {
-      t_of.resize(n);
-      x_of.resize(n);
-    }
-  }
-};
-
-// Replays route() as pure rank arithmetic on the set bits.  Stage 1 sends
-// the t-th valid of column c to row t; the transpose hands row t its labels
-// in ascending column order, so a stable counting sort by t reproduces the
-// stage-2 pin order; the barrel shifter adds rev(t) to the stage-2 rank; and
-// stage 3 ranks each destination column by ascending row, which is exactly
-// the t-ascending CSR walk.  O(n/64 + k) per pattern.
-SwitchRouting revsort_route_kernel(const BitVec& valid, std::size_t m,
-                                   std::size_t v, unsigned q,
-                                   const std::vector<std::uint32_t>& rev,
-                                   RevsortScratch& s) {
-  const std::size_t n = valid.size();
-  s.reserve_staging(n);
-  std::fill(s.col_count.begin(), s.col_count.end(), 0u);
-  std::fill(s.row_count.begin(), s.row_count.end(), 0u);
-  std::fill(s.col3_count.begin(), s.col3_count.end(), 0u);
-
-  // Stage 1: rank each set bit within its column (= its stage-1 output row).
-  std::size_t k = 0;
-  const auto& words = valid.words();
-  for (std::size_t wi = 0; wi < words.size(); ++wi) {
-    std::uint64_t w = words[wi];
-    while (w != 0) {
-      const std::uint32_t x = static_cast<std::uint32_t>(
-          wi * 64 + static_cast<std::size_t>(std::countr_zero(w)));
-      w &= w - 1;
-      const std::uint32_t t = s.col_count[x >> q]++;
-      s.t_of[k] = t;
-      s.x_of[k] = x;
-      ++s.row_count[t];
-      ++k;
-    }
-  }
-
-  // Stable counting sort by row: within a row, labels keep ascending-column
-  // order (ascending x), matching the stage-2 chip's pin order.
-  s.row_start[0] = 0;
-  for (std::size_t t = 0; t < v; ++t) {
-    s.row_start[t + 1] = s.row_start[t] + s.row_count[t];
-    s.cursor[t] = s.row_start[t];
-  }
-  for (std::size_t idx = 0; idx < k; ++idx) {
-    s.row_x[s.cursor[s.t_of[idx]]++] = s.x_of[idx];
-  }
-
-  // Stages 2 + 3: stage-2 rank j2 is the bucket offset; the shifter moves it
-  // to column (rev(t) + j2) mod v; stage 3 ranks that column by ascending t.
-  SwitchRouting out;
-  out.output_of_input.assign(n, -1);
-  out.input_of_output.assign(m, -1);
-  for (std::size_t t = 0; t < v; ++t) {
-    for (std::uint32_t idx = s.row_start[t]; idx < s.row_start[t + 1]; ++idx) {
-      const std::uint32_t j2 = idx - s.row_start[t];
-      const std::uint32_t j3 = (rev[t] + j2) & static_cast<std::uint32_t>(v - 1);
-      const std::size_t pos = static_cast<std::size_t>(s.col3_count[j3]++) * v + j3;
-      if (pos < m) {
-        const std::uint32_t x = s.row_x[idx];
-        out.input_of_output[pos] = static_cast<std::int32_t>(x);
-        out.output_of_input[x] = static_cast<std::int32_t>(pos);
-      }
-    }
-  }
-  return out;
-}
-
-#ifdef PCS_REVSORT_AVX512
-
-bool cpu_has_avx512f() {
-  static const bool ok = __builtin_cpu_supports("avx512f");
-  return ok;
-}
-
-// AVX-512 lane-parallel variant of the counting kernel, used when each
-// matrix column is a whole number of 64-bit words (v >= 64).  Three ideas:
-//  - within a column the t-th set bit goes to row t, so the CSR cursors a
-//    column consumes form one contiguous block: compress the set-bit labels
-//    straight out of the mask word and scatter them in 16-lane groups;
-//  - rows are walked in two wrap-free segments, so the stage-3 column fills
-//    sit at consecutive addresses and need plain loads/stores, not gathers;
-//  - only the two routing-table writes are true scatters, and both are
-//    conflict-free within a row (distinct outputs, distinct inputs).
-__attribute__((target("avx512f")))
-SwitchRouting revsort_route_kernel_avx512(const BitVec& valid, std::size_t m,
-                                          std::size_t v, unsigned q,
-                                          const std::vector<std::uint32_t>& rev,
-                                          RevsortScratch& s) {
-  const std::size_t n = valid.size();
-  const auto& words = valid.words();
-  const std::size_t wpc = v / 64;  // words per column; exact since v >= 64
-  // Column populations feed a histogram; row t of the sorted matrix has one
-  // slot per column with more than t valids, so suffix sums of the histogram
-  // give the row lengths and a prefix scan the CSR offsets.
-  std::uint32_t* histo = s.col_count.data();
-  std::memset(histo, 0, (v + 1) * sizeof(std::uint32_t));
-  std::size_t maxc = 0;
-  for (std::size_t c = 0; c < v; ++c) {
-    std::uint32_t cnt = 0;
-    for (std::size_t j = 0; j < wpc; ++j) {
-      cnt += static_cast<std::uint32_t>(std::popcount(words[c * wpc + j]));
-    }
-    ++histo[cnt];
-    if (cnt > maxc) maxc = cnt;
-  }
-  {
-    std::uint32_t acc = 0;
-    for (std::size_t t = maxc; t-- > 0;) {
-      acc += histo[t + 1];
-      s.row_start[t] = acc;  // row length, rewritten to the offset below
-    }
-    std::uint32_t start = 0;
-    for (std::size_t t = 0; t < maxc; ++t) {
-      const std::uint32_t len = s.row_start[t];
-      s.row_start[t] = start;
-      s.cursor[t] = start;
-      start += len;
-    }
-    s.row_start[maxc] = start;
-  }
-  const __m512i iota =
-      _mm512_set_epi32(15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0);
-  const __m512i one = _mm512_set1_epi32(1);
-  // Counting sort without the label staging pass: compress each column's
-  // set-bit labels out of the valid words and scatter them to cursor[t]
-  // (t = in-column rank, so the cursor block is a contiguous load).
-  std::uint32_t* row_x = s.row_x.data();
-  std::uint32_t* cursor = s.cursor.data();
-  for (std::size_t c = 0; c < v; ++c) {
-    std::uint32_t fill = 0;
-    const std::uint32_t base = static_cast<std::uint32_t>(c * v);
-    for (std::size_t j = 0; j < wpc; ++j) {
-      const std::uint64_t w = words[c * wpc + j];
-      if (w == 0) continue;
-      const std::uint32_t wb = base + static_cast<std::uint32_t>(j * 64);
-      for (unsigned h = 0; h < 4; ++h) {
-        const __mmask16 mk = static_cast<__mmask16>((w >> (16 * h)) & 0xFFFF);
-        if (!mk) continue;
-        const unsigned pc = static_cast<unsigned>(std::popcount(
-            static_cast<std::uint32_t>(mk)));
-        const __m512i xv = _mm512_maskz_compress_epi32(
-            mk, _mm512_add_epi32(
-                    _mm512_set1_epi32(static_cast<int>(wb + 16 * h)), iota));
-        const __m512i idx = _mm512_loadu_si512(cursor + fill);
-        const __mmask16 lanes = static_cast<__mmask16>((1u << pc) - 1);
-        _mm512_mask_i32scatter_epi32(row_x, lanes, idx, xv, 4);
-        fill += pc;
-      }
-    }
-    // Advance the one cursor slot per row this column consumed.
-    for (std::uint32_t t = 0; t < fill; t += 16) {
-      const __mmask16 mt =
-          static_cast<__mmask16>((1u << std::min(16u, fill - t)) - 1);
-      _mm512_mask_storeu_epi32(
-          cursor + t, mt,
-          _mm512_add_epi32(_mm512_maskz_loadu_epi32(mt, cursor + t), one));
-    }
-  }
-  // Stages 2+3: the shifter maps stage-2 rank j2 to column (rev(t)+j2) mod v.
-  // Splitting each row at the wrap point keeps j3 consecutive, so the stage-3
-  // fills are contiguous loads/stores and only the routing tables scatter.
-  // Each row runs as two passes: first compute every position into pos_buf
-  // (scratch-only traffic), then scatter from sequential reads.  Interleaving
-  // the col3 loads with the table scatters instead makes the kernel hostage
-  // to 4K store-to-load aliasing against the caller-controlled output
-  // addresses, which more than doubled its time for unlucky heap layouts.
-  SwitchRouting out;
-  out.output_of_input.assign(n, -1);
-  out.input_of_output.assign(m, -1);
-  std::uint32_t* col3 = s.col3_count.data();
-  std::uint32_t* pos_buf = s.pos_buf.data();
-  std::memset(col3, 0, v * sizeof(std::uint32_t));
-  std::int32_t* in_out = out.input_of_output.data();
-  std::int32_t* out_in = out.output_of_input.data();
-  const __m512i vm = _mm512_set1_epi32(static_cast<int>(m));
-  for (std::size_t t = 0; t < maxc; ++t) {
-    const std::uint32_t rt = rev[t];
-    const std::uint32_t len = s.row_start[t + 1] - s.row_start[t];
-    const std::uint32_t* row = row_x + s.row_start[t];
-    const std::uint32_t seg0 = std::min(len, static_cast<std::uint32_t>(v) - rt);
-    for (unsigned seg = 0; seg < 2; ++seg) {
-      const std::uint32_t j2lo = seg == 0 ? 0 : seg0;
-      const std::uint32_t j2hi = seg == 0 ? seg0 : len;
-      const std::uint32_t j3base = seg == 0 ? rt : 0;
-      for (std::uint32_t j2 = j2lo; j2 < j2hi; j2 += 16) {
-        const std::uint32_t live = std::min(16u, j2hi - j2);
-        const __mmask16 mt = static_cast<__mmask16>((1u << live) - 1);
-        const std::uint32_t j3c = j3base + (j2 - j2lo);
-        const __m512i fillv = _mm512_maskz_loadu_epi32(mt, col3 + j3c);
-        const __m512i j3v =
-            _mm512_add_epi32(_mm512_set1_epi32(static_cast<int>(j3c)), iota);
-        const __m512i posv = _mm512_add_epi32(
-            _mm512_slli_epi32(fillv, static_cast<int>(q)), j3v);
-        _mm512_mask_storeu_epi32(pos_buf + j2, mt, posv);
-        _mm512_mask_storeu_epi32(col3 + j3c, mt, _mm512_add_epi32(fillv, one));
-      }
-    }
-    for (std::uint32_t j2 = 0; j2 < len; j2 += 16) {
-      const std::uint32_t live = std::min(16u, len - j2);
-      const __mmask16 mt = static_cast<__mmask16>((1u << live) - 1);
-      const __m512i xv = _mm512_maskz_loadu_epi32(mt, row + j2);
-      const __m512i posv = _mm512_maskz_loadu_epi32(mt, pos_buf + j2);
-      const __mmask16 ok = _mm512_mask_cmplt_epu32_mask(mt, posv, vm);
-      _mm512_mask_i32scatter_epi32(in_out, ok, posv, xv, 4);
-      _mm512_mask_i32scatter_epi32(out_in, ok, xv, posv, 4);
-    }
-  }
-  return out;
-}
-
-#else
-
-bool cpu_has_avx512f() { return false; }
-
-#endif  // PCS_REVSORT_AVX512
-
-}  // namespace
-
-std::vector<SwitchRouting> RevsortSwitch::route_batch(
-    const std::vector<BitVec>& valids) const {
-  const unsigned q = exact_log2(side_);
-  // The vector kernel needs whole valid-words per matrix column.
-  const bool vectorize = cpu_has_avx512f() && side_ >= 64;
-  std::vector<SwitchRouting> out(valids.size());
-  parallel_for_chunks(0, valids.size(), [&](std::size_t lo, std::size_t hi) {
-    RevsortScratch scratch(side_, n_);
-    for (std::size_t i = lo; i < hi; ++i) {
-      PCS_REQUIRE(valids[i].size() == n_,
-                  "RevsortSwitch::route_batch width: pattern " << i << " of "
-                  << valids.size() << " has " << valids[i].size()
-                  << " bits, switch has n=" << n_);
-#ifdef PCS_REVSORT_AVX512
-      if (vectorize) {
-        out[i] = revsort_route_kernel_avx512(valids[i], m_, side_, q, rev_, scratch);
-        continue;
-      }
-#else
-      (void)vectorize;
-#endif
-      out[i] = revsort_route_kernel(valids[i], m_, side_, q, rev_, scratch);
-    }
-  });
-  return out;
-}
-
-std::vector<BitVec> RevsortSwitch::nearsorted_batch(
-    const std::vector<BitVec>& valids) const {
-  std::vector<BitVec> out(valids.size());
-  const std::size_t blocks = ceil_div(valids.size(), sortnet::LaneBatch::kLanes);
-  parallel_for(0, blocks, [&](std::size_t b) {
-    const std::size_t first = b * sortnet::LaneBatch::kLanes;
-    const std::size_t count =
-        std::min(sortnet::LaneBatch::kLanes, valids.size() - first);
-    sortnet::LaneBatch lanes(n_);
-    lanes.load(valids, first, count);
-    lanes.concentrate_segments(side_);        // stage 1
-    lanes.permute(stage1_to_2_.dests());      // transpose wiring
-    lanes.concentrate_segments(side_);        // stage 2
-    lanes.permute(stage2_to_3_.dests());      // shifters + transpose
-    lanes.concentrate_segments(side_);        // stage 3
-    lanes.permute(stage1_to_2_.dests());      // row-major read-out
-    lanes.store(out, first);
-  });
-  return out;
-}
-
-BitVec RevsortSwitch::nearsorted_valid_bits(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == n_,
-              "RevsortSwitch::nearsorted_valid_bits width: pattern has "
-                  << valid.size() << " bits, switch has n=" << n_);
-  LabelMesh mesh = LabelMesh::from_col_major_valid(valid, side_, side_);
-  mesh.concentrate_columns();
-  mesh.concentrate_rows();
-  mesh.rotate_rows_bit_reversed();
-  mesh.concentrate_columns();
-  return mesh.valid_bits().to_row_major();
-}
-
-std::string RevsortSwitch::name() const {
-  std::ostringstream os;
-  os << "revsort(" << n_ << "," << m_ << ")";
-  return os.str();
 }
 
 Bom RevsortSwitch::bill_of_materials() const {

@@ -16,12 +16,17 @@
 //   epsilon = (2*ceil(n^{1/4}) - 1) * sqrt(n),
 // and Lemma 2 turns that into the load ratio 1 - epsilon/m.
 //
-// route() simulates the switch on a labeled mesh (fast path);
-// route_via_wiring() simulates the hardware literally -- per-chip stable
-// concentrations joined by the explicit wiring permutations -- and is proven
-// equal to route() by the tests.
+// The class is a thin wrapper over the staged-plan IR: the constructor
+// compiles plan::compile_revsort_plan(n, m) and every ConcentratorSwitch
+// virtual delegates to the shared PlanExecutor (which carries the counting
+// kernel and LaneBatch fast paths).  route_via_wiring() remains an
+// *independent* hardware-literal simulation -- per-chip stable
+// concentrations joined by the explicit wiring permutations -- proven equal
+// to the executor by the tests.
 #pragma once
 
+#include "plan/compile.hpp"
+#include "plan/plan_executor.hpp"
 #include "switch/chip.hpp"
 #include "switch/concentrator.hpp"
 #include "switch/wiring.hpp"
@@ -36,26 +41,39 @@ class RevsortSwitch : public ConcentratorSwitch {
 
   std::size_t inputs() const override { return n_; }
   std::size_t outputs() const override { return m_; }
-  std::size_t epsilon_bound() const override;
-  SwitchRouting route(const BitVec& valid) const override;
-  BitVec nearsorted_valid_bits(const BitVec& valid) const override;
+  std::size_t epsilon_bound() const override { return exec_.plan().epsilon; }
+  SwitchRouting route(const BitVec& valid) const override {
+    return exec_.route(valid);
+  }
+  BitVec nearsorted_valid_bits(const BitVec& valid) const override {
+    return exec_.nearsorted_valid_bits(valid);
+  }
 
-  /// Word-parallel batch fast paths.  route_batch replays the three stable
-  /// concentrations as a counting kernel over the set bits (O(n/64 + k) per
-  /// pattern against the cached route plan); nearsorted_batch pushes 64
-  /// patterns per word through the mesh with LaneBatch.  Both are
-  /// bit-identical to the per-pattern methods (fuzz-tested).
+  /// Word-parallel batch fast paths, provided by the plan executor:
+  /// route_batch replays the three stable concentrations as a counting
+  /// kernel over the set bits (O(n/64 + k) per pattern, AVX-512 variant on
+  /// capable CPUs); nearsorted_batch pushes 64 patterns per word through
+  /// the staged pipeline with LaneBatch.  Both are bit-identical to the
+  /// per-pattern methods (fuzz-tested).
   std::vector<SwitchRouting> route_batch(
-      const std::vector<BitVec>& valids) const override;
+      const std::vector<BitVec>& valids) const override {
+    return exec_.route_batch(valids);
+  }
   std::vector<BitVec> nearsorted_batch(
-      const std::vector<BitVec>& valids) const override;
+      const std::vector<BitVec>& valids) const override {
+    return exec_.nearsorted_batch(valids);
+  }
 
-  std::string name() const override;
+  std::string name() const override { return exec_.plan().name; }
 
   std::size_t side() const noexcept { return side_; }
 
+  /// The compiled plan this switch executes.
+  const plan::SwitchPlan& plan() const noexcept { return exec_.plan(); }
+
   /// Hardware-faithful simulation: per-chip concentrations joined by the
-  /// explicit inter-stage wiring permutations of wiring.hpp.
+  /// explicit inter-stage wiring permutations of wiring.hpp.  Independent
+  /// of the plan executor; the tests prove the two agree.
   SwitchRouting route_via_wiring(const BitVec& valid) const;
 
   /// Number of hyperconcentrator chips a message passes through (3).
@@ -69,13 +87,12 @@ class RevsortSwitch : public ConcentratorSwitch {
 
   std::size_t n_;
   std::size_t m_;
+  plan::PlanExecutor exec_;
   std::size_t side_;
-  // Cached route plan: the inter-stage wirings and rev() table are fixed by
-  // the topology, so they are derived once here instead of per route.  The
-  // stage 1 -> 2 transpose doubles as the row-major output read-out.
+  // Wirings for the independent route_via_wiring simulation.  The stage
+  // 1 -> 2 transpose doubles as the row-major output read-out.
   Permutation stage1_to_2_;
   Permutation stage2_to_3_;
-  std::vector<std::uint32_t> rev_;
 };
 
 }  // namespace pcs::sw

@@ -108,4 +108,15 @@ Permutation row_major_readout_wiring(std::size_t r, std::size_t s) {
   return Permutation(std::move(dest));
 }
 
+Permutation reverse_odd_rows_wiring(std::size_t side) {
+  std::vector<std::uint32_t> dest(side * side);
+  for (std::size_t chip = 0; chip < side; ++chip) {
+    for (std::size_t pin = 0; pin < side; ++pin) {
+      const std::size_t out_pin = chip % 2 == 1 ? side - 1 - pin : pin;
+      dest[wire_index(chip, pin, side)] = wire_index(chip, out_pin, side);
+    }
+  }
+  return Permutation(std::move(dest));
+}
+
 }  // namespace pcs::sw

@@ -75,4 +75,11 @@ Permutation cm_to_rm_wiring(std::size_t r, std::size_t s);
 /// r == s this is transpose_wiring(r).
 Permutation row_major_readout_wiring(std::size_t r, std::size_t s);
 
+/// Pin reversal on every odd chip: chip c pin p goes to chip c, pin
+/// side-1-p when c is odd, and stays put when c is even.  Self-inverse.
+/// Sandwiching a normal front-concentrate between this wiring and its
+/// inverse realizes a Shearsort alternating row phase (odd rows
+/// concentrate right, preserving left-to-right order) with plain chips.
+Permutation reverse_odd_rows_wiring(std::size_t side);
+
 }  // namespace pcs::sw

@@ -1,0 +1,160 @@
+// Legacy reference semantics for every multichip switch family, written
+// directly against the LabelMesh mesh operations -- the exact per-family
+// route() recipes the dedicated switch classes implemented before they
+// became thin compilers onto the staged-plan IR (src/plan/).
+//
+// The plan refactor's hard constraint is bit-for-bit identity with these
+// recipes, so they live here as an independent oracle: the golden-digest
+// and differential test suites (tests/test_plan_*.cpp) and the fuzzer's
+// plan-vs-legacy family (fuzz/fuzz_differential.cpp) all compare
+// PlanExecutor output against this header.  Keep it boring and obviously
+// correct; it must never route through the plan code it checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/switch_plan.hpp"  // plan::ChipFault (just {stage, chip})
+#include "sortnet/revsort.hpp"
+#include "switch/concentrator.hpp"
+#include "switch/label_mesh.hpp"
+#include "util/bitvec.hpp"
+#include "util/mathutil.hpp"
+
+namespace pcs::legacy {
+
+/// A reference routing plus the nearsorted occupancy it implies.
+struct Reference {
+  sw::SwitchRouting routing;
+  BitVec nearsorted;
+};
+
+/// Assemble a SwitchRouting from the final label sequence: position pos of
+/// the readout carries input seq[pos] (>= 0) or nothing.  Positions >= m
+/// fall off the switch (partial concentration drops them).
+inline Reference from_sequence(const std::vector<std::int32_t>& seq,
+                               std::size_t n, std::size_t m) {
+  Reference ref;
+  ref.routing.output_of_input.assign(n, -1);
+  ref.routing.input_of_output.assign(m, -1);
+  ref.nearsorted = BitVec(seq.size());
+  for (std::size_t pos = 0; pos < seq.size(); ++pos) {
+    if (seq[pos] < 0) continue;
+    ref.nearsorted.set(pos, true);
+    if (pos < m) {
+      ref.routing.input_of_output[pos] = seq[pos];
+      ref.routing.output_of_input[static_cast<std::size_t>(seq[pos])] =
+          static_cast<std::int32_t>(pos);
+    }
+  }
+  return ref;
+}
+
+/// Silence the dead chips of one stage.  Chips are columns on every
+/// concentrate_columns stage; the Revsort row stage's chips are rows.
+inline void kill_column(sw::LabelMesh& mesh, std::size_t col) {
+  for (std::size_t i = 0; i < mesh.rows(); ++i) mesh.set(i, col, sw::kIdle);
+}
+inline void kill_row(sw::LabelMesh& mesh, std::size_t row) {
+  for (std::size_t j = 0; j < mesh.cols(); ++j) mesh.set(row, j, sw::kIdle);
+}
+
+/// Revsort partial concentrator (optionally with dead chips): concentrate
+/// columns, concentrate rows, rotate row i right by rev(i), concentrate
+/// columns, read row-major.  Stage s faults kill chip `chip` right after
+/// stage s's concentration (stage 1 chips are rows).
+inline Reference revsort(const BitVec& valid, std::size_t m,
+                         const std::vector<plan::ChipFault>& faults = {}) {
+  const std::size_t side = isqrt(valid.size());
+  sw::LabelMesh mesh = sw::LabelMesh::from_col_major_valid(valid, side, side);
+  mesh.concentrate_columns();
+  for (const auto& f : faults)
+    if (f.stage == 0) kill_column(mesh, f.chip);
+  mesh.concentrate_rows();
+  for (const auto& f : faults)
+    if (f.stage == 1) kill_row(mesh, f.chip);
+  mesh.rotate_rows_bit_reversed();
+  mesh.concentrate_columns();
+  for (const auto& f : faults)
+    if (f.stage == 2) kill_column(mesh, f.chip);
+  return from_sequence(mesh.to_row_major(), valid.size(), m);
+}
+
+/// Columnsort partial concentrator: concentrate columns, reshape
+/// column-major -> row-major, concentrate columns, read row-major.  Stage s
+/// faults kill column `chip` right after stage s's concentration.
+inline Reference columnsort(const BitVec& valid, std::size_t r, std::size_t s,
+                            std::size_t m,
+                            const std::vector<plan::ChipFault>& faults = {}) {
+  sw::LabelMesh mesh = sw::LabelMesh::from_col_major_valid(valid, r, s);
+  mesh.concentrate_columns();
+  for (const auto& f : faults)
+    if (f.stage == 0) kill_column(mesh, f.chip);
+  mesh.cm_to_rm_reshape();
+  mesh.concentrate_columns();
+  for (const auto& f : faults)
+    if (f.stage == 1) kill_column(mesh, f.chip);
+  return from_sequence(mesh.to_row_major(), valid.size(), m);
+}
+
+/// Multipass Columnsort: `passes` rounds of concentrate + reshape (the
+/// alternating schedule inverts every second reshape), one final
+/// concentration, read row-major -- except an even-pass alternating switch
+/// ends column-major.
+inline Reference multipass(const BitVec& valid, std::size_t r, std::size_t s,
+                           std::size_t passes, std::size_t m,
+                           plan::ReshapeSchedule schedule) {
+  sw::LabelMesh mesh = sw::LabelMesh::from_col_major_valid(valid, r, s);
+  for (std::size_t p = 0; p < passes; ++p) {
+    mesh.concentrate_columns();
+    if (schedule == plan::ReshapeSchedule::kAlternating && p % 2 == 1) {
+      mesh.rm_to_cm_reshape();
+    } else {
+      mesh.cm_to_rm_reshape();
+    }
+  }
+  mesh.concentrate_columns();
+  const bool row_major =
+      !(schedule == plan::ReshapeSchedule::kAlternating && passes % 2 == 0);
+  return from_sequence(row_major ? mesh.to_row_major() : mesh.to_col_major(),
+                       valid.size(), m);
+}
+
+/// Full-sorting Revsort hyperconcentrator (m = n): repetitions of
+/// (concentrate columns, concentrate rows, bit-reversed rotation) followed
+/// by the three-phase shearsort cleanup.
+inline Reference full_revsort(const BitVec& valid) {
+  const std::size_t n = valid.size();
+  const std::size_t side = isqrt(n);
+  sw::LabelMesh mesh = sw::LabelMesh::from_col_major_valid(valid, side, side);
+  const std::size_t reps =
+      side >= 2 ? sortnet::full_revsort_repetitions(side) : 0;
+  for (std::size_t t = 0; t < reps; ++t) {
+    mesh.concentrate_columns();
+    mesh.concentrate_rows();
+    mesh.rotate_rows_bit_reversed();
+  }
+  mesh.concentrate_columns();
+  for (int phase = 0; phase < 3; ++phase) {
+    mesh.concentrate_rows_alternating();
+    mesh.concentrate_columns();
+  }
+  mesh.concentrate_rows();
+  return from_sequence(mesh.to_row_major(), n, n);
+}
+
+/// Full-sorting Columnsort hyperconcentrator (m = n): the full eight-step
+/// Columnsort on labels, read column-major.
+inline Reference full_columnsort(const BitVec& valid, std::size_t r,
+                                 std::size_t s) {
+  sw::LabelMesh mesh = sw::LabelMesh::from_col_major_valid(valid, r, s);
+  mesh.concentrate_columns();
+  mesh.cm_to_rm_reshape();
+  mesh.concentrate_columns();
+  mesh.rm_to_cm_reshape();
+  mesh.concentrate_columns();
+  mesh.shift_concentrate_unshift();
+  return from_sequence(mesh.to_col_major(), valid.size(), valid.size());
+}
+
+}  // namespace pcs::legacy

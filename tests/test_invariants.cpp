@@ -11,7 +11,8 @@
 #include <vector>
 
 #include "switch/columnsort_switch.hpp"
-#include "switch/faults.hpp"
+#include "plan/compile.hpp"
+#include "plan/plan_switch.hpp"
 #include "switch/full_sort_hyper.hpp"
 #include "switch/hyper_switch.hpp"
 #include "switch/multipass_switch.hpp"
@@ -150,12 +151,47 @@ TEST(Invariants, EpsilonBoundCatchesExcessEpsilon) {
 TEST(Invariants, EpsilonBoundSkipsUnboundedSwitches) {
   // Faulty switches advertise epsilon_bound() == n: any arrangement with the
   // right count passes (there is no guarantee to violate).
-  const sw::FaultyRevsortSwitch sw(64, 64, {sw::ChipFault{1, 2}});
+  plan::SwitchPlan p = plan::compile_revsort_plan(64, 64);
+  plan::apply_chip_faults(p, {plan::ChipFault{1, 2}});
+  const plan::PlanSwitch sw(std::move(p));
   BitVec arrangement(64);
   for (std::size_t i = 40; i < 50; ++i) arrangement.set(i, true);
   BitVec valid = BitVec::prefix_ones(64, 10);
   InvariantReport report;
   EXPECT_TRUE(check_epsilon_bound(sw, valid, arrangement, report));
+}
+
+TEST(Invariants, EpsilonBoundToleratesFaultLossButNoMore) {
+  // Messages swallowed by dead chips never reach the arrangement; the
+  // conservation clause must allow up to max_fault_loss() missing ones
+  // (this is the runtime's per-epoch check on a `faults=` config) while
+  // still rejecting losses the faults cannot explain.
+  plan::SwitchPlan p = plan::compile_revsort_plan(64, 64);
+  plan::apply_chip_faults(p, {plan::ChipFault{0, 3}});
+  const plan::PlanSwitch sw(std::move(p));
+  const BitVec valid = BitVec::prefix_ones(64, 20);
+  {
+    InvariantReport report;
+    EXPECT_TRUE(check_epsilon_bound(
+        sw, valid, sw.nearsorted_valid_bits(valid), report));
+    EXPECT_TRUE(report.ok());
+  }
+  {
+    // Losing more than max_fault_loss() is still a violation.
+    InvariantReport report;
+    const BitVec starved =
+        BitVec::prefix_ones(64, 20 - sw.max_fault_loss() - 1);
+    EXPECT_FALSE(check_epsilon_bound(sw, valid, starved, report));
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.violations[0].detail.find("max_fault_loss"),
+              std::string::npos);
+  }
+  {
+    // Creating messages is never allowed, faults or not.
+    InvariantReport report;
+    EXPECT_FALSE(
+        check_epsilon_bound(sw, valid, BitVec::prefix_ones(64, 21), report));
+  }
 }
 
 TEST(Invariants, BatchIdentityPassesAcrossLaneBoundaries) {
@@ -174,8 +210,9 @@ TEST(Invariants, BatchIdentityPassesAcrossLaneBoundaries) {
 
 TEST(Invariants, FaultLossPassesRealFaultySwitch) {
   const std::size_t n = 64;
-  const sw::FaultyRevsortSwitch faulty(n, 48, {sw::ChipFault{0, 1},
-                                               sw::ChipFault{2, 3}});
+  plan::SwitchPlan p = plan::compile_revsort_plan(n, 48);
+  plan::apply_chip_faults(p, {plan::ChipFault{0, 1}, plan::ChipFault{2, 3}});
+  const plan::PlanSwitch faulty(std::move(p));
   const sw::RevsortSwitch healthy(n, 48);
   Rng rng(1002);
   InvariantReport report;
@@ -190,7 +227,9 @@ TEST(Invariants, FaultLossPassesRealFaultySwitch) {
 }
 
 TEST(Invariants, FaultLossCatchesExcessLoss) {
-  const sw::FaultyRevsortSwitch faulty(64, 64, {sw::ChipFault{1, 2}});
+  plan::SwitchPlan p = plan::compile_revsort_plan(64, 64);
+  plan::apply_chip_faults(p, {plan::ChipFault{1, 2}});
+  const plan::PlanSwitch faulty(std::move(p));
   const BitVec valid = BitVec::prefix_ones(64, 64);
   const sw::SwitchRouting routing = faulty.route(valid);
   InvariantReport report;

@@ -12,7 +12,8 @@
 #include "message/clocked_sim.hpp"
 #include "switch/columnsort_switch.hpp"
 #include "switch/comparator_switch.hpp"
-#include "switch/faults.hpp"
+#include "plan/compile.hpp"
+#include "plan/plan_switch.hpp"
 #include "switch/full_sort_hyper.hpp"
 #include "switch/hyper_switch.hpp"
 #include "switch/multipass_switch.hpp"
@@ -35,8 +36,9 @@ std::vector<std::unique_ptr<ConcentratorSwitch>> all_switches() {
   out.push_back(std::make_unique<FullColumnsortHyper>(32, 2));
   out.push_back(
       std::make_unique<ComparatorSwitch>(ComparatorSwitch::batcher_hyper(64, 40)));
-  out.push_back(std::make_unique<FaultyRevsortSwitch>(
-      64, 40, std::vector<ChipFault>{ChipFault{1, 2}}));
+  plan::SwitchPlan faulty = plan::compile_revsort_plan(64, 40);
+  plan::apply_chip_faults(faulty, {plan::ChipFault{1, 2}});
+  out.push_back(std::make_unique<plan::PlanSwitch>(std::move(faulty)));
   return out;
 }
 

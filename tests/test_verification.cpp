@@ -4,7 +4,8 @@
 
 #include "switch/columnsort_switch.hpp"
 #include "switch/comparator_switch.hpp"
-#include "switch/faults.hpp"
+#include "plan/compile.hpp"
+#include "plan/plan_switch.hpp"
 #include "switch/hyper_switch.hpp"
 #include "switch/revsort_switch.hpp"
 
@@ -55,7 +56,9 @@ TEST(Verification, CatchesAnOverclaimedEpsilon) {
 }
 
 TEST(Verification, FaultySwitchPassesWithEpsilonCheckDisabled) {
-  pcs::sw::FaultyRevsortSwitch sw(64, 48, {pcs::sw::ChipFault{1, 2}});
+  pcs::plan::SwitchPlan plan = pcs::plan::compile_revsort_plan(64, 48);
+  pcs::plan::apply_chip_faults(plan, {pcs::plan::ChipFault{1, 2}});
+  pcs::plan::PlanSwitch sw(std::move(plan));
   Rng rng(433);
   VerifyOptions opts;
   opts.check_epsilon_bound = false;  // faults void the guarantee
