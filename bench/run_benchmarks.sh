@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Run the simulator-performance benchmarks and leave machine-readable JSON
 # at the repo root (BENCH_sim_speed.json, BENCH_throughput.json,
-# BENCH_plan.json).  bench_plan runs the same batched-Revsort shapes as
+# BENCH_plan.json, BENCH_obs.json).  bench_plan runs the same batched-Revsort shapes as
 # bench_sim_speed so the plan executor's throughput can be compared
 # directly against the pre-plan engine.
 #
@@ -18,7 +18,7 @@ build_dir="${1:-$repo_root/build}"
 if [ ! -f "$build_dir/CMakeCache.txt" ]; then
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$build_dir" -j --target bench_sim_speed bench_throughput bench_plan
+cmake --build "$build_dir" -j --target bench_sim_speed bench_throughput bench_plan bench_obs
 
 "$build_dir/bench/bench_sim_speed" \
   --benchmark_format=json \
@@ -35,6 +35,12 @@ cmake --build "$build_dir" -j --target bench_sim_speed bench_throughput bench_pl
   --benchmark_out="$repo_root/BENCH_plan.json" \
   --benchmark_out_format=json
 
+"$build_dir/bench/bench_obs" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_obs.json" \
+  --benchmark_out_format=json
+
 echo "wrote $repo_root/BENCH_sim_speed.json"
 echo "wrote $repo_root/BENCH_throughput.json"
 echo "wrote $repo_root/BENCH_plan.json"
+echo "wrote $repo_root/BENCH_obs.json"

@@ -6,17 +6,14 @@
 // feasible one.
 //
 //   $ ./chip_planner [n] [m] [pin_budget]     (defaults: 65536 32768 1024)
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "cost/resource_model.hpp"
-#include "switch/columnsort_switch.hpp"
-#include "switch/multipass_switch.hpp"
-#include "switch/revsort_switch.hpp"
-#include "util/mathutil.hpp"
+#include "pcs.hpp"
 
 namespace {
 
@@ -64,20 +61,30 @@ int main(int argc, char** argv) {
     candidates.push_back({pcs::cost::revsort_report(n, m), false});
   }
 
-  // Columnsort across the beta grid.
+  // Columnsort across the beta grid.  The compiled plan carries the
+  // realized shape: stage 0 is s chips of width r.
   for (double beta : {0.5, 0.5625, 0.625, 0.6875, 0.75, 0.875, 1.0}) {
-    auto sw = pcs::sw::ColumnsortSwitch::from_beta(n, beta, m);
+    pcs::SwitchSpec cs;
+    cs.family = "columnsort";
+    cs.n = n;
+    cs.m = m;
+    cs.beta = beta;
+    const pcs::plan::SwitchPlan plan = pcs::make_switch_plan(cs);
+    const std::size_t r = plan.stages[0].width;
+    const std::size_t s = plan.stages[0].chips;
     // Skip duplicate realized shapes.
     bool dup = false;
     for (const Candidate& c : candidates) {
       if (c.report.design.find("columnsort") != std::string::npos &&
-          c.report.pins_per_chip == 2 * sw.r()) {
+          c.report.pins_per_chip == 2 * r) {
         dup = true;
       }
     }
     if (dup) continue;
-    auto rep = pcs::cost::columnsort_report(sw.r(), sw.s(), m);
-    rep.design += " (beta=" + std::to_string(sw.beta()).substr(0, 5) + ")";
+    auto rep = pcs::cost::columnsort_report(r, s, m);
+    const double realized =
+        std::log2(static_cast<double>(r)) / std::log2(static_cast<double>(n));
+    rep.design += " (beta=" + std::to_string(realized).substr(0, 5) + ")";
     candidates.push_back({rep, false});
   }
 
@@ -86,15 +93,27 @@ int main(int argc, char** argv) {
   // and volume tallies come straight from the compiled plan's structure;
   // only epsilon is empirically calibrated.
   {
-    auto base = pcs::sw::ColumnsortSwitch::from_beta(n, 0.625, m);
-    if (base.s() > 1) {
-      pcs::sw::MultipassColumnsortSwitch mp(base.r(), base.s(), 3, m,
-                                            pcs::sw::ReshapeSchedule::kAlternating);
-      auto rep = pcs::cost::plan_report(mp.plan());
+    pcs::SwitchSpec shape;
+    shape.family = "columnsort";
+    shape.n = n;
+    shape.m = m;
+    shape.beta = 0.625;
+    const pcs::plan::SwitchPlan base = pcs::make_switch_plan(shape);
+    const std::size_t r = base.stages[0].width;
+    const std::size_t s = base.stages[0].chips;
+    if (s > 1) {
+      pcs::SwitchSpec mp;
+      mp.family = "multipass";
+      mp.r = r;
+      mp.s = s;
+      mp.passes = 3;
+      mp.m = m;
+      mp.schedule = pcs::plan::ReshapeSchedule::kAlternating;
+      auto rep = pcs::cost::plan_report(pcs::make_switch_plan(mp));
       rep.design = "multipass columnsort (d=3, alt)";
       // Empirically calibrated epsilon ~ s - 1 at d = 3 (EXPERIMENTS.md D9);
       // the plan advertises only the proven d = 1 bound (s-1)^2.
-      rep.epsilon = base.s() - 1;
+      rep.epsilon = s - 1;
       rep.load_ratio = 1.0 - static_cast<double>(rep.epsilon) / static_cast<double>(m);
       candidates.push_back({rep, false});
     }

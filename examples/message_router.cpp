@@ -11,8 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "network/router_sim.hpp"
-#include "util/rng.hpp"
+#include "pcs.hpp"
 
 namespace {
 

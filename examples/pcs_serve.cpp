@@ -20,9 +20,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "runtime/config.hpp"
 #include "runtime/fabric_runtime.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/trace_bridge.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -40,6 +43,8 @@ struct Campaign {
   std::string metrics_json;
   double delivery_rate = 0.0;
   double mean_latency = 0.0;
+  bool traced = false;
+  pcs::obs::TraceSnapshot trace;
 };
 
 RuntimeOptions options_from(const RuntimeConfig& cfg) {
@@ -56,7 +61,7 @@ RuntimeOptions options_from(const RuntimeConfig& cfg) {
 }
 
 Campaign run_campaign(const std::string& family, const RuntimeConfig& base,
-                      double load) {
+                      double load, bool tracing) {
   RuntimeConfig cfg = base;
   cfg.arrival_p = load;
   auto sw = pcs::rt::make_switch(family, cfg);
@@ -73,18 +78,38 @@ Campaign run_campaign(const std::string& family, const RuntimeConfig& base,
   c.family = family;
   c.switch_name = sw->name();
   c.load = load;
+  if (tracing) {
+    pcs::obs::Tracer::instance().enable(cfg.trace_clock == "logical"
+                                            ? pcs::obs::ClockMode::kLogical
+                                            : pcs::obs::ClockMode::kTsc);
+  }
   c.report = runtime.run(metrics);
+  if (tracing) {
+    pcs::obs::Tracer::instance().disable();
+    c.trace = pcs::obs::Tracer::instance().drain();
+    c.traced = true;
+    pcs::rt::merge_profile(c.trace, metrics);
+  }
   c.metrics_json = metrics.to_json(6);
   c.delivery_rate = metrics.gauge("delivery_rate").value();
   c.mean_latency = metrics.gauge("mean_latency_epochs").value();
   return c;
 }
 
+std::string profile_json(const RuntimeConfig& cfg, const Campaign& c) {
+  if (!c.traced) return "{\"enabled\": false}";
+  std::ostringstream os;
+  os << "{\"enabled\": true, \"clock\": " << pcs::rt::json_escape(cfg.trace_clock)
+     << ", \"spans\": " << c.trace.spans.size()
+     << ", \"counters\": " << c.trace.counters.size() << "}";
+  return os.str();
+}
+
 std::string document_json(const RuntimeConfig& cfg,
                           const std::vector<Campaign>& campaigns) {
   std::ostringstream os;
   os << "{\n";
-  os << "  \"schema\": \"pcs.runtime.v1\",\n";
+  os << "  \"schema\": \"pcs.runtime.v2\",\n";
   os << "  \"config\":\n" << pcs::rt::config_to_json(cfg, 2) << ",\n";
   os << "  \"campaigns\": [";
   for (std::size_t i = 0; i < campaigns.size(); ++i) {
@@ -98,6 +123,7 @@ std::string document_json(const RuntimeConfig& cfg,
     os << "      \"saturated\": " << (c.report.saturated ? "true" : "false") << ",\n";
     os << "      \"drain_epochs\": " << c.report.drain_epochs_used << ",\n";
     os << "      \"residual_backlog\": " << c.report.residual_backlog << ",\n";
+    os << "      \"profile\": " << profile_json(cfg, c) << ",\n";
     os << "      \"metrics\":\n" << c.metrics_json << "\n";
     os << "    }";
   }
@@ -135,11 +161,21 @@ int main(int argc, char** argv) {
   const std::vector<double> loads =
       cfg.loads.empty() ? std::vector<double>{cfg.arrival_p} : cfg.loads;
 
+  if (cfg.threads != 0) pcs::set_max_parallelism(cfg.threads);
+  bool tracing = !cfg.trace.empty();
+  if (tracing && !pcs::obs::kCompiledIn) {
+    std::fprintf(stderr,
+                 "warning: trace=%s requested but tracing is compiled out "
+                 "(-DPCS_TRACING=OFF); running untraced\n",
+                 cfg.trace.c_str());
+    tracing = false;
+  }
+
   std::vector<Campaign> campaigns;
   try {
     for (const std::string& family : pcs::rt::split_csv(cfg.family)) {
       for (double load : loads) {
-        Campaign c = run_campaign(family, cfg, load);
+        Campaign c = run_campaign(family, cfg, load, tracing);
         std::printf(
             "%-11s load=%.3f  delivery=%.4f  mean-latency=%.2f epochs  %s"
             " (drain %zu epochs, residual %zu)\n",
@@ -162,5 +198,20 @@ int main(int argc, char** argv) {
   out << document_json(cfg, campaigns);
   out.close();
   std::printf("wrote %s (%zu campaigns)\n", cfg.out.c_str(), campaigns.size());
+
+  if (tracing) {
+    std::vector<pcs::obs::TraceSnapshot> snapshots;
+    snapshots.reserve(campaigns.size());
+    for (const Campaign& c : campaigns) snapshots.push_back(c.trace);
+    std::ofstream tf(cfg.trace);
+    if (!tf.good()) {
+      std::fprintf(stderr, "cannot write %s\n", cfg.trace.c_str());
+      return 1;
+    }
+    tf << pcs::obs::chrome_trace_json(snapshots);
+    tf.close();
+    std::printf("wrote %s (%zu trace groups)\n", cfg.trace.c_str(),
+                snapshots.size());
+  }
   return 0;
 }

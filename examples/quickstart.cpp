@@ -3,34 +3,35 @@
 //
 //   $ ./quickstart
 //
-// Walks through the core API: constructing a RevsortSwitch, presenting valid
-// bits at setup, streaming payloads with the clocked simulator, and reading
-// the resource report that Table 1 is built from.
+// Walks through the core API: one include (pcs.hpp), one construction path
+// (pcs::make_switch over a SwitchSpec), presenting valid bits at setup,
+// streaming payloads with the clocked simulator, and reading the resource
+// report that Table 1 is built from.
 #include <cstdio>
 
-#include "cost/resource_model.hpp"
-#include "message/clocked_sim.hpp"
-#include "switch/revsort_switch.hpp"
-#include "util/rng.hpp"
+#include "pcs.hpp"
 
 int main() {
   // A 256-input, 192-output partial concentrator built from sixteen
   // 16-by-16 hyperconcentrator chips per stage (Section 4 of the paper).
-  const std::size_t n = 256, m = 192;
-  pcs::sw::RevsortSwitch sw(n, m);
+  pcs::SwitchSpec spec;
+  spec.family = "revsort";
+  spec.n = 256;
+  spec.m = 192;
+  auto sw = pcs::make_switch(spec);
 
-  std::printf("switch: %s\n", sw.name().c_str());
-  std::printf("  epsilon bound: %zu\n", sw.epsilon_bound());
-  std::printf("  load ratio alpha: %.4f\n", sw.load_ratio_bound());
+  std::printf("switch: %s\n", sw->name().c_str());
+  std::printf("  epsilon bound: %zu\n", sw->epsilon_bound());
+  std::printf("  load ratio alpha: %.4f\n", sw->load_ratio_bound());
   std::printf("  guaranteed lossless capacity: %zu messages\n",
-              sw.guaranteed_capacity());
+              sw->guaranteed_capacity());
 
   // Offer 64 random messages (well under capacity) with 32-bit payloads.
   pcs::Rng rng(2026);
-  pcs::BitVec valid = rng.exact_weight_bits(n, 64);
+  pcs::BitVec valid = rng.exact_weight_bits(spec.n, 64);
   pcs::msg::MessageBatch batch = pcs::msg::random_batch(valid, 32, 8, rng);
 
-  pcs::msg::ClockedSimResult result = pcs::msg::run_clocked(sw, batch);
+  pcs::msg::ClockedSimResult result = pcs::msg::run_clocked(*sw, batch);
   std::printf("\noffered %zu messages; delivered %zu, congested %zu, %zu cycles\n",
               batch.count(), result.delivered.size(), result.congested.size(),
               result.cycles);
@@ -45,7 +46,7 @@ int main() {
   }
 
   // What would it cost to build?
-  pcs::cost::ResourceReport report = pcs::cost::revsort_report(n, m);
+  pcs::cost::ResourceReport report = pcs::cost::revsort_report(spec.n, spec.m);
   std::printf("\nresource report:\n  %s\n", report.to_string().c_str());
   return 0;
 }

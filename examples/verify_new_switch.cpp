@@ -9,10 +9,7 @@
 //   $ ./verify_new_switch
 #include <cstdio>
 
-#include "core/adversary.hpp"
-#include "core/verification.hpp"
-#include "sortnet/comparator_net.hpp"
-#include "switch/comparator_switch.hpp"
+#include "pcs.hpp"
 
 int main() {
   pcs::Rng rng(99);

@@ -1,0 +1,271 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pcs::obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+namespace {
+
+std::uint64_t read_ticks() noexcept {
+#if defined(__x86_64__) && defined(__GNUC__)
+  return __builtin_ia32_rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+// Per-thread recording buffer.  Registered once per thread and kept alive by
+// the global registry (shared_ptr), so a thread exiting never loses data and
+// drain() never races a destructor.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanRecord> spans;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::mutex registry_mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+
+  std::mutex intern_mu;
+  std::set<std::string> interned;  // node-based: c_str() stays stable
+
+  std::atomic<std::uint64_t> logical{0};
+  std::atomic<ClockMode> mode{ClockMode::kTsc};
+
+  // Tick -> microsecond calibration anchors (tsc mode).
+  std::uint64_t t0_ticks = 0;
+  std::chrono::steady_clock::time_point t0_wall{};
+
+  ThreadBuffer& local() {
+    thread_local std::shared_ptr<ThreadBuffer> tls;
+    if (!tls) {
+      tls = std::make_shared<ThreadBuffer>();
+      std::lock_guard<std::mutex> lock(registry_mu);
+      buffers.push_back(tls);
+    }
+    return *tls;
+  }
+};
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Impl& Tracer::impl() {
+  static Impl impl;
+  return impl;
+}
+
+void Tracer::enable(ClockMode mode) {
+  if (!kCompiledIn) return;
+  clear();
+  Impl& im = impl();
+  im.mode.store(mode, std::memory_order_relaxed);
+  im.logical.store(0, std::memory_order_relaxed);
+  im.t0_ticks = read_ticks();
+  im.t0_wall = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() noexcept {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void Tracer::clear() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.registry_mu);
+  for (auto& buf : im.buffers) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    buf->spans.clear();
+    buf->counters.clear();
+  }
+  im.logical.store(0, std::memory_order_relaxed);
+}
+
+TraceSnapshot Tracer::drain() {
+  Impl& im = impl();
+  TraceSnapshot snap;
+  snap.clock = im.mode.load(std::memory_order_relaxed);
+  if (snap.clock == ClockMode::kTsc) {
+    const std::uint64_t t1 = read_ticks();
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - im.t0_wall)
+                          .count();
+    snap.ticks_per_us =
+        us > 1.0 ? static_cast<double>(t1 - im.t0_ticks) / us : 1.0;
+    if (snap.ticks_per_us <= 0.0) snap.ticks_per_us = 1.0;
+  }
+  std::lock_guard<std::mutex> lock(im.registry_mu);
+  for (auto& buf : im.buffers) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    snap.spans.insert(snap.spans.end(), buf->spans.begin(), buf->spans.end());
+    for (const auto& [name, v] : buf->counters) snap.counters[name] += v;
+    buf->spans.clear();
+    buf->counters.clear();
+  }
+  return snap;
+}
+
+const char* Tracer::intern(const std::string& s) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.intern_mu);
+  return im.interned.insert(s).first->c_str();
+}
+
+std::uint64_t Tracer::now() noexcept {
+  Impl& im = impl();
+  if (im.mode.load(std::memory_order_relaxed) == ClockMode::kLogical) {
+    return im.logical.fetch_add(1, std::memory_order_relaxed);
+  }
+  return read_ticks();
+}
+
+void Tracer::record(const SpanRecord& rec) {
+  ThreadBuffer& buf = impl().local();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.spans.push_back(rec);
+}
+
+void Tracer::counter_add(const char* name, std::uint64_t delta) {
+  ThreadBuffer& buf = impl().local();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.counters[name] += delta;
+}
+
+void SpanGuard::open(const char* name, const char* category) noexcept {
+  rec_.name = name;
+  rec_.cat = category;
+  rec_.begin = Tracer::instance().now();
+}
+
+void SpanGuard::close() noexcept {
+  Tracer& tracer = Tracer::instance();
+  rec_.end = tracer.now();
+  rec_.tid = static_cast<std::uint32_t>(ThreadPool::current_worker_id());
+  tracer.record(rec_);
+}
+
+std::map<std::string, SpanStat> aggregate_spans(const TraceSnapshot& snap) {
+  std::map<std::string, SpanStat> out;
+  for (const SpanRecord& s : snap.spans) {
+    SpanStat& st = out[s.name];
+    const std::uint64_t dur = s.end - s.begin;
+    ++st.count;
+    st.total_ticks += dur;
+    st.max_ticks = std::max(st.max_ticks, dur);
+  }
+  return out;
+}
+
+namespace {
+
+std::string fmt_us(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  PCS_REQUIRE(ec == std::errc(), "to_chars failed for trace timestamp");
+  std::string s(buf, ptr);
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+std::string escape(const char* s) {
+  std::string out = "\"";
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char hex[8];
+      std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+      out += hex;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceSnapshot>& snapshots) {
+  // One shared origin: the earliest begin tick across every snapshot, so
+  // the only run-to-run variation in tsc mode is span durations, and in
+  // logical mode nothing varies at all.
+  std::uint64_t origin = UINT64_MAX;
+  for (const TraceSnapshot& snap : snapshots) {
+    if (!snapshots.empty() && !snap.spans.empty()) {
+      PCS_REQUIRE(snap.clock == snapshots.front().clock,
+                  "chrome_trace_json: snapshots mix clock modes");
+    }
+    for (const SpanRecord& s : snap.spans) origin = std::min(origin, s.begin);
+  }
+  if (origin == UINT64_MAX) origin = 0;
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (std::size_t pid = 0; pid < snapshots.size(); ++pid) {
+    const TraceSnapshot& snap = snapshots[pid];
+    std::vector<SpanRecord> spans = snap.spans;
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                if (a.end != b.end) return a.end > b.end;  // parents first
+                if (a.tid != b.tid) return a.tid < b.tid;
+                return std::strcmp(a.name, b.name) < 0;
+              });
+    const bool logical = snap.clock == ClockMode::kLogical;
+    for (const SpanRecord& s : spans) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "    {\"name\": " << escape(s.name) << ", \"cat\": " << escape(s.cat)
+         << ", \"ph\": \"X\", \"pid\": " << pid << ", \"tid\": " << s.tid
+         << ", \"ts\": ";
+      if (logical) {
+        os << (s.begin - origin) << ", \"dur\": " << (s.end - s.begin);
+      } else {
+        os << fmt_us(static_cast<double>(s.begin - origin) / snap.ticks_per_us)
+           << ", \"dur\": "
+           << fmt_us(static_cast<double>(s.end - s.begin) / snap.ticks_per_us);
+      }
+      if (s.arg_count > 0) {
+        os << ", \"args\": {";
+        for (std::uint32_t a = 0; a < s.arg_count; ++a) {
+          if (a) os << ", ";
+          os << escape(s.arg_key[a]) << ": " << s.arg_val[a];
+        }
+        os << "}";
+      }
+      os << "}";
+    }
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace pcs::obs

@@ -4,6 +4,7 @@
 //
 // Layering (each layer only depends on the ones above it):
 //   util    -- bit vectors/matrices, integer math, RNG, parallel_for
+//   obs     -- tracing/profiling spans and counters (Chrome trace export)
 //   sortnet -- Revsort / Shearsort / Columnsort on 0/1 meshes, nearsortedness
 //   gates   -- combinational netlists, depth analysis, evaluation
 //   hyper   -- the single-chip hyperconcentrator (functional + gate-level)
@@ -26,6 +27,8 @@
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+
+#include "obs/trace.hpp"
 
 #include "sortnet/columnsort.hpp"
 #include "sortnet/comparator_net.hpp"
@@ -57,6 +60,7 @@
 #include "switch/gate_level_switch.hpp"
 #include "switch/hyper_switch.hpp"
 #include "switch/comparator_switch.hpp"
+#include "switch/make_switch.hpp"
 #include "switch/multipass_switch.hpp"
 #include "switch/perfect_from_partial.hpp"
 #include "switch/revsort_switch.hpp"
@@ -92,3 +96,4 @@
 #include "runtime/fabric_runtime.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/stats_bridge.hpp"
+#include "runtime/trace_bridge.hpp"

@@ -66,6 +66,26 @@ void tag_connectors(PlanStage& st, std::size_t connectors, std::size_t volume) {
   st.connector_volume = volume;
 }
 
+/// Fill in tracing labels any compiler left empty: "<prefix>.s<idx>" for
+/// main stages and "<prefix>.safety<idx>" for the safety net.  Labels are
+/// presentation-only (excluded from digest()).
+void label_stages(SwitchPlan& plan, const char* prefix) {
+  for (std::size_t i = 0; i < plan.stages.size(); ++i) {
+    if (plan.stages[i].label.empty()) {
+      std::ostringstream os;
+      os << prefix << ".s" << i;
+      plan.stages[i].label = os.str();
+    }
+  }
+  for (std::size_t i = 0; i < plan.safety_stages.size(); ++i) {
+    if (plan.safety_stages[i].label.empty()) {
+      std::ostringstream os;
+      os << prefix << ".safety" << i;
+      plan.safety_stages[i].label = os.str();
+    }
+  }
+}
+
 }  // namespace
 
 SwitchPlan compile_revsort_plan(std::size_t n, std::size_t m) {
@@ -85,11 +105,14 @@ SwitchPlan compile_revsort_plan(std::size_t n, std::size_t m) {
   // Dirty rows after Algorithm 1, times the row width.
   plan.epsilon = sortnet::algorithm1_dirty_row_bound(side) * side;
   plan.stages.push_back(input_stage(side, side));
+  plan.stages.back().label = "revsort.s0.columns";
   plan.stages.push_back(
       stage_from_wiring(side, side, sw::transpose_wiring(side)));
   plan.stages.back().has_shifter = true;
+  plan.stages.back().label = "revsort.s1.rows+shift";
   plan.stages.push_back(
       stage_from_wiring(side, side, sw::rev_rotate_transpose_wiring(side)));
+  plan.stages.back().label = "revsort.s2.columns";
   plan.readout = row_major_readout(side, side);
 
   plan.fast_path = FastPathKind::kRevsortCount;
@@ -122,10 +145,12 @@ SwitchPlan compile_columnsort_plan(std::size_t r, std::size_t s, std::size_t m) 
   plan.m = m;
   plan.epsilon = sortnet::algorithm2_epsilon_bound(s);
   plan.stages.push_back(input_stage(s, r));
+  plan.stages.back().label = "columnsort.s0.columns";
   plan.stages.push_back(stage_from_wiring(s, r, sw::cm_to_rm_wiring(r, s)));
   // Figure 8 packaging: the CM -> RM link is s^2 interstack wire
   // transposers, each spanning an (r/s)-by-(r/s) wire block.
   tag_connectors(plan.stages.back(), s * s, (r / s) * (r / s));
+  plan.stages.back().label = "columnsort.s1.rows";
   plan.readout = row_major_readout(r, s);
 
   plan.fast_path = FastPathKind::kColumnsortCount;
@@ -194,6 +219,7 @@ SwitchPlan compile_multipass_plan(std::size_t r, std::size_t s, std::size_t pass
      << (schedule == ReshapeSchedule::kAlternating ? ",alt" : ",same")
      << ",m=" << m << ")";
   plan.name = os.str();
+  label_stages(plan, "multipass");
   return plan;
 }
 
@@ -252,6 +278,7 @@ SwitchPlan compile_full_revsort_plan(std::size_t n) {
   std::ostringstream os;
   os << "full-revsort-hyper(" << n << ")";
   plan.name = os.str();
+  label_stages(plan, "full-revsort");
   return plan;
 }
 
@@ -305,6 +332,7 @@ SwitchPlan compile_full_columnsort_plan(std::size_t r, std::size_t s) {
   std::ostringstream os;
   os << "full-columnsort-hyper(r=" << r << ",s=" << s << ")";
   plan.name = os.str();
+  label_stages(plan, "full-columnsort");
   return plan;
 }
 

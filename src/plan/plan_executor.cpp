@@ -9,6 +9,7 @@
 #include <immintrin.h>
 #endif
 
+#include "obs/trace.hpp"
 #include "sortnet/lane_batch.hpp"
 #include "util/assert.hpp"
 #include "util/mathutil.hpp"
@@ -32,8 +33,11 @@ void concentrate_front(std::int32_t* seg, std::size_t width) {
 /// One stage: gather the inbound link out of `prev`, concentrate every
 /// chip, then silence dead chips (after their concentrate, before the
 /// outbound link -- matching the legacy fault simulations exactly).
+/// `span_name` is the stage's interned label; with tracing enabled every
+/// chip evaluation (dead chips included -- they are still wired hardware)
+/// gets one cat::kChip span under it.
 void exec_stage(const PlanStage& st, const std::vector<std::int32_t>& prev,
-                std::vector<std::int32_t>& next) {
+                std::vector<std::int32_t>& next, const char* span_name) {
   next.resize(st.wires());
   const std::int32_t* in = prev.data();
   std::int32_t* out = next.data();
@@ -41,8 +45,17 @@ void exec_stage(const PlanStage& st, const std::vector<std::int32_t>& prev,
     const std::int32_t src = st.in_src[w];
     out[w] = src >= 0 ? in[src] : (src == kFeedPad ? kPadLabel : kIdleLabel);
   }
-  for (std::size_t c = 0; c < st.chips; ++c) {
-    concentrate_front(out + c * st.width, st.width);
+  if (obs::Tracer::enabled()) {
+    for (std::size_t c = 0; c < st.chips; ++c) {
+      obs::SpanGuard span(span_name, obs::cat::kChip);
+      span.arg("chip", c);
+      concentrate_front(out + c * st.width, st.width);
+    }
+    PCS_TRACE_COUNTER("plan.chips_evaluated", st.chips);
+  } else {
+    for (std::size_t c = 0; c < st.chips; ++c) {
+      concentrate_front(out + c * st.width, st.width);
+    }
   }
   if (!st.dead.empty()) {
     for (std::size_t c = 0; c < st.chips; ++c) {
@@ -319,8 +332,30 @@ bool cpu_has_avx512f_impl() { return false; }
 
 bool cpu_has_avx512f() { return cpu_has_avx512f_impl(); }
 
+namespace {
+
+/// Interned span name for one stage: its label, or "<plan><kind><idx>" when
+/// a hand-built plan left the label empty.
+const char* intern_stage_name(const SwitchPlan& plan, const PlanStage& st,
+                              const char* kind, std::size_t idx) {
+  if (!st.label.empty()) return obs::Tracer::instance().intern(st.label);
+  return obs::Tracer::instance().intern(plan.name + kind + std::to_string(idx));
+}
+
+}  // namespace
+
 PlanExecutor::PlanExecutor(SwitchPlan plan) : plan_(std::move(plan)) {
   plan_.validate();
+  stage_span_names_.reserve(plan_.stages.size());
+  for (std::size_t i = 0; i < plan_.stages.size(); ++i) {
+    stage_span_names_.push_back(
+        intern_stage_name(plan_, plan_.stages[i], "#s", i));
+  }
+  safety_span_names_.reserve(plan_.safety_stages.size());
+  for (std::size_t i = 0; i < plan_.safety_stages.size(); ++i) {
+    safety_span_names_.push_back(
+        intern_stage_name(plan_, plan_.safety_stages[i], "#safety", i));
+  }
   if (plan_.fast_path == FastPathKind::kRevsortCount) {
     PCS_REQUIRE(plan_.fp_side > 0 && is_pow2(plan_.fp_side) &&
                     plan_.fp_rev.size() == plan_.fp_side,
@@ -404,8 +439,9 @@ std::vector<std::int32_t> PlanExecutor::run_stages(const BitVec& valid) const {
   for (std::size_t x = 0; x < plan_.n; ++x) {
     state[x] = valid.get(x) ? static_cast<std::int32_t>(x) : kIdleLabel;
   }
-  for (const PlanStage& st : plan_.stages) {
-    exec_stage(st, state, next);
+  for (std::size_t k = 0; k < plan_.stages.size(); ++k) {
+    obs::SpanGuard span(stage_span_names_[k], obs::cat::kStage);
+    exec_stage(plan_.stages[k], state, next, stage_span_names_[k]);
     state.swap(next);
   }
   auto read_out = [&] {
@@ -424,11 +460,13 @@ std::vector<std::int32_t> PlanExecutor::run_stages(const BitVec& valid) const {
     // if it ever did not, finish with additional sorting phases.
     std::size_t extra = 0;
     while (!sequence_concentrated(seq)) {
-      for (const PlanStage& st : plan_.safety_stages) {
-        exec_stage(st, state, next);
+      for (std::size_t k = 0; k < plan_.safety_stages.size(); ++k) {
+        obs::SpanGuard span(safety_span_names_[k], obs::cat::kStage);
+        exec_stage(plan_.safety_stages[k], state, next, safety_span_names_[k]);
         state.swap(next);
       }
       ++extra;
+      PCS_TRACE_COUNTER("plan.safety_iterations", 1);
       PCS_REQUIRE(extra <= plan_.safety_limit,
                   plan_.name << " failed to converge");
       seq = read_out();
@@ -446,13 +484,20 @@ sw::SwitchRouting PlanExecutor::route(const BitVec& valid) const {
   sw::SwitchRouting out;
   out.output_of_input.assign(plan_.n, -1);
   out.input_of_output.assign(plan_.m, -1);
+  std::uint64_t routed = 0;
   for (std::size_t pos = 0; pos < plan_.m; ++pos) {
     const std::int32_t src = seq[pos];
     if (src >= 0) {
       out.input_of_output[pos] = src;
       out.output_of_input[static_cast<std::size_t>(src)] =
           static_cast<std::int32_t>(pos);
+      ++routed;
     }
+  }
+  if (obs::Tracer::enabled()) {
+    auto& tracer = obs::Tracer::instance();
+    tracer.counter_add("plan.words_routed", routed);
+    tracer.counter_add("plan.route.scalar", 1);
   }
   return out;
 }
@@ -470,6 +515,8 @@ std::vector<sw::SwitchRouting> PlanExecutor::route_batch(
   switch (plan_.fast_path) {
     case FastPathKind::kRevsortCount: {
       parallel_for_chunks(0, valids.size(), [&](std::size_t lo, std::size_t hi) {
+        obs::SpanGuard span("plan.fastpath.revsort", obs::cat::kBatch);
+        span.arg("patterns", hi - lo);
         RevsortScratch scratch(plan_.fp_side, plan_.n);
         for (std::size_t i = lo; i < hi; ++i) {
           PCS_REQUIRE(valids[i].size() == plan_.n,
@@ -486,12 +533,23 @@ std::vector<sw::SwitchRouting> PlanExecutor::route_batch(
           out[i] = revsort_route_kernel(valids[i], plan_.m, plan_.fp_side, fp_q_,
                                         plan_.fp_rev, scratch);
         }
+        if (obs::Tracer::enabled()) {
+          std::uint64_t routed = 0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            for (const std::int32_t v : out[i].input_of_output) routed += v >= 0;
+          }
+          auto& tracer = obs::Tracer::instance();
+          tracer.counter_add("plan.words_routed", routed);
+          tracer.counter_add("plan.route.fastpath", hi - lo);
+        }
       });
       return out;
     }
     case FastPathKind::kColumnsortCount: {
       const std::size_t r = plan_.fp_r, s = plan_.fp_s, n = plan_.n, m = plan_.m;
       parallel_for_chunks(0, valids.size(), [&](std::size_t lo, std::size_t hi) {
+        obs::SpanGuard span("plan.fastpath.columnsort", obs::cat::kBatch);
+        span.arg("patterns", hi - lo);
         // Single ascending pass over the set bits.  Stage 1 sends the t-th
         // valid of column c to column-major position y = c*r + t; the
         // CM -> RM wiring lands it on stage-2 chip y mod s = t mod s (s
@@ -530,6 +588,15 @@ std::vector<sw::SwitchRouting> PlanExecutor::route_batch(
             }
           }
         }
+        if (obs::Tracer::enabled()) {
+          std::uint64_t routed = 0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            for (const std::int32_t v : out[i].input_of_output) routed += v >= 0;
+          }
+          auto& tracer = obs::Tracer::instance();
+          tracer.counter_add("plan.words_routed", routed);
+          tracer.counter_add("plan.route.fastpath", hi - lo);
+        }
       });
       return out;
     }
@@ -546,6 +613,7 @@ std::vector<BitVec> PlanExecutor::nearsorted_batch(
   if (plan_.fully_sorting && plan_.faults.empty()) {
     // A full sorter always leaves the valid bits fully concentrated, so the
     // batch nearsorted bits are prefix_ones(n, count) without simulating.
+    PCS_TRACE_COUNTER("plan.nearsorted.prefix_shortcut", valids.size());
     parallel_for(0, valids.size(), [&](std::size_t i) {
       PCS_REQUIRE(valids[i].size() == plan_.n,
                   plan_.name << " nearsorted_batch width: pattern " << i << " of "
@@ -561,6 +629,9 @@ std::vector<BitVec> PlanExecutor::nearsorted_batch(
       const std::size_t first = b * sortnet::LaneBatch::kLanes;
       const std::size_t count =
           std::min(sortnet::LaneBatch::kLanes, valids.size() - first);
+      obs::SpanGuard span("plan.lane_block", obs::cat::kBatch);
+      span.arg("lanes", count);
+      PCS_TRACE_COUNTER("plan.lane_blocks", 1);
       sortnet::LaneBatch lanes(plan_.n);
       lanes.load(valids, first, count);
       for (std::size_t k = 0; k < plan_.stages.size(); ++k) {

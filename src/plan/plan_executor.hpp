@@ -50,6 +50,8 @@ class PlanExecutor {
         lane_link_dest_(std::move(other.lane_link_dest_)),
         lane_readout_dest_(std::move(other.lane_readout_dest_)),
         lane_readout_identity_(other.lane_readout_identity_),
+        stage_span_names_(std::move(other.stage_span_names_)),
+        safety_span_names_(std::move(other.safety_span_names_)),
         extra_phases_(other.extra_phases_.load()) {}
   PlanExecutor& operator=(PlanExecutor&& other) noexcept {
     plan_ = std::move(other.plan_);
@@ -59,6 +61,8 @@ class PlanExecutor {
     lane_link_dest_ = std::move(other.lane_link_dest_);
     lane_readout_dest_ = std::move(other.lane_readout_dest_);
     lane_readout_identity_ = other.lane_readout_identity_;
+    stage_span_names_ = std::move(other.stage_span_names_);
+    safety_span_names_ = std::move(other.safety_span_names_);
     extra_phases_.store(other.extra_phases_.load());
     return *this;
   }
@@ -95,6 +99,10 @@ class PlanExecutor {
   std::vector<std::vector<std::uint32_t>> lane_link_dest_;
   std::vector<std::uint32_t> lane_readout_dest_;
   bool lane_readout_identity_ = false;
+  // Interned span names (stage labels, or "<plan>#s<idx>" fallbacks) so the
+  // tracing sites hand out stable const char* without per-route allocation.
+  std::vector<const char*> stage_span_names_;
+  std::vector<const char*> safety_span_names_;
   mutable std::atomic<std::size_t> extra_phases_{0};
 };
 

@@ -77,6 +77,11 @@ struct ChipFault {
 struct PlanStage {
   std::size_t chips = 0;
   std::size_t width = 0;
+  /// Human-readable stage name for tracing/profiling (span names, profile
+  /// rollup keys).  Presentation only: NOT part of digest() -- the golden
+  /// digests pin the hardware structure, and a label rename is not a
+  /// hardware change.  Executors fall back to "<plan>#s<idx>" when empty.
+  std::string label;
   /// Gather feeding this stage: in_src[w] is the upstream wire (>= 0),
   /// kFeedIdle, or kFeedPad.  Size chips * width.
   std::vector<std::int32_t> in_src;

@@ -5,12 +5,8 @@
 #include <fstream>
 #include <sstream>
 
-#include "plan/compile.hpp"
-#include "plan/plan_switch.hpp"
 #include "runtime/metrics.hpp"
-#include "switch/columnsort_switch.hpp"
-#include "switch/hyper_switch.hpp"
-#include "switch/revsort_switch.hpp"
+#include "switch/make_switch.hpp"
 #include "util/assert.hpp"
 
 namespace pcs::rt {
@@ -105,6 +101,12 @@ void set_key(RuntimeConfig& cfg, const std::string& key, const std::string& valu
     cfg.check_invariants = parse_bool(key, value);
   } else if (key == "out") {
     cfg.out = value;
+  } else if (key == "threads") {
+    cfg.threads = parse_size(key, value);
+  } else if (key == "trace") {
+    cfg.trace = value;
+  } else if (key == "trace_clock") {
+    cfg.trace_clock = value;
   } else {
     PCS_REQUIRE(false, "unknown config key '" << key << "'");
   }
@@ -132,6 +134,9 @@ void validate(const RuntimeConfig& cfg) {
   PCS_REQUIRE(cfg.queue_depth >= 1, "queue_depth must be >= 1");
   PCS_REQUIRE(cfg.lanes >= 1, "lanes must be >= 1");
   PCS_REQUIRE(cfg.measure_epochs >= 1, "measure_epochs must be >= 1");
+  PCS_REQUIRE(cfg.trace_clock == "tsc" || cfg.trace_clock == "logical",
+              "trace_clock must be 'tsc' or 'logical', got '" << cfg.trace_clock
+                                                              << "'");
 }
 
 }  // namespace
@@ -213,6 +218,9 @@ std::string config_to_json(const RuntimeConfig& cfg, std::size_t indent) {
   os << pad << "  \"policy\": " << json_escape(cfg.policy) << ",\n";
   os << pad << "  \"queue_depth\": " << cfg.queue_depth << ",\n";
   os << pad << "  \"seed\": " << cfg.seed << ",\n";
+  os << pad << "  \"threads\": " << cfg.threads << ",\n";
+  os << pad << "  \"trace\": " << json_escape(cfg.trace) << ",\n";
+  os << pad << "  \"trace_clock\": " << json_escape(cfg.trace_clock) << ",\n";
   os << pad << "  \"warmup_epochs\": " << cfg.warmup_epochs << "\n";
   os << pad << "}";
   return os.str();
@@ -228,28 +236,15 @@ msg::CongestionPolicy policy_from_string(const std::string& s) {
 
 std::unique_ptr<sw::ConcentratorSwitch> make_switch(const std::string& family,
                                                     const RuntimeConfig& cfg) {
-  // With faults configured, compile the family's plan, rewrite it, and run
-  // it behind the family-agnostic PlanSwitch.
-  if (!cfg.faults.empty() && (family == "revsort" || family == "columnsort")) {
-    plan::SwitchPlan p =
-        family == "revsort"
-            ? plan::compile_revsort_plan(cfg.n, cfg.m)
-            : plan::compile_columnsort_plan_beta(cfg.n, cfg.beta, cfg.m);
-    plan::apply_chip_faults(p, cfg.faults);
-    return std::make_unique<plan::PlanSwitch>(std::move(p));
-  }
-  if (family == "revsort") {
-    return std::make_unique<sw::RevsortSwitch>(cfg.n, cfg.m);
-  }
-  if (family == "columnsort") {
-    return std::make_unique<sw::ColumnsortSwitch>(
-        sw::ColumnsortSwitch::from_beta(cfg.n, cfg.beta, cfg.m));
-  }
-  if (family == "hyper") {
-    return std::make_unique<sw::HyperSwitch>(cfg.n, cfg.m);
-  }
-  PCS_REQUIRE(false, "unknown switch family '" << family << "'");
-  return nullptr;  // unreachable
+  // Thin adapter onto the unified factory: the per-family dispatch (and the
+  // fault rewrite behind PlanSwitch) lives in pcs::make_switch now.
+  SwitchSpec spec;
+  spec.family = family;
+  spec.n = cfg.n;
+  spec.m = cfg.m;
+  spec.beta = cfg.beta;
+  spec.faults = cfg.faults;
+  return pcs::make_switch(spec);
 }
 
 std::unique_ptr<msg::TrafficGen> make_traffic(const RuntimeConfig& cfg,

@@ -51,6 +51,17 @@ struct RuntimeConfig {
 
   bool check_invariants = false;  ///< run core/invariants on every setup
   std::string out = "runtime_metrics.json";
+
+  /// Clamp on worker threads for every parallel dispatch (see
+  /// pcs::set_max_parallelism).  0 = no clamp; 1 = deterministic order.
+  std::size_t threads = 0;
+  /// When non-empty, trace every campaign and write one Chrome trace-event
+  /// JSON (Perfetto-loadable) to this path; the per-campaign profile rollup
+  /// appears in the metrics document either way.
+  std::string trace;
+  /// Trace clock: "tsc" (wall-calibrated ticks) or "logical" (deterministic
+  /// sequence numbers; byte-identical traces with threads = 1).
+  std::string trace_clock = "tsc";
 };
 
 /// Parse a whole config file body.  Unknown keys, malformed values, and

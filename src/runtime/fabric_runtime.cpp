@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/invariants.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -109,9 +110,16 @@ RuntimeReport FabricRuntime::run(MetricsRegistry& metrics) {
       ++report.drain_epochs_used;
     }
 
+    // The epoch span opens after the drain-break checks, so the span count
+    // equals route_batch_dispatches exactly (the trace checker relies on it).
+    obs::SpanGuard epoch_span("runtime.epoch", obs::cat::kRuntime);
+    epoch_span.arg("epoch", epoch);
+
     // Admission: fresh arrivals join their input's queue unless it is full
     // (backpressure: the arrival is rejected at the door, never offered).
     if (!in_drain) {
+      obs::SpanGuard inject_span("runtime.inject", obs::cat::kRuntime);
+      std::uint64_t stalls = 0;
       for (Lane& lane : lanes) {
         const BitVec fresh = lane.traffic->next(lane.rng);
         for (std::size_t i = 0; i < n; ++i) {
@@ -123,30 +131,41 @@ RuntimeReport FabricRuntime::run(MetricsRegistry& metrics) {
           } else {
             total_rejected.add();
             if (in_measure) rejected.add();
+            ++stalls;
           }
+        }
+      }
+      if (stalls != 0) PCS_TRACE_COUNTER("runtime.backpressure_stalls", stalls);
+    }
+
+    // One setup per lane: the heads of the non-empty queues.
+    {
+      obs::SpanGuard present_span("runtime.present", obs::cat::kRuntime);
+      for (std::size_t l = 0; l < opts_.lanes; ++l) {
+        BitVec& valid = patterns[l];
+        std::size_t k = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const bool occupied = !lanes[l].queues[i].empty();
+          valid.set(i, occupied);
+          k += occupied ? 1 : 0;
+        }
+        if (in_measure) {
+          presented_hist.record(k);
+          backlog_hist.record(lanes[l].backlog());
         }
       }
     }
 
-    // One setup per lane: the heads of the non-empty queues.
-    for (std::size_t l = 0; l < opts_.lanes; ++l) {
-      BitVec& valid = patterns[l];
-      std::size_t k = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        const bool occupied = !lanes[l].queues[i].empty();
-        valid.set(i, occupied);
-        k += occupied ? 1 : 0;
-      }
-      if (in_measure) {
-        presented_hist.record(k);
-        backlog_hist.record(lanes[l].backlog());
-      }
+    // The epoch's single thread-pool dispatch: all lanes at once.
+    std::vector<sw::SwitchRouting> routings;
+    {
+      obs::SpanGuard route_span("runtime.route", obs::cat::kRuntime);
+      route_span.arg("lanes", opts_.lanes);
+      routings = sw_.route_batch(patterns);
+      dispatches.add();
     }
 
-    // The epoch's single thread-pool dispatch: all lanes at once.
-    const std::vector<sw::SwitchRouting> routings = sw_.route_batch(patterns);
-    dispatches.add();
-
+    obs::SpanGuard resolve_span("runtime.resolve", obs::cat::kRuntime);
     for (std::size_t l = 0; l < opts_.lanes; ++l) {
       Lane& lane = lanes[l];
       const sw::SwitchRouting& routing = routings[l];
@@ -225,6 +244,7 @@ RuntimeReport FabricRuntime::run(MetricsRegistry& metrics) {
     ++epoch;
   }
   report.saturated = !report.drained;
+  if (report.saturated) PCS_TRACE_COUNTER("runtime.saturation", 1);
 
   std::size_t residual = 0;
   std::size_t residual_measured = 0;

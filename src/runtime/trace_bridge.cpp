@@ -1,0 +1,15 @@
+#include "runtime/trace_bridge.hpp"
+
+namespace pcs::rt {
+
+void merge_profile(const obs::TraceSnapshot& snap, MetricsRegistry& metrics) {
+  for (const obs::SpanRecord& rec : snap.spans) {
+    metrics.histogram(std::string("profile.span.") + rec.name)
+        .record(rec.end - rec.begin);
+  }
+  for (const auto& [name, value] : snap.counters) {
+    metrics.counter("profile." + name).add(value);
+  }
+}
+
+}  // namespace pcs::rt

@@ -1,0 +1,19 @@
+// Folds a drained trace snapshot into the runtime metrics registry: every
+// span name becomes a duration histogram "profile.span.<name>" (samples in
+// raw ticks -- microseconds-scale under kTsc once divided by ticks_per_us,
+// logical steps under kLogical; the histogram's count is the span count),
+// and every trace counter becomes "profile.<name>".  This is what turns the
+// tracing layer into the `plan_profile` rollup pcs_serve emits per campaign
+// under schema pcs.runtime.v2.
+#pragma once
+
+#include "obs/trace.hpp"
+#include "runtime/metrics.hpp"
+
+namespace pcs::rt {
+
+/// Merge `snap` into `metrics` under the "profile." prefix.  Safe to call
+/// with an empty snapshot (no-op).
+void merge_profile(const obs::TraceSnapshot& snap, MetricsRegistry& metrics);
+
+}  // namespace pcs::rt

@@ -1,19 +1,40 @@
 #include "util/parallel.hpp"
 
+#include <algorithm>
+#include <atomic>
+
 namespace pcs {
+
+namespace {
+
+std::atomic<std::size_t> g_max_parallelism{0};
+
+std::size_t clamp_threads(std::size_t threads) {
+  const std::size_t cap = g_max_parallelism.load(std::memory_order_relaxed);
+  const std::size_t want = threads == 0 ? 1 : threads;
+  return cap == 0 ? want : std::min(want, cap);
+}
+
+}  // namespace
+
+void set_max_parallelism(std::size_t threads) noexcept {
+  g_max_parallelism.store(threads, std::memory_order_relaxed);
+}
+
+std::size_t max_parallelism() noexcept {
+  return g_max_parallelism.load(std::memory_order_relaxed);
+}
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body, std::size_t threads,
                   std::size_t grain) {
-  ThreadPool::global().for_range(begin, end, body, threads == 0 ? 1 : threads,
-                                 grain);
+  ThreadPool::global().for_range(begin, end, body, clamp_threads(threads), grain);
 }
 
 void parallel_for_chunks(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& body,
                          std::size_t threads, std::size_t grain) {
-  ThreadPool::global().for_chunks(begin, end, body, threads == 0 ? 1 : threads,
-                                  grain);
+  ThreadPool::global().for_chunks(begin, end, body, clamp_threads(threads), grain);
 }
 
 }  // namespace pcs

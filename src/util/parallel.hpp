@@ -33,4 +33,12 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
                          std::size_t threads = default_thread_count(),
                          std::size_t grain = 0);
 
+/// Process-wide clamp on the parallelism of every parallel_for /
+/// parallel_for_chunks call (the per-call `threads` argument is capped to
+/// this).  0 -- the default -- means no clamp.  Set to 1 for byte-
+/// deterministic execution order (trace capture, CI determinism diffs):
+/// every range then runs inline on the caller in index order.
+void set_max_parallelism(std::size_t threads) noexcept;
+std::size_t max_parallelism() noexcept;
+
 }  // namespace pcs

@@ -21,6 +21,8 @@ namespace {
 // Which pool (if any) owns the current thread; set for the lifetime of a
 // worker loop so nested for_range calls can detect re-entrancy.
 thread_local const ThreadPool* tls_owner_pool = nullptr;
+// 1-based worker index for span attribution; 0 outside pool workers.
+thread_local std::size_t tls_worker_id = 0;
 }  // namespace
 
 struct ThreadPool::Impl {
@@ -32,8 +34,9 @@ struct ThreadPool::Impl {
   std::size_t busy = 0;
   bool stopping = false;
 
-  void worker_loop(const ThreadPool* self) {
+  void worker_loop(const ThreadPool* self, std::size_t worker_id) {
     tls_owner_pool = self;
+    tls_worker_id = worker_id;
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
       task_ready.wait(lock, [&] { return stopping || !queue.empty(); });
@@ -57,7 +60,7 @@ ThreadPool::ThreadPool(std::size_t workers) : impl_(new Impl) {
   const std::size_t count = std::max<std::size_t>(1, workers);
   impl_->workers.reserve(count);
   for (std::size_t w = 0; w < count; ++w) {
-    impl_->workers.emplace_back([this] { impl_->worker_loop(this); });
+    impl_->workers.emplace_back([this, w] { impl_->worker_loop(this, w + 1); });
   }
 }
 
@@ -83,6 +86,8 @@ ThreadPool& ThreadPool::global() {
 bool ThreadPool::on_worker_thread() const noexcept {
   return tls_owner_pool == this;
 }
+
+std::size_t ThreadPool::current_worker_id() noexcept { return tls_worker_id; }
 
 void ThreadPool::submit(std::function<void()> task) {
   {

@@ -49,6 +49,11 @@ class ThreadPool {
   /// nested ranges inline instead of deadlocking on our own queue).
   bool on_worker_thread() const noexcept;
 
+  /// 1-based index of the calling pool worker thread, 0 for every other
+  /// thread (the caller participating in a range, tests, main).  Stable for
+  /// a worker's lifetime; the tracing layer uses it to attribute spans.
+  static std::size_t current_worker_id() noexcept;
+
   /// Fire-and-forget task.  Tasks may submit further tasks (nested
   /// submission); they must not throw -- an escaping exception terminates.
   /// Use wait_idle() to rendezvous with everything submitted so far.

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validate a pcs_serve Chrome trace against its runtime metrics document.
+
+Checks, in order:
+  1. the trace is well-formed Chrome trace-event JSON: a traceEvents list of
+     complete-duration ("ph": "X") events with name/cat/pid/tid/ts/dur;
+  2. timestamps are normalized: the minimum ts across all events is 0;
+  3. spans nest strictly within each (pid, tid) track -- no event partially
+     overlaps an earlier one;
+  4. one trace group (pid) per campaign in the metrics document;
+  5. with --chip-spans-per-route N (the pinned CI config uses 48: 3 stages
+     x 16 chips of the faulted Revsort(256 -> 192) plan), each campaign's
+     "plan.chip" span count equals N x its route_batch_dispatches counter;
+  6. each campaign's profile.plan.words_routed counter, when exported,
+     equals its total.delivered counter.
+
+Usage:
+  tools/check_trace.py TRACE.json METRICS.json [--chip-spans-per-route N]
+
+Exits nonzero with a message on the first violated check.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "pid", "tid", "ts", "dur")
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_events_shape(events):
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty list")
+    for i, ev in enumerate(events):
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in ev:
+                fail(f"event {i} missing key {key!r}: {ev}")
+        if ev["ph"] != "X":
+            fail(f"event {i} has ph={ev['ph']!r}, expected complete spans only")
+        if ev["ts"] < 0 or ev["dur"] < 0:
+            fail(f"event {i} has negative ts/dur: {ev}")
+
+
+def check_normalized_origin(events):
+    min_ts = min(ev["ts"] for ev in events)
+    if min_ts != 0:
+        fail(f"minimum ts is {min_ts}, expected a normalized origin of 0")
+
+
+def check_strict_nesting(events):
+    tracks = {}
+    for ev in events:
+        tracks.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+    for (pid, tid), track in tracks.items():
+        track.sort(key=lambda ev: (ev["ts"], -(ev["ts"] + ev["dur"])))
+        open_ends = []  # stack of enclosing span end times
+        for ev in track:
+            end = ev["ts"] + ev["dur"]
+            while open_ends and open_ends[-1] <= ev["ts"]:
+                open_ends.pop()
+            if open_ends and end > open_ends[-1]:
+                fail(
+                    f"span {ev['name']!r} [{ev['ts']}, {end}) straddles its "
+                    f"enclosing span (ends {open_ends[-1]}) on pid={pid} "
+                    f"tid={tid}"
+                )
+            open_ends.append(end)
+
+
+def check_against_metrics(events, doc, chip_spans_per_route):
+    campaigns = doc.get("campaigns")
+    if not campaigns:
+        fail("metrics document has no campaigns")
+    pids = {ev["pid"] for ev in events}
+    if pids != set(range(len(campaigns))):
+        fail(
+            f"trace pids {sorted(pids)} do not match the {len(campaigns)} "
+            "campaigns (one trace group per campaign)"
+        )
+    for pid, campaign in enumerate(campaigns):
+        counters = campaign["metrics"]["counters"]
+        if chip_spans_per_route:
+            chip_spans = sum(
+                1 for ev in events if ev["pid"] == pid and ev["cat"] == "plan.chip"
+            )
+            expected = chip_spans_per_route * counters["route_batch_dispatches"]
+            if chip_spans != expected:
+                fail(
+                    f"campaign {pid}: {chip_spans} plan.chip spans, expected "
+                    f"{chip_spans_per_route} x {counters['route_batch_dispatches']} "
+                    f"dispatches = {expected}"
+                )
+        words = counters.get("profile.plan.words_routed")
+        if words is not None and words != counters["total.delivered"]:
+            fail(
+                f"campaign {pid}: profile.plan.words_routed={words} != "
+                f"total.delivered={counters['total.delivered']}"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace JSON written by pcs_serve")
+    parser.add_argument("metrics", help="runtime metrics JSON from the same run")
+    parser.add_argument(
+        "--chip-spans-per-route",
+        type=int,
+        default=0,
+        metavar="N",
+        help="require N plan.chip spans per route_batch dispatch per campaign "
+        "(0 = skip; the pinned CI config uses 48)",
+    )
+    args = parser.parse_args()
+
+    with open(args.trace) as f:
+        trace = json.load(f)
+    with open(args.metrics) as f:
+        doc = json.load(f)
+
+    events = trace.get("traceEvents")
+    check_events_shape(events)
+    check_normalized_origin(events)
+    check_strict_nesting(events)
+    check_against_metrics(events, doc, args.chip_spans_per_route)
+    print(
+        f"check_trace: OK: {len(events)} events across "
+        f"{len(doc['campaigns'])} campaigns"
+    )
+
+
+if __name__ == "__main__":
+    main()
