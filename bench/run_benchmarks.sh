@@ -1,9 +1,13 @@
 #!/usr/bin/env sh
 # Run the simulator-performance benchmarks and leave machine-readable JSON
-# at the repo root (BENCH_sim_speed.json, BENCH_throughput.json,
-# BENCH_plan.json, BENCH_obs.json).  bench_plan runs the same batched-Revsort shapes as
+# at the repo root, one file per bench (BENCH_sim_speed.json,
+# BENCH_throughput.json, BENCH_plan.json, BENCH_threads.json,
+# BENCH_obs.json).  bench_plan runs the same batched-Revsort shapes as
 # bench_sim_speed so the plan executor's throughput can be compared
-# directly against the pre-plan engine.
+# directly against the pre-plan engine, and carries a *Legacy twin for each
+# batched family so the fused/unfused A/B lands in one JSON.  bench_threads
+# sweeps set_max_parallelism over 1/2/4/8 for the threads=1..N scaling
+# curve.
 #
 # Usage: bench/run_benchmarks.sh [build-dir]
 # Always builds the benchmarks before running them: configuring only happens
@@ -18,29 +22,19 @@ build_dir="${1:-$repo_root/build}"
 if [ ! -f "$build_dir/CMakeCache.txt" ]; then
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$build_dir" -j --target bench_sim_speed bench_throughput bench_plan bench_obs
+cmake --build "$build_dir" -j --target \
+  bench_sim_speed bench_throughput bench_plan bench_threads bench_obs
 
-"$build_dir/bench/bench_sim_speed" \
-  --benchmark_format=json \
-  --benchmark_out="$repo_root/BENCH_sim_speed.json" \
-  --benchmark_out_format=json
-
-"$build_dir/bench/bench_throughput" \
-  --benchmark_format=json \
-  --benchmark_out="$repo_root/BENCH_throughput.json" \
-  --benchmark_out_format=json
-
-"$build_dir/bench/bench_plan" \
-  --benchmark_format=json \
-  --benchmark_out="$repo_root/BENCH_plan.json" \
-  --benchmark_out_format=json
-
-"$build_dir/bench/bench_obs" \
-  --benchmark_format=json \
-  --benchmark_out="$repo_root/BENCH_obs.json" \
-  --benchmark_out_format=json
-
-echo "wrote $repo_root/BENCH_sim_speed.json"
-echo "wrote $repo_root/BENCH_throughput.json"
-echo "wrote $repo_root/BENCH_plan.json"
-echo "wrote $repo_root/BENCH_obs.json"
+for bench in sim_speed throughput plan threads obs; do
+  # The plan A/B is the PR-acceptance artifact; on a shared vCPU the host's
+  # memory-bandwidth contention swings short runs +/-12%, so give each case
+  # a long enough window to average over the bursts.
+  extra=""
+  [ "$bench" = plan ] && extra="--benchmark_min_time=2"
+  "$build_dir/bench/bench_$bench" \
+    --benchmark_format=json \
+    --benchmark_out="$repo_root/BENCH_$bench.json" \
+    --benchmark_out_format=json \
+    $extra
+  echo "wrote $repo_root/BENCH_$bench.json"
+done

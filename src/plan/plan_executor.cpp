@@ -5,11 +5,12 @@
 #include <cstring>
 
 #if defined(__x86_64__) && defined(__GNUC__)
-#define PCS_REVSORT_AVX512 1
+#define PCS_PLAN_CHIP_AVX512 1
 #include <immintrin.h>
 #endif
 
 #include "obs/trace.hpp"
+#include "plan/counting_kernels.hpp"
 #include "sortnet/lane_batch.hpp"
 #include "util/assert.hpp"
 #include "util/mathutil.hpp"
@@ -30,12 +31,13 @@ void concentrate_front(std::int32_t* seg, std::size_t width) {
   for (; fill < width; ++fill) seg[fill] = kIdleLabel;
 }
 
-/// One stage: gather the inbound link out of `prev`, concentrate every
-/// chip, then silence dead chips (after their concentrate, before the
-/// outbound link -- matching the legacy fault simulations exactly).
-/// `span_name` is the stage's interned label; with tracing enabled every
-/// chip evaluation (dead chips included -- they are still wired hardware)
-/// gets one cat::kChip span under it.
+/// Legacy stage evaluation: gather the inbound link out of `prev` into a
+/// full intermediate vector, concentrate every chip in place, then silence
+/// dead chips (after their concentrate, before the outbound link --
+/// matching the legacy fault simulations exactly).  `span_name` is the
+/// stage's interned label; with tracing enabled every chip evaluation (dead
+/// chips included -- they are still wired hardware) gets one cat::kChip
+/// span under it.
 void exec_stage(const PlanStage& st, const std::vector<std::int32_t>& prev,
                 std::vector<std::int32_t>& next, const char* span_name) {
   next.resize(st.wires());
@@ -66,6 +68,130 @@ void exec_stage(const PlanStage& st, const std::vector<std::int32_t>& prev,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fused chip kernels: evaluate one chip by reading straight through the
+// analyzed inbound gather.  The intermediate gathered vector of the legacy
+// path is never materialized -- a chip's concentrate is one gather+compress
+// over its pin window.  Constant idle/pad feeds were remapped onto sentinel
+// state slots by the analysis pass, so the gathers are unconditional.
+// ---------------------------------------------------------------------------
+
+/// Identity link: the chip's pins are already contiguous in `prev`.
+std::size_t chip_copy_concentrate(const std::int32_t* in, std::size_t width,
+                                  std::int32_t* out) {
+  std::size_t fill = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::int32_t v = in[i];
+    if (v != kIdleLabel) out[fill++] = v;
+  }
+  return fill;
+}
+
+/// General / stride link: pin i of the chip reads prev[src[i]].
+std::size_t chip_gather_concentrate(const std::int32_t* prev,
+                                    const std::uint32_t* src,
+                                    std::size_t width, std::int32_t* out) {
+  std::size_t fill = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::int32_t v = prev[src[i]];
+    if (v != kIdleLabel) out[fill++] = v;
+  }
+  return fill;
+}
+
+#ifdef PCS_PLAN_CHIP_AVX512
+
+__attribute__((target("avx512f")))
+std::size_t chip_copy_concentrate_avx512(const std::int32_t* in,
+                                         std::size_t width, std::int32_t* out) {
+  const __m512i idlev = _mm512_set1_epi32(kIdleLabel);
+  std::size_t fill = 0;
+  for (std::size_t i = 0; i < width; i += 16) {
+    const unsigned live =
+        static_cast<unsigned>(std::min<std::size_t>(16, width - i));
+    const __mmask16 mt = static_cast<__mmask16>((1u << live) - 1);
+    const __m512i v = _mm512_maskz_loadu_epi32(mt, in + i);
+    const __mmask16 occ = _mm512_mask_cmpneq_epi32_mask(mt, v, idlev);
+    _mm512_mask_compressstoreu_epi32(out + fill, occ, v);
+    fill += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(occ)));
+  }
+  return fill;
+}
+
+__attribute__((target("avx512f")))
+std::size_t chip_gather_concentrate_avx512(const std::int32_t* prev,
+                                           const std::uint32_t* src,
+                                           std::size_t width,
+                                           std::int32_t* out) {
+  const __m512i idlev = _mm512_set1_epi32(kIdleLabel);
+  std::size_t fill = 0;
+  for (std::size_t i = 0; i < width; i += 16) {
+    const unsigned live =
+        static_cast<unsigned>(std::min<std::size_t>(16, width - i));
+    const __mmask16 mt = static_cast<__mmask16>((1u << live) - 1);
+    const __m512i idx = _mm512_maskz_loadu_epi32(mt, src + i);
+    const __m512i v = _mm512_mask_i32gather_epi32(idlev, mt, idx, prev, 4);
+    const __mmask16 occ = _mm512_mask_cmpneq_epi32_mask(mt, v, idlev);
+    _mm512_mask_compressstoreu_epi32(out + fill, occ, v);
+    fill += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(occ)));
+  }
+  return fill;
+}
+
+#endif  // PCS_PLAN_CHIP_AVX512
+
+/// Fused stage evaluation: one gather+compress per chip, reading `prev`
+/// through the analyzed link.  Same trace span structure as the legacy
+/// exec_stage (one cat::kChip span per chip, chips_evaluated counter).
+void exec_stage_fused(const PlanStage& st, const LinkInfo& link,
+                      const std::int32_t* prev, std::int32_t* next,
+                      const char* span_name, bool simd) {
+#ifndef PCS_PLAN_CHIP_AVX512
+  (void)simd;
+#endif
+  const bool identity = link.kind == GatherKind::kIdentity;
+  const std::uint32_t* src = identity ? nullptr : link.src.data();
+  const auto eval_chip = [&](std::size_t c) {
+    std::int32_t* out = next + c * st.width;
+    std::size_t fill;
+#ifdef PCS_PLAN_CHIP_AVX512
+    if (simd) {
+      fill = identity
+                 ? chip_copy_concentrate_avx512(prev + c * st.width, st.width,
+                                                out)
+                 : chip_gather_concentrate_avx512(prev, src + c * st.width,
+                                                  st.width, out);
+    } else
+#endif
+    {
+      fill = identity
+                 ? chip_copy_concentrate(prev + c * st.width, st.width, out)
+                 : chip_gather_concentrate(prev, src + c * st.width, st.width,
+                                           out);
+    }
+    for (; fill < st.width; ++fill) out[fill] = kIdleLabel;
+  };
+  if (obs::Tracer::enabled()) {
+    for (std::size_t c = 0; c < st.chips; ++c) {
+      obs::SpanGuard span(span_name, obs::cat::kChip);
+      span.arg("chip", c);
+      eval_chip(c);
+    }
+    PCS_TRACE_COUNTER("plan.chips_evaluated", st.chips);
+  } else {
+    for (std::size_t c = 0; c < st.chips; ++c) eval_chip(c);
+  }
+  if (!st.dead.empty()) {
+    for (std::size_t c = 0; c < st.chips; ++c) {
+      if (st.dead[c]) {
+        std::fill(next + c * st.width, next + (c + 1) * st.width, kIdleLabel);
+      }
+    }
+  }
+}
+
 bool sequence_concentrated(const std::vector<std::int32_t>& seq) {
   bool seen_idle = false;
   for (std::int32_t s : seq) {
@@ -78,262 +204,6 @@ bool sequence_concentrated(const std::vector<std::int32_t>& seq) {
   return true;
 }
 
-// ---------------------------------------------------------------------------
-// Revsort counting kernel (moved verbatim from the pre-plan RevsortSwitch).
-// ---------------------------------------------------------------------------
-
-// Per-thread scratch for the counting kernel, reused across a chunk of
-// patterns so the batch path allocates once per chunk, not per route.
-struct RevsortScratch {
-  std::vector<std::uint32_t> col_count;   // stage-1 fill per column
-  std::vector<std::uint32_t> row_count;   // stage-2 fill per row
-  std::vector<std::uint32_t> row_start;   // CSR offsets of the row buckets
-  std::vector<std::uint32_t> cursor;      // CSR insertion cursors
-  std::vector<std::uint32_t> col3_count;  // stage-3 fill per column
-  std::vector<std::uint32_t> pos_buf;     // staged stage-3 positions of a row
-  std::vector<std::uint32_t> t_of;        // stage-1 row of the idx-th set bit
-  std::vector<std::uint32_t> x_of;        // input label of the idx-th set bit
-  std::vector<std::uint32_t> row_x;       // labels bucketed by stage-2 row
-
-  // cursor carries 16 lanes of slack: the vector kernel loads a full
-  // 16-lane block at cursor[fill] even when fewer lanes are live.
-  RevsortScratch(std::size_t v, std::size_t n)
-      : col_count(v + 1),
-        row_count(v),
-        row_start(v + 2),
-        cursor(v + 16),
-        col3_count(v),
-        pos_buf(v + 16),
-        row_x(n) {}
-
-  // The label staging arrays are only used by the scalar kernel; keeping
-  // them out of the vector path trims its working set.
-  void reserve_staging(std::size_t n) {
-    if (t_of.size() < n) {
-      t_of.resize(n);
-      x_of.resize(n);
-    }
-  }
-};
-
-// Replays the staged route as pure rank arithmetic on the set bits.  Stage 1
-// sends the t-th valid of column c to row t; the transpose hands row t its
-// labels in ascending column order, so a stable counting sort by t reproduces
-// the stage-2 pin order; the barrel shifter adds rev(t) to the stage-2 rank;
-// and stage 3 ranks each destination column by ascending row, which is
-// exactly the t-ascending CSR walk.  O(n/64 + k) per pattern.
-sw::SwitchRouting revsort_route_kernel(const BitVec& valid, std::size_t m,
-                                       std::size_t v, unsigned q,
-                                       const std::vector<std::uint32_t>& rev,
-                                       RevsortScratch& s) {
-  const std::size_t n = valid.size();
-  s.reserve_staging(n);
-  std::fill(s.col_count.begin(), s.col_count.end(), 0u);
-  std::fill(s.row_count.begin(), s.row_count.end(), 0u);
-  std::fill(s.col3_count.begin(), s.col3_count.end(), 0u);
-
-  // Stage 1: rank each set bit within its column (= its stage-1 output row).
-  std::size_t k = 0;
-  const auto& words = valid.words();
-  for (std::size_t wi = 0; wi < words.size(); ++wi) {
-    std::uint64_t w = words[wi];
-    while (w != 0) {
-      const std::uint32_t x = static_cast<std::uint32_t>(
-          wi * 64 + static_cast<std::size_t>(std::countr_zero(w)));
-      w &= w - 1;
-      const std::uint32_t t = s.col_count[x >> q]++;
-      s.t_of[k] = t;
-      s.x_of[k] = x;
-      ++s.row_count[t];
-      ++k;
-    }
-  }
-
-  // Stable counting sort by row: within a row, labels keep ascending-column
-  // order (ascending x), matching the stage-2 chip's pin order.
-  s.row_start[0] = 0;
-  for (std::size_t t = 0; t < v; ++t) {
-    s.row_start[t + 1] = s.row_start[t] + s.row_count[t];
-    s.cursor[t] = s.row_start[t];
-  }
-  for (std::size_t idx = 0; idx < k; ++idx) {
-    s.row_x[s.cursor[s.t_of[idx]]++] = s.x_of[idx];
-  }
-
-  // Stages 2 + 3: stage-2 rank j2 is the bucket offset; the shifter moves it
-  // to column (rev(t) + j2) mod v; stage 3 ranks that column by ascending t.
-  sw::SwitchRouting out;
-  out.output_of_input.assign(n, -1);
-  out.input_of_output.assign(m, -1);
-  for (std::size_t t = 0; t < v; ++t) {
-    for (std::uint32_t idx = s.row_start[t]; idx < s.row_start[t + 1]; ++idx) {
-      const std::uint32_t j2 = idx - s.row_start[t];
-      const std::uint32_t j3 = (rev[t] + j2) & static_cast<std::uint32_t>(v - 1);
-      const std::size_t pos = static_cast<std::size_t>(s.col3_count[j3]++) * v + j3;
-      if (pos < m) {
-        const std::uint32_t x = s.row_x[idx];
-        out.input_of_output[pos] = static_cast<std::int32_t>(x);
-        out.output_of_input[x] = static_cast<std::int32_t>(pos);
-      }
-    }
-  }
-  return out;
-}
-
-#ifdef PCS_REVSORT_AVX512
-
-bool cpu_has_avx512f_impl() {
-  static const bool ok = __builtin_cpu_supports("avx512f");
-  return ok;
-}
-
-// AVX-512 lane-parallel variant of the counting kernel, used when each
-// matrix column is a whole number of 64-bit words (v >= 64).  Three ideas:
-//  - within a column the t-th set bit goes to row t, so the CSR cursors a
-//    column consumes form one contiguous block: compress the set-bit labels
-//    straight out of the mask word and scatter them in 16-lane groups;
-//  - rows are walked in two wrap-free segments, so the stage-3 column fills
-//    sit at consecutive addresses and need plain loads/stores, not gathers;
-//  - only the two routing-table writes are true scatters, and both are
-//    conflict-free within a row (distinct outputs, distinct inputs).
-__attribute__((target("avx512f")))
-sw::SwitchRouting revsort_route_kernel_avx512(
-    const BitVec& valid, std::size_t m, std::size_t v, unsigned q,
-    const std::vector<std::uint32_t>& rev, RevsortScratch& s) {
-  const std::size_t n = valid.size();
-  const auto& words = valid.words();
-  const std::size_t wpc = v / 64;  // words per column; exact since v >= 64
-  // Column populations feed a histogram; row t of the sorted matrix has one
-  // slot per column with more than t valids, so suffix sums of the histogram
-  // give the row lengths and a prefix scan the CSR offsets.
-  std::uint32_t* histo = s.col_count.data();
-  std::memset(histo, 0, (v + 1) * sizeof(std::uint32_t));
-  std::size_t maxc = 0;
-  for (std::size_t c = 0; c < v; ++c) {
-    std::uint32_t cnt = 0;
-    for (std::size_t j = 0; j < wpc; ++j) {
-      cnt += static_cast<std::uint32_t>(std::popcount(words[c * wpc + j]));
-    }
-    ++histo[cnt];
-    if (cnt > maxc) maxc = cnt;
-  }
-  {
-    std::uint32_t acc = 0;
-    for (std::size_t t = maxc; t-- > 0;) {
-      acc += histo[t + 1];
-      s.row_start[t] = acc;  // row length, rewritten to the offset below
-    }
-    std::uint32_t start = 0;
-    for (std::size_t t = 0; t < maxc; ++t) {
-      const std::uint32_t len = s.row_start[t];
-      s.row_start[t] = start;
-      s.cursor[t] = start;
-      start += len;
-    }
-    s.row_start[maxc] = start;
-  }
-  const __m512i iota =
-      _mm512_set_epi32(15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0);
-  const __m512i one = _mm512_set1_epi32(1);
-  // Counting sort without the label staging pass: compress each column's
-  // set-bit labels out of the valid words and scatter them to cursor[t]
-  // (t = in-column rank, so the cursor block is a contiguous load).
-  std::uint32_t* row_x = s.row_x.data();
-  std::uint32_t* cursor = s.cursor.data();
-  for (std::size_t c = 0; c < v; ++c) {
-    std::uint32_t fill = 0;
-    const std::uint32_t base = static_cast<std::uint32_t>(c * v);
-    for (std::size_t j = 0; j < wpc; ++j) {
-      const std::uint64_t w = words[c * wpc + j];
-      if (w == 0) continue;
-      const std::uint32_t wb = base + static_cast<std::uint32_t>(j * 64);
-      for (unsigned h = 0; h < 4; ++h) {
-        const __mmask16 mk = static_cast<__mmask16>((w >> (16 * h)) & 0xFFFF);
-        if (!mk) continue;
-        const unsigned pc = static_cast<unsigned>(std::popcount(
-            static_cast<std::uint32_t>(mk)));
-        const __m512i xv = _mm512_maskz_compress_epi32(
-            mk, _mm512_add_epi32(
-                    _mm512_set1_epi32(static_cast<int>(wb + 16 * h)), iota));
-        const __m512i idx = _mm512_loadu_si512(cursor + fill);
-        const __mmask16 lanes = static_cast<__mmask16>((1u << pc) - 1);
-        _mm512_mask_i32scatter_epi32(row_x, lanes, idx, xv, 4);
-        fill += pc;
-      }
-    }
-    // Advance the one cursor slot per row this column consumed.
-    for (std::uint32_t t = 0; t < fill; t += 16) {
-      const __mmask16 mt =
-          static_cast<__mmask16>((1u << std::min(16u, fill - t)) - 1);
-      _mm512_mask_storeu_epi32(
-          cursor + t, mt,
-          _mm512_add_epi32(_mm512_maskz_loadu_epi32(mt, cursor + t), one));
-    }
-  }
-  // Stages 2+3: the shifter maps stage-2 rank j2 to column (rev(t)+j2) mod v.
-  // Splitting each row at the wrap point keeps j3 consecutive, so the stage-3
-  // fills are contiguous loads/stores and only the routing tables scatter.
-  // Each row runs as two passes: first compute every position into pos_buf
-  // (scratch-only traffic), then scatter from sequential reads.  Interleaving
-  // the col3 loads with the table scatters instead makes the kernel hostage
-  // to 4K store-to-load aliasing against the caller-controlled output
-  // addresses, which more than doubled its time for unlucky heap layouts.
-  sw::SwitchRouting out;
-  out.output_of_input.assign(n, -1);
-  out.input_of_output.assign(m, -1);
-  std::uint32_t* col3 = s.col3_count.data();
-  std::uint32_t* pos_buf = s.pos_buf.data();
-  std::memset(col3, 0, v * sizeof(std::uint32_t));
-  std::int32_t* in_out = out.input_of_output.data();
-  std::int32_t* out_in = out.output_of_input.data();
-  const __m512i vm = _mm512_set1_epi32(static_cast<int>(m));
-  for (std::size_t t = 0; t < maxc; ++t) {
-    const std::uint32_t rt = rev[t];
-    const std::uint32_t len = s.row_start[t + 1] - s.row_start[t];
-    const std::uint32_t* row = row_x + s.row_start[t];
-    const std::uint32_t seg0 = std::min(len, static_cast<std::uint32_t>(v) - rt);
-    for (unsigned seg = 0; seg < 2; ++seg) {
-      const std::uint32_t j2lo = seg == 0 ? 0 : seg0;
-      const std::uint32_t j2hi = seg == 0 ? seg0 : len;
-      const std::uint32_t j3base = seg == 0 ? rt : 0;
-      for (std::uint32_t j2 = j2lo; j2 < j2hi; j2 += 16) {
-        const std::uint32_t live = std::min(16u, j2hi - j2);
-        const __mmask16 mt = static_cast<__mmask16>((1u << live) - 1);
-        const std::uint32_t j3c = j3base + (j2 - j2lo);
-        const __m512i fillv = _mm512_maskz_loadu_epi32(mt, col3 + j3c);
-        const __m512i j3v =
-            _mm512_add_epi32(_mm512_set1_epi32(static_cast<int>(j3c)), iota);
-        const __m512i posv = _mm512_add_epi32(
-            _mm512_slli_epi32(fillv, static_cast<int>(q)), j3v);
-        _mm512_mask_storeu_epi32(pos_buf + j2, mt, posv);
-        _mm512_mask_storeu_epi32(col3 + j3c, mt, _mm512_add_epi32(fillv, one));
-      }
-    }
-    for (std::uint32_t j2 = 0; j2 < len; j2 += 16) {
-      const std::uint32_t live = std::min(16u, len - j2);
-      const __mmask16 mt = static_cast<__mmask16>((1u << live) - 1);
-      const __m512i xv = _mm512_maskz_loadu_epi32(mt, row + j2);
-      const __m512i posv = _mm512_maskz_loadu_epi32(mt, pos_buf + j2);
-      const __mmask16 ok = _mm512_mask_cmplt_epu32_mask(mt, posv, vm);
-      _mm512_mask_i32scatter_epi32(in_out, ok, posv, xv, 4);
-      _mm512_mask_i32scatter_epi32(out_in, ok, xv, posv, 4);
-    }
-  }
-  return out;
-}
-
-#else
-
-bool cpu_has_avx512f_impl() { return false; }
-
-#endif  // PCS_REVSORT_AVX512
-
-}  // namespace
-
-bool cpu_has_avx512f() { return cpu_has_avx512f_impl(); }
-
-namespace {
-
 /// Interned span name for one stage: its label, or "<plan><kind><idx>" when
 /// a hand-built plan left the label empty.
 const char* intern_stage_name(const SwitchPlan& plan, const PlanStage& st,
@@ -344,8 +214,11 @@ const char* intern_stage_name(const SwitchPlan& plan, const PlanStage& st,
 
 }  // namespace
 
-PlanExecutor::PlanExecutor(SwitchPlan plan) : plan_(std::move(plan)) {
+PlanExecutor::PlanExecutor(SwitchPlan plan, ExecMode mode)
+    : plan_(std::move(plan)), mode_(mode) {
   plan_.validate();
+  analysis_ = analyze_plan(plan_);
+  fused_simd_ = cpu_has_avx512f();
   stage_span_names_.reserve(plan_.stages.size());
   for (std::size_t i = 0; i < plan_.stages.size(); ++i) {
     stage_span_names_.push_back(
@@ -362,7 +235,7 @@ PlanExecutor::PlanExecutor(SwitchPlan plan) : plan_(std::move(plan)) {
                 "Revsort fast path parameters: side=" << plan_.fp_side
                                                       << " rev=" << plan_.fp_rev.size());
     fp_q_ = exact_log2(plan_.fp_side);
-    // The vector kernel needs whole valid-words per matrix column.
+    // The vector kernels need whole valid-words per matrix column.
     fp_vectorize_ = cpu_has_avx512f() && plan_.fp_side >= 64;
   }
   if (plan_.fast_path == FastPathKind::kColumnsortCount) {
@@ -372,70 +245,76 @@ PlanExecutor::PlanExecutor(SwitchPlan plan) : plan_(std::move(plan)) {
                                                       << " s=" << plan_.fp_s);
   }
 
-  // Precompute the generic LaneBatch pipeline: eligible when every stage
-  // spans exactly n wires and every link (and the readout) is a bijection,
-  // and the plan has no safety net to iterate (faulty plans skip it anyway).
+  // Lane-pipeline eligibility.  Both engines refuse plans that might
+  // iterate their safety net (fault-free plans with safety stages; faulty
+  // plans skip the net anyway).  The fused engine reads through the
+  // analysis gather tables, so that is its *only* requirement -- pad feeds,
+  // non-bijective links, and width-changing stages all batch.  The legacy
+  // engine additionally needs every stage on n wires and every link (and
+  // the readout) to be a bijection, with precomputed permute dest arrays.
   lanes_eligible_ = plan_.safety_stages.empty() || !plan_.faults.empty();
-  for (const PlanStage& st : plan_.stages) {
-    if (st.wires() != plan_.n) lanes_eligible_ = false;
-  }
-  if (lanes_eligible_) {
-    const std::size_t n = plan_.n;
-    std::vector<std::uint8_t> seen(n);
+  if (mode_ == ExecMode::kLegacy && lanes_eligible_) {
     for (const PlanStage& st : plan_.stages) {
-      std::fill(seen.begin(), seen.end(), 0);
-      bool identity = true;
-      for (std::size_t w = 0; w < n && lanes_eligible_; ++w) {
-        const std::int32_t src = st.in_src[w];
-        if (src < 0 || seen[static_cast<std::size_t>(src)]) {
-          lanes_eligible_ = false;
-          break;
-        }
-        seen[static_cast<std::size_t>(src)] = 1;
-        if (static_cast<std::size_t>(src) != w) identity = false;
-      }
-      if (!lanes_eligible_) break;
-      std::vector<std::uint32_t> dest;
-      if (!identity) {
-        dest.resize(n);
-        for (std::size_t w = 0; w < n; ++w) {
-          dest[static_cast<std::size_t>(st.in_src[w])] =
-              static_cast<std::uint32_t>(w);
-        }
-      }
-      lane_link_dest_.push_back(std::move(dest));
+      if (st.wires() != plan_.n) lanes_eligible_ = false;
     }
     if (lanes_eligible_) {
-      std::fill(seen.begin(), seen.end(), 0);
-      lane_readout_identity_ = true;
-      for (std::size_t pos = 0; pos < n; ++pos) {
-        const std::uint32_t w = plan_.readout[pos];
-        if (seen[w]) {
-          lanes_eligible_ = false;
-          break;
+      const std::size_t n = plan_.n;
+      std::vector<std::uint8_t> seen(n);
+      for (const PlanStage& st : plan_.stages) {
+        std::fill(seen.begin(), seen.end(), 0);
+        bool identity = true;
+        for (std::size_t w = 0; w < n && lanes_eligible_; ++w) {
+          const std::int32_t src = st.in_src[w];
+          if (src < 0 || seen[static_cast<std::size_t>(src)]) {
+            lanes_eligible_ = false;
+            break;
+          }
+          seen[static_cast<std::size_t>(src)] = 1;
+          if (static_cast<std::size_t>(src) != w) identity = false;
         }
-        seen[w] = 1;
-        if (w != pos) lane_readout_identity_ = false;
+        if (!lanes_eligible_) break;
+        std::vector<std::uint32_t> dest;
+        if (!identity) {
+          dest.resize(n);
+          for (std::size_t w = 0; w < n; ++w) {
+            dest[static_cast<std::size_t>(st.in_src[w])] =
+                static_cast<std::uint32_t>(w);
+          }
+        }
+        lane_link_dest_.push_back(std::move(dest));
       }
-      if (lanes_eligible_ && !lane_readout_identity_) {
-        lane_readout_dest_.resize(n);
+      if (lanes_eligible_) {
+        std::fill(seen.begin(), seen.end(), 0);
+        lane_readout_identity_ = true;
         for (std::size_t pos = 0; pos < n; ++pos) {
-          lane_readout_dest_[plan_.readout[pos]] = static_cast<std::uint32_t>(pos);
+          const std::uint32_t w = plan_.readout[pos];
+          if (seen[w]) {
+            lanes_eligible_ = false;
+            break;
+          }
+          seen[w] = 1;
+          if (w != pos) lane_readout_identity_ = false;
+        }
+        if (lanes_eligible_ && !lane_readout_identity_) {
+          lane_readout_dest_.resize(n);
+          for (std::size_t pos = 0; pos < n; ++pos) {
+            lane_readout_dest_[plan_.readout[pos]] = static_cast<std::uint32_t>(pos);
+          }
         }
       }
     }
-  }
-  if (!lanes_eligible_) {
-    lane_link_dest_.clear();
-    lane_readout_dest_.clear();
+    if (!lanes_eligible_) {
+      lane_link_dest_.clear();
+      lane_readout_dest_.clear();
+    }
   }
 }
 
-std::vector<std::int32_t> PlanExecutor::run_stages(const BitVec& valid) const {
-  PCS_REQUIRE(valid.size() == plan_.n, plan_.name << " width: pattern has "
-                                                  << valid.size()
-                                                  << " bits, switch has n=" << plan_.n);
-  std::vector<std::int32_t> state(plan_.n), next;
+std::vector<std::int32_t> PlanExecutor::run_stages_legacy(
+    const BitVec& valid, StageScratch& scratch) const {
+  std::vector<std::int32_t>& state = scratch.state;
+  std::vector<std::int32_t>& next = scratch.next;
+  state.resize(plan_.n);
   for (std::size_t x = 0; x < plan_.n; ++x) {
     state[x] = valid.get(x) ? static_cast<std::int32_t>(x) : kIdleLabel;
   }
@@ -479,8 +358,78 @@ std::vector<std::int32_t> PlanExecutor::run_stages(const BitVec& valid) const {
   return seq;
 }
 
-sw::SwitchRouting PlanExecutor::route(const BitVec& valid) const {
-  const std::vector<std::int32_t> seq = run_stages(valid);
+std::vector<std::int32_t> PlanExecutor::run_stages_fused(
+    const BitVec& valid, StageScratch& scratch) const {
+  std::vector<std::int32_t>& state = scratch.state;
+  std::vector<std::int32_t>& next = scratch.next;
+  if (state.size() != analysis_.buf_slots) {
+    // Both buffers carry the two sentinel slots past the widest stage; the
+    // stage kernels only ever write [0, wires), so the pins survive the
+    // swaps for the whole walk (and across reuses of this scratch).
+    state.assign(analysis_.buf_slots, kIdleLabel);
+    next.assign(analysis_.buf_slots, kIdleLabel);
+    state[analysis_.pad_slot] = kPadLabel;
+    next[analysis_.pad_slot] = kPadLabel;
+  }
+  for (std::size_t x = 0; x < plan_.n; ++x) {
+    state[x] = valid.get(x) ? static_cast<std::int32_t>(x) : kIdleLabel;
+  }
+  for (std::size_t k = 0; k < plan_.stages.size(); ++k) {
+    obs::SpanGuard span(stage_span_names_[k], obs::cat::kStage);
+    exec_stage_fused(plan_.stages[k], analysis_.links[k], state.data(),
+                     next.data(), stage_span_names_[k], fused_simd_);
+    state.swap(next);
+  }
+  const LinkInfo& ro = analysis_.readout;
+  auto read_out = [&] {
+    std::vector<std::int32_t> seq(plan_.n);
+    for (std::size_t pos = 0; pos < plan_.n; ++pos) {
+      const std::int32_t v = ro.kind == GatherKind::kIdentity
+                                 ? state[pos]
+                                 : state[ro.src[pos]];
+      PCS_REQUIRE(v != kPadLabel,
+                  plan_.name << ": pad escaped the shift window at pos=" << pos);
+      seq[pos] = v;
+    }
+    return seq;
+  };
+  std::vector<std::int32_t> seq = read_out();
+  if (!plan_.safety_stages.empty() && plan_.faults.empty()) {
+    std::size_t extra = 0;
+    while (!sequence_concentrated(seq)) {
+      for (std::size_t k = 0; k < plan_.safety_stages.size(); ++k) {
+        obs::SpanGuard span(safety_span_names_[k], obs::cat::kStage);
+        exec_stage_fused(plan_.safety_stages[k], analysis_.safety_links[k],
+                         state.data(), next.data(), safety_span_names_[k],
+                         fused_simd_);
+        state.swap(next);
+      }
+      ++extra;
+      PCS_TRACE_COUNTER("plan.safety_iterations", 1);
+      PCS_REQUIRE(extra <= plan_.safety_limit,
+                  plan_.name << " failed to converge");
+      seq = read_out();
+    }
+    extra_phases_.store(extra);
+  } else if (plan_.fully_sorting && plan_.faults.empty()) {
+    PCS_REQUIRE(sequence_concentrated(seq),
+                plan_.name << " output not concentrated");
+  }
+  return seq;
+}
+
+std::vector<std::int32_t> PlanExecutor::run_stages(
+    const BitVec& valid, StageScratch& scratch) const {
+  PCS_REQUIRE(valid.size() == plan_.n, plan_.name << " width: pattern has "
+                                                  << valid.size()
+                                                  << " bits, switch has n=" << plan_.n);
+  return mode_ == ExecMode::kFused ? run_stages_fused(valid, scratch)
+                                   : run_stages_legacy(valid, scratch);
+}
+
+sw::SwitchRouting PlanExecutor::route_with_scratch(const BitVec& valid,
+                                                   StageScratch& scratch) const {
+  const std::vector<std::int32_t> seq = run_stages(valid, scratch);
   sw::SwitchRouting out;
   out.output_of_input.assign(plan_.n, -1);
   out.input_of_output.assign(plan_.m, -1);
@@ -502,8 +451,14 @@ sw::SwitchRouting PlanExecutor::route(const BitVec& valid) const {
   return out;
 }
 
+sw::SwitchRouting PlanExecutor::route(const BitVec& valid) const {
+  StageScratch scratch;
+  return route_with_scratch(valid, scratch);
+}
+
 BitVec PlanExecutor::nearsorted_valid_bits(const BitVec& valid) const {
-  const std::vector<std::int32_t> seq = run_stages(valid);
+  StageScratch scratch;
+  const std::vector<std::int32_t> seq = run_stages(valid, scratch);
   BitVec out(plan_.n);
   for (std::size_t pos = 0; pos < plan_.n; ++pos) out.set(pos, seq[pos] >= 0);
   return out;
@@ -514,6 +469,10 @@ std::vector<sw::SwitchRouting> PlanExecutor::route_batch(
   std::vector<sw::SwitchRouting> out(valids.size());
   switch (plan_.fast_path) {
     case FastPathKind::kRevsortCount: {
+      // Fused mode runs the dense-prefix kernel whenever the matrix columns
+      // are whole valid-words (it scans columns wordwise); legacy mode keeps
+      // the PR 1 kernels as the A/B baseline and differential oracle.
+      const bool fused = mode_ == ExecMode::kFused && plan_.fp_side >= 64;
       parallel_for_chunks(0, valids.size(), [&](std::size_t lo, std::size_t hi) {
         obs::SpanGuard span("plan.fastpath.revsort", obs::cat::kBatch);
         span.arg("patterns", hi - lo);
@@ -523,15 +482,19 @@ std::vector<sw::SwitchRouting> PlanExecutor::route_batch(
                       plan_.name << " route_batch width: pattern " << i << " of "
                                  << valids.size() << " has " << valids[i].size()
                                  << " bits, switch has n=" << plan_.n);
-#ifdef PCS_REVSORT_AVX512
-          if (fp_vectorize_) {
-            out[i] = revsort_route_kernel_avx512(valids[i], plan_.m, plan_.fp_side,
-                                                 fp_q_, plan_.fp_rev, scratch);
-            continue;
+          if (fused) {
+            out[i] = revsort_route_kernel_fused(valids[i], plan_.m,
+                                                plan_.fp_side, fp_q_,
+                                                plan_.fp_rev, scratch,
+                                                fp_vectorize_);
+          } else if (fp_vectorize_) {
+            out[i] = revsort_route_kernel_avx512(valids[i], plan_.m,
+                                                 plan_.fp_side, fp_q_,
+                                                 plan_.fp_rev, scratch);
+          } else {
+            out[i] = revsort_route_kernel(valids[i], plan_.m, plan_.fp_side,
+                                          fp_q_, plan_.fp_rev, scratch);
           }
-#endif
-          out[i] = revsort_route_kernel(valids[i], plan_.m, plan_.fp_side, fp_q_,
-                                        plan_.fp_rev, scratch);
         }
         if (obs::Tracer::enabled()) {
           std::uint64_t routed = 0;
@@ -550,43 +513,16 @@ std::vector<sw::SwitchRouting> PlanExecutor::route_batch(
       parallel_for_chunks(0, valids.size(), [&](std::size_t lo, std::size_t hi) {
         obs::SpanGuard span("plan.fastpath.columnsort", obs::cat::kBatch);
         span.arg("patterns", hi - lo);
-        // Single ascending pass over the set bits.  Stage 1 sends the t-th
-        // valid of column c to column-major position y = c*r + t; the
-        // CM -> RM wiring lands it on stage-2 chip y mod s = t mod s (s
-        // divides r), and because y ascends along the pass, so does the
-        // stage-2 pin y / s within each chip -- the stable stage-2 rank is
-        // just the chip's fill counter.  With read-out position rank*s +
-        // chip, the next position a chip emits is a running value bumped by
-        // s per message.
-        std::vector<std::uint32_t> col_fill(s);
-        std::vector<std::size_t> next_pos(s);
+        ColumnsortScratch scratch(s);
         for (std::size_t i = lo; i < hi; ++i) {
-          const BitVec& valid = valids[i];
-          PCS_REQUIRE(valid.size() == n,
+          PCS_REQUIRE(valids[i].size() == n,
                       plan_.name << " route_batch width: pattern " << i << " of "
-                                 << valids.size() << " has " << valid.size()
+                                 << valids.size() << " has " << valids[i].size()
                                  << " bits, switch has n=" << n);
-          std::fill(col_fill.begin(), col_fill.end(), 0u);
-          for (std::size_t j = 0; j < s; ++j) next_pos[j] = j;
-          sw::SwitchRouting& out_i = out[i];
-          out_i.output_of_input.assign(n, -1);
-          out_i.input_of_output.assign(m, -1);
-          const auto& words = valid.words();
-          for (std::size_t wi = 0; wi < words.size(); ++wi) {
-            std::uint64_t w = words[wi];
-            while (w != 0) {
-              const std::size_t x =
-                  wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
-              w &= w - 1;
-              const std::size_t j2 = col_fill[x / r]++ % s;
-              const std::size_t pos = next_pos[j2];
-              next_pos[j2] += s;
-              if (pos < m) {
-                out_i.input_of_output[pos] = static_cast<std::int32_t>(x);
-                out_i.output_of_input[x] = static_cast<std::int32_t>(pos);
-              }
-            }
-          }
+          out[i] = mode_ == ExecMode::kFused
+                       ? columnsort_route_kernel(valids[i], m, r, s, scratch)
+                       : columnsort_route_kernel_legacy(valids[i], m, r, s,
+                                                        scratch);
         }
         if (obs::Tracer::enabled()) {
           std::uint64_t routed = 0;
@@ -603,7 +539,14 @@ std::vector<sw::SwitchRouting> PlanExecutor::route_batch(
     case FastPathKind::kNone:
       break;
   }
-  parallel_for(0, valids.size(), [&](std::size_t i) { out[i] = route(valids[i]); });
+  // Generic path: chunked scalar walks, one stage scratch per chunk so the
+  // label buffers are allocated once per worker, not once per pattern.
+  parallel_for_chunks(0, valids.size(), [&](std::size_t lo, std::size_t hi) {
+    StageScratch scratch;
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = route_with_scratch(valids[i], scratch);
+    }
+  });
   return out;
 }
 
@@ -623,7 +566,48 @@ std::vector<BitVec> PlanExecutor::nearsorted_batch(
     });
     return out;
   }
-  if (lanes_eligible_) {
+  if (lanes_eligible_ && mode_ == ExecMode::kFused) {
+    // Fused lane pipeline: word-parallel occupancy through the analysis
+    // gather tables.  Constant feeds read the sentinel slots (idle = zero
+    // word, pad = all-ones word), re-pinned after every gather because the
+    // gather recycles the position store.
+    const std::size_t blocks = ceil_div(valids.size(), sortnet::LaneBatch::kLanes);
+    parallel_for(0, blocks, [&](std::size_t b) {
+      const std::size_t first = b * sortnet::LaneBatch::kLanes;
+      const std::size_t count =
+          std::min(sortnet::LaneBatch::kLanes, valids.size() - first);
+      obs::SpanGuard span("plan.lane_block", obs::cat::kBatch);
+      span.arg("lanes", count);
+      PCS_TRACE_COUNTER("plan.lane_blocks", 1);
+      sortnet::LaneBatch lanes(plan_.n, analysis_.buf_slots);
+      lanes.load(valids, first, count);
+      const auto pin_sentinels = [&] {
+        lanes.set_constant(analysis_.idle_slot, 0);
+        lanes.set_constant(analysis_.pad_slot, ~std::uint64_t{0});
+      };
+      pin_sentinels();
+      for (std::size_t k = 0; k < plan_.stages.size(); ++k) {
+        const PlanStage& st = plan_.stages[k];
+        const LinkInfo& link = analysis_.links[k];
+        if (link.kind != GatherKind::kIdentity) {
+          lanes.gather(link.src);
+          pin_sentinels();
+        }
+        lanes.concentrate_segments(st.width);
+        if (!st.dead.empty()) {
+          for (std::size_t c = 0; c < st.chips; ++c) {
+            if (st.dead[c]) lanes.clear_positions(c * st.width, (c + 1) * st.width);
+          }
+        }
+      }
+      if (analysis_.readout.kind != GatherKind::kIdentity) {
+        lanes.gather(analysis_.readout.src);
+      }
+      lanes.store(out, first);
+    });
+    return out;
+  }
+  if (lanes_eligible_ && mode_ == ExecMode::kLegacy) {
     const std::size_t blocks = ceil_div(valids.size(), sortnet::LaneBatch::kLanes);
     parallel_for(0, blocks, [&](std::size_t b) {
       const std::size_t first = b * sortnet::LaneBatch::kLanes;
@@ -649,8 +633,17 @@ std::vector<BitVec> PlanExecutor::nearsorted_batch(
     });
     return out;
   }
-  parallel_for(0, valids.size(),
-               [&](std::size_t i) { out[i] = nearsorted_valid_bits(valids[i]); });
+  parallel_for_chunks(0, valids.size(), [&](std::size_t lo, std::size_t hi) {
+    StageScratch scratch;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::vector<std::int32_t> seq = run_stages(valids[i], scratch);
+      BitVec bits(plan_.n);
+      for (std::size_t pos = 0; pos < plan_.n; ++pos) {
+        bits.set(pos, seq[pos] >= 0);
+      }
+      out[i] = std::move(bits);
+    }
+  });
   return out;
 }
 

@@ -103,6 +103,8 @@ void set_key(RuntimeConfig& cfg, const std::string& key, const std::string& valu
     cfg.out = value;
   } else if (key == "threads") {
     cfg.threads = parse_size(key, value);
+  } else if (key == "exec") {
+    cfg.exec = value;
   } else if (key == "trace") {
     cfg.trace = value;
   } else if (key == "trace_clock") {
@@ -137,6 +139,8 @@ void validate(const RuntimeConfig& cfg) {
   PCS_REQUIRE(cfg.trace_clock == "tsc" || cfg.trace_clock == "logical",
               "trace_clock must be 'tsc' or 'logical', got '" << cfg.trace_clock
                                                               << "'");
+  PCS_REQUIRE(cfg.exec == "fused" || cfg.exec == "legacy",
+              "exec must be 'fused' or 'legacy', got '" << cfg.exec << "'");
 }
 
 }  // namespace
@@ -198,6 +202,7 @@ std::string config_to_json(const RuntimeConfig& cfg, std::size_t indent) {
   os << pad << "  \"check_invariants\": " << (cfg.check_invariants ? "true" : "false")
      << ",\n";
   os << pad << "  \"drain_epochs_max\": " << cfg.drain_epochs_max << ",\n";
+  os << pad << "  \"exec\": " << json_escape(cfg.exec) << ",\n";
   os << pad << "  \"family\": " << json_escape(cfg.family) << ",\n";
   os << pad << "  \"faults\": [";
   for (std::size_t i = 0; i < cfg.faults.size(); ++i) {

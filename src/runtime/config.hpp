@@ -55,6 +55,11 @@ struct RuntimeConfig {
   /// Clamp on worker threads for every parallel dispatch (see
   /// pcs::set_max_parallelism).  0 = no clamp; 1 = deterministic order.
   std::size_t threads = 0;
+  /// Plan-executor engine: "fused" (analysis-driven gather fusion, the
+  /// default) or "legacy" (per-stage materialization; the differential
+  /// oracle).  Applied process-wide via plan::set_default_exec_mode before
+  /// any switch is built, so serving campaigns can A/B the two engines.
+  std::string exec = "fused";
   /// When non-empty, trace every campaign and write one Chrome trace-event
   /// JSON (Perfetto-loadable) to this path; the per-campaign profile rollup
   /// appears in the metrics document either way.

@@ -35,9 +35,12 @@ void transpose_lanes(std::uint64_t a[64]) {
 
 }  // namespace
 
-LaneBatch::LaneBatch(std::size_t n) : n_(n) {
+LaneBatch::LaneBatch(std::size_t n, std::size_t capacity) : n_(n), width_(n) {
   PCS_REQUIRE(n > 0, "LaneBatch n");
-  pos_.assign(ceil_div(n, kLanes) * kLanes, 0);
+  PCS_REQUIRE(capacity == 0 || capacity >= n,
+              "LaneBatch capacity: capacity=" << capacity << " n=" << n);
+  const std::size_t slots = capacity == 0 ? n : capacity;
+  pos_.assign(ceil_div(slots, kLanes) * kLanes, 0);
   scratch_.assign(pos_.size(), 0);
 }
 
@@ -49,7 +52,8 @@ void LaneBatch::load(const std::vector<BitVec>& patterns, std::size_t first,
               "LaneBatch::load range: first=" << first << " count=" << count
               << " patterns=" << patterns.size());
   lanes_ = count;
-  const std::size_t blocks = pos_.size() / kLanes;
+  width_ = n_;
+  const std::size_t blocks = ceil_div(n_, kLanes);
   std::uint64_t block[64];
   for (std::size_t b = 0; b < blocks; ++b) {
     for (std::size_t l = 0; l < kLanes; ++l) {
@@ -72,7 +76,9 @@ void LaneBatch::load(const std::vector<BitVec>& patterns, std::size_t first,
 
 BitVec LaneBatch::extract(std::size_t lane) const {
   PCS_REQUIRE(lane < lanes_, "LaneBatch::extract lane");
-  const std::size_t blocks = pos_.size() / kLanes;
+  PCS_REQUIRE(width_ == n_, "LaneBatch::extract width: width=" << width_
+                                                               << " n=" << n_);
+  const std::size_t blocks = ceil_div(n_, kLanes);
   std::vector<std::uint64_t> words(blocks, 0);
   std::uint64_t block[64];
   for (std::size_t b = 0; b < blocks; ++b) {
@@ -86,7 +92,9 @@ BitVec LaneBatch::extract(std::size_t lane) const {
 
 void LaneBatch::store(std::vector<BitVec>& out, std::size_t first) const {
   PCS_REQUIRE(first + lanes_ <= out.size(), "LaneBatch::store range");
-  const std::size_t blocks = pos_.size() / kLanes;
+  PCS_REQUIRE(width_ == n_, "LaneBatch::store width: width=" << width_
+                                                             << " n=" << n_);
+  const std::size_t blocks = ceil_div(n_, kLanes);
   std::vector<std::vector<std::uint64_t>> words(
       lanes_, std::vector<std::uint64_t>(blocks, 0));
   std::uint64_t block[64];
@@ -102,12 +110,12 @@ void LaneBatch::store(std::vector<BitVec>& out, std::size_t first) const {
 }
 
 void LaneBatch::concentrate_segments(std::size_t seg_len) {
-  PCS_REQUIRE(seg_len > 0 && n_ % seg_len == 0,
-              "LaneBatch::concentrate_segments seg_len must divide n");
+  PCS_REQUIRE(seg_len > 0 && width_ % seg_len == 0,
+              "LaneBatch::concentrate_segments seg_len must divide the width");
   const std::size_t depth = ceil_log2(seg_len + 1);
   if (planes_.size() < depth) planes_.assign(depth, 0);
   std::uint64_t* planes = planes_.data();
-  for (std::size_t s0 = 0; s0 < n_; s0 += seg_len) {
+  for (std::size_t s0 = 0; s0 < width_; s0 += seg_len) {
     // Count the ones per lane: carry-save add each position word into the
     // bit planes (plane b holds bit b of all 64 counters).
     for (std::size_t p = s0; p < s0 + seg_len; ++p) {
@@ -137,17 +145,35 @@ void LaneBatch::concentrate_segments(std::size_t seg_len) {
 }
 
 void LaneBatch::clear_positions(std::size_t lo, std::size_t hi) {
-  PCS_REQUIRE(lo <= hi && hi <= n_,
+  PCS_REQUIRE(lo <= hi && hi <= width_,
               "LaneBatch::clear_positions range: lo=" << lo << " hi=" << hi
-                                                      << " n=" << n_);
+                                                      << " width=" << width_);
   std::fill(pos_.begin() + static_cast<std::ptrdiff_t>(lo),
             pos_.begin() + static_cast<std::ptrdiff_t>(hi), 0);
 }
 
 void LaneBatch::permute(const std::vector<std::uint32_t>& dest) {
-  PCS_REQUIRE(dest.size() == n_, "LaneBatch::permute size mismatch");
-  for (std::size_t i = 0; i < n_; ++i) scratch_[dest[i]] = pos_[i];
+  PCS_REQUIRE(dest.size() == width_, "LaneBatch::permute size mismatch");
+  for (std::size_t i = 0; i < width_; ++i) scratch_[dest[i]] = pos_[i];
   pos_.swap(scratch_);
+}
+
+void LaneBatch::gather(const std::vector<std::uint32_t>& src) {
+  PCS_REQUIRE(src.size() > 0 && src.size() <= pos_.size(),
+              "LaneBatch::gather width: src=" << src.size()
+                                              << " capacity=" << pos_.size());
+  const std::uint64_t* in = pos_.data();
+  std::uint64_t* out = scratch_.data();
+  for (std::size_t i = 0; i < src.size(); ++i) out[i] = in[src[i]];
+  pos_.swap(scratch_);
+  width_ = src.size();
+}
+
+void LaneBatch::set_constant(std::size_t pos, std::uint64_t word) {
+  PCS_REQUIRE(pos < pos_.size(),
+              "LaneBatch::set_constant slot: pos=" << pos
+                                                   << " capacity=" << pos_.size());
+  pos_[pos] = word;
 }
 
 }  // namespace pcs::sortnet

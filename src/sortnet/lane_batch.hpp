@@ -16,6 +16,14 @@
 //     write-back that decrements the planes until they drain.
 //   * permute(dest): an inter-stage wiring permutation (wiring.hpp) applied
 //     as whole-word moves -- 64 patterns rewired per store.
+//   * gather(src): the general inbound-link read the fused plan executor
+//     uses -- position i of the next arrangement reads position src[i] of
+//     the current one.  Unlike permute it needs no bijection (sources may
+//     repeat or be skipped) and may change the active width, so
+//     width-changing stages (full Columnsort's widened pad stage) batch
+//     too.  Constant idle/pad feeds are modelled as sentinel positions past
+//     every stage's wires, pinned with set_constant to all-zeros (idle) or
+//     all-ones (pad) words.
 //
 // Labels do not survive bit-slicing, so LaneBatch computes nearsorted valid
 // bits, not routings; the label-level batch path lives in the switches'
@@ -34,10 +42,18 @@ class LaneBatch {
   /// Patterns carried per word.
   static constexpr std::size_t kLanes = 64;
 
-  /// An engine over meshes of n wire positions.
-  explicit LaneBatch(std::size_t n);
+  /// An engine over meshes of n wire positions.  `capacity` (>= n; 0 means
+  /// n) sizes the position store: slots [n, capacity) are addressable by
+  /// gather() and set_constant() but lie outside every load/store -- the
+  /// fused executor parks its idle/pad sentinel words and the widened
+  /// stages' extra wires there.
+  explicit LaneBatch(std::size_t n, std::size_t capacity = 0);
 
   std::size_t positions() const noexcept { return n_; }
+
+  /// Active width of the current arrangement: n after load(), a stage's
+  /// wire count after gather() through that stage's link.
+  std::size_t width() const noexcept { return width_; }
 
   /// Number of patterns currently loaded (<= kLanes).
   std::size_t lanes() const noexcept { return lanes_; }
@@ -55,13 +71,25 @@ class LaneBatch {
   void store(std::vector<BitVec>& out, std::size_t first) const;
 
   /// For every contiguous segment of seg_len positions (seg_len must divide
-  /// n), move each lane's ones to the segment's low positions -- the bit
-  /// projection of a chip's stable concentration.
+  /// the active width), move each lane's ones to the segment's low
+  /// positions -- the bit projection of a chip's stable concentration.
   void concentrate_segments(std::size_t seg_len);
 
   /// Apply a wiring permutation to all lanes: position i's word moves to
-  /// position dest[i].  dest must be a bijection on [0, n).
+  /// position dest[i].  dest must be a bijection on [0, width()).
   void permute(const std::vector<std::uint32_t>& dest);
+
+  /// Read the next arrangement through a gather: position i becomes the
+  /// current position src[i] (any slot below capacity, sentinels included).
+  /// Not required to be a bijection.  The active width becomes src.size()
+  /// (<= capacity); sentinel slots must be re-pinned with set_constant
+  /// afterwards, as the gather recycles the position store.
+  void gather(const std::vector<std::uint32_t>& src);
+
+  /// Pin one position slot to a constant word across all lanes (all-zeros =
+  /// idle feed, all-ones = pad feed).  The slot may lie past the active
+  /// width but must be below capacity.
+  void set_constant(std::size_t pos, std::uint64_t word);
 
   /// Zero positions [lo, hi) in every lane: the bit projection of a dead
   /// chip driving its output pins invalid (plan fault execution).
@@ -69,6 +97,7 @@ class LaneBatch {
 
  private:
   std::size_t n_;
+  std::size_t width_;
   std::size_t lanes_ = 0;
   std::vector<std::uint64_t> pos_;      // padded to a whole 64-word block
   std::vector<std::uint64_t> scratch_;  // permute double-buffer

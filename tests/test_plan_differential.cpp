@@ -181,6 +181,127 @@ TEST(PlanDifferential, BatchPathsAreBitIdenticalToScalar) {
   }
 }
 
+// --- fused engine vs legacy engine ---------------------------------------
+//
+// The fused executor (gather-through-link chip kernels, dense-prefix
+// counting kernels, sentinel-slot lane pipeline) must be bit-for-bit the legacy
+// two-pass interpreter on every entry point.  The legacy engine is itself
+// pinned against the LabelMesh references above, so this closes the chain.
+
+void expect_engines_agree(const SwitchPlan& plan,
+                          const std::vector<std::size_t>& widths, Rng& rng) {
+  PlanSwitch fused{SwitchPlan(plan), ExecMode::kFused};
+  PlanSwitch legacy{SwitchPlan(plan), ExecMode::kLegacy};
+  for (const std::size_t width : widths) {
+    std::vector<BitVec> batch;
+    batch.reserve(width);
+    for (std::size_t t = 0; t < width; ++t) {
+      batch.push_back(
+          rng.bernoulli_bits(plan.n, static_cast<double>(t % 5) * 0.25));
+    }
+    const auto fr = fused.route_batch(batch);
+    const auto lr = legacy.route_batch(batch);
+    const auto fn = fused.nearsorted_batch(batch);
+    const auto ln = legacy.nearsorted_batch(batch);
+    for (std::size_t i = 0; i < width; ++i) {
+      ASSERT_EQ(fr[i].output_of_input, lr[i].output_of_input)
+          << plan.name << " width " << width << " pattern " << i;
+      ASSERT_EQ(fr[i].input_of_output, lr[i].input_of_output)
+          << plan.name << " width " << width << " pattern " << i;
+      ASSERT_EQ(fn[i].count_diff(ln[i]), 0u)
+          << plan.name << " width " << width << " pattern " << i;
+    }
+    // Scalar entry points too (the batch paths may take kernels).
+    ASSERT_EQ(fused.route(batch[0]).output_of_input,
+              legacy.route(batch[0]).output_of_input)
+        << plan.name;
+  }
+}
+
+TEST(PlanDifferential, FusedEngineMatchesLegacyEngineAcrossFamilies) {
+  Rng rng(4208);
+  // Batch widths straddling the 64-lane word: 1, 63, 64, 65, 128.
+  const std::vector<std::size_t> widths = {1, 63, 64, 65, 128};
+  expect_engines_agree(compile_revsort_plan(256, 128), widths, rng);
+  expect_engines_agree(compile_columnsort_plan(64, 8, 256), widths, rng);
+  expect_engines_agree(
+      compile_multipass_plan(16, 4, 3, 32, ReshapeSchedule::kAlternating),
+      widths, rng);
+  expect_engines_agree(compile_full_revsort_plan(64), {1, 65}, rng);
+  expect_engines_agree(compile_full_columnsort_plan(64, 4), {1, 65}, rng);
+}
+
+TEST(PlanDifferential, FusedEngineMatchesLegacyOnDegenerateM) {
+  Rng rng(4209);
+  for (const std::size_t n : {std::size_t{64}, std::size_t{256}}) {
+    for (const std::size_t m : {std::size_t{1}, std::size_t{2}, n - 1, n}) {
+      expect_engines_agree(compile_revsort_plan(n, m), {1, 64}, rng);
+    }
+  }
+  for (const std::size_t m :
+       {std::size_t{1}, std::size_t{2}, std::size_t{127}, std::size_t{128}}) {
+    expect_engines_agree(compile_columnsort_plan(32, 4, m), {1, 64}, rng);
+  }
+}
+
+TEST(PlanDifferential, FusedEngineMatchesLegacyOnFaultedPlans) {
+  Rng rng(4210);
+  {
+    SwitchPlan p = compile_revsort_plan(256, 192);
+    apply_chip_faults(p, {{0, 5}, {1, 3}, {2, 6}});
+    expect_engines_agree(p, {1, 63, 65}, rng);
+  }
+  {
+    SwitchPlan p = compile_columnsort_plan(64, 8, 256);
+    apply_chip_faults(p, {{0, 1}, {1, 2}});
+    expect_engines_agree(p, {1, 65}, rng);
+  }
+  {
+    // Faulted full Columnsort: the widened pad stage runs through the fused
+    // lane pipeline (sentinel pad slot), legacy falls back to scalar walks.
+    SwitchPlan p = compile_full_columnsort_plan(64, 4);
+    apply_chip_faults(p, {{1, 0}, {3, 2}});
+    expect_engines_agree(p, {1, 65}, rng);
+  }
+  {
+    SwitchPlan p = compile_full_revsort_plan(64);
+    apply_chip_faults(p, {{2, 1}});
+    expect_engines_agree(p, {1, 65}, rng);
+  }
+}
+
+TEST(PlanDifferential, DenseRevsortKernelMatchesLegacyAtLargeN) {
+  // The dense-prefix kernel's decomposition shifts with the pattern: the
+  // empty pattern has no dense rows at all, the full pattern is all dense
+  // rows, prefix/bernoulli mix both.  The small-m cases (m < side, and m
+  // straddling a dense row at side < m < 2*side) pin the boundary-row
+  // emission, where only part of a dense row lies below m.
+  Rng rng(4211);
+  const std::size_t pairs[][2] = {
+      {4096, 4096 - 1024}, {65536, 65536 - 16384},
+      {65536, 1},          {65536, 300},          {65536, 256}};
+  for (const auto& [n, m] : pairs) {
+    PlanSwitch fused{compile_revsort_plan(n, m), ExecMode::kFused};
+    PlanSwitch legacy{compile_revsort_plan(n, m), ExecMode::kLegacy};
+    std::vector<BitVec> batch;
+    batch.emplace_back(n);                      // empty
+    BitVec full(n);
+    for (std::size_t i = 0; i < n; ++i) full.set(i, true);
+    batch.push_back(full);                      // every row dense
+    batch.push_back(BitVec::prefix_ones(n, n / 3));
+    batch.push_back(rng.bernoulli_bits(n, 0.5));
+    batch.push_back(rng.bernoulli_bits(n, 0.97));  // nearly-full columns
+    const auto fr = fused.route_batch(batch);
+    const auto lr = legacy.route_batch(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(fr[i].output_of_input, lr[i].output_of_input)
+          << "n=" << n << " m=" << m << " pattern " << i;
+      ASSERT_EQ(fr[i].input_of_output, lr[i].input_of_output)
+          << "n=" << n << " m=" << m << " pattern " << i;
+    }
+  }
+}
+
 TEST(PlanDifferential, FamilySwitchesAreTheirCompiledPlans) {
   // The switch classes are thin compilers now; their routes must equal the
   // raw PlanSwitch over the same compiled plan.

@@ -56,6 +56,16 @@ out = custom.json
   EXPECT_EQ(cfg.out, "custom.json");
 }
 
+TEST(RuntimeConfig, ExecEngineKey) {
+  EXPECT_EQ(parse_config_text("").exec, "fused");
+  EXPECT_EQ(parse_config_text("exec = legacy").exec, "legacy");
+  EXPECT_EQ(parse_config_text("exec = fused").exec, "fused");
+  EXPECT_THROW(parse_config_text("exec = turbo"), ContractViolation);
+  RuntimeConfig cfg = parse_config_text("");
+  apply_override(cfg, "exec=legacy");
+  EXPECT_EQ(cfg.exec, "legacy");
+}
+
 TEST(RuntimeConfig, RejectsMalformedInput) {
   EXPECT_THROW(parse_config_text("mystery_key = 1"), ContractViolation);
   EXPECT_THROW(parse_config_text("just a line"), ContractViolation);
@@ -136,6 +146,7 @@ TEST(RuntimeConfig, JsonEchoIsDeterministic) {
   EXPECT_EQ(a, config_to_json(cfg, 2));
   EXPECT_NE(a.find("\"loads\": [0.1, 0.9]"), std::string::npos);
   EXPECT_NE(a.find("\"seed\": 5"), std::string::npos);
+  EXPECT_NE(a.find("\"exec\": \"fused\""), std::string::npos);
   EXPECT_EQ(a.substr(0, 3), "  {");
 }
 

@@ -12,7 +12,10 @@ Checks, in order:
      x 16 chips of the faulted Revsort(256 -> 192) plan), each campaign's
      "plan.chip" span count equals N x its route_batch_dispatches counter;
   6. each campaign's profile.plan.words_routed counter, when exported,
-     equals its total.delivered counter.
+     equals its total.delivered counter.  When the run used the fused
+     executor (config.exec == "fused", the default), the counter is
+     REQUIRED on every traced campaign: a fused dispatch that fails to
+     publish its routed-word tally would otherwise pass silently.
 
 Usage:
   tools/check_trace.py TRACE.json METRICS.json [--chip-spans-per-route N]
@@ -95,6 +98,12 @@ def check_against_metrics(events, doc, chip_spans_per_route):
                     f"dispatches = {expected}"
                 )
         words = counters.get("profile.plan.words_routed")
+        fused = doc.get("config", {}).get("exec", "fused") == "fused"
+        if words is None and fused and campaign["profile"].get("enabled"):
+            fail(
+                f"campaign {pid}: fused run exported no "
+                "profile.plan.words_routed counter"
+            )
         if words is not None and words != counters["total.delivered"]:
             fail(
                 f"campaign {pid}: profile.plan.words_routed={words} != "
