@@ -1,0 +1,77 @@
+// Multi-hop fabric serving performance (experiment FB1): epochs per second
+// of the fabric campaign loop as the hop count grows.  Every hop adds one
+// fused route_batch dispatch per epoch plus the credit/VOQ bookkeeping, so
+// the sweep shows how close the composition comes to the ideal 1/hops
+// scaling over the single-switch loop.  The allocator axis (rr vs islip)
+// isolates the arbitration cost from the routing cost.
+#include "bench_common.hpp"
+#include "fabric/fabric_sim.hpp"
+#include "message/traffic.hpp"
+#include "runtime/metrics.hpp"
+
+namespace {
+
+void print_artifacts() {
+  pcs::bench::artifact_header(
+      "FB1", "multi-hop fabric campaign loop, hop-count sweep (timings below)");
+}
+
+pcs::fabric::FabricSpec fabric_spec(std::size_t hops, const char* alloc) {
+  pcs::fabric::FabricSpec spec;
+  spec.topology =
+      hops == 1 ? pcs::fabric::Topology::kSingle : pcs::fabric::Topology::kOmega;
+  spec.hops = hops;
+  spec.radix = 2;
+  // Revsort(256 -> 192): guaranteed capacity 80 per node, so a moderate
+  // load keeps every hop busy without saturating the drain phase.
+  spec.node.family = "revsort";
+  spec.node.n = 256;
+  spec.node.m = 192;
+  spec.credits = 8;
+  spec.alloc = alloc;
+  return spec;
+}
+
+pcs::fabric::FabricOptions bench_opts() {
+  pcs::fabric::FabricOptions opts;
+  opts.queue_depth = 4;
+  opts.seed = 7200;
+  opts.warmup_epochs = 4;
+  opts.measure_epochs = 32;
+  opts.drain_epochs_max = 256;
+  opts.check_invariants = false;  // measure the loop, not the checker
+  return opts;
+}
+
+void campaign_loop(benchmark::State& state, std::size_t hops,
+                   const char* alloc) {
+  std::uint64_t dispatches = 0;
+  for (auto _ : state) {
+    pcs::fabric::FabricSim sim(
+        fabric_spec(hops, alloc), bench_opts(), [](std::size_t width) {
+          return std::make_unique<pcs::msg::BernoulliTraffic>(width, 0.5);
+        });
+    pcs::rt::MetricsRegistry metrics;
+    sim.run(metrics);
+    dispatches += metrics.counter("route_batch_dispatches").value();
+    benchmark::DoNotOptimize(dispatches);
+  }
+  // items = fused route_batch dispatches resolved across all hops.
+  state.SetItemsProcessed(static_cast<std::int64_t>(dispatches));
+}
+
+void BM_FabricHops1(benchmark::State& state) { campaign_loop(state, 1, "rr"); }
+void BM_FabricHops2(benchmark::State& state) { campaign_loop(state, 2, "rr"); }
+void BM_FabricHops3(benchmark::State& state) { campaign_loop(state, 3, "rr"); }
+void BM_FabricHops3ISlip(benchmark::State& state) {
+  campaign_loop(state, 3, "islip");
+}
+
+BENCHMARK(BM_FabricHops1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricHops2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricHops3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricHops3ISlip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+PCS_BENCH_MAIN(print_artifacts)

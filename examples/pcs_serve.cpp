@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fabric/fabric_config.hpp"
 #include "obs/trace.hpp"
 #include "plan/plan_analysis.hpp"
 #include "runtime/config.hpp"
@@ -61,8 +62,47 @@ RuntimeOptions options_from(const RuntimeConfig& cfg) {
   return opts;
 }
 
+void start_tracing(const RuntimeConfig& cfg) {
+  pcs::obs::Tracer::instance().enable(cfg.trace_clock == "logical"
+                                          ? pcs::obs::ClockMode::kLogical
+                                          : pcs::obs::ClockMode::kTsc);
+}
+
+void finish_tracing(Campaign& c, MetricsRegistry& metrics) {
+  pcs::obs::Tracer::instance().disable();
+  c.trace = pcs::obs::Tracer::instance().drain();
+  c.traced = true;
+  pcs::rt::merge_profile(c.trace, metrics);
+}
+
+/// topology= campaigns: the same warmup -> measure -> drain loop, but over
+/// a multi-hop fabric of plan-compiled switches (src/fabric) instead of one
+/// switch behind injection queues.  The JSON campaign shape is identical;
+/// per-hop series appear as fabric.hop<k>.* metrics.
+Campaign run_fabric_campaign(const std::string& family,
+                             const RuntimeConfig& base, double load,
+                             bool tracing) {
+  auto sim = pcs::fabric::make_fabric_sim(base, family, load);
+  MetricsRegistry metrics;
+
+  Campaign c;
+  c.family = family;
+  c.switch_name = sim->name();
+  c.load = load;
+  if (tracing) start_tracing(base);
+  c.report = sim->run(metrics);
+  if (tracing) finish_tracing(c, metrics);
+  c.metrics_json = metrics.to_json(6);
+  c.delivery_rate = metrics.gauge("delivery_rate").value();
+  c.mean_latency = metrics.gauge("mean_latency_epochs").value();
+  return c;
+}
+
 Campaign run_campaign(const std::string& family, const RuntimeConfig& base,
                       double load, bool tracing) {
+  if (!base.topology.empty()) {
+    return run_fabric_campaign(family, base, load, tracing);
+  }
   RuntimeConfig cfg = base;
   cfg.arrival_p = load;
   auto sw = pcs::rt::make_switch(family, cfg);
@@ -79,18 +119,9 @@ Campaign run_campaign(const std::string& family, const RuntimeConfig& base,
   c.family = family;
   c.switch_name = sw->name();
   c.load = load;
-  if (tracing) {
-    pcs::obs::Tracer::instance().enable(cfg.trace_clock == "logical"
-                                            ? pcs::obs::ClockMode::kLogical
-                                            : pcs::obs::ClockMode::kTsc);
-  }
+  if (tracing) start_tracing(cfg);
   c.report = runtime.run(metrics);
-  if (tracing) {
-    pcs::obs::Tracer::instance().disable();
-    c.trace = pcs::obs::Tracer::instance().drain();
-    c.traced = true;
-    pcs::rt::merge_profile(c.trace, metrics);
-  }
+  if (tracing) finish_tracing(c, metrics);
   c.metrics_json = metrics.to_json(6);
   c.delivery_rate = metrics.gauge("delivery_rate").value();
   c.mean_latency = metrics.gauge("mean_latency_epochs").value();

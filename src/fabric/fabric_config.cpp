@@ -1,0 +1,52 @@
+#include "fabric/fabric_config.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace pcs::fabric {
+
+FabricSpec fabric_spec_from(const rt::RuntimeConfig& cfg,
+                            const std::string& family) {
+  PCS_REQUIRE(!cfg.topology.empty(),
+              "fabric_spec_from needs a non-empty topology");
+  FabricSpec spec;
+  spec.topology = topology_from_string(cfg.topology);
+  spec.hops = cfg.fabric_hops;
+  spec.radix = cfg.fabric_radix;
+  spec.credits = cfg.fabric_credits;
+  spec.alloc = cfg.fabric_alloc;
+  spec.fault_hop = cfg.fault_hop;
+  spec.node.family = family;
+  spec.node.n = cfg.n;
+  spec.node.m = cfg.m;
+  spec.node.beta = cfg.beta;
+  spec.node.faults = cfg.faults;
+  return spec;
+}
+
+FabricOptions fabric_options_from(const rt::RuntimeConfig& cfg) {
+  FabricOptions opts;
+  opts.queue_depth = cfg.queue_depth;
+  opts.seed = cfg.seed;
+  opts.warmup_epochs = cfg.warmup_epochs;
+  opts.measure_epochs = cfg.measure_epochs;
+  opts.drain_epochs_max = cfg.drain_epochs_max;
+  opts.check_invariants = cfg.check_invariants;
+  return opts;
+}
+
+std::unique_ptr<FabricSim> make_fabric_sim(const rt::RuntimeConfig& cfg,
+                                           const std::string& family,
+                                           double arrival_p) {
+  rt::RuntimeConfig point = cfg;
+  point.arrival_p = arrival_p;
+  FabricSim::TrafficFactory traffic = [point](std::size_t width) {
+    return rt::make_traffic(point, width);
+  };
+  return std::make_unique<FabricSim>(fabric_spec_from(cfg, family),
+                                     fabric_options_from(cfg),
+                                     std::move(traffic));
+}
+
+}  // namespace pcs::fabric

@@ -1,0 +1,35 @@
+// Bridge from the runtime key=value config (runtime/config.hpp) to fabric
+// construction: pcs_serve sets `topology=` to switch a campaign from one
+// switch to a multi-hop fabric, and everything else (family, n, m, beta,
+// faults, phases, seed) carries over unchanged.  Kept out of pcs_runtime so
+// the dependency points upward: fabric knows about the runtime config, the
+// runtime never knows about fabrics.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fabric/fabric_sim.hpp"
+#include "fabric/topology.hpp"
+#include "runtime/config.hpp"
+
+namespace pcs::fabric {
+
+/// FabricSpec for one family of the config's family list.  The per-node
+/// switch takes the config's n / m / beta shape and its faults (applied to
+/// hop cfg.fault_hop).  Throws ContractViolation for non-plan families
+/// ("hyper") and shapes that do not divide by the radix.
+FabricSpec fabric_spec_from(const rt::RuntimeConfig& cfg,
+                            const std::string& family);
+
+/// Campaign phases / seed / queue bound lifted straight from the config.
+FabricOptions fabric_options_from(const rt::RuntimeConfig& cfg);
+
+/// A ready-to-run simulator for one (config, family, arrival_p) campaign
+/// point: spec + options + a make_traffic-backed generator over the
+/// fabric's sources.
+std::unique_ptr<FabricSim> make_fabric_sim(const rt::RuntimeConfig& cfg,
+                                           const std::string& family,
+                                           double arrival_p);
+
+}  // namespace pcs::fabric

@@ -1,0 +1,490 @@
+#include "fabric/fabric_sim.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "switch/make_switch.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::fabric {
+
+using rt::Counter;
+using rt::Gauge;
+using rt::Histogram;
+
+namespace {
+
+std::string hop_metric(std::size_t hop, const char* leaf) {
+  std::ostringstream os;
+  os << "fabric.hop" << hop << "." << leaf;
+  return os.str();
+}
+
+}  // namespace
+
+FabricSim::FabricSim(FabricSpec spec, FabricOptions opts,
+                     TrafficFactory traffic)
+    : graph_(std::move(spec)),
+      opts_(std::move(opts)),
+      traffic_factory_(std::move(traffic)) {
+  PCS_REQUIRE(opts_.queue_depth >= 1, "fabric queue_depth must be >= 1");
+  PCS_REQUIRE(static_cast<bool>(traffic_factory_),
+              "FabricSim needs a traffic factory");
+
+  const FabricSpec& sp = graph_.spec();
+  SwitchSpec healthy_spec = sp.node;
+  healthy_spec.faults.clear();
+  healthy_ = pcs::make_switch(healthy_spec);
+  healthy_capacity_ = healthy_->guaranteed_capacity();
+  if (!sp.node.faults.empty()) {
+    // Only hop `fault_hop` routes the fault-rewritten plan.  Grant budgets
+    // everywhere still come from healthy_capacity_: the faulted plan
+    // advertises zero guaranteed capacity (epsilon = n), which is the right
+    // *contract* but would deadlock the fabric as a *budget*; instead the
+    // hop over-grants optimistically and accounts every dead-chip loss.
+    faulted_ = pcs::make_switch(sp.node);
+  }
+
+  const std::size_t H = graph_.hops();
+  const std::size_t r = graph_.radix();
+  source_q_.resize(graph_.sources());
+  pools_.resize(H);
+  credits_.assign(H >= 1 ? H - 1 : 0, {});
+  for (std::size_t k = 0; k < H; ++k) {
+    pools_[k].resize(graph_.nodes_at(k) * r);
+    for (Pool& pool : pools_[k]) pool.voq.resize(r);
+    if (k + 1 < H) {
+      credits_[k].assign(graph_.nodes_at(k) * r,
+                         static_cast<std::uint32_t>(sp.credits));
+    }
+    for (std::size_t node = 0; node < graph_.nodes_at(k); ++node) {
+      alloc_.push_back(make_allocator(sp.alloc, r, r));
+    }
+  }
+}
+
+std::string FabricSim::name() const {
+  std::ostringstream os;
+  os << graph_.name() << " of " << healthy_->name();
+  if (faulted_) os << " [hop " << graph_.spec().fault_hop << " faulted]";
+  return os.str();
+}
+
+std::size_t FabricSim::in_flight() const {
+  std::size_t n = 0;
+  for (const auto& q : source_q_) n += q.size();
+  for (const auto& hop : pools_)
+    for (const Pool& pool : hop) n += pool.occupancy;
+  return n;
+}
+
+void FabricSim::check_credit_mirror() const {
+  // Credit-based flow control invariant: each channel's credit counter
+  // mirrors the free space of the one downstream pool it feeds.
+  const std::size_t r = graph_.radix();
+  for (std::size_t k = 0; k + 1 < graph_.hops(); ++k) {
+    for (std::size_t node = 0; node < graph_.nodes_at(k); ++node) {
+      for (std::size_t d = 0; d < r; ++d) {
+        const FabricGraph::Channel ch = graph_.channel(k, node, d);
+        const Pool& pool = pools_[k + 1][ch.node * r + ch.inlink];
+        const std::uint32_t credit = credits_[k][node * r + d];
+        PCS_REQUIRE(credit + pool.occupancy == graph_.spec().credits,
+                    "credit mirror broken on hop " << k << " node " << node
+                        << " link " << d << ": credits=" << credit
+                        << " occupancy=" << pool.occupancy << " capacity="
+                        << graph_.spec().credits);
+      }
+    }
+  }
+}
+
+/// Mutable per-run accounting shared between run() and serve_hop().
+struct FabricSim::EpochContext {
+  rt::MetricsRegistry* metrics = nullptr;
+  std::size_t epoch = 0;
+  std::size_t dispatches = 0;
+
+  // Whole-campaign tallies (mirrored into total.* at every epoch check).
+  std::uint64_t total_delivered = 0;
+  std::uint64_t total_dropped = 0;
+};
+
+void FabricSim::serve_hop(std::size_t hop, EpochContext& ctx) {
+  obs::SpanGuard hop_span("fabric.hop", obs::cat::kRuntime);
+  hop_span.arg("hop", hop);
+
+  rt::MetricsRegistry& metrics = *ctx.metrics;
+  const std::size_t r = graph_.radix();
+  const std::size_t H = graph_.hops();
+  const bool last = hop + 1 == H;
+  const bool hop_faulted = faulted_ && hop == graph_.spec().fault_hop;
+  const sw::ConcentratorSwitch& node_switch =
+      hop_faulted ? *faulted_ : *healthy_;
+  const std::size_t nodes = graph_.nodes_at(hop);
+
+  Counter& granted_ctr = metrics.counter(hop_metric(hop, "granted"));
+  Counter& stalls_ctr = metrics.counter(hop_metric(hop, "credit_stalls"));
+  Histogram& occ_hist = metrics.histogram(hop_metric(hop, "occupancy"));
+  Histogram& hop_lat = metrics.histogram(hop_metric(hop, "latency_epochs"));
+
+  // One valid-bit pattern per (node, out-link) with grants: knockout-style
+  // per-output-group concentration.  `ports` keeps (input port, in-link) in
+  // ascending port order so resolution pops VOQ fronts in grant order.
+  struct Pattern {
+    std::size_t node = 0;
+    std::size_t d = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> ports;
+  };
+  std::vector<Pattern> meta;
+  std::vector<BitVec> valids;
+
+  {
+    obs::SpanGuard alloc_span("fabric.alloc", obs::cat::kRuntime);
+    alloc_span.arg("hop", hop);
+    AllocProblem problem;
+    problem.ins = r;
+    problem.outs = r;
+    std::vector<std::uint32_t> grants;
+    for (std::size_t node = 0; node < nodes; ++node) {
+      problem.queued.assign(r * r, 0);
+      problem.cap_in.assign(r, static_cast<std::uint32_t>(graph_.in_block()));
+      problem.cap_out.assign(r, 0);
+      bool any = false;
+      for (std::size_t e = 0; e < r; ++e) {
+        const Pool& pool = pools_[hop][node * r + e];
+        occ_hist.record(pool.occupancy);
+        for (std::size_t d = 0; d < r; ++d) {
+          const std::size_t q = pool.voq[d].size();
+          problem.queued[e * r + d] = static_cast<std::uint32_t>(q);
+          if (q > 0) any = true;
+        }
+      }
+      if (!any) continue;
+      for (std::size_t d = 0; d < r; ++d) {
+        // Column budget: the out-block's wire count, the healthy plan's
+        // guaranteed concentration capacity, and (between hops) the
+        // channel's remaining credits.  Never the faulted capacity -- see
+        // the constructor comment.
+        std::size_t cap = std::min(graph_.out_block(), healthy_capacity_);
+        if (!last) {
+          const std::uint32_t credit = credits_[hop][node * r + d];
+          if (credit < cap) cap = credit;
+          if (cap == 0) {
+            // Backpressure: traffic wants this link but credits gate it.
+            bool wants = false;
+            for (std::size_t e = 0; e < r && !wants; ++e) {
+              wants = problem.queued[e * r + d] > 0;
+            }
+            if (wants) {
+              stalls_ctr.add(1);
+              PCS_TRACE_COUNTER("fabric.credit_stalls", 1);
+            }
+          }
+        }
+        problem.cap_out[d] = static_cast<std::uint32_t>(cap);
+      }
+      const std::size_t total =
+          alloc_[hop * nodes + node]->allocate(problem, grants);
+      if (opts_.check_invariants) {
+        for (std::size_t e = 0; e < r; ++e) {
+          std::uint32_t row = 0;
+          for (std::size_t d = 0; d < r; ++d) {
+            PCS_REQUIRE(grants[e * r + d] <= problem.queued[e * r + d],
+                        "allocator granted beyond VOQ occupancy");
+            row += grants[e * r + d];
+          }
+          PCS_REQUIRE(row <= problem.cap_in[e], "allocator row budget broken");
+        }
+        for (std::size_t d = 0; d < r; ++d) {
+          std::uint32_t col = 0;
+          for (std::size_t e = 0; e < r; ++e) col += grants[e * r + d];
+          PCS_REQUIRE(col <= problem.cap_out[d],
+                      "allocator column budget broken");
+        }
+      }
+      if (total == 0) continue;
+      granted_ctr.add(total);
+      for (std::size_t d = 0; d < r; ++d) {
+        Pattern pat;
+        pat.node = node;
+        pat.d = d;
+        BitVec valid(node_switch.inputs());
+        for (std::size_t e = 0; e < r; ++e) {
+          const std::uint32_t g = grants[e * r + d];
+          for (std::uint32_t rank = 0; rank < g; ++rank) {
+            const std::size_t port = e * graph_.in_block() + rank;
+            valid.set(port, true);
+            pat.ports.emplace_back(port, e);
+          }
+        }
+        if (pat.ports.empty()) continue;
+        meta.push_back(std::move(pat));
+        valids.push_back(std::move(valid));
+      }
+    }
+  }
+
+  if (valids.empty()) return;
+
+  // All of the hop's per-output-group patterns resolve in ONE batched
+  // dispatch through the plan executor -- the fabric keeps the
+  // one-dispatch-per-hop-per-epoch discipline of the single-switch runtime.
+  std::vector<sw::SwitchRouting> routings;
+  {
+    obs::SpanGuard route_span("fabric.route", obs::cat::kRuntime);
+    route_span.arg("hop", hop);
+    route_span.arg("patterns", valids.size());
+    routings = node_switch.route_batch(valids);
+    ++ctx.dispatches;
+  }
+
+  obs::SpanGuard resolve_span("fabric.resolve", obs::cat::kRuntime);
+  resolve_span.arg("hop", hop);
+  Counter& sent_ctr = metrics.counter(hop_metric(hop, "sent"));
+  Counter& hop_delivered = metrics.counter(hop_metric(hop, "delivered"));
+  Counter& fault_drops = metrics.counter(hop_metric(hop, "dropped.fault"));
+  Counter& delivered = metrics.counter("delivered");
+  Counter& dropped = metrics.counter("dropped");
+  Histogram& latency = metrics.histogram("latency_epochs");
+
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    const Pattern& pat = meta[i];
+    const sw::SwitchRouting& routing = routings[i];
+    for (const auto& [port, e] : pat.ports) {
+      Pool& pool = pools_[hop][pat.node * r + e];
+      PCS_REQUIRE(!pool.voq[pat.d].empty(),
+                  "granted VOQ drained out from under the resolver");
+      Msg msg = pool.voq[pat.d].front();
+      pool.voq[pat.d].pop_front();
+      --pool.occupancy;
+      if (hop > 0) {
+        // Departing the pool frees one slot: return the credit to the one
+        // upstream channel that feeds this in-link.
+        const FabricGraph::Upstream up = graph_.upstream(hop, pat.node, e);
+        ++credits_[hop - 1][up.node * r + up.link];
+      }
+      const bool routed = routing.output_of_input[port] >= 0;
+      if (!routed) {
+        // Grant budgets never exceed the healthy guaranteed capacity, so an
+        // unrouted grant is only legal where dead chips can eat messages.
+        PCS_REQUIRE(hop_faulted,
+                    "healthy hop " << hop << " failed to route a granted "
+                        "message within its guaranteed capacity (node "
+                        << pat.node << ", link " << pat.d << ")");
+        fault_drops.add(1);
+        ++ctx.total_dropped;
+        if (msg.measured) dropped.add(1);
+        continue;
+      }
+      hop_lat.record(ctx.epoch - msg.hop_entered);
+      if (last) {
+        const std::size_t sink = pat.node * r + pat.d;
+        PCS_REQUIRE(sink == msg.dest,
+                    "fabric misdelivery: sink " << sink << " != dest "
+                        << msg.dest << " (hop " << hop << ", node "
+                        << pat.node << ")");
+        hop_delivered.add(1);
+        ++ctx.total_delivered;
+        if (msg.measured) {
+          delivered.add(1);
+          latency.record(ctx.epoch - msg.born);
+        }
+      } else {
+        const FabricGraph::Channel ch = graph_.channel(hop, pat.node, pat.d);
+        PCS_REQUIRE(credits_[hop][pat.node * r + pat.d] > 0,
+                    "fabric sent beyond the channel's credits");
+        --credits_[hop][pat.node * r + pat.d];
+        Pool& down = pools_[hop + 1][ch.node * r + ch.inlink];
+        const std::size_t next_d =
+            graph_.out_link(hop + 1, ch.node, msg.dest);
+        msg.hop_entered = static_cast<std::uint32_t>(ctx.epoch);
+        down.voq[next_d].push_back(msg);
+        ++down.occupancy;
+        sent_ctr.add(1);
+        metrics.counter(hop_metric(hop + 1, "accepted")).add(1);
+      }
+    }
+  }
+}
+
+rt::RuntimeReport FabricSim::run(rt::MetricsRegistry& metrics) {
+  const std::size_t r = graph_.radix();
+  Rng rng(opts_.seed);
+  std::unique_ptr<msg::TrafficGen> traffic =
+      traffic_factory_(graph_.sources());
+  PCS_REQUIRE(traffic && traffic->width() == graph_.sources(),
+              "fabric traffic generator width must equal sources()="
+                  << graph_.sources());
+
+  Counter& offered = metrics.counter("offered");
+  Counter& rejected = metrics.counter("rejected_queue_full");
+  Counter& dropped = metrics.counter("dropped");
+  Histogram& backlog_hist = metrics.histogram("backlog");
+  Counter& hop0_accepted = metrics.counter(hop_metric(0, "accepted"));
+
+  EpochContext ctx;
+  ctx.metrics = &metrics;
+
+  std::uint64_t total_offered = 0;
+  const std::size_t measure_end = opts_.warmup_epochs + opts_.measure_epochs;
+
+  rt::RuntimeReport report;
+  std::size_t epoch = 0;
+  while (true) {
+    const bool in_measure =
+        epoch >= opts_.warmup_epochs && epoch < measure_end;
+    const bool in_drain = epoch >= measure_end;
+    if (in_drain) {
+      if (in_flight() == 0) {
+        report.drained = true;
+        break;
+      }
+      if (epoch - measure_end >= opts_.drain_epochs_max) {
+        report.saturated = true;
+        break;
+      }
+      // Same commit-to-execute drain accounting as FabricRuntime::run.
+      ++report.drain_epochs_used;
+    }
+
+    obs::SpanGuard epoch_span("fabric.epoch", obs::cat::kRuntime);
+    epoch_span.arg("epoch", epoch);
+    ctx.epoch = epoch;
+
+    for (std::size_t k = graph_.hops(); k-- > 0;) serve_hop(k, ctx);
+
+    // Source-queue heads enter hop 0 when its pool has a free slot: VOQ
+    // occupancy gates injection just as credits gate the inner hops.
+    for (std::size_t g = 0; g < graph_.sources(); ++g) {
+      if (source_q_[g].empty()) continue;
+      Pool& pool = pools_[0][g];  // node g / r, in-link g % r
+      if (pool.occupancy >= graph_.spec().credits) continue;
+      Msg msg = source_q_[g].front();
+      source_q_[g].pop_front();
+      msg.hop_entered = static_cast<std::uint32_t>(epoch);
+      pool.voq[graph_.out_link(0, g / r, msg.dest)].push_back(msg);
+      ++pool.occupancy;
+      hop0_accepted.add(1);
+    }
+
+    if (!in_drain) {
+      const BitVec arrivals = traffic->next(rng);
+      for (std::size_t g = 0; g < graph_.sources(); ++g) {
+        if (!arrivals.get(g)) continue;
+        ++total_offered;
+        if (in_measure) offered.add(1);
+        if (source_q_[g].size() >= opts_.queue_depth) {
+          // Door rejection: the bounded injection queue is full.
+          ++ctx.total_dropped;
+          rejected.add(1);
+          if (in_measure) dropped.add(1);
+          continue;
+        }
+        Msg msg;
+        msg.dest = static_cast<std::uint32_t>(rng.below(graph_.sinks()));
+        msg.born = static_cast<std::uint32_t>(epoch);
+        msg.measured = in_measure;
+        source_q_[g].push_back(msg);
+      }
+    }
+
+    const std::size_t backlog = in_flight();
+    if (in_measure) backlog_hist.record(backlog);
+    // Per-epoch conservation: nothing is created or destroyed untallied.
+    PCS_REQUIRE(total_offered ==
+                    ctx.total_delivered + ctx.total_dropped + backlog,
+                "fabric conservation broken at epoch "
+                    << epoch << ": offered " << total_offered
+                    << " != delivered " << ctx.total_delivered << " + dropped "
+                    << ctx.total_dropped << " + in-flight " << backlog);
+    if (opts_.check_invariants) check_credit_mirror();
+    ++epoch;
+  }
+
+  // Residual backlog: messages still queued at exit, an explicit term of
+  // the conservation identity (nonzero exactly when saturated).
+  std::size_t residual = 0;
+  std::size_t residual_measured = 0;
+  auto tally = [&](const std::deque<Msg>& q) {
+    residual += q.size();
+    for (const Msg& m : q) residual_measured += m.measured ? 1 : 0;
+  };
+  for (const auto& q : source_q_) tally(q);
+  for (std::size_t k = 0; k < graph_.hops(); ++k) {
+    std::size_t hop_residual = 0;
+    for (const Pool& pool : pools_[k]) {
+      for (const auto& q : pool.voq) {
+        hop_residual += q.size();
+        tally(q);
+      }
+    }
+    metrics.gauge(hop_metric(k, "residual"))
+        .set(static_cast<double>(hop_residual));
+    // Per-hop conservation: everything a hop accepted either moved on,
+    // ejected, died on a dead chip, or is still buffered here.
+    const std::uint64_t accepted =
+        metrics.counter(hop_metric(k, "accepted")).value();
+    const std::uint64_t out =
+        metrics.counter(hop_metric(k, "sent")).value() +
+        metrics.counter(hop_metric(k, "delivered")).value() +
+        metrics.counter(hop_metric(k, "dropped.fault")).value();
+    PCS_REQUIRE(accepted == out + hop_residual,
+                "fabric hop " << k << " accounting broken: accepted "
+                    << accepted << " != forwarded+delivered+faulted " << out
+                    << " + residual " << hop_residual);
+  }
+  report.residual_backlog = residual;
+
+  PCS_REQUIRE(total_offered ==
+                  ctx.total_delivered + ctx.total_dropped + residual,
+              "fabric conservation broken at exit: offered "
+                  << total_offered << " != delivered " << ctx.total_delivered
+                  << " + dropped " << ctx.total_dropped << " + residual "
+                  << residual);
+  PCS_REQUIRE(report.drained == (residual == 0),
+              "drained flag disagrees with residual " << residual);
+
+  metrics.counter("total.offered").add(total_offered);
+  metrics.counter("total.delivered").add(ctx.total_delivered);
+  metrics.counter("total.dropped").add(ctx.total_dropped);
+  metrics.counter("total.residual").add(residual);
+  metrics.counter("residual").add(residual_measured);
+  metrics.counter("route_batch_dispatches").add(ctx.dispatches);
+  metrics.counter("epochs.warmup").add(opts_.warmup_epochs);
+  metrics.counter("epochs.measure").add(opts_.measure_epochs);
+  metrics.counter("epochs.drain").add(report.drain_epochs_used);
+
+  const Counter& delivered = metrics.counter("delivered");
+  const Histogram& latency = metrics.histogram("latency_epochs");
+  const double measured_offered =
+      static_cast<double>(metrics.counter("offered").value());
+  metrics.gauge("delivery_rate")
+      .set(measured_offered > 0
+               ? static_cast<double>(delivered.value()) / measured_offered
+               : 0.0);
+  metrics.gauge("mean_latency_epochs").set(latency.mean());
+  metrics.gauge("throughput_per_epoch")
+      .set(opts_.measure_epochs > 0
+               ? static_cast<double>(delivered.value()) /
+                     static_cast<double>(opts_.measure_epochs)
+               : 0.0);
+  metrics.gauge("offered_load")
+      .set(opts_.measure_epochs > 0
+               ? measured_offered /
+                     (static_cast<double>(opts_.measure_epochs) *
+                      static_cast<double>(graph_.sources()))
+               : 0.0);
+  metrics.gauge("backlog.residual").set(static_cast<double>(residual));
+  metrics.gauge("saturated").set(report.saturated ? 1.0 : 0.0);
+  metrics.gauge("fabric.hops").set(static_cast<double>(graph_.hops()));
+  metrics.gauge("fabric.nodes").set(static_cast<double>(graph_.total_nodes()));
+  metrics.gauge("fabric.sources").set(static_cast<double>(graph_.sources()));
+  metrics.gauge("fabric.sinks").set(static_cast<double>(graph_.sinks()));
+  return report;
+}
+
+}  // namespace pcs::fabric

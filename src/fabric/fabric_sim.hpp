@@ -1,0 +1,127 @@
+// Closed-loop multi-hop fabric simulator: many plan-compiled concentrator
+// switches composed into a MIN (omega / butterfly / fat-tree / single) with
+// credit-based flow control on every inter-hop channel and per-hop virtual
+// output queues.  This is ROADMAP item 1: the paper builds one efficient
+// multichip switch; the fabric shows what a network of them sustains.
+//
+// Model, per epoch (one fabric cycle):
+//   * Every node holds, per in-link, a buffer POOL of `credits` slots
+//     organized as radix VOQ FIFOs (one per out-link) sharing the pool.
+//     A pool is fed by exactly one upstream channel, so the channel's
+//     credit counter mirrors the pool's free space exactly -- classic
+//     credit-based flow control with the invariant
+//     credits == capacity - occupancy (checked under check_invariants).
+//   * A pluggable allocator (round robin or iSLIP-style separable matching,
+//     see allocator.hpp) picks which queued messages each node presents:
+//     row budgets are the in-block port widths, column budgets are
+//     min(out-block width, the node's guaranteed concentration capacity,
+//     remaining downstream credits).
+//   * Grants toward one out-link form one valid-bit pattern on the node's
+//     switch -- knockout-style per-output-group concentration -- and ALL
+//     patterns of a hop are resolved by a single route_batch() call through
+//     the fused PlanExecutor, preserving the one-dispatch-per-epoch-per-hop
+//     batching discipline of the single-switch runtime.
+//   * Hops are served downstream-first, so a forwarded message waits at
+//     least one epoch per hop; then source-queue heads move into hop 0's
+//     pools (injection gated by pool space), then fresh arrivals enter the
+//     bounded per-source queues (door rejection counts as a drop).
+//
+// Grant budgets never exceed the HEALTHY plan's guaranteed capacity, so on
+// healthy hops every granted message must route (PCS_REQUIRE enforces the
+// concentration contract live).  The hop carrying chip faults routes the
+// fault-rewritten plan: granted messages that land on dead chips are lost
+// and accounted as fabric.hop<k>.dropped.fault -- never silently.
+//
+// Conservation is enforced every epoch:
+//   total.offered == total.delivered + total.dropped + in_flight
+// and at exit with the residual backlog as an explicit term (the same
+// identity the single-switch runtime exports; see fabric_runtime.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fabric/allocator.hpp"
+#include "fabric/topology.hpp"
+#include "message/traffic.hpp"
+#include "runtime/fabric_runtime.hpp"
+#include "runtime/metrics.hpp"
+#include "switch/concentrator.hpp"
+
+namespace pcs::fabric {
+
+struct FabricOptions {
+  std::size_t queue_depth = 4;  ///< per-source injection queue bound (>= 1)
+  std::uint64_t seed = 1;
+  std::size_t warmup_epochs = 32;
+  std::size_t measure_epochs = 256;
+  std::size_t drain_epochs_max = 1024;  ///< drain cap; exceeding it = saturated
+  bool check_invariants = false;  ///< credit/pool mirror + allocator checks
+};
+
+class FabricSim {
+ public:
+  /// Produces the arrival process over the fabric's sources() wires; called
+  /// once at the start of run().  Destinations are drawn uniformly over
+  /// sinks() from the campaign RNG (split from opts.seed), so runs are
+  /// deterministic per seed.
+  using TrafficFactory =
+      std::function<std::unique_ptr<msg::TrafficGen>(std::size_t width)>;
+
+  FabricSim(FabricSpec spec, FabricOptions opts, TrafficFactory traffic);
+
+  /// Run one warmup -> measurement -> drain campaign (same phase and drain
+  /// accounting semantics as rt::FabricRuntime::run).  Unprefixed counters
+  /// cover messages born in the measurement window; "total.*" counters
+  /// cover the whole campaign and satisfy
+  ///   total.offered == total.delivered + total.dropped + total.residual.
+  /// Per-hop series live under "fabric.hop<k>.*" and satisfy, per hop,
+  ///   accepted == sent|delivered + dropped.fault + residual.
+  rt::RuntimeReport run(rt::MetricsRegistry& metrics);
+
+  const FabricGraph& graph() const noexcept { return graph_; }
+  const FabricOptions& options() const noexcept { return opts_; }
+  /// "omega(hops=3, radix=2) of Revsort(256->192)" -- for reports.
+  std::string name() const;
+
+ private:
+  struct Msg {
+    std::uint32_t dest = 0;
+    std::uint32_t born = 0;         ///< injection epoch
+    std::uint32_t hop_entered = 0;  ///< epoch it entered the current pool
+    bool measured = false;
+  };
+
+  /// One in-link's buffer: `radix` VOQ FIFOs sharing a `credits`-slot pool.
+  struct Pool {
+    std::vector<std::deque<Msg>> voq;
+    std::size_t occupancy = 0;
+  };
+
+  struct EpochContext;  // per-run mutable accounting (defined in .cpp)
+
+  void serve_hop(std::size_t hop, EpochContext& ctx);
+  std::size_t in_flight() const;
+  void check_credit_mirror() const;
+
+  FabricGraph graph_;
+  FabricOptions opts_;
+  TrafficFactory traffic_factory_;
+
+  std::unique_ptr<sw::ConcentratorSwitch> healthy_;
+  std::unique_ptr<sw::ConcentratorSwitch> faulted_;  ///< null when no faults
+  std::size_t healthy_capacity_ = 0;
+
+  std::vector<std::deque<Msg>> source_q_;
+  /// pools_[hop][node * radix + inlink]
+  std::vector<std::vector<Pool>> pools_;
+  /// credits_[hop][node * radix + link], hop < hops() - 1
+  std::vector<std::vector<std::uint32_t>> credits_;
+  /// alloc_[hop * nodes + node]: pointer state persists across epochs
+  std::vector<std::unique_ptr<Allocator>> alloc_;
+};
+
+}  // namespace pcs::fabric

@@ -1,0 +1,218 @@
+#include "fabric/topology.hpp"
+
+#include <sstream>
+
+#include "switch/make_switch.hpp"
+#include "util/assert.hpp"
+
+namespace pcs::fabric {
+
+Topology topology_from_string(const std::string& s) {
+  if (s == "single") return Topology::kSingle;
+  if (s == "omega") return Topology::kOmega;
+  if (s == "butterfly") return Topology::kButterfly;
+  if (s == "fattree") return Topology::kFatTree;
+  PCS_REQUIRE(false, "unknown fabric topology '"
+                         << s << "' (single | omega | butterfly | fattree)");
+}
+
+const char* topology_name(Topology t) noexcept {
+  switch (t) {
+    case Topology::kSingle: return "single";
+    case Topology::kOmega: return "omega";
+    case Topology::kButterfly: return "butterfly";
+    case Topology::kFatTree: return "fattree";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t ipow(std::size_t base, std::size_t exp) {
+  std::size_t v = 1;
+  for (std::size_t i = 0; i < exp; ++i) {
+    PCS_REQUIRE(v <= (std::size_t{1} << 24) / base,
+                "fabric size " << base << "^" << exp
+                               << " exceeds the sanity bound");
+    v *= base;
+  }
+  return v;
+}
+
+}  // namespace
+
+FabricGraph::FabricGraph(FabricSpec spec) : spec_(std::move(spec)) {
+  const std::size_t r = spec_.radix;
+  const std::size_t H = spec_.hops;
+  PCS_REQUIRE(H >= 1, "fabric needs at least one hop, got " << H);
+  PCS_REQUIRE(r >= 1, "fabric radix must be >= 1, got " << r);
+  switch (spec_.topology) {
+    case Topology::kSingle:
+      PCS_REQUIRE(H == 1, "topology=single is the 1-hop fabric; hops=" << H);
+      nodes_per_hop_ = 1;
+      break;
+    case Topology::kOmega:
+    case Topology::kButterfly:
+      nodes_per_hop_ = ipow(r, H - 1);
+      break;
+    case Topology::kFatTree:
+      PCS_REQUIRE(H == 3, "topology=fattree is the 2-level (3-hop) fat-tree "
+                          "(leaf-up, spine, leaf-down); hops=" << H);
+      nodes_per_hop_ = r;  // r leaves up, r spines, r leaves down
+      break;
+  }
+  total_nodes_ = nodes_per_hop_ * H;
+  // fattree sources = r leaves x r host links = r^2, same as nodes*radix;
+  // the others are nodes_per_hop * radix = r^H.
+  sources_ = nodes_per_hop_ * r;
+  sinks_ = sources_;
+
+  PCS_REQUIRE(spec_.node.n % r == 0,
+              "node inputs n=" << spec_.node.n
+                               << " must divide by radix=" << r
+                               << " (equal in-link blocks)");
+  PCS_REQUIRE(spec_.node.m % r == 0,
+              "node outputs m=" << spec_.node.m
+                                << " must divide by radix=" << r
+                                << " (equal out-link blocks)");
+  in_block_ = spec_.node.n / r;
+  out_block_ = spec_.node.m / r;
+  PCS_REQUIRE(out_block_ <= in_block_,
+              "out-block " << out_block_ << " wider than downstream in-block "
+                           << in_block_
+                           << ": a channel could overrun its buffer ports");
+  PCS_REQUIRE(spec_.credits >= 1,
+              "credit-based flow control needs credits >= 1, got "
+                  << spec_.credits);
+  PCS_REQUIRE(spec_.fault_hop < H,
+              "fault_hop=" << spec_.fault_hop << " out of range for hops="
+                           << H);
+
+  // The node switch must compile to a plan (the fabric routes through the
+  // fused PlanExecutor batch path) and, when healthy, concentrate at least
+  // one message per epoch or the fabric can never move anything.
+  SwitchSpec healthy = spec_.node;
+  healthy.faults.clear();
+  plan::SwitchPlan p = make_switch_plan(healthy);
+  PCS_REQUIRE(p.epsilon < p.m,
+              "node plan " << p.name << " has zero guaranteed capacity (m="
+                           << p.m << ", epsilon=" << p.epsilon
+                           << "); the fabric would deadlock");
+}
+
+std::size_t FabricGraph::nodes_at(std::size_t hop) const {
+  PCS_REQUIRE(hop < spec_.hops, "hop " << hop << " out of range");
+  return nodes_per_hop_;
+}
+
+FabricGraph::Channel FabricGraph::channel(std::size_t hop, std::size_t node,
+                                          std::size_t link) const {
+  const std::size_t r = spec_.radix;
+  const std::size_t H = spec_.hops;
+  const std::size_t S = nodes_per_hop_;
+  PCS_REQUIRE(hop + 1 < H, "channel(): hop " << hop << " is the last hop");
+  PCS_REQUIRE(node < S && link < r, "channel(): node/link out of range");
+  switch (spec_.topology) {
+    case Topology::kSingle:
+      break;  // unreachable: single has no inter-hop channels
+    case Topology::kOmega: {
+      // Perfect shuffle on radix-r digits: drop the MSB digit of `node`,
+      // append `link`.  The dropped digit becomes the downstream in-link,
+      // so channels land on distinct in-links (a permutation of the stage
+      // boundary).
+      const std::size_t msb_div = S / r;  // r^(H-2)
+      return Channel{static_cast<std::uint32_t>((node % msb_div) * r + link),
+                     static_cast<std::uint32_t>(node / msb_div)};
+    }
+    case Topology::kButterfly: {
+      // Boundary `hop` flips digit `hop` (MSB-first among the H-1 node
+      // digits): downstream node = node with that digit set to `link`, and
+      // the replaced digit names the downstream in-link.
+      const std::size_t place = ipow(r, H - 2 - hop);
+      const std::size_t digit = (node / place) % r;
+      const std::size_t down = node + (link - digit) * place;
+      return Channel{static_cast<std::uint32_t>(down),
+                     static_cast<std::uint32_t>(digit)};
+    }
+    case Topology::kFatTree:
+      // hop 0 (leaf s) -- link d --> spine d, in-link s;
+      // hop 1 (spine t) -- link d --> down-leaf d, in-link t.
+      return Channel{static_cast<std::uint32_t>(link),
+                     static_cast<std::uint32_t>(node)};
+  }
+  PCS_REQUIRE(false, "channel(): unreachable");
+}
+
+std::size_t FabricGraph::out_link(std::size_t hop, std::size_t node,
+                                  std::size_t dest) const {
+  const std::size_t r = spec_.radix;
+  const std::size_t H = spec_.hops;
+  PCS_REQUIRE(hop < H && node < nodes_per_hop_ && dest < sinks_,
+              "out_link(): hop/node/dest out of range");
+  switch (spec_.topology) {
+    case Topology::kSingle:
+      return dest;  // one node; out-link IS the sink (dest < radix)
+    case Topology::kOmega:
+    case Topology::kButterfly:
+      // Destination-tag self-routing: hop k consumes digit k of `dest`,
+      // MSB-first over H base-r digits.  After the last hop, node*r+link
+      // equals dest exactly (checked on ejection by FabricSim).
+      return (dest / ipow(r, H - 1 - hop)) % r;
+    case Topology::kFatTree: {
+      const std::size_t leaf = dest / r;  // destination leaf
+      const std::size_t port = dest % r;  // host port on that leaf
+      if (hop == 0) return port % r;      // spread up-links by port digit
+      if (hop == 1) return leaf;          // spine picks the destination leaf
+      return port;                        // down-leaf ejects on the port
+    }
+  }
+  PCS_REQUIRE(false, "out_link(): unreachable");
+}
+
+FabricGraph::Upstream FabricGraph::upstream(std::size_t hop, std::size_t node,
+                                            std::size_t inlink) const {
+  const std::size_t r = spec_.radix;
+  const std::size_t H = spec_.hops;
+  const std::size_t S = nodes_per_hop_;
+  PCS_REQUIRE(hop >= 1 && hop < H, "upstream(): hop " << hop << " has no "
+                                                         "upstream stage");
+  PCS_REQUIRE(node < S && inlink < r, "upstream(): node/inlink out of range");
+  switch (spec_.topology) {
+    case Topology::kSingle:
+      break;  // unreachable
+    case Topology::kOmega: {
+      // Invert the shuffle: upstream node = inlink digit prepended to the
+      // downstream node's upper digits; the appended digit was the link.
+      const std::size_t msb_div = S / r;
+      return Upstream{
+          static_cast<std::uint32_t>(inlink * msb_div + node / r),
+          static_cast<std::uint32_t>(node % r)};
+    }
+    case Topology::kButterfly: {
+      // Invert the digit replacement at boundary hop-1: the upstream node
+      // had digit `inlink` where the downstream node has its own digit,
+      // and the link equals the downstream digit.
+      const std::size_t b = hop - 1;
+      const std::size_t place = ipow(r, H - 2 - b);
+      const std::size_t digit = (node / place) % r;
+      const std::size_t up = node + (inlink - digit) * place;
+      return Upstream{static_cast<std::uint32_t>(up),
+                      static_cast<std::uint32_t>(digit)};
+    }
+    case Topology::kFatTree:
+      // Inverse of channel(): spine `node` in-link s came from leaf s link
+      // `node`; down-leaf `node` in-link t came from spine t link `node`.
+      return Upstream{static_cast<std::uint32_t>(inlink),
+                      static_cast<std::uint32_t>(node)};
+  }
+  PCS_REQUIRE(false, "upstream(): unreachable");
+}
+
+std::string FabricGraph::name() const {
+  std::ostringstream os;
+  os << topology_name(spec_.topology) << "(hops=" << spec_.hops
+     << ", radix=" << spec_.radix << ")";
+  return os.str();
+}
+
+}  // namespace pcs::fabric

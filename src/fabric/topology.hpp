@@ -1,0 +1,122 @@
+// Multi-hop fabric topologies built from plan-compiled concentrator
+// switches (ROADMAP item 1: the scale unlock).
+//
+// A fabric is `hops` stages of identical (n, m) concentrator nodes joined
+// by fixed inter-hop channels.  Every node has `radix` in-links and `radix`
+// out-links: its n input ports are split into radix in-blocks of n/radix
+// ports and its m outputs into radix out-blocks of m/radix wires, so a
+// channel carries at most m/radix messages per epoch into a downstream
+// block of n/radix ports.  Which downstream node an out-link reaches is the
+// topology:
+//
+//   single     one node, hops == 1 (the degenerate fabric: radix ejection
+//              links straight to the sinks).
+//   omega      radix^(hops-1) nodes per stage; boundary wiring is the
+//              radix-ary perfect shuffle (drop the node index's most
+//              significant digit, append the out-link digit).
+//   butterfly  same node count; boundary b replaces digit b of the node
+//              index with the out-link digit (radix-ary butterfly).
+//   fattree    2-level fat-tree, hops == 3: radix leaves x radix spines,
+//              traversed leaf-up -> spine -> leaf-down.
+//
+// All four are self-routing by destination digits (the omega/butterfly
+// destination-tag property; arXiv:1012.5597's fundamental arrangements):
+// out_link() at hop k inspects one digit of the destination, and following
+// channel() through every hop lands on exactly sink `dest` from any source.
+// The topology tests verify that property exhaustively on small fabrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "switch/make_switch.hpp"
+
+namespace pcs::fabric {
+
+enum class Topology : unsigned char { kSingle, kOmega, kButterfly, kFatTree };
+
+/// "single" | "omega" | "butterfly" | "fattree"; throws on unknown names.
+Topology topology_from_string(const std::string& s);
+const char* topology_name(Topology t) noexcept;
+
+/// Everything needed to build a fabric: the wiring shape plus the per-node
+/// switch.  `node.faults` are applied to hop `fault_hop`'s plan only; every
+/// other hop routes the healthy plan.
+struct FabricSpec {
+  Topology topology = Topology::kOmega;
+  std::size_t hops = 3;   ///< switch stages a message traverses (>= 1)
+  std::size_t radix = 2;  ///< links per node; the destination digit base
+  /// Per-node switch.  Must be a plan family (make_switch_plan succeeds);
+  /// n and m must divide by radix, and the healthy plan must keep a
+  /// positive guaranteed capacity (m - epsilon >= 1) or nothing can move.
+  SwitchSpec node;
+  std::size_t credits = 8;   ///< per-channel credit pool (downstream VOQ slots)
+  std::string alloc = "rr";  ///< VOQ allocator: "rr" | "islip"
+  std::size_t fault_hop = 0; ///< hop whose plan receives node.faults
+};
+
+/// The resolved wiring of a FabricSpec.  Channels are 1:1 with downstream
+/// in-links, so (hop, node, out-link) fully names a channel and its credit
+/// counter.
+class FabricGraph {
+ public:
+  struct Channel {
+    std::uint32_t node;    ///< downstream node index at hop+1
+    std::uint32_t inlink;  ///< downstream in-link the channel feeds
+  };
+
+  explicit FabricGraph(FabricSpec spec);
+
+  const FabricSpec& spec() const noexcept { return spec_; }
+  std::size_t hops() const noexcept { return spec_.hops; }
+  std::size_t radix() const noexcept { return spec_.radix; }
+
+  /// Nodes at hop k (uniform per topology; kept per-hop for clarity).
+  std::size_t nodes_at(std::size_t hop) const;
+  /// Total nodes across all hops.
+  std::size_t total_nodes() const noexcept { return total_nodes_; }
+
+  /// Injection channels: one bounded source queue each, mapped onto hop 0's
+  /// (node, in-link) pairs; source g feeds node g / radix, in-link g % radix.
+  std::size_t sources() const noexcept { return sources_; }
+  /// Ejection channels: sink of a message leaving last-hop node s on
+  /// out-link d is s * radix + d.  Destinations are sink indices.
+  std::size_t sinks() const noexcept { return sinks_; }
+
+  /// Input ports per in-block (n / radix) and wires per out-block
+  /// (m / radix) of every node.
+  std::size_t in_block() const noexcept { return in_block_; }
+  std::size_t out_block() const noexcept { return out_block_; }
+
+  /// The downstream end of channel (hop, node, link).  hop < hops() - 1.
+  Channel channel(std::size_t hop, std::size_t node, std::size_t link) const;
+
+  /// The out-link a message for sink `dest` takes at (hop, node): the
+  /// destination-digit rule.  The node argument only matters for fat-tree
+  /// sanity checks; digit routing is node-independent.
+  std::size_t out_link(std::size_t hop, std::size_t node,
+                       std::size_t dest) const;
+
+  /// The upstream channel feeding (hop, node, inlink); hop >= 1.  Used to
+  /// return credits when a message departs a downstream VOQ pool.
+  struct Upstream {
+    std::uint32_t node;  ///< upstream node index at hop-1
+    std::uint32_t link;  ///< upstream out-link
+  };
+  Upstream upstream(std::size_t hop, std::size_t node, std::size_t inlink) const;
+
+  /// "omega(hops=3, radix=2)" -- prefix of the fabric's display name.
+  std::string name() const;
+
+ private:
+  FabricSpec spec_;
+  std::size_t nodes_per_hop_ = 0;  ///< uniform for single/omega/butterfly
+  std::size_t total_nodes_ = 0;
+  std::size_t sources_ = 0;
+  std::size_t sinks_ = 0;
+  std::size_t in_block_ = 0;
+  std::size_t out_block_ = 0;
+};
+
+}  // namespace pcs::fabric

@@ -109,6 +109,18 @@ void set_key(RuntimeConfig& cfg, const std::string& key, const std::string& valu
     cfg.trace = value;
   } else if (key == "trace_clock") {
     cfg.trace_clock = value;
+  } else if (key == "topology") {
+    cfg.topology = value;
+  } else if (key == "hops") {
+    cfg.fabric_hops = parse_size(key, value);
+  } else if (key == "radix") {
+    cfg.fabric_radix = parse_size(key, value);
+  } else if (key == "alloc") {
+    cfg.fabric_alloc = value;
+  } else if (key == "credits") {
+    cfg.fabric_credits = parse_size(key, value);
+  } else if (key == "fault_hop") {
+    cfg.fault_hop = parse_size(key, value);
   } else {
     PCS_REQUIRE(false, "unknown config key '" << key << "'");
   }
@@ -141,6 +153,23 @@ void validate(const RuntimeConfig& cfg) {
                                                               << "'");
   PCS_REQUIRE(cfg.exec == "fused" || cfg.exec == "legacy",
               "exec must be 'fused' or 'legacy', got '" << cfg.exec << "'");
+  PCS_REQUIRE(cfg.topology.empty() || cfg.topology == "single" ||
+                  cfg.topology == "omega" || cfg.topology == "butterfly" ||
+                  cfg.topology == "fattree",
+              "topology must be single|omega|butterfly|fattree, got '"
+                  << cfg.topology << "'");
+  PCS_REQUIRE(cfg.fabric_alloc == "rr" || cfg.fabric_alloc == "islip",
+              "alloc must be 'rr' or 'islip', got '" << cfg.fabric_alloc << "'");
+  if (!cfg.topology.empty()) {
+    PCS_REQUIRE(cfg.fabric_hops >= 1, "hops must be >= 1");
+    PCS_REQUIRE(cfg.fabric_radix >= 1, "radix must be >= 1");
+    PCS_REQUIRE(cfg.fabric_credits >= 1, "credits must be >= 1");
+    for (const std::string& f : split_csv(cfg.family)) {
+      PCS_REQUIRE(f != "hyper",
+                  "fabric campaigns need a plan-compiled family; 'hyper' has "
+                  "no plan");
+    }
+  }
 }
 
 }  // namespace
@@ -170,7 +199,15 @@ RuntimeConfig parse_config_text(const std::string& text) {
     const auto eq = line.find('=');
     PCS_REQUIRE(eq != std::string::npos,
                 "config line " << lineno << " is not key=value: '" << line << "'");
-    set_key(cfg, trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+    const std::string key = trim(line.substr(0, eq));
+    // A key with embedded whitespace is always a typo ("queue depth = 4");
+    // name the offending line instead of falling through to the generic
+    // unknown-key error.  Duplicate keys are allowed and take the LAST
+    // occurrence, matching CLI override semantics (set_key overwrites).
+    PCS_REQUIRE(key.find_first_of(" \t") == std::string::npos,
+                "config line " << lineno << ": key '" << key
+                               << "' contains whitespace");
+    set_key(cfg, key, trim(line.substr(eq + 1)));
   }
   validate(cfg);
   return cfg;
@@ -188,7 +225,11 @@ void apply_override(RuntimeConfig& cfg, const std::string& assignment) {
   const auto eq = assignment.find('=');
   PCS_REQUIRE(eq != std::string::npos,
               "override is not key=value: '" << assignment << "'");
-  set_key(cfg, trim(assignment.substr(0, eq)), trim(assignment.substr(eq + 1)));
+  const std::string key = trim(assignment.substr(0, eq));
+  PCS_REQUIRE(key.find_first_of(" \t") == std::string::npos,
+              "override key '" << key << "' contains whitespace (in '"
+                               << assignment << "')");
+  set_key(cfg, key, trim(assignment.substr(eq + 1)));
   validate(cfg);
 }
 
@@ -196,20 +237,24 @@ std::string config_to_json(const RuntimeConfig& cfg, std::size_t indent) {
   const std::string pad(indent, ' ');
   std::ostringstream os;
   os << pad << "{\n";
+  os << pad << "  \"alloc\": " << json_escape(cfg.fabric_alloc) << ",\n";
   os << pad << "  \"arrival\": " << json_escape(cfg.arrival) << ",\n";
   os << pad << "  \"arrival_p\": " << format_json_double(cfg.arrival_p) << ",\n";
   os << pad << "  \"beta\": " << format_json_double(cfg.beta) << ",\n";
   os << pad << "  \"check_invariants\": " << (cfg.check_invariants ? "true" : "false")
      << ",\n";
+  os << pad << "  \"credits\": " << cfg.fabric_credits << ",\n";
   os << pad << "  \"drain_epochs_max\": " << cfg.drain_epochs_max << ",\n";
   os << pad << "  \"exec\": " << json_escape(cfg.exec) << ",\n";
   os << pad << "  \"family\": " << json_escape(cfg.family) << ",\n";
+  os << pad << "  \"fault_hop\": " << cfg.fault_hop << ",\n";
   os << pad << "  \"faults\": [";
   for (std::size_t i = 0; i < cfg.faults.size(); ++i) {
     if (i) os << ", ";
     os << "[" << cfg.faults[i].stage << ", " << cfg.faults[i].chip << "]";
   }
   os << "],\n";
+  os << pad << "  \"hops\": " << cfg.fabric_hops << ",\n";
   os << pad << "  \"lanes\": " << cfg.lanes << ",\n";
   os << pad << "  \"loads\": [";
   for (std::size_t i = 0; i < cfg.loads.size(); ++i) {
@@ -222,8 +267,10 @@ std::string config_to_json(const RuntimeConfig& cfg, std::size_t indent) {
   os << pad << "  \"n\": " << cfg.n << ",\n";
   os << pad << "  \"policy\": " << json_escape(cfg.policy) << ",\n";
   os << pad << "  \"queue_depth\": " << cfg.queue_depth << ",\n";
+  os << pad << "  \"radix\": " << cfg.fabric_radix << ",\n";
   os << pad << "  \"seed\": " << cfg.seed << ",\n";
   os << pad << "  \"threads\": " << cfg.threads << ",\n";
+  os << pad << "  \"topology\": " << json_escape(cfg.topology) << ",\n";
   os << pad << "  \"trace\": " << json_escape(cfg.trace) << ",\n";
   os << pad << "  \"trace_clock\": " << json_escape(cfg.trace_clock) << ",\n";
   os << pad << "  \"warmup_epochs\": " << cfg.warmup_epochs << "\n";

@@ -67,10 +67,29 @@ struct RuntimeConfig {
   /// Trace clock: "tsc" (wall-calibrated ticks) or "logical" (deterministic
   /// sequence numbers; byte-identical traces with threads = 1).
   std::string trace_clock = "tsc";
+
+  // --- multi-hop fabric campaigns (src/fabric) ---------------------------
+  // When `topology` is non-empty, pcs_serve composes `hops` stages of
+  // plan-compiled switches of the configured family/shape into that
+  // topology and runs the closed-loop fabric campaign instead of the
+  // single-switch one.  See fabric/fabric_config.hpp for the translation.
+
+  /// "" (single-switch campaigns) | single | omega | butterfly | fattree.
+  std::string topology;
+  std::size_t fabric_hops = 3;    ///< switch stages a message traverses
+  std::size_t fabric_radix = 2;   ///< links per node (the MIN digit base)
+  std::string fabric_alloc = "rr";     ///< VOQ allocator: rr | islip
+  std::size_t fabric_credits = 8;      ///< per-channel credit pool depth
+  /// Hop whose plan receives `faults` in fabric campaigns (single-switch
+  /// campaigns apply them to the one switch regardless).
+  std::size_t fault_hop = 0;
 };
 
-/// Parse a whole config file body.  Unknown keys, malformed values, and
-/// out-of-range settings throw pcs::ContractViolation naming the line.
+/// Parse a whole config file body.  Unknown keys, malformed values, keys
+/// with embedded whitespace, and out-of-range settings throw
+/// pcs::ContractViolation naming the line.  Duplicate keys take the LAST
+/// occurrence -- the same rule CLI overrides follow, so "file then
+/// overrides" and "file with a repeated key" agree.
 RuntimeConfig parse_config_text(const std::string& text);
 
 /// parse_config_text over a file's contents; throws if unreadable.

@@ -107,6 +107,12 @@ RuntimeReport FabricRuntime::run(MetricsRegistry& metrics) {
         break;
       }
       if (epoch - measure_end >= opts_.drain_epochs_max) break;  // saturated
+      // Count the drain epoch at the moment it commits to executing: after
+      // BOTH break checks, before the epoch span opens.  Whichever way the
+      // drain ends, drain_epochs_used == drain epochs that dispatched a
+      // route_batch == the `epochs.drain` counter == the trace's epoch-span
+      // count minus warmup and measurement (the saturated-campaign
+      // regression tests pin all three identities).
       ++report.drain_epochs_used;
     }
 
@@ -256,9 +262,19 @@ RuntimeReport FabricRuntime::run(MetricsRegistry& metrics) {
   }
   report.residual_backlog = residual;
 
+  // The residual backlog is a first-class term of the conservation identity,
+  // so it is exported as counters (not just report fields): a saturated
+  // campaign's metrics document must balance on its own, without the reader
+  // reaching for the RuntimeReport.  `total.residual` covers every queued
+  // message at exit; `residual` only those born in the measurement window.
+  metrics.counter("total.residual").add(residual);
+  metrics.counter("residual").add(residual_measured);
+
   // Conservation: every accepted message is delivered, explicitly dropped,
   // or still sitting in a queue -- for the whole campaign and for the
-  // measurement window alone.
+  // measurement window alone.  Both identities hold in the drained AND the
+  // saturated exit: residual is exactly the backlog left at whichever exit
+  // was taken.
   PCS_REQUIRE(total_offered.value() ==
                   total_delivered.value() + total_dropped.value() + residual,
               "conservation: offered=" << total_offered.value() << " delivered="

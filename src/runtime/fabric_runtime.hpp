@@ -66,7 +66,10 @@ class FabricRuntime {
   /// prefix cover messages born in the measurement window (except `retries`,
   /// which counts retry events occurring during measurement); "total.*"
   /// counters cover the whole campaign and satisfy exact conservation:
-  ///   total.offered == total.delivered + total.dropped + residual_backlog.
+  ///   total.offered == total.delivered + total.dropped + total.residual
+  /// where `total.residual` (== residual_backlog) counts the messages still
+  /// queued at exit -- nonzero exactly when the campaign saturated, and
+  /// exported as a counter so the metrics document balances on its own.
   /// Throws pcs::ContractViolation if conservation or (when enabled) a
   /// routing invariant fails.
   RuntimeReport run(MetricsRegistry& metrics);

@@ -206,6 +206,78 @@ TEST(FabricRuntime, RejectsDegenerateOptions) {
   EXPECT_THROW(FabricRuntime(sw, opts, nullptr), ContractViolation);
 }
 
+// Regression (campaign accounting): a saturated campaign's
+// drain_epochs_used must count exactly the drain epochs that EXECUTED --
+// equal to the epochs.drain counter and to the dispatches beyond
+// warmup + measure -- not the cap, and not cap + 1.  Pinned by driving a
+// switch far past its service rate so the drain cap always trips.
+TEST(FabricRuntime, SaturatedDrainAccountingIsExact) {
+  sw::HyperSwitch sw(64, 4);  // capacity 4 against ~32 arrivals/epoch
+  RuntimeOptions opts = small_opts(CongestionPolicy::kBufferRetry);
+  opts.queue_depth = 64;
+  opts.drain_epochs_max = 17;
+  FabricRuntime runtime(sw, opts, bernoulli(64, 0.5));
+  MetricsRegistry metrics;
+  RuntimeReport report = runtime.run(metrics);
+
+  ASSERT_TRUE(report.saturated);
+  EXPECT_FALSE(report.drained);
+  EXPECT_EQ(report.drain_epochs_used, opts.drain_epochs_max);
+  EXPECT_EQ(metrics.counter("epochs.drain").value(), report.drain_epochs_used);
+  // Every executed epoch is one route_batch dispatch, so the drain count
+  // must also equal dispatches minus the warmup and measure epochs.
+  EXPECT_EQ(metrics.counter("route_batch_dispatches").value(),
+            opts.warmup_epochs + opts.measure_epochs + report.drain_epochs_used);
+  EXPECT_GT(report.residual_backlog, 0u);
+
+  // With drain_epochs_max = 0 the campaign saturates before any drain epoch
+  // runs: the counter must be exactly zero (the historical off-by-one risk).
+  opts.drain_epochs_max = 0;
+  FabricRuntime no_drain(sw, opts, bernoulli(64, 0.5));
+  MetricsRegistry m2;
+  RuntimeReport r2 = no_drain.run(m2);
+  ASSERT_TRUE(r2.saturated);
+  EXPECT_EQ(r2.drain_epochs_used, 0u);
+  EXPECT_EQ(m2.counter("epochs.drain").value(), 0u);
+  EXPECT_EQ(m2.counter("route_batch_dispatches").value(),
+            opts.warmup_epochs + opts.measure_epochs);
+}
+
+// Regression (campaign accounting): the residual backlog of a saturated
+// campaign is an explicit counter term, so the exported document balances
+// on its own:  total.offered == total.delivered + total.dropped +
+// total.residual, with `residual` carrying the measured-window share.
+TEST(FabricRuntime, ResidualBacklogIsAFirstClassCounter) {
+  sw::HyperSwitch sw(64, 4);
+  RuntimeOptions opts = small_opts(CongestionPolicy::kBufferRetry);
+  opts.queue_depth = 64;
+  opts.drain_epochs_max = 8;
+  FabricRuntime runtime(sw, opts, bernoulli(64, 0.5));
+  MetricsRegistry metrics;
+  RuntimeReport report = runtime.run(metrics);
+
+  ASSERT_TRUE(report.saturated);
+  ASSERT_GT(report.residual_backlog, 0u);
+  EXPECT_EQ(metrics.counter("total.residual").value(), report.residual_backlog);
+  EXPECT_EQ(metrics.counter("total.offered").value(),
+            metrics.counter("total.delivered").value() +
+                metrics.counter("total.dropped").value() +
+                metrics.counter("total.residual").value());
+  // Measured-window residual is bounded by the whole-campaign residual.
+  EXPECT_LE(metrics.counter("residual").value(),
+            metrics.counter("total.residual").value());
+
+  // A drained campaign exports an explicit zero, not a missing counter.
+  sw::HyperSwitch big(64, 64);
+  FabricRuntime drained_rt(big, small_opts(CongestionPolicy::kBufferRetry),
+                           bernoulli(64, 0.2));
+  MetricsRegistry m2;
+  RuntimeReport r2 = drained_rt.run(m2);
+  ASSERT_TRUE(r2.drained);
+  EXPECT_EQ(m2.counters().count("total.residual"), 1u);
+  EXPECT_EQ(m2.counter("total.residual").value(), 0u);
+}
+
 // The three legacy simulators export through the same schema names the
 // runtime uses, so one consumer reads any producer.
 TEST(StatsBridge, RoundStatsMapToSharedSchema) {

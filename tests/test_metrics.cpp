@@ -43,6 +43,32 @@ TEST(Metrics, HistogramLog2Buckets) {
   EXPECT_EQ(Histogram::bucket_upper_bound(10), 1023u);
 }
 
+// Regression (observability): zero-latency fast-path deliveries must stay
+// distinguishable from 1-epoch ones.  Bucket 0 admits ONLY the value 0 and
+// bucket 1 only the value 1; a naive floor(log2(v))+1 indexing would merge
+// them.  tools/check_trace.py enforces the same schema on exported JSON.
+TEST(Metrics, HistogramZeroBucketIsDistinguishableFromOne) {
+  Histogram zeros;
+  zeros.record_n(0, 5);
+  Histogram ones;
+  ones.record_n(1, 5);
+  ASSERT_EQ(zeros.buckets().size(), 1u);
+  ASSERT_EQ(ones.buckets().size(), 2u);
+  EXPECT_EQ(zeros.buckets()[0], 5u);
+  EXPECT_EQ(ones.buckets()[0], 0u);
+  EXPECT_EQ(ones.buckets()[1], 5u);
+  // Identical counts but different distributions: the buckets (and only
+  // the buckets) tell them apart, so their JSON must differ.
+  MetricsRegistry a, b;
+  a.histogram("latency_epochs").record_n(0, 5);
+  b.histogram("latency_epochs").record_n(1, 5);
+  EXPECT_NE(a.to_json(), b.to_json());
+  // bucket_upper_bound matches the documented admission ranges exactly.
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(2), 3u);
+}
+
 TEST(Metrics, HistogramWeightedRecord) {
   Histogram h;
   h.record_n(4, 10);

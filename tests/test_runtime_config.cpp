@@ -140,6 +140,83 @@ TEST(RuntimeConfig, MakeTrafficBuildsEveryArrival) {
   EXPECT_EQ(gen->next(rng).count(), 16u);
 }
 
+// Regression (parser): duplicate keys follow one rule everywhere --
+// LAST occurrence wins, in the file body and across CLI overrides alike,
+// so "file then overrides" and "file with a repeated key" agree.
+TEST(RuntimeConfig, DuplicateKeysAreLastWins) {
+  RuntimeConfig cfg = parse_config_text("n = 64\nseed = 1\nn = 1024\nseed = 7");
+  EXPECT_EQ(cfg.n, 1024u);
+  EXPECT_EQ(cfg.seed, 7u);
+  // A repeated list key replaces, never appends.
+  cfg = parse_config_text("loads = 0.1,0.2\nloads = 0.9");
+  ASSERT_EQ(cfg.loads.size(), 1u);
+  EXPECT_DOUBLE_EQ(cfg.loads[0], 0.9);
+  // The same rule across override repetition.
+  cfg = parse_config_text("m = 64");
+  apply_override(cfg, "m=128");
+  apply_override(cfg, "m=96");
+  EXPECT_EQ(cfg.m, 96u);
+}
+
+// Regression (parser): a key with embedded whitespace used to be truncated
+// at the first space and silently treated as the shorter key; it must be
+// rejected with a ContractViolation naming the offending line.
+TEST(RuntimeConfig, KeysWithWhitespaceAreRejectedNamingTheLine) {
+  try {
+    parse_config_text("n = 64\nqueue depth = 8\n");
+    FAIL() << "whitespace key accepted";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("queue depth"), std::string::npos) << what;
+  }
+  EXPECT_THROW(parse_config_text("drain epochs max = 9"), ContractViolation);
+  RuntimeConfig cfg;
+  EXPECT_THROW(apply_override(cfg, "queue depth=8"), ContractViolation);
+  // Surrounding whitespace is trimmed as before -- only EMBEDDED
+  // whitespace inside the key is a rejection.
+  apply_override(cfg, " n =512");
+  EXPECT_EQ(cfg.n, 512u);
+}
+
+TEST(RuntimeConfig, FabricKeysParseAndValidate) {
+  RuntimeConfig cfg = parse_config_text(R"(
+topology = omega
+hops = 3
+radix = 2
+alloc = islip
+credits = 16
+fault_hop = 1
+)");
+  EXPECT_EQ(cfg.topology, "omega");
+  EXPECT_EQ(cfg.fabric_hops, 3u);
+  EXPECT_EQ(cfg.fabric_radix, 2u);
+  EXPECT_EQ(cfg.fabric_alloc, "islip");
+  EXPECT_EQ(cfg.fabric_credits, 16u);
+  EXPECT_EQ(cfg.fault_hop, 1u);
+  // Defaults keep single-switch campaigns: empty topology.
+  EXPECT_TRUE(parse_config_text("").topology.empty());
+  EXPECT_THROW(parse_config_text("topology = torus"), ContractViolation);
+  EXPECT_THROW(parse_config_text("alloc = maxweight"), ContractViolation);
+  EXPECT_THROW(parse_config_text("topology = omega\nhops = 0"),
+               ContractViolation);
+  EXPECT_THROW(parse_config_text("topology = omega\nradix = 0"),
+               ContractViolation);
+  EXPECT_THROW(parse_config_text("topology = omega\ncredits = 0"),
+               ContractViolation);
+  // Fabric nodes must be plan-compiled: "hyper" cannot be composed.
+  EXPECT_THROW(parse_config_text("topology = omega\nfamily = hyper"),
+               ContractViolation);
+  // The fabric keys echo into the config JSON.
+  const std::string json = config_to_json(cfg, 0);
+  EXPECT_NE(json.find("\"topology\": \"omega\""), std::string::npos);
+  EXPECT_NE(json.find("\"alloc\": \"islip\""), std::string::npos);
+  EXPECT_NE(json.find("\"credits\": 16"), std::string::npos);
+  EXPECT_NE(json.find("\"hops\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"radix\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"fault_hop\": 1"), std::string::npos);
+}
+
 TEST(RuntimeConfig, JsonEchoIsDeterministic) {
   RuntimeConfig cfg = parse_config_text("loads = 0.1,0.9\nseed = 5");
   const std::string a = config_to_json(cfg, 2);

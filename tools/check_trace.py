@@ -12,10 +12,18 @@ Checks, in order:
      x 16 chips of the faulted Revsort(256 -> 192) plan), each campaign's
      "plan.chip" span count equals N x its route_batch_dispatches counter;
   6. each campaign's profile.plan.words_routed counter, when exported,
-     equals its total.delivered counter.  When the run used the fused
+     equals its total.delivered counter -- or, for fabric campaigns (any
+     fabric.hop<k>.* counters present), the sum over hops of
+     fabric.hop<k>.sent + fabric.hop<k>.delivered, since a message is
+     routed once per hop it traverses.  When the run used the fused
      executor (config.exec == "fused", the default), the counter is
      REQUIRED on every traced campaign: a fused dispatch that fails to
      publish its routed-word tally would otherwise pass silently.
+  7. every exported histogram uses the zero-separating log2 bucket schema:
+     bucket 0 admits only the value 0 (upper bound 0) and bucket b >= 1
+     admits [2^(b-1), 2^b - 1], so zero-latency fast-path deliveries are
+     distinguishable from 1-epoch ones; the bucket weights must sum to the
+     histogram's count, and min/max must sit inside the occupied buckets.
 
 Usage:
   tools/check_trace.py TRACE.json METRICS.json [--chip-spans-per-route N]
@@ -104,11 +112,55 @@ def check_against_metrics(events, doc, chip_spans_per_route):
                 f"campaign {pid}: fused run exported no "
                 "profile.plan.words_routed counter"
             )
-        if words is not None and words != counters["total.delivered"]:
+        if any(k.startswith("fabric.hop") for k in counters):
+            # Fabric campaign: every hop a message crosses is one routed word.
+            expected_words = sum(
+                v
+                for k, v in counters.items()
+                if k.startswith("fabric.hop")
+                and (k.endswith(".sent") or k.endswith(".delivered"))
+            )
+            words_label = "sum of fabric.hop<k>.{sent,delivered}"
+        else:
+            expected_words = counters["total.delivered"]
+            words_label = "total.delivered"
+        if words is not None and words != expected_words:
             fail(
                 f"campaign {pid}: profile.plan.words_routed={words} != "
-                f"total.delivered={counters['total.delivered']}"
+                f"{words_label}={expected_words}"
             )
+
+
+def check_histograms(doc):
+    for pid, campaign in enumerate(doc.get("campaigns", [])):
+        for name, h in campaign["metrics"].get("histograms", {}).items():
+            where = f"campaign {pid} histogram {name!r}"
+            buckets = h["buckets"]
+            total = 0
+            for b, (upper, weight) in enumerate(buckets):
+                expected = 0 if b == 0 else 2**b - 1
+                if b >= 64:
+                    expected = 2**64 - 1
+                if upper != expected:
+                    fail(
+                        f"{where}: bucket {b} upper bound {upper}, expected "
+                        f"{expected} (bucket 0 must hold only the value 0)"
+                    )
+                total += weight
+            if total != h["count"]:
+                fail(
+                    f"{where}: bucket weights sum to {total}, count is "
+                    f"{h['count']}"
+                )
+            if h["count"]:
+                occupied = [b for b, (_, w) in enumerate(buckets) if w]
+                lo, hi = occupied[0], occupied[-1]
+                lo_min = 0 if lo == 0 else 2 ** (lo - 1)
+                if not (lo_min <= h["min"] <= buckets[lo][0]):
+                    fail(f"{where}: min {h['min']} outside lowest occupied bucket {lo}")
+                hi_min = 0 if hi == 0 else 2 ** (hi - 1)
+                if not (hi_min <= h["max"] <= buckets[hi][0]):
+                    fail(f"{where}: max {h['max']} outside highest occupied bucket {hi}")
 
 
 def main():
@@ -135,6 +187,7 @@ def main():
     check_normalized_origin(events)
     check_strict_nesting(events)
     check_against_metrics(events, doc, args.chip_spans_per_route)
+    check_histograms(doc)
     print(
         f"check_trace: OK: {len(events)} events across "
         f"{len(doc['campaigns'])} campaigns"
