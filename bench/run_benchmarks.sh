@@ -2,7 +2,9 @@
 # Run the simulator-performance benchmarks and leave machine-readable JSON
 # at the repo root, one file per bench (BENCH_sim_speed.json,
 # BENCH_throughput.json, BENCH_plan.json, BENCH_threads.json,
-# BENCH_obs.json, BENCH_fabric.json).  bench_fabric sweeps the multi-hop
+# BENCH_obs.json, BENCH_fabric.json, BENCH_serve.json).  bench_serve
+# prices the daemon's wire protocol (encode/decode/FrameReader) and the
+# plan cache's hit vs cold-compile paths.  bench_fabric sweeps the multi-hop
 # fabric hop count (1/2/3 hops of the same plan-compiled node) for the
 # composition-overhead curve.  bench_plan runs the same batched-Revsort shapes as
 # bench_sim_speed so the plan executor's throughput can be compared
@@ -26,9 +28,9 @@ if [ ! -f "$build_dir/CMakeCache.txt" ]; then
 fi
 cmake --build "$build_dir" -j --target \
   bench_sim_speed bench_throughput bench_plan bench_threads bench_obs \
-  bench_fabric
+  bench_fabric bench_serve
 
-for bench in sim_speed throughput plan threads obs fabric; do
+for bench in sim_speed throughput plan threads obs fabric serve; do
   # The plan A/B is the PR-acceptance artifact; on a shared vCPU the host's
   # memory-bandwidth contention swings short runs +/-12%, so give each case
   # a long enough window to average over the bursts.

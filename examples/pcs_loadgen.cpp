@@ -1,0 +1,349 @@
+// pcs_loadgen: open-loop client for the pcs_served daemon.
+//
+// One thread per tenant; each connects to the daemon's Unix-domain socket,
+// pipelines its campaign requests back-to-back (open loop -- sends do not
+// wait for replies), then collects the in-order replies and reports
+// acceptance and latency.  Seeds are derived per (tenant, request) so a
+// rerun against a fresh daemon asks for byte-identical campaigns.
+//
+//   $ ./pcs_loadgen socket=/tmp/pcs.sock tenants=2 requests=4 n=128 m=64
+//   $ ./pcs_loadgen socket=/tmp/pcs.sock scrape=metrics.json
+//
+// Exit status: 0 iff every request got a reply (rejected/error replies are
+// reported but still count as "answered"; use require=ok to demand all-OK).
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace {
+
+using pcs::serve::CampaignReply;
+using pcs::serve::CampaignRequest;
+using pcs::serve::Frame;
+using pcs::serve::FrameReader;
+using pcs::serve::MsgType;
+using pcs::serve::Status;
+
+struct Options {
+  std::string socket_path = "pcs_served.sock";
+  std::size_t tenants = 2;
+  std::size_t requests = 4;     ///< per tenant
+  std::size_t gap_ms = 0;       ///< open-loop inter-send pacing
+  std::string scrape_path;      ///< non-empty = scrape mode
+  bool require_ok = false;      ///< exit nonzero unless every reply is kOk
+  int timeout_ms = 120000;      ///< per-connection overall reply deadline
+  CampaignRequest shape;        ///< template; sentinels = server default
+};
+
+[[noreturn]] void usage_and_exit(int rc) {
+  std::printf(
+      "usage: pcs_loadgen [key=value ...]\n"
+      "  socket=PATH tenants=N requests=N gap_ms=N require=ok|answered\n"
+      "  scrape=FILE            (write one metrics scrape to FILE and exit)\n"
+      "  campaign shape: family= n= m= beta= faults= arrival= load= seed=\n"
+      "                  lanes= queue_depth= policy= warmup= measure= drain=\n");
+  std::exit(rc);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--help" || arg == "-h") usage_and_exit(0);
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "pcs_loadgen: expected key=value, got '%s'\n",
+                   arg.c_str());
+      usage_and_exit(2);
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string val = arg.substr(eq + 1);
+    try {
+      if (key == "socket") o.socket_path = val;
+      else if (key == "tenants") o.tenants = std::stoul(val);
+      else if (key == "requests") o.requests = std::stoul(val);
+      else if (key == "gap_ms") o.gap_ms = std::stoul(val);
+      else if (key == "timeout_ms") o.timeout_ms = std::stoi(val);
+      else if (key == "scrape") o.scrape_path = val;
+      else if (key == "require") o.require_ok = (val == "ok");
+      else if (key == "family") o.shape.family = val;
+      else if (key == "n") o.shape.n = static_cast<std::uint32_t>(std::stoul(val));
+      else if (key == "m") o.shape.m = static_cast<std::uint32_t>(std::stoul(val));
+      else if (key == "beta") o.shape.beta = std::stod(val);
+      else if (key == "faults") o.shape.faults = val;
+      else if (key == "arrival") o.shape.arrival = val;
+      else if (key == "load") o.shape.load = std::stod(val);
+      else if (key == "seed") o.shape.seed = std::stoull(val);
+      else if (key == "lanes") o.shape.lanes = static_cast<std::uint32_t>(std::stoul(val));
+      else if (key == "queue_depth") o.shape.queue_depth = static_cast<std::uint32_t>(std::stoul(val));
+      else if (key == "policy") o.shape.policy = val;
+      else if (key == "warmup") o.shape.warmup_epochs = static_cast<std::uint32_t>(std::stoul(val));
+      else if (key == "measure") o.shape.measure_epochs = static_cast<std::uint32_t>(std::stoul(val));
+      else if (key == "drain") o.shape.drain_epochs_max = static_cast<std::uint32_t>(std::stoul(val));
+      else {
+        std::fprintf(stderr, "pcs_loadgen: unknown key '%s'\n", key.c_str());
+        usage_and_exit(2);
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "pcs_loadgen: bad value for '%s'\n", key.c_str());
+      usage_and_exit(2);
+    }
+  }
+  if (o.tenants == 0 || o.requests == 0) {
+    std::fprintf(stderr, "pcs_loadgen: tenants and requests must be >= 1\n");
+    usage_and_exit(2);
+  }
+  return o;
+}
+
+int connect_uds(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t w = ::write(fd, data, size);
+    if (w <= 0) {
+      if (w < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(w);
+    size -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Read frames until `want` replies arrive or the deadline passes; invokes
+/// on_reply(index, frame) in arrival order.
+template <typename Fn>
+bool read_replies(int fd, std::size_t want, int timeout_ms, Fn on_reply) {
+  FrameReader reader;
+  std::uint8_t buf[65536];
+  std::size_t got = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (got < want) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, std::min(wait_ms, 1000));
+    if (pr < 0 && errno != EINTR) return false;
+    if (pr <= 0) continue;
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r == 0) return false;  // daemon hung up early
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return false;
+    }
+    reader.feed(buf, static_cast<std::size_t>(r));
+    while (auto frame = reader.next()) {
+      on_reply(got, *frame);
+      if (++got == want) break;
+    }
+  }
+  return true;
+}
+
+struct TenantResult {
+  std::string tenant;
+  bool connected = false;
+  bool all_answered = false;
+  std::size_t ok = 0, rejected = 0, error = 0, cache_hits = 0;
+  std::uint64_t offered = 0, delivered = 0, dropped = 0, residual = 0;
+  std::vector<double> latency_ms;  ///< per answered request
+  std::vector<std::string> reject_reasons;
+};
+
+TenantResult run_tenant(const Options& o, std::size_t tenant_idx) {
+  TenantResult res;
+  res.tenant = "tenant" + std::to_string(tenant_idx);
+  const int fd = connect_uds(o.socket_path);
+  if (fd < 0) return res;
+  res.connected = true;
+
+  // Open loop: pipeline every request, stamping send times as we go.
+  std::vector<std::chrono::steady_clock::time_point> sent(o.requests);
+  bool send_ok = true;
+  for (std::size_t i = 0; i < o.requests && send_ok; ++i) {
+    CampaignRequest req = o.shape;
+    req.tenant = res.tenant;
+    req.seed = o.shape.seed + tenant_idx * 10007 + i;
+    const std::vector<std::uint8_t> bytes =
+        pcs::serve::encode_campaign_request(req);
+    sent[i] = std::chrono::steady_clock::now();
+    send_ok = write_all(fd, bytes.data(), bytes.size());
+    if (o.gap_ms > 0 && i + 1 < o.requests) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(o.gap_ms));
+    }
+  }
+
+  if (send_ok) {
+    res.all_answered = read_replies(
+        fd, o.requests, o.timeout_ms, [&](std::size_t i, const Frame& f) {
+          if (f.type != MsgType::kCampaignReply || !f.campaign_reply) return;
+          const CampaignReply& rep = *f.campaign_reply;
+          const double ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - sent[i])
+                  .count();
+          res.latency_ms.push_back(ms);
+          switch (rep.status) {
+            case Status::kOk:
+              ++res.ok;
+              if (rep.cache_hit) ++res.cache_hits;
+              res.offered += rep.offered;
+              res.delivered += rep.delivered;
+              res.dropped += rep.dropped;
+              res.residual += rep.residual;
+              break;
+            case Status::kRejected:
+              ++res.rejected;
+              res.reject_reasons.push_back(rep.reason);
+              break;
+            case Status::kError:
+              ++res.error;
+              res.reject_reasons.push_back(rep.reason);
+              break;
+          }
+        });
+  }
+  ::close(fd);
+  return res;
+}
+
+int run_scrape(const Options& o) {
+  const int fd = connect_uds(o.socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "pcs_loadgen: cannot connect to %s\n",
+                 o.socket_path.c_str());
+    return 1;
+  }
+  const std::vector<std::uint8_t> bytes = pcs::serve::encode_scrape_request();
+  std::string json;
+  bool got = false;
+  if (write_all(fd, bytes.data(), bytes.size())) {
+    got = read_replies(fd, 1, o.timeout_ms, [&](std::size_t, const Frame& f) {
+      if (f.type == MsgType::kScrapeReply && f.scrape_reply) {
+        json = f.scrape_reply->json;
+      }
+    });
+  }
+  ::close(fd);
+  if (!got || json.empty()) {
+    std::fprintf(stderr, "pcs_loadgen: scrape failed\n");
+    return 1;
+  }
+  std::ofstream out(o.scrape_path);
+  if (!out.good()) {
+    std::fprintf(stderr, "pcs_loadgen: cannot write %s\n",
+                 o.scrape_path.c_str());
+    return 1;
+  }
+  out << json;
+  if (!json.empty() && json.back() != '\n') out << '\n';
+  out.close();
+  std::printf("pcs_loadgen: wrote scrape to %s (%zu bytes)\n",
+              o.scrape_path.c_str(), json.size());
+  return 0;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse_args(argc, argv);
+  if (!o.scrape_path.empty()) return run_scrape(o);
+
+  std::vector<TenantResult> results(o.tenants);
+  std::vector<std::thread> threads;
+  threads.reserve(o.tenants);
+  for (std::size_t t = 0; t < o.tenants; ++t) {
+    threads.emplace_back([&o, &results, t] { results[t] = run_tenant(o, t); });
+  }
+  for (std::thread& th : threads) th.join();
+
+  std::size_t ok = 0, rejected = 0, error = 0, cache_hits = 0, answered = 0;
+  std::uint64_t offered = 0, delivered = 0, dropped = 0, residual = 0;
+  std::vector<double> all_lat;
+  bool every_answered = true;
+  for (const TenantResult& r : results) {
+    if (!r.connected) {
+      std::fprintf(stderr, "pcs_loadgen: %s could not connect to %s\n",
+                   r.tenant.c_str(), o.socket_path.c_str());
+      every_answered = false;
+      continue;
+    }
+    every_answered = every_answered && r.all_answered;
+    ok += r.ok;
+    rejected += r.rejected;
+    error += r.error;
+    cache_hits += r.cache_hits;
+    answered += r.latency_ms.size();
+    offered += r.offered;
+    delivered += r.delivered;
+    dropped += r.dropped;
+    residual += r.residual;
+    all_lat.insert(all_lat.end(), r.latency_ms.begin(), r.latency_ms.end());
+    std::printf("%-10s ok=%zu rejected=%zu error=%zu cache_hits=%zu\n",
+                r.tenant.c_str(), r.ok, r.rejected, r.error, r.cache_hits);
+    for (const std::string& reason : r.reject_reasons) {
+      std::printf("           reason: %s\n", reason.c_str());
+    }
+  }
+
+  const std::size_t total = o.tenants * o.requests;
+  std::printf(
+      "total: %zu/%zu answered  ok=%zu rejected=%zu error=%zu "
+      "cache_hits=%zu\n",
+      answered, total, ok, rejected, error, cache_hits);
+  std::printf("traffic: offered=%llu delivered=%llu dropped=%llu residual=%llu\n",
+              static_cast<unsigned long long>(offered),
+              static_cast<unsigned long long>(delivered),
+              static_cast<unsigned long long>(dropped),
+              static_cast<unsigned long long>(residual));
+  if (!all_lat.empty()) {
+    std::printf("latency-ms: p50=%.1f p95=%.1f max=%.1f\n",
+                percentile(all_lat, 0.50), percentile(all_lat, 0.95),
+                percentile(all_lat, 1.0));
+  }
+
+  if (!every_answered || answered != total) return 1;
+  if (o.require_ok && ok != total) return 1;
+  return 0;
+}

@@ -121,6 +121,14 @@ void set_key(RuntimeConfig& cfg, const std::string& key, const std::string& valu
     cfg.fabric_credits = parse_size(key, value);
   } else if (key == "fault_hop") {
     cfg.fault_hop = parse_size(key, value);
+  } else if (key == "socket") {
+    cfg.serve_socket = value;
+  } else if (key == "max_inflight") {
+    cfg.serve_max_inflight = parse_size(key, value);
+  } else if (key == "tenant_quota") {
+    cfg.serve_tenant_quota = parse_size(key, value);
+  } else if (key == "cache_mb") {
+    cfg.serve_cache_mb = parse_size(key, value);
   } else {
     PCS_REQUIRE(false, "unknown config key '" << key << "'");
   }
@@ -160,6 +168,9 @@ void validate(const RuntimeConfig& cfg) {
                   << cfg.topology << "'");
   PCS_REQUIRE(cfg.fabric_alloc == "rr" || cfg.fabric_alloc == "islip",
               "alloc must be 'rr' or 'islip', got '" << cfg.fabric_alloc << "'");
+  PCS_REQUIRE(!cfg.serve_socket.empty(), "socket path must be non-empty");
+  PCS_REQUIRE(cfg.serve_max_inflight >= 1, "max_inflight must be >= 1");
+  PCS_REQUIRE(cfg.serve_tenant_quota >= 1, "tenant_quota must be >= 1");
   if (!cfg.topology.empty()) {
     PCS_REQUIRE(cfg.fabric_hops >= 1, "hops must be >= 1");
     PCS_REQUIRE(cfg.fabric_radix >= 1, "radix must be >= 1");
@@ -241,6 +252,7 @@ std::string config_to_json(const RuntimeConfig& cfg, std::size_t indent) {
   os << pad << "  \"arrival\": " << json_escape(cfg.arrival) << ",\n";
   os << pad << "  \"arrival_p\": " << format_json_double(cfg.arrival_p) << ",\n";
   os << pad << "  \"beta\": " << format_json_double(cfg.beta) << ",\n";
+  os << pad << "  \"cache_mb\": " << cfg.serve_cache_mb << ",\n";
   os << pad << "  \"check_invariants\": " << (cfg.check_invariants ? "true" : "false")
      << ",\n";
   os << pad << "  \"credits\": " << cfg.fabric_credits << ",\n";
@@ -263,12 +275,15 @@ std::string config_to_json(const RuntimeConfig& cfg, std::size_t indent) {
   }
   os << "],\n";
   os << pad << "  \"m\": " << cfg.m << ",\n";
+  os << pad << "  \"max_inflight\": " << cfg.serve_max_inflight << ",\n";
   os << pad << "  \"measure_epochs\": " << cfg.measure_epochs << ",\n";
   os << pad << "  \"n\": " << cfg.n << ",\n";
   os << pad << "  \"policy\": " << json_escape(cfg.policy) << ",\n";
   os << pad << "  \"queue_depth\": " << cfg.queue_depth << ",\n";
   os << pad << "  \"radix\": " << cfg.fabric_radix << ",\n";
   os << pad << "  \"seed\": " << cfg.seed << ",\n";
+  os << pad << "  \"socket\": " << json_escape(cfg.serve_socket) << ",\n";
+  os << pad << "  \"tenant_quota\": " << cfg.serve_tenant_quota << ",\n";
   os << pad << "  \"threads\": " << cfg.threads << ",\n";
   os << pad << "  \"topology\": " << json_escape(cfg.topology) << ",\n";
   os << pad << "  \"trace\": " << json_escape(cfg.trace) << ",\n";

@@ -83,6 +83,20 @@ struct RuntimeConfig {
   /// Hop whose plan receives `faults` in fabric campaigns (single-switch
   /// campaigns apply them to the one switch regardless).
   std::size_t fault_hop = 0;
+
+  // --- serving daemon (src/serve, examples/pcs_served) -------------------
+  // Read by pcs_served; the batch pcs_serve CLI ignores them.  All four hot
+  // reload on SIGHUP through the validate-then-swap path.
+
+  /// Unix-domain socket path the daemon listens on.
+  std::string serve_socket = "pcs_served.sock";
+  /// Daemon-wide cap on concurrently running campaigns.
+  std::size_t serve_max_inflight = 8;
+  /// Per-tenant cap on concurrently running campaigns.
+  std::size_t serve_tenant_quota = 4;
+  /// Plan-cache byte budget in MiB (estimated footprint; 0 disables
+  /// caching so every request compiles cold).
+  std::size_t serve_cache_mb = 64;
 };
 
 /// Parse a whole config file body.  Unknown keys, malformed values, keys

@@ -12,6 +12,7 @@ namespace pcs::rt {
 void Histogram::record_n(std::uint64_t value, std::uint64_t weight) {
   if (weight == 0) return;
   const std::size_t b = value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+  std::lock_guard<std::mutex> lock(mu_);
   if (buckets_.size() <= b) buckets_.resize(b + 1, 0);
   buckets_[b] += weight;
   if (count_ == 0 || value < min_) min_ = value;
@@ -20,8 +21,56 @@ void Histogram::record_n(std::uint64_t value, std::uint64_t weight) {
   sum_ += value * weight;
 }
 
+void Histogram::merge(const Snapshot& other) {
+  if (other.count == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (buckets_.size() < other.buckets.size()) buckets_.resize(other.buckets.size(), 0);
+  for (std::size_t b = 0; b < other.buckets.size(); ++b) buckets_[b] += other.buckets[b];
+  if (count_ == 0 || other.min < min_) min_ = other.min;
+  if (other.max > max_) max_ = other.max;
+  count_ += other.count;
+  sum_ += other.sum;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.buckets = buckets_;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = count_ == 0 ? 0 : min_;
+  s.max = max_;
+  return s;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::uint64_t Histogram::sum() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0 : min_;
+}
+
+std::uint64_t Histogram::max() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
 double Histogram::mean() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
   return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
 }
 
 std::uint64_t Histogram::bucket_upper_bound(std::size_t b) noexcept {
@@ -64,6 +113,25 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+void MetricsRegistry::for_each_counter(
+    const std::function<void(const std::string&, std::uint64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) fn(name, c.value());
+}
+
+void MetricsRegistry::for_each_gauge(
+    const std::function<void(const std::string&, double)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, g] : gauges_) fn(name, g.value());
+}
+
+void MetricsRegistry::for_each_histogram(
+    const std::function<void(const std::string&, const Histogram::Snapshot&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, h] : histograms_) fn(name, h.snapshot());
+}
+
 namespace {
 
 std::string spaces(std::size_t n) { return std::string(n, ' '); }
@@ -86,6 +154,10 @@ void emit_map(std::ostringstream& os, const std::string& key, const Map& map,
 
 std::string MetricsRegistry::to_json(std::size_t indent) const {
   std::ostringstream os;
+  // Holding the registry mutex for the whole walk pins the name sets; each
+  // histogram is additionally snapshotted under its own lock so its fields
+  // stay coherent with each other.
+  std::lock_guard<std::mutex> lock(mu_);
   os << spaces(indent) << "{\n";
   emit_map(os, "counters", counters_, indent, true,
            [](std::ostringstream& o, const Counter& c, std::size_t) { o << c.value(); });
@@ -95,13 +167,14 @@ std::string MetricsRegistry::to_json(std::size_t indent) const {
            });
   emit_map(os, "histograms", histograms_, indent, false,
            [](std::ostringstream& o, const Histogram& h, std::size_t ind) {
-             o << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
-               << ", \"min\": " << h.min() << ", \"max\": " << h.max()
-               << ", \"mean\": " << format_json_double(h.mean()) << ",\n"
+             const Histogram::Snapshot s = h.snapshot();
+             o << "{\"count\": " << s.count << ", \"sum\": " << s.sum
+               << ", \"min\": " << s.min << ", \"max\": " << s.max
+               << ", \"mean\": " << format_json_double(s.mean()) << ",\n"
                << spaces(ind + 1) << "\"buckets\": [";
-             for (std::size_t b = 0; b < h.buckets().size(); ++b) {
+             for (std::size_t b = 0; b < s.buckets.size(); ++b) {
                if (b) o << ", ";
-               o << "[" << Histogram::bucket_upper_bound(b) << ", " << h.buckets()[b]
+               o << "[" << Histogram::bucket_upper_bound(b) << ", " << s.buckets[b]
                  << "]";
              }
              o << "]}";

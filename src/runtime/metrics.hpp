@@ -9,10 +9,23 @@
 // Export is byte-deterministic for identical measurements: names are emitted
 // in sorted order (std::map) and doubles are printed with std::to_chars
 // shortest round-trip form, so a fixed-seed campaign can be diffed in CI.
+//
+// Thread safety: the serving daemon (src/serve) scrapes a live registry
+// while campaign threads are writing it, so every metric is safe for
+// concurrent writers plus concurrent readers.  Counters and gauges are
+// single atomics (relaxed -- they are statistics, not synchronization);
+// histograms guard their buckets with a mutex and hand readers a coherent
+// Snapshot.  Metric creation and to_json() serialize on a registry mutex;
+// references returned by counter()/gauge()/histogram() stay valid and
+// lock-free to hold.  Single-threaded runs pay one uncontended atomic or
+// lock per record and keep byte-identical JSON.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,21 +34,25 @@ namespace pcs::rt {
 /// Monotonically increasing event count.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) noexcept { value_ += n; }
-  std::uint64_t value() const noexcept { return value_; }
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-written instantaneous value.
 class Gauge {
  public:
-  void set(double v) noexcept { value_ = v; }
-  double value() const noexcept { return value_; }
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Histogram over nonnegative integer samples with logarithmic buckets:
@@ -44,24 +61,46 @@ class Gauge {
 /// keeping exact count, sum, min, and max.
 class Histogram {
  public:
+  /// A coherent copy of the histogram's state, taken under the lock; the
+  /// scrape path formats from this so a concurrent record() can never tear
+  /// the count/sum/buckets relationship.
+  struct Snapshot {
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double mean() const noexcept {
+      return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
   void record(std::uint64_t value) { record_n(value, 1); }
   /// Record `weight` samples of `value` at once (bulk import of a
   /// per-value histogram vector).
   void record_n(std::uint64_t value, std::uint64_t weight);
 
-  std::uint64_t count() const noexcept { return count_; }
-  std::uint64_t sum() const noexcept { return sum_; }
-  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
-  std::uint64_t max() const noexcept { return max_; }
+  /// Merge another histogram's snapshot into this one (bucket-wise add);
+  /// the daemon folds per-campaign registries into its global one with this.
+  void merge(const Snapshot& other);
+
+  Snapshot snapshot() const;
+
+  std::uint64_t count() const noexcept;
+  std::uint64_t sum() const noexcept;
+  std::uint64_t min() const noexcept;
+  std::uint64_t max() const noexcept;
   double mean() const noexcept;
 
-  /// Bucket occupancy; buckets().size() grows to fit the largest sample.
-  const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }
+  /// Bucket occupancy copy; prefer snapshot() when more than one field is
+  /// needed coherently.
+  std::vector<std::uint64_t> buckets() const;
 
   /// Largest value bucket b admits: 0 for b = 0, 2^b - 1 otherwise.
   static std::uint64_t bucket_upper_bound(std::size_t b) noexcept;
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
@@ -71,25 +110,51 @@ class Histogram {
 
 /// Named metrics, created on first access and exported in sorted-name order.
 /// References returned by counter()/gauge()/histogram() stay valid for the
-/// registry's lifetime (node-based map storage).
+/// registry's lifetime (node-based map storage) and may be used concurrently
+/// with other accessors and with to_json().
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  Counter& counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_[name];
+  }
+  Gauge& gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_[name];
+  }
+  Histogram& histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return histograms_[name];
+  }
 
+  // Read-side iteration.  NOT safe against concurrent metric *creation*;
+  // single-threaded analysis code (stats bridges, tests) uses these, the
+  // daemon scrape goes through to_json()/for_each_* which lock.
   const std::map<std::string, Counter>& counters() const noexcept { return counters_; }
   const std::map<std::string, Gauge>& gauges() const noexcept { return gauges_; }
   const std::map<std::string, Histogram>& histograms() const noexcept {
     return histograms_;
   }
 
+  /// Locked iteration helpers for cross-registry aggregation while writers
+  /// may still be creating metrics in `this`.
+  void for_each_counter(
+      const std::function<void(const std::string&, std::uint64_t)>& fn) const;
+  void for_each_gauge(
+      const std::function<void(const std::string&, double)>& fn) const;
+  void for_each_histogram(
+      const std::function<void(const std::string&, const Histogram::Snapshot&)>& fn)
+      const;
+
   /// Pretty-printed JSON object {"counters": {...}, "gauges": {...},
   /// "histograms": {...}}, every line prefixed by `indent` spaces (the
   /// opening brace included), so it can be embedded in a larger document.
+  /// Safe to call while other threads record; sees each metric's value at
+  /// some point during the call.
   std::string to_json(std::size_t indent = 0) const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

@@ -1,0 +1,82 @@
+#include "serve/admission.hpp"
+
+#include "util/assert.hpp"
+
+namespace pcs::serve {
+
+const char* admit_result_name(AdmitResult r) {
+  switch (r) {
+    case AdmitResult::kAdmitted: return "admitted";
+    case AdmitResult::kRejectedSaturated: return "saturated";
+    case AdmitResult::kRejectedTenantQuota: return "tenant-quota";
+    case AdmitResult::kRejectedDraining: return "draining";
+  }
+  return "unknown";
+}
+
+AdmitResult AdmissionController::try_admit(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    ++stats_.rejected_draining;
+    return AdmitResult::kRejectedDraining;
+  }
+  if (inflight_ >= limits_.max_inflight) {
+    ++stats_.rejected_saturated;
+    return AdmitResult::kRejectedSaturated;
+  }
+  std::size_t& mine = per_tenant_[tenant];
+  if (mine >= limits_.tenant_quota) {
+    ++stats_.rejected_tenant_quota;
+    return AdmitResult::kRejectedTenantQuota;
+  }
+  ++mine;
+  ++inflight_;
+  ++stats_.admitted;
+  return AdmitResult::kAdmitted;
+}
+
+void AdmissionController::release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = per_tenant_.find(tenant);
+  PCS_REQUIRE(it != per_tenant_.end() && it->second > 0 && inflight_ > 0,
+              "admission release without matching admit for tenant '" << tenant
+                                                                      << "'");
+  if (--it->second == 0) per_tenant_.erase(it);
+  --inflight_;
+}
+
+void AdmissionController::start_draining() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+std::size_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AdmissionController::set_limits(AdmissionLimits limits) {
+  PCS_REQUIRE(limits.max_inflight >= 1 && limits.tenant_quota >= 1,
+              "admission limits must be >= 1 (max_inflight="
+                  << limits.max_inflight << " tenant_quota="
+                  << limits.tenant_quota << ")");
+  std::lock_guard<std::mutex> lock(mu_);
+  limits_ = limits;
+}
+
+AdmissionLimits AdmissionController::limits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limits_;
+}
+
+}  // namespace pcs::serve

@@ -1,0 +1,97 @@
+// Admission control for the serving daemon: a bounded pool of in-flight
+// campaigns with per-tenant quotas, layered ABOVE the per-message door
+// backpressure the runtime already applies (bounded injection queues +
+// congestion policy).  The door protects a campaign from its own offered
+// load; admission protects the daemon from its tenants -- a saturated
+// server rejects new campaigns with a reason instead of queueing unbounded
+// work, the Tiny Tera shape: arbitrate every cycle, never buffer blindly.
+//
+// Thread safety: try_admit/release are called from concurrent connection
+// threads; everything is guarded by one mutex (admission is far off any
+// hot path -- one decision per campaign, not per message).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace pcs::serve {
+
+enum class AdmitResult {
+  kAdmitted,
+  kRejectedSaturated,    ///< daemon-wide in-flight cap reached
+  kRejectedTenantQuota,  ///< this tenant's share of the pool is in use
+  kRejectedDraining,     ///< daemon is shutting down; nothing new admitted
+};
+
+/// Human-readable slug for reject reasons ("saturated", "tenant-quota",
+/// "draining"; "admitted" for kAdmitted), used in CampaignReply.reason.
+const char* admit_result_name(AdmitResult r);
+
+struct AdmissionLimits {
+  std::size_t max_inflight = 8;   ///< daemon-wide concurrent campaigns
+  std::size_t tenant_quota = 4;   ///< per-tenant concurrent campaigns
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionLimits limits) : limits_(limits) {}
+
+  /// One admission decision.  On kAdmitted the caller OWNS one slot and
+  /// must release(tenant) exactly once when the campaign finishes (use
+  /// Ticket for RAII).
+  AdmitResult try_admit(const std::string& tenant);
+  void release(const std::string& tenant);
+
+  /// Flip to draining: every subsequent try_admit returns
+  /// kRejectedDraining.  Idempotent.
+  void start_draining();
+  bool draining() const;
+
+  std::size_t inflight() const;
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected_saturated = 0;
+    std::uint64_t rejected_tenant_quota = 0;
+    std::uint64_t rejected_draining = 0;
+  };
+  Stats stats() const;
+
+  /// Validated live update (SIGHUP reload): never torn -- both limits swap
+  /// under the lock.  In-flight counts are untouched; a reload that lowers
+  /// the caps only affects future admissions.
+  void set_limits(AdmissionLimits limits);
+  AdmissionLimits limits() const;
+
+ private:
+  mutable std::mutex mu_;
+  AdmissionLimits limits_;
+  bool draining_ = false;
+  std::size_t inflight_ = 0;
+  std::map<std::string, std::size_t> per_tenant_;
+  Stats stats_;
+};
+
+/// RAII admission slot: releases on destruction if admitted.
+class Ticket {
+ public:
+  Ticket(AdmissionController& ctl, const std::string& tenant)
+      : ctl_(ctl), tenant_(tenant), result_(ctl.try_admit(tenant)) {}
+  ~Ticket() {
+    if (admitted()) ctl_.release(tenant_);
+  }
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+
+  bool admitted() const { return result_ == AdmitResult::kAdmitted; }
+  AdmitResult result() const { return result_; }
+
+ private:
+  AdmissionController& ctl_;
+  std::string tenant_;
+  AdmitResult result_;
+};
+
+}  // namespace pcs::serve

@@ -1,0 +1,258 @@
+#include "serve/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace pcs::serve {
+
+namespace {
+
+// --- little-endian primitive writers ------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  PCS_REQUIRE(s.size() < kMaxFrameBytes, "protocol string too large: " << s.size());
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// --- strict bounded reader ----------------------------------------------
+
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] |
+                                                 (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint32_t len = u32();
+    PCS_REQUIRE(len <= size_ - pos_,
+                "protocol string length " << len << " exceeds remaining "
+                                          << (size_ - pos_) << " bytes");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  void expect_done() const {
+    PCS_REQUIRE(pos_ == size_, "protocol frame has " << (size_ - pos_)
+                                                     << " trailing bytes");
+  }
+
+ private:
+  void need(std::size_t k) const {
+    PCS_REQUIRE(k <= size_ - pos_, "protocol frame truncated: need "
+                                       << k << " bytes, have " << (size_ - pos_));
+  }
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Start a frame: length placeholder + header; finish() backpatches the
+/// length prefix once the body is in.
+std::vector<std::uint8_t> begin_frame(MsgType type) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, 0);  // patched by finish_frame
+  put_u16(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  return out;
+}
+
+std::vector<std::uint8_t> finish_frame(std::vector<std::uint8_t> out) {
+  const std::size_t payload = out.size() - 4;
+  PCS_REQUIRE(payload <= kMaxFrameBytes, "frame payload too large: " << payload);
+  const auto len = static_cast<std::uint32_t>(payload);
+  for (int i = 0; i < 4; ++i) out[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(len >> (8 * i));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_campaign_request(const CampaignRequest& req) {
+  PCS_REQUIRE(!req.tenant.empty(), "CampaignRequest.tenant must be non-empty");
+  auto out = begin_frame(MsgType::kCampaignRequest);
+  put_str(out, req.tenant);
+  put_str(out, req.family);
+  put_u32(out, req.n);
+  put_u32(out, req.m);
+  put_f64(out, req.beta);
+  put_str(out, req.faults);
+  put_str(out, req.arrival);
+  put_f64(out, req.load);
+  put_u64(out, req.seed);
+  put_u32(out, req.lanes);
+  put_u32(out, req.queue_depth);
+  put_str(out, req.policy);
+  put_u32(out, req.warmup_epochs);
+  put_u32(out, req.measure_epochs);
+  put_u32(out, req.drain_epochs_max);
+  return finish_frame(std::move(out));
+}
+
+std::vector<std::uint8_t> encode_campaign_reply(const CampaignReply& rep) {
+  auto out = begin_frame(MsgType::kCampaignReply);
+  put_u8(out, static_cast<std::uint8_t>(rep.status));
+  put_str(out, rep.reason);
+  put_u8(out, rep.cache_hit ? 1 : 0);
+  put_u8(out, rep.drained ? 1 : 0);
+  put_u8(out, rep.saturated ? 1 : 0);
+  put_u64(out, rep.offered);
+  put_u64(out, rep.delivered);
+  put_u64(out, rep.dropped);
+  put_u64(out, rep.residual);
+  put_f64(out, rep.delivery_rate);
+  put_f64(out, rep.mean_latency_epochs);
+  put_u64(out, rep.spec_digest);
+  return finish_frame(std::move(out));
+}
+
+std::vector<std::uint8_t> encode_scrape_request() {
+  return finish_frame(begin_frame(MsgType::kScrapeRequest));
+}
+
+std::vector<std::uint8_t> encode_scrape_reply(const ScrapeReply& rep) {
+  auto out = begin_frame(MsgType::kScrapeReply);
+  put_str(out, rep.json);
+  return finish_frame(std::move(out));
+}
+
+Frame decode_payload(const std::uint8_t* data, std::size_t size) {
+  Cursor c(data, size);
+  const std::uint16_t version = c.u16();
+  PCS_REQUIRE(version == kProtocolVersion,
+              "protocol version mismatch: got " << version << ", expected "
+                                                << kProtocolVersion);
+  const std::uint8_t raw_type = c.u8();
+  Frame f;
+  switch (raw_type) {
+    case static_cast<std::uint8_t>(MsgType::kCampaignRequest): {
+      f.type = MsgType::kCampaignRequest;
+      CampaignRequest r;
+      r.tenant = c.str();
+      PCS_REQUIRE(!r.tenant.empty(), "CampaignRequest.tenant must be non-empty");
+      r.family = c.str();
+      r.n = c.u32();
+      r.m = c.u32();
+      r.beta = c.f64();
+      r.faults = c.str();
+      r.arrival = c.str();
+      r.load = c.f64();
+      r.seed = c.u64();
+      r.lanes = c.u32();
+      r.queue_depth = c.u32();
+      r.policy = c.str();
+      r.warmup_epochs = c.u32();
+      r.measure_epochs = c.u32();
+      r.drain_epochs_max = c.u32();
+      f.campaign_request = std::move(r);
+      break;
+    }
+    case static_cast<std::uint8_t>(MsgType::kCampaignReply): {
+      f.type = MsgType::kCampaignReply;
+      CampaignReply r;
+      const std::uint8_t st = c.u8();
+      PCS_REQUIRE(st <= static_cast<std::uint8_t>(Status::kError),
+                  "unknown CampaignReply status " << int(st));
+      r.status = static_cast<Status>(st);
+      r.reason = c.str();
+      r.cache_hit = c.u8() != 0;
+      r.drained = c.u8() != 0;
+      r.saturated = c.u8() != 0;
+      r.offered = c.u64();
+      r.delivered = c.u64();
+      r.dropped = c.u64();
+      r.residual = c.u64();
+      r.delivery_rate = c.f64();
+      r.mean_latency_epochs = c.f64();
+      r.spec_digest = c.u64();
+      f.campaign_reply = std::move(r);
+      break;
+    }
+    case static_cast<std::uint8_t>(MsgType::kScrapeRequest): {
+      f.type = MsgType::kScrapeRequest;
+      break;
+    }
+    case static_cast<std::uint8_t>(MsgType::kScrapeReply): {
+      f.type = MsgType::kScrapeReply;
+      ScrapeReply r;
+      r.json = c.str();
+      f.scrape_reply = std::move(r);
+      break;
+    }
+    default:
+      PCS_REQUIRE(false, "unknown protocol message type " << int(raw_type));
+  }
+  c.expect_done();
+  return f;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t size) {
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // doesn't grow the buffer without bound.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+std::optional<Frame> FrameReader::next() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+  PCS_REQUIRE(len <= kMaxFrameBytes, "frame length prefix " << len
+                                                            << " exceeds cap "
+                                                            << kMaxFrameBytes);
+  if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  Frame f = decode_payload(buf_.data() + pos_ + 4, len);
+  pos_ += 4 + static_cast<std::size_t>(len);
+  return f;
+}
+
+}  // namespace pcs::serve

@@ -1,0 +1,128 @@
+// The serving daemon's wire protocol: length-prefixed frames over a
+// Unix-domain stream socket, deterministic little-endian encode/decode.
+//
+// Frame layout:
+//
+//   u32 payload_len | payload
+//   payload = u16 version (kProtocolVersion) | u8 type (MsgType) | body
+//
+// Bodies are fixed-order field sequences (strings are u32 length + bytes,
+// doubles are bit_cast to u64), so encoding the same message twice yields
+// identical bytes -- the loadgen and the CI smoke rely on that.  Decoding is
+// strict: a frame with a bad version, an unknown type, a truncated body, or
+// trailing bytes throws pcs::ContractViolation; the daemon catches per
+// connection and drops the peer rather than guessing.
+//
+// The protocol deliberately carries *campaign requests*, not raw packets:
+// one round trip = one warmup/measure/drain campaign against a cached plan,
+// mirroring how the batch CLI's unit of work becomes the serving unit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pcs::serve {
+
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Hard cap on a frame's payload; anything larger is a corrupt or hostile
+/// length prefix (a scrape of a huge registry stays well under this).
+inline constexpr std::uint32_t kMaxFrameBytes = 8u << 20;
+
+enum class MsgType : std::uint8_t {
+  kCampaignRequest = 1,
+  kCampaignReply = 2,
+  kScrapeRequest = 3,
+  kScrapeReply = 4,
+};
+
+/// Sentinel for "use the daemon's configured default" in the u32 knobs
+/// below (warmup/measure/drain/lanes/queue_depth).
+inline constexpr std::uint32_t kUseServerDefault = 0xffffffffu;
+
+/// One tenant's ask: run a campaign of this shape at this load.  Fields
+/// left at their sentinel defer to the daemon's (hot-reloadable) base
+/// config, so a loadgen that only names a tenant follows server policy.
+struct CampaignRequest {
+  std::string tenant;        ///< admission-control bucket; must be non-empty
+  std::string family;        ///< "" = server default ("revsort", ...)
+  std::uint32_t n = 0;       ///< 0 = server default
+  std::uint32_t m = 0;       ///< 0 = server default
+  double beta = -1.0;        ///< < 0 = server default
+  std::string faults;        ///< "stage:chip,..." ("" = server default)
+  std::string arrival;       ///< "" = server default
+  double load = -1.0;        ///< offered load; < 0 = server default
+  std::uint64_t seed = 1;
+  std::uint32_t lanes = kUseServerDefault;
+  std::uint32_t queue_depth = kUseServerDefault;
+  std::string policy;        ///< "" = server default
+  std::uint32_t warmup_epochs = kUseServerDefault;
+  std::uint32_t measure_epochs = kUseServerDefault;
+  std::uint32_t drain_epochs_max = kUseServerDefault;
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,        ///< campaign admitted, ran, stats below are valid
+  kRejected = 1,  ///< admission refused; `reason` says why
+  kError = 2,     ///< admitted but failed (bad shape, contract violation)
+};
+
+struct CampaignReply {
+  Status status = Status::kOk;
+  std::string reason;  ///< empty on kOk
+  bool cache_hit = false;
+  bool drained = false;
+  bool saturated = false;
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t residual = 0;
+  double delivery_rate = 0.0;
+  double mean_latency_epochs = 0.0;
+  std::uint64_t spec_digest = 0;  ///< the plan-cache key the daemon used
+};
+
+struct ScrapeReply {
+  std::string json;  ///< MetricsRegistry::to_json of the live registry
+};
+
+/// A decoded frame: the type tag plus exactly one engaged body (scrape
+/// requests have no body fields).
+struct Frame {
+  MsgType type;
+  std::optional<CampaignRequest> campaign_request;
+  std::optional<CampaignReply> campaign_reply;
+  std::optional<ScrapeReply> scrape_reply;
+};
+
+// --- encode: message -> one whole frame (length prefix included) ---------
+std::vector<std::uint8_t> encode_campaign_request(const CampaignRequest& req);
+std::vector<std::uint8_t> encode_campaign_reply(const CampaignReply& rep);
+std::vector<std::uint8_t> encode_scrape_request();
+std::vector<std::uint8_t> encode_scrape_reply(const ScrapeReply& rep);
+
+/// Decode one frame's PAYLOAD (the bytes after the u32 length prefix).
+/// Throws pcs::ContractViolation on version/type/bounds violations.
+Frame decode_payload(const std::uint8_t* data, std::size_t size);
+
+/// Incremental frame extraction for stream reads: feed() appends raw bytes,
+/// next() pops one complete decoded frame (std::nullopt until a whole frame
+/// has arrived).  Throws on a length prefix exceeding kMaxFrameBytes and on
+/// payload decode errors; the buffer is then poisoned and the connection
+/// should be dropped.
+class FrameReader {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t pending_bytes() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix (compacted lazily)
+};
+
+}  // namespace pcs::serve

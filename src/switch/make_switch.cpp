@@ -1,11 +1,13 @@
 #include "switch/make_switch.hpp"
 
+#include <bit>
 #include <utility>
 
 #include "plan/compile.hpp"
 #include "plan/plan_switch.hpp"
 #include "switch/hyper_switch.hpp"
 #include "util/assert.hpp"
+#include "util/digest.hpp"
 
 namespace pcs {
 
@@ -16,6 +18,28 @@ std::size_t outputs_or_all(const SwitchSpec& spec, std::size_t n) {
 }
 
 }  // namespace
+
+std::uint64_t SwitchSpec::digest(plan::ExecMode exec) const {
+  Digest d;
+  // Length-prefixed family bytes so ("ab", n=1) can never collide with
+  // ("a", ...) by concatenation ambiguity.
+  d.mix_u64(family.size());
+  for (char c : family) d.mix_byte(static_cast<std::uint8_t>(c));
+  d.mix_u64(n);
+  d.mix_u64(m);
+  d.mix_u64(std::bit_cast<std::uint64_t>(beta));
+  d.mix_u64(r);
+  d.mix_u64(s);
+  d.mix_u64(passes);
+  d.mix_byte(static_cast<std::uint8_t>(schedule));
+  d.mix_u64(faults.size());
+  for (const plan::ChipFault& f : faults) {
+    d.mix_u64(f.stage);
+    d.mix_u64(f.chip);
+  }
+  d.mix_byte(static_cast<std::uint8_t>(exec));
+  return d.value();
+}
 
 plan::SwitchPlan make_switch_plan(const SwitchSpec& spec) {
   plan::SwitchPlan p;

@@ -1,0 +1,126 @@
+// Admission control: the daemon-wide in-flight bound, per-tenant quotas,
+// drain mode, and the RAII ticket that makes release exception-safe.
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pcs::serve {
+namespace {
+
+TEST(Admission, AdmitsUpToGlobalLimit) {
+  AdmissionController ctl(AdmissionLimits{2, 2});
+  EXPECT_EQ(ctl.try_admit("a"), AdmitResult::kAdmitted);
+  EXPECT_EQ(ctl.try_admit("b"), AdmitResult::kAdmitted);
+  EXPECT_EQ(ctl.try_admit("c"), AdmitResult::kRejectedSaturated);
+  EXPECT_EQ(ctl.inflight(), 2u);
+
+  ctl.release("a");
+  EXPECT_EQ(ctl.try_admit("c"), AdmitResult::kAdmitted);
+}
+
+TEST(Admission, PerTenantQuotaBindsBeforeGlobalLimit) {
+  AdmissionController ctl(AdmissionLimits{8, 2});
+  EXPECT_EQ(ctl.try_admit("t"), AdmitResult::kAdmitted);
+  EXPECT_EQ(ctl.try_admit("t"), AdmitResult::kAdmitted);
+  EXPECT_EQ(ctl.try_admit("t"), AdmitResult::kRejectedTenantQuota);
+  // A different tenant still fits: the quota is per bucket.
+  EXPECT_EQ(ctl.try_admit("u"), AdmitResult::kAdmitted);
+
+  const AdmissionController::Stats s = ctl.stats();
+  EXPECT_EQ(s.admitted, 3u);
+  EXPECT_EQ(s.rejected_tenant_quota, 1u);
+  EXPECT_EQ(s.rejected_saturated, 0u);
+}
+
+TEST(Admission, DrainingRejectsEverything) {
+  AdmissionController ctl(AdmissionLimits{8, 8});
+  EXPECT_EQ(ctl.try_admit("t"), AdmitResult::kAdmitted);
+  ctl.start_draining();
+  EXPECT_TRUE(ctl.draining());
+  EXPECT_EQ(ctl.try_admit("t"), AdmitResult::kRejectedDraining);
+  // Releases still work during drain -- that's the whole point.
+  ctl.release("t");
+  EXPECT_EQ(ctl.inflight(), 0u);
+  EXPECT_EQ(ctl.stats().rejected_draining, 1u);
+}
+
+TEST(Admission, TicketReleasesOnScopeExit) {
+  AdmissionController ctl(AdmissionLimits{1, 1});
+  {
+    Ticket t(ctl, "solo");
+    EXPECT_TRUE(t.admitted());
+    EXPECT_EQ(t.result(), AdmitResult::kAdmitted);
+    EXPECT_EQ(ctl.inflight(), 1u);
+    // A rejected ticket must NOT release anything on destruction.
+    Ticket reject(ctl, "solo");
+    EXPECT_FALSE(reject.admitted());
+  }
+  EXPECT_EQ(ctl.inflight(), 0u);
+  EXPECT_EQ(ctl.try_admit("solo"), AdmitResult::kAdmitted);
+}
+
+TEST(Admission, ReleaseWithoutAdmitIsAContractViolation) {
+  AdmissionController ctl(AdmissionLimits{1, 1});
+  EXPECT_THROW(ctl.release("ghost"), ContractViolation);
+}
+
+TEST(Admission, RejectionSlugsAreStable) {
+  // The CI smoke greps serve.rejected.<slug> counters; renaming a slug is a
+  // protocol change, not a refactor.
+  EXPECT_STREQ(admit_result_name(AdmitResult::kAdmitted), "admitted");
+  EXPECT_STREQ(admit_result_name(AdmitResult::kRejectedSaturated),
+               "saturated");
+  EXPECT_STREQ(admit_result_name(AdmitResult::kRejectedTenantQuota),
+               "tenant-quota");
+  EXPECT_STREQ(admit_result_name(AdmitResult::kRejectedDraining), "draining");
+}
+
+TEST(Admission, HotReloadRaisesLimitsForWaiters) {
+  AdmissionController ctl(AdmissionLimits{1, 1});
+  ASSERT_EQ(ctl.try_admit("t"), AdmitResult::kAdmitted);
+  EXPECT_EQ(ctl.try_admit("u"), AdmitResult::kRejectedSaturated);
+  ctl.set_limits(AdmissionLimits{4, 2});
+  EXPECT_EQ(ctl.try_admit("u"), AdmitResult::kAdmitted);
+  EXPECT_EQ(ctl.try_admit("t"), AdmitResult::kAdmitted);  // quota now 2
+  EXPECT_EQ(ctl.limits().max_inflight, 4u);
+}
+
+// Concurrent admit/release storm: the invariant is that inflight() never
+// exceeds the global bound and the final count returns to zero.
+TEST(Admission, ConcurrentAdmissionNeverExceedsBound) {
+  constexpr std::size_t kBound = 4;
+  AdmissionController ctl(AdmissionLimits{kBound, kBound});
+  std::atomic<std::size_t> max_seen{0};
+  std::atomic<std::size_t> admitted_total{0};
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&ctl, &max_seen, &admitted_total, t] {
+      const std::string tenant = "t" + std::to_string(t % 3);
+      for (int i = 0; i < 2000; ++i) {
+        Ticket ticket(ctl, tenant);
+        if (!ticket.admitted()) continue;
+        admitted_total.fetch_add(1);
+        const std::size_t now = ctl.inflight();
+        std::size_t prev = max_seen.load();
+        while (now > prev && !max_seen.compare_exchange_weak(prev, now)) {
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(ctl.inflight(), 0u);
+  EXPECT_LE(max_seen.load(), kBound);
+  EXPECT_GT(admitted_total.load(), 0u);
+  EXPECT_EQ(ctl.stats().admitted, admitted_total.load());
+}
+
+}  // namespace
+}  // namespace pcs::serve

@@ -105,19 +105,22 @@ TEST(Metrics, JsonEscape) {
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\"\\u0001\"");
 }
 
-MetricsRegistry populate() {
-  MetricsRegistry reg;
+// The registry owns mutexes now (thread-safe for the serving daemon), so it
+// is neither copyable nor movable; populate in place.
+void populate(MetricsRegistry& reg) {
   reg.counter("zeta").add(3);
   reg.counter("alpha").add(1);
   reg.gauge("rate").set(0.375);
   reg.histogram("lat").record(5);
   reg.histogram("lat").record(0);
-  return reg;
 }
 
 TEST(Metrics, JsonIsDeterministicAndSorted) {
-  const std::string a = populate().to_json();
-  const std::string b = populate().to_json();
+  MetricsRegistry ra, rb;
+  populate(ra);
+  populate(rb);
+  const std::string a = ra.to_json();
+  const std::string b = rb.to_json();
   EXPECT_EQ(a, b);
 
   // Names inside each section are emitted in sorted order regardless of

@@ -1,0 +1,115 @@
+// Thread-safety of the metrics layer (the serving daemon's global registry
+// is hammered by connection threads while scrapes walk it).  These tests
+// are written to be run under TSan (the `tsan` CMake preset builds this
+// suite with -fsanitize=thread): every assertion here is about totals, but
+// the real assertion is "no data race reports".
+#include "runtime/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pcs::rt {
+namespace {
+
+constexpr std::size_t kThreads = 8;
+constexpr std::size_t kOpsPerThread = 10000;
+
+TEST(MetricsConcurrent, CountersFromManyThreads) {
+  MetricsRegistry reg;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        reg.counter("shared").add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(reg.counter("shared").value(), kThreads * kOpsPerThread);
+}
+
+// Racing creation: every thread asks for a mix of fresh and existing names
+// while another thread serializes the registry.  Exercises the registry
+// mutex (map rehash vs lookup) and the histogram mutex (record vs snapshot).
+TEST(MetricsConcurrent, CreationRecordingAndScrapeRace) {
+  MetricsRegistry reg;
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&reg, t] {
+      for (std::size_t i = 0; i < 2000; ++i) {
+        reg.counter("c" + std::to_string(i % 7)).add(1);
+        reg.gauge("g" + std::to_string(t)).set(static_cast<double>(i));
+        reg.histogram("h" + std::to_string(i % 3)).record(i % 100);
+      }
+    });
+  }
+  std::thread scraper([&reg] {
+    for (std::size_t i = 0; i < 200; ++i) {
+      const std::string json = reg.to_json();
+      EXPECT_FALSE(json.empty());
+    }
+  });
+  for (std::thread& th : writers) th.join();
+  scraper.join();
+
+  std::uint64_t counter_total = 0;
+  reg.for_each_counter(
+      [&](const std::string&, std::uint64_t v) { counter_total += v; });
+  EXPECT_EQ(counter_total, kThreads * 2000u);
+  std::uint64_t histo_total = 0;
+  reg.for_each_histogram(
+      [&](const std::string&, const Histogram::Snapshot& s) {
+        histo_total += s.count;
+      });
+  EXPECT_EQ(histo_total, kThreads * 2000u);
+}
+
+TEST(MetricsConcurrent, HistogramRecordVsSnapshot) {
+  Histogram h;
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    writers.emplace_back([&h] {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) h.record(i % 128);
+    });
+  }
+  std::thread reader([&h] {
+    for (std::size_t i = 0; i < 1000; ++i) {
+      const Histogram::Snapshot s = h.snapshot();
+      // A snapshot is internally consistent even mid-race: bucket counts
+      // always sum to the sample count.
+      std::uint64_t bucket_sum = 0;
+      for (std::uint64_t b : s.buckets) bucket_sum += b;
+      EXPECT_EQ(bucket_sum, s.count);
+    }
+  });
+  for (std::thread& th : writers) th.join();
+  reader.join();
+  EXPECT_EQ(h.count(), 4 * kOpsPerThread);
+}
+
+// merge() is how campaign-local registries fold into the daemon's global
+// one; concurrent merges of known snapshots must sum exactly.
+TEST(MetricsConcurrent, ConcurrentMerges) {
+  Histogram local;
+  for (std::size_t i = 0; i < 100; ++i) local.record(i);
+  const Histogram::Snapshot snap = local.snapshot();
+
+  Histogram global;
+  std::vector<std::thread> mergers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    mergers.emplace_back([&global, &snap] {
+      for (std::size_t i = 0; i < 100; ++i) global.merge(snap);
+    });
+  }
+  for (std::thread& th : mergers) th.join();
+  EXPECT_EQ(global.count(), kThreads * 100u * snap.count);
+  EXPECT_EQ(global.sum(), kThreads * 100u * snap.sum);
+  EXPECT_EQ(global.min(), snap.min);
+  EXPECT_EQ(global.max(), snap.max);
+}
+
+}  // namespace
+}  // namespace pcs::rt

@@ -1,0 +1,213 @@
+// In-process daemon behaviour: handle_campaign() is the same entry the
+// connection threads use, so admission, sentinel resolution, cache sharing,
+// aggregation, and scrape conservation are all testable without a socket.
+#include "serve/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pcs::serve {
+namespace {
+
+rt::RuntimeConfig small_base() {
+  rt::RuntimeConfig cfg;
+  cfg.family = "revsort";
+  cfg.n = 64;
+  cfg.m = 48;
+  cfg.arrival = "bernoulli";
+  cfg.arrival_p = 0.10;
+  cfg.lanes = 2;
+  cfg.warmup_epochs = 4;
+  cfg.measure_epochs = 16;
+  cfg.drain_epochs_max = 128;
+  cfg.seed = 7;
+  return cfg;
+}
+
+CampaignRequest default_request(const std::string& tenant) {
+  CampaignRequest req;
+  req.tenant = tenant;
+  req.seed = 3;
+  return req;  // every shape field deferred to the server config
+}
+
+TEST(ServeDaemon, DefaultRequestRunsTheBaseConfigCampaign) {
+  ServeDaemon daemon(small_base(), ServeOptions{});
+  const CampaignReply rep = daemon.handle_campaign(default_request("t0"));
+  ASSERT_EQ(rep.status, Status::kOk) << rep.reason;
+  EXPECT_TRUE(rep.drained);
+  EXPECT_FALSE(rep.cache_hit);  // cold cache
+  // Conservation within the reply itself.
+  EXPECT_EQ(rep.offered, rep.delivered + rep.dropped + rep.residual);
+  EXPECT_GT(rep.offered, 0u);
+  // The digest echoes the resolved spec: base family/shape, fused engine.
+  SwitchSpec spec;
+  spec.family = "revsort";
+  spec.n = 64;
+  spec.m = 48;
+  EXPECT_EQ(rep.spec_digest, spec.digest(plan::ExecMode::kFused));
+}
+
+TEST(ServeDaemon, SecondIdenticalRequestHitsTheCache) {
+  ServeDaemon daemon(small_base(), ServeOptions{});
+  const CampaignReply a = daemon.handle_campaign(default_request("t0"));
+  const CampaignReply b = daemon.handle_campaign(default_request("t1"));
+  ASSERT_EQ(a.status, Status::kOk);
+  ASSERT_EQ(b.status, Status::kOk);
+  EXPECT_FALSE(a.cache_hit);
+  EXPECT_TRUE(b.cache_hit);  // tenants share one compiled plan
+  EXPECT_EQ(a.spec_digest, b.spec_digest);
+}
+
+TEST(ServeDaemon, SameSeedSameShapeIsDeterministic) {
+  ServeDaemon daemon(small_base(), ServeOptions{});
+  const CampaignReply a = daemon.handle_campaign(default_request("t0"));
+  const CampaignReply b = daemon.handle_campaign(default_request("t1"));
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_DOUBLE_EQ(a.delivery_rate, b.delivery_rate);
+}
+
+TEST(ServeDaemon, RequestOverridesReplaceServerDefaults) {
+  ServeDaemon daemon(small_base(), ServeOptions{});
+  CampaignRequest req = default_request("t0");
+  req.family = "columnsort";
+  req.n = 128;
+  req.m = 96;
+  req.beta = 0.75;
+  const CampaignReply rep = daemon.handle_campaign(req);
+  ASSERT_EQ(rep.status, Status::kOk) << rep.reason;
+  SwitchSpec spec;
+  spec.family = "columnsort";
+  spec.n = 128;
+  spec.m = 96;
+  spec.beta = 0.75;
+  EXPECT_EQ(rep.spec_digest, spec.digest(plan::ExecMode::kFused));
+}
+
+TEST(ServeDaemon, BadShapeIsAnErrorReplyNotACrash) {
+  ServeDaemon daemon(small_base(), ServeOptions{});
+  CampaignRequest req = default_request("t0");
+  req.n = 100;  // revsort needs a perfect square
+  const CampaignReply rep = daemon.handle_campaign(req);
+  EXPECT_EQ(rep.status, Status::kError);
+  EXPECT_FALSE(rep.reason.empty());
+  // The daemon keeps serving afterwards.
+  EXPECT_EQ(daemon.handle_campaign(default_request("t0")).status, Status::kOk);
+}
+
+TEST(ServeDaemon, InvalidLoadIsRejectedByResolve) {
+  ServeDaemon daemon(small_base(), ServeOptions{});
+  CampaignRequest req = default_request("t0");
+  req.load = 1.5;
+  const CampaignReply rep = daemon.handle_campaign(req);
+  EXPECT_EQ(rep.status, Status::kError);
+}
+
+TEST(ServeDaemon, ScrapeHoldsConservationAcrossCampaigns) {
+  ServeDaemon daemon(small_base(), ServeOptions{});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(daemon.handle_campaign(default_request("t" + std::to_string(i)))
+                  .status,
+              Status::kOk);
+  }
+  const std::string json = daemon.scrape_json();
+  auto counter = [&json](const std::string& name) -> std::uint64_t {
+    const std::string key = "\"" + name + "\": ";
+    const auto pos = json.find(key);
+    EXPECT_NE(pos, std::string::npos) << name << " missing from scrape";
+    if (pos == std::string::npos) return 0;
+    return std::stoull(json.substr(pos + key.size()));
+  };
+  EXPECT_EQ(counter("total.offered"),
+            counter("total.delivered") + counter("total.dropped") +
+                counter("total.residual"));
+  EXPECT_EQ(counter("serve.campaigns_completed"), 3u);
+  EXPECT_EQ(counter("serve.requests"), 3u);
+  EXPECT_EQ(counter("serve.cache.misses"), 1u);
+  EXPECT_EQ(counter("serve.cache.hits"), 2u);
+}
+
+TEST(ServeDaemon, ScrapeIsByteDeterministicWhileQuiescent) {
+  ServeDaemon daemon(small_base(), ServeOptions{});
+  (void)daemon.handle_campaign(default_request("t0"));
+  EXPECT_EQ(daemon.scrape_json(), daemon.scrape_json());
+}
+
+TEST(ServeDaemon, ConcurrentTenantsAllComplete) {
+  rt::RuntimeConfig base = small_base();
+  base.serve_max_inflight = 8;
+  base.serve_tenant_quota = 4;
+  ServeDaemon daemon(base, ServeOptions{});
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 3;
+  std::vector<std::vector<CampaignReply>> replies(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&daemon, &replies, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        CampaignRequest req = default_request("t" + std::to_string(t));
+        req.seed = 100 + t * 10 + i;
+        replies[t].push_back(daemon.handle_campaign(req));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  std::size_t ok = 0, cache_hits = 0;
+  for (const auto& per_thread : replies) {
+    for (const CampaignReply& rep : per_thread) {
+      if (rep.status == Status::kOk) ++ok;
+      if (rep.cache_hit) ++cache_hits;
+      EXPECT_EQ(rep.offered, rep.delivered + rep.dropped + rep.residual);
+    }
+  }
+  // Nothing exceeded max_inflight=8 with 4 threads, so nothing rejected.
+  EXPECT_EQ(ok, kThreads * kPerThread);
+  EXPECT_GE(cache_hits, kThreads * kPerThread - 1);  // one cold compile
+
+  // The global rollup saw every campaign and still conserves.
+  const std::string json = daemon.scrape_json();
+  EXPECT_NE(json.find("\"serve.campaigns_completed\": 12"), std::string::npos)
+      << json;
+}
+
+TEST(ServeDaemon, QuotaRejectionsCarrySlugReasons) {
+  rt::RuntimeConfig base = small_base();
+  base.serve_max_inflight = 1;
+  base.serve_tenant_quota = 1;
+  ServeDaemon daemon(base, ServeOptions{});
+
+  // The hog runs one long campaign; the victim probes with 1-epoch ones, so
+  // a missed race window costs microseconds, not a full campaign.
+  std::thread holder([&daemon] {
+    CampaignRequest hog = default_request("hog");
+    hog.measure_epochs = 2048;
+    (void)daemon.handle_campaign(hog);
+  });
+  CampaignReply rep;
+  bool saw_reject = false;
+  for (int i = 0; i < 500 && !saw_reject; ++i) {
+    CampaignRequest probe = default_request("victim");
+    probe.warmup_epochs = 0;
+    probe.measure_epochs = 1;
+    rep = daemon.handle_campaign(probe);
+    saw_reject = rep.status == Status::kRejected;
+    if (!saw_reject) std::this_thread::yield();
+  }
+  holder.join();
+  if (saw_reject) {
+    EXPECT_EQ(rep.reason, "saturated");
+  }
+  // Whether or not the race window was observed, the daemon drained fine.
+  EXPECT_EQ(daemon.handle_campaign(default_request("victim")).status,
+            Status::kOk);
+}
+
+}  // namespace
+}  // namespace pcs::serve

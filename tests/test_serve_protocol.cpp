@@ -1,0 +1,233 @@
+// Wire-protocol round trips, byte determinism, incremental framing, and the
+// strict-decode error paths the daemon relies on to drop bad peers.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace pcs::serve {
+namespace {
+
+CampaignRequest sample_request() {
+  CampaignRequest req;
+  req.tenant = "tenant0";
+  req.family = "columnsort";
+  req.n = 256;
+  req.m = 192;
+  req.beta = 0.6875;
+  req.faults = "1:3,2:0";
+  req.arrival = "bursty";
+  req.load = 0.45;
+  req.seed = 424242;
+  req.lanes = 2;
+  req.queue_depth = 8;
+  req.policy = "drop";
+  req.warmup_epochs = 4;
+  req.measure_epochs = 32;
+  req.drain_epochs_max = 100;
+  return req;
+}
+
+Frame decode_frame(const std::vector<std::uint8_t>& wire) {
+  // Strip the u32 length prefix; the rest is the payload.
+  EXPECT_GE(wire.size(), 4u);
+  std::uint32_t len = 0;
+  std::memcpy(&len, wire.data(), 4);
+  EXPECT_EQ(len, wire.size() - 4);
+  return decode_payload(wire.data() + 4, wire.size() - 4);
+}
+
+TEST(ServeProtocol, CampaignRequestRoundTrip) {
+  const CampaignRequest req = sample_request();
+  const Frame f = decode_frame(encode_campaign_request(req));
+  ASSERT_EQ(f.type, MsgType::kCampaignRequest);
+  ASSERT_TRUE(f.campaign_request.has_value());
+  const CampaignRequest& d = *f.campaign_request;
+  EXPECT_EQ(d.tenant, req.tenant);
+  EXPECT_EQ(d.family, req.family);
+  EXPECT_EQ(d.n, req.n);
+  EXPECT_EQ(d.m, req.m);
+  EXPECT_DOUBLE_EQ(d.beta, req.beta);
+  EXPECT_EQ(d.faults, req.faults);
+  EXPECT_EQ(d.arrival, req.arrival);
+  EXPECT_DOUBLE_EQ(d.load, req.load);
+  EXPECT_EQ(d.seed, req.seed);
+  EXPECT_EQ(d.lanes, req.lanes);
+  EXPECT_EQ(d.queue_depth, req.queue_depth);
+  EXPECT_EQ(d.policy, req.policy);
+  EXPECT_EQ(d.warmup_epochs, req.warmup_epochs);
+  EXPECT_EQ(d.measure_epochs, req.measure_epochs);
+  EXPECT_EQ(d.drain_epochs_max, req.drain_epochs_max);
+}
+
+TEST(ServeProtocol, DefaultSentinelsSurviveRoundTrip) {
+  CampaignRequest req;
+  req.tenant = "t";
+  const Frame f = decode_frame(encode_campaign_request(req));
+  const CampaignRequest& d = *f.campaign_request;
+  EXPECT_TRUE(d.family.empty());
+  EXPECT_EQ(d.n, 0u);
+  EXPECT_LT(d.beta, 0.0);
+  EXPECT_LT(d.load, 0.0);
+  EXPECT_EQ(d.lanes, kUseServerDefault);
+  EXPECT_EQ(d.queue_depth, kUseServerDefault);
+  EXPECT_EQ(d.warmup_epochs, kUseServerDefault);
+  EXPECT_EQ(d.measure_epochs, kUseServerDefault);
+  EXPECT_EQ(d.drain_epochs_max, kUseServerDefault);
+}
+
+TEST(ServeProtocol, CampaignReplyRoundTrip) {
+  CampaignReply rep;
+  rep.status = Status::kOk;
+  rep.cache_hit = true;
+  rep.drained = true;
+  rep.saturated = false;
+  rep.offered = 1000;
+  rep.delivered = 990;
+  rep.dropped = 7;
+  rep.residual = 3;
+  rep.delivery_rate = 0.99;
+  rep.mean_latency_epochs = 1.5;
+  rep.spec_digest = 0xdeadbeefcafe1234ull;
+  const Frame f = decode_frame(encode_campaign_reply(rep));
+  ASSERT_EQ(f.type, MsgType::kCampaignReply);
+  ASSERT_TRUE(f.campaign_reply.has_value());
+  const CampaignReply& d = *f.campaign_reply;
+  EXPECT_EQ(d.status, Status::kOk);
+  EXPECT_TRUE(d.cache_hit);
+  EXPECT_TRUE(d.drained);
+  EXPECT_FALSE(d.saturated);
+  EXPECT_EQ(d.offered, 1000u);
+  EXPECT_EQ(d.delivered, 990u);
+  EXPECT_EQ(d.dropped, 7u);
+  EXPECT_EQ(d.residual, 3u);
+  EXPECT_DOUBLE_EQ(d.delivery_rate, 0.99);
+  EXPECT_DOUBLE_EQ(d.mean_latency_epochs, 1.5);
+  EXPECT_EQ(d.spec_digest, 0xdeadbeefcafe1234ull);
+}
+
+TEST(ServeProtocol, RejectionReplyCarriesReason) {
+  CampaignReply rep;
+  rep.status = Status::kRejected;
+  rep.reason = "tenant-quota";
+  const Frame f = decode_frame(encode_campaign_reply(rep));
+  EXPECT_EQ(f.campaign_reply->status, Status::kRejected);
+  EXPECT_EQ(f.campaign_reply->reason, "tenant-quota");
+}
+
+TEST(ServeProtocol, ScrapeRoundTrip) {
+  const Frame req = decode_frame(encode_scrape_request());
+  EXPECT_EQ(req.type, MsgType::kScrapeRequest);
+
+  ScrapeReply sr;
+  sr.json = "{\n  \"counters\": {}\n}";
+  const Frame rep = decode_frame(encode_scrape_reply(sr));
+  ASSERT_EQ(rep.type, MsgType::kScrapeReply);
+  EXPECT_EQ(rep.scrape_reply->json, sr.json);
+}
+
+TEST(ServeProtocol, EncodingIsByteDeterministic) {
+  const CampaignRequest req = sample_request();
+  EXPECT_EQ(encode_campaign_request(req), encode_campaign_request(req));
+  EXPECT_EQ(encode_scrape_request(), encode_scrape_request());
+}
+
+TEST(ServeProtocol, FrameReaderReassemblesByteByByte) {
+  const std::vector<std::uint8_t> a =
+      encode_campaign_request(sample_request());
+  const std::vector<std::uint8_t> b = encode_scrape_request();
+  std::vector<std::uint8_t> stream = a;
+  stream.insert(stream.end(), b.begin(), b.end());
+
+  FrameReader reader;
+  std::vector<MsgType> seen;
+  for (std::uint8_t byte : stream) {
+    reader.feed(&byte, 1);
+    while (auto f = reader.next()) seen.push_back(f->type);
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], MsgType::kCampaignRequest);
+  EXPECT_EQ(seen[1], MsgType::kScrapeRequest);
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(ServeProtocol, FrameReaderHandlesManyFramesOneFeed) {
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<std::uint8_t> one = encode_scrape_request();
+    stream.insert(stream.end(), one.begin(), one.end());
+  }
+  FrameReader reader;
+  reader.feed(stream.data(), stream.size());
+  std::size_t n = 0;
+  while (reader.next()) ++n;
+  EXPECT_EQ(n, 100u);
+}
+
+TEST(ServeProtocol, RejectsBadVersion) {
+  std::vector<std::uint8_t> wire = encode_scrape_request();
+  wire[4] ^= 0xff;  // version low byte lives right after the length prefix
+  EXPECT_THROW(decode_payload(wire.data() + 4, wire.size() - 4),
+               ContractViolation);
+}
+
+TEST(ServeProtocol, RejectsUnknownType) {
+  std::vector<std::uint8_t> wire = encode_scrape_request();
+  wire[6] = 0x7f;  // type byte follows the u16 version
+  EXPECT_THROW(decode_payload(wire.data() + 4, wire.size() - 4),
+               ContractViolation);
+}
+
+TEST(ServeProtocol, RejectsTruncatedBody) {
+  const std::vector<std::uint8_t> wire =
+      encode_campaign_request(sample_request());
+  // Chop the payload mid-body: every prefix short of the full payload must
+  // throw, never read out of bounds.
+  for (std::size_t cut = 3; cut < wire.size() - 4; cut += 7) {
+    EXPECT_THROW(decode_payload(wire.data() + 4, cut), ContractViolation);
+  }
+}
+
+TEST(ServeProtocol, RejectsTrailingBytes) {
+  std::vector<std::uint8_t> wire = encode_scrape_request();
+  wire.push_back(0x00);
+  EXPECT_THROW(decode_payload(wire.data() + 4, wire.size() - 3),
+               ContractViolation);
+}
+
+TEST(ServeProtocol, FrameReaderRejectsOversizedLengthPrefix) {
+  FrameReader reader;
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::uint8_t prefix[4];
+  std::memcpy(prefix, &huge, 4);
+  reader.feed(prefix, 4);
+  EXPECT_THROW(reader.next(), ContractViolation);
+}
+
+TEST(ServeProtocol, RejectsEmptyTenant) {
+  // Both ends enforce it: the encoder refuses to build the frame, and a
+  // hand-forged empty-tenant payload is refused by decode.
+  CampaignRequest req;  // tenant left empty
+  EXPECT_THROW(encode_campaign_request(req), ContractViolation);
+
+  req.tenant = "t";
+  std::vector<std::uint8_t> wire = encode_campaign_request(req);
+  // The tenant string is the first body field: u32 length ("t" -> 1) at
+  // offset 7 (after u32 frame length, u16 version, u8 type), then the byte.
+  ASSERT_EQ(wire[7], 1u);
+  ASSERT_EQ(wire[11], static_cast<std::uint8_t>('t'));
+  wire[7] = 0;                     // tenant length -> 0
+  wire.erase(wire.begin() + 11);   // drop the tenant byte
+  std::uint32_t len = 0;
+  std::memcpy(&len, wire.data(), 4);
+  len -= 1;
+  std::memcpy(wire.data(), &len, 4);  // fix the frame length
+  EXPECT_THROW(decode_payload(wire.data() + 4, wire.size() - 4),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace pcs::serve

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Sustained-load soak of the serving daemon (the nightly workflow runs
+# this; locally: tools/served_soak.sh [build/examples] [seconds]).
+#
+# Pushes open-loop multi-tenant load for SOAK_SECONDS (default 180),
+# then checks the things only duration exposes:
+#   * conservation still holds over millions of routed messages;
+#   * every request was answered (no wedged connection threads);
+#   * daemon RSS stays bounded (no per-campaign or per-connection leak);
+#   * the daemon still drains to exit 0 after minutes of churn.
+set -euo pipefail
+
+BIN=$(cd "${1:-build/examples}" && pwd)
+SOAK_SECONDS=${2:-180}
+REPO=$(cd "$(dirname "$0")/.." && pwd)
+WORK=$(mktemp -d)
+DPID=""
+cleanup() {
+  [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK="$WORK/pcs.sock"
+cp "$REPO/examples/served_smoke.cfg" "$WORK/served.cfg"
+sed -i "s#^socket = .*#socket = $SOCK#" "$WORK/served.cfg"
+# Soak shape: bigger campaigns than the smoke (n=256 revsort, heavier load)
+# so each round trip routes tens of thousands of messages.
+sed -i "s/^n = .*/n = 256/; s/^m = .*/m = 192/; s/^arrival_p = .*/arrival_p = 0.25/; s/^lanes = .*/lanes = 4/; s/^measure_epochs = .*/measure_epochs = 128/" \
+  "$WORK/served.cfg"
+
+echo "== start daemon (soak ${SOAK_SECONDS}s)"
+(cd "$WORK" && exec "$BIN/pcs_served" --config "$WORK/served.cfg" \
+  > "$WORK/daemon.log" 2>&1) &
+DPID=$!
+for i in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "daemon never bound"; cat "$WORK/daemon.log"; exit 1; }
+
+rss_kb() { awk '/VmRSS/ {print $2}' "/proc/$DPID/status"; }
+
+# Warm the cache and let the allocator reach steady state before the
+# baseline RSS sample, so the check measures *growth*, not warmup.
+"$BIN/pcs_loadgen" socket="$SOCK" tenants=4 requests=2 require=ok > /dev/null
+RSS_START=$(rss_kb)
+
+echo "== sustained load"
+ROUNDS=0
+DEADLINE=$(( $(date +%s) + SOAK_SECONDS ))
+while [ "$(date +%s)" -lt "$DEADLINE" ]; do
+  "$BIN/pcs_loadgen" socket="$SOCK" tenants=4 requests=4 require=ok \
+    > "$WORK/round.txt" || { echo "round $ROUNDS failed"; cat "$WORK/round.txt"; exit 1; }
+  ROUNDS=$((ROUNDS + 1))
+done
+RSS_END=$(rss_kb)
+echo "rounds=$ROUNDS rss_start=${RSS_START}kB rss_end=${RSS_END}kB"
+
+"$BIN/pcs_loadgen" socket="$SOCK" scrape="$WORK/soak_scrape.json" > /dev/null
+
+echo "== SIGTERM drains clean after soak"
+kill -TERM "$DPID"
+DRAIN_RC=0
+wait "$DPID" || DRAIN_RC=$?
+DPID=""
+[ "$DRAIN_RC" -eq 0 ] || { echo "drain exit $DRAIN_RC"; tail "$WORK/daemon.log"; exit 1; }
+
+python3 - "$WORK/soak_scrape.json" "$RSS_START" "$RSS_END" "$ROUNDS" <<'EOF'
+import json, sys
+c = json.load(open(sys.argv[1]))["counters"]
+rss_start, rss_end, rounds = int(sys.argv[2]), int(sys.argv[3]), int(sys.argv[4])
+
+offered = c["total.offered"]
+assert offered == (c["total.delivered"] + c["total.dropped"]
+                   + c["total.residual"]), "conservation violated under soak"
+assert c["serve.campaigns_completed"] == 8 + rounds * 16, "lost campaigns"
+assert c.get("serve.campaigns_failed", 0) == 0, "campaigns failed under soak"
+assert c.get("serve.protocol_errors", 0) == 0, "protocol errors under soak"
+# Messages scale with duration; each round offers ~550k
+# (16 campaigns x 0.25 x 256 wires x 4 lanes x ~130 epochs), so minutes
+# of soak routes hundreds of millions.
+assert offered >= rounds * 500_000, f"soak too light: {offered} offered"
+# RSS bound: steady state after warmup; allow 25% + 64MB headroom before
+# calling it a leak.
+limit = rss_start * 1.25 + 65536
+assert rss_end <= limit, f"RSS grew {rss_start}kB -> {rss_end}kB (limit {limit:.0f}kB)"
+print(f"soak ok: {rounds} rounds, {offered} messages offered, "
+      f"RSS {rss_start}kB -> {rss_end}kB")
+EOF
+
+cp "$WORK/soak_scrape.json" soak_scrape.json
+echo "served soak: all checks passed (scrape in soak_scrape.json)"
