@@ -49,7 +49,11 @@ void campaign_loop(benchmark::State& state, std::size_t hops,
   for (auto _ : state) {
     pcs::fabric::FabricSim sim(
         fabric_spec(hops, alloc), bench_opts(), [](std::size_t width) {
-          return std::make_unique<pcs::msg::BernoulliTraffic>(width, 0.5);
+          return std::unique_ptr<pcs::traffic::TrafficSource>(
+              std::make_unique<pcs::traffic::ComposedSource>(
+                  pcs::traffic::PatternKind::kUniform,
+                  std::make_unique<pcs::traffic::BernoulliProcess>(width, 0.5),
+                  0.125));
         });
     pcs::rt::MetricsRegistry metrics;
     sim.run(metrics);

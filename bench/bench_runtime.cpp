@@ -34,7 +34,11 @@ void campaign_loop(benchmark::State& state, const pcs::sw::ConcentratorSwitch& s
   std::size_t epochs = 0;
   for (auto _ : state) {
     pcs::rt::FabricRuntime runtime(sw, bench_opts(lanes), [n](std::size_t) {
-      return std::make_unique<pcs::msg::BernoulliTraffic>(n, 0.5);
+      return std::unique_ptr<pcs::traffic::TrafficSource>(
+          std::make_unique<pcs::traffic::ComposedSource>(
+              pcs::traffic::PatternKind::kUniform,
+              std::make_unique<pcs::traffic::BernoulliProcess>(n, 0.5),
+              0.125));
     });
     pcs::rt::MetricsRegistry metrics;
     runtime.run(metrics);

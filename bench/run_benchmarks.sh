@@ -2,7 +2,8 @@
 # Run the simulator-performance benchmarks and leave machine-readable JSON
 # at the repo root, one file per bench (BENCH_sim_speed.json,
 # BENCH_throughput.json, BENCH_plan.json, BENCH_threads.json,
-# BENCH_obs.json, BENCH_fabric.json, BENCH_serve.json).  bench_serve
+# BENCH_obs.json, BENCH_fabric.json, BENCH_serve.json,
+# BENCH_traffic.json).  bench_serve
 # prices the daemon's wire protocol (encode/decode/FrameReader) and the
 # plan cache's hit vs cold-compile paths.  bench_fabric sweeps the multi-hop
 # fabric hop count (1/2/3 hops of the same plan-compiled node) for the
@@ -11,7 +12,8 @@
 # directly against the pre-plan engine, and carries a *Legacy twin for each
 # batched family so the fused/unfused A/B lands in one JSON.  bench_threads
 # sweeps set_max_parallelism over 1/2/4/8 for the threads=1..N scaling
-# curve.
+# curve.  bench_traffic prices the composable traffic sources (valid-bit
+# epochs, destination draws, trace-record overhead, bound-stress search).
 #
 # Usage: bench/run_benchmarks.sh [build-dir]
 # Always builds the benchmarks before running them: configuring only happens
@@ -28,9 +30,9 @@ if [ ! -f "$build_dir/CMakeCache.txt" ]; then
 fi
 cmake --build "$build_dir" -j --target \
   bench_sim_speed bench_throughput bench_plan bench_threads bench_obs \
-  bench_fabric bench_serve
+  bench_fabric bench_serve bench_traffic
 
-for bench in sim_speed throughput plan threads obs fabric serve; do
+for bench in sim_speed throughput plan threads obs fabric serve traffic; do
   # The plan A/B is the PR-acceptance artifact; on a shared vCPU the host's
   # memory-bandwidth contention swings short runs +/-12%, so give each case
   # a long enough window to average over the bursts.

@@ -54,7 +54,8 @@ struct Options {
       "  socket=PATH tenants=N requests=N gap_ms=N require=ok|answered\n"
       "  scrape=FILE            (write one metrics scrape to FILE and exit)\n"
       "  campaign shape: family= n= m= beta= faults= arrival= load= seed=\n"
-      "                  lanes= queue_depth= policy= warmup= measure= drain=\n");
+      "                  lanes= queue_depth= policy= warmup= measure= drain=\n"
+      "                  pattern= injection=   (composable traffic model)\n");
   std::exit(rc);
 }
 
@@ -85,6 +86,8 @@ Options parse_args(int argc, char** argv) {
       else if (key == "beta") o.shape.beta = std::stod(val);
       else if (key == "faults") o.shape.faults = val;
       else if (key == "arrival") o.shape.arrival = val;
+      else if (key == "pattern") o.shape.pattern = val;
+      else if (key == "injection") o.shape.injection = val;
       else if (key == "load") o.shape.load = std::stod(val);
       else if (key == "seed") o.shape.seed = std::stoull(val);
       else if (key == "lanes") o.shape.lanes = static_cast<std::uint32_t>(std::stoul(val));

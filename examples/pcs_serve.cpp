@@ -22,6 +22,8 @@
 
 #include "fabric/fabric_config.hpp"
 #include "obs/trace.hpp"
+#include "traffic/trace.hpp"
+#include "util/assert.hpp"
 #include "plan/plan_analysis.hpp"
 #include "runtime/config.hpp"
 #include "runtime/fabric_runtime.hpp"
@@ -107,8 +109,34 @@ Campaign run_campaign(const std::string& family, const RuntimeConfig& base,
   cfg.arrival_p = load;
   auto sw = pcs::rt::make_switch(family, cfg);
 
-  FabricRuntime runtime(*sw, options_from(cfg),
-                        [&cfg](std::size_t) { return pcs::rt::make_traffic(cfg, cfg.n); });
+  // Traffic plumbing: replay= substitutes a recorded offered stream (one
+  // trace stream per lane), record= wraps the per-lane sources so this
+  // campaign's stream gets captured, and the default path builds from the
+  // config's pattern/injection keys (the switch pointer feeds worstcase).
+  std::shared_ptr<const pcs::traffic::TraceLog> replay_log;
+  if (!cfg.replay.empty()) {
+    replay_log = std::make_shared<const pcs::traffic::TraceLog>(
+        pcs::traffic::TraceLog::read_file(cfg.replay));
+  }
+  pcs::traffic::TraceRecorder recorder(cfg.n, cfg.lanes);
+  const bool recording = !cfg.record.empty();
+  const pcs::sw::ConcentratorSwitch* sw_ptr = sw.get();
+  FabricRuntime::TrafficFactory factory = [&, sw_ptr](std::size_t lane) {
+    if (replay_log) {
+      PCS_REQUIRE(replay_log->width == cfg.n,
+                  "replay trace width " << replay_log->width
+                                        << " does not match n=" << cfg.n);
+      PCS_REQUIRE(lane < replay_log->streams.size(),
+                  "replay trace has " << replay_log->streams.size()
+                                      << " streams, campaign wants lane "
+                                      << lane);
+      return pcs::traffic::make_replay(replay_log, lane);
+    }
+    auto src = pcs::rt::make_traffic(cfg, cfg.n, sw_ptr);
+    return recording ? recorder.wrap(std::move(src), lane) : std::move(src);
+  };
+
+  FabricRuntime runtime(*sw, options_from(cfg), std::move(factory));
   MetricsRegistry metrics;
   metrics.gauge("epsilon_bound").set(static_cast<double>(sw->epsilon_bound()));
   metrics.gauge("guaranteed_capacity")
@@ -125,6 +153,11 @@ Campaign run_campaign(const std::string& family, const RuntimeConfig& base,
   c.metrics_json = metrics.to_json(6);
   c.delivery_rate = metrics.gauge("delivery_rate").value();
   c.mean_latency = metrics.gauge("mean_latency_epochs").value();
+  if (recording) {
+    recorder.log().write_file(cfg.record);
+    std::printf("recorded offered stream to %s (%zu lanes)\n",
+                cfg.record.c_str(), cfg.lanes);
+  }
   return c;
 }
 
@@ -192,6 +225,19 @@ int main(int argc, char** argv) {
 
   const std::vector<double> loads =
       cfg.loads.empty() ? std::vector<double>{cfg.arrival_p} : cfg.loads;
+
+  if (!cfg.record.empty()) {
+    // A recording captures exactly one offered stream; a sweep would
+    // silently overwrite it per campaign.
+    const std::size_t n_campaigns =
+        pcs::rt::split_csv(cfg.family).size() * loads.size();
+    if (n_campaigns != 1 || !cfg.topology.empty()) {
+      std::fprintf(stderr,
+                   "record= needs a single single-switch campaign (one "
+                   "family, one load, no topology)\n");
+      return 2;
+    }
+  }
 
   if (cfg.threads != 0) pcs::set_max_parallelism(cfg.threads);
   // exec=legacy drops every compiled plan to the unfused oracle engine, so

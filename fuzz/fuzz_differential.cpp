@@ -19,6 +19,7 @@
 //   pcs_fuzz --seed 1987 --start 4242 --cases 1
 // Exit code 0 = clean sweep, 1 = invariant violation (first one reported),
 // 2 = usage error.
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +35,8 @@
 #include "legacy_reference.hpp"
 #include "plan/compile.hpp"
 #include "plan/plan_switch.hpp"
+#include "traffic/factory.hpp"
+#include "traffic/trace.hpp"
 #include "switch/columnsort_switch.hpp"
 #include "switch/full_sort_hyper.hpp"
 #include "switch/gate_level_switch.hpp"
@@ -514,15 +517,126 @@ bool run_legacy_oracle_case(Rng& rng, SwitchCache& cache,
   return ok;
 }
 
+// --- traffic-source cross-check --------------------------------------------
+
+/// Sweep random composable traffic specs through the src/traffic factory and
+/// check the source-level invariants: every epoch is `width` wide, the exact
+/// injection keeps its count, destinations stay below the sink count, the
+/// offered count is conserved through trace record -> replay, and the replay
+/// is byte-identical to what the recorder saw.
+bool run_traffic_case(Rng& rng, core::InvariantReport& report) {
+  namespace traffic = pcs::traffic;
+  static constexpr std::size_t kWidths[] = {1, 7, 16, 64, 100, 256};
+
+  traffic::TrafficSpec spec;
+  spec.width = kWidths[rng.below(std::size(kWidths))];
+  static const char* kInjections[] = {"bernoulli", "onoff", "exact"};
+  spec.injection = kInjections[rng.below(std::size(kInjections))];
+  spec.intensity = rng.uniform01();
+  spec.hotspot_fraction = 0.05 + 0.9 * rng.uniform01();
+  spec.chip_w = 1 + rng.below(8);
+
+  // Patterns that address by destination need an addressable sink count;
+  // everything here uses sinks == width, so gate the pick on the width.
+  std::vector<const char*> patterns = {"uniform", "hotspot", "tornado",
+                                       "adversarial"};
+  const bool pow2 = spec.width != 0 && (spec.width & (spec.width - 1)) == 0;
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < spec.width) ++bits;
+  if (pow2) {
+    patterns.push_back("bitcomp");
+    patterns.push_back("bitrev");
+    patterns.push_back("shuffle");
+    if (bits % 2 == 0) patterns.push_back("transpose");
+  }
+  spec.pattern = patterns[rng.below(patterns.size())];
+
+  const std::uint64_t stream_seed = rng.next();
+  const std::size_t epochs = 1 + rng.below(8);
+  const std::size_t sinks = spec.width;
+
+  traffic::TraceRecorder recorder(spec.width, 1);
+  auto source = recorder.wrap(traffic::make_source(spec), 0);
+  Rng stream(stream_seed);
+  std::vector<BitVec> offered;
+  std::vector<std::vector<std::uint32_t>> dests;
+  std::size_t offered_total = 0;
+  const std::size_t exact_k = std::min(
+      static_cast<std::size_t>(
+          std::llround(spec.intensity * static_cast<double>(spec.width))),
+      spec.width);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    offered.push_back(source->next_valid(stream));
+    const BitVec& v = offered.back();
+    ++report.checks_run;
+    if (v.size() != spec.width) {
+      report.add("traffic", spec.pattern + std::string("/") + spec.injection +
+                                " epoch width mismatch");
+      return false;
+    }
+    if (spec.injection == "exact" && spec.pattern != "adversarial" &&
+        v.count() != exact_k) {
+      report.add("traffic", "exact injection drifted from k");
+      return false;
+    }
+    offered_total += v.count();
+    dests.emplace_back();
+    for (std::size_t g = 0; g < spec.width; ++g) {
+      if (!v.get(g)) continue;
+      const std::uint32_t d = source->dest_for(stream, g, sinks);
+      ++report.checks_run;
+      if (d >= sinks) {
+        report.add("traffic", "destination past the sink count");
+        return false;
+      }
+      dests.back().push_back(d);
+    }
+  }
+
+  // Offered-count conservation through the recorder, then byte-identical
+  // replay (valid bits and destinations both).
+  std::size_t recorded_total = 0;
+  for (const auto& epoch : recorder.log().streams[0].epochs) {
+    recorded_total += epoch.valid.count();
+  }
+  ++report.checks_run;
+  if (recorded_total != offered_total) {
+    report.add("traffic", "recorder lost offered messages");
+    return false;
+  }
+  auto replay = traffic::make_replay(
+      std::make_shared<const traffic::TraceLog>(recorder.log()), 0);
+  Rng unused(0);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    ++report.checks_run;
+    const BitVec v = replay->next_valid(unused);
+    if (v != offered[e]) {
+      report.add("traffic", "replayed valid bits diverge from the recording");
+      return false;
+    }
+    std::size_t i = 0;
+    for (std::size_t g = 0; g < spec.width; ++g) {
+      if (!v.get(g)) continue;
+      if (replay->dest_for(unused, g, sinks) != dests[e][i++]) {
+        report.add("traffic", "replayed destination diverges from the recording");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 // --- driver ----------------------------------------------------------------
 
 bool run_case(std::size_t idx, const Options& opt, SwitchCache& cache,
               core::InvariantReport& report) {
   Rng rng(mix(opt.seed ^ idx));
   // Every 8th case exercises the gate-level path instead of a batch sweep,
-  // and another 8th cross-checks compiled plans against the legacy recipes.
+  // another 8th cross-checks compiled plans against the legacy recipes, and
+  // another 8th sweeps the composable traffic sources.
   if (idx % 8 == 7) return run_gate_level_case(idx, rng, cache, report);
   if (idx % 8 == 3) return run_legacy_oracle_case(rng, cache, report);
+  if (idx % 8 == 5) return run_traffic_case(rng, report);
 
   const CaseContext ctx = pick_case(idx % 6, rng, cache);
   const std::size_t n = ctx.sw->inputs();

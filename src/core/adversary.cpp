@@ -2,7 +2,7 @@
 
 #include <array>
 
-#include "message/traffic.hpp"
+#include "traffic/traffic_source.hpp"
 #include "sortnet/nearsort.hpp"
 #include "util/mathutil.hpp"
 #include "util/parallel.hpp"
@@ -59,9 +59,9 @@ WorstCase worst_epsilon_search(const pcs::sw::ConcentratorSwitch& sw,
   {
     std::vector<BitVec> patterns;
     for (std::size_t k = 1; k <= n; k = k * 2 + 1) {
-      pcs::msg::AdversarialTraffic adv(n, std::min(k, n), chip_w);
+      pcs::traffic::AdversarialSource adv(n, std::min(k, n), chip_w);
       for (std::size_t f = 0; f < adv.family_size(); ++f) {
-        patterns.push_back(adv.next(rng));
+        patterns.push_back(adv.next_valid(rng));
       }
     }
     consider_batch(patterns);

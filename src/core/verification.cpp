@@ -5,7 +5,7 @@
 
 #include "core/lemmas.hpp"
 #include "message/clocked_sim.hpp"
-#include "message/traffic.hpp"
+#include "traffic/traffic_source.hpp"
 #include "sortnet/nearsort.hpp"
 #include "util/assert.hpp"
 #include "util/mathutil.hpp"
@@ -81,9 +81,9 @@ VerifyReport verify_switch(const pcs::sw::ConcentratorSwitch& sw, Rng& rng,
   const std::size_t chip_w = std::max<std::size_t>(1, isqrt(n));
   for (std::size_t k : {n / 4, n / 2, (3 * n) / 4}) {
     if (k == 0) continue;
-    pcs::msg::AdversarialTraffic adv(n, k, chip_w);
+    pcs::traffic::AdversarialSource adv(n, k, chip_w);
     for (std::size_t f = 0; f < adv.family_size(); ++f) {
-      patterns.push_back(adv.next(rng));
+      patterns.push_back(adv.next_valid(rng));
     }
   }
   // Extremes.

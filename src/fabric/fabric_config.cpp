@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "traffic/trace.hpp"
 #include "util/assert.hpp"
 
 namespace pcs::fabric {
@@ -41,9 +42,24 @@ std::unique_ptr<FabricSim> make_fabric_sim(const rt::RuntimeConfig& cfg,
                                            double arrival_p) {
   rt::RuntimeConfig point = cfg;
   point.arrival_p = arrival_p;
-  FabricSim::TrafficFactory traffic = [point](std::size_t width) {
-    return rt::make_traffic(point, width);
-  };
+  FabricSim::TrafficFactory traffic;
+  if (!cfg.replay.empty()) {
+    // A fabric campaign has one source bundle, so the recording's stream 0
+    // is the whole offered history.
+    auto log = std::make_shared<const traffic::TraceLog>(
+        traffic::TraceLog::read_file(cfg.replay));
+    traffic = [log](std::size_t width) {
+      PCS_REQUIRE(log->width == width,
+                  "replay trace width " << log->width
+                                        << " does not match fabric sources "
+                                        << width);
+      return traffic::make_replay(log, 0);
+    };
+  } else {
+    traffic = [point](std::size_t width) {
+      return rt::make_traffic(point, width);
+    };
+  }
   return std::make_unique<FabricSim>(fabric_spec_from(cfg, family),
                                      fabric_options_from(cfg),
                                      std::move(traffic));

@@ -314,7 +314,7 @@ void FabricSim::serve_hop(std::size_t hop, EpochContext& ctx) {
 rt::RuntimeReport FabricSim::run(rt::MetricsRegistry& metrics) {
   const std::size_t r = graph_.radix();
   Rng rng(opts_.seed);
-  std::unique_ptr<msg::TrafficGen> traffic =
+  std::unique_ptr<traffic::TrafficSource> traffic =
       traffic_factory_(graph_.sources());
   PCS_REQUIRE(traffic && traffic->width() == graph_.sources(),
               "fabric traffic generator width must equal sources()="
@@ -372,7 +372,7 @@ rt::RuntimeReport FabricSim::run(rt::MetricsRegistry& metrics) {
     }
 
     if (!in_drain) {
-      const BitVec arrivals = traffic->next(rng);
+      const BitVec arrivals = traffic->next_valid(rng);
       for (std::size_t g = 0; g < graph_.sources(); ++g) {
         if (!arrivals.get(g)) continue;
         ++total_offered;
@@ -385,7 +385,10 @@ rt::RuntimeReport FabricSim::run(rt::MetricsRegistry& metrics) {
           continue;
         }
         Msg msg;
-        msg.dest = static_cast<std::uint32_t>(rng.below(graph_.sinks()));
+        // The destination draw happens only for accepted arrivals, after the
+        // queue-depth gate, so uniform sources replay the legacy rng stream
+        // bit for bit while permutation patterns consume no randomness here.
+        msg.dest = traffic->dest_for(rng, g, graph_.sinks());
         msg.born = static_cast<std::uint32_t>(epoch);
         msg.measured = in_measure;
         source_q_[g].push_back(msg);

@@ -46,7 +46,7 @@
 
 #include "fabric/allocator.hpp"
 #include "fabric/topology.hpp"
-#include "message/traffic.hpp"
+#include "traffic/traffic_source.hpp"
 #include "runtime/fabric_runtime.hpp"
 #include "runtime/metrics.hpp"
 #include "switch/concentrator.hpp"
@@ -69,7 +69,7 @@ class FabricSim {
   /// sinks() from the campaign RNG (split from opts.seed), so runs are
   /// deterministic per seed.
   using TrafficFactory =
-      std::function<std::unique_ptr<msg::TrafficGen>(std::size_t width)>;
+      std::function<std::unique_ptr<traffic::TrafficSource>(std::size_t width)>;
 
   FabricSim(FabricSpec spec, FabricOptions opts, TrafficFactory traffic);
 

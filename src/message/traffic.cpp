@@ -2,63 +2,47 @@
 
 #include <sstream>
 
+#include "traffic/pattern.hpp"
 #include "util/assert.hpp"
 
 namespace pcs::msg {
+namespace {
+
+std::vector<double> hotspot_rates(std::size_t width, std::size_t hot,
+                                  double p_hot, double p_cold) {
+  PCS_REQUIRE(hot <= width, "HotSpotTraffic hot range");
+  std::vector<double> rates(width, p_cold);
+  for (std::size_t i = 0; i < hot; ++i) rates[i] = p_hot;
+  return rates;
+}
+
+}  // namespace
 
 BernoulliTraffic::BernoulliTraffic(std::size_t width, double p)
-    : TrafficGen(width), p_(p) {
-  PCS_REQUIRE(p >= 0.0 && p <= 1.0, "BernoulliTraffic p");
-}
+    : TrafficGen(width), process_(width, p) {}
 
-BitVec BernoulliTraffic::next(Rng& rng) { return rng.bernoulli_bits(width_, p_); }
+BitVec BernoulliTraffic::next(Rng& rng) { return process_.next(rng); }
 
-std::string BernoulliTraffic::name() const {
-  std::ostringstream os;
-  os << "bernoulli(p=" << p_ << ")";
-  return os.str();
-}
+std::string BernoulliTraffic::name() const { return process_.name(); }
 
 ExactCountTraffic::ExactCountTraffic(std::size_t width, std::size_t k)
-    : TrafficGen(width), k_(k) {
-  PCS_REQUIRE(k <= width, "ExactCountTraffic k");
-}
+    : TrafficGen(width), process_(width, k) {}
 
-BitVec ExactCountTraffic::next(Rng& rng) { return rng.exact_weight_bits(width_, k_); }
+BitVec ExactCountTraffic::next(Rng& rng) { return process_.next(rng); }
 
-std::string ExactCountTraffic::name() const {
-  std::ostringstream os;
-  os << "exact(k=" << k_ << ")";
-  return os.str();
-}
+std::string ExactCountTraffic::name() const { return process_.name(); }
 
 BurstyTraffic::BurstyTraffic(std::size_t width, double p_on, double p_off,
                              double on_to_off, double off_to_on)
     : TrafficGen(width),
+      process_(width, p_on, p_off, on_to_off, off_to_on),
       p_on_(p_on),
-      p_off_(p_off),
-      on_to_off_(on_to_off),
-      off_to_on_(off_to_on),
-      state_on_(width, false) {
-  PCS_REQUIRE(p_on >= 0 && p_on <= 1 && p_off >= 0 && p_off <= 1, "BurstyTraffic p");
-  PCS_REQUIRE(on_to_off >= 0 && on_to_off <= 1 && off_to_on >= 0 && off_to_on <= 1,
-              "BurstyTraffic transitions");
-}
+      p_off_(p_off) {}
 
-BitVec BurstyTraffic::next(Rng& rng) {
-  BitVec out(width_);
-  for (std::size_t i = 0; i < width_; ++i) {
-    if (state_on_[i]) {
-      if (rng.chance(on_to_off_)) state_on_[i] = false;
-    } else {
-      if (rng.chance(off_to_on_)) state_on_[i] = true;
-    }
-    out.set(i, rng.chance(state_on_[i] ? p_on_ : p_off_));
-  }
-  return out;
-}
+BitVec BurstyTraffic::next(Rng& rng) { return process_.next(rng); }
 
 std::string BurstyTraffic::name() const {
+  // Keep the historical label (reports pin it), not OnOffProcess's.
   std::ostringstream os;
   os << "bursty(on=" << p_on_ << ",off=" << p_off_ << ")";
   return os.str();
@@ -66,17 +50,11 @@ std::string BurstyTraffic::name() const {
 
 HotSpotTraffic::HotSpotTraffic(std::size_t width, std::size_t hot, double p_hot,
                                double p_cold)
-    : TrafficGen(width), hot_(hot), p_hot_(p_hot), p_cold_(p_cold) {
-  PCS_REQUIRE(hot <= width, "HotSpotTraffic hot range");
-}
+    : TrafficGen(width),
+      hot_(hot),
+      process_(hotspot_rates(width, hot, p_hot, p_cold)) {}
 
-BitVec HotSpotTraffic::next(Rng& rng) {
-  BitVec out(width_);
-  for (std::size_t i = 0; i < width_; ++i) {
-    out.set(i, rng.chance(i < hot_ ? p_hot_ : p_cold_));
-  }
-  return out;
-}
+BitVec HotSpotTraffic::next(Rng& rng) { return process_.next(rng); }
 
 std::string HotSpotTraffic::name() const {
   std::ostringstream os;
@@ -86,63 +64,10 @@ std::string HotSpotTraffic::name() const {
 
 AdversarialTraffic::AdversarialTraffic(std::size_t width, std::size_t k,
                                        std::size_t chip_w)
-    : TrafficGen(width), k_(k), chip_w_(chip_w) {
-  PCS_REQUIRE(k <= width, "AdversarialTraffic k");
-  PCS_REQUIRE(chip_w >= 1, "AdversarialTraffic chip width");
-}
+    : TrafficGen(width), source_(width, k, chip_w) {}
 
-BitVec AdversarialTraffic::next(Rng& rng) {
-  (void)rng;  // the family is deterministic
-  BitVec out(width_);
-  const std::size_t pattern = cursor_ % family_size();
-  ++cursor_;
-  std::size_t placed = 0;
-  switch (pattern) {
-    case 0:  // prefix block
-      for (std::size_t i = 0; i < k_; ++i) out.set(i, true);
-      break;
-    case 1:  // suffix block
-      for (std::size_t i = 0; i < k_; ++i) out.set(width_ - 1 - i, true);
-      break;
-    case 2: {  // even stride across the whole width
-      if (k_ > 0) {
-        for (std::size_t i = 0; i < k_; ++i) {
-          out.set((i * width_) / k_, true);
-        }
-      }
-      break;
-    }
-    case 3: {  // first pins of each chip first (fills chips breadth-first)
-      for (std::size_t pin = 0; pin < chip_w_ && placed < k_; ++pin) {
-        for (std::size_t chip = 0; chip * chip_w_ + pin < width_ && placed < k_;
-             ++chip) {
-          out.set(chip * chip_w_ + pin, true);
-          ++placed;
-        }
-      }
-      break;
-    }
-    case 4: {  // diagonal within chips
-      for (std::size_t d = 0; placed < k_; ++d) {
-        for (std::size_t chip = 0; chip * chip_w_ < width_ && placed < k_; ++chip) {
-          std::size_t idx = chip * chip_w_ + ((chip + d) % chip_w_);
-          if (idx < width_ && !out.get(idx)) {
-            out.set(idx, true);
-            ++placed;
-          }
-        }
-        if (d > width_) break;  // safety for degenerate shapes
-      }
-      break;
-    }
-  }
-  return out;
-}
+BitVec AdversarialTraffic::next(Rng& rng) { return source_.next_valid(rng); }
 
-std::string AdversarialTraffic::name() const {
-  std::ostringstream os;
-  os << "adversarial(k=" << k_ << ")";
-  return os.str();
-}
+std::string AdversarialTraffic::name() const { return source_.name(); }
 
 }  // namespace pcs::msg

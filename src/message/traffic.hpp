@@ -1,14 +1,11 @@
-// Valid-bit traffic generators: the synthetic stand-in for the "parallel
-// supercomputer" whose processors feed the switch (DESIGN.md section 4,
-// substitution 3).
+// Legacy valid-bit traffic generators -- DEPRECATED thin adapters.
 //
-// Each generator produces one valid-bit pattern per call.  Besides the
-// memoryless Bernoulli workload, there are bursty sources (two-state Markov
-// chains, modelling processors that alternate compute and communication
-// phases), hot-spot workloads (a clustered subset of wires is much more
-// active -- the case that stresses a nearsorting switch, since clustered
-// valid bits concentrate into few mesh columns), and structured adversarial
-// patterns used by the load-ratio benches.
+// The real traffic model lives in src/traffic/ (spatial pattern x injection
+// process, trace replay, adversarial search); construct sources through
+// traffic/factory.hpp.  These classes remain only for callers that still
+// speak the old `BitVec next(Rng&)` interface (the stream engine, a few
+// benches, and tests); each one delegates to the equivalent src/traffic/
+// piece, so both interfaces draw identical streams from equal seeds.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "traffic/injection.hpp"
+#include "traffic/traffic_source.hpp"
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
 
@@ -33,7 +32,8 @@ class TrafficGen {
   std::size_t width_;
 };
 
-/// Independent Bernoulli(p) valid bits.
+/// Independent Bernoulli(p) valid bits.  Adapter over
+/// traffic::BernoulliProcess.
 class BernoulliTraffic : public TrafficGen {
  public:
   BernoulliTraffic(std::size_t width, double p);
@@ -41,10 +41,11 @@ class BernoulliTraffic : public TrafficGen {
   std::string name() const override;
 
  private:
-  double p_;
+  traffic::BernoulliProcess process_;
 };
 
-/// Exactly k valid bits, uniformly placed.
+/// Exactly k valid bits, uniformly placed.  Adapter over
+/// traffic::ExactCountProcess.
 class ExactCountTraffic : public TrafficGen {
  public:
   ExactCountTraffic(std::size_t width, std::size_t k);
@@ -52,12 +53,10 @@ class ExactCountTraffic : public TrafficGen {
   std::string name() const override;
 
  private:
-  std::size_t k_;
+  traffic::ExactCountProcess process_;
 };
 
-/// Per-wire two-state Markov chain: in the ON state a wire is valid with
-/// probability p_on, in OFF with p_off; switches state with the given
-/// transition probabilities.  Produces temporally correlated bursts.
+/// Per-wire two-state Markov chain.  Adapter over traffic::OnOffProcess.
 class BurstyTraffic : public TrafficGen {
  public:
   BurstyTraffic(std::size_t width, double p_on, double p_off, double on_to_off,
@@ -66,12 +65,13 @@ class BurstyTraffic : public TrafficGen {
   std::string name() const override;
 
  private:
-  double p_on_, p_off_, on_to_off_, off_to_on_;
-  std::vector<bool> state_on_;
+  traffic::OnOffProcess process_;
+  double p_on_, p_off_;
 };
 
 /// A contiguous block of `hot` wires is valid with probability p_hot, the
-/// rest with p_cold.  Spatially clustered load.
+/// rest with p_cold.  Adapter over a rate-profiled
+/// traffic::BernoulliProcess.
 class HotSpotTraffic : public TrafficGen {
  public:
   HotSpotTraffic(std::size_t width, std::size_t hot, double p_hot, double p_cold);
@@ -80,13 +80,11 @@ class HotSpotTraffic : public TrafficGen {
 
  private:
   std::size_t hot_;
-  double p_hot_, p_cold_;
+  traffic::BernoulliProcess process_;
 };
 
-/// Structured adversarial patterns with exactly k valid bits, cycling
-/// through a family of layouts (prefix block, suffix block, even stride,
-/// per-chip-first-pins, diagonal) that historically maximize measured
-/// nearsortedness epsilon for mesh-based switches of chip width `chip_w`.
+/// Structured adversarial patterns with exactly k valid bits.  Adapter over
+/// traffic::AdversarialSource.
 class AdversarialTraffic : public TrafficGen {
  public:
   AdversarialTraffic(std::size_t width, std::size_t k, std::size_t chip_w);
@@ -94,12 +92,10 @@ class AdversarialTraffic : public TrafficGen {
   std::string name() const override;
 
   /// Number of distinct patterns in the family (next() cycles through them).
-  std::size_t family_size() const noexcept { return 5; }
+  std::size_t family_size() const noexcept { return source_.family_size(); }
 
  private:
-  std::size_t k_;
-  std::size_t chip_w_;
-  std::size_t cursor_ = 0;
+  traffic::AdversarialSource source_;
 };
 
 }  // namespace pcs::msg

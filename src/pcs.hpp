@@ -72,6 +72,13 @@
 #include "cost/scaling.hpp"
 #include "cost/table1.hpp"
 
+#include "traffic/factory.hpp"
+#include "traffic/injection.hpp"
+#include "traffic/pattern.hpp"
+#include "traffic/search.hpp"
+#include "traffic/trace.hpp"
+#include "traffic/traffic_source.hpp"
+
 #include "message/ack_protocol.hpp"
 #include "message/clocked_sim.hpp"
 #include "message/congestion.hpp"

@@ -67,6 +67,16 @@ void set_key(RuntimeConfig& cfg, const std::string& key, const std::string& valu
     cfg.arrival = value;
   } else if (key == "arrival_p") {
     cfg.arrival_p = parse_double(key, value);
+  } else if (key == "pattern") {
+    cfg.pattern = value;
+  } else if (key == "injection") {
+    cfg.injection = value;
+  } else if (key == "hotspot_fraction") {
+    cfg.hotspot_fraction = parse_double(key, value);
+  } else if (key == "record") {
+    cfg.record = value;
+  } else if (key == "replay") {
+    cfg.replay = value;
   } else if (key == "loads") {
     cfg.loads.clear();
     for (const std::string& item : split_csv(value)) {
@@ -145,6 +155,15 @@ void validate(const RuntimeConfig& cfg) {
   PCS_REQUIRE(cfg.arrival == "bernoulli" || cfg.arrival == "exact" ||
                   cfg.arrival == "bursty" || cfg.arrival == "hotspot",
               "unknown arrival process '" << cfg.arrival << "'");
+  PCS_REQUIRE(cfg.pattern.empty() || traffic::known_pattern(cfg.pattern),
+              "unknown traffic pattern '" << cfg.pattern << "'");
+  PCS_REQUIRE(cfg.injection.empty() || traffic::known_injection(cfg.injection),
+              "unknown injection process '" << cfg.injection << "'");
+  PCS_REQUIRE(cfg.hotspot_fraction > 0.0 && cfg.hotspot_fraction <= 1.0,
+              "config key hotspot_fraction must be in (0,1], got "
+                  << cfg.hotspot_fraction);
+  PCS_REQUIRE(cfg.record.empty() || cfg.replay.empty(),
+              "record and replay are mutually exclusive");
   policy_from_string(cfg.policy);  // throws on unknown
   PCS_REQUIRE(cfg.n >= 1 && cfg.m >= 1 && cfg.m <= cfg.n,
               "switch shape: n=" << cfg.n << " m=" << cfg.m);
@@ -267,6 +286,9 @@ std::string config_to_json(const RuntimeConfig& cfg, std::size_t indent) {
   }
   os << "],\n";
   os << pad << "  \"hops\": " << cfg.fabric_hops << ",\n";
+  os << pad << "  \"hotspot_fraction\": " << format_json_double(cfg.hotspot_fraction)
+     << ",\n";
+  os << pad << "  \"injection\": " << json_escape(cfg.injection) << ",\n";
   os << pad << "  \"lanes\": " << cfg.lanes << ",\n";
   os << pad << "  \"loads\": [";
   for (std::size_t i = 0; i < cfg.loads.size(); ++i) {
@@ -278,9 +300,12 @@ std::string config_to_json(const RuntimeConfig& cfg, std::size_t indent) {
   os << pad << "  \"max_inflight\": " << cfg.serve_max_inflight << ",\n";
   os << pad << "  \"measure_epochs\": " << cfg.measure_epochs << ",\n";
   os << pad << "  \"n\": " << cfg.n << ",\n";
+  os << pad << "  \"pattern\": " << json_escape(cfg.pattern) << ",\n";
   os << pad << "  \"policy\": " << json_escape(cfg.policy) << ",\n";
   os << pad << "  \"queue_depth\": " << cfg.queue_depth << ",\n";
   os << pad << "  \"radix\": " << cfg.fabric_radix << ",\n";
+  os << pad << "  \"record\": " << json_escape(cfg.record) << ",\n";
+  os << pad << "  \"replay\": " << json_escape(cfg.replay) << ",\n";
   os << pad << "  \"seed\": " << cfg.seed << ",\n";
   os << pad << "  \"socket\": " << json_escape(cfg.serve_socket) << ",\n";
   os << pad << "  \"tenant_quota\": " << cfg.serve_tenant_quota << ",\n";
@@ -314,28 +339,41 @@ std::unique_ptr<sw::ConcentratorSwitch> make_switch(const std::string& family,
   return pcs::make_switch(spec);
 }
 
-std::unique_ptr<msg::TrafficGen> make_traffic(const RuntimeConfig& cfg,
-                                              std::size_t width) {
-  const double p = cfg.arrival_p;
+traffic::TrafficSpec traffic_spec_from(const RuntimeConfig& cfg,
+                                       std::size_t width) {
+  traffic::TrafficSpec spec;
+  spec.width = width;
+  spec.intensity = cfg.arrival_p;
+  spec.hotspot_fraction = cfg.hotspot_fraction;
+  spec.search_seed = cfg.seed;
+  // Legacy arrival derivation first (bit-identical to the old generators)...
   if (cfg.arrival == "bernoulli") {
-    return std::make_unique<msg::BernoulliTraffic>(width, p);
+    spec.pattern = "uniform";
+    spec.injection = "bernoulli";
+  } else if (cfg.arrival == "exact") {
+    spec.pattern = "uniform";
+    spec.injection = "exact";
+  } else if (cfg.arrival == "bursty") {
+    spec.pattern = "uniform";
+    spec.injection = "onoff";
+  } else if (cfg.arrival == "hotspot") {
+    spec.pattern = "hotspot";
+    spec.injection = "bernoulli";
+  } else {
+    PCS_REQUIRE(false, "unknown arrival process '" << cfg.arrival << "'");
   }
-  if (cfg.arrival == "exact") {
-    const auto k = static_cast<std::size_t>(
-        std::llround(p * static_cast<double>(width)));
-    return std::make_unique<msg::ExactCountTraffic>(width, std::min(k, width));
-  }
-  if (cfg.arrival == "bursty") {
-    return std::make_unique<msg::BurstyTraffic>(width, std::min(1.0, 3.0 * p), p / 3.0,
-                                                0.05, 0.05);
-  }
-  if (cfg.arrival == "hotspot") {
-    const std::size_t hot = std::max<std::size_t>(1, width / 8);
-    return std::make_unique<msg::HotSpotTraffic>(width, hot, std::min(1.0, 4.0 * p),
-                                                 p / 2.0);
-  }
-  PCS_REQUIRE(false, "unknown arrival process '" << cfg.arrival << "'");
-  return nullptr;  // unreachable
+  // ...then explicit pattern=/injection= keys override either axis.
+  if (!cfg.pattern.empty()) spec.pattern = cfg.pattern;
+  if (!cfg.injection.empty()) spec.injection = cfg.injection;
+  return spec;
+}
+
+std::unique_ptr<traffic::TrafficSource> make_traffic(
+    const RuntimeConfig& cfg, std::size_t width,
+    const sw::ConcentratorSwitch* search_switch) {
+  traffic::TrafficSpec spec = traffic_spec_from(cfg, width);
+  spec.search_switch = search_switch;
+  return traffic::make_source(spec);
 }
 
 }  // namespace pcs::rt

@@ -12,9 +12,9 @@
 #include <vector>
 
 #include "message/congestion.hpp"
-#include "message/traffic.hpp"
 #include "plan/switch_plan.hpp"
 #include "switch/concentrator.hpp"
+#include "traffic/factory.hpp"
 
 namespace pcs::rt {
 
@@ -35,6 +35,24 @@ struct RuntimeConfig {
   /// round(arrival_p * n) messages per epoch.
   std::string arrival = "bernoulli";
   double arrival_p = 0.25;
+
+  /// Composable traffic model (src/traffic).  When empty, both keys derive
+  /// from `arrival` (bernoulli/exact/bursty -> uniform pattern with the
+  /// matching process, hotspot -> hotspot pattern x bernoulli), so legacy
+  /// configs keep their bit-identical streams.  Explicit values override:
+  /// pattern = uniform|transpose|bitcomp|bitrev|shuffle|tornado|hotspot|
+  /// adversarial|worstcase, injection = bernoulli|onoff|exact.
+  std::string pattern;
+  std::string injection;
+  /// Hot block fraction for the hotspot pattern, in (0,1].
+  double hotspot_fraction = 0.125;
+
+  /// Offered-stream trace capture/replay (src/traffic/trace.hpp).  `record`
+  /// writes the campaign's offered stream to this path (single-campaign
+  /// configs only); `replay` substitutes a recorded stream for the
+  /// generator, reproducing it byte for byte.
+  std::string record;
+  std::string replay;
 
   /// Offered-load sweep: arrival_p values to campaign over; when empty the
   /// single point `arrival_p` is run.
@@ -130,13 +148,22 @@ msg::CongestionPolicy policy_from_string(const std::string& s);
 std::unique_ptr<sw::ConcentratorSwitch> make_switch(const std::string& family,
                                                     const RuntimeConfig& cfg);
 
-/// Build a traffic generator for the config's arrival process at intensity
-/// `arrival_p` over `width` wires.  Derived shapes: bursty uses a two-state
+/// Translate the config's traffic keys into a traffic::TrafficSpec over
+/// `width` wires.  With pattern=/injection= empty the spec derives from
+/// `arrival` exactly as the legacy generators did: bursty uses a two-state
 /// Markov chain with p_on = min(1, 3p), p_off = p/3 and 0.05 transition
-/// probabilities; hotspot concentrates on width/8 wires with p_hot =
-/// min(1, 4p), p_cold = p/2.  Each lane gets its own generator so bursty
-/// state never couples lanes.
-std::unique_ptr<msg::TrafficGen> make_traffic(const RuntimeConfig& cfg,
-                                              std::size_t width);
+/// probabilities; hotspot concentrates on floor(width * hotspot_fraction)
+/// wires (`arrival_p` is the nominal *per-input* intensity, front-loaded
+/// onto the hot block at min(1, 4p) with the cold wires at p/2).
+traffic::TrafficSpec traffic_spec_from(const RuntimeConfig& cfg,
+                                       std::size_t width);
+
+/// Build a traffic source for the config over `width` wires via the
+/// src/traffic factory.  Each lane gets its own source so on-off state
+/// never couples lanes.  `search_switch` is required only when the config
+/// selects pattern=worstcase (the bound-stress search needs a switch).
+std::unique_ptr<traffic::TrafficSource> make_traffic(
+    const RuntimeConfig& cfg, std::size_t width,
+    const sw::ConcentratorSwitch* search_switch = nullptr);
 
 }  // namespace pcs::rt

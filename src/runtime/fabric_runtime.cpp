@@ -28,12 +28,12 @@ struct QueuedMsg {
 
 struct Lane {
   std::vector<std::deque<QueuedMsg>> queues;
-  std::unique_ptr<msg::TrafficGen> traffic;
+  std::unique_ptr<traffic::TrafficSource> traffic;
   Rng rng;
 
-  explicit Lane(std::size_t n, std::unique_ptr<msg::TrafficGen> gen,
+  explicit Lane(std::size_t n, std::unique_ptr<traffic::TrafficSource> src,
                 std::uint64_t seed)
-      : queues(n), traffic(std::move(gen)), rng(seed) {}
+      : queues(n), traffic(std::move(src)), rng(seed) {}
 
   std::size_t backlog() const {
     std::size_t total = 0;
@@ -127,7 +127,7 @@ RuntimeReport FabricRuntime::run(MetricsRegistry& metrics) {
       obs::SpanGuard inject_span("runtime.inject", obs::cat::kRuntime);
       std::uint64_t stalls = 0;
       for (Lane& lane : lanes) {
-        const BitVec fresh = lane.traffic->next(lane.rng);
+        const BitVec fresh = lane.traffic->next_valid(lane.rng);
         for (std::size_t i = 0; i < n; ++i) {
           if (!fresh.get(i)) continue;
           if (lane.queues[i].size() < opts_.queue_depth) {

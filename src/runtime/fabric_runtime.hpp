@@ -25,9 +25,9 @@
 #include <memory>
 
 #include "message/congestion.hpp"
-#include "message/traffic.hpp"
 #include "runtime/metrics.hpp"
 #include "switch/concentrator.hpp"
+#include "traffic/traffic_source.hpp"
 
 namespace pcs::rt {
 
@@ -52,11 +52,11 @@ struct RuntimeReport {
 class FabricRuntime {
  public:
   /// Per-lane traffic construction; called once per lane at start of run()
-  /// so stateful generators (bursty Markov chains) never couple lanes.
+  /// so stateful sources (on-off Markov chains) never couple lanes.
   using TrafficFactory =
-      std::function<std::unique_ptr<msg::TrafficGen>(std::size_t lane)>;
+      std::function<std::unique_ptr<traffic::TrafficSource>(std::size_t lane)>;
 
-  /// `sw` must outlive the runtime.  The factory must produce generators of
+  /// `sw` must outlive the runtime.  The factory must produce sources of
   /// width sw.inputs().
   FabricRuntime(const sw::ConcentratorSwitch& sw, RuntimeOptions opts,
                 TrafficFactory traffic_factory);

@@ -96,6 +96,8 @@ rt::RuntimeConfig ServeDaemon::resolve(const CampaignRequest& req) const {
   if (req.beta >= 0.0) cfg.beta = req.beta;
   if (!req.faults.empty()) cfg.faults = parse_faults(req.faults);
   if (!req.arrival.empty()) cfg.arrival = req.arrival;
+  if (!req.pattern.empty()) cfg.pattern = req.pattern;
+  if (!req.injection.empty()) cfg.injection = req.injection;
   if (req.load >= 0.0) cfg.arrival_p = req.load;
   if (req.lanes != kUseServerDefault) cfg.lanes = req.lanes;
   if (req.queue_depth != kUseServerDefault) cfg.queue_depth = req.queue_depth;
@@ -117,6 +119,10 @@ rt::RuntimeConfig ServeDaemon::resolve(const CampaignRequest& req) const {
   PCS_REQUIRE(cfg.arrival == "bernoulli" || cfg.arrival == "exact" ||
                   cfg.arrival == "bursty" || cfg.arrival == "hotspot",
               "unknown arrival process '" << cfg.arrival << "'");
+  PCS_REQUIRE(cfg.pattern.empty() || traffic::known_pattern(cfg.pattern),
+              "unknown traffic pattern '" << cfg.pattern << "'");
+  PCS_REQUIRE(cfg.injection.empty() || traffic::known_injection(cfg.injection),
+              "unknown injection process '" << cfg.injection << "'");
   return cfg;
 }
 
@@ -158,8 +164,11 @@ CampaignReply ServeDaemon::handle_campaign(const CampaignRequest& req) {
     opts.drain_epochs_max = cfg.drain_epochs_max;
     opts.check_invariants = cfg.check_invariants;
 
-    rt::FabricRuntime runtime(*co.sw, opts, [&cfg](std::size_t) {
-      return rt::make_traffic(cfg, cfg.n);
+    // The raw pointer into the cache checkout stays valid for the whole
+    // campaign; worstcase sources run their bound-stress search against it.
+    const sw::ConcentratorSwitch* sw_ptr = co.sw.get();
+    rt::FabricRuntime runtime(*co.sw, opts, [&cfg, sw_ptr](std::size_t) {
+      return rt::make_traffic(cfg, cfg.n, sw_ptr);
     });
     rt::MetricsRegistry local;
 

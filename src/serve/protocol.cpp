@@ -131,6 +131,8 @@ std::vector<std::uint8_t> encode_campaign_request(const CampaignRequest& req) {
   put_u32(out, req.warmup_epochs);
   put_u32(out, req.measure_epochs);
   put_u32(out, req.drain_epochs_max);
+  put_str(out, req.pattern);
+  put_str(out, req.injection);
   return finish_frame(std::move(out));
 }
 
@@ -189,6 +191,8 @@ Frame decode_payload(const std::uint8_t* data, std::size_t size) {
       r.warmup_epochs = c.u32();
       r.measure_epochs = c.u32();
       r.drain_epochs_max = c.u32();
+      r.pattern = c.str();
+      r.injection = c.str();
       f.campaign_request = std::move(r);
       break;
     }

@@ -25,7 +25,10 @@
 
 namespace pcs::serve {
 
-inline constexpr std::uint16_t kProtocolVersion = 1;
+// v2 appended the composable-traffic fields (pattern, injection) to
+// CampaignRequest; older decoders reject v2 frames outright rather than
+// misparse them, which is the failure mode we want.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 
 /// Hard cap on a frame's payload; anything larger is a corrupt or hostile
 /// length prefix (a scrape of a huge registry stays well under this).
@@ -61,6 +64,8 @@ struct CampaignRequest {
   std::uint32_t warmup_epochs = kUseServerDefault;
   std::uint32_t measure_epochs = kUseServerDefault;
   std::uint32_t drain_epochs_max = kUseServerDefault;
+  std::string pattern;       ///< "" = server default (derived from arrival)
+  std::string injection;     ///< "" = server default (derived from arrival)
 };
 
 enum class Status : std::uint8_t {

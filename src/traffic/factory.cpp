@@ -1,0 +1,92 @@
+#include "traffic/factory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "traffic/injection.hpp"
+#include "traffic/pattern.hpp"
+#include "traffic/search.hpp"
+#include "util/assert.hpp"
+
+namespace pcs::traffic {
+namespace {
+
+std::size_t round_count(double p, std::size_t width) {
+  const auto k =
+      static_cast<std::size_t>(std::llround(p * static_cast<double>(width)));
+  return std::min(k, width);
+}
+
+std::unique_ptr<TrafficSource> make_worstcase(const TrafficSpec& spec) {
+  PCS_REQUIRE(spec.search_switch != nullptr,
+              "pattern 'worstcase' needs a switch to stress (single-switch "
+              "campaigns only)");
+  PCS_REQUIRE(spec.width == spec.search_switch->inputs(),
+              "pattern 'worstcase' width must match the switch input count");
+  SearchOptions opts;
+  opts.k = round_count(spec.intensity, spec.width);
+  if (opts.k == 0) opts.k = std::min(
+      spec.search_switch->guaranteed_capacity() + 1, spec.width);
+  opts.restarts = spec.search_restarts;
+  opts.steps = spec.search_steps;
+  opts.seed = spec.search_seed;
+  opts.chip_w = spec.chip_w;
+  const SearchResult result =
+      worst_concentration_search(*spec.search_switch, opts);
+  std::ostringstream label;
+  label << "worstcase(k=" << result.k << ",routed=" << result.routed << ")";
+  return std::make_unique<FixedPatternSource>(result.worst, label.str());
+}
+
+}  // namespace
+
+bool known_pattern(const std::string& s) {
+  return s == "uniform" || s == "transpose" || s == "bitcomp" ||
+         s == "bitrev" || s == "shuffle" || s == "tornado" || s == "hotspot" ||
+         s == "adversarial" || s == "worstcase";
+}
+
+bool known_injection(const std::string& s) {
+  return s == "bernoulli" || s == "onoff" || s == "exact";
+}
+
+std::unique_ptr<TrafficSource> make_source(const TrafficSpec& spec) {
+  PCS_REQUIRE(spec.width >= 1, "traffic source needs width >= 1");
+  PCS_REQUIRE(spec.intensity >= 0.0 && spec.intensity <= 1.0,
+              "traffic intensity must be in [0,1]");
+  PCS_REQUIRE(known_pattern(spec.pattern),
+              "unknown traffic pattern '" + spec.pattern + "'");
+  PCS_REQUIRE(known_injection(spec.injection),
+              "unknown injection process '" + spec.injection + "'");
+
+  if (spec.pattern == "worstcase") return make_worstcase(spec);
+  if (spec.pattern == "adversarial") {
+    return std::make_unique<AdversarialSource>(
+        spec.width, round_count(spec.intensity, spec.width), spec.chip_w);
+  }
+
+  const PatternKind kind = pattern_from_string(spec.pattern);
+  const std::vector<double> rates =
+      rate_profile(kind, spec.width, spec.intensity, spec.hotspot_fraction);
+
+  std::unique_ptr<InjectionProcess> process;
+  if (spec.injection == "bernoulli") {
+    process = std::make_unique<BernoulliProcess>(rates);
+  } else if (spec.injection == "onoff") {
+    std::vector<double> p_on(spec.width), p_off(spec.width);
+    for (std::size_t i = 0; i < spec.width; ++i) {
+      p_on[i] = std::min(1.0, spec.on_scale * rates[i]);
+      p_off[i] = std::min(1.0, spec.off_scale * rates[i]);
+    }
+    process = std::make_unique<OnOffProcess>(std::move(p_on), std::move(p_off),
+                                             spec.on_to_off, spec.off_to_on);
+  } else {  // exact: uniform placement, the spatial profile cannot apply
+    process = std::make_unique<ExactCountProcess>(
+        spec.width, round_count(spec.intensity, spec.width));
+  }
+  return std::make_unique<ComposedSource>(kind, std::move(process),
+                                          spec.hotspot_fraction);
+}
+
+}  // namespace pcs::traffic

@@ -1,0 +1,88 @@
+#include "traffic/search.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "traffic/pattern.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::traffic {
+namespace {
+
+std::size_t evaluate(const sw::ConcentratorSwitch& sw, const BitVec& valid,
+                     std::size_t k, std::size_t* evals) {
+  const sw::SwitchRouting routing = sw.route(valid);
+  ++*evals;
+  const std::size_t routed = routing.routed_count();
+  // The search exists to *measure* slack, not to discover contract
+  // violations by accident -- if one ever shows up, fail loudly.
+  const std::size_t floor_routed = std::min(k, sw.guaranteed_capacity());
+  PCS_REQUIRE(routed >= floor_routed,
+              "concentration contract violated during search");
+  return routed;
+}
+
+}  // namespace
+
+SearchResult worst_concentration_search(const sw::ConcentratorSwitch& sw,
+                                        const SearchOptions& opts) {
+  const std::size_t n = sw.inputs();
+  const std::size_t m = sw.outputs();
+  SearchResult best;
+  best.k = opts.k != 0 ? opts.k : std::min(sw.guaranteed_capacity() + 1, n);
+  PCS_REQUIRE(best.k >= 1 && best.k <= n, "search k out of range");
+  PCS_REQUIRE(opts.restarts >= 1, "search needs at least one restart");
+
+  Rng rng(opts.seed);
+  std::vector<std::size_t> set_bits, unset_bits;
+  for (std::size_t r = 0; r < opts.restarts; ++r) {
+    // Structured layouts first (they are historically strong adversaries),
+    // then independent random exact-k starts.
+    BitVec current =
+        r < kAdversarialFamilySize
+            ? adversarial_layout(n, best.k, opts.chip_w, r)
+            : rng.exact_weight_bits(n, best.k);
+    std::size_t current_routed = evaluate(sw, current, best.k, &best.evaluations);
+    if (best.worst.size() == 0 || current_routed < best.routed) {
+      best.worst = current;
+      best.routed = current_routed;
+    }
+    if (best.k >= n) continue;  // every pattern is the all-ones pattern
+
+    set_bits.clear();
+    unset_bits.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      (current.get(i) ? set_bits : unset_bits).push_back(i);
+    }
+    for (std::size_t step = 0; step < opts.steps; ++step) {
+      const std::size_t si = rng.below(set_bits.size());
+      const std::size_t ui = rng.below(unset_bits.size());
+      const std::size_t drop = set_bits[si];
+      const std::size_t add = unset_bits[ui];
+      current.set(drop, false);
+      current.set(add, true);
+      const std::size_t routed = evaluate(sw, current, best.k, &best.evaluations);
+      if (routed <= current_routed) {
+        // Accept (plateau moves included, to slide along equal-cost ridges).
+        current_routed = routed;
+        std::swap(set_bits[si], unset_bits[ui]);
+        if (routed < best.routed) {
+          best.worst = current;
+          best.routed = routed;
+        }
+      } else {
+        current.set(add, false);
+        current.set(drop, true);
+      }
+    }
+  }
+
+  const double denom = static_cast<double>(std::min(best.k, m));
+  best.concentration = static_cast<double>(best.routed) / denom;
+  best.bound =
+      static_cast<double>(std::min(best.k, sw.guaranteed_capacity())) / denom;
+  return best;
+}
+
+}  // namespace pcs::traffic

@@ -1,0 +1,215 @@
+#include "traffic/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace pcs::traffic {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54534350;  // 'PCST' little-endian
+constexpr std::uint16_t kVersion = 1;
+
+void put_u16(std::ostream& os, std::uint16_t v) {
+  char b[2] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff)};
+  os.write(b, 2);
+}
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(b, 4);
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(b, 8);
+}
+
+std::uint16_t get_u16(std::istream& is) {
+  unsigned char b[2];
+  is.read(reinterpret_cast<char*>(b), 2);
+  PCS_REQUIRE(bool(is), "trace file truncated");
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  unsigned char b[4];
+  is.read(reinterpret_cast<char*>(b), 4);
+  PCS_REQUIRE(bool(is), "trace file truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{b[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  unsigned char b[8];
+  is.read(reinterpret_cast<char*>(b), 8);
+  PCS_REQUIRE(bool(is), "trace file truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[i]} << (8 * i);
+  return v;
+}
+
+/// Appends everything the wrapped source emits to one stream of the log.
+class RecordingSource final : public TrafficSource {
+ public:
+  RecordingSource(std::unique_ptr<TrafficSource> inner, TraceLog* log,
+                  std::size_t stream)
+      : TrafficSource(inner->width()),
+        inner_(std::move(inner)),
+        log_(log),
+        stream_(stream) {}
+
+  BitVec next_valid(Rng& rng) override {
+    BitVec v = inner_->next_valid(rng);
+    log_->streams[stream_].epochs.push_back(TraceEpoch{v, {}});
+    return v;
+  }
+
+  std::uint32_t dest_for(Rng& rng, std::size_t src, std::size_t sinks) override {
+    const std::uint32_t dest = inner_->dest_for(rng, src, sinks);
+    auto& epochs = log_->streams[stream_].epochs;
+    PCS_REQUIRE(!epochs.empty(), "trace recorder: dest before first epoch");
+    epochs.back().dests.emplace_back(static_cast<std::uint32_t>(src), dest);
+    return dest;
+  }
+
+  std::string name() const override { return "record(" + inner_->name() + ")"; }
+
+ private:
+  std::unique_ptr<TrafficSource> inner_;
+  TraceLog* log_;
+  std::size_t stream_;
+};
+
+class TraceReplaySource final : public TrafficSource {
+ public:
+  TraceReplaySource(std::shared_ptr<const TraceLog> log, std::size_t stream)
+      : TrafficSource(log->width), log_(std::move(log)), stream_(stream) {
+    PCS_REQUIRE(stream_ < log_->streams.size(), "trace replay: no such stream");
+  }
+
+  BitVec next_valid(Rng& rng) override {
+    (void)rng;  // replay consumes no randomness
+    const auto& epochs = log_->streams[stream_].epochs;
+    PCS_REQUIRE(cursor_ < epochs.size(),
+                "trace replay: recording exhausted (campaign runs longer than "
+                "the recorded stream)");
+    return epochs[cursor_++].valid;
+  }
+
+  std::uint32_t dest_for(Rng& rng, std::size_t src, std::size_t sinks) override {
+    (void)rng;
+    PCS_REQUIRE(cursor_ > 0, "trace replay: dest before first epoch");
+    const auto& epoch = log_->streams[stream_].epochs[cursor_ - 1];
+    for (const auto& [rec_src, rec_dest] : epoch.dests) {
+      if (rec_src == src) {
+        PCS_REQUIRE(rec_dest < sinks, "trace replay: recorded dest out of range");
+        return rec_dest;
+      }
+    }
+    std::ostringstream os;
+    os << "trace replay: no recorded destination for source " << src
+       << " in epoch " << (cursor_ - 1);
+    PCS_REQUIRE(false, os.str());
+    return 0;  // unreachable
+  }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "replay(stream=" << stream_ << ")";
+    return os.str();
+  }
+
+ private:
+  std::shared_ptr<const TraceLog> log_;
+  std::size_t stream_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+void TraceLog::write_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  PCS_REQUIRE(bool(os), "cannot open trace file for writing: " + path);
+  put_u32(os, kMagic);
+  put_u16(os, kVersion);
+  put_u16(os, 0);
+  put_u64(os, width);
+  put_u32(os, static_cast<std::uint32_t>(streams.size()));
+  const std::size_t words_per_epoch =
+      (width + BitVec::word_bits() - 1) / BitVec::word_bits();
+  for (const auto& stream : streams) {
+    put_u32(os, static_cast<std::uint32_t>(stream.epochs.size()));
+    for (const auto& epoch : stream.epochs) {
+      PCS_REQUIRE(epoch.valid.size() == width, "trace epoch width mismatch");
+      const auto& words = epoch.valid.words();
+      PCS_REQUIRE(words.size() == words_per_epoch, "trace epoch word count");
+      for (std::uint64_t w : words) put_u64(os, w);
+      put_u32(os, static_cast<std::uint32_t>(epoch.dests.size()));
+      for (const auto& [src, dest] : epoch.dests) {
+        put_u32(os, src);
+        put_u32(os, dest);
+      }
+    }
+  }
+  os.flush();
+  PCS_REQUIRE(bool(os), "trace file write failed: " + path);
+}
+
+TraceLog TraceLog::read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PCS_REQUIRE(bool(is), "cannot open trace file: " + path);
+  PCS_REQUIRE(get_u32(is) == kMagic, "not a pcs traffic trace: " + path);
+  PCS_REQUIRE(get_u16(is) == kVersion, "unsupported trace version in " + path);
+  (void)get_u16(is);  // reserved
+  TraceLog log;
+  log.width = static_cast<std::size_t>(get_u64(is));
+  const std::uint32_t stream_count = get_u32(is);
+  const std::size_t words_per_epoch =
+      (log.width + BitVec::word_bits() - 1) / BitVec::word_bits();
+  log.streams.resize(stream_count);
+  for (auto& stream : log.streams) {
+    const std::uint32_t epoch_count = get_u32(is);
+    stream.epochs.reserve(epoch_count);
+    for (std::uint32_t e = 0; e < epoch_count; ++e) {
+      std::vector<std::uint64_t> words(words_per_epoch);
+      for (auto& w : words) w = get_u64(is);
+      TraceEpoch epoch;
+      epoch.valid = BitVec::from_words(std::move(words), log.width);
+      const std::uint32_t dest_count = get_u32(is);
+      epoch.dests.reserve(dest_count);
+      for (std::uint32_t d = 0; d < dest_count; ++d) {
+        const std::uint32_t src = get_u32(is);
+        const std::uint32_t dest = get_u32(is);
+        epoch.dests.emplace_back(src, dest);
+      }
+      stream.epochs.push_back(std::move(epoch));
+    }
+  }
+  return log;
+}
+
+TraceRecorder::TraceRecorder(std::size_t width, std::size_t streams) {
+  log_.width = width;
+  log_.streams.resize(streams);
+}
+
+std::unique_ptr<TrafficSource> TraceRecorder::wrap(
+    std::unique_ptr<TrafficSource> inner, std::size_t idx) {
+  PCS_REQUIRE(inner != nullptr, "trace recorder: null source");
+  PCS_REQUIRE(idx < log_.streams.size(), "trace recorder: no such stream");
+  PCS_REQUIRE(inner->width() == log_.width, "trace recorder width mismatch");
+  return std::make_unique<RecordingSource>(std::move(inner), &log_, idx);
+}
+
+std::unique_ptr<TrafficSource> make_replay(std::shared_ptr<const TraceLog> log,
+                                           std::size_t stream) {
+  PCS_REQUIRE(log != nullptr, "trace replay: null log");
+  return std::make_unique<TraceReplaySource>(std::move(log), stream);
+}
+
+}  // namespace pcs::traffic

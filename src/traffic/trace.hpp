@@ -1,0 +1,79 @@
+// Offered-stream trace record and replay.
+//
+// A trace captures exactly what a campaign's traffic sources produced: per
+// stream (one stream per runtime lane, or the single fabric source bundle),
+// per epoch, the offered valid-bit vector plus every destination the source
+// handed out, tagged by source wire.  Replaying the trace through
+// TraceReplaySource reproduces the offered stream byte for byte without
+// consuming the campaign rng -- including destinations, which are looked up
+// by source wire within the epoch rather than by draw order, so replay
+// stays exact even if the consumer's accept decisions differ.
+//
+// On-disk format (little-endian):
+//   u32 magic 'PCST'  u16 version=1  u16 reserved
+//   u64 width  u32 stream_count
+//   per stream:  u32 epoch_count
+//     per epoch: ceil(width/64) x u64 valid words
+//                u32 dest_count, dest_count x (u32 src, u32 dest)
+//
+// Single campaign loops run the lanes from one thread, so the recorder
+// needs no locking; one RecordingSource wrapper per stream appends in
+// call order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "traffic/traffic_source.hpp"
+#include "util/bitvec.hpp"
+
+namespace pcs::traffic {
+
+struct TraceEpoch {
+  BitVec valid;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> dests;  // (src, dest)
+};
+
+struct TraceStream {
+  std::vector<TraceEpoch> epochs;
+};
+
+struct TraceLog {
+  std::size_t width = 0;
+  std::vector<TraceStream> streams;
+
+  void write_file(const std::string& path) const;
+  /// Throws ContractViolation on I/O failure, bad magic, or truncation.
+  static TraceLog read_file(const std::string& path);
+};
+
+/// Owns the log being captured and hands out recording wrappers, one per
+/// stream.  The wrappers hold a pointer back into the recorder, so it must
+/// outlive them (the campaign drivers keep it on the stack around run()).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t width, std::size_t streams);
+
+  /// Wrap `inner` so every next_valid / dest_for result is appended to
+  /// stream `idx` while the wrapper forwards the inner source's behaviour.
+  std::unique_ptr<TrafficSource> wrap(std::unique_ptr<TrafficSource> inner,
+                                      std::size_t idx);
+
+  const TraceLog& log() const noexcept { return log_; }
+  TraceLog& log() noexcept { return log_; }
+
+ private:
+  TraceLog log_;
+};
+
+/// Replays stream `idx` of a recorded log.  Throws ContractViolation when
+/// the campaign outruns the recording (more epochs, or a destination
+/// requested for a wire the recording never addressed that epoch).
+std::unique_ptr<TrafficSource> make_replay(std::shared_ptr<const TraceLog> log,
+                                           std::size_t stream);
+
+}  // namespace pcs::traffic

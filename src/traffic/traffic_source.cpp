@@ -1,0 +1,88 @@
+#include "traffic/traffic_source.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace pcs::traffic {
+
+std::uint32_t TrafficSource::dest_for(Rng& rng, std::size_t src,
+                                      std::size_t sinks) {
+  (void)src;
+  PCS_REQUIRE(sinks >= 1, "dest_for needs at least one sink");
+  return static_cast<std::uint32_t>(rng.below(sinks));
+}
+
+ComposedSource::ComposedSource(PatternKind pattern,
+                               std::unique_ptr<InjectionProcess> process,
+                               double hotspot_fraction)
+    : TrafficSource(process ? process->width() : 0),
+      pattern_(pattern),
+      process_(std::move(process)),
+      hotspot_fraction_(hotspot_fraction) {
+  PCS_REQUIRE(process_ != nullptr, "ComposedSource needs an injection process");
+  PCS_REQUIRE(pattern_ != PatternKind::kAdversarial,
+              "adversarial sources are built via AdversarialSource");
+  if (pattern_ == PatternKind::kHotspot) {
+    (void)hotspot_wires(width_, hotspot_fraction_);  // validates the fraction
+  }
+}
+
+BitVec ComposedSource::next_valid(Rng& rng) { return process_->next(rng); }
+
+std::uint32_t ComposedSource::dest_for(Rng& rng, std::size_t src,
+                                       std::size_t sinks) {
+  if (is_permutation(pattern_)) {
+    PCS_REQUIRE(src < sinks,
+                "permutation patterns need source index < sink count");
+    return static_cast<std::uint32_t>(permute_dest(pattern_, src, sinks));
+  }
+  if (pattern_ == PatternKind::kHotspot) {
+    // Half the accepted traffic lands uniformly in the hot sink block, the
+    // other half uniformly everywhere -- two draws, fixed order, so the
+    // stream stays deterministic per seed.
+    const std::size_t hot = hotspot_wires(sinks, hotspot_fraction_);
+    const bool to_hot = rng.chance(0.5);
+    return static_cast<std::uint32_t>(to_hot ? rng.below(hot)
+                                             : rng.below(sinks));
+  }
+  return TrafficSource::dest_for(rng, src, sinks);
+}
+
+std::string ComposedSource::name() const {
+  std::ostringstream os;
+  os << pattern_name(pattern_) << "/" << process_->name();
+  return os.str();
+}
+
+AdversarialSource::AdversarialSource(std::size_t width, std::size_t k,
+                                     std::size_t chip_w)
+    : TrafficSource(width), k_(k), chip_w_(chip_w) {
+  PCS_REQUIRE(k <= width, "AdversarialSource k");
+  PCS_REQUIRE(chip_w >= 1, "AdversarialSource chip width");
+}
+
+BitVec AdversarialSource::next_valid(Rng& rng) {
+  (void)rng;  // the family is deterministic
+  return adversarial_layout(width_, k_, chip_w_, cursor_++);
+}
+
+std::string AdversarialSource::name() const {
+  std::ostringstream os;
+  os << "adversarial(k=" << k_ << ")";
+  return os.str();
+}
+
+FixedPatternSource::FixedPatternSource(BitVec pattern, std::string label)
+    : TrafficSource(pattern.size()),
+      pattern_(std::move(pattern)),
+      label_(std::move(label)) {}
+
+BitVec FixedPatternSource::next_valid(Rng& rng) {
+  (void)rng;
+  return pattern_;
+}
+
+std::string FixedPatternSource::name() const { return label_; }
+
+}  // namespace pcs::traffic

@@ -1,0 +1,92 @@
+// TrafficSource: the single interface every campaign layer injects from.
+//
+// A source yields one valid-bit vector per epoch (next_valid) and, for
+// fabric campaigns, a destination per *accepted* arrival (dest_for).  The
+// split matters for determinism: FabricSim historically drew a destination
+// only after the source-queue admission check passed, so dest_for is called
+// at accept time, in ascending source order, never for rejected arrivals --
+// the default uniform draw then replays the legacy rng stream bit for bit.
+//
+// Permutation patterns implement dest_for deterministically without
+// consuming the rng at all, which is what makes trace replay byte-exact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "traffic/injection.hpp"
+#include "traffic/pattern.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace pcs::traffic {
+
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  /// One epoch's offered valid bits over `width()` wires.
+  virtual BitVec next_valid(Rng& rng) = 0;
+
+  /// Destination for an accepted arrival from wire `src`, addressing
+  /// `sinks` endpoints.  Called once per accepted arrival in ascending src
+  /// order.  Default: uniform over sinks (one rng.below draw).
+  virtual std::uint32_t dest_for(Rng& rng, std::size_t src, std::size_t sinks);
+
+  virtual std::string name() const = 0;
+  std::size_t width() const noexcept { return width_; }
+
+ protected:
+  explicit TrafficSource(std::size_t width) : width_(width) {}
+  std::size_t width_;
+};
+
+/// Spatial pattern x injection process.  The pattern shapes the per-wire
+/// rate profile consumed by the process (valid-bit side) and the
+/// destination map (fabric side); the process owns the temporal draw.
+class ComposedSource : public TrafficSource {
+ public:
+  ComposedSource(PatternKind pattern, std::unique_ptr<InjectionProcess> process,
+                 double hotspot_fraction);
+  BitVec next_valid(Rng& rng) override;
+  std::uint32_t dest_for(Rng& rng, std::size_t src, std::size_t sinks) override;
+  std::string name() const override;
+  PatternKind pattern() const noexcept { return pattern_; }
+
+ private:
+  PatternKind pattern_;
+  std::unique_ptr<InjectionProcess> process_;
+  double hotspot_fraction_;
+};
+
+/// Deterministic structured adversarial source: cycles the five-layout
+/// family with exactly k valid bits per epoch (consumes no randomness).
+class AdversarialSource : public TrafficSource {
+ public:
+  AdversarialSource(std::size_t width, std::size_t k, std::size_t chip_w);
+  BitVec next_valid(Rng& rng) override;
+  std::string name() const override;
+  std::size_t family_size() const noexcept { return kAdversarialFamilySize; }
+
+ private:
+  std::size_t k_;
+  std::size_t chip_w_;
+  std::size_t cursor_ = 0;
+};
+
+/// Replays one fixed valid-bit pattern every epoch -- the driver for the
+/// worst-case patterns found by the search module.
+class FixedPatternSource : public TrafficSource {
+ public:
+  FixedPatternSource(BitVec pattern, std::string label);
+  BitVec next_valid(Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  BitVec pattern_;
+  std::string label_;
+};
+
+}  // namespace pcs::traffic

@@ -17,14 +17,18 @@ namespace {
 using msg::CongestionPolicy;
 
 FabricRuntime::TrafficFactory bernoulli(std::size_t width, double p) {
-  return [width, p](std::size_t) {
-    return std::make_unique<msg::BernoulliTraffic>(width, p);
+  return [width, p](std::size_t) -> std::unique_ptr<traffic::TrafficSource> {
+    return std::make_unique<traffic::ComposedSource>(
+        traffic::PatternKind::kUniform,
+        std::make_unique<traffic::BernoulliProcess>(width, p), 0.125);
   };
 }
 
 FabricRuntime::TrafficFactory exact(std::size_t width, std::size_t k) {
-  return [width, k](std::size_t) {
-    return std::make_unique<msg::ExactCountTraffic>(width, k);
+  return [width, k](std::size_t) -> std::unique_ptr<traffic::TrafficSource> {
+    return std::make_unique<traffic::ComposedSource>(
+        traffic::PatternKind::kUniform,
+        std::make_unique<traffic::ExactCountProcess>(width, k), 0.125);
   };
 }
 

@@ -43,8 +43,10 @@ FabricOptions fast_opts() {
 }
 
 FabricSim::TrafficFactory bernoulli(double p) {
-  return [p](std::size_t width) {
-    return std::make_unique<msg::BernoulliTraffic>(width, p);
+  return [p](std::size_t width) -> std::unique_ptr<traffic::TrafficSource> {
+    return std::make_unique<traffic::ComposedSource>(
+        traffic::PatternKind::kUniform,
+        std::make_unique<traffic::BernoulliProcess>(width, p), 0.125);
   };
 }
 
@@ -214,8 +216,10 @@ TEST(FabricSim, RejectsBadConstruction) {
   EXPECT_THROW(FabricSim(spec, opts, bernoulli(0.5)), ContractViolation);
   EXPECT_THROW(FabricSim(spec, fast_opts(), nullptr), ContractViolation);
   // A traffic generator of the wrong width is rejected at run().
-  FabricSim sim(spec, fast_opts(), [](std::size_t) {
-    return std::make_unique<msg::BernoulliTraffic>(3, 0.5);
+  FabricSim sim(spec, fast_opts(), [](std::size_t) -> std::unique_ptr<traffic::TrafficSource> {
+    return std::make_unique<traffic::ComposedSource>(
+        traffic::PatternKind::kUniform,
+        std::make_unique<traffic::BernoulliProcess>(3, 0.5), 0.125);
   });
   MetricsRegistry metrics;
   EXPECT_THROW(sim.run(metrics), ContractViolation);

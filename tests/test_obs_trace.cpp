@@ -31,8 +31,10 @@ struct TracerSandbox {
 };
 
 rt::FabricRuntime::TrafficFactory bernoulli(std::size_t width, double p) {
-  return [width, p](std::size_t) {
-    return std::make_unique<msg::BernoulliTraffic>(width, p);
+  return [width, p](std::size_t) -> std::unique_ptr<pcs::traffic::TrafficSource> {
+    return std::make_unique<pcs::traffic::ComposedSource>(
+        pcs::traffic::PatternKind::kUniform,
+        std::make_unique<pcs::traffic::BernoulliProcess>(width, p), 0.125);
   };
 }
 

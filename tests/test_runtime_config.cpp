@@ -132,12 +132,12 @@ TEST(RuntimeConfig, MakeTrafficBuildsEveryArrival) {
     auto gen = make_traffic(cfg, cfg.n);
     ASSERT_NE(gen, nullptr) << arrival;
     EXPECT_EQ(gen->width(), 64u) << arrival;
-    EXPECT_EQ(gen->next(rng).size(), 64u) << arrival;
+    EXPECT_EQ(gen->next_valid(rng).size(), 64u) << arrival;
   }
   // exact presents round(p * n) messages every call.
   cfg.arrival = "exact";
   auto gen = make_traffic(cfg, cfg.n);
-  EXPECT_EQ(gen->next(rng).count(), 16u);
+  EXPECT_EQ(gen->next_valid(rng).count(), 16u);
 }
 
 // Regression (parser): duplicate keys follow one rule everywhere --

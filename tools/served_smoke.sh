@@ -8,7 +8,9 @@
 # (cache hit counter > 0), a mid-run SIGHUP swaps the config without
 # dropping the in-flight campaign, consecutive scrapes are byte-identical
 # outside the quarantined wall-clock series, scrape totals conserve, and
-# SIGTERM drains to exit 0 with zero residual backlog.
+# SIGTERM drains to exit 0 with zero residual backlog.  A non-uniform
+# composable traffic model (pattern=hotspot injection=onoff) additionally
+# round-trips the wire protocol end to end.
 set -euo pipefail
 
 BIN=$(cd "${1:-build/examples}" && pwd)
@@ -36,6 +38,11 @@ echo "== two tenants, shared plan"
 "$BIN/pcs_loadgen" socket="$SOCK" tenants=2 requests=4 require=ok \
   | tee "$WORK/loadgen.txt"
 grep -q "cache_hits=" "$WORK/loadgen.txt"
+
+echo "== non-uniform traffic model over the wire (hotspot x onoff)"
+"$BIN/pcs_loadgen" socket="$SOCK" tenants=1 requests=2 require=ok \
+  pattern=hotspot injection=onoff | tee "$WORK/loadgen_hotspot.txt"
+grep -q "ok=2" "$WORK/loadgen_hotspot.txt"
 
 echo "== scrape twice; deterministic outside *wall* names"
 "$BIN/pcs_loadgen" socket="$SOCK" scrape="$WORK/scrape1.json" > /dev/null
@@ -65,7 +72,7 @@ c = a["counters"]
 assert c["serve.cache.hits"] > 0, "tenants never shared a cached plan"
 assert c["total.offered"] == (c["total.delivered"] + c["total.dropped"]
                               + c["total.residual"]), "conservation violated"
-assert c["serve.campaigns_completed"] == 8
+assert c["serve.campaigns_completed"] == 10  # 2x4 uniform + 2 hotspot/onoff
 print(f"scrape ok: hits={c['serve.cache.hits']} offered={c['total.offered']}")
 EOF
 
