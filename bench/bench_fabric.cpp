@@ -4,6 +4,17 @@
 // the sweep shows how close the composition comes to the ideal 1/hops
 // scaling over the single-switch loop.  The allocator axis (rr vs islip)
 // isolates the arbitration cost from the routing cost.
+//
+// The pipelined twins (experiment F2) run a 4-hop fabric of columnsort
+// (64 -> 32) nodes with epochs_in_flight in {1, 2, 4, 8}: the wavefront
+// scheduler fuses the ready units of several in-flight epochs into ONE
+// route_batch dispatch per switch kind.  The fusion amortizes the fixed
+// per-dispatch cost (chunk setup, per-chunk routing scratch, trace
+// bookkeeping), so the win is largest where the per-pattern kernel is
+// small -- hence the small columnsort node, the shape every hop of a large
+// multichip fabric actually has.  On kernel-dominated nodes (the revsort
+// 256 sweep above) pipelining is wash, by design: patterns route
+// independently, so fusing cannot shrink the kernel work itself.
 #include "bench_common.hpp"
 #include "fabric/fabric_sim.hpp"
 #include "message/traffic.hpp"
@@ -43,12 +54,24 @@ pcs::fabric::FabricOptions bench_opts() {
   return opts;
 }
 
-void campaign_loop(benchmark::State& state, std::size_t hops,
-                   const char* alloc) {
+pcs::fabric::FabricSpec pipelined_spec(std::size_t hops) {
+  pcs::fabric::FabricSpec spec = fabric_spec(hops, "rr");
+  // Columnsort(64 -> 32): the per-pattern routing kernel is cheap, so the
+  // per-dispatch fixed costs the pipeline amortizes dominate the route time.
+  spec.node.family = "columnsort";
+  spec.node.n = 64;
+  spec.node.m = 32;
+  return spec;
+}
+
+void campaign_loop(benchmark::State& state, pcs::fabric::FabricSpec spec,
+                   std::size_t epochs_in_flight = 1) {
   std::uint64_t dispatches = 0;
   for (auto _ : state) {
+    pcs::fabric::FabricOptions opts = bench_opts();
+    opts.epochs_in_flight = epochs_in_flight;
     pcs::fabric::FabricSim sim(
-        fabric_spec(hops, alloc), bench_opts(), [](std::size_t width) {
+        spec, opts, [](std::size_t width) {
           return std::unique_ptr<pcs::traffic::TrafficSource>(
               std::make_unique<pcs::traffic::ComposedSource>(
                   pcs::traffic::PatternKind::kUniform,
@@ -60,21 +83,47 @@ void campaign_loop(benchmark::State& state, std::size_t hops,
     dispatches += metrics.counter("route_batch_dispatches").value();
     benchmark::DoNotOptimize(dispatches);
   }
-  // items = fused route_batch dispatches resolved across all hops.
+  // items = logical route_batch dispatches resolved across all hops (the
+  // pipeline merges their physical execution but resolves the same units).
   state.SetItemsProcessed(static_cast<std::int64_t>(dispatches));
 }
 
-void BM_FabricHops1(benchmark::State& state) { campaign_loop(state, 1, "rr"); }
-void BM_FabricHops2(benchmark::State& state) { campaign_loop(state, 2, "rr"); }
-void BM_FabricHops3(benchmark::State& state) { campaign_loop(state, 3, "rr"); }
+void BM_FabricHops1(benchmark::State& state) {
+  campaign_loop(state, fabric_spec(1, "rr"));
+}
+void BM_FabricHops2(benchmark::State& state) {
+  campaign_loop(state, fabric_spec(2, "rr"));
+}
+void BM_FabricHops3(benchmark::State& state) {
+  campaign_loop(state, fabric_spec(3, "rr"));
+}
 void BM_FabricHops3ISlip(benchmark::State& state) {
-  campaign_loop(state, 3, "islip");
+  campaign_loop(state, fabric_spec(3, "islip"));
+}
+
+// F2 pipelined twins: the identical 4-hop campaign at increasing pipeline
+// depth.  Serial (epochs_in_flight=1) is the baseline the others must beat.
+void BM_FabricHops4Pipe1(benchmark::State& state) {
+  campaign_loop(state, pipelined_spec(4), 1);
+}
+void BM_FabricHops4Pipe2(benchmark::State& state) {
+  campaign_loop(state, pipelined_spec(4), 2);
+}
+void BM_FabricHops4Pipe4(benchmark::State& state) {
+  campaign_loop(state, pipelined_spec(4), 4);
+}
+void BM_FabricHops4Pipe8(benchmark::State& state) {
+  campaign_loop(state, pipelined_spec(4), 8);
 }
 
 BENCHMARK(BM_FabricHops1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricHops2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricHops3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FabricHops3ISlip)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricHops4Pipe1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricHops4Pipe2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricHops4Pipe4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricHops4Pipe8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

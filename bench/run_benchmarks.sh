@@ -38,6 +38,13 @@ for bench in sim_speed throughput plan threads obs fabric serve traffic; do
   # a long enough window to average over the bursts.
   extra=""
   [ "$bench" = plan ] && extra="--benchmark_min_time=2"
+  # The fabric pipelined twins (F2) resolve a serial-vs-pipelined gap that
+  # is smaller than the host's contention swings, so interleave repeated
+  # samples and read the medians: every case then sees the same noise
+  # phases instead of whichever burst its one time slot landed in.
+  [ "$bench" = fabric ] && extra="--benchmark_repetitions=5 \
+    --benchmark_enable_random_interleaving=true \
+    --benchmark_min_time=0.3"
   "$build_dir/bench/bench_$bench" \
     --benchmark_format=json \
     --benchmark_out="$repo_root/BENCH_$bench.json" \

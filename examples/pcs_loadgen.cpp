@@ -55,7 +55,9 @@ struct Options {
       "  scrape=FILE            (write one metrics scrape to FILE and exit)\n"
       "  campaign shape: family= n= m= beta= faults= arrival= load= seed=\n"
       "                  lanes= queue_depth= policy= warmup= measure= drain=\n"
-      "                  pattern= injection=   (composable traffic model)\n");
+      "                  pattern= injection=   (composable traffic model)\n"
+      "                  topology= route= epochs_in_flight= deflect_max=\n"
+      "                                         (multi-hop fabric campaigns)\n");
   std::exit(rc);
 }
 
@@ -96,6 +98,10 @@ Options parse_args(int argc, char** argv) {
       else if (key == "warmup") o.shape.warmup_epochs = static_cast<std::uint32_t>(std::stoul(val));
       else if (key == "measure") o.shape.measure_epochs = static_cast<std::uint32_t>(std::stoul(val));
       else if (key == "drain") o.shape.drain_epochs_max = static_cast<std::uint32_t>(std::stoul(val));
+      else if (key == "topology") o.shape.topology = val;
+      else if (key == "route") o.shape.route = val;
+      else if (key == "epochs_in_flight") o.shape.epochs_in_flight = static_cast<std::uint32_t>(std::stoul(val));
+      else if (key == "deflect_max") o.shape.deflect_max = static_cast<std::uint32_t>(std::stoul(val));
       else {
         std::fprintf(stderr, "pcs_loadgen: unknown key '%s'\n", key.c_str());
         usage_and_exit(2);

@@ -12,6 +12,10 @@
 //   gate-level  the composed HyperCircuit realization, on small shapes,
 //   legacy      the pre-plan LabelMesh recipes (tests/legacy_reference.hpp),
 //               cross-checked against every family including faulty plans.
+//   fabric      multi-hop fabric campaigns (random topology / allocator /
+//               route policy / credit depth) at epochs_in_flight 1, 2, and 5:
+//               conservation, replay identity, and pipelined-vs-serial
+//               campaign-counter identity.
 // Faulty switches are swept too, against the fault-loss accounting invariant.
 //
 // Every case is derived deterministically from (seed, case index), so a
@@ -32,9 +36,12 @@
 #include <vector>
 
 #include "core/invariants.hpp"
+#include "fabric/fabric_sim.hpp"
 #include "legacy_reference.hpp"
+#include "message/traffic.hpp"
 #include "plan/compile.hpp"
 #include "plan/plan_switch.hpp"
+#include "runtime/metrics.hpp"
 #include "traffic/factory.hpp"
 #include "traffic/trace.hpp"
 #include "switch/columnsort_switch.hpp"
@@ -626,17 +633,143 @@ bool run_traffic_case(Rng& rng, core::InvariantReport& report) {
   return true;
 }
 
+// --- fabric pipeline cross-check -------------------------------------------
+
+/// Deterministic dump of one fabric campaign's outcome: the run report plus
+/// every counter, gauge, and histogram EXCEPT the fabric.pipeline.* family,
+/// which describes the physical schedule (merge shapes) and legitimately
+/// varies with epochs_in_flight.
+std::string fabric_fingerprint(const pcs::rt::MetricsRegistry& m,
+                               const pcs::rt::RuntimeReport& r) {
+  std::ostringstream os;
+  os << "drained=" << r.drained << ";saturated=" << r.saturated
+     << ";drain_used=" << r.drain_epochs_used
+     << ";residual=" << r.residual_backlog << "\n";
+  const auto pipeline_metric = [](const std::string& name) {
+    return name.rfind("fabric.pipeline.", 0) == 0;
+  };
+  for (const auto& [name, c] : m.counters()) {
+    if (!pipeline_metric(name)) os << name << "=" << c.value() << "\n";
+  }
+  for (const auto& [name, g] : m.gauges()) {
+    if (!pipeline_metric(name)) os << name << "=" << g.value() << "\n";
+  }
+  for (const auto& [name, h] : m.histograms()) {
+    if (pipeline_metric(name)) continue;
+    const auto s = h.snapshot();
+    os << name << ":" << s.count << "," << s.sum << "," << s.min << ","
+       << s.max;
+    for (const std::uint64_t b : s.buckets) os << "|" << b;
+    os << "\n";
+  }
+  return os.str();
+}
+
+/// Random small fabric campaigns at epochs_in_flight 1, 1 (replay), 2, and 5,
+/// with deflection on and off, against three oracles: the sim's own
+/// conservation / credit-mirror contracts (check_invariants=true turns every
+/// violation into an exception), exact counter conservation at exit, and
+/// campaign-outcome identity -- the same seed must reproduce itself, and the
+/// pipelined schedules must match the serial schedule metric for metric.
+bool run_fabric_case(Rng& rng, core::InvariantReport& report) {
+  namespace fabric = pcs::fabric;
+
+  pcs::FabricSpec spec;
+  spec.hops = 2 + rng.below(3);  // 2..4
+  spec.topology = spec.hops == 3 && rng.chance(0.3)
+                      ? fabric::Topology::kFatTree
+                      : (rng.chance(0.5) ? fabric::Topology::kOmega
+                                         : fabric::Topology::kButterfly);
+  spec.radix = 2;
+  if (rng.chance(0.5)) {
+    spec.node.family = "columnsort";
+    spec.node.n = 64;
+    spec.node.m = 32;
+  } else {
+    spec.node.family = "revsort";
+    spec.node.n = 64;
+    spec.node.m = 48;
+  }
+  spec.credits = 1 + rng.below(4);  // 1 exercises sustained starvation
+  spec.alloc = rng.chance(0.5) ? "rr" : "islip";
+  spec.route = rng.chance(0.5) ? "adaptive" : "deterministic";
+  spec.deflect_max = spec.route == "adaptive" && rng.chance(0.5)
+                         ? 1 + rng.below(3)
+                         : 0;
+
+  pcs::fabric::FabricOptions opts;
+  opts.queue_depth = 1 + rng.below(3);
+  opts.seed = rng.next();
+  opts.warmup_epochs = 2;
+  opts.measure_epochs = 6;
+  opts.drain_epochs_max = 64;
+  opts.check_invariants = true;
+  const double load = rng.chance(0.25) ? 1.0 : 0.15 + 0.7 * rng.uniform01();
+
+  std::ostringstream desc;
+  desc << fabric::topology_name(spec.topology) << "/" << spec.hops << "x"
+       << spec.radix << "/" << spec.node.family << "/" << spec.alloc << "/"
+       << spec.route << "/dmax" << spec.deflect_max << "/credits"
+       << spec.credits << "/load" << load << "/seed" << opts.seed;
+
+  auto campaign = [&](std::size_t epochs_in_flight) {
+    pcs::fabric::FabricOptions o = opts;
+    o.epochs_in_flight = epochs_in_flight;
+    pcs::fabric::FabricSim sim(
+        spec, o, [load](std::size_t width) {
+          return std::unique_ptr<pcs::traffic::TrafficSource>(
+              std::make_unique<pcs::traffic::ComposedSource>(
+                  pcs::traffic::PatternKind::kUniform,
+                  std::make_unique<pcs::traffic::BernoulliProcess>(width,
+                                                                   load),
+                  0.125));
+        });
+    pcs::rt::MetricsRegistry metrics;
+    const pcs::rt::RuntimeReport r = sim.run(metrics);
+    ++report.checks_run;
+    const auto& c = metrics.counters();
+    const auto val = [&](const char* name) { return c.at(name).value(); };
+    if (val("total.offered") !=
+        val("total.delivered") + val("total.dropped") + val("total.residual")) {
+      report.add("fabric", "campaign counters break conservation on " +
+                               desc.str());
+      return std::string();
+    }
+    return fabric_fingerprint(metrics, r);
+  };
+
+  const std::string serial = campaign(1);
+  if (serial.empty()) return false;
+  ++report.checks_run;
+  if (campaign(1) != serial) {
+    report.add("fabric", "serial replay diverged from itself on " + desc.str());
+    return false;
+  }
+  for (const std::size_t e : {std::size_t{2}, std::size_t{5}}) {
+    ++report.checks_run;
+    if (campaign(e) != serial) {
+      report.add("fabric", "epochs_in_flight=" + std::to_string(e) +
+                               " diverged from the serial campaign on " +
+                               desc.str());
+      return false;
+    }
+  }
+  return true;
+}
+
 // --- driver ----------------------------------------------------------------
 
 bool run_case(std::size_t idx, const Options& opt, SwitchCache& cache,
               core::InvariantReport& report) {
   Rng rng(mix(opt.seed ^ idx));
   // Every 8th case exercises the gate-level path instead of a batch sweep,
-  // another 8th cross-checks compiled plans against the legacy recipes, and
-  // another 8th sweeps the composable traffic sources.
+  // another 8th cross-checks compiled plans against the legacy recipes,
+  // another 8th sweeps the composable traffic sources, and every 16th runs
+  // full multi-hop fabric campaigns through the pipeline-identity oracles.
   if (idx % 8 == 7) return run_gate_level_case(idx, rng, cache, report);
   if (idx % 8 == 3) return run_legacy_oracle_case(rng, cache, report);
   if (idx % 8 == 5) return run_traffic_case(rng, report);
+  if (idx % 16 == 2) return run_fabric_case(rng, report);
 
   const CaseContext ctx = pick_case(idx % 6, rng, cache);
   const std::size_t n = ctx.sw->inputs();

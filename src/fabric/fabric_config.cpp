@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "fabric/make_fabric.hpp"
 #include "traffic/trace.hpp"
 #include "util/assert.hpp"
 
@@ -17,6 +18,8 @@ FabricSpec fabric_spec_from(const rt::RuntimeConfig& cfg,
   spec.radix = cfg.fabric_radix;
   spec.credits = cfg.fabric_credits;
   spec.alloc = cfg.fabric_alloc;
+  spec.route = cfg.fabric_route;
+  spec.deflect_max = cfg.fabric_deflect_max;
   spec.fault_hop = cfg.fault_hop;
   spec.node.family = family;
   spec.node.n = cfg.n;
@@ -34,6 +37,7 @@ FabricOptions fabric_options_from(const rt::RuntimeConfig& cfg) {
   opts.measure_epochs = cfg.measure_epochs;
   opts.drain_epochs_max = cfg.drain_epochs_max;
   opts.check_invariants = cfg.check_invariants;
+  opts.epochs_in_flight = cfg.fabric_epochs_in_flight;
   return opts;
 }
 
@@ -60,9 +64,10 @@ std::unique_ptr<FabricSim> make_fabric_sim(const rt::RuntimeConfig& cfg,
       return rt::make_traffic(point, width);
     };
   }
-  return std::make_unique<FabricSim>(fabric_spec_from(cfg, family),
-                                     fabric_options_from(cfg),
-                                     std::move(traffic));
+  // The runtime constructs fabrics exclusively through the public
+  // make_fabric entry point, like runtime/config.cpp does for switches.
+  return pcs::make_fabric(fabric_spec_from(cfg, family),
+                          fabric_options_from(cfg), std::move(traffic));
 }
 
 }  // namespace pcs::fabric

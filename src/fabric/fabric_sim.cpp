@@ -1,6 +1,10 @@
 #include "fabric/fabric_sim.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <iomanip>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -18,10 +22,15 @@ using rt::Histogram;
 
 namespace {
 
-std::string hop_metric(std::size_t hop, const char* leaf) {
-  std::ostringstream os;
-  os << "fabric.hop" << hop << "." << leaf;
-  return os.str();
+std::size_t default_epochs_in_flight() {
+  const char* s = std::getenv("PCS_FABRIC_EPOCHS_IN_FLIGHT");
+  if (s == nullptr || *s == '\0') return 1;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s, &end, 10);
+  PCS_REQUIRE(end != nullptr && *end == '\0' && v >= 1 && v <= 4096,
+              "PCS_FABRIC_EPOCHS_IN_FLIGHT must be an integer in [1, 4096], "
+              "got '" << s << "'");
+  return static_cast<std::size_t>(v);
 }
 
 }  // namespace
@@ -49,8 +58,15 @@ FabricSim::FabricSim(FabricSpec spec, FabricOptions opts,
     faulted_ = pcs::make_switch(sp.node);
   }
 
+  policy_ = make_route_policy(sp.route, sp.deflect_max);
+  epochs_in_flight_ = opts_.epochs_in_flight != 0 ? opts_.epochs_in_flight
+                                                  : default_epochs_in_flight();
+  PCS_REQUIRE(epochs_in_flight_ >= 1,
+              "fabric epochs_in_flight must be >= 1");
+
   const std::size_t H = graph_.hops();
   const std::size_t r = graph_.radix();
+  if (policy_->reads_costs()) voq_scratch_.resize(r);
   source_q_.resize(graph_.sources());
   pools_.resize(H);
   credits_.assign(H >= 1 ? H - 1 : 0, {});
@@ -71,6 +87,18 @@ std::string FabricSim::name() const {
   std::ostringstream os;
   os << graph_.name() << " of " << healthy_->name();
   if (faulted_) os << " [hop " << graph_.spec().fault_hop << " faulted]";
+  return os.str();
+}
+
+std::string FabricSim::hop_metric(std::size_t hop, const char* leaf) const {
+  // Zero-pad the hop index to the campaign's widest hop so deterministic
+  // scrapes sort numerically (hop09 < hop10).  Fabrics of <= 10 hops keep
+  // the legacy single-digit keys.
+  std::size_t width = 1;
+  for (std::size_t v = graph_.hops() - 1; v >= 10; v /= 10) ++width;
+  std::ostringstream os;
+  os << "fabric.hop" << std::setw(static_cast<int>(width))
+     << std::setfill('0') << hop << "." << leaf;
   return os.str();
 }
 
@@ -102,148 +130,180 @@ void FabricSim::check_credit_mirror() const {
   }
 }
 
-/// Mutable per-run accounting shared between run() and serve_hop().
+/// Mutable per-run accounting shared between the engines and the phase
+/// helpers.  The per-epoch tally ring attributes deliveries and drops to
+/// the epoch whose unit performed them, so the derived backlog
+///   offered(<= e) - delivered(<= e) - dropped(<= e)
+/// is identical under every schedule -- the pipelined engine records it
+/// where the serial loop records the (then equal) structural in_flight().
 struct FabricSim::EpochContext {
   rt::MetricsRegistry* metrics = nullptr;
-  std::size_t epoch = 0;
   std::size_t dispatches = 0;
 
   // Whole-campaign tallies (mirrored into total.* at every epoch check).
+  std::uint64_t total_offered = 0;
   std::uint64_t total_delivered = 0;
   std::uint64_t total_dropped = 0;
+
+  // Per-epoch attribution: tally[e - tally_base] = {delivered, dropped}.
+  // Folded into the cum_* prefixes when epoch e's injection completes; the
+  // ring never grows past epochs_in_flight + 1 entries.
+  std::size_t tally_base = 0;
+  std::deque<std::array<std::uint64_t, 2>> tally;
+  std::uint64_t cum_delivered = 0;
+  std::uint64_t cum_dropped = 0;
+
+  std::array<std::uint64_t, 2>& tally_for(std::size_t epoch) {
+    PCS_REQUIRE(epoch >= tally_base, "fabric tally for a folded epoch");
+    while (epoch - tally_base >= tally.size()) tally.push_back({0, 0});
+    return tally[epoch - tally_base];
+  }
 };
 
-void FabricSim::serve_hop(std::size_t hop, EpochContext& ctx) {
-  obs::SpanGuard hop_span("fabric.hop", obs::cat::kRuntime);
-  hop_span.arg("hop", hop);
+/// One (epoch, hop) stage: the allocator's grants as per-(node, out-link)
+/// valid-bit patterns, and the switch routings that resolve them.
+struct FabricSim::Unit {
+  std::size_t epoch = 0;
+  std::size_t hop = 0;
 
+  struct Pattern {
+    std::size_t node = 0;
+    std::size_t d = 0;
+    /// (input port, in-link) in ascending port order so resolution pops
+    /// VOQ fronts in grant order.
+    std::vector<std::pair<std::size_t, std::size_t>> ports;
+  };
+  std::vector<Pattern> meta;
+  std::vector<BitVec> valids;
+  std::vector<sw::SwitchRouting> routings;
+};
+
+void FabricSim::alloc_unit(Unit& u, EpochContext& ctx) {
   rt::MetricsRegistry& metrics = *ctx.metrics;
+  const std::size_t hop = u.hop;
   const std::size_t r = graph_.radix();
   const std::size_t H = graph_.hops();
   const bool last = hop + 1 == H;
-  const bool hop_faulted = faulted_ && hop == graph_.spec().fault_hop;
-  const sw::ConcentratorSwitch& node_switch =
-      hop_faulted ? *faulted_ : *healthy_;
   const std::size_t nodes = graph_.nodes_at(hop);
 
   Counter& granted_ctr = metrics.counter(hop_metric(hop, "granted"));
   Counter& stalls_ctr = metrics.counter(hop_metric(hop, "credit_stalls"));
   Histogram& occ_hist = metrics.histogram(hop_metric(hop, "occupancy"));
-  Histogram& hop_lat = metrics.histogram(hop_metric(hop, "latency_epochs"));
+  metrics.histogram(hop_metric(hop, "latency_epochs"));
 
-  // One valid-bit pattern per (node, out-link) with grants: knockout-style
-  // per-output-group concentration.  `ports` keeps (input port, in-link) in
-  // ascending port order so resolution pops VOQ fronts in grant order.
-  struct Pattern {
-    std::size_t node = 0;
-    std::size_t d = 0;
-    std::vector<std::pair<std::size_t, std::size_t>> ports;
-  };
-  std::vector<Pattern> meta;
-  std::vector<BitVec> valids;
-
-  {
-    obs::SpanGuard alloc_span("fabric.alloc", obs::cat::kRuntime);
-    alloc_span.arg("hop", hop);
-    AllocProblem problem;
-    problem.ins = r;
-    problem.outs = r;
-    std::vector<std::uint32_t> grants;
-    for (std::size_t node = 0; node < nodes; ++node) {
-      problem.queued.assign(r * r, 0);
-      problem.cap_in.assign(r, static_cast<std::uint32_t>(graph_.in_block()));
-      problem.cap_out.assign(r, 0);
-      bool any = false;
-      for (std::size_t e = 0; e < r; ++e) {
-        const Pool& pool = pools_[hop][node * r + e];
-        occ_hist.record(pool.occupancy);
-        for (std::size_t d = 0; d < r; ++d) {
-          const std::size_t q = pool.voq[d].size();
-          problem.queued[e * r + d] = static_cast<std::uint32_t>(q);
-          if (q > 0) any = true;
-        }
-      }
-      if (!any) continue;
+  obs::SpanGuard alloc_span("fabric.alloc", obs::cat::kRuntime);
+  alloc_span.arg("hop", hop);
+  AllocProblem problem;
+  problem.ins = r;
+  problem.outs = r;
+  std::vector<std::uint32_t> grants;
+  for (std::size_t node = 0; node < nodes; ++node) {
+    problem.queued.assign(r * r, 0);
+    problem.cap_in.assign(r, static_cast<std::uint32_t>(graph_.in_block()));
+    problem.cap_out.assign(r, 0);
+    bool any = false;
+    for (std::size_t e = 0; e < r; ++e) {
+      const Pool& pool = pools_[hop][node * r + e];
+      occ_hist.record(pool.occupancy);
       for (std::size_t d = 0; d < r; ++d) {
-        // Column budget: the out-block's wire count, the healthy plan's
-        // guaranteed concentration capacity, and (between hops) the
-        // channel's remaining credits.  Never the faulted capacity -- see
-        // the constructor comment.
-        std::size_t cap = std::min(graph_.out_block(), healthy_capacity_);
-        if (!last) {
-          const std::uint32_t credit = credits_[hop][node * r + d];
-          if (credit < cap) cap = credit;
-          if (cap == 0) {
-            // Backpressure: traffic wants this link but credits gate it.
-            bool wants = false;
-            for (std::size_t e = 0; e < r && !wants; ++e) {
-              wants = problem.queued[e * r + d] > 0;
-            }
-            if (wants) {
-              stalls_ctr.add(1);
-              PCS_TRACE_COUNTER("fabric.credit_stalls", 1);
-            }
-          }
-        }
-        problem.cap_out[d] = static_cast<std::uint32_t>(cap);
-      }
-      const std::size_t total =
-          alloc_[hop * nodes + node]->allocate(problem, grants);
-      if (opts_.check_invariants) {
-        for (std::size_t e = 0; e < r; ++e) {
-          std::uint32_t row = 0;
-          for (std::size_t d = 0; d < r; ++d) {
-            PCS_REQUIRE(grants[e * r + d] <= problem.queued[e * r + d],
-                        "allocator granted beyond VOQ occupancy");
-            row += grants[e * r + d];
-          }
-          PCS_REQUIRE(row <= problem.cap_in[e], "allocator row budget broken");
-        }
-        for (std::size_t d = 0; d < r; ++d) {
-          std::uint32_t col = 0;
-          for (std::size_t e = 0; e < r; ++e) col += grants[e * r + d];
-          PCS_REQUIRE(col <= problem.cap_out[d],
-                      "allocator column budget broken");
-        }
-      }
-      if (total == 0) continue;
-      granted_ctr.add(total);
-      for (std::size_t d = 0; d < r; ++d) {
-        Pattern pat;
-        pat.node = node;
-        pat.d = d;
-        BitVec valid(node_switch.inputs());
-        for (std::size_t e = 0; e < r; ++e) {
-          const std::uint32_t g = grants[e * r + d];
-          for (std::uint32_t rank = 0; rank < g; ++rank) {
-            const std::size_t port = e * graph_.in_block() + rank;
-            valid.set(port, true);
-            pat.ports.emplace_back(port, e);
-          }
-        }
-        if (pat.ports.empty()) continue;
-        meta.push_back(std::move(pat));
-        valids.push_back(std::move(valid));
+        const std::size_t q = pool.voq[d].size();
+        problem.queued[e * r + d] = static_cast<std::uint32_t>(q);
+        if (q > 0) any = true;
       }
     }
+    if (!any) continue;
+    for (std::size_t d = 0; d < r; ++d) {
+      // Column budget: the out-block's wire count, the healthy plan's
+      // guaranteed concentration capacity, and (between hops) the
+      // channel's remaining credits.  Never the faulted capacity -- see
+      // the constructor comment.
+      std::size_t cap = std::min(graph_.out_block(), healthy_capacity_);
+      if (!last) {
+        const std::uint32_t credit = credits_[hop][node * r + d];
+        if (credit < cap) cap = credit;
+        if (cap == 0) {
+          // Backpressure: traffic wants this link but credits gate it.
+          bool wants = false;
+          for (std::size_t e = 0; e < r && !wants; ++e) {
+            wants = problem.queued[e * r + d] > 0;
+          }
+          if (wants) {
+            stalls_ctr.add(1);
+            PCS_TRACE_COUNTER("fabric.credit_stalls", 1);
+          }
+        }
+      }
+      problem.cap_out[d] = static_cast<std::uint32_t>(cap);
+    }
+    const std::size_t total =
+        alloc_[hop * nodes + node]->allocate(problem, grants);
+    if (opts_.check_invariants) {
+      for (std::size_t e = 0; e < r; ++e) {
+        std::uint32_t row = 0;
+        for (std::size_t d = 0; d < r; ++d) {
+          PCS_REQUIRE(grants[e * r + d] <= problem.queued[e * r + d],
+                      "allocator granted beyond VOQ occupancy");
+          row += grants[e * r + d];
+        }
+        PCS_REQUIRE(row <= problem.cap_in[e], "allocator row budget broken");
+      }
+      for (std::size_t d = 0; d < r; ++d) {
+        std::uint32_t col = 0;
+        for (std::size_t e = 0; e < r; ++e) col += grants[e * r + d];
+        PCS_REQUIRE(col <= problem.cap_out[d],
+                    "allocator column budget broken");
+      }
+    }
+    if (total == 0) continue;
+    granted_ctr.add(total);
+    const sw::ConcentratorSwitch& node_switch =
+        (faulted_ && hop == graph_.spec().fault_hop) ? *faulted_ : *healthy_;
+    for (std::size_t d = 0; d < r; ++d) {
+      Unit::Pattern pat;
+      pat.node = node;
+      pat.d = d;
+      BitVec valid(node_switch.inputs());
+      for (std::size_t e = 0; e < r; ++e) {
+        const std::uint32_t g = grants[e * r + d];
+        for (std::uint32_t rank = 0; rank < g; ++rank) {
+          const std::size_t port = e * graph_.in_block() + rank;
+          valid.set(port, true);
+          pat.ports.emplace_back(port, e);
+        }
+      }
+      if (pat.ports.empty()) continue;
+      u.meta.push_back(std::move(pat));
+      u.valids.push_back(std::move(valid));
+    }
   }
+}
 
-  if (valids.empty()) return;
-
-  // All of the hop's per-output-group patterns resolve in ONE batched
-  // dispatch through the plan executor -- the fabric keeps the
-  // one-dispatch-per-hop-per-epoch discipline of the single-switch runtime.
-  std::vector<sw::SwitchRouting> routings;
-  {
-    obs::SpanGuard route_span("fabric.route", obs::cat::kRuntime);
-    route_span.arg("hop", hop);
-    route_span.arg("patterns", valids.size());
-    routings = node_switch.route_batch(valids);
-    ++ctx.dispatches;
+RouteChoice FabricSim::choose_entry(std::size_t hop, std::size_t node,
+                                    const Pool& pool, const Msg& msg) {
+  RouteContext rc;
+  rc.hop = hop;
+  rc.node = node;
+  rc.dest = msg.dest;
+  rc.deflections = msg.deflections;
+  const std::size_t r = graph_.radix();
+  if (hop + 1 < graph_.hops()) rc.credits = credits_[hop].data() + node * r;
+  if (policy_->reads_costs()) {
+    for (std::size_t d = 0; d < r; ++d) {
+      voq_scratch_[d] = static_cast<std::uint32_t>(pool.voq[d].size());
+    }
+    rc.voq_depth = voq_scratch_.data();
   }
+  return policy_->choose(graph_, rc);
+}
 
-  obs::SpanGuard resolve_span("fabric.resolve", obs::cat::kRuntime);
-  resolve_span.arg("hop", hop);
+void FabricSim::resolve_unit(Unit& u, EpochContext& ctx) {
+  rt::MetricsRegistry& metrics = *ctx.metrics;
+  const std::size_t hop = u.hop;
+  const std::size_t r = graph_.radix();
+  const bool last = hop + 1 == graph_.hops();
+  const bool hop_faulted = faulted_ && hop == graph_.spec().fault_hop;
+
+  Histogram& hop_lat = metrics.histogram(hop_metric(hop, "latency_epochs"));
   Counter& sent_ctr = metrics.counter(hop_metric(hop, "sent"));
   Counter& hop_delivered = metrics.counter(hop_metric(hop, "delivered"));
   Counter& fault_drops = metrics.counter(hop_metric(hop, "dropped.fault"));
@@ -251,9 +311,9 @@ void FabricSim::serve_hop(std::size_t hop, EpochContext& ctx) {
   Counter& dropped = metrics.counter("dropped");
   Histogram& latency = metrics.histogram("latency_epochs");
 
-  for (std::size_t i = 0; i < meta.size(); ++i) {
-    const Pattern& pat = meta[i];
-    const sw::SwitchRouting& routing = routings[i];
+  for (std::size_t i = 0; i < u.meta.size(); ++i) {
+    const Unit::Pattern& pat = u.meta[i];
+    const sw::SwitchRouting& routing = u.routings[i];
     for (const auto& [port, e] : pat.ports) {
       Pool& pool = pools_[hop][pat.node * r + e];
       PCS_REQUIRE(!pool.voq[pat.d].empty(),
@@ -277,10 +337,11 @@ void FabricSim::serve_hop(std::size_t hop, EpochContext& ctx) {
                         << pat.node << ", link " << pat.d << ")");
         fault_drops.add(1);
         ++ctx.total_dropped;
+        ++ctx.tally_for(u.epoch)[1];
         if (msg.measured) dropped.add(1);
         continue;
       }
-      hop_lat.record(ctx.epoch - msg.hop_entered);
+      hop_lat.record(u.epoch - msg.hop_entered);
       if (last) {
         const std::size_t sink = pat.node * r + pat.d;
         PCS_REQUIRE(sink == msg.dest,
@@ -289,30 +350,166 @@ void FabricSim::serve_hop(std::size_t hop, EpochContext& ctx) {
                         << pat.node << ")");
         hop_delivered.add(1);
         ++ctx.total_delivered;
+        ++ctx.tally_for(u.epoch)[0];
         if (msg.measured) {
           delivered.add(1);
-          latency.record(ctx.epoch - msg.born);
+          latency.record(u.epoch - msg.born);
         }
       } else {
         const FabricGraph::Channel ch = graph_.channel(hop, pat.node, pat.d);
+        Pool& down = pools_[hop + 1][ch.node * r + ch.inlink];
+        const RouteChoice choice =
+            choose_entry(hop + 1, ch.node, down, msg);
+        sent_ctr.add(1);
+        metrics.counter(hop_metric(hop + 1, "accepted")).add(1);
+        if (choice.drop) {
+          // Entry refusal: off every minimal path with the deflection
+          // budget spent (or a last hop it can never eject from) -- the
+          // accounted livelock-protection path.  No credit or pool slot is
+          // consumed downstream.
+          metrics.counter(hop_metric(hop + 1, "dropped.deflect")).add(1);
+          ++ctx.total_dropped;
+          ++ctx.tally_for(u.epoch)[1];
+          if (msg.measured) dropped.add(1);
+          continue;
+        }
         PCS_REQUIRE(credits_[hop][pat.node * r + pat.d] > 0,
                     "fabric sent beyond the channel's credits");
         --credits_[hop][pat.node * r + pat.d];
-        Pool& down = pools_[hop + 1][ch.node * r + ch.inlink];
-        const std::size_t next_d =
-            graph_.out_link(hop + 1, ch.node, msg.dest);
-        msg.hop_entered = static_cast<std::uint32_t>(ctx.epoch);
-        down.voq[next_d].push_back(msg);
+        if (choice.deflected) {
+          metrics.counter(hop_metric(hop + 1, "deflections")).add(1);
+          PCS_TRACE_COUNTER("fabric.deflections", 1);
+          ++msg.deflections;
+        }
+        msg.hop_entered = static_cast<std::uint32_t>(u.epoch);
+        down.voq[choice.link].push_back(msg);
         ++down.occupancy;
-        sent_ctr.add(1);
-        metrics.counter(hop_metric(hop + 1, "accepted")).add(1);
       }
     }
   }
 }
 
-rt::RuntimeReport FabricSim::run(rt::MetricsRegistry& metrics) {
+void FabricSim::serve_hop_serial(std::size_t hop, std::size_t epoch,
+                                 EpochContext& ctx) {
+  obs::SpanGuard hop_span("fabric.hop", obs::cat::kRuntime);
+  hop_span.arg("hop", hop);
+
+  Unit u;
+  u.epoch = epoch;
+  u.hop = hop;
+  alloc_unit(u, ctx);
+  if (u.valids.empty()) return;
+
+  // All of the hop's per-output-group patterns resolve in ONE batched
+  // dispatch through the plan executor -- the fabric keeps the
+  // one-dispatch-per-hop-per-epoch discipline of the single-switch runtime.
+  const bool hop_faulted = faulted_ && hop == graph_.spec().fault_hop;
+  const sw::ConcentratorSwitch& node_switch =
+      hop_faulted ? *faulted_ : *healthy_;
+  {
+    obs::SpanGuard route_span("fabric.route", obs::cat::kRuntime);
+    route_span.arg("hop", hop);
+    route_span.arg("patterns", u.valids.size());
+    u.routings = node_switch.route_batch(u.valids);
+    ++ctx.dispatches;
+  }
+
+  obs::SpanGuard resolve_span("fabric.resolve", obs::cat::kRuntime);
+  resolve_span.arg("hop", hop);
+  resolve_unit(u, ctx);
+}
+
+void FabricSim::move_source_heads(std::size_t epoch, EpochContext& ctx) {
+  rt::MetricsRegistry& metrics = *ctx.metrics;
   const std::size_t r = graph_.radix();
+  Counter& hop0_accepted = metrics.counter(hop_metric(0, "accepted"));
+  // Source-queue heads enter hop 0 when its pool has a free slot: VOQ
+  // occupancy gates injection just as credits gate the inner hops.
+  for (std::size_t g = 0; g < graph_.sources(); ++g) {
+    if (source_q_[g].empty()) continue;
+    Pool& pool = pools_[0][g];  // node g / r, in-link g % r
+    if (pool.occupancy >= graph_.spec().credits) continue;
+    Msg msg = source_q_[g].front();
+    source_q_[g].pop_front();
+    const RouteChoice choice = choose_entry(0, g / r, pool, msg);
+    // Every topology reaches every sink from hop 0, so injection can
+    // never be refused -- only steered (or, when starved, deflected).
+    PCS_REQUIRE(!choice.drop, "route policy refused an injection");
+    if (choice.deflected) {
+      metrics.counter(hop_metric(0, "deflections")).add(1);
+      PCS_TRACE_COUNTER("fabric.deflections", 1);
+      ++msg.deflections;
+    }
+    msg.hop_entered = static_cast<std::uint32_t>(epoch);
+    pool.voq[choice.link].push_back(msg);
+    ++pool.occupancy;
+    hop0_accepted.add(1);
+  }
+}
+
+void FabricSim::admit_arrivals(std::size_t epoch, bool in_measure,
+                               EpochContext& ctx, Rng& rng,
+                               traffic::TrafficSource& traffic) {
+  rt::MetricsRegistry& metrics = *ctx.metrics;
+  Counter& offered = metrics.counter("offered");
+  Counter& rejected = metrics.counter("rejected_queue_full");
+  Counter& dropped = metrics.counter("dropped");
+  const BitVec arrivals = traffic.next_valid(rng);
+  for (std::size_t g = 0; g < graph_.sources(); ++g) {
+    if (!arrivals.get(g)) continue;
+    ++ctx.total_offered;
+    if (in_measure) offered.add(1);
+    if (source_q_[g].size() >= opts_.queue_depth) {
+      // Door rejection: the bounded injection queue is full.
+      ++ctx.total_dropped;
+      ++ctx.tally_for(epoch)[1];
+      rejected.add(1);
+      if (in_measure) dropped.add(1);
+      continue;
+    }
+    Msg msg;
+    // The destination draw happens only for accepted arrivals, after the
+    // queue-depth gate, so uniform sources replay the legacy rng stream
+    // bit for bit while permutation patterns consume no randomness here.
+    msg.dest = traffic.dest_for(rng, g, graph_.sinks());
+    msg.born = static_cast<std::uint32_t>(epoch);
+    msg.measured = in_measure;
+    source_q_[g].push_back(msg);
+  }
+}
+
+std::uint64_t FabricSim::epoch_bookkeeping(std::size_t epoch, bool in_measure,
+                                           EpochContext& ctx) {
+  rt::MetricsRegistry& metrics = *ctx.metrics;
+  // Fold this epoch's attributed tally into the prefix sums.  Units of
+  // later epochs may already have run under the pipelined schedule; their
+  // tallies stay in the ring until their own injection completes.
+  PCS_REQUIRE(epoch == ctx.tally_base, "fabric epochs folded out of order");
+  if (!ctx.tally.empty()) {
+    ctx.cum_delivered += ctx.tally.front()[0];
+    ctx.cum_dropped += ctx.tally.front()[1];
+    ctx.tally.pop_front();
+  }
+  ++ctx.tally_base;
+  // The derived backlog: offered, delivered, and dropped are all attributed
+  // to epochs <= `epoch` now, so this equals the serial loop's structural
+  // in_flight() at this very point regardless of the schedule.
+  const std::uint64_t backlog =
+      ctx.total_offered - ctx.cum_delivered - ctx.cum_dropped;
+  if (in_measure) metrics.histogram("backlog").record(backlog);
+  // Per-epoch conservation: nothing is created or destroyed untallied.
+  // The structural identity holds between any two units on this thread.
+  PCS_REQUIRE(ctx.total_offered ==
+                  ctx.total_delivered + ctx.total_dropped + in_flight(),
+              "fabric conservation broken at epoch "
+                  << epoch << ": offered " << ctx.total_offered
+                  << " != delivered " << ctx.total_delivered << " + dropped "
+                  << ctx.total_dropped << " + in-flight " << in_flight());
+  if (opts_.check_invariants) check_credit_mirror();
+  return backlog;
+}
+
+rt::RuntimeReport FabricSim::run(rt::MetricsRegistry& metrics) {
   Rng rng(opts_.seed);
   std::unique_ptr<traffic::TrafficSource> traffic =
       traffic_factory_(graph_.sources());
@@ -320,18 +517,24 @@ rt::RuntimeReport FabricSim::run(rt::MetricsRegistry& metrics) {
               "fabric traffic generator width must equal sources()="
                   << graph_.sources());
 
-  Counter& offered = metrics.counter("offered");
-  Counter& rejected = metrics.counter("rejected_queue_full");
-  Counter& dropped = metrics.counter("dropped");
-  Histogram& backlog_hist = metrics.histogram("backlog");
-  Counter& hop0_accepted = metrics.counter(hop_metric(0, "accepted"));
+  // Campaign-wide series exist even when zero (stable scrape key set).
+  metrics.counter("offered");
+  metrics.counter("rejected_queue_full");
+  metrics.counter("dropped");
+  metrics.histogram("backlog");
+  metrics.counter(hop_metric(0, "accepted"));
 
   EpochContext ctx;
   ctx.metrics = &metrics;
 
-  std::uint64_t total_offered = 0;
-  const std::size_t measure_end = opts_.warmup_epochs + opts_.measure_epochs;
+  return epochs_in_flight_ == 1 ? run_serial(metrics, ctx, rng, *traffic)
+                                : run_pipelined(metrics, ctx, rng, *traffic);
+}
 
+rt::RuntimeReport FabricSim::run_serial(rt::MetricsRegistry& metrics,
+                                        EpochContext& ctx, Rng& rng,
+                                        traffic::TrafficSource& traffic) {
+  const std::size_t measure_end = opts_.warmup_epochs + opts_.measure_epochs;
   rt::RuntimeReport report;
   std::size_t epoch = 0;
   while (true) {
@@ -353,61 +556,189 @@ rt::RuntimeReport FabricSim::run(rt::MetricsRegistry& metrics) {
 
     obs::SpanGuard epoch_span("fabric.epoch", obs::cat::kRuntime);
     epoch_span.arg("epoch", epoch);
-    ctx.epoch = epoch;
 
-    for (std::size_t k = graph_.hops(); k-- > 0;) serve_hop(k, ctx);
+    for (std::size_t k = graph_.hops(); k-- > 0;)
+      serve_hop_serial(k, epoch, ctx);
 
-    // Source-queue heads enter hop 0 when its pool has a free slot: VOQ
-    // occupancy gates injection just as credits gate the inner hops.
-    for (std::size_t g = 0; g < graph_.sources(); ++g) {
-      if (source_q_[g].empty()) continue;
-      Pool& pool = pools_[0][g];  // node g / r, in-link g % r
-      if (pool.occupancy >= graph_.spec().credits) continue;
-      Msg msg = source_q_[g].front();
-      source_q_[g].pop_front();
-      msg.hop_entered = static_cast<std::uint32_t>(epoch);
-      pool.voq[graph_.out_link(0, g / r, msg.dest)].push_back(msg);
-      ++pool.occupancy;
-      hop0_accepted.add(1);
+    move_source_heads(epoch, ctx);
+    if (!in_drain) admit_arrivals(epoch, in_measure, ctx, rng, traffic);
+    epoch_bookkeeping(epoch, in_measure, ctx);
+    ++epoch;
+  }
+  return finish_run(report, ctx, metrics);
+}
+
+rt::RuntimeReport FabricSim::run_pipelined(rt::MetricsRegistry& metrics,
+                                           EpochContext& ctx, Rng& rng,
+                                           traffic::TrafficSource& traffic) {
+  const std::size_t H = graph_.hops();
+  const std::size_t E = epochs_in_flight_;
+  const std::size_t measure_end = opts_.warmup_epochs + opts_.measure_epochs;
+  rt::RuntimeReport report;
+
+  Counter& merged_ctr = metrics.counter("fabric.pipeline.dispatches");
+  Histogram& wave_hist = metrics.histogram("fabric.pipeline.wave_units");
+
+  // Per-hop sequence tickets: rc[k] = epochs hop k has fully resolved, so
+  // hop k's next unit serves epoch rc[k].  `injected` counts epochs whose
+  // injection + bookkeeping completed; the dependency structure guarantees
+  // every unit of those epochs resolved first.
+  std::vector<std::size_t> rc(H, 0);
+  std::size_t injected = 0;
+  std::size_t opened = 0;
+  bool stop_opening = false;
+
+  std::vector<Unit> units;
+  std::vector<BitVec> batch;
+  std::vector<sw::SwitchRouting> routings;
+  while (true) {
+    // Open epochs: warmup/measure epochs freely up to E in flight; drain
+    // epochs one at a time, each gated on the previous epoch's completion
+    // (the continue-draining decision needs the exact backlog).
+    while (!stop_opening && opened - injected < E) {
+      if (opened >= measure_end) {
+        if (injected < opened) break;
+        const std::uint64_t backlog =
+            ctx.total_offered - ctx.cum_delivered - ctx.cum_dropped;
+        if (backlog == 0) {
+          report.drained = true;
+          stop_opening = true;
+          break;
+        }
+        if (opened - measure_end >= opts_.drain_epochs_max) {
+          report.saturated = true;
+          stop_opening = true;
+          break;
+        }
+        ++report.drain_epochs_used;
+      }
+      ++opened;
+    }
+    if (injected == opened) {
+      PCS_REQUIRE(stop_opening, "fabric pipeline stalled with no open epoch");
+      break;
     }
 
-    if (!in_drain) {
-      const BitVec arrivals = traffic->next_valid(rng);
-      for (std::size_t g = 0; g < graph_.sources(); ++g) {
-        if (!arrivals.get(g)) continue;
-        ++total_offered;
-        if (in_measure) offered.add(1);
-        if (source_q_[g].size() >= opts_.queue_depth) {
-          // Door rejection: the bounded injection queue is full.
-          ++ctx.total_dropped;
-          rejected.add(1);
-          if (in_measure) dropped.add(1);
-          continue;
-        }
-        Msg msg;
-        // The destination draw happens only for accepted arrivals, after the
-        // queue-depth gate, so uniform sources replay the legacy rng stream
-        // bit for bit while permutation patterns consume no randomness here.
-        msg.dest = traffic->dest_for(rng, g, graph_.sinks());
-        msg.born = static_cast<std::uint32_t>(epoch);
-        msg.measured = in_measure;
-        source_q_[g].push_back(msg);
+    // Collect the ready wavefront: hop k is ready for epoch e = rc[k] when
+    // the same epoch resolved downstream (credits returned), the previous
+    // epoch resolved upstream (pools filled), and the previous epoch
+    // resolved here (allocator/pool sequence ticket).  Ready units always
+    // carry distinct epochs spaced two hops apart -- except for policies
+    // that read live costs: resolving unit(e, k) reads credits_[k + 1]
+    // (pool-entry choice at hop k + 1), which unit(e + 1, k + 2)'s credit
+    // returns would mutate ahead of serial order, so cost-reading policies
+    // additionally wait for hop k - 2 (three-hop spacing).  Either way the
+    // shared-state access order equals the serial loop's, which is what
+    // makes campaign counters independent of epochs_in_flight.
+    const bool strict = policy_->reads_costs();
+    // Collect ascending by hop.  rc[] is monotone non-decreasing in k (hop k
+    // only advances while rc[k + 1] > rc[k]), and readiness at hop k demands
+    // rc[k + 1] > rc[k], so ascending hop order IS ascending epoch order --
+    // the wave comes out sorted for free.  Unit slots (and their inner
+    // vectors' capacity) are recycled across waves.
+    std::size_t n_units = 0;
+    for (std::size_t k = 0; k < H; ++k) {
+      const std::size_t e = rc[k];
+      if (e >= opened) continue;
+      if (k + 1 < H && rc[k + 1] <= e) continue;
+      if (k == 0 ? injected < e : rc[k - 1] < e) continue;
+      if (strict && k >= 1 && (k >= 2 ? rc[k - 2] < e : injected < e))
+        continue;
+      if (units.size() <= n_units) units.emplace_back();
+      Unit& u = units[n_units++];
+      u.epoch = e;
+      u.hop = k;
+      u.meta.clear();
+      u.valids.clear();
+      u.routings.clear();
+    }
+    PCS_REQUIRE(n_units > 0, "fabric pipeline made no progress");
+
+    obs::SpanGuard wave_span("fabric.wave", obs::cat::kRuntime);
+    wave_span.arg("units", n_units);
+    wave_hist.record(n_units);
+    PCS_TRACE_COUNTER("fabric.pipeline.wave", n_units);
+
+    for (std::size_t i = 0; i < n_units; ++i) alloc_unit(units[i], ctx);
+
+    // Fuse the wave's dispatches: every ready unit routing the same switch
+    // shares ONE route_batch call, widening the executor's 64-pattern word
+    // lanes across epochs.  Patterns are routed independently inside the
+    // batch, so the fused results are bit-identical to per-unit dispatches.
+    for (const bool faulted_kind : {false, true}) {
+      batch.clear();
+      std::size_t member_units = 0;
+      for (std::size_t i = 0; i < n_units; ++i) {
+        Unit& u = units[i];
+        if (u.valids.empty()) continue;
+        const bool hop_faulted = faulted_ && u.hop == graph_.spec().fault_hop;
+        if (hop_faulted != faulted_kind) continue;
+        // Resolution walks u.meta + u.routings only, so the valid masks are
+        // dead after the dispatch: MOVE their words into the fused batch
+        // (the outer u.valids keeps its size -- that is the pattern count
+        // the routings slice-back below still needs).
+        batch.insert(batch.end(), std::make_move_iterator(u.valids.begin()),
+                     std::make_move_iterator(u.valids.end()));
+        ++member_units;
+      }
+      if (batch.empty()) continue;
+      const sw::ConcentratorSwitch& node_switch =
+          faulted_kind ? *faulted_ : *healthy_;
+      {
+        obs::SpanGuard route_span("fabric.route", obs::cat::kRuntime);
+        route_span.arg("patterns", batch.size());
+        route_span.arg("units", member_units);
+        routings = node_switch.route_batch(batch);
+        merged_ctr.add(1);
+      }
+      std::size_t base = 0;
+      for (std::size_t i = 0; i < n_units; ++i) {
+        Unit& u = units[i];
+        if (u.valids.empty()) continue;
+        const bool hop_faulted = faulted_ && u.hop == graph_.spec().fault_hop;
+        if (hop_faulted != faulted_kind) continue;
+        u.routings.assign(
+            std::make_move_iterator(routings.begin() +
+                                    static_cast<std::ptrdiff_t>(base)),
+            std::make_move_iterator(
+                routings.begin() +
+                static_cast<std::ptrdiff_t>(base + u.valids.size())));
+        base += u.valids.size();
+        ++ctx.dispatches;  // one logical dispatch per unit, serial parity
       }
     }
 
-    const std::size_t backlog = in_flight();
-    if (in_measure) backlog_hist.record(backlog);
-    // Per-epoch conservation: nothing is created or destroyed untallied.
-    PCS_REQUIRE(total_offered ==
-                    ctx.total_delivered + ctx.total_dropped + backlog,
-                "fabric conservation broken at epoch "
-                    << epoch << ": offered " << total_offered
-                    << " != delivered " << ctx.total_delivered << " + dropped "
-                    << ctx.total_dropped << " + in-flight " << backlog);
-    if (opts_.check_invariants) check_credit_mirror();
-    ++epoch;
+    for (std::size_t i = 0; i < n_units; ++i) {
+      Unit& u = units[i];
+      if (!u.valids.empty()) {
+        obs::SpanGuard resolve_span("fabric.resolve", obs::cat::kRuntime);
+        resolve_span.arg("hop", u.hop);
+        resolve_span.arg("epoch", u.epoch);
+        resolve_unit(u, ctx);
+      }
+      rc[u.hop] = u.epoch + 1;
+    }
+
+    // Injection + bookkeeping for every epoch whose hop-0 unit resolved.
+    while (injected < opened && rc[0] > injected) {
+      const std::size_t e = injected;
+      const bool in_measure =
+          e >= opts_.warmup_epochs && e < measure_end;
+      move_source_heads(e, ctx);
+      if (e < measure_end) admit_arrivals(e, in_measure, ctx, rng, traffic);
+      epoch_bookkeeping(e, in_measure, ctx);
+      ++injected;
+    }
   }
 
+  metrics.gauge("fabric.pipeline.epochs_in_flight")
+      .set(static_cast<double>(E));
+  return finish_run(report, ctx, metrics);
+}
+
+rt::RuntimeReport FabricSim::finish_run(rt::RuntimeReport report,
+                                        EpochContext& ctx,
+                                        rt::MetricsRegistry& metrics) {
   // Residual backlog: messages still queued at exit, an explicit term of
   // the conservation identity (nonzero exactly when saturated).
   std::size_t residual = 0;
@@ -417,6 +748,13 @@ rt::RuntimeReport FabricSim::run(rt::MetricsRegistry& metrics) {
     for (const Msg& m : q) residual_measured += m.measured ? 1 : 0;
   };
   for (const auto& q : source_q_) tally(q);
+  const auto& counters = std::as_const(metrics).counters();
+  auto counter_or_zero = [&](const std::string& name) -> std::uint64_t {
+    // Read without creating: optional series (dropped.deflect) must not
+    // materialize zero-valued scrape keys on campaigns that never use them.
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.value();
+  };
   for (std::size_t k = 0; k < graph_.hops(); ++k) {
     std::size_t hop_residual = 0;
     for (const Pool& pool : pools_[k]) {
@@ -428,30 +766,32 @@ rt::RuntimeReport FabricSim::run(rt::MetricsRegistry& metrics) {
     metrics.gauge(hop_metric(k, "residual"))
         .set(static_cast<double>(hop_residual));
     // Per-hop conservation: everything a hop accepted either moved on,
-    // ejected, died on a dead chip, or is still buffered here.
+    // ejected, died on a dead chip, was reclaimed off-path, or is still
+    // buffered here.
     const std::uint64_t accepted =
         metrics.counter(hop_metric(k, "accepted")).value();
     const std::uint64_t out =
         metrics.counter(hop_metric(k, "sent")).value() +
         metrics.counter(hop_metric(k, "delivered")).value() +
-        metrics.counter(hop_metric(k, "dropped.fault")).value();
+        metrics.counter(hop_metric(k, "dropped.fault")).value() +
+        counter_or_zero(hop_metric(k, "dropped.deflect"));
     PCS_REQUIRE(accepted == out + hop_residual,
                 "fabric hop " << k << " accounting broken: accepted "
-                    << accepted << " != forwarded+delivered+faulted " << out
+                    << accepted << " != forwarded+delivered+dropped " << out
                     << " + residual " << hop_residual);
   }
   report.residual_backlog = residual;
 
-  PCS_REQUIRE(total_offered ==
+  PCS_REQUIRE(ctx.total_offered ==
                   ctx.total_delivered + ctx.total_dropped + residual,
               "fabric conservation broken at exit: offered "
-                  << total_offered << " != delivered " << ctx.total_delivered
-                  << " + dropped " << ctx.total_dropped << " + residual "
-                  << residual);
+                  << ctx.total_offered << " != delivered "
+                  << ctx.total_delivered << " + dropped " << ctx.total_dropped
+                  << " + residual " << residual);
   PCS_REQUIRE(report.drained == (residual == 0),
               "drained flag disagrees with residual " << residual);
 
-  metrics.counter("total.offered").add(total_offered);
+  metrics.counter("total.offered").add(ctx.total_offered);
   metrics.counter("total.delivered").add(ctx.total_delivered);
   metrics.counter("total.dropped").add(ctx.total_dropped);
   metrics.counter("total.residual").add(residual);

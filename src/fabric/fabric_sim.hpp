@@ -25,12 +25,33 @@
 //     least one epoch per hop; then source-queue heads move into hop 0's
 //     pools (injection gated by pool space), then fresh arrivals enter the
 //     bounded per-source queues (door rejection counts as a drop).
+//   * The out-link a message departs on is chosen ONCE, when it enters a
+//     hop's pool, by the spec's RoutePolicy (route_policy.hpp):
+//     "deterministic" destination-digit self-routing, or minimal-"adaptive"
+//     over the topology's equal-cost candidates with bounded deflection.
+//
+// Pipelined execution (epochs_in_flight > 1): the per-(epoch, hop) unit of
+// work -- allocate, route, resolve -- obeys a wavefront dependency order
+// (unit(e, k) needs unit(e, k+1), unit(e-1, k), and unit(e-1, k-1)), so up
+// to min(epochs_in_flight, ceil(hops / 2)) units from successive epochs are
+// independent at any instant.  The scheduler tracks per-hop sequence
+// tickets (resolved-epoch watermarks), runs every ready unit's allocation,
+// then fuses ALL their route_batch dispatches into one batch per switch
+// kind -- widening the 64-pattern word lanes the executor vectorizes over
+// and amortizing per-dispatch cost -- and resolves in ascending epoch
+// order.  All bookkeeping stays on the caller's thread in deterministic
+// order; worker threads only ever run inside route_batch itself.  Campaign
+// counters are bit-identical for every epochs_in_flight value, and
+// epochs_in_flight=1 short-circuits to the serial schedule, bit-identical
+// (including traces) to the pre-pipeline loop.
 //
 // Grant budgets never exceed the HEALTHY plan's guaranteed capacity, so on
 // healthy hops every granted message must route (PCS_REQUIRE enforces the
 // concentration contract live).  The hop carrying chip faults routes the
 // fault-rewritten plan: granted messages that land on dead chips are lost
-// and accounted as fabric.hop<k>.dropped.fault -- never silently.
+// and accounted as fabric.hop<k>.dropped.fault -- never silently.  Under
+// adaptive routing, deflected messages that exhaust their misroute budget
+// drain through fabric.hop<k>.dropped.deflect the same way.
 //
 // Conservation is enforced every epoch:
 //   total.offered == total.delivered + total.dropped + in_flight
@@ -42,14 +63,17 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fabric/allocator.hpp"
+#include "fabric/route_policy.hpp"
 #include "fabric/topology.hpp"
 #include "traffic/traffic_source.hpp"
 #include "runtime/fabric_runtime.hpp"
 #include "runtime/metrics.hpp"
 #include "switch/concentrator.hpp"
+#include "util/rng.hpp"
 
 namespace pcs::fabric {
 
@@ -60,6 +84,11 @@ struct FabricOptions {
   std::size_t measure_epochs = 256;
   std::size_t drain_epochs_max = 1024;  ///< drain cap; exceeding it = saturated
   bool check_invariants = false;  ///< credit/pool mirror + allocator checks
+  /// Epochs simultaneously resident in the pipelined scheduler.  0 resolves
+  /// the default at construction: PCS_FABRIC_EPOCHS_IN_FLIGHT when set,
+  /// else 1.  1 is the serial schedule (bit-identical to the pre-pipeline
+  /// loop); campaign counters are identical for every value.
+  std::size_t epochs_in_flight = 0;
 };
 
 class FabricSim {
@@ -78,12 +107,17 @@ class FabricSim {
   /// cover messages born in the measurement window; "total.*" counters
   /// cover the whole campaign and satisfy
   ///   total.offered == total.delivered + total.dropped + total.residual.
-  /// Per-hop series live under "fabric.hop<k>.*" and satisfy, per hop,
-  ///   accepted == sent|delivered + dropped.fault + residual.
+  /// Per-hop series live under "fabric.hop<k>.*" (indices zero-padded to
+  /// the campaign's widest hop, so scrapes order numerically) and satisfy
+  ///   accepted == sent|delivered + dropped.fault + dropped.deflect
+  ///              + residual.
   rt::RuntimeReport run(rt::MetricsRegistry& metrics);
 
   const FabricGraph& graph() const noexcept { return graph_; }
   const FabricOptions& options() const noexcept { return opts_; }
+  /// The resolved pipeline depth (options().epochs_in_flight or the
+  /// PCS_FABRIC_EPOCHS_IN_FLIGHT / 1 default).
+  std::size_t epochs_in_flight() const noexcept { return epochs_in_flight_; }
   /// "omega(hops=3, radix=2) of Revsort(256->192)" -- for reports.
   std::string name() const;
 
@@ -92,6 +126,7 @@ class FabricSim {
     std::uint32_t dest = 0;
     std::uint32_t born = 0;         ///< injection epoch
     std::uint32_t hop_entered = 0;  ///< epoch it entered the current pool
+    std::uint16_t deflections = 0;  ///< misroutes absorbed (adaptive only)
     bool measured = false;
   };
 
@@ -102,8 +137,31 @@ class FabricSim {
   };
 
   struct EpochContext;  // per-run mutable accounting (defined in .cpp)
+  struct Unit;          // one (epoch, hop) allocate/route/resolve stage
 
-  void serve_hop(std::size_t hop, EpochContext& ctx);
+  rt::RuntimeReport run_serial(rt::MetricsRegistry& metrics, EpochContext& ctx,
+                               Rng& rng, traffic::TrafficSource& traffic);
+  rt::RuntimeReport run_pipelined(rt::MetricsRegistry& metrics,
+                                  EpochContext& ctx, Rng& rng,
+                                  traffic::TrafficSource& traffic);
+
+  void alloc_unit(Unit& u, EpochContext& ctx);
+  void resolve_unit(Unit& u, EpochContext& ctx);
+  void serve_hop_serial(std::size_t hop, std::size_t epoch, EpochContext& ctx);
+  RouteChoice choose_entry(std::size_t hop, std::size_t node, const Pool& pool,
+                           const Msg& msg);
+  void move_source_heads(std::size_t epoch, EpochContext& ctx);
+  void admit_arrivals(std::size_t epoch, bool in_measure, EpochContext& ctx,
+                      Rng& rng, traffic::TrafficSource& traffic);
+  /// Fold epoch `epoch`'s attributed tallies, record the derived backlog
+  /// (schedule-independent, so it matches the serial loop bit for bit), and
+  /// enforce the structural conservation identity.  Returns the backlog.
+  std::uint64_t epoch_bookkeeping(std::size_t epoch, bool in_measure,
+                                  EpochContext& ctx);
+  rt::RuntimeReport finish_run(rt::RuntimeReport report, EpochContext& ctx,
+                               rt::MetricsRegistry& metrics);
+
+  std::string hop_metric(std::size_t hop, const char* leaf) const;
   std::size_t in_flight() const;
   void check_credit_mirror() const;
 
@@ -114,6 +172,9 @@ class FabricSim {
   std::unique_ptr<sw::ConcentratorSwitch> healthy_;
   std::unique_ptr<sw::ConcentratorSwitch> faulted_;  ///< null when no faults
   std::size_t healthy_capacity_ = 0;
+  std::unique_ptr<RoutePolicy> policy_;
+  std::size_t epochs_in_flight_ = 1;  ///< resolved from opts / env
+  std::vector<std::uint32_t> voq_scratch_;  ///< per-choice VOQ depth view
 
   std::vector<std::deque<Msg>> source_q_;
   /// pools_[hop][node * radix + inlink]

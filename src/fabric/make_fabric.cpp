@@ -1,0 +1,17 @@
+#include "fabric/make_fabric.hpp"
+
+#include <utility>
+
+namespace pcs {
+
+std::unique_ptr<fabric::FabricSim> make_fabric(
+    FabricSpec spec, fabric::FabricOptions opts,
+    fabric::FabricSim::TrafficFactory traffic) {
+  // FabricSim's FabricGraph member re-validates, but validate eagerly so a
+  // bad spec fails here, before any switch plan compiles.
+  spec.validate();
+  return std::make_unique<fabric::FabricSim>(std::move(spec), std::move(opts),
+                                             std::move(traffic));
+}
+
+}  // namespace pcs

@@ -1,0 +1,34 @@
+// The one public construction path for every fabric in the library --
+// the multi-hop mirror of switch/make_switch.hpp.
+//
+// A FabricSpec (fabric/fabric_spec.hpp) declares the whole fabric: the
+// topology, hop count, radix, the per-node SwitchSpec, channel credits, the
+// allocator, and the route policy with its deflection budget.  make_fabric()
+// validates it (ContractViolation messages name the offending
+// "FabricSpec.<field>") and returns the ready-to-run simulator.
+// runtime/fabric_config.cpp, the serving daemon, the benches, and anything
+// outside src/ construct fabrics exclusively through here; FabricSim's own
+// constructor remains for tests that need to poke at half-built pieces.
+//
+// FabricSpec::digest() fingerprints every field (golden-pinned by
+// test_fabric_spec.cpp), so caches and replay logs can key on the spec the
+// same way the serving daemon keys plans on SwitchSpec::digest().
+#pragma once
+
+#include <memory>
+
+#include "fabric/fabric_sim.hpp"
+#include "fabric/fabric_spec.hpp"
+
+namespace pcs {
+
+/// Build the fabric simulator: validates `spec` (throws ContractViolation
+/// naming the bad field), resolves options (epochs_in_flight = 0 defers to
+/// PCS_FABRIC_EPOCHS_IN_FLIGHT, else 1), and instantiates the node switch
+/// plans once, shared across every hop.  `traffic` produces the arrival
+/// process over the fabric's sources; see FabricSim::TrafficFactory.
+std::unique_ptr<fabric::FabricSim> make_fabric(
+    FabricSpec spec, fabric::FabricOptions opts,
+    fabric::FabricSim::TrafficFactory traffic);
+
+}  // namespace pcs

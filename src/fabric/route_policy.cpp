@@ -1,0 +1,106 @@
+#include "fabric/route_policy.hpp"
+
+#include "util/assert.hpp"
+
+namespace pcs::fabric {
+
+namespace {
+
+class DeterministicPolicy final : public RoutePolicy {
+ public:
+  RouteChoice choose(const FabricGraph& g,
+                     const RouteContext& ctx) const override {
+    return RouteChoice{g.out_link(ctx.hop, ctx.node, ctx.dest), false, false};
+  }
+  bool reads_costs() const noexcept override { return false; }
+  const char* name() const noexcept override { return "deterministic"; }
+};
+
+class MinimalAdaptivePolicy final : public RoutePolicy {
+ public:
+  explicit MinimalAdaptivePolicy(std::size_t deflect_max)
+      : deflect_max_(deflect_max) {}
+
+  RouteChoice choose(const FabricGraph& g,
+                     const RouteContext& ctx) const override {
+    const std::size_t r = g.radix();
+    const bool last = ctx.hop + 1 == g.hops();
+    PCS_REQUIRE(ctx.voq_depth != nullptr,
+                "adaptive route policy needs VOQ depths");
+    PCS_REQUIRE(last == (ctx.credits == nullptr),
+                "adaptive route policy: credits exactly on non-final hops");
+    const std::uint64_t cand = g.candidate_mask(ctx.hop, ctx.node, ctx.dest);
+
+    // Pick the best link within `mask` by (credits desc, VOQ depth asc,
+    // index asc).  The last hop has no credit axis (ejection is free).
+    auto best_in = [&](std::uint64_t mask,
+                       bool require_credit) -> std::ptrdiff_t {
+      std::ptrdiff_t best = -1;
+      for (std::size_t d = 0; d < r; ++d) {
+        if (!(mask >> d & 1)) continue;
+        const std::uint32_t cr = last ? 1 : ctx.credits[d];
+        if (require_credit && cr == 0) continue;
+        if (best < 0) {
+          best = static_cast<std::ptrdiff_t>(d);
+          continue;
+        }
+        const std::uint32_t bcr =
+            last ? 1 : ctx.credits[static_cast<std::size_t>(best)];
+        if (cr > bcr ||
+            (cr == bcr &&
+             ctx.voq_depth[d] < ctx.voq_depth[static_cast<std::size_t>(best)]))
+          best = static_cast<std::ptrdiff_t>(d);
+      }
+      return best;
+    };
+
+    if (cand == 0) {
+      // Off every minimal path: a previous deflection put it here.  Escape
+      // onto the best credited link if budget remains; otherwise reclaim it
+      // through the accounted drop path (livelock protection).
+      if (last || ctx.deflections >= deflect_max_) return {0, false, true};
+      const std::uint64_t all =
+          r == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << r) - 1;
+      std::ptrdiff_t link = best_in(all, true);
+      if (link < 0) link = best_in(all, false);  // all starved: park lowest-cost
+      return {static_cast<std::size_t>(link), true, false};
+    }
+
+    const std::ptrdiff_t minimal = best_in(cand, false);
+    if (last || ctx.credits[static_cast<std::size_t>(minimal)] > 0)
+      return {static_cast<std::size_t>(minimal), false, false};
+
+    // Every candidate is credit-starved.  Deflect onto a credited
+    // non-candidate link when the budget allows; else wait on the best
+    // candidate (the allocator will serve it once credits return).
+    if (ctx.deflections < deflect_max_) {
+      const std::uint64_t all =
+          r == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << r) - 1;
+      const std::ptrdiff_t detour = best_in(all & ~cand, true);
+      if (detour >= 0) return {static_cast<std::size_t>(detour), true, false};
+    }
+    return {static_cast<std::size_t>(minimal), false, false};
+  }
+  bool reads_costs() const noexcept override { return true; }
+  const char* name() const noexcept override { return "adaptive"; }
+
+ private:
+  std::size_t deflect_max_;
+};
+
+}  // namespace
+
+std::unique_ptr<RoutePolicy> make_route_policy(const std::string& name,
+                                               std::size_t deflect_max) {
+  if (name == "deterministic") {
+    PCS_REQUIRE(deflect_max == 0,
+                "deterministic routing never deflects; deflect_max="
+                    << deflect_max);
+    return std::make_unique<DeterministicPolicy>();
+  }
+  if (name == "adaptive") return std::make_unique<MinimalAdaptivePolicy>(deflect_max);
+  PCS_REQUIRE(false, "unknown route policy '" << name
+                         << "' (deterministic | adaptive)");
+}
+
+}  // namespace pcs::fabric

@@ -1,0 +1,73 @@
+// Pluggable pool-entry link choice for the fabric simulator.
+//
+// A message's out-link at hop k is chosen once, when it enters hop k's VOQ
+// pool (injection for hop 0, the inter-hop push for the rest): the VOQ it
+// joins IS the link it will depart on.  The policy makes that choice:
+//
+//   deterministic  the destination-digit rule (FabricGraph::out_link),
+//                  bit-identical to the fabric before policies existed.
+//   adaptive       minimal-adaptive: among the topology's equal-cost
+//                  candidate links (FabricGraph::candidate_mask -- all
+//                  radix up-links on the fat-tree's up-hop, the unique
+//                  digit link elsewhere) prefer the most remaining
+//                  credits, tie-broken by shortest VOQ then lowest index.
+//                  When EVERY candidate is credit-starved and the message
+//                  has deflection budget left, it may misroute onto the
+//                  best non-candidate link (counted fabric.hop<k>.
+//                  deflections).  Off-path messages whose budget is spent
+//                  -- or that reach a hop with no escape -- take the
+//                  accounted drop path (fabric.hop<k>.dropped.deflect), so
+//                  every conservation PCS_REQUIRE keeps balancing and a
+//                  deflected message can never livelock.
+//
+// Policies are stateless and deterministic: the choice is a pure function
+// of the context, so pipelined schedules that replay the same entry
+// sequence reproduce the same fabric bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fabric/topology.hpp"
+
+namespace pcs::fabric {
+
+/// Everything the policy may inspect for one message entering `hop`.
+struct RouteContext {
+  std::size_t hop = 0;
+  std::size_t node = 0;         ///< node at `hop` whose pool is being entered
+  std::size_t dest = 0;         ///< sink index
+  std::size_t deflections = 0;  ///< misroutes this message already absorbed
+  /// This node's per-out-link remaining credits (radix entries); null on
+  /// the last hop, where ejection is never credit-gated.
+  const std::uint32_t* credits = nullptr;
+  /// Depth of each VOQ in the pool being entered (radix entries); null when
+  /// the caller knows the policy never reads costs (deterministic).
+  const std::uint32_t* voq_depth = nullptr;
+};
+
+struct RouteChoice {
+  std::size_t link = 0;
+  bool deflected = false;  ///< link is off every minimal path to dest
+  bool drop = false;       ///< no viable link: take the accounted drop path
+};
+
+class RoutePolicy {
+ public:
+  virtual ~RoutePolicy() = default;
+  virtual RouteChoice choose(const FabricGraph& g,
+                             const RouteContext& ctx) const = 0;
+  /// True when choose() reads credits/voq_depth (the caller skips building
+  /// the cost arrays for policies that never look).
+  virtual bool reads_costs() const noexcept = 0;
+  virtual const char* name() const noexcept = 0;
+};
+
+/// "deterministic" | "adaptive"; throws on unknown names.  `deflect_max`
+/// is the adaptive policy's misroute budget per message (0 = never
+/// deflect; starved messages wait on their best candidate link).
+std::unique_ptr<RoutePolicy> make_route_policy(const std::string& name,
+                                               std::size_t deflect_max);
+
+}  // namespace pcs::fabric

@@ -7,25 +7,6 @@
 
 namespace pcs::fabric {
 
-Topology topology_from_string(const std::string& s) {
-  if (s == "single") return Topology::kSingle;
-  if (s == "omega") return Topology::kOmega;
-  if (s == "butterfly") return Topology::kButterfly;
-  if (s == "fattree") return Topology::kFatTree;
-  PCS_REQUIRE(false, "unknown fabric topology '"
-                         << s << "' (single | omega | butterfly | fattree)");
-}
-
-const char* topology_name(Topology t) noexcept {
-  switch (t) {
-    case Topology::kSingle: return "single";
-    case Topology::kOmega: return "omega";
-    case Topology::kButterfly: return "butterfly";
-    case Topology::kFatTree: return "fattree";
-  }
-  return "?";
-}
-
 namespace {
 
 std::size_t ipow(std::size_t base, std::size_t exp) {
@@ -42,13 +23,13 @@ std::size_t ipow(std::size_t base, std::size_t exp) {
 }  // namespace
 
 FabricGraph::FabricGraph(FabricSpec spec) : spec_(std::move(spec)) {
+  // Every shape/plan/policy constraint lives in the spec itself now, with
+  // ContractViolation messages naming the offending FabricSpec field.
+  spec_.validate();
   const std::size_t r = spec_.radix;
   const std::size_t H = spec_.hops;
-  PCS_REQUIRE(H >= 1, "fabric needs at least one hop, got " << H);
-  PCS_REQUIRE(r >= 1, "fabric radix must be >= 1, got " << r);
   switch (spec_.topology) {
     case Topology::kSingle:
-      PCS_REQUIRE(H == 1, "topology=single is the 1-hop fabric; hops=" << H);
       nodes_per_hop_ = 1;
       break;
     case Topology::kOmega:
@@ -56,8 +37,6 @@ FabricGraph::FabricGraph(FabricSpec spec) : spec_(std::move(spec)) {
       nodes_per_hop_ = ipow(r, H - 1);
       break;
     case Topology::kFatTree:
-      PCS_REQUIRE(H == 3, "topology=fattree is the 2-level (3-hop) fat-tree "
-                          "(leaf-up, spine, leaf-down); hops=" << H);
       nodes_per_hop_ = r;  // r leaves up, r spines, r leaves down
       break;
   }
@@ -66,38 +45,8 @@ FabricGraph::FabricGraph(FabricSpec spec) : spec_(std::move(spec)) {
   // the others are nodes_per_hop * radix = r^H.
   sources_ = nodes_per_hop_ * r;
   sinks_ = sources_;
-
-  PCS_REQUIRE(spec_.node.n % r == 0,
-              "node inputs n=" << spec_.node.n
-                               << " must divide by radix=" << r
-                               << " (equal in-link blocks)");
-  PCS_REQUIRE(spec_.node.m % r == 0,
-              "node outputs m=" << spec_.node.m
-                                << " must divide by radix=" << r
-                                << " (equal out-link blocks)");
   in_block_ = spec_.node.n / r;
   out_block_ = spec_.node.m / r;
-  PCS_REQUIRE(out_block_ <= in_block_,
-              "out-block " << out_block_ << " wider than downstream in-block "
-                           << in_block_
-                           << ": a channel could overrun its buffer ports");
-  PCS_REQUIRE(spec_.credits >= 1,
-              "credit-based flow control needs credits >= 1, got "
-                  << spec_.credits);
-  PCS_REQUIRE(spec_.fault_hop < H,
-              "fault_hop=" << spec_.fault_hop << " out of range for hops="
-                           << H);
-
-  // The node switch must compile to a plan (the fabric routes through the
-  // fused PlanExecutor batch path) and, when healthy, concentrate at least
-  // one message per epoch or the fabric can never move anything.
-  SwitchSpec healthy = spec_.node;
-  healthy.faults.clear();
-  plan::SwitchPlan p = make_switch_plan(healthy);
-  PCS_REQUIRE(p.epsilon < p.m,
-              "node plan " << p.name << " has zero guaranteed capacity (m="
-                           << p.m << ", epsilon=" << p.epsilon
-                           << "); the fabric would deadlock");
 }
 
 std::size_t FabricGraph::nodes_at(std::size_t hop) const {
@@ -167,6 +116,51 @@ std::size_t FabricGraph::out_link(std::size_t hop, std::size_t node,
     }
   }
   PCS_REQUIRE(false, "out_link(): unreachable");
+}
+
+std::uint64_t FabricGraph::candidate_mask(std::size_t hop, std::size_t node,
+                                          std::size_t dest) const {
+  const std::size_t r = spec_.radix;
+  const std::size_t H = spec_.hops;
+  PCS_REQUIRE(hop < H && node < nodes_per_hop_ && dest < sinks_,
+              "candidate_mask(): hop/node/dest out of range");
+  PCS_REQUIRE(r <= 64, "candidate_mask(): radix " << r << " exceeds the "
+                                                     "64-link mask width");
+  switch (spec_.topology) {
+    case Topology::kSingle:
+      return std::uint64_t{1} << dest;  // one node; out-link IS the sink
+    case Topology::kOmega: {
+      // After hop k the node index holds the k destination digits already
+      // consumed (the shuffle appends the chosen link digit), so dest is
+      // reachable iff node's low k digits equal dest's top k digits -- and
+      // then the unique minimal link is the standard digit rule.
+      const std::size_t consumed = ipow(r, hop);            // r^k
+      const std::size_t remaining = ipow(r, H - hop);       // r^(H-k)
+      if (node % consumed != dest / remaining) return 0;
+      return std::uint64_t{1} << out_link(hop, node, dest);
+    }
+    case Topology::kButterfly: {
+      // Boundary b rewrites node digit b, so by hop k digits 0..k-1
+      // (MSB-first) are frozen: dest's leaf (dest / r) must agree with the
+      // node on those digits or no remaining boundary can repair them.
+      const std::size_t tail = ipow(r, H - 1 - hop);  // digits still mutable
+      if (node / tail != (dest / r) / tail) return 0;
+      return std::uint64_t{1} << out_link(hop, node, dest);
+    }
+    case Topology::kFatTree: {
+      // Up-hop: every spine reaches every leaf, so all r up-links are
+      // equal-cost candidates (the genuinely multipath stage).  Spine:
+      // the destination leaf's link, always reachable.  Down-leaf: the
+      // host port, but only on the destination leaf itself.
+      if (hop == 0) {
+        return r == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << r) - 1;
+      }
+      if (hop == 1) return std::uint64_t{1} << (dest / r);
+      if (node != dest / r) return 0;
+      return std::uint64_t{1} << (dest % r);
+    }
+  }
+  PCS_REQUIRE(false, "candidate_mask(): unreachable");
 }
 
 FabricGraph::Upstream FabricGraph::upstream(std::size_t hop, std::size_t node,

@@ -30,31 +30,10 @@
 #include <string>
 #include <vector>
 
+#include "fabric/fabric_spec.hpp"
 #include "switch/make_switch.hpp"
 
 namespace pcs::fabric {
-
-enum class Topology : unsigned char { kSingle, kOmega, kButterfly, kFatTree };
-
-/// "single" | "omega" | "butterfly" | "fattree"; throws on unknown names.
-Topology topology_from_string(const std::string& s);
-const char* topology_name(Topology t) noexcept;
-
-/// Everything needed to build a fabric: the wiring shape plus the per-node
-/// switch.  `node.faults` are applied to hop `fault_hop`'s plan only; every
-/// other hop routes the healthy plan.
-struct FabricSpec {
-  Topology topology = Topology::kOmega;
-  std::size_t hops = 3;   ///< switch stages a message traverses (>= 1)
-  std::size_t radix = 2;  ///< links per node; the destination digit base
-  /// Per-node switch.  Must be a plan family (make_switch_plan succeeds);
-  /// n and m must divide by radix, and the healthy plan must keep a
-  /// positive guaranteed capacity (m - epsilon >= 1) or nothing can move.
-  SwitchSpec node;
-  std::size_t credits = 8;   ///< per-channel credit pool (downstream VOQ slots)
-  std::string alloc = "rr";  ///< VOQ allocator: "rr" | "islip"
-  std::size_t fault_hop = 0; ///< hop whose plan receives node.faults
-};
 
 /// The resolved wiring of a FabricSpec.  Channels are 1:1 with downstream
 /// in-links, so (hop, node, out-link) fully names a channel and its credit
@@ -97,6 +76,21 @@ class FabricGraph {
   /// sanity checks; digit routing is node-independent.
   std::size_t out_link(std::size_t hop, std::size_t node,
                        std::size_t dest) const;
+
+  /// Bit d set iff out-link d of (hop, node) lies on a minimal path to sink
+  /// `dest`.  Zero exactly when `dest` is unreachable from this node -- a
+  /// deflected message wandered off every minimal path and can only be
+  /// reclaimed by the accounted drop path.  Omega/butterfly paths are
+  /// unique (singleton or empty mask); the fat-tree's up-hop exposes all
+  /// `radix` equal-cost up-links.  Requires radix <= 64 (adaptive routing's
+  /// candidate-set representation; validated by FabricSpec::validate).
+  std::uint64_t candidate_mask(std::size_t hop, std::size_t node,
+                               std::size_t dest) const;
+
+  /// candidate_mask(hop, node, dest) != 0.
+  bool reachable(std::size_t hop, std::size_t node, std::size_t dest) const {
+    return candidate_mask(hop, node, dest) != 0;
+  }
 
   /// The upstream channel feeding (hop, node, inlink); hop >= 1.  Used to
   /// return credits when a message departs a downstream VOQ pool.

@@ -17,6 +17,9 @@
 //   core    -- executable lemmas/theorems, bounds, adversarial search
 //   runtime -- closed-loop serving layer: queues, admission, epoch-batched
 //              routing, phased campaigns, metrics export
+//   fabric  -- multi-hop networks of plan-compiled switches: declarative
+//              FabricSpec/make_fabric, credit flow control, VOQ allocation,
+//              pluggable route policies, pipelined epoch execution
 #pragma once
 
 #include "util/assert.hpp"
@@ -104,3 +107,11 @@
 #include "runtime/metrics.hpp"
 #include "runtime/stats_bridge.hpp"
 #include "runtime/trace_bridge.hpp"
+
+#include "fabric/allocator.hpp"
+#include "fabric/fabric_config.hpp"
+#include "fabric/fabric_sim.hpp"
+#include "fabric/fabric_spec.hpp"
+#include "fabric/make_fabric.hpp"
+#include "fabric/route_policy.hpp"
+#include "fabric/topology.hpp"

@@ -129,6 +129,12 @@ void set_key(RuntimeConfig& cfg, const std::string& key, const std::string& valu
     cfg.fabric_alloc = value;
   } else if (key == "credits") {
     cfg.fabric_credits = parse_size(key, value);
+  } else if (key == "route") {
+    cfg.fabric_route = value;
+  } else if (key == "deflect_max") {
+    cfg.fabric_deflect_max = parse_size(key, value);
+  } else if (key == "epochs_in_flight") {
+    cfg.fabric_epochs_in_flight = parse_size(key, value);
   } else if (key == "fault_hop") {
     cfg.fault_hop = parse_size(key, value);
   } else if (key == "socket") {
@@ -187,6 +193,16 @@ void validate(const RuntimeConfig& cfg) {
                   << cfg.topology << "'");
   PCS_REQUIRE(cfg.fabric_alloc == "rr" || cfg.fabric_alloc == "islip",
               "alloc must be 'rr' or 'islip', got '" << cfg.fabric_alloc << "'");
+  PCS_REQUIRE(cfg.fabric_route == "deterministic" ||
+                  cfg.fabric_route == "adaptive",
+              "route must be 'deterministic' or 'adaptive', got '"
+                  << cfg.fabric_route << "'");
+  PCS_REQUIRE(cfg.fabric_deflect_max == 0 || cfg.fabric_route == "adaptive",
+              "deflect_max=" << cfg.fabric_deflect_max
+                             << " needs route=adaptive");
+  PCS_REQUIRE(cfg.fabric_epochs_in_flight <= 4096,
+              "epochs_in_flight must be <= 4096, got "
+                  << cfg.fabric_epochs_in_flight);
   PCS_REQUIRE(!cfg.serve_socket.empty(), "socket path must be non-empty");
   PCS_REQUIRE(cfg.serve_max_inflight >= 1, "max_inflight must be >= 1");
   PCS_REQUIRE(cfg.serve_tenant_quota >= 1, "tenant_quota must be >= 1");
@@ -275,7 +291,10 @@ std::string config_to_json(const RuntimeConfig& cfg, std::size_t indent) {
   os << pad << "  \"check_invariants\": " << (cfg.check_invariants ? "true" : "false")
      << ",\n";
   os << pad << "  \"credits\": " << cfg.fabric_credits << ",\n";
+  os << pad << "  \"deflect_max\": " << cfg.fabric_deflect_max << ",\n";
   os << pad << "  \"drain_epochs_max\": " << cfg.drain_epochs_max << ",\n";
+  os << pad << "  \"epochs_in_flight\": " << cfg.fabric_epochs_in_flight
+     << ",\n";
   os << pad << "  \"exec\": " << json_escape(cfg.exec) << ",\n";
   os << pad << "  \"family\": " << json_escape(cfg.family) << ",\n";
   os << pad << "  \"fault_hop\": " << cfg.fault_hop << ",\n";
@@ -306,6 +325,7 @@ std::string config_to_json(const RuntimeConfig& cfg, std::size_t indent) {
   os << pad << "  \"radix\": " << cfg.fabric_radix << ",\n";
   os << pad << "  \"record\": " << json_escape(cfg.record) << ",\n";
   os << pad << "  \"replay\": " << json_escape(cfg.replay) << ",\n";
+  os << pad << "  \"route\": " << json_escape(cfg.fabric_route) << ",\n";
   os << pad << "  \"seed\": " << cfg.seed << ",\n";
   os << pad << "  \"socket\": " << json_escape(cfg.serve_socket) << ",\n";
   os << pad << "  \"tenant_quota\": " << cfg.serve_tenant_quota << ",\n";

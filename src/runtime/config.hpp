@@ -98,6 +98,15 @@ struct RuntimeConfig {
   std::size_t fabric_radix = 2;   ///< links per node (the MIN digit base)
   std::string fabric_alloc = "rr";     ///< VOQ allocator: rr | islip
   std::size_t fabric_credits = 8;      ///< per-channel credit pool depth
+  /// Pool-entry link choice: deterministic | adaptive (route= key).
+  std::string fabric_route = "deterministic";
+  /// Adaptive routing's per-message misroute budget (deflect_max= key);
+  /// requires route=adaptive when nonzero.
+  std::size_t fabric_deflect_max = 0;
+  /// Pipelined fabric scheduler depth (epochs_in_flight= key).  0 defers to
+  /// PCS_FABRIC_EPOCHS_IN_FLIGHT (else 1); campaign counters are identical
+  /// for every value, 1 is the bit-identical serial schedule.
+  std::size_t fabric_epochs_in_flight = 0;
   /// Hop whose plan receives `faults` in fabric campaigns (single-switch
   /// campaigns apply them to the one switch regardless).
   std::size_t fault_hop = 0;

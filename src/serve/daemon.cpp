@@ -11,6 +11,7 @@
 #include <fstream>
 #include <utility>
 
+#include "fabric/fabric_config.hpp"
 #include "runtime/fabric_runtime.hpp"
 #include "util/assert.hpp"
 
@@ -106,6 +107,12 @@ rt::RuntimeConfig ServeDaemon::resolve(const CampaignRequest& req) const {
   if (req.measure_epochs != kUseServerDefault) cfg.measure_epochs = req.measure_epochs;
   if (req.drain_epochs_max != kUseServerDefault)
     cfg.drain_epochs_max = req.drain_epochs_max;
+  if (!req.topology.empty()) cfg.topology = req.topology;
+  if (!req.route.empty()) cfg.fabric_route = req.route;
+  if (req.epochs_in_flight != kUseServerDefault)
+    cfg.fabric_epochs_in_flight = req.epochs_in_flight;
+  if (req.deflect_max != kUseServerDefault)
+    cfg.fabric_deflect_max = req.deflect_max;
   cfg.seed = req.seed;
 
   PCS_REQUIRE(cfg.n >= 1 && cfg.m >= 1 && cfg.m <= cfg.n,
@@ -123,7 +130,51 @@ rt::RuntimeConfig ServeDaemon::resolve(const CampaignRequest& req) const {
               "unknown traffic pattern '" << cfg.pattern << "'");
   PCS_REQUIRE(cfg.injection.empty() || traffic::known_injection(cfg.injection),
               "unknown injection process '" << cfg.injection << "'");
+  PCS_REQUIRE(cfg.fabric_route == "deterministic" ||
+                  cfg.fabric_route == "adaptive",
+              "unknown route policy '" << cfg.fabric_route << "'");
+  PCS_REQUIRE(cfg.fabric_epochs_in_flight <= 4096,
+              "campaign epochs_in_flight must be <= 4096, got "
+                  << cfg.fabric_epochs_in_flight);
   return cfg;
+}
+
+CampaignReply ServeDaemon::run_fabric_campaign(const rt::RuntimeConfig& cfg) {
+  // Fabric campaigns bypass the plan cache: the per-node switch is one of
+  // potentially many hops and FabricSim owns its plan instances (healthy +
+  // faulted) for the campaign's lifetime.  The reply's spec_digest is the
+  // FabricSpec fingerprint, the key a future fabric cache would use.
+  CampaignReply rep;
+  const std::unique_ptr<fabric::FabricSim> sim =
+      fabric::make_fabric_sim(cfg, cfg.family, cfg.arrival_p);
+  rt::MetricsRegistry local;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const rt::RuntimeReport report = sim->run(local);
+  const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+  aggregate_campaign(local);
+  global_.counter("serve.campaigns_completed").add(1);
+  global_.counter("serve.fabric_campaigns").add(1);
+  global_.histogram("serve.wall.campaign_us")
+      .record(static_cast<std::uint64_t>(wall_us));
+
+  rep.status = Status::kOk;
+  rep.cache_hit = false;
+  rep.drained = report.drained;
+  rep.saturated = report.saturated;
+  rep.offered = local.counter("total.offered").value();
+  rep.delivered = local.counter("total.delivered").value();
+  rep.dropped = local.counter("total.dropped").value();
+  rep.residual = local.counter("total.residual").value();
+  rep.delivery_rate = local.gauge("delivery_rate").value();
+  rep.mean_latency_epochs = local.gauge("mean_latency_epochs").value();
+  const plan::ExecMode mode =
+      cfg.exec == "legacy" ? plan::ExecMode::kLegacy : plan::ExecMode::kFused;
+  rep.spec_digest = sim->graph().spec().digest(mode);
+  return rep;
 }
 
 CampaignReply ServeDaemon::handle_campaign(const CampaignRequest& req) {
@@ -141,6 +192,8 @@ CampaignReply ServeDaemon::handle_campaign(const CampaignRequest& req) {
 
   try {
     const rt::RuntimeConfig cfg = resolve(req);
+
+    if (!cfg.topology.empty()) return run_fabric_campaign(cfg);
 
     SwitchSpec spec;
     spec.family = cfg.family;

@@ -101,6 +101,10 @@ class ServeDaemon {
   /// Base-config snapshot + request sentinel resolution -> one effective
   /// campaign config.  Throws ContractViolation on out-of-range fields.
   rt::RuntimeConfig resolve(const CampaignRequest& req) const;
+  /// The multi-hop path (cfg.topology non-empty): builds the fabric through
+  /// pcs::make_fabric (no plan cache; FabricSim owns its plans) and reports
+  /// FabricSpec::digest() as the reply's spec_digest.
+  CampaignReply run_fabric_campaign(const rt::RuntimeConfig& cfg);
 
   rt::RuntimeConfig base_;
   mutable std::mutex config_mu_;  ///< guards base_ (reload swaps under it)

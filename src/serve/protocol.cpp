@@ -133,6 +133,10 @@ std::vector<std::uint8_t> encode_campaign_request(const CampaignRequest& req) {
   put_u32(out, req.drain_epochs_max);
   put_str(out, req.pattern);
   put_str(out, req.injection);
+  put_str(out, req.topology);
+  put_str(out, req.route);
+  put_u32(out, req.epochs_in_flight);
+  put_u32(out, req.deflect_max);
   return finish_frame(std::move(out));
 }
 
@@ -193,6 +197,10 @@ Frame decode_payload(const std::uint8_t* data, std::size_t size) {
       r.drain_epochs_max = c.u32();
       r.pattern = c.str();
       r.injection = c.str();
+      r.topology = c.str();
+      r.route = c.str();
+      r.epochs_in_flight = c.u32();
+      r.deflect_max = c.u32();
       f.campaign_request = std::move(r);
       break;
     }

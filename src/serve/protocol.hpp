@@ -26,9 +26,10 @@
 namespace pcs::serve {
 
 // v2 appended the composable-traffic fields (pattern, injection) to
-// CampaignRequest; older decoders reject v2 frames outright rather than
-// misparse them, which is the failure mode we want.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+// CampaignRequest; v3 appended the fabric-campaign fields (topology, route,
+// epochs_in_flight, deflect_max).  Older decoders reject newer frames
+// outright rather than misparse them, which is the failure mode we want.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 
 /// Hard cap on a frame's payload; anything larger is a corrupt or hostile
 /// length prefix (a scrape of a huge registry stays well under this).
@@ -66,6 +67,16 @@ struct CampaignRequest {
   std::uint32_t drain_epochs_max = kUseServerDefault;
   std::string pattern;       ///< "" = server default (derived from arrival)
   std::string injection;     ///< "" = server default (derived from arrival)
+  // --- fabric campaigns (v3) --------------------------------------------
+  // `topology` selects a multi-hop fabric campaign the same way the config
+  // key does: "" inherits the server's topology (usually "", meaning the
+  // single-switch path); the u32 knobs use kUseServerDefault as their
+  // inherit sentinel so an explicit 0 (e.g. deflect_max=0, "never deflect")
+  // stays expressible.
+  std::string topology;      ///< "" = server default
+  std::string route;         ///< "" = server default (deterministic|adaptive)
+  std::uint32_t epochs_in_flight = kUseServerDefault;
+  std::uint32_t deflect_max = kUseServerDefault;
 };
 
 enum class Status : std::uint8_t {

@@ -70,7 +70,7 @@ void check_hop_accounting(const MetricsRegistry& m, const FabricGraph& g) {
     ASSERT_NE(res, m.gauges().end());
     EXPECT_EQ(ctr(m, p + "accepted"),
               ctr(m, p + "sent") + ctr(m, p + "delivered") +
-                  ctr(m, p + "dropped.fault") +
+                  ctr(m, p + "dropped.fault") + ctr(m, p + "dropped.deflect") +
                   static_cast<std::uint64_t>(res->second.value()));
     if (k + 1 < g.hops()) EXPECT_EQ(ctr(m, p + "delivered"), 0u);
     if (k + 1 == g.hops()) EXPECT_EQ(ctr(m, p + "sent"), 0u);

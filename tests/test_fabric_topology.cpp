@@ -160,6 +160,85 @@ TEST(FabricTopology, ValidationRejectsBadSpecs) {
   EXPECT_THROW(FabricGraph{fh}, ContractViolation);
 }
 
+// candidate_mask() is adaptive routing's view of the topology: bit d set
+// iff out-link d stays on a minimal path.  It must agree with the
+// deterministic digit rule everywhere the digit rule applies, expose ALL
+// equal-cost links where the topology genuinely multipaths (the fat-tree
+// up-hop), and return 0 exactly where a deflected message is stranded.
+TEST(FabricTopology, CandidateMaskContainsTheDeterministicLink) {
+  for (const FabricSpec& s :
+       {spec_of(Topology::kOmega, 3, 2), spec_of(Topology::kButterfly, 3, 2),
+        spec_of(Topology::kFatTree, 3, 4), spec_of(Topology::kSingle, 1, 4)}) {
+    FabricGraph g(s);
+    const std::size_t r = g.radix();
+    for (std::size_t dest = 0; dest < g.sinks(); ++dest) {
+      // Walk the deterministic path from every source; at every visited
+      // node the mask must include the link the digit rule takes.
+      for (std::size_t src = 0; src < g.sources(); ++src) {
+        std::size_t node = src / r;
+        for (std::size_t hop = 0; hop < g.hops(); ++hop) {
+          const std::size_t link = g.out_link(hop, node, dest);
+          const std::uint64_t mask = g.candidate_mask(hop, node, dest);
+          EXPECT_NE(mask & (std::uint64_t{1} << link), 0u)
+              << g.name() << " hop " << hop << " node " << node << " dest "
+              << dest;
+          if (hop + 1 < g.hops()) node = g.channel(hop, node, link).node;
+        }
+      }
+    }
+  }
+}
+
+TEST(FabricTopology, SingleMinimalPathTopologiesHaveSingletonMasks) {
+  for (const FabricSpec& s :
+       {spec_of(Topology::kOmega, 3, 2), spec_of(Topology::kButterfly, 3, 2)}) {
+    FabricGraph g(s);
+    for (std::size_t hop = 0; hop < g.hops(); ++hop) {
+      for (std::size_t node = 0; node < g.nodes_at(hop); ++node) {
+        for (std::size_t dest = 0; dest < g.sinks(); ++dest) {
+          const std::uint64_t mask = g.candidate_mask(hop, node, dest);
+          // Zero or a power of two: omega/butterfly paths are unique.
+          EXPECT_EQ(mask & (mask - 1), 0u) << g.name();
+          EXPECT_EQ(mask != 0, g.reachable(hop, node, dest));
+        }
+      }
+    }
+  }
+}
+
+TEST(FabricTopology, FatTreeUpHopExposesAllEqualCostLinks) {
+  FabricGraph g(spec_of(Topology::kFatTree, 3, 4));
+  const std::uint64_t full = (std::uint64_t{1} << g.radix()) - 1;
+  for (std::size_t node = 0; node < g.nodes_at(0); ++node) {
+    for (std::size_t dest = 0; dest < g.sinks(); ++dest) {
+      // Every spine reaches every leaf: all four up-links are candidates.
+      EXPECT_EQ(g.candidate_mask(0, node, dest), full);
+    }
+  }
+  // The spine hop collapses to the destination leaf's link; the down hop is
+  // reachable only on the destination leaf itself.
+  for (std::size_t spine = 0; spine < g.nodes_at(1); ++spine) {
+    EXPECT_EQ(g.candidate_mask(1, spine, 13), std::uint64_t{1} << (13 / 4));
+  }
+  EXPECT_EQ(g.candidate_mask(2, 13 / 4, 13), std::uint64_t{1} << (13 % 4));
+  EXPECT_EQ(g.candidate_mask(2, 0, 13), 0u) << "wrong down-leaf is a dead end";
+}
+
+TEST(FabricTopology, UnreachableMeansZeroMask) {
+  // Omega: after hop 1 the node's low digit has consumed dest's top digit;
+  // a node whose low digit disagrees can no longer reach dest.
+  FabricGraph g(spec_of(Topology::kOmega, 3, 2));
+  std::size_t reachable = 0, stranded = 0;
+  for (std::size_t node = 0; node < g.nodes_at(1); ++node) {
+    for (std::size_t dest = 0; dest < g.sinks(); ++dest) {
+      const bool ok = (node % 2) == (dest / 4);
+      EXPECT_EQ(g.reachable(1, node, dest), ok);
+      (ok ? reachable : stranded)++;
+    }
+  }
+  EXPECT_EQ(reachable, stranded);  // half the pairs are off-path at hop 1
+}
+
 TEST(FabricTopology, NameIsDescriptive) {
   EXPECT_EQ(FabricGraph(spec_of(Topology::kOmega, 3, 2)).name(),
             "omega(hops=3, radix=2)");

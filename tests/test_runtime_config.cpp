@@ -217,6 +217,35 @@ fault_hop = 1
   EXPECT_NE(json.find("\"fault_hop\": 1"), std::string::npos);
 }
 
+TEST(RuntimeConfig, RoutePolicyKeysParseAndValidate) {
+  RuntimeConfig cfg = parse_config_text(R"(
+topology = fattree
+route = adaptive
+deflect_max = 3
+epochs_in_flight = 4
+)");
+  EXPECT_EQ(cfg.fabric_route, "adaptive");
+  EXPECT_EQ(cfg.fabric_deflect_max, 3u);
+  EXPECT_EQ(cfg.fabric_epochs_in_flight, 4u);
+  // Defaults: deterministic routing, no deflection, epochs_in_flight 0
+  // (defer to PCS_FABRIC_EPOCHS_IN_FLIGHT, else serial).
+  const RuntimeConfig defaults = parse_config_text("");
+  EXPECT_EQ(defaults.fabric_route, "deterministic");
+  EXPECT_EQ(defaults.fabric_deflect_max, 0u);
+  EXPECT_EQ(defaults.fabric_epochs_in_flight, 0u);
+
+  EXPECT_THROW(parse_config_text("route = random"), ContractViolation);
+  // deflect_max needs adaptive routing to mean anything.
+  EXPECT_THROW(parse_config_text("deflect_max = 2"), ContractViolation);
+  EXPECT_THROW(parse_config_text("epochs_in_flight = 5000"),
+               ContractViolation);
+
+  const std::string json = config_to_json(cfg, 0);
+  EXPECT_NE(json.find("\"route\": \"adaptive\""), std::string::npos);
+  EXPECT_NE(json.find("\"deflect_max\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"epochs_in_flight\": 4"), std::string::npos);
+}
+
 TEST(RuntimeConfig, JsonEchoIsDeterministic) {
   RuntimeConfig cfg = parse_config_text("loads = 0.1,0.9\nseed = 5");
   const std::string a = config_to_json(cfg, 2);

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "fabric/fabric_config.hpp"
+
 namespace pcs::serve {
 namespace {
 
@@ -207,6 +209,104 @@ TEST(ServeDaemon, QuotaRejectionsCarrySlugReasons) {
   // Whether or not the race window was observed, the daemon drained fine.
   EXPECT_EQ(daemon.handle_campaign(default_request("victim")).status,
             Status::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric campaigns over the wire: a request with topology set runs the
+// multi-hop path, reports FabricSpec::digest() (not the switch digest), and
+// honours the v3 route/epochs_in_flight/deflect_max knobs.
+// ---------------------------------------------------------------------------
+
+CampaignRequest fabric_request(const std::string& tenant) {
+  CampaignRequest req = default_request(tenant);
+  req.topology = "omega";
+  req.epochs_in_flight = 1;  // pin: CI may set the env default to > 1
+  return req;
+}
+
+TEST(ServeDaemon, FabricRequestRunsTheMultiHopCampaign) {
+  ServeDaemon daemon(small_base(), ServeOptions{});
+  const CampaignReply rep = daemon.handle_campaign(fabric_request("t0"));
+  ASSERT_EQ(rep.status, Status::kOk) << rep.reason;
+  EXPECT_FALSE(rep.cache_hit);  // FabricSim owns its plans: no cache lane
+  EXPECT_GT(rep.offered, 0u);
+  EXPECT_EQ(rep.offered, rep.delivered + rep.dropped + rep.residual);
+  // The reply digest is the FABRIC spec digest of the resolved config.
+  rt::RuntimeConfig cfg = small_base();
+  cfg.topology = "omega";
+  cfg.seed = 3;  // default_request pins the seed
+  EXPECT_EQ(rep.spec_digest,
+            fabric::fabric_spec_from(cfg, cfg.family).digest());
+  SwitchSpec node;
+  node.family = "revsort";
+  node.n = 64;
+  node.m = 48;
+  EXPECT_NE(rep.spec_digest, node.digest(plan::ExecMode::kFused));
+
+  const std::string json = daemon.scrape_json();
+  EXPECT_NE(json.find("\"serve.fabric_campaigns\": 1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"serve.campaigns_completed\": 1"), std::string::npos);
+}
+
+TEST(ServeDaemon, FabricOverridesFeedTheResolvedSpec) {
+  ServeDaemon daemon(small_base(), ServeOptions{});
+  CampaignRequest req = fabric_request("t0");
+  req.topology = "fattree";
+  req.route = "adaptive";
+  req.deflect_max = 2;
+  req.epochs_in_flight = 4;
+  const CampaignReply rep = daemon.handle_campaign(req);
+  ASSERT_EQ(rep.status, Status::kOk) << rep.reason;
+  rt::RuntimeConfig cfg = small_base();
+  cfg.topology = "fattree";
+  cfg.fabric_route = "adaptive";
+  cfg.fabric_deflect_max = 2;
+  cfg.seed = 3;
+  EXPECT_EQ(rep.spec_digest,
+            fabric::fabric_spec_from(cfg, cfg.family).digest());
+}
+
+TEST(ServeDaemon, PipelinedFabricCampaignMatchesSerialAtTheWire) {
+  // The bit-identity contract crosses the protocol boundary intact: the
+  // same fabric request at epochs_in_flight 1 and 4 returns identical
+  // campaign accounting.
+  ServeDaemon daemon(small_base(), ServeOptions{});
+  CampaignRequest serial = fabric_request("t0");
+  CampaignRequest piped = fabric_request("t1");
+  piped.epochs_in_flight = 4;
+  const CampaignReply a = daemon.handle_campaign(serial);
+  const CampaignReply b = daemon.handle_campaign(piped);
+  ASSERT_EQ(a.status, Status::kOk) << a.reason;
+  ASSERT_EQ(b.status, Status::kOk) << b.reason;
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.residual, b.residual);
+  EXPECT_DOUBLE_EQ(a.mean_latency_epochs, b.mean_latency_epochs);
+  EXPECT_EQ(a.spec_digest, b.spec_digest);
+}
+
+TEST(ServeDaemon, BadFabricKnobsAreErrorRepliesNotCrashes) {
+  ServeDaemon daemon(small_base(), ServeOptions{});
+  CampaignRequest req = fabric_request("t0");
+  req.route = "random";
+  EXPECT_EQ(daemon.handle_campaign(req).status, Status::kError);
+
+  req = fabric_request("t0");
+  req.epochs_in_flight = 5000;  // above the 4096 sanity cap
+  EXPECT_EQ(daemon.handle_campaign(req).status, Status::kError);
+
+  req = fabric_request("t0");
+  req.topology = "torus";
+  EXPECT_EQ(daemon.handle_campaign(req).status, Status::kError);
+
+  req = fabric_request("t0");
+  req.deflect_max = 2;  // deterministic route never deflects
+  EXPECT_EQ(daemon.handle_campaign(req).status, Status::kError);
+
+  // The daemon keeps serving single-switch campaigns afterwards.
+  EXPECT_EQ(daemon.handle_campaign(default_request("t0")).status, Status::kOk);
 }
 
 }  // namespace

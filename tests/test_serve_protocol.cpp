@@ -28,6 +28,10 @@ CampaignRequest sample_request() {
   req.warmup_epochs = 4;
   req.measure_epochs = 32;
   req.drain_epochs_max = 100;
+  req.topology = "omega";
+  req.route = "adaptive";
+  req.epochs_in_flight = 4;
+  req.deflect_max = 2;
   return req;
 }
 
@@ -61,6 +65,10 @@ TEST(ServeProtocol, CampaignRequestRoundTrip) {
   EXPECT_EQ(d.warmup_epochs, req.warmup_epochs);
   EXPECT_EQ(d.measure_epochs, req.measure_epochs);
   EXPECT_EQ(d.drain_epochs_max, req.drain_epochs_max);
+  EXPECT_EQ(d.topology, req.topology);
+  EXPECT_EQ(d.route, req.route);
+  EXPECT_EQ(d.epochs_in_flight, req.epochs_in_flight);
+  EXPECT_EQ(d.deflect_max, req.deflect_max);
 }
 
 TEST(ServeProtocol, DefaultSentinelsSurviveRoundTrip) {
@@ -77,6 +85,12 @@ TEST(ServeProtocol, DefaultSentinelsSurviveRoundTrip) {
   EXPECT_EQ(d.warmup_epochs, kUseServerDefault);
   EXPECT_EQ(d.measure_epochs, kUseServerDefault);
   EXPECT_EQ(d.drain_epochs_max, kUseServerDefault);
+  // The v3 fabric fields inherit the server default too: empty strings for
+  // topology/route, the u32 sentinel for the numeric knobs.
+  EXPECT_TRUE(d.topology.empty());
+  EXPECT_TRUE(d.route.empty());
+  EXPECT_EQ(d.epochs_in_flight, kUseServerDefault);
+  EXPECT_EQ(d.deflect_max, kUseServerDefault);
 }
 
 TEST(ServeProtocol, CampaignReplyRoundTrip) {

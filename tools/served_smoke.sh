@@ -10,7 +10,9 @@
 # outside the quarantined wall-clock series, scrape totals conserve, and
 # SIGTERM drains to exit 0 with zero residual backlog.  A non-uniform
 # composable traffic model (pattern=hotspot injection=onoff) additionally
-# round-trips the wire protocol end to end.
+# round-trips the wire protocol end to end, and a multi-hop fabric
+# campaign must answer with identical traffic totals whether the daemon
+# runs it on the serial schedule or the four-deep epoch pipeline.
 set -euo pipefail
 
 BIN=$(cd "${1:-build/examples}" && pwd)
@@ -74,6 +76,29 @@ assert c["total.offered"] == (c["total.delivered"] + c["total.dropped"]
                               + c["total.residual"]), "conservation violated"
 assert c["serve.campaigns_completed"] == 10  # 2x4 uniform + 2 hotspot/onoff
 print(f"scrape ok: hits={c['serve.cache.hits']} offered={c['total.offered']}")
+EOF
+
+echo "== fabric campaign: pipelined schedule matches serial at the wire"
+# The same multi-hop request at epochs_in_flight 1 and 4 must come back
+# with byte-identical traffic totals: the pipeline reorders work, never
+# results.  (Runs after the scrape checks so their campaign count holds.)
+"$BIN/pcs_loadgen" socket="$SOCK" tenants=1 requests=1 require=ok \
+  topology=omega epochs_in_flight=1 | tee "$WORK/fabric_serial.txt"
+"$BIN/pcs_loadgen" socket="$SOCK" tenants=1 requests=1 require=ok \
+  topology=omega epochs_in_flight=4 | tee "$WORK/fabric_pipelined.txt"
+grep '^traffic:' "$WORK/fabric_serial.txt" > "$WORK/fabric_serial_totals.txt"
+grep '^traffic:' "$WORK/fabric_pipelined.txt" \
+  > "$WORK/fabric_pipelined_totals.txt"
+cmp "$WORK/fabric_serial_totals.txt" "$WORK/fabric_pipelined_totals.txt" || {
+  echo "pipelined fabric campaign diverged from the serial totals"
+  exit 1
+}
+"$BIN/pcs_loadgen" socket="$SOCK" scrape="$WORK/scrape_fabric.json" > /dev/null
+python3 - "$WORK/scrape_fabric.json" <<'EOF'
+import json, sys
+c = json.load(open(sys.argv[1]))["counters"]
+assert c.get("serve.fabric_campaigns", 0) == 2, "fabric campaigns not counted"
+print(f"fabric ok: {c['serve.fabric_campaigns']} campaigns, totals identical")
 EOF
 
 echo "== SIGHUP mid-run; in-flight campaign survives"
